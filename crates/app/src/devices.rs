@@ -1,0 +1,198 @@
+//! Device profiles: per-MCU task cost tables.
+//!
+//! The paper measures task latency and power on real hardware (Saleae
+//! logic analyzer + Otii power profiler, §6.3). Without the hardware, we
+//! choose synthetic values that land each platform in the same operating
+//! regimes the paper reports:
+//!
+//! - The radio's end-to-end time spans **0.8 s at high power to >50 s at
+//!   low power** (§2.2): a 0.12 J full-image transmission against a
+//!   harvester delivering 1–40 mW reproduces that two-orders-of-magnitude
+//!   spread.
+//! - ML inference is an order of magnitude cheaper than a full-image
+//!   radio send in energy, so the energy-aware SJF's preference flips
+//!   with input power (§1's "with low input power … ML inference is
+//!   faster than sending a radio packet").
+//! - The MSP430 is ~10× slower per task but also lower-power, and lacks
+//!   a hardware divider — which is where the measurement module's
+//!   overhead savings matter (§5.1).
+
+use quetzal::model::TaskCost;
+use qz_hw::{McuProfile, RatioPath, APOLLO4, MSP430FR5994};
+use qz_sim::{ClassRates, DeviceConfig};
+use qz_types::{Seconds, SimDuration, Watts};
+
+/// A complete per-device cost table for the person-detection app.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Platform name.
+    pub name: &'static str,
+    /// Arithmetic cost model for scheduler-overhead accounting.
+    pub mcu: McuProfile,
+    /// How this platform computes the `P_exe/P_in` ratio natively.
+    pub native_ratio_path: RatioPath,
+    /// Fixed pipeline and platform costs (capture, diff, compress,
+    /// checkpointing, sleep).
+    pub device: DeviceConfig,
+    /// High-quality classifier cost (Apollo 4: MobileNetV2; MSP430:
+    /// int-16 LeNet).
+    pub ml_high: TaskCost,
+    /// Low-quality classifier cost (Apollo 4: LeNet; MSP430: int-8
+    /// LeNet).
+    pub ml_low: TaskCost,
+    /// High-quality classifier error rates.
+    pub ml_high_rates: ClassRates,
+    /// Low-quality classifier error rates.
+    pub ml_low_rates: ClassRates,
+    /// Post-classification annotation cost (runs only for positives —
+    /// the conditionally executed task that exercises per-task execution
+    /// probabilities).
+    pub annotate: TaskCost,
+    /// Full-JPEG radio transmission cost.
+    pub radio_full: TaskCost,
+    /// Single-byte radio transmission cost.
+    pub radio_byte: TaskCost,
+}
+
+/// The Ambiq Apollo 4 profile (the paper's primary platform).
+pub fn apollo4() -> DeviceProfile {
+    DeviceProfile {
+        name: "Apollo4",
+        mcu: APOLLO4,
+        native_ratio_path: RatioPath::HardwareDiv,
+        device: DeviceConfig {
+            buffer_capacity: 10,
+            capture_period: SimDuration::from_secs(1),
+            capture: TaskCost::new(Seconds(0.005), Watts(0.010)),
+            diff: TaskCost::new(Seconds(0.005), Watts(0.002)),
+            compress: TaskCost::new(Seconds(0.010), Watts(0.010)),
+            checkpoint_energy: qz_types::Joules(0.5e-3),
+            restore_energy: qz_types::Joules(0.5e-3),
+            sleep_power: Watts(50e-6),
+            off_leakage: Watts(5e-6),
+            // Overwritten per system by the experiment runner.
+            scheduler_overhead: TaskCost::new(Seconds(0.0001), Watts(0.015)),
+            task_jitter: 0.0,
+            checkpoint_policy: qz_sim::CheckpointPolicy::JustInTime,
+        },
+        ml_high: TaskCost::new(Seconds(0.5), Watts(0.005)), // MobileNetV2: 2.5 mJ
+        ml_low: TaskCost::new(Seconds(0.05), Watts(0.004)), // LeNet: 0.2 mJ
+        ml_high_rates: ClassRates::new(0.05, 0.05),
+        ml_low_rates: ClassRates::new(0.25, 0.20),
+        annotate: TaskCost::new(Seconds(0.01), Watts(0.010)),
+        radio_full: TaskCost::new(Seconds(0.4), Watts(0.050)), // 20 mJ
+        radio_byte: TaskCost::new(Seconds(0.005), Watts(0.090)), // 0.45 mJ
+    }
+}
+
+/// The TI MSP430FR5994 profile (paper Fig. 13, Table 1 second block):
+/// slower, lower-power, no hardware divider; the ML quality ladder is
+/// int-16 vs int-8 LeNet, the radio is the same LoRa module.
+pub fn msp430fr5994() -> DeviceProfile {
+    DeviceProfile {
+        name: "MSP430FR5994",
+        mcu: MSP430FR5994,
+        native_ratio_path: RatioPath::SoftwareDiv,
+        device: DeviceConfig {
+            buffer_capacity: 10,
+            capture_period: SimDuration::from_secs(1),
+            capture: TaskCost::new(Seconds(0.020), Watts(0.004)),
+            diff: TaskCost::new(Seconds(0.010), Watts(0.002)),
+            compress: TaskCost::new(Seconds(0.050), Watts(0.003)),
+            checkpoint_energy: qz_types::Joules(0.1e-3),
+            restore_energy: qz_types::Joules(0.1e-3),
+            sleep_power: Watts(10e-6),
+            off_leakage: Watts(1e-6),
+            scheduler_overhead: TaskCost::new(Seconds(0.0005), Watts(0.003)),
+            task_jitter: 0.0,
+            checkpoint_policy: qz_sim::CheckpointPolicy::JustInTime,
+        },
+        ml_high: TaskCost::new(Seconds(0.8), Watts(0.0030)), // int-16 LeNet: 2.4 mJ
+        ml_low: TaskCost::new(Seconds(0.1), Watts(0.0020)),  // int-8 LeNet: 0.2 mJ
+        ml_high_rates: ClassRates::new(0.10, 0.08),
+        ml_low_rates: ClassRates::new(0.22, 0.18),
+        annotate: TaskCost::new(Seconds(0.10), Watts(0.0025)),
+        radio_full: TaskCost::new(Seconds(0.4), Watts(0.050)),
+        radio_byte: TaskCost::new(Seconds(0.005), Watts(0.090)),
+    }
+}
+
+impl DeviceProfile {
+    /// The scheduler-invocation overhead for this app on this MCU, via
+    /// the given ratio path — one ratio per task plus one per
+    /// degradation option (paper §5.1).
+    pub fn scheduler_overhead(
+        &self,
+        num_tasks: u32,
+        num_options: u32,
+        path: RatioPath,
+    ) -> TaskCost {
+        let cost = self.mcu.invocation_cost(num_tasks, num_options, path);
+        // Power while scheduling ≈ the MCU's active compute power;
+        // approximate with energy/time of the op-cost itself, floored to
+        // a measurable level.
+        let p = if cost.time.value() > 0.0 {
+            (cost.energy / cost.time).max(Watts(1e-6))
+        } else {
+            Watts(1e-6)
+        };
+        TaskCost::new(cost.time.max(Seconds(1e-6)), p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apollo_radio_spans_paper_range() {
+        // §2.2: radio task 0.8 s at high power, >50 s at low power.
+        use quetzal::service::EnergyAwareEstimator;
+        let p = apollo4();
+        let fast = EnergyAwareEstimator::se2e(p.radio_full, Watts(0.060));
+        assert_eq!(fast, Seconds(0.4));
+        let slow = EnergyAwareEstimator::se2e(p.radio_full, Watts(0.0003));
+        assert!(slow > Seconds(50.0), "slow={slow}");
+    }
+
+    #[test]
+    fn ml_cheaper_than_radio_in_energy() {
+        let p = apollo4();
+        assert!(p.ml_high.energy() < p.radio_full.energy());
+    }
+
+    #[test]
+    fn low_quality_options_are_cheaper() {
+        for p in [apollo4(), msp430fr5994()] {
+            assert!(p.ml_low.energy() < p.ml_high.energy(), "{}", p.name);
+            assert!(p.radio_byte.energy() < p.radio_full.energy(), "{}", p.name);
+            assert!(p.ml_low.t_exe < p.ml_high.t_exe, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn low_quality_ml_misclassifies_more() {
+        for p in [apollo4(), msp430fr5994()] {
+            assert!(p.ml_low_rates.false_negative > p.ml_high_rates.false_negative);
+        }
+    }
+
+    #[test]
+    fn msp430_is_slower_and_lower_power() {
+        let a = apollo4();
+        let m = msp430fr5994();
+        assert!(m.ml_high.t_exe > a.ml_high.t_exe);
+        assert!(m.ml_high.p_exe < a.ml_high.p_exe);
+        assert_eq!(m.native_ratio_path, RatioPath::SoftwareDiv);
+        assert_eq!(a.native_ratio_path, RatioPath::HardwareDiv);
+    }
+
+    #[test]
+    fn scheduler_overhead_reflects_ratio_path() {
+        let m = msp430fr5994();
+        let div = m.scheduler_overhead(4, 5, RatioPath::SoftwareDiv);
+        let module = m.scheduler_overhead(4, 5, RatioPath::QuetzalModule);
+        assert!(div.t_exe > module.t_exe);
+        assert!(div.energy() > module.energy());
+    }
+}

@@ -1,0 +1,123 @@
+//! Assembles the person-detection pipeline for a device profile.
+
+use crate::devices::DeviceProfile;
+use quetzal::model::{AppSpec, AppSpecBuilder, JobId, SpecError, TaskId};
+use qz_sim::{ClassRates, ReportQuality, Route, TaskBehavior};
+
+/// The assembled application: spec + simulation behaviour binding.
+///
+/// Two jobs, mirroring the paper's Fig. 5 structure:
+///
+/// - **process** = `[ml (degradable), annotate]` — classify the input;
+///   positives are annotated and forwarded to the report queue,
+///   negatives are dropped (so `annotate`'s tracked execution
+///   probability equals the positive rate).
+/// - **report** = `[radio (degradable)]` — transmit, then the input
+///   leaves the buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppModel {
+    /// The task/job specification (cloned into each runtime).
+    pub spec: AppSpec,
+    /// Per-task behaviours, in task order.
+    pub behaviors: Vec<TaskBehavior>,
+    /// Per-job routes, in job order.
+    pub routes: Vec<Route>,
+    /// The job receiving fresh captures.
+    pub entry: JobId,
+    /// The classification job.
+    pub process: JobId,
+    /// The transmission job.
+    pub report: JobId,
+    /// The degradable ML task.
+    pub ml: TaskId,
+    /// The degradable radio task.
+    pub radio: TaskId,
+    /// The high-quality classifier's error rates (used by the analytic
+    /// Ideal baseline).
+    pub high_rates: ClassRates,
+}
+
+impl AppModel {
+    /// Builds the person-detection app for a device profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError`] — impossible for valid profiles, but
+    /// surfaced rather than panicking.
+    pub fn person_detection(profile: &DeviceProfile) -> Result<AppModel, SpecError> {
+        let mut b = AppSpecBuilder::new();
+        let ml = b
+            .degradable_task("ml-infer")
+            .option("high-quality", profile.ml_high)
+            .option("low-quality", profile.ml_low)
+            .finish()?;
+        let annotate = b.fixed_task("annotate", profile.annotate)?;
+        let radio = b
+            .degradable_task("radio-tx")
+            .option("full-image", profile.radio_full)
+            .option("single-byte", profile.radio_byte)
+            .finish()?;
+        let process = b.job("process", vec![ml, annotate])?;
+        let report = b.job("report", vec![radio])?;
+        let spec = b.build()?;
+
+        let behaviors = vec![
+            TaskBehavior::Classify(vec![profile.ml_high_rates, profile.ml_low_rates]),
+            TaskBehavior::Compute,
+            TaskBehavior::Transmit(vec![ReportQuality::High, ReportQuality::Low]),
+        ];
+        let routes = vec![Route::Forward(report), Route::Finish];
+
+        Ok(AppModel {
+            spec,
+            behaviors,
+            routes,
+            entry: process,
+            process,
+            report,
+            ml,
+            radio,
+            high_rates: profile.ml_high_rates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{apollo4, msp430fr5994};
+    use qz_sim::PipelineSpec;
+
+    #[test]
+    fn builds_for_both_devices() {
+        for profile in [apollo4(), msp430fr5994()] {
+            let app = AppModel::person_detection(&profile).unwrap();
+            assert_eq!(app.spec.tasks().len(), 3);
+            assert_eq!(app.spec.jobs().len(), 2);
+            assert_eq!(app.spec.total_options(), 2 + 1 + 2);
+            // The binding must validate against the spec.
+            PipelineSpec::new(
+                &app.spec,
+                app.entry,
+                app.behaviors.clone(),
+                app.routes.clone(),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn process_owns_ml_report_owns_radio() {
+        let app = AppModel::person_detection(&apollo4()).unwrap();
+        assert_eq!(app.spec.job(app.process).degradable_task(), Some(app.ml));
+        assert_eq!(app.spec.job(app.report).degradable_task(), Some(app.radio));
+        assert_eq!(app.entry, app.process);
+    }
+
+    #[test]
+    fn routes_form_the_paper_pipeline() {
+        let app = AppModel::person_detection(&apollo4()).unwrap();
+        assert_eq!(app.routes[app.process.index()], Route::Forward(app.report));
+        assert_eq!(app.routes[app.report.index()], Route::Finish);
+    }
+}

@@ -1,0 +1,178 @@
+//! The ∞-memory *Ideal* reference system.
+//!
+//! The paper's Ideal bar "models an infinite input buffer that never
+//! overflows, only discarding interesting inputs due to ML model
+//! misclassifications" (§2.3). Because such a system eventually
+//! processes every stored input at the highest quality, its outcome is
+//! fully determined by the capture schedule, the event ground truth and
+//! the high-quality classifier's error rates — no device simulation is
+//! needed (nor bounded by it: in overloaded environments the Ideal
+//! system's queue grows without limit, which only an accounting model
+//! can represent).
+
+use qz_sim::{ClassRates, Metrics};
+use qz_traces::EventTrace;
+use qz_types::{SimDuration, SimTime, SplitMix64};
+
+/// Computes the Ideal system's metrics for an event trace.
+///
+/// Every frame captured during an event is stored (the Ideal camera is
+/// always on); every stored input is classified with the *high-quality*
+/// model (`rates`), and every positive is reported at high quality.
+///
+/// # Panics
+///
+/// Panics if `capture_period` is zero.
+pub fn ideal_metrics(
+    events: &EventTrace,
+    capture_period: SimDuration,
+    rates: ClassRates,
+    seed: u64,
+) -> Metrics {
+    assert!(!capture_period.is_zero(), "capture period must be positive");
+    let mut rng = SplitMix64::new(seed);
+    let mut m = Metrics::default();
+    let end = events.end();
+    let mut cursor = events.cursor();
+    let mut t = SimTime::ZERO;
+    while t < end {
+        m.frames_total += 1;
+        match cursor.active_at(t) {
+            None => m.frames_filtered += 1,
+            Some(e) => {
+                m.arrivals += 1;
+                m.stored += 1;
+                if e.interesting {
+                    m.interesting_total += 1;
+                    if rng.chance(rates.false_negative) {
+                        m.false_negatives += 1;
+                    } else {
+                        m.reports_interesting_high += 1;
+                        m.jobs_by_option[0] += 2; // process + report jobs
+                    }
+                } else if rng.chance(rates.false_positive) {
+                    m.reports_uninteresting_high += 1;
+                    m.jobs_by_option[0] += 2;
+                } else {
+                    m.true_negatives += 1;
+                    m.jobs_by_option[0] += 1;
+                }
+            }
+        }
+        t += capture_period;
+    }
+    m.sim_time = end.since(SimTime::ZERO);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qz_traces::EventTraceBuilder;
+
+    fn trace() -> EventTrace {
+        EventTraceBuilder::new().event_count(100).seed(5).build()
+    }
+
+    #[test]
+    fn perfect_model_reports_everything() {
+        let m = ideal_metrics(
+            &trace(),
+            SimDuration::from_secs(1),
+            ClassRates::new(0.0, 0.0),
+            1,
+        );
+        assert_eq!(m.false_negatives, 0);
+        assert_eq!(m.reports_interesting_high, m.interesting_total);
+        assert_eq!(m.ibo_discards, 0);
+        assert_eq!(m.interesting_discarded(), 0);
+    }
+
+    #[test]
+    fn false_negative_rate_is_respected() {
+        let m = ideal_metrics(
+            &trace(),
+            SimDuration::from_secs(1),
+            ClassRates::new(0.2, 0.0),
+            2,
+        );
+        let frac = m.false_negatives as f64 / m.interesting_total as f64;
+        assert!((frac - 0.2).abs() < 0.05, "frac={frac}");
+        assert_eq!(
+            m.reports_interesting_high + m.false_negatives,
+            m.interesting_total
+        );
+    }
+
+    #[test]
+    fn false_positives_produce_uninteresting_reports() {
+        let m = ideal_metrics(
+            &trace(),
+            SimDuration::from_secs(1),
+            ClassRates::new(0.0, 0.3),
+            3,
+        );
+        assert!(m.reports_uninteresting_high > 0);
+        let uninteresting = m.arrivals - m.interesting_total;
+        assert_eq!(
+            m.reports_uninteresting_high + m.true_negatives,
+            uninteresting
+        );
+    }
+
+    #[test]
+    fn frame_accounting_is_complete() {
+        let m = ideal_metrics(
+            &trace(),
+            SimDuration::from_secs(1),
+            ClassRates::new(0.05, 0.05),
+            4,
+        );
+        assert_eq!(m.frames_total, m.frames_filtered + m.arrivals);
+        assert_eq!(
+            m.frames_missed_off, 0,
+            "the Ideal camera never misses a frame"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ideal_metrics(
+            &trace(),
+            SimDuration::from_secs(1),
+            ClassRates::new(0.1, 0.1),
+            9,
+        );
+        let b = ideal_metrics(
+            &trace(),
+            SimDuration::from_secs(1),
+            ClassRates::new(0.1, 0.1),
+            9,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slower_capture_sees_fewer_frames() {
+        let fast = ideal_metrics(
+            &trace(),
+            SimDuration::from_secs(1),
+            ClassRates::new(0.0, 0.0),
+            1,
+        );
+        let slow = ideal_metrics(
+            &trace(),
+            SimDuration::from_secs(5),
+            ClassRates::new(0.0, 0.0),
+            1,
+        );
+        assert!(slow.frames_total < fast.frames_total);
+        assert!(slow.interesting_total < fast.interesting_total);
+    }
+
+    #[test]
+    #[should_panic(expected = "capture period")]
+    fn rejects_zero_period() {
+        ideal_metrics(&trace(), SimDuration::ZERO, ClassRates::new(0.0, 0.0), 1);
+    }
+}

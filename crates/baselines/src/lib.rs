@@ -1,0 +1,31 @@
+//! Baseline systems from the Quetzal paper's evaluation (§6.1).
+//!
+//! Every baseline is a composition of the `quetzal` crate's pluggable
+//! pieces — a scheduling policy, a degradation policy and a service
+//! estimator — assembled through [`quetzal::Quetzal::builder`]:
+//!
+//! | System | Scheduler | Degradation | Estimator |
+//! |---|---|---|---|
+//! | `QZ` (Quetzal) | Energy-aware SJF | IBO engine | energy-aware |
+//! | `NA` (NoAdapt) | FCFS | never | — |
+//! | `AD` (Always Degrade) | FCFS | always lowest | — |
+//! | `CN` (CatNap) | FCFS | buffer 100 % full | — |
+//! | fixed-threshold | FCFS | buffer ≥ p % full | — |
+//! | `PZO`/`PZI` (Protean/Zygarde) | FCFS | input power < threshold | — |
+//! | `Avg. S_e2e` | Energy-aware SJF | IBO engine | average of observed |
+//! | `FCFS`/`LCFS` (Fig. 12) | FCFS / LCFS | IBO engine | energy-aware |
+//!
+//! The [`ideal`] module provides the ∞-memory *Ideal* reference, which
+//! the paper computes as "never overflows, loses inputs only to
+//! (high-quality) ML misclassification".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod degrade;
+pub mod ideal;
+pub mod presets;
+
+pub use degrade::{AlwaysDegrade, BufferThreshold, NeverDegrade, PowerThreshold};
+pub use ideal::ideal_metrics;
+pub use presets::{build_runtime, BaselineKind};

@@ -1,0 +1,57 @@
+//! Microbenchmarks for the hardware-module ratio path vs software
+//! division — the host-side analogue of the paper's §5.1 cycle
+//! comparison (the authoritative per-MCU cycle counts live in
+//! `qz_hw::costs`; this measures our simulation of each path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qz_hw::{premultiply_t_exe, se2e_hw, PowerMonitor};
+use qz_types::{Seconds, Watts, Q16};
+use std::hint::black_box;
+
+fn bench_ratio_paths(c: &mut Criterion) {
+    let table = premultiply_t_exe(Seconds(0.4));
+
+    // Algorithm 3: subtraction + lookup + shift, pure integer.
+    c.bench_function("se2e_algorithm3", |b| {
+        let mut vd1 = 0u8;
+        b.iter(|| {
+            vd1 = vd1.wrapping_add(7);
+            se2e_hw(black_box(&table), black_box(vd1 % 180), black_box(190))
+        })
+    });
+
+    // The division it replaces, in Q16.16 fixed point (what MCU firmware
+    // without the module would execute).
+    c.bench_function("se2e_q16_division", |b| {
+        let t_exe = Q16::from_f64(0.4);
+        let mut p_in = 1u32;
+        b.iter(|| {
+            p_in = p_in % 4000 + 100;
+            let ratio = Q16::from_f64(50.0) / Q16::from_bits(p_in as i32 * 65536 / 1000);
+            black_box(t_exe.saturating_mul(ratio).max(t_exe))
+        })
+    });
+
+    // Full-precision floating point reference.
+    c.bench_function("se2e_f64_division", |b| {
+        let mut p_in = 0.001f64;
+        b.iter(|| {
+            p_in = if p_in > 0.05 { 0.001 } else { p_in + 0.0007 };
+            black_box((0.4f64 * (0.05 / p_in)).max(0.4))
+        })
+    });
+}
+
+fn bench_measurement_chain(c: &mut Criterion) {
+    let monitor = PowerMonitor::default();
+    c.bench_function("power_monitor_sample", |b| {
+        let mut p = 0.001f64;
+        b.iter(|| {
+            p = if p > 0.4 { 0.001 } else { p * 1.1 };
+            monitor.sample_power(black_box(Watts(p)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_ratio_paths, bench_measurement_chain);
+criterion_main!(benches);

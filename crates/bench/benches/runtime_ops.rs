@@ -1,0 +1,152 @@
+//! Microbenchmarks for the Quetzal runtime's hot operations: the
+//! energy-aware SJF selection, the IBO detection/reaction walk, the PID
+//! update, and the window trackers. These are the operations a real
+//! device would run on every scheduling round, so their costs are the
+//! software half of the paper's §5.1 overhead story.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quetzal::ibo::{DegradationContext, DegradationPolicy, IboEngine};
+use quetzal::model::{AppSpec, AppSpecBuilder, TaskCost};
+use quetzal::pid::{Pid, PidConfig};
+use quetzal::policy::{EnergyAwareSjf, JobCandidate, SchedulerInputs, SchedulingPolicy};
+use quetzal::runtime::{BufferView, Quetzal, QuetzalConfig};
+use quetzal::service::EnergyAwareEstimator;
+use quetzal::trackers::{ArrivalTracker, ExecutionTracker};
+use quetzal::window::BitWindow;
+use qz_types::{Hertz, Seconds, Watts};
+use std::hint::black_box;
+
+/// A spec at the paper's maximum scale: 32 tasks (8 degradable with 4
+/// options each) in 8 jobs of 4 tasks.
+fn max_scale_spec() -> AppSpec {
+    let mut b = AppSpecBuilder::new();
+    let mut tasks = Vec::new();
+    for i in 0..32 {
+        if i % 4 == 0 {
+            let mut d = b.degradable_task(&format!("deg{i}"));
+            for o in 0..4 {
+                d = d.option(
+                    &format!("o{o}"),
+                    TaskCost::new(Seconds(1.0 / (o + 1) as f64), Watts(0.01)),
+                );
+            }
+            tasks.push(d.finish().unwrap());
+        } else {
+            tasks.push(
+                b.fixed_task(&format!("fix{i}"), TaskCost::new(Seconds(0.5), Watts(0.02)))
+                    .unwrap(),
+            );
+        }
+    }
+    for j in 0..8 {
+        b.job(&format!("job{j}"), tasks[j * 4..(j + 1) * 4].to_vec())
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let spec = max_scale_spec();
+    let exec = ExecutionTracker::new(&spec, 64);
+    let est = EnergyAwareEstimator::new();
+    let options = vec![0u8; 32];
+    let inputs = SchedulerInputs {
+        spec: &spec,
+        exec: &exec,
+        estimator: &est,
+        p_in: Watts(0.01),
+        current_options: &options,
+    };
+    let candidates: Vec<JobCandidate> = (0..8)
+        .map(|i| JobCandidate {
+            job: spec.job_id(i).unwrap(),
+            oldest_input_age: Seconds(i as f64),
+        })
+        .collect();
+    let mut sjf = EnergyAwareSjf::new();
+    c.bench_function("energy_aware_sjf_select_8_jobs_32_tasks", |b| {
+        b.iter(|| sjf.select(black_box(&inputs), black_box(&candidates)))
+    });
+}
+
+fn bench_ibo_engine(c: &mut Criterion) {
+    let options = [Seconds(4.0), Seconds(2.0), Seconds(1.0), Seconds(0.1)];
+    let ctx = DegradationContext {
+        lambda: 0.8,
+        occupancy: 7,
+        capacity: 10,
+        expected_service: Seconds(4.5),
+        non_degradable_service: Seconds(0.5),
+        option_services: &options,
+        p_in: Watts(0.005),
+    };
+    let mut engine = IboEngine::new();
+    c.bench_function("ibo_detect_and_react_4_options", |b| {
+        b.iter(|| engine.select_option(black_box(&ctx)))
+    });
+}
+
+fn bench_full_schedule_round(c: &mut Criterion) {
+    // One complete runtime invocation: policy + decomposition + PID +
+    // degradation walk, at maximum spec scale.
+    let spec = max_scale_spec();
+    let runnable: Vec<_> = (0..8)
+        .map(|i| (spec.job_id(i).unwrap(), Some(Seconds(i as f64 + 1.0))))
+        .collect();
+    c.bench_function("quetzal_schedule_round_max_scale", |b| {
+        b.iter_batched(
+            || Quetzal::new(max_scale_spec(), QuetzalConfig::default()).unwrap(),
+            |mut qz| {
+                qz.schedule(
+                    black_box(&runnable),
+                    BufferView {
+                        occupancy: 6,
+                        capacity: 10,
+                    },
+                    Watts(0.008),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pid(c: &mut Criterion) {
+    let mut pid = Pid::new(PidConfig::default());
+    let mut x = 0.0f64;
+    c.bench_function("pid_update", |b| {
+        b.iter(|| {
+            x += 0.1;
+            pid.update(black_box(x.sin() * 5.0))
+        })
+    });
+}
+
+fn bench_windows(c: &mut Criterion) {
+    c.bench_function("bit_window_push_256", |b| {
+        let mut w = BitWindow::new(256);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            w.push(i % 3 == 0);
+            black_box(w.ones())
+        })
+    });
+    c.bench_function("arrival_tracker_lambda", |b| {
+        let mut t = ArrivalTracker::new(256, Hertz(1.0));
+        for i in 0..256 {
+            t.record_capture(i % 2 == 0);
+        }
+        b.iter(|| black_box(t.lambda()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_ibo_engine,
+    bench_full_schedule_round,
+    bench_pid,
+    bench_windows
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benchmarks the simulator itself: tick throughput and a small
+//! end-to-end run. The figure binaries simulate hours of device time, so
+//! tick cost determines how large an experiment is practical.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use quetzal::QuetzalConfig;
+use qz_app::{apollo4, AppModel};
+use qz_baselines::{build_runtime, BaselineKind};
+use qz_sim::{SimConfig, Simulation};
+use qz_traces::{EnvironmentKind, SensingEnvironment};
+use std::hint::black_box;
+
+fn make_sim(env: &SensingEnvironment) -> Simulation<'_> {
+    let profile = apollo4();
+    let app = AppModel::person_detection(&profile).unwrap();
+    let runtime = build_runtime(
+        BaselineKind::Quetzal,
+        app.spec.clone(),
+        QuetzalConfig::default(),
+    )
+    .unwrap();
+    let mut cfg = SimConfig::default();
+    cfg.device = profile.device.clone();
+    Simulation::new(cfg, env, runtime, app.entry, app.behaviors, app.routes).unwrap()
+}
+
+fn bench_ticks(c: &mut Criterion) {
+    let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 50, 1);
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("ticks_10k", |b| {
+        b.iter_batched(
+            || make_sim(&env),
+            |mut sim| {
+                for _ in 0..10_000 {
+                    if !sim.step() {
+                        break;
+                    }
+                }
+                black_box(sim.time())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_small_run(c: &mut Criterion) {
+    let env = SensingEnvironment::generate(EnvironmentKind::LessCrowded, 10, 2);
+    c.bench_function("full_run_10_events_lesscrowded", |b| {
+        b.iter_batched(
+            || make_sim(&env),
+            |sim| black_box(sim.run()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ticks, bench_small_run
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Diagnostic summary: the full internal-metric table (IBO attribution,
+//! degradation counts, off-time) for QZ/NA/AD/Ideal across the three
+//! environments. Useful when re-tuning device profiles; not part of the
+//! figure index.
+
+use qz_bench::{cli_event_count, figures, Table};
+
+fn main() {
+    let events = cli_event_count(200);
+    println!("== fig09 exploration, {events} events ==");
+    let rows = figures::fig09_vs_nonadaptive(events);
+    let mut t = Table::new(vec![
+        "env",
+        "system",
+        "int_total",
+        "discarded",
+        "missed_off",
+        "ibo",
+        "fn",
+        "rep_hi",
+        "rep_lo",
+        "ibo_off",
+        "ibo_full",
+        "ibo_deg",
+        "deg_jobs",
+        "jobs",
+        "off%",
+    ]);
+    for r in &rows {
+        let m = &r.metrics;
+        t.row(vec![
+            r.environment.clone(),
+            r.system.clone(),
+            m.interesting_total.to_string(),
+            m.interesting_discarded().to_string(),
+            m.interesting_missed_off.to_string(),
+            m.ibo_interesting.to_string(),
+            m.false_negatives.to_string(),
+            m.reports_interesting_high.to_string(),
+            m.reports_interesting_low.to_string(),
+            m.ibo_while_off.to_string(),
+            m.ibo_during_full_job.to_string(),
+            m.ibo_during_degraded_job.to_string(),
+            m.degraded_jobs().to_string(),
+            m.total_jobs().to_string(),
+            format!("{:.0}%", m.off_fraction() * 100.0),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Fig. 3**: naive solutions (NoAdapt, Always Degrade,
+//! CatNap, Protean/Zygarde) discard many interesting inputs; Quetzal
+//! degrades only when IBOs are imminent.
+
+use qz_bench::{cli_event_count, figures, report};
+
+fn main() {
+    let events = cli_event_count(400);
+    println!("Fig. 3 — naive solutions vs Quetzal (Crowded, {events} events)\n");
+    let rows = figures::fig03_naive(events);
+    println!("{}", report::standard_table(&rows));
+    for base in ["NA", "AD", "CN", "PZ@30.0mW"] {
+        for line in report::improvement_lines(&rows, "QZ", base) {
+            println!("{line}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! **Fig. 9, multi-seed** (extension): repeats the QZ vs NA/AD
+//! comparison across several environment seeds and reports
+//! mean ± standard deviation, strengthening the single-run headline.
+
+use qz_bench::figures::fig09_seeded;
+use qz_bench::stats::{aggregate, mean_improvement};
+use qz_bench::{cli_event_count, Table};
+
+fn main() {
+    let events = cli_event_count(200);
+    let seeds = [20_250_330u64, 7, 99, 1234, 0xBEEF];
+    println!(
+        "Fig. 9 (multi-seed) — QZ vs NA/AD over {} seeds, {events} events each\n",
+        seeds.len()
+    );
+    let runs: Vec<_> = seeds.iter().map(|&s| fig09_seeded(events, s)).collect();
+    let agg = aggregate(&runs);
+
+    let mut t = Table::new(vec![
+        "environment",
+        "system",
+        "discarded (mean±sd)",
+        "range",
+        "disc% (mean)",
+        "hi-q% (mean)",
+    ]);
+    for a in &agg {
+        t.row(vec![
+            a.environment.clone(),
+            a.system.clone(),
+            format!("{:.0} ± {:.0}", a.mean_discarded, a.sd_discarded),
+            format!("[{}, {}]", a.min_discarded, a.max_discarded),
+            format!("{:.1}%", a.mean_discarded_fraction * 100.0),
+            format!("{:.1}%", a.mean_high_quality * 100.0),
+        ]);
+    }
+    println!("{t}");
+    for base in ["NA", "AD"] {
+        for (env, ratio) in mean_improvement(&agg, "QZ", base) {
+            println!("  {env}: QZ discards {ratio:.1}x fewer (mean) than {base}");
+        }
+    }
+}

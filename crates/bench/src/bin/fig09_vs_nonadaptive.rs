@@ -1,0 +1,36 @@
+//! Regenerates **Fig. 9**: Quetzal vs NoAdapt, Always Degrade, and the
+//! ∞-memory Ideal across three sensing environments.
+
+use qz_bench::{cli_event_count, figures, report};
+
+fn main() {
+    let events = cli_event_count(400);
+    println!("Fig. 9 — QZ vs NA/AD/Ideal ({events} events)\n");
+    let rows = figures::fig09_vs_nonadaptive(events);
+    println!("{}", report::standard_table(&rows));
+    for base in ["NA", "AD"] {
+        for line in report::improvement_lines(&rows, "QZ", base) {
+            println!("{line}");
+        }
+    }
+    // Reported interesting inputs, normalized to the Ideal system.
+    let mut envs: Vec<&str> = rows.iter().map(|r| r.environment.as_str()).collect();
+    envs.dedup();
+    for env in envs {
+        let find = |sys: &str| {
+            rows.iter()
+                .find(|r| r.environment == env && r.system == sys)
+                .map(|r| r.metrics.interesting_reported())
+        };
+        if let (Some(q), Some(i)) = (find("QZ"), find("Ideal")) {
+            println!(
+                "  {env}: QZ reports {} of the Ideal (infinite-memory) system's interesting inputs",
+                report::pct(q as f64 / i.max(1) as f64)
+            );
+        }
+    }
+    println!(
+        "\nPaper shape: QZ discards 2.9x/3.5x/4.2x fewer than NA, 2.2x/3.1x/4.2x fewer than AD,\n\
+         reports 92%/96%/98% of Ideal at 49.6%/59.5%/69.1% high quality."
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Fig. 14**: Quetzal's sensitivity to harvester cell
+//! count, `<arrival-window>` and `<task-window>` (MoreCrowded).
+
+use qz_bench::{cli_event_count, figures, report, Table};
+
+fn main() {
+    let events = cli_event_count(300);
+    println!("Fig. 14 — parameter sensitivity (MoreCrowded, {events} events)\n");
+    let rows = figures::fig14_params(events);
+    let mut t = Table::new(vec![
+        "parameter",
+        "interesting-discarded",
+        "interesting-reported",
+        "hi-q%",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.environment.clone(),
+            r.metrics.interesting_discarded().to_string(),
+            r.metrics.interesting_reported().to_string(),
+            report::pct(r.metrics.high_quality_fraction()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Defaults used by the primary experiments: cells=6, arrival-window=16, task-window=64\n\
+         (the paper's Table 1 uses arrival-window=256; see EXPERIMENTS.md for why ours differs)."
+    );
+}

@@ -1,0 +1,86 @@
+//! Regenerates the paper's **§5.1 "Costs and Overheads"** analysis for
+//! the hardware power-measurement module: per-op energy, invocation
+//! overheads, memory footprint, and the module's ratio-estimation error
+//! over the 25–50 °C band.
+
+use qz_bench::Table;
+use qz_hw::costs::runtime_footprint_bytes;
+use qz_hw::{ratio_estimate, PowerMonitor, RatioPath, APOLLO4, MSP430FR5994};
+use qz_types::Watts;
+
+fn main() {
+    println!("§5.1 — hardware module costs and overheads\n");
+
+    let mut t = Table::new(vec![
+        "mcu",
+        "path",
+        "cycles/op",
+        "energy/op",
+        "overhead@10Hz,32x4",
+    ]);
+    for mcu in [&MSP430FR5994, &APOLLO4] {
+        for path in [mcu.native_path(), RatioPath::QuetzalModule] {
+            let cycles = match path {
+                RatioPath::QuetzalModule => mcu.module_cycles,
+                _ => mcu.div_cycles,
+            };
+            t.row(vec![
+                mcu.name.into(),
+                path.to_string(),
+                cycles.to_string(),
+                format!("{:.2} nJ", mcu.ratio_op_energy(path).value() * 1e9),
+                format!("{:.2}%", mcu.overhead_fraction(10.0, 32, 128, path) * 100.0),
+            ]);
+        }
+    }
+    println!("{t}");
+
+    let msp_saving = 1.0
+        - MSP430FR5994
+            .ratio_op_energy(RatioPath::QuetzalModule)
+            .value()
+            / MSP430FR5994.ratio_op_energy(RatioPath::SoftwareDiv).value();
+    let ap_saving = 1.0
+        - APOLLO4.ratio_op_energy(RatioPath::QuetzalModule).value()
+            / APOLLO4.ratio_op_energy(RatioPath::HardwareDiv).value();
+    println!(
+        "Per-op energy reduction: MSP430 {:.1}% (paper: 92.5%), Apollo 4 {:.1}% (paper: 62%)",
+        msp_saving * 100.0,
+        ap_saving * 100.0
+    );
+    println!(
+        "Runtime memory footprint (32 tasks x 4 options, 64/256-bit windows): {} bytes (paper: 2,360)\n",
+        runtime_footprint_bytes(32, 4, 64, 256)
+    );
+
+    println!(
+        "Ratio-module error over temperature (true ratio vs 2^(delta/8) from quantized codes):\n"
+    );
+    let mut e = Table::new(vec!["true ratio", "25C", "30C", "37.5C", "45C", "50C"]);
+    for ratio10 in [11u32, 13, 15, 20, 25, 40, 80] {
+        let true_ratio = ratio10 as f64 / 10.0;
+        let mut cells = vec![format!("{true_ratio:.1}x")];
+        for temp in [25.0, 30.0, 37.5, 45.0, 50.0] {
+            let mut m = PowerMonitor::default();
+            m.set_temperature(temp);
+            let p_in = Watts(0.020);
+            let p_exe = Watts(p_in.value() * true_ratio);
+            let vd1 = m.sample_power(p_in);
+            let vd2 = m.sample_power(p_exe);
+            let est = if vd2 > vd1 {
+                ratio_estimate(vd2 - vd1)
+            } else {
+                1.0
+            };
+            cells.push(format!("{:+.1}%", (est / true_ratio - 1.0) * 100.0));
+        }
+        e.row(cells);
+    }
+    println!("{e}");
+    println!(
+        "Paper claims <=5.5% error over 25-50C; our end-to-end model (diode law + 8-bit\n\
+         quantization + Algorithm 3) matches that for the ratio range the scheduler\n\
+         exercises most (<=2.5x) and grows with the ratio, dominated by quantization\n\
+         (+-1 ADC count ~= 9%). See EXPERIMENTS.md."
+    );
+}

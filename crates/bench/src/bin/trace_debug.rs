@@ -1,0 +1,59 @@
+//! Diagnostic timeline dump for tuning: per-second device state for a
+//! Quetzal run in the Crowded environment. Not part of the figure index.
+
+use qz_app::{apollo4, simulate, AppModel, SimTweaks};
+use qz_baselines::{build_runtime, BaselineKind};
+use qz_sim::{SimConfig, Simulation};
+use qz_traces::{EnvironmentKind, SensingEnvironment};
+
+fn main() {
+    let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 30, 20_250_330);
+    let profile = apollo4();
+    let app = AppModel::person_detection(&profile).unwrap();
+    let runtime = build_runtime(
+        BaselineKind::Quetzal,
+        app.spec.clone(),
+        quetzal::QuetzalConfig::default(),
+    )
+    .unwrap();
+    let mut cfg = SimConfig::default();
+    cfg.device = profile.device.clone();
+    let mut sim =
+        Simulation::new(cfg, &env, runtime, app.entry, app.behaviors, app.routes).unwrap();
+
+    let mut last_ibo = 0u64;
+    let mut last_jobs = [0u64; 4];
+    println!("t(s) irr cap(mJ) on occ lam corr opt ibo+ full+ deg+");
+    let mut next_print = 0;
+    while sim.step() {
+        let t = sim.time().as_millis();
+        if t >= next_print {
+            next_print += 1000;
+            let m = sim.metrics();
+            let jb = m.jobs_by_option;
+            let dfull = jb[0] - last_jobs[0];
+            let ddeg: u64 = jb[1..].iter().sum::<u64>() - last_jobs[1..].iter().sum::<u64>();
+            let dibo = m.ibo_discards - last_ibo;
+            let irr = env.solar().irradiance(sim.time());
+            if dibo > 0 || sim.occupancy() >= 8 || t % 60_000 == 0 {
+                println!(
+                    "{:>6} {:.2} {:>6.1} {} {:>2} {:.2} {:+.2} {:?} {} {} {}",
+                    t / 1000,
+                    irr,
+                    sim.stored_energy().value() * 1e3,
+                    if sim.is_on() { "on " } else { "OFF" },
+                    sim.occupancy(),
+                    sim.runtime().lambda(),
+                    sim.runtime().correction().value(),
+                    sim.active_option(),
+                    dibo,
+                    dfull,
+                    ddeg,
+                );
+            }
+            last_ibo = m.ibo_discards;
+            last_jobs = jb;
+        }
+    }
+    let _ = simulate(BaselineKind::NoAdapt, &profile, &env, &SimTweaks::default());
+}

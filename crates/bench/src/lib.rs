@@ -1,0 +1,52 @@
+//! Experiment harness: regenerates every table and figure of the
+//! Quetzal paper's evaluation.
+//!
+//! Each figure has a runner function in [`figures`] returning structured
+//! rows, a binary in `src/bin/` that prints them as a text table, and
+//! (where meaningful) a Criterion bench in `benches/`. The absolute
+//! numbers come from the synthetic device profiles in `qz-app`, so the
+//! comparison *shapes* — who wins, by roughly what factor, where the
+//! crossovers fall — are the reproduction target, not the paper's exact
+//! counts (see `EXPERIMENTS.md`).
+//!
+//! Scale: the paper's simulation study uses 1000 events per run. The
+//! runners take an event count; the binaries default to
+//! `QZ_EVENTS` (env var) or 400, and `--quick` drops to 60 for smoke
+//! runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod stats;
+
+pub use figures::{ResultRow, EVENT_SEED};
+pub use report::Table;
+
+/// Reads the experiment scale from the environment: `QZ_EVENTS`, or the
+/// given default.
+pub fn event_count(default: usize) -> usize {
+    std::env::var("QZ_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses `--quick` / `--events N` style CLI args shared by the figure
+/// binaries. Returns the event count.
+pub fn cli_event_count(default: usize) -> usize {
+    let mut events = event_count(default);
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--quick" {
+            events = events.min(60);
+        }
+        if a == "--events" {
+            if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                events = v;
+            }
+        }
+    }
+    events
+}

@@ -1,0 +1,259 @@
+//! Hand-rolled argument parsing for the `qz` binary (keeping the
+//! workspace dependency-free).
+
+use core::fmt;
+use qz_baselines::BaselineKind;
+use qz_traces::EnvironmentKind;
+use qz_types::Watts;
+
+/// A parsed `qz` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `qz run …` — simulate one system in one environment.
+    Run(RunArgs),
+    /// `qz compare …` — run the standard system set side by side.
+    Compare(RunArgs),
+    /// `qz export-traces …` — write the environment's solar/event CSVs.
+    ExportTraces(RunArgs),
+    /// `qz help` / `--help`.
+    Help,
+}
+
+/// Options shared by the subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// System to run (`Run` only).
+    pub system: BaselineKind,
+    /// Sensing environment.
+    pub env: EnvironmentKind,
+    /// Number of events to generate.
+    pub events: usize,
+    /// Environment seed.
+    pub seed: u64,
+    /// Device profile name (`apollo4` or `msp430`).
+    pub device: String,
+    /// Telemetry CSV output path (`Run` only).
+    pub telemetry: Option<String>,
+    /// Render the telemetry as terminal sparklines (`Run` only).
+    pub plot: bool,
+    /// Output directory (`ExportTraces` only).
+    pub out_dir: String,
+}
+
+impl Default for RunArgs {
+    fn default() -> RunArgs {
+        RunArgs {
+            system: BaselineKind::Quetzal,
+            env: EnvironmentKind::Crowded,
+            events: 200,
+            seed: 20_250_330,
+            device: "apollo4".into(),
+            telemetry: None,
+            plot: false,
+            out_dir: ".".into(),
+        }
+    }
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parses a system name (paper abbreviation, case-insensitive).
+pub fn parse_system(name: &str) -> Result<BaselineKind, ParseError> {
+    match name.to_ascii_lowercase().as_str() {
+        "qz" | "quetzal" => Ok(BaselineKind::Quetzal),
+        "qz-hw" => Ok(BaselineKind::QuetzalHw),
+        "na" | "noadapt" => Ok(BaselineKind::NoAdapt),
+        "ad" | "alwaysdegrade" => Ok(BaselineKind::AlwaysDegrade),
+        "cn" | "catnap" => Ok(BaselineKind::CatNap),
+        "th25" => Ok(BaselineKind::FixedThreshold(0.25)),
+        "th50" => Ok(BaselineKind::FixedThreshold(0.50)),
+        "th75" => Ok(BaselineKind::FixedThreshold(0.75)),
+        "pzo" => Ok(BaselineKind::PowerThreshold(Watts(0.030))),
+        "fcfs" => Ok(BaselineKind::FcfsIbo),
+        "lcfs" => Ok(BaselineKind::LcfsIbo),
+        "avgse2e" | "avg" => Ok(BaselineKind::AvgSe2e),
+        other => Err(err(format!(
+            "unknown system `{other}` (try QZ, NA, AD, CN, TH25/50/75, PZO, FCFS, LCFS, AvgSe2e)"
+        ))),
+    }
+}
+
+/// Parses an environment name.
+pub fn parse_env(name: &str) -> Result<EnvironmentKind, ParseError> {
+    match name.to_ascii_lowercase().as_str() {
+        "more" | "morecrowded" | "more-crowded" => Ok(EnvironmentKind::MoreCrowded),
+        "crowded" => Ok(EnvironmentKind::Crowded),
+        "less" | "lesscrowded" | "less-crowded" => Ok(EnvironmentKind::LessCrowded),
+        "short" => Ok(EnvironmentKind::Short),
+        other => Err(err(format!(
+            "unknown environment `{other}` (try more-crowded, crowded, less-crowded, short)"
+        ))),
+    }
+}
+
+/// Parses the full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    if sub == "help" || sub == "--help" || sub == "-h" {
+        return Ok(Command::Help);
+    }
+    let mut run = RunArgs::default();
+    let mut i = 1;
+    let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--system" => run.system = parse_system(&take_value(&mut i, flag)?)?,
+            "--env" => run.env = parse_env(&take_value(&mut i, flag)?)?,
+            "--events" => {
+                run.events = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--events` must be a positive integer"))?;
+            }
+            "--seed" => {
+                run.seed = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--seed` must be an integer"))?;
+            }
+            "--device" => {
+                let d = take_value(&mut i, flag)?.to_ascii_lowercase();
+                if d != "apollo4" && d != "msp430" {
+                    return Err(err("`--device` must be `apollo4` or `msp430`"));
+                }
+                run.device = d;
+            }
+            "--telemetry" => run.telemetry = Some(take_value(&mut i, flag)?),
+            "--plot" => run.plot = true,
+            "--out-dir" => run.out_dir = take_value(&mut i, flag)?,
+            other => return Err(err(format!("unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+    match sub.as_str() {
+        "run" => Ok(Command::Run(run)),
+        "compare" => Ok(Command::Compare(run)),
+        "export-traces" => Ok(Command::ExportTraces(run)),
+        other => Err(err(format!(
+            "unknown command `{other}` (try run, compare, export-traces)"
+        ))),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+qz — Quetzal experiment runner
+
+USAGE:
+  qz run            [--system QZ] [--env crowded] [--events 200] [--seed N]
+                    [--device apollo4|msp430] [--telemetry out.csv] [--plot]
+  qz compare        [--env crowded] [--events 200] [--seed N] [--device …]
+  qz export-traces  [--env crowded] [--events 200] [--seed N] [--out-dir DIR]
+  qz help
+
+SYSTEMS:       QZ, QZ-HW, NA, AD, CN, TH25, TH50, TH75, PZO, FCFS, LCFS, AvgSe2e
+ENVIRONMENTS:  more-crowded, crowded, less-crowded, short
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(r) = parse(&argv("run")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.system, BaselineKind::Quetzal);
+        assert_eq!(r.env, EnvironmentKind::Crowded);
+        assert_eq!(r.events, 200);
+    }
+
+    #[test]
+    fn run_with_flags() {
+        let Command::Run(r) = parse(&argv(
+            "run --system NA --env more-crowded --events 50 --seed 9 --device msp430 --telemetry t.csv",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.system, BaselineKind::NoAdapt);
+        assert_eq!(r.env, EnvironmentKind::MoreCrowded);
+        assert_eq!(r.events, 50);
+        assert_eq!(r.seed, 9);
+        assert_eq!(r.device, "msp430");
+        assert_eq!(r.telemetry.as_deref(), Some("t.csv"));
+    }
+
+    #[test]
+    fn plot_flag() {
+        let Command::Run(r) = parse(&argv("run --plot")).unwrap() else {
+            panic!()
+        };
+        assert!(r.plot);
+    }
+
+    #[test]
+    fn compare_and_export() {
+        assert!(matches!(
+            parse(&argv("compare --env short")).unwrap(),
+            Command::Compare(_)
+        ));
+        let Command::ExportTraces(r) = parse(&argv("export-traces --out-dir /tmp/x")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.out_dir, "/tmp/x");
+    }
+
+    #[test]
+    fn system_aliases() {
+        assert_eq!(parse_system("quetzal").unwrap(), BaselineKind::Quetzal);
+        assert_eq!(
+            parse_system("TH75").unwrap(),
+            BaselineKind::FixedThreshold(0.75)
+        );
+        assert_eq!(parse_system("lcfs").unwrap(), BaselineKind::LcfsIbo);
+        assert!(parse_system("nope").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("run --events nope")).is_err());
+        assert!(parse(&argv("run --device z80")).is_err());
+        assert!(parse(&argv("run --system")).is_err(), "missing value");
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run --wat 1")).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! `qz` — the Quetzal experiment command line.
+//!
+//! ```text
+//! qz run --system QZ --env crowded --events 200 --telemetry run.csv
+//! qz compare --env more-crowded
+//! qz export-traces --env crowded --out-dir traces/
+//! ```
+
+mod args;
+mod plot;
+
+use args::{Command, RunArgs};
+use qz_app::{
+    apollo4, ideal, msp430fr5994, simulate, simulate_with_telemetry, DeviceProfile, SimTweaks,
+};
+use qz_baselines::BaselineKind;
+use qz_sim::Metrics;
+use qz_traces::SensingEnvironment;
+use qz_types::SimDuration;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::HELP);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        Command::Help => {
+            print!("{}", args::HELP);
+            Ok(())
+        }
+        Command::Run(r) => run_one(&r),
+        Command::Compare(r) => compare(&r),
+        Command::ExportTraces(r) => export_traces(&r),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn profile_for(args: &RunArgs) -> DeviceProfile {
+    if args.device == "msp430" {
+        msp430fr5994()
+    } else {
+        apollo4()
+    }
+}
+
+fn environment(args: &RunArgs) -> SensingEnvironment {
+    SensingEnvironment::generate(args.env, args.events, args.seed)
+}
+
+fn print_metrics(label: &str, m: &Metrics) {
+    println!("{label}:");
+    println!(
+        "  interesting: {} seen | {} discarded ({} IBO, {} misclassified, {} missed)",
+        m.interesting_total,
+        m.interesting_discarded(),
+        m.ibo_interesting,
+        m.false_negatives,
+        m.interesting_missed_off,
+    );
+    println!(
+        "  reports: {} high + {} low quality ({:.1}% high)",
+        m.reports_interesting_high,
+        m.reports_interesting_low,
+        m.high_quality_fraction() * 100.0
+    );
+    println!(
+        "  device: {} jobs ({} degraded) | {} power failures | off {:.1}% | mean occupancy {:.2}",
+        m.total_jobs(),
+        m.degraded_jobs(),
+        m.power_failures,
+        m.off_fraction() * 100.0,
+        m.mean_occupancy(),
+    );
+}
+
+fn run_one(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let profile = profile_for(args);
+    let env = environment(args);
+    let tweaks = SimTweaks {
+        seed: args.seed,
+        ..SimTweaks::default()
+    };
+    println!(
+        "running {} on {} in {} ({} events, seed {})\n",
+        args.system.label(),
+        profile.name,
+        env.kind(),
+        args.events,
+        args.seed
+    );
+    if args.telemetry.is_some() || args.plot {
+        let (m, telemetry) = simulate_with_telemetry(
+            args.system,
+            &profile,
+            &env,
+            &tweaks,
+            Some(SimDuration::from_secs(1)),
+        );
+        print_metrics(&args.system.label(), &m);
+        if args.plot {
+            println!("\n{}", plot::telemetry_panel(&telemetry, 72));
+        }
+        if let Some(path) = &args.telemetry {
+            let file = std::fs::File::create(path)?;
+            telemetry.write_csv(std::io::BufWriter::new(file))?;
+            println!("telemetry ({telemetry}) written to {path}");
+        }
+    } else {
+        let m = simulate(args.system, &profile, &env, &tweaks);
+        print_metrics(&args.system.label(), &m);
+    }
+    Ok(())
+}
+
+fn compare(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let profile = profile_for(args);
+    let env = environment(args);
+    let tweaks = SimTweaks {
+        seed: args.seed,
+        ..SimTweaks::default()
+    };
+    println!(
+        "comparing systems on {} in {} ({} events, seed {})\n",
+        profile.name,
+        env.kind(),
+        args.events,
+        args.seed
+    );
+    print_metrics("Ideal (infinite buffer)", &ideal(&profile, &env, &tweaks));
+    for kind in [
+        BaselineKind::NoAdapt,
+        BaselineKind::AlwaysDegrade,
+        BaselineKind::CatNap,
+        BaselineKind::FixedThreshold(0.75),
+        BaselineKind::Quetzal,
+    ] {
+        println!();
+        print_metrics(&kind.label(), &simulate(kind, &profile, &env, &tweaks));
+    }
+    Ok(())
+}
+
+fn export_traces(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let env = environment(args);
+    let dir = std::path::Path::new(&args.out_dir);
+    std::fs::create_dir_all(dir)?;
+    let solar_path = dir.join(format!("{}_solar.csv", env.kind().label().to_lowercase()));
+    let events_path = dir.join(format!("{}_events.csv", env.kind().label().to_lowercase()));
+    qz_traces::write_solar(env.solar(), std::fs::File::create(&solar_path)?)?;
+    qz_traces::write_events(env.events(), std::fs::File::create(&events_path)?)?;
+    println!(
+        "wrote {} ({} samples) and {} ({} events)",
+        solar_path.display(),
+        env.solar().samples().len(),
+        events_path.display(),
+        env.events().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! # Quetzal — energy-aware scheduling and input-buffer-overflow prevention
+//!
+//! A from-scratch reproduction of the runtime proposed in *"Energy-aware
+//! Scheduling and Input Buffer Overflow Prevention for Energy-harvesting
+//! Systems"* (Desai, Wang, Lucia — ASPLOS 2025).
+//!
+//! Periodic energy-harvesting devices capture inputs at a fixed rate but
+//! process them at a rate that varies with harvestable power and event
+//! activity. When processing falls behind, inputs pile up in a small
+//! on-device buffer; once it fills, new — potentially interesting —
+//! inputs are lost to **input buffer overflows (IBOs)**. Quetzal attacks
+//! this with three cooperating mechanisms:
+//!
+//! 1. **Energy-aware SJF scheduling** ([`policy`]): pick the job with the
+//!    smallest *end-to-end* expected service time `E[S]`, where each
+//!    task's service time `S_e2e = max(t_exe, t_exe · P_exe / P_in)`
+//!    (Eq. 1) folds in energy-recharge time at the measured input power.
+//! 2. **IBO detection and reaction** ([`ibo`]): use Little's Law
+//!    `E[N] = λ · E[S]` (Eq. 2) to predict whether the buffer will
+//!    overflow while the selected job runs; if so, degrade the job's
+//!    degradable task just enough — the highest-quality option that
+//!    avoids the predicted overflow.
+//! 3. **Prediction-error mitigation** ([`pid`]): a PID controller on the
+//!    difference between predicted and observed `E[S]` inflates or
+//!    relaxes future predictions (§4.3).
+//!
+//! The quantities these mechanisms need are tracked by bit-vector windows
+//! ([`window`], [`trackers`]) and estimated by pluggable service-time
+//! models ([`service`]) — including a hardware-assisted model backed by
+//! the diode/ADC measurement circuit from the companion [`qz_hw`] crate.
+//!
+//! Applications describe themselves with the [`model`] programming model:
+//! *tasks* (optionally with quality-ordered degradation options) grouped
+//! into *jobs*, at most one degradable task per job. The [`runtime`]
+//! module ties everything together behind the [`Quetzal`] facade.
+//!
+//! The runtime is `no_std`-capable (`default-features = false`,
+//! requires `alloc`): everything a device firmware needs — the
+//! programming model, trackers, estimators, scheduler, IBO engine and
+//! PID — runs without the standard library. Only the simulation-side
+//! pieces (the [`service::HwAssistedEstimator`] backed by the analog
+//! circuit *model*) need `std`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use quetzal::model::{AppSpecBuilder, TaskCost};
+//! use quetzal::runtime::{BufferView, Quetzal, QuetzalConfig};
+//! use qz_types::{Seconds, Watts};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut spec = AppSpecBuilder::new();
+//! let infer = spec
+//!     .degradable_task("ml-infer")
+//!     .option("mobilenetv2", TaskCost::new(Seconds(3.0), Watts(0.020)))
+//!     .option("lenet", TaskCost::new(Seconds(0.3), Watts(0.015)))
+//!     .finish()?;
+//! let process = spec.job("process", vec![infer])?;
+//! let spec = spec.build()?;
+//!
+//! let mut qz = Quetzal::new(spec, QuetzalConfig::default())?;
+//! qz.on_capture(true); // one input stored into the buffer
+//! let decision = qz
+//!     .schedule(
+//!         &[(process, Some(Seconds(1.0)))],
+//!         BufferView { occupancy: 1, capacity: 10 },
+//!         Watts(0.010),
+//!     )
+//!     .expect("one job is runnable");
+//! assert_eq!(decision.job, process);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
+
+extern crate alloc;
+
+pub mod ibo;
+pub mod mcu;
+pub mod model;
+pub mod pid;
+pub mod policy;
+pub mod power;
+pub mod quantile;
+pub mod runtime;
+pub mod service;
+pub mod trackers;
+pub mod variable;
+pub mod window;
+
+pub use ibo::{DegradationContext, DegradationPolicy, IboDecision, IboEngine};
+pub use mcu::{McuDecision, McuEngine, McuTaskProfile};
+pub use model::{AppSpec, AppSpecBuilder, JobId, SpecError, TaskCost, TaskId, TaskKey};
+pub use policy::{EnergyAwareSjf, Fcfs, JobCandidate, Lcfs, SchedulingPolicy, Selection};
+pub use runtime::{BufferView, Decision, Quetzal, QuetzalConfig};
+#[cfg(feature = "std")]
+pub use service::HwAssistedEstimator;
+pub use service::{AvgObservedEstimator, EnergyAwareEstimator, ServiceEstimator};
+pub use variable::VariableCostEstimator;

@@ -1,0 +1,397 @@
+//! Job scheduling policies (paper Algorithm 1 and the Fig. 12 baselines).
+//!
+//! The centerpiece is [`EnergyAwareSjf`]: schedule the job with the
+//! smallest expected service time `E[S]`, where each task's `S_e2e` is
+//! scaled to the *current* input power and weighted by its tracked
+//! execution probability. SJF minimizes mean wait time for the other
+//! buffered inputs, relieving pressure on the input buffer.
+//!
+//! [`Fcfs`] and [`Lcfs`] are the comparison policies of §7.3; they select
+//! by input age but still report the chosen job's `E[S]` so the IBO
+//! engine can run on top of any policy (as in the paper's Fig. 12 study,
+//! where every scheduler is paired with the IBO engine).
+
+use crate::model::{AppSpec, JobId, TaskKey};
+use crate::service::ServiceEstimator;
+use crate::trackers::ExecutionTracker;
+use core::fmt;
+use qz_types::{Seconds, Watts};
+
+/// A runnable job: it has at least one queued input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobCandidate {
+    /// Which job.
+    pub job: JobId,
+    /// Age of the oldest input waiting in this job's queue — the SJF
+    /// tie-break prefers older inputs, FCFS/LCFS order on it directly.
+    pub oldest_input_age: Seconds,
+}
+
+/// Everything a policy needs to evaluate candidates.
+pub struct SchedulerInputs<'a> {
+    /// The application specification.
+    pub spec: &'a AppSpec,
+    /// Per-task execution-probability tracker.
+    pub exec: &'a ExecutionTracker,
+    /// Service-time estimator (energy-aware, hardware-assisted, or the
+    /// averaging baseline).
+    pub estimator: &'a dyn ServiceEstimator,
+    /// Predicted input power for the scheduling horizon.
+    pub p_in: Watts,
+    /// Each task's *current* degradation option (what the IBO engine
+    /// last selected), indexed by task. Algorithm 1 evaluates jobs as
+    /// they are currently configured to run; the IBO engine then
+    /// re-derives the best allowed quality for the selected job.
+    pub current_options: &'a [u8],
+}
+
+impl fmt::Debug for SchedulerInputs<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedulerInputs")
+            .field("p_in", &self.p_in)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A policy's choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection {
+    /// Index into the candidate slice.
+    pub index: usize,
+    /// The chosen job's expected service time `E[S]` at the current
+    /// input power (highest-quality configuration, no PID correction).
+    pub expected_service: Seconds,
+}
+
+/// A job-selection policy.
+pub trait SchedulingPolicy: fmt::Debug {
+    /// Picks one of `candidates`, or `None` if the slice is empty.
+    fn select(
+        &mut self,
+        inputs: &SchedulerInputs<'_>,
+        candidates: &[JobCandidate],
+    ) -> Option<Selection>;
+}
+
+/// Computes a job's expected service time (the `E[S]` loop of
+/// Algorithm 1): the sum over its tasks of
+/// `execution_probability(task) × S_e2e(task, P_in)`, using each task's
+/// highest-quality configuration.
+pub fn expected_service(inputs: &SchedulerInputs<'_>, job: JobId) -> Seconds {
+    let spec = inputs.spec.job(job);
+    spec.tasks
+        .iter()
+        .map(|&task| {
+            let prob = inputs.exec.probability(task);
+            let option = inputs
+                .current_options
+                .get(task.index())
+                .copied()
+                .unwrap_or(0)
+                .min((inputs.spec.task(task).option_count() - 1) as u8);
+            let cost = inputs.spec.task(task).cost(option as usize);
+            let key = TaskKey { task, option };
+            inputs.estimator.predict(key, cost, inputs.p_in) * prob
+        })
+        .sum()
+}
+
+/// Energy-aware Shortest-Job-First (Algorithm 1).
+///
+/// Note: the paper's listing initializes `min_E ← 0`, which as printed
+/// would never select any job; we implement the evident intent
+/// (`min_E ← ∞`). Ties on `E[S]` go to the job with the older input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyAwareSjf;
+
+impl EnergyAwareSjf {
+    /// Creates the policy.
+    pub fn new() -> EnergyAwareSjf {
+        EnergyAwareSjf
+    }
+}
+
+impl SchedulingPolicy for EnergyAwareSjf {
+    fn select(
+        &mut self,
+        inputs: &SchedulerInputs<'_>,
+        candidates: &[JobCandidate],
+    ) -> Option<Selection> {
+        let mut best: Option<(usize, Seconds, Seconds)> = None; // (idx, E[S], age)
+        for (i, cand) in candidates.iter().enumerate() {
+            let es = expected_service(inputs, cand.job);
+            let better = match &best {
+                None => true,
+                Some((_, best_es, best_age)) => match es.total_cmp(best_es) {
+                    core::cmp::Ordering::Less => true,
+                    core::cmp::Ordering::Equal => cand.oldest_input_age > *best_age,
+                    core::cmp::Ordering::Greater => false,
+                },
+            };
+            if better {
+                best = Some((i, es, cand.oldest_input_age));
+            }
+        }
+        best.map(|(index, expected_service, _)| Selection {
+            index,
+            expected_service,
+        })
+    }
+}
+
+/// First-Come-First-Served: always processes the job holding the oldest
+/// input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs;
+
+impl Fcfs {
+    /// Creates the policy.
+    pub fn new() -> Fcfs {
+        Fcfs
+    }
+}
+
+impl SchedulingPolicy for Fcfs {
+    fn select(
+        &mut self,
+        inputs: &SchedulerInputs<'_>,
+        candidates: &[JobCandidate],
+    ) -> Option<Selection> {
+        let index = candidates
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.oldest_input_age.total_cmp(&b.oldest_input_age))?
+            .0;
+        Some(Selection {
+            index,
+            expected_service: expected_service(inputs, candidates[index].job),
+        })
+    }
+}
+
+/// Last-Come-First-Served: always processes the job holding the newest
+/// input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lcfs;
+
+impl Lcfs {
+    /// Creates the policy.
+    pub fn new() -> Lcfs {
+        Lcfs
+    }
+}
+
+impl SchedulingPolicy for Lcfs {
+    fn select(
+        &mut self,
+        inputs: &SchedulerInputs<'_>,
+        candidates: &[JobCandidate],
+    ) -> Option<Selection> {
+        let index = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.oldest_input_age.total_cmp(&b.oldest_input_age))?
+            .0;
+        Some(Selection {
+            index,
+            expected_service: expected_service(inputs, candidates[index].job),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AppSpecBuilder, TaskCost, TaskId};
+    use crate::service::EnergyAwareEstimator;
+    use qz_types::Watts;
+
+    /// Two jobs mirroring the paper's motivating schedule tension:
+    /// ML inference (low power, 3 s) vs radio (high power, 0.8 s).
+    fn spec() -> (AppSpec, JobId, JobId) {
+        let mut b = AppSpecBuilder::new();
+        let ml = b
+            .fixed_task("ml", TaskCost::new(Seconds(3.0), Watts(0.020)))
+            .unwrap();
+        let radio = b
+            .fixed_task("radio", TaskCost::new(Seconds(0.8), Watts(0.400)))
+            .unwrap();
+        let j_ml = b.job("process", vec![ml]).unwrap();
+        let j_radio = b.job("report", vec![radio]).unwrap();
+        (b.build().unwrap(), j_ml, j_radio)
+    }
+
+    fn candidates(j1: JobId, j2: JobId) -> Vec<JobCandidate> {
+        vec![
+            JobCandidate {
+                job: j1,
+                oldest_input_age: Seconds(5.0),
+            },
+            JobCandidate {
+                job: j2,
+                oldest_input_age: Seconds(2.0),
+            },
+        ]
+    }
+
+    const ALL_BEST: [u8; 8] = [0; 8];
+
+    fn inputs<'a>(
+        spec: &'a AppSpec,
+        exec: &'a ExecutionTracker,
+        est: &'a EnergyAwareEstimator,
+        p_in: Watts,
+    ) -> SchedulerInputs<'a> {
+        SchedulerInputs {
+            spec,
+            exec,
+            estimator: est,
+            p_in,
+            current_options: &ALL_BEST,
+        }
+    }
+
+    #[test]
+    fn sjf_prefers_radio_at_high_power() {
+        // At high power compute time dominates: radio (0.8 s) < ML (3 s).
+        let (spec, j_ml, j_radio) = spec();
+        let exec = ExecutionTracker::new(&spec, 64);
+        let est = EnergyAwareEstimator::new();
+        let inp = inputs(&spec, &exec, &est, Watts(1.0));
+        let sel = EnergyAwareSjf::new()
+            .select(&inp, &candidates(j_ml, j_radio))
+            .unwrap();
+        assert_eq!(candidates(j_ml, j_radio)[sel.index].job, j_radio);
+        assert_eq!(sel.expected_service, Seconds(0.8));
+    }
+
+    #[test]
+    fn sjf_prefers_ml_at_low_power() {
+        // At 5 mW recharge dominates: ML needs 60 mJ → 12 s; radio needs
+        // 320 mJ → 64 s. The energy-aware policy flips its choice.
+        let (spec, j_ml, j_radio) = spec();
+        let exec = ExecutionTracker::new(&spec, 64);
+        let est = EnergyAwareEstimator::new();
+        let inp = inputs(&spec, &exec, &est, Watts(0.005));
+        let sel = EnergyAwareSjf::new()
+            .select(&inp, &candidates(j_ml, j_radio))
+            .unwrap();
+        assert_eq!(candidates(j_ml, j_radio)[sel.index].job, j_ml);
+        assert_eq!(sel.expected_service, Seconds(12.0));
+    }
+
+    #[test]
+    fn sjf_weighs_execution_probability() {
+        let mut b = AppSpecBuilder::new();
+        let always = b
+            .fixed_task("always", TaskCost::new(Seconds(1.0), Watts(0.01)))
+            .unwrap();
+        let rare = b
+            .fixed_task("rare", TaskCost::new(Seconds(10.0), Watts(0.01)))
+            .unwrap();
+        let job = b.job("j", vec![always, rare]).unwrap();
+        let spec = b.build().unwrap();
+        let mut exec = ExecutionTracker::new(&spec, 64);
+        // rare ran 1 of 10 jobs.
+        for i in 0..10 {
+            exec.record_job([(always, true), (rare, i == 0)]);
+        }
+        let est = EnergyAwareEstimator::new();
+        let inp = inputs(&spec, &exec, &est, Watts(1.0));
+        let es = expected_service(&inp, job);
+        assert!((es.value() - (1.0 + 0.1 * 10.0)).abs() < 1e-9, "E[S]={es}");
+    }
+
+    #[test]
+    fn sjf_tie_breaks_to_older_input() {
+        let mut b = AppSpecBuilder::new();
+        let t = b
+            .fixed_task("t", TaskCost::new(Seconds(1.0), Watts(0.01)))
+            .unwrap();
+        let j1 = b.job("a", vec![t]).unwrap();
+        let j2 = b.job("b", vec![t]).unwrap();
+        let spec = b.build().unwrap();
+        let exec = ExecutionTracker::new(&spec, 64);
+        let est = EnergyAwareEstimator::new();
+        let inp = inputs(&spec, &exec, &est, Watts(1.0));
+        let cands = vec![
+            JobCandidate {
+                job: j1,
+                oldest_input_age: Seconds(1.0),
+            },
+            JobCandidate {
+                job: j2,
+                oldest_input_age: Seconds(9.0),
+            },
+        ];
+        let sel = EnergyAwareSjf::new().select(&inp, &cands).unwrap();
+        assert_eq!(sel.index, 1, "same E[S] → older input wins");
+    }
+
+    #[test]
+    fn fcfs_picks_oldest_lcfs_newest() {
+        let (spec, j_ml, j_radio) = spec();
+        let exec = ExecutionTracker::new(&spec, 64);
+        let est = EnergyAwareEstimator::new();
+        let inp = inputs(&spec, &exec, &est, Watts(1.0));
+        let cands = candidates(j_ml, j_radio); // ml age 5, radio age 2
+        let f = Fcfs::new().select(&inp, &cands).unwrap();
+        assert_eq!(cands[f.index].job, j_ml);
+        assert_eq!(f.expected_service, Seconds(3.0)); // still reports E[S]
+        let l = Lcfs::new().select(&inp, &cands).unwrap();
+        assert_eq!(cands[l.index].job, j_radio);
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let (spec, ..) = spec();
+        let exec = ExecutionTracker::new(&spec, 64);
+        let est = EnergyAwareEstimator::new();
+        let inp = inputs(&spec, &exec, &est, Watts(1.0));
+        assert_eq!(EnergyAwareSjf::new().select(&inp, &[]), None);
+        assert_eq!(Fcfs::new().select(&inp, &[]), None);
+        assert_eq!(Lcfs::new().select(&inp, &[]), None);
+    }
+
+    #[test]
+    fn expected_service_uses_current_option() {
+        let mut b = AppSpecBuilder::new();
+        let d = b
+            .degradable_task("d")
+            .option("hi", TaskCost::new(Seconds(4.0), Watts(0.01)))
+            .option("lo", TaskCost::new(Seconds(1.0), Watts(0.01)))
+            .finish()
+            .unwrap();
+        let job = b.job("j", vec![d]).unwrap();
+        let spec = b.build().unwrap();
+        let exec = ExecutionTracker::new(&spec, 64);
+        let est = EnergyAwareEstimator::new();
+        let degraded = [1u8; 8];
+        let inp = SchedulerInputs {
+            spec: &spec,
+            exec: &exec,
+            estimator: &est,
+            p_in: Watts(1.0),
+            current_options: &degraded,
+        };
+        assert_eq!(expected_service(&inp, job), Seconds(1.0));
+    }
+
+    #[test]
+    fn expected_service_uses_best_quality() {
+        let mut b = AppSpecBuilder::new();
+        let d = b
+            .degradable_task("d")
+            .option("hi", TaskCost::new(Seconds(4.0), Watts(0.01)))
+            .option("lo", TaskCost::new(Seconds(1.0), Watts(0.01)))
+            .finish()
+            .unwrap();
+        let job = b.job("j", vec![d]).unwrap();
+        let spec = b.build().unwrap();
+        let exec = ExecutionTracker::new(&spec, 64);
+        let est = EnergyAwareEstimator::new();
+        let inp = inputs(&spec, &exec, &est, Watts(1.0));
+        assert_eq!(expected_service(&inp, job), Seconds(4.0));
+        let _ = TaskId(0); // silence unused import lint paths in some cfgs
+    }
+}

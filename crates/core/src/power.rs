@@ -1,0 +1,142 @@
+//! Input-power prediction (`predictInputPower()` in Algorithm 1).
+//!
+//! The paper measures instantaneous input power through its hardware
+//! circuit and uses the measurement directly as the prediction for the
+//! scheduling horizon. That is [`Instantaneous`]. Harvested power is
+//! noisy, though, so the runtime also offers [`Ewma`] — an exponentially
+//! weighted moving average that smooths jitter at the cost of lagging
+//! cloud transitions — selectable through
+//! [`QuetzalBuilder::power_predictor`](crate::runtime::QuetzalBuilder::power_predictor).
+
+use core::fmt;
+use qz_types::Watts;
+
+/// Predicts the input power over the scheduling horizon from the
+/// measurements taken at each scheduler invocation.
+pub trait PowerPredictor: fmt::Debug {
+    /// Feeds one measurement and returns the prediction to use now.
+    fn predict(&mut self, measured: Watts) -> Watts;
+}
+
+/// Uses each measurement directly (the paper's behaviour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Instantaneous;
+
+impl Instantaneous {
+    /// Creates the passthrough predictor.
+    pub fn new() -> Instantaneous {
+        Instantaneous
+    }
+}
+
+impl PowerPredictor for Instantaneous {
+    fn predict(&mut self, measured: Watts) -> Watts {
+        measured
+    }
+}
+
+/// Exponentially weighted moving average:
+/// `p̂ ← α·measured + (1−α)·p̂`.
+///
+/// # Examples
+///
+/// ```
+/// use quetzal::power::{Ewma, PowerPredictor};
+/// use qz_types::Watts;
+///
+/// let mut p = Ewma::new(0.5);
+/// assert_eq!(p.predict(Watts(0.010)), Watts(0.010)); // first sample seeds
+/// let second = p.predict(Watts(0.030));
+/// assert!((second.value() - 0.020).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    state: Option<Watts>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha ∈ (0, 1]` (1.0
+    /// degenerates to [`Instantaneous`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, state: None }
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl PowerPredictor for Ewma {
+    fn predict(&mut self, measured: Watts) -> Watts {
+        let next = match self.state {
+            None => measured,
+            Some(prev) => measured * self.alpha + prev * (1.0 - self.alpha),
+        };
+        self.state = Some(next);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantaneous_is_identity() {
+        let mut p = Instantaneous::new();
+        for v in [0.0, 0.01, 0.5] {
+            assert_eq!(p.predict(Watts(v)), Watts(v));
+        }
+    }
+
+    #[test]
+    fn ewma_seeds_with_first_sample() {
+        let mut p = Ewma::new(0.2);
+        assert_eq!(p.predict(Watts(0.04)), Watts(0.04));
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut p = Ewma::new(0.3);
+        p.predict(Watts(0.0));
+        let mut last = Watts::ZERO;
+        for _ in 0..100 {
+            last = p.predict(Watts(0.02));
+        }
+        assert!((last.value() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_smooths_spikes() {
+        let mut p = Ewma::new(0.1);
+        for _ in 0..50 {
+            p.predict(Watts(0.010));
+        }
+        let spiked = p.predict(Watts(0.100)); // one 10x spike
+        assert!(
+            spiked.value() < 0.020,
+            "spike should be damped: {}",
+            spiked.value()
+        );
+    }
+
+    #[test]
+    fn alpha_one_degenerates_to_instantaneous() {
+        let mut p = Ewma::new(1.0);
+        p.predict(Watts(0.01));
+        assert_eq!(p.predict(Watts(0.05)), Watts(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+}

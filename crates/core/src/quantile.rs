@@ -1,0 +1,298 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! Support machinery for the [`variable`](crate::variable) extension:
+//! estimating a percentile of observed service-time inflation without
+//! storing samples — O(1) memory, O(1) update, exactly what an MCU
+//! runtime can afford.
+//!
+//! Implements Jain & Chlamtac, "The P² algorithm for dynamic calculation
+//! of quantiles and histograms without storing observations"
+//! (CACM 1985): five markers track the minimum, the p/2, p and
+//! (1+p)/2 quantiles and the maximum; marker heights are adjusted with a
+//! piecewise-parabolic (P²) interpolation as observations stream in.
+
+/// A streaming estimator for a single quantile `p ∈ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use quetzal::quantile::P2Quantile;
+///
+/// let mut q = P2Quantile::new(0.5);
+/// for v in 1..=100 {
+///     q.observe(v as f64);
+/// }
+/// let median = q.estimate().unwrap();
+/// assert!((median - 50.0).abs() < 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimated quantile values).
+    heights: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly between 0 and 1.
+    pub fn new(p: f64) -> P2Quantile {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+        P2Quantile {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The target quantile.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return; // ignore garbage rather than poisoning the markers
+        }
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                // Sort the initial five observations into marker heights.
+                self.heights.sort_unstable_by(|a, b| a.total_cmp(b));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // 1. Find the cell containing x; update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        // 2. Increment positions of markers above the cell.
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // 3. Adjust interior markers if they are off their desired
+        //    positions by more than one rank.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = if d > 0.0 { 1.0 } else { -1.0 };
+                let candidate = self.parabolic(i, d);
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.heights[i] = new_height;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// The current quantile estimate, or `None` before any observation.
+    /// With fewer than five observations, returns the appropriate order
+    /// statistic of what has been seen.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n @ 1..=4 => {
+                let mut seen = [0.0; 4];
+                seen[..n].copy_from_slice(&self.heights[..n]);
+                let slice = &mut seen[..n];
+                slice.sort_unstable_by(|a, b| a.total_cmp(b));
+                let idx = qz_types::round_half_away((n as f64 - 1.0) * self.p) as usize;
+                Some(slice[idx.min(n - 1)])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+
+    /// Piecewise-parabolic height prediction for marker `i` moved by `d`.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// Linear fallback when the parabola leaves the bracketing heights.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qz_types::SplitMix64;
+
+    fn exact_quantile(samples: &mut [f64], p: f64) -> f64 {
+        samples.sort_unstable_by(|a, b| a.total_cmp(b));
+        let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+        samples[idx]
+    }
+
+    #[test]
+    fn empty_has_no_estimate() {
+        assert_eq!(P2Quantile::new(0.5).estimate(), None);
+        assert_eq!(P2Quantile::new(0.5).count(), 0);
+    }
+
+    #[test]
+    fn small_counts_use_order_statistics() {
+        let mut q = P2Quantile::new(0.5);
+        q.observe(3.0);
+        assert_eq!(q.estimate(), Some(3.0));
+        q.observe(1.0);
+        q.observe(2.0);
+        let est = q.estimate().unwrap();
+        assert!((1.0..=3.0).contains(&est));
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut q = P2Quantile::new(0.5);
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..10_000 {
+            q.observe(rng.next_f64() * 100.0);
+        }
+        let m = q.estimate().unwrap();
+        assert!((m - 50.0).abs() < 3.0, "median estimate {m}");
+    }
+
+    #[test]
+    fn p90_of_uniform_stream() {
+        let mut q = P2Quantile::new(0.9);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            q.observe(rng.next_f64());
+        }
+        let e = q.estimate().unwrap();
+        assert!((e - 0.9).abs() < 0.03, "p90 estimate {e}");
+    }
+
+    #[test]
+    fn heavy_tail_p95() {
+        // Exponential-ish tail: p95 of Exp(1) is ~3.0.
+        let mut q = P2Quantile::new(0.95);
+        let mut rng = SplitMix64::new(9);
+        let mut reference = Vec::new();
+        for _ in 0..20_000 {
+            let x = -(1.0 - rng.next_f64()).ln();
+            q.observe(x);
+            reference.push(x);
+        }
+        let exact = exact_quantile(&mut reference, 0.95);
+        let est = q.estimate().unwrap();
+        assert!(
+            (est / exact - 1.0).abs() < 0.1,
+            "est {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut q = P2Quantile::new(0.5);
+        for v in [1.0, f64::NAN, 2.0, f64::INFINITY, 3.0] {
+            q.observe(v);
+        }
+        assert_eq!(q.count(), 3);
+        assert!(q.estimate().unwrap().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_p_zero() {
+        P2Quantile::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_p_one() {
+        P2Quantile::new(1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn estimate_within_observed_range(
+            values in proptest::collection::vec(-1e3f64..1e3, 5..300),
+            p100 in 5u32..95,
+        ) {
+            let p = p100 as f64 / 100.0;
+            let mut q = P2Quantile::new(p);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &v in &values {
+                q.observe(v);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let est = q.estimate().unwrap();
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "est {} not in [{}, {}]", est, lo, hi);
+        }
+
+        #[test]
+        fn tracks_sorted_reference_loosely(
+            seed in any::<u64>(),
+        ) {
+            let mut rng = SplitMix64::new(seed);
+            let mut q = P2Quantile::new(0.75);
+            let mut all = Vec::new();
+            for _ in 0..2000 {
+                let v = rng.next_f64() * 10.0;
+                q.observe(v);
+                all.push(v);
+            }
+            let exact = exact_quantile(&mut all, 0.75);
+            let est = q.estimate().unwrap();
+            prop_assert!((est - exact).abs() < 0.8, "est {} vs exact {}", est, exact);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! End-to-end service-time (`S_e2e`) estimators.
+//!
+//! Equation 1 of the paper models a task's end-to-end service time as
+//!
+//! ```text
+//! S_e2e = max(t_exe, t_chg) = max(t_exe, t_exe · P_exe / P_in)
+//! ```
+//!
+//! — execution time when harvest keeps up, recharge time when it does
+//! not. Three estimators implement the [`ServiceEstimator`] interface:
+//!
+//! - [`EnergyAwareEstimator`] — evaluates Eq. 1 exactly in floating
+//!   point (the "ideal software" reference).
+//! - [`HwAssistedEstimator`] — evaluates Eq. 1 the way the real system
+//!   would: through the diode/ADC measurement circuit and Algorithm 3's
+//!   division-free fixed-point path (`qz-hw`), including quantization
+//!   and temperature effects.
+//! - [`AvgObservedEstimator`] — the paper's *Avg. S_e2e* baseline
+//!   (§6.1): ignores input power and predicts each task's next service
+//!   time as the average of its previously observed service times.
+
+#[cfg(feature = "std")]
+use crate::model::AppSpec;
+use crate::model::{TaskCost, TaskKey};
+use alloc::collections::BTreeMap;
+use core::fmt;
+#[cfg(feature = "std")]
+use qz_hw::{premultiply_t_exe, se2e_hw, PowerMonitor, PremultTable};
+use qz_types::{Seconds, Watts};
+
+/// Ceiling on any service-time prediction: with zero input power the true
+/// recharge time is unbounded; predictions saturate here (≈ 11.6 days),
+/// far beyond any buffer horizon, so saturated jobs always predict IBOs.
+pub const SE2E_CAP: Seconds = Seconds(1.0e6);
+
+/// Predicts per-task end-to-end service times.
+///
+/// `observe` feeds back measured service times after execution; only
+/// history-based estimators use it.
+pub trait ServiceEstimator: fmt::Debug {
+    /// Predicts `S_e2e` for a task configuration at the given input power.
+    fn predict(&self, key: TaskKey, cost: TaskCost, p_in: Watts) -> Seconds;
+
+    /// Records an observed end-to-end service time for a task
+    /// configuration. Default: ignored.
+    fn observe(&mut self, key: TaskKey, observed: Seconds) {
+        let _ = (key, observed);
+    }
+
+    /// Notifies the estimator that a task configuration was just
+    /// scheduled at the given conditions, so history-based estimators can
+    /// normalize the observation that will follow. Default: ignored.
+    fn note_scheduled(&mut self, key: TaskKey, cost: TaskCost, p_in: Watts) {
+        let _ = (key, cost, p_in);
+    }
+}
+
+/// Exact floating-point evaluation of Eq. 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyAwareEstimator;
+
+impl EnergyAwareEstimator {
+    /// Creates the estimator.
+    pub fn new() -> EnergyAwareEstimator {
+        EnergyAwareEstimator
+    }
+
+    /// Evaluates Eq. 1 directly (also used by tests and other estimators
+    /// as ground truth).
+    pub fn se2e(cost: TaskCost, p_in: Watts) -> Seconds {
+        if p_in.value() <= 0.0 {
+            return SE2E_CAP;
+        }
+        let ratio = (cost.p_exe / p_in).max(1.0);
+        (cost.t_exe * ratio).min(SE2E_CAP)
+    }
+}
+
+impl ServiceEstimator for EnergyAwareEstimator {
+    fn predict(&self, _key: TaskKey, cost: TaskCost, p_in: Watts) -> Seconds {
+        EnergyAwareEstimator::se2e(cost, p_in)
+    }
+}
+
+#[cfg(feature = "std")]
+/// Eq. 1 evaluated through the hardware measurement module.
+///
+/// At construction, every task configuration in the spec is "profiled":
+/// its execution power is passed through the D2 diode and the resulting
+/// ADC code plus the premultiplied `t_exe` table are stored. At predict
+/// time the input power is sampled through D1 and Algorithm 3 combines
+/// the codes — no division, and with the ADC's quantization and the
+/// diode's temperature sensitivity faithfully applied.
+#[derive(Debug, Clone)]
+#[cfg(feature = "std")]
+pub struct HwAssistedEstimator {
+    monitor: PowerMonitor,
+    /// Per-configuration profile: (V_D2 code, premultiplied t_exe table).
+    profiles: BTreeMap<TaskKey, (u8, PremultTable)>,
+}
+
+#[cfg(feature = "std")]
+impl HwAssistedEstimator {
+    /// Profiles every task configuration in `spec` through `monitor`.
+    pub fn from_spec(spec: &AppSpec, monitor: PowerMonitor) -> HwAssistedEstimator {
+        let profiles = spec
+            .profile_entries()
+            .map(|(key, cost)| {
+                let vd2 = monitor.sample_power(cost.p_exe);
+                (key, (vd2, premultiply_t_exe(cost.t_exe)))
+            })
+            .collect();
+        HwAssistedEstimator { monitor, profiles }
+    }
+
+    /// Mutable access to the measurement circuit (e.g. to sweep its
+    /// temperature in sensitivity studies).
+    pub fn monitor_mut(&mut self) -> &mut PowerMonitor {
+        &mut self.monitor
+    }
+}
+
+#[cfg(feature = "std")]
+impl ServiceEstimator for HwAssistedEstimator {
+    /// # Panics
+    ///
+    /// Panics if `key` was not profiled — i.e. it does not belong to the
+    /// spec this estimator was built from.
+    fn predict(&self, key: TaskKey, _cost: TaskCost, p_in: Watts) -> Seconds {
+        let (vd2, table) = self
+            .profiles
+            .get(&key)
+            .unwrap_or_else(|| panic!("task configuration {key:?} was never profiled"));
+        let vd1 = self.monitor.sample_power(p_in);
+        Seconds(se2e_hw(table, vd1, *vd2).to_f64()).min(SE2E_CAP)
+    }
+}
+
+/// The *Avg. S_e2e* baseline: per-task running average of observed
+/// service times, blind to input power.
+#[derive(Debug, Clone, Default)]
+pub struct AvgObservedEstimator {
+    history: BTreeMap<TaskKey, (f64, u64)>,
+}
+
+impl AvgObservedEstimator {
+    /// Creates an estimator with no history.
+    pub fn new() -> AvgObservedEstimator {
+        AvgObservedEstimator::default()
+    }
+
+    /// Number of configurations with recorded history.
+    pub fn tracked(&self) -> usize {
+        self.history.len()
+    }
+}
+
+impl ServiceEstimator for AvgObservedEstimator {
+    /// Before any observation for `key`, falls back to the profiled
+    /// `t_exe` (the only power-blind prior available).
+    fn predict(&self, key: TaskKey, cost: TaskCost, _p_in: Watts) -> Seconds {
+        match self.history.get(&key) {
+            Some(&(sum, n)) if n > 0 => Seconds(sum / n as f64).min(SE2E_CAP),
+            _ => cost.t_exe,
+        }
+    }
+
+    fn observe(&mut self, key: TaskKey, observed: Seconds) {
+        let entry = self.history.entry(key).or_insert((0.0, 0));
+        entry.0 += observed.value();
+        entry.1 += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AppSpecBuilder, TaskId};
+    use proptest::prelude::*;
+
+    fn cost(t: f64, p: f64) -> TaskCost {
+        TaskCost::new(Seconds(t), Watts(p))
+    }
+
+    fn key() -> TaskKey {
+        TaskKey::best(TaskId(0))
+    }
+
+    #[test]
+    fn compute_bound_regime() {
+        // P_in ≥ P_exe → S_e2e = t_exe.
+        let s = EnergyAwareEstimator::se2e(cost(2.0, 0.01), Watts(0.02));
+        assert_eq!(s, Seconds(2.0));
+    }
+
+    #[test]
+    fn recharge_bound_regime() {
+        // P_exe = 4×P_in → S_e2e = 4·t_exe.
+        let s = EnergyAwareEstimator::se2e(cost(2.0, 0.04), Watts(0.01));
+        assert_eq!(s, Seconds(8.0));
+    }
+
+    #[test]
+    fn paper_radio_example() {
+        // §2.2: a radio task ranging from 0.8 s at high power to >50 s at
+        // low power. 0.8 s at 400 mW = 0.32 J; at 6 mW input that takes
+        // 53 s of recharging.
+        let radio = cost(0.8, 0.4);
+        assert_eq!(EnergyAwareEstimator::se2e(radio, Watts(0.5)), Seconds(0.8));
+        let slow = EnergyAwareEstimator::se2e(radio, Watts(0.006));
+        assert!(slow > Seconds(50.0), "slow={slow}");
+    }
+
+    #[test]
+    fn zero_power_saturates() {
+        assert_eq!(
+            EnergyAwareEstimator::se2e(cost(1.0, 0.1), Watts::ZERO),
+            SE2E_CAP
+        );
+        assert_eq!(
+            EnergyAwareEstimator::se2e(cost(1.0, 0.1), Watts(-1.0)),
+            SE2E_CAP
+        );
+    }
+
+    #[test]
+    fn tiny_power_is_capped() {
+        let s = EnergyAwareEstimator::se2e(cost(100.0, 0.4), Watts(1e-12));
+        assert_eq!(s, SE2E_CAP);
+    }
+
+    fn one_task_spec(t: f64, p: f64) -> AppSpec {
+        let mut b = AppSpecBuilder::new();
+        let id = b.fixed_task("t", cost(t, p)).unwrap();
+        b.job("j", vec![id]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hw_estimator_tracks_exact_model() {
+        let spec = one_task_spec(2.0, 0.040);
+        let est = HwAssistedEstimator::from_spec(&spec, PowerMonitor::default());
+        let c = cost(2.0, 0.040);
+        for p_in_mw in [5.0, 10.0, 20.0, 40.0, 80.0] {
+            let p_in = Watts(p_in_mw / 1e3);
+            let exact = EnergyAwareEstimator::se2e(c, p_in).value();
+            let hw = est.predict(key(), c, p_in).value();
+            let err = (hw / exact - 1.0).abs();
+            assert!(
+                err < 0.20,
+                "p_in={p_in_mw}mW exact={exact} hw={hw} err={err}"
+            );
+        }
+    }
+
+    #[test]
+    fn hw_estimator_compute_bound_is_exact() {
+        let spec = one_task_spec(2.0, 0.010);
+        let est = HwAssistedEstimator::from_spec(&spec, PowerMonitor::default());
+        // P_in well above P_exe → returns the premultiplied t_exe exactly.
+        let s = est.predict(key(), cost(2.0, 0.010), Watts(0.1));
+        assert!((s.value() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "never profiled")]
+    fn hw_estimator_rejects_unprofiled_key() {
+        let spec = one_task_spec(1.0, 0.01);
+        let est = HwAssistedEstimator::from_spec(&spec, PowerMonitor::default());
+        est.predict(
+            TaskKey {
+                task: TaskId(9),
+                option: 0,
+            },
+            cost(1.0, 0.01),
+            Watts(0.01),
+        );
+    }
+
+    #[test]
+    fn hw_estimator_temperature_access() {
+        let spec = one_task_spec(1.0, 0.01);
+        let mut est = HwAssistedEstimator::from_spec(&spec, PowerMonitor::default());
+        est.monitor_mut().set_temperature(40.0);
+        assert_eq!(est.monitor_mut().temperature(), 40.0);
+    }
+
+    #[test]
+    fn avg_estimator_falls_back_to_t_exe() {
+        let est = AvgObservedEstimator::new();
+        assert_eq!(
+            est.predict(key(), cost(3.0, 0.1), Watts(0.001)),
+            Seconds(3.0)
+        );
+        assert_eq!(est.tracked(), 0);
+    }
+
+    #[test]
+    fn avg_estimator_averages_observations() {
+        let mut est = AvgObservedEstimator::new();
+        est.observe(key(), Seconds(2.0));
+        est.observe(key(), Seconds(4.0));
+        assert_eq!(
+            est.predict(key(), cost(1.0, 0.1), Watts(0.001)),
+            Seconds(3.0)
+        );
+        assert_eq!(est.tracked(), 1);
+    }
+
+    #[test]
+    fn avg_estimator_is_power_blind() {
+        // The defining flaw the paper's Fig. 12 demonstrates: the same
+        // prediction regardless of current input power.
+        let mut est = AvgObservedEstimator::new();
+        est.observe(key(), Seconds(10.0));
+        let lo = est.predict(key(), cost(1.0, 0.1), Watts(0.0001));
+        let hi = est.predict(key(), cost(1.0, 0.1), Watts(10.0));
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn energy_aware_estimator_ignores_observations() {
+        let mut est = EnergyAwareEstimator::new();
+        est.observe(key(), Seconds(100.0)); // default no-op
+        assert_eq!(
+            est.predict(key(), cost(1.0, 0.01), Watts(0.02)),
+            Seconds(1.0)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn se2e_at_least_t_exe(t in 0.001f64..100.0, p_exe in 0.001f64..1.0, p_in in 0.0f64..1.0) {
+            let s = EnergyAwareEstimator::se2e(cost(t, p_exe), Watts(p_in));
+            prop_assert!(s >= Seconds(t).min(SE2E_CAP));
+            prop_assert!(s <= SE2E_CAP);
+        }
+
+        #[test]
+        fn se2e_monotone_decreasing_in_power(
+            t in 0.001f64..100.0,
+            p_exe in 0.001f64..1.0,
+            p1 in 0.0001f64..1.0,
+            p2 in 0.0001f64..1.0,
+        ) {
+            let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+            let s_lo = EnergyAwareEstimator::se2e(cost(t, p_exe), Watts(lo));
+            let s_hi = EnergyAwareEstimator::se2e(cost(t, p_exe), Watts(hi));
+            prop_assert!(s_hi <= s_lo);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Runtime trackers for task execution probability and input-arrival
+//! rate (paper §4.1, §5.1).
+
+use crate::model::{AppSpec, TaskId};
+use crate::window::BitWindow;
+use alloc::vec::Vec;
+use qz_types::Hertz;
+
+/// Tracks, per task, the fraction of recently completed jobs for which
+/// the task executed — Quetzal's estimate of each task's
+/// `execution_probability`.
+///
+/// The bit-vectors are updated atomically for all of a job's tasks on
+/// job completion, mirroring the paper's library behaviour.
+#[derive(Debug, Clone)]
+pub struct ExecutionTracker {
+    windows: Vec<BitWindow>,
+}
+
+impl ExecutionTracker {
+    /// Creates one window of `task_window` bits per task in the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task_window` is outside [`BitWindow`]'s capacity range.
+    pub fn new(spec: &AppSpec, task_window: usize) -> ExecutionTracker {
+        ExecutionTracker {
+            windows: spec
+                .tasks()
+                .iter()
+                .map(|_| BitWindow::new(task_window))
+                .collect(),
+        }
+    }
+
+    /// Records a completed job: for each `(task, executed)` pair, appends
+    /// the execution bit to that task's window.
+    ///
+    /// Only the completed job's tasks are updated — other tasks' histories
+    /// describe "fraction of *their* job's inputs that ran them", matching
+    /// the per-task window semantics of §4.1.
+    pub fn record_job(&mut self, executed: impl IntoIterator<Item = (TaskId, bool)>) {
+        for (task, ran) in executed {
+            self.windows[task.index()].push(ran);
+        }
+    }
+
+    /// The tracked execution probability for a task. Before any history
+    /// exists the estimate defaults to 1.0 — the conservative choice for
+    /// IBO prediction (assume every task will run).
+    pub fn probability(&self, task: TaskId) -> f64 {
+        self.windows[task.index()].fraction().unwrap_or(1.0)
+    }
+
+    /// Number of tasks tracked.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` if the spec had no tasks (never the case for a valid spec).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+/// Tracks the input-arrival rate λ: the fraction of recent captures that
+/// were stored into the input buffer, scaled by the capture rate.
+///
+/// λ feeds Little's Law (`E[N] = λ · E[S]`, Eq. 2): it is the rate at
+/// which new inputs will join the queue while the scheduled job runs.
+#[derive(Debug, Clone)]
+pub struct ArrivalTracker {
+    window: BitWindow,
+    capture_rate: Hertz,
+}
+
+impl ArrivalTracker {
+    /// Creates a tracker over the last `arrival_window` captures at the
+    /// given capture rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival_window` is outside [`BitWindow`]'s capacity
+    /// range or `capture_rate` is not positive.
+    pub fn new(arrival_window: usize, capture_rate: Hertz) -> ArrivalTracker {
+        assert!(capture_rate.value() > 0.0, "capture rate must be positive");
+        ArrivalTracker {
+            window: BitWindow::new(arrival_window),
+            capture_rate,
+        }
+    }
+
+    /// Records one capture: `stored` is whether it passed pre-filtering
+    /// and was inserted into the input buffer.
+    pub fn record_capture(&mut self, stored: bool) {
+        self.window.push(stored);
+    }
+
+    /// The estimated arrival rate in inputs/second. Before any capture
+    /// history exists, assumes every capture is stored (conservative).
+    pub fn lambda(&self) -> f64 {
+        self.window.fraction().unwrap_or(1.0) * self.capture_rate.value()
+    }
+
+    /// The configured capture rate.
+    pub fn capture_rate(&self) -> Hertz {
+        self.capture_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AppSpecBuilder, TaskCost};
+    use qz_types::{Seconds, Watts};
+
+    fn spec() -> AppSpec {
+        let mut b = AppSpecBuilder::new();
+        let a = b
+            .fixed_task("a", TaskCost::new(Seconds(1.0), Watts(0.01)))
+            .unwrap();
+        let c = b
+            .fixed_task("c", TaskCost::new(Seconds(1.0), Watts(0.01)))
+            .unwrap();
+        b.job("j", vec![a, c]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn execution_probability_defaults_to_one() {
+        let t = ExecutionTracker::new(&spec(), 64);
+        assert_eq!(t.probability(TaskId(0)), 1.0);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn execution_probability_tracks_history() {
+        let mut t = ExecutionTracker::new(&spec(), 64);
+        // Task 0 ran 3 of 4 jobs, task 1 ran 1 of 4.
+        for (a, c) in [(true, false), (true, true), (true, false), (false, false)] {
+            t.record_job([(TaskId(0), a), (TaskId(1), c)]);
+        }
+        assert!((t.probability(TaskId(0)) - 0.75).abs() < 1e-12);
+        assert!((t.probability(TaskId(1)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn execution_window_evicts() {
+        let mut t = ExecutionTracker::new(&spec(), 4);
+        for _ in 0..4 {
+            t.record_job([(TaskId(0), true)]);
+        }
+        assert_eq!(t.probability(TaskId(0)), 1.0);
+        for _ in 0..4 {
+            t.record_job([(TaskId(0), false)]);
+        }
+        assert_eq!(t.probability(TaskId(0)), 0.0);
+    }
+
+    #[test]
+    fn lambda_defaults_to_capture_rate() {
+        let t = ArrivalTracker::new(256, Hertz(1.0));
+        assert_eq!(t.lambda(), 1.0);
+        assert_eq!(t.capture_rate(), Hertz(1.0));
+    }
+
+    #[test]
+    fn lambda_scales_with_stored_fraction() {
+        let mut t = ArrivalTracker::new(256, Hertz(2.0));
+        // Half the captures stored → λ = 0.5 × 2 Hz = 1/s.
+        for i in 0..100 {
+            t.record_capture(i % 2 == 0);
+        }
+        assert!((t.lambda() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_adapts_to_activity_burst() {
+        let mut t = ArrivalTracker::new(16, Hertz(1.0));
+        for _ in 0..16 {
+            t.record_capture(false);
+        }
+        assert_eq!(t.lambda(), 0.0);
+        for _ in 0..16 {
+            t.record_capture(true);
+        }
+        assert_eq!(t.lambda(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capture rate")]
+    fn rejects_zero_capture_rate() {
+        ArrivalTracker::new(16, Hertz(0.0));
+    }
+}

@@ -1,0 +1,237 @@
+//! Fixed-size bit-vector history windows (paper §5.1).
+//!
+//! Quetzal tracks task execution probability and input-arrival rate with
+//! bit-vectors: a 1 means "the task executed for this input" / "this
+//! capture was stored", a 0 the opposite. Each window keeps a running
+//! 1-counter that is updated only when the window changes, so querying
+//! the estimate is O(1) — exactly the structure the paper describes for
+//! its software library.
+
+use alloc::vec;
+use alloc::vec::Vec;
+
+/// A ring-buffered window of bits with a running count of ones.
+///
+/// # Examples
+///
+/// ```
+/// use quetzal::window::BitWindow;
+///
+/// let mut w = BitWindow::new(4);
+/// w.push(true);
+/// w.push(true);
+/// w.push(false);
+/// assert_eq!(w.ones(), 2);
+/// assert_eq!(w.fraction(), Some(2.0 / 3.0)); // over the filled portion
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitWindow {
+    blocks: Vec<u64>,
+    capacity: usize,
+    /// Next write position, in bits.
+    head: usize,
+    /// Number of bits pushed so far, saturating at `capacity`.
+    filled: usize,
+    ones: usize,
+}
+
+impl BitWindow {
+    /// Largest supported window, bounding memory to what an MCU library
+    /// would reserve.
+    pub const MAX_CAPACITY: usize = 4096;
+
+    /// Creates a window holding the most recent `capacity` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or exceeds [`BitWindow::MAX_CAPACITY`].
+    pub fn new(capacity: usize) -> BitWindow {
+        assert!(
+            (1..=BitWindow::MAX_CAPACITY).contains(&capacity),
+            "window capacity must be in 1..={}",
+            BitWindow::MAX_CAPACITY
+        );
+        BitWindow {
+            blocks: vec![0; capacity.div_ceil(64)],
+            capacity,
+            head: 0,
+            filled: 0,
+            ones: 0,
+        }
+    }
+
+    /// The window's fixed capacity in bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many bits have been recorded (saturates at the capacity).
+    #[inline]
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// `true` if no bits have been recorded yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// Number of ones currently in the window (the "1-counter").
+    #[inline]
+    pub fn ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Appends a bit, evicting the oldest once the window is full.
+    pub fn push(&mut self, bit: bool) {
+        let idx = self.head;
+        let (block, mask) = (idx / 64, 1u64 << (idx % 64));
+        if self.filled == self.capacity {
+            // Evicting: subtract the outgoing bit from the counter.
+            if self.blocks[block] & mask != 0 {
+                self.ones -= 1;
+            }
+        } else {
+            self.filled += 1;
+        }
+        if bit {
+            self.blocks[block] |= mask;
+            self.ones += 1;
+        } else {
+            self.blocks[block] &= !mask;
+        }
+        self.head = (self.head + 1) % self.capacity;
+    }
+
+    /// Fraction of ones over the *filled* portion, or `None` before any
+    /// bit has been recorded. Callers supply their own cold-start default
+    /// (the runtime uses 1.0 — conservative for IBO prediction).
+    pub fn fraction(&self) -> Option<f64> {
+        if self.filled == 0 {
+            None
+        } else {
+            Some(self.ones as f64 / self.filled as f64)
+        }
+    }
+
+    /// Clears the window to its initial empty state.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+        self.head = 0;
+        self.filled = 0;
+        self.ones = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_window() {
+        let w = BitWindow::new(8);
+        assert!(w.is_empty());
+        assert_eq!(w.ones(), 0);
+        assert_eq!(w.fraction(), None);
+        assert_eq!(w.capacity(), 8);
+    }
+
+    #[test]
+    fn counts_partial_fill() {
+        let mut w = BitWindow::new(8);
+        w.push(true);
+        w.push(false);
+        w.push(true);
+        assert_eq!(w.filled(), 3);
+        assert_eq!(w.ones(), 2);
+        assert_eq!(w.fraction(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut w = BitWindow::new(3);
+        w.push(true);
+        w.push(true);
+        w.push(false);
+        assert_eq!(w.ones(), 2);
+        w.push(false); // evicts the first `true`
+        assert_eq!(w.ones(), 1);
+        assert_eq!(w.filled(), 3);
+        w.push(true); // evicts a `true`
+        assert_eq!(w.ones(), 1);
+        w.push(true); // evicts the `false`
+        assert_eq!(w.ones(), 2);
+    }
+
+    #[test]
+    fn spans_block_boundaries() {
+        let mut w = BitWindow::new(130);
+        for i in 0..130 {
+            w.push(i % 2 == 0);
+        }
+        assert_eq!(w.ones(), 65);
+        // Push 130 more zeros; all ones evicted.
+        for _ in 0..130 {
+            w.push(false);
+        }
+        assert_eq!(w.ones(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = BitWindow::new(4);
+        w.push(true);
+        w.push(true);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.fraction(), None);
+        w.push(false);
+        assert_eq!(w.fraction(), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window capacity")]
+    fn rejects_zero_capacity() {
+        BitWindow::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window capacity")]
+    fn rejects_oversized_capacity() {
+        BitWindow::new(BitWindow::MAX_CAPACITY + 1);
+    }
+
+    proptest! {
+        #[test]
+        fn counter_matches_reference(
+            bits in proptest::collection::vec(any::<bool>(), 1..600),
+            cap in 1usize..200,
+        ) {
+            let mut w = BitWindow::new(cap);
+            let mut reference: Vec<bool> = Vec::new();
+            for b in bits {
+                w.push(b);
+                reference.push(b);
+                if reference.len() > cap {
+                    reference.remove(0);
+                }
+                let expect = reference.iter().filter(|&&x| x).count();
+                prop_assert_eq!(w.ones(), expect);
+                prop_assert_eq!(w.filled(), reference.len());
+            }
+        }
+
+        #[test]
+        fn fraction_in_unit_interval(bits in proptest::collection::vec(any::<bool>(), 1..100)) {
+            let mut w = BitWindow::new(16);
+            for b in bits {
+                w.push(b);
+                let f = w.fraction().unwrap();
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+}

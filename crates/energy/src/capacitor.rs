@@ -1,0 +1,337 @@
+//! Supercapacitor energy-storage model.
+
+use core::fmt;
+use qz_types::{Farads, Joules, Volts};
+
+/// Configuration for a [`Supercap`].
+///
+/// The defaults model the paper's hardware experiment: a 33 mF BestCap
+/// supercapacitor behind a BQ25504 with a 3.3 V regulator rail, a 1.8 V
+/// minimum operating voltage, and turn-on / turn-off hysteresis so the
+/// device does not chatter around the brownout threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupercapConfig {
+    /// Capacitance of the storage element.
+    pub capacitance: Farads,
+    /// Maximum voltage the charger allows on the capacitor.
+    pub v_max: Volts,
+    /// Voltage below which the device cannot execute (brownout).
+    pub v_off: Volts,
+    /// Voltage the capacitor must reach before a powered-off device
+    /// restarts (hysteresis; must be ≥ `v_off`).
+    pub v_on: Volts,
+    /// Initial capacitor voltage.
+    pub v_init: Volts,
+    /// Self-discharge (leakage) power, drained continuously by
+    /// [`crate::PowerSystem::step`]. Defaults to zero; real
+    /// supercapacitors leak a few microwatts.
+    pub leakage: qz_types::Watts,
+}
+
+impl Default for SupercapConfig {
+    fn default() -> SupercapConfig {
+        SupercapConfig {
+            capacitance: Farads(0.033),
+            v_max: Volts(3.3),
+            v_off: Volts(1.8),
+            v_on: Volts(1.85),
+            v_init: Volts(3.3),
+            leakage: qz_types::Watts::ZERO,
+        }
+    }
+}
+
+/// Errors from validating a [`SupercapConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SupercapError {
+    /// Capacitance was zero, negative, or non-finite.
+    InvalidCapacitance,
+    /// The voltage window is inconsistent (requires
+    /// `0 ≤ v_off ≤ v_on ≤ v_max` and `v_off ≤ v_init ≤ v_max`,
+    /// all finite).
+    InvalidVoltageWindow,
+}
+
+impl fmt::Display for SupercapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupercapError::InvalidCapacitance => {
+                write!(f, "capacitance must be positive and finite")
+            }
+            SupercapError::InvalidVoltageWindow => {
+                write!(f, "voltage window must satisfy 0 <= v_off <= v_on <= v_max and v_off <= v_init <= v_max")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SupercapError {}
+
+/// A supercapacitor with an operating voltage window.
+///
+/// Stored energy is tracked relative to the brownout voltage `v_off`: the
+/// device can only use charge above that threshold, so `energy() == 0`
+/// means "the device must stop executing", and
+/// `energy() == capacity()` means "the capacitor is full".
+///
+/// The physics is the ideal capacitor law `E = ½·C·(V² − V_off²)`; ESR and
+/// leakage are deliberately omitted — the paper notes Quetzal is agnostic
+/// of power-system details such as ESR because it measures power directly
+/// (§8, discussion of Culpeo).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Supercap {
+    config: SupercapConfig,
+    /// Usable energy above `v_off`, in joules.
+    energy: Joules,
+}
+
+impl Supercap {
+    /// Creates a supercapacitor from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupercapError`] if the capacitance is non-positive or the
+    /// voltage window is inconsistent.
+    pub fn new(config: SupercapConfig) -> Result<Supercap, SupercapError> {
+        let SupercapConfig {
+            capacitance,
+            v_max,
+            v_off,
+            v_on,
+            v_init,
+            leakage,
+        } = config;
+        if !(leakage.value().is_finite() && leakage.value() >= 0.0) {
+            return Err(SupercapError::InvalidCapacitance);
+        }
+        if !(capacitance.value().is_finite() && capacitance.value() > 0.0) {
+            return Err(SupercapError::InvalidCapacitance);
+        }
+        let vs = [v_max, v_off, v_on, v_init];
+        if vs.iter().any(|v| !v.value().is_finite() || v.value() < 0.0)
+            || v_off > v_on
+            || v_on > v_max
+            || v_init < v_off
+            || v_init > v_max
+        {
+            return Err(SupercapError::InvalidVoltageWindow);
+        }
+        let mut cap = Supercap {
+            config,
+            energy: Joules::ZERO,
+        };
+        cap.energy = cap.energy_between(v_off, v_init);
+        Ok(cap)
+    }
+
+    /// The configuration this capacitor was built from.
+    #[inline]
+    pub fn config(&self) -> &SupercapConfig {
+        &self.config
+    }
+
+    /// Usable stored energy (above the brownout voltage).
+    #[inline]
+    pub fn energy(&self) -> Joules {
+        self.energy
+    }
+
+    /// Total usable capacity: energy between `v_off` and `v_max`.
+    #[inline]
+    pub fn capacity(&self) -> Joules {
+        self.energy_between(self.config.v_off, self.config.v_max)
+    }
+
+    /// Remaining room before the capacitor is full.
+    #[inline]
+    pub fn headroom(&self) -> Joules {
+        (self.capacity() - self.energy).max(Joules::ZERO)
+    }
+
+    /// Current capacitor voltage, derived from stored energy.
+    pub fn voltage(&self) -> Volts {
+        let v_off = self.config.v_off.value();
+        let c = self.config.capacitance.value();
+        Volts((v_off * v_off + 2.0 * self.energy.value() / c).sqrt())
+    }
+
+    /// `true` once the capacitor has recharged past the turn-on threshold.
+    #[inline]
+    pub fn can_turn_on(&self) -> bool {
+        self.voltage() >= self.config.v_on - Volts(1e-9)
+    }
+
+    /// `true` when the capacitor has drained to (or below) the brownout
+    /// threshold and an executing device must stop.
+    #[inline]
+    pub fn must_turn_off(&self) -> bool {
+        self.energy.value() <= 0.0
+    }
+
+    /// Adds harvested energy, clamping at the full capacity.
+    ///
+    /// Returns the energy actually accepted; the remainder is wasted
+    /// (harvesting into a full capacitor), which the caller may want to
+    /// account as lost harvest.
+    pub fn charge(&mut self, amount: Joules) -> Joules {
+        debug_assert!(amount.value() >= 0.0, "charge amount must be non-negative");
+        let accepted = amount.min(self.headroom());
+        self.energy += accepted;
+        accepted
+    }
+
+    /// Draws energy for execution.
+    ///
+    /// Returns the energy actually supplied. If the request exceeds the
+    /// stored energy, everything available is supplied and the capacitor
+    /// is left empty — the device browns out (`must_turn_off` becomes
+    /// `true`).
+    pub fn discharge(&mut self, amount: Joules) -> Joules {
+        debug_assert!(
+            amount.value() >= 0.0,
+            "discharge amount must be non-negative"
+        );
+        let supplied = amount.min(self.energy);
+        self.energy -= supplied;
+        if self.energy.value() < 0.0 {
+            self.energy = Joules::ZERO;
+        }
+        supplied
+    }
+
+    /// Energy stored between two voltages: `½·C·(v_hi² − v_lo²)`.
+    fn energy_between(&self, v_lo: Volts, v_hi: Volts) -> Joules {
+        let c = self.config.capacitance.value();
+        Joules(0.5 * c * (v_hi.value() * v_hi.value() - v_lo.value() * v_lo.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cap() -> Supercap {
+        Supercap::new(SupercapConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn default_config_is_valid_and_full() {
+        let c = cap();
+        assert!((c.voltage().value() - 3.3).abs() < 1e-9);
+        assert!((c.energy().value() - c.capacity().value()).abs() < 1e-12);
+        // ½·0.033·(3.3² − 1.8²) = 0.1262 J usable
+        assert!((c.capacity().value() - 0.126225).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_capacitance() {
+        let mut cfg = SupercapConfig::default();
+        cfg.capacitance = Farads(0.0);
+        assert_eq!(Supercap::new(cfg), Err(SupercapError::InvalidCapacitance));
+        cfg.capacitance = Farads(f64::NAN);
+        assert_eq!(Supercap::new(cfg), Err(SupercapError::InvalidCapacitance));
+    }
+
+    #[test]
+    fn rejects_bad_voltage_window() {
+        let mut cfg = SupercapConfig::default();
+        cfg.v_on = Volts(1.0); // below v_off
+        assert_eq!(Supercap::new(cfg), Err(SupercapError::InvalidVoltageWindow));
+
+        let mut cfg = SupercapConfig::default();
+        cfg.v_init = Volts(0.5); // below v_off
+        assert_eq!(Supercap::new(cfg), Err(SupercapError::InvalidVoltageWindow));
+
+        let mut cfg = SupercapConfig::default();
+        cfg.v_max = Volts(2.0); // below v_on
+        assert_eq!(Supercap::new(cfg), Err(SupercapError::InvalidVoltageWindow));
+    }
+
+    #[test]
+    fn discharge_then_charge_roundtrip() {
+        let mut c = cap();
+        let drawn = c.discharge(Joules(0.05));
+        assert_eq!(drawn, Joules(0.05));
+        assert!((c.energy().value() - (c.capacity().value() - 0.05)).abs() < 1e-12);
+        let accepted = c.charge(Joules(0.05));
+        assert!((accepted.value() - 0.05).abs() < 1e-12);
+        assert!((c.energy().value() - c.capacity().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdraw_empties_and_browns_out() {
+        let mut c = cap();
+        let supplied = c.discharge(Joules(10.0));
+        assert!((supplied.value() - c.capacity().value()).abs() < 1e-12);
+        assert_eq!(c.energy(), Joules::ZERO);
+        assert!(c.must_turn_off());
+        assert!((c.voltage().value() - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overcharge_is_clamped_and_reported() {
+        let mut c = cap();
+        c.discharge(Joules(0.01));
+        let accepted = c.charge(Joules(1.0));
+        assert!((accepted.value() - 0.01).abs() < 1e-12);
+        assert!((c.energy().value() - c.capacity().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hysteresis_thresholds() {
+        let mut c = cap();
+        // Drain to empty: cannot turn on until v_on reached.
+        c.discharge(Joules(1.0));
+        assert!(!c.can_turn_on());
+        // Charge until just below v_on.
+        let e_on = 0.5 * 0.033 * (1.85f64 * 1.85 - 1.8 * 1.8);
+        c.charge(Joules(e_on - 1e-6));
+        assert!(!c.can_turn_on());
+        c.charge(Joules(2e-6));
+        assert!(c.can_turn_on());
+    }
+
+    #[test]
+    fn voltage_tracks_energy() {
+        let mut c = cap();
+        c.discharge(c.capacity() * 0.5);
+        let v = c.voltage().value();
+        let expect = (1.8f64 * 1.8 + 2.0 * (c.capacity().value() * 0.5) / 0.033).sqrt();
+        assert!((v - expect).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn energy_always_within_bounds(ops in proptest::collection::vec((0.0f64..0.2, any::<bool>()), 1..200)) {
+            let mut c = cap();
+            for (amt, is_charge) in ops {
+                if is_charge { c.charge(Joules(amt)); } else { c.discharge(Joules(amt)); }
+                prop_assert!(c.energy().value() >= 0.0);
+                prop_assert!(c.energy().value() <= c.capacity().value() + 1e-12);
+                let v = c.voltage().value();
+                prop_assert!(v >= 1.8 - 1e-9 && v <= 3.3 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn conservation_under_charge(amt in 0.0f64..1.0) {
+            let mut c = cap();
+            c.discharge(Joules(0.1));
+            let before = c.energy().value();
+            let accepted = c.charge(Joules(amt)).value();
+            prop_assert!((c.energy().value() - (before + accepted)).abs() < 1e-12);
+            prop_assert!(accepted <= amt + 1e-15);
+        }
+
+        #[test]
+        fn conservation_under_discharge(amt in 0.0f64..1.0) {
+            let mut c = cap();
+            let before = c.energy().value();
+            let supplied = c.discharge(Joules(amt)).value();
+            prop_assert!((c.energy().value() - (before - supplied)).abs() < 1e-12);
+            prop_assert!(supplied <= amt + 1e-15);
+        }
+    }
+}

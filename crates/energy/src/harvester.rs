@@ -1,0 +1,242 @@
+//! Harvesting front-end: solar cells + boost converter.
+
+use core::fmt;
+use qz_types::Watts;
+
+/// Errors from validating a [`Harvester`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HarvesterError {
+    /// Cell count was zero.
+    NoCells,
+    /// Per-cell rating was zero, negative, or non-finite.
+    InvalidCellRating,
+    /// Converter efficiency was outside `(0, 1]`.
+    InvalidEfficiency,
+}
+
+impl fmt::Display for HarvesterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarvesterError::NoCells => write!(f, "harvester needs at least one cell"),
+            HarvesterError::InvalidCellRating => {
+                write!(f, "per-cell rating must be positive and finite")
+            }
+            HarvesterError::InvalidEfficiency => {
+                write!(f, "converter efficiency must be in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarvesterError {}
+
+/// A solar harvesting front-end.
+///
+/// Models the paper's setup of N identical cells (6 × IXYS SM700K10L in
+/// the primary experiments, swept 2–10 in Fig. 14) feeding a boost
+/// converter (BQ25504). The environment supplies an *irradiance fraction*
+/// in `[0, 1]` — the fraction of each cell's rated power currently
+/// available — and the harvester converts it to charging power:
+///
+/// `P_charge = irradiance × cells × cell_rating × efficiency`
+///
+/// The *datasheet maximum* (`cells × cell_rating`, pre-efficiency) is
+/// exposed separately because the Protean/Zygarde baselines set their
+/// degradation thresholds as fixed fractions of it (§6.1, "ZGO").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Harvester {
+    cells: u32,
+    cell_rating: Watts,
+    efficiency: f64,
+    /// Optional input-power-dependent efficiency (overrides the flat
+    /// `efficiency` when present).
+    curve: Option<crate::EfficiencyCurve>,
+}
+
+impl Harvester {
+    /// Creates a harvester with `cells` identical cells of `cell_rating`
+    /// peak output each, behind a converter of the given `efficiency`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvesterError`] if `cells == 0`, the rating is not a
+    /// positive finite power, or the efficiency is outside `(0, 1]`.
+    pub fn new(
+        cells: u32,
+        cell_rating: Watts,
+        efficiency: f64,
+    ) -> Result<Harvester, HarvesterError> {
+        if cells == 0 {
+            return Err(HarvesterError::NoCells);
+        }
+        if !(cell_rating.value().is_finite() && cell_rating.value() > 0.0) {
+            return Err(HarvesterError::InvalidCellRating);
+        }
+        if !(efficiency > 0.0 && efficiency <= 1.0) {
+            return Err(HarvesterError::InvalidEfficiency);
+        }
+        Ok(Harvester {
+            cells,
+            cell_rating,
+            efficiency,
+            curve: None,
+        })
+    }
+
+    /// Replaces the flat efficiency with an input-power-dependent curve
+    /// (see [`crate::EfficiencyCurve`]). The raw panel output
+    /// (`irradiance × datasheet max`) selects the operating point.
+    pub fn with_curve(mut self, curve: crate::EfficiencyCurve) -> Harvester {
+        self.curve = Some(curve);
+        self
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn cells(&self) -> u32 {
+        self.cells
+    }
+
+    /// Peak rated output of one cell (datasheet value, pre-converter).
+    #[inline]
+    pub fn cell_rating(&self) -> Watts {
+        self.cell_rating
+    }
+
+    /// Converter efficiency in `(0, 1]`.
+    #[inline]
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// The datasheet maximum harvest: `cells × cell_rating`, before
+    /// converter losses. Protean/Zygarde-style baselines threshold against
+    /// fractions of this value.
+    #[inline]
+    pub fn datasheet_max(&self) -> Watts {
+        self.cell_rating * self.cells as f64
+    }
+
+    /// Charging power delivered into storage for a given irradiance
+    /// fraction (clamped into `[0, 1]`).
+    #[inline]
+    pub fn output(&self, irradiance: f64) -> Watts {
+        let raw = self.datasheet_max() * irradiance.clamp(0.0, 1.0);
+        let eff = match &self.curve {
+            Some(curve) => curve.at(raw),
+            None => self.efficiency,
+        };
+        raw * eff
+    }
+
+    /// Returns a copy of this harvester with a different cell count
+    /// (used by the Fig. 14 cell-count sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvesterError::NoCells`] if `cells == 0`.
+    pub fn with_cells(&self, cells: u32) -> Result<Harvester, HarvesterError> {
+        let mut h = Harvester::new(cells, self.cell_rating, self.efficiency)?;
+        h.curve = self.curve.clone();
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn h() -> Harvester {
+        Harvester::new(6, Watts(0.010), 0.80).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(
+            Harvester::new(0, Watts(0.01), 0.8),
+            Err(HarvesterError::NoCells)
+        );
+        assert_eq!(
+            Harvester::new(6, Watts(0.0), 0.8),
+            Err(HarvesterError::InvalidCellRating)
+        );
+        assert_eq!(
+            Harvester::new(6, Watts(f64::INFINITY), 0.8),
+            Err(HarvesterError::InvalidCellRating)
+        );
+        assert_eq!(
+            Harvester::new(6, Watts(0.01), 0.0),
+            Err(HarvesterError::InvalidEfficiency)
+        );
+        assert_eq!(
+            Harvester::new(6, Watts(0.01), 1.5),
+            Err(HarvesterError::InvalidEfficiency)
+        );
+        assert!(Harvester::new(6, Watts(0.01), 1.0).is_ok());
+    }
+
+    #[test]
+    fn datasheet_max_scales_with_cells() {
+        assert!((h().datasheet_max().value() - 0.060).abs() < 1e-12);
+        let h10 = h().with_cells(10).unwrap();
+        assert!((h10.datasheet_max().value() - 0.100).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_at_full_sun() {
+        // 6 cells × 10 mW × 0.8 = 48 mW
+        assert!((h().output(1.0).value() - 0.048).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_clamps_irradiance() {
+        assert_eq!(h().output(-0.5), Watts::ZERO);
+        assert_eq!(h().output(2.0), h().output(1.0));
+    }
+
+    #[test]
+    fn curve_overrides_flat_efficiency() {
+        use crate::EfficiencyCurve;
+        let h = h().with_curve(EfficiencyCurve::bq25504_like());
+        // At deep low irradiance the curve's efficiency collapses well
+        // below the flat 0.8.
+        let raw_low = 0.002; // 0.12 mW raw
+        assert!(h.output(raw_low).value() < 0.12e-3 * 0.6);
+        // Near the design point it's close to the flat value.
+        let full = h.output(1.0).value();
+        assert!(full > 0.060 * 0.7 && full < 0.060 * 0.85, "full={full}");
+        // with_cells preserves the curve.
+        let h2 = h.with_cells(3).unwrap();
+        assert!(h2.output(0.002).value() < h2.datasheet_max().value() * 0.002 * 0.6);
+    }
+
+    #[test]
+    fn accessors() {
+        let h = h();
+        assert_eq!(h.cells(), 6);
+        assert_eq!(h.cell_rating(), Watts(0.010));
+        assert_eq!(h.efficiency(), 0.80);
+    }
+
+    proptest! {
+        #[test]
+        fn output_monotone_in_irradiance(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let h = h();
+            if a <= b {
+                prop_assert!(h.output(a).value() <= h.output(b).value() + 1e-15);
+            } else {
+                prop_assert!(h.output(b).value() <= h.output(a).value() + 1e-15);
+            }
+        }
+
+        #[test]
+        fn output_never_exceeds_converted_max(irr in -2.0f64..3.0) {
+            let h = h();
+            let out = h.output(irr).value();
+            prop_assert!(out >= 0.0);
+            prop_assert!(out <= h.datasheet_max().value() * h.efficiency() + 1e-15);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Energy-storage and harvester front-end models for energy-harvesting
+//! device simulation.
+//!
+//! An energy-harvesting device (Quetzal paper, §2.1) stores harvested
+//! energy in a small supercapacitor and operates from it. This crate
+//! models that power system:
+//!
+//! - [`Supercap`] — a supercapacitor with an operating voltage window and
+//!   turn-on / turn-off hysteresis, the element the device charges into and
+//!   executes out of.
+//! - [`Harvester`] — the harvesting front-end (solar cells + boost
+//!   converter, like the paper's 6 × IXYS cells into a BQ25504): scales an
+//!   environmental irradiance fraction into charging power.
+//! - [`PowerSystem`] — the two combined, with per-tick step accounting
+//!   (harvest in, load out, waste when full, brownout when empty).
+//!
+//! # Examples
+//!
+//! ```
+//! use qz_energy::{Harvester, PowerSystem, Supercap, SupercapConfig};
+//! use qz_types::{SimDuration, Watts};
+//!
+//! let cap = Supercap::new(SupercapConfig::default()).unwrap();
+//! let harvester = Harvester::new(6, Watts(0.010), 0.80).unwrap();
+//! let mut sys = PowerSystem::new(cap, harvester);
+//!
+//! // One second of full sun with a 5 mW load.
+//! for _ in 0..1000 {
+//!     sys.step(1.0, Watts(0.005), SimDuration::TICK);
+//! }
+//! assert!(sys.capacitor().energy().value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacitor;
+mod converter;
+mod harvester;
+mod system;
+
+pub use capacitor::{Supercap, SupercapConfig, SupercapError};
+pub use converter::EfficiencyCurve;
+pub use harvester::{Harvester, HarvesterError};
+pub use system::{PowerSystem, StepOutcome};

@@ -1,0 +1,121 @@
+//! 8-bit analog-to-digital converter model.
+
+use qz_types::Volts;
+
+/// An ideal 8-bit ADC with a configurable full-scale reference.
+///
+/// The paper sets `V_ADCMax = 0.6 V` so that one ADC count corresponds to
+/// a factor-`2^(1/8)` current ratio across the 25–50 °C band, which is
+/// what lets Algorithm 3 replace the division with shifts and a 3-bit
+/// table lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc8 {
+    v_ref: Volts,
+}
+
+impl Default for Adc8 {
+    /// The paper's 0.6 V full-scale reference.
+    fn default() -> Adc8 {
+        Adc8 { v_ref: Volts(0.6) }
+    }
+}
+
+impl Adc8 {
+    /// Number of quantization steps (2⁸ − 1 full-scale code).
+    pub const MAX_CODE: u8 = u8::MAX;
+
+    /// Creates an ADC with the given full-scale reference voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_ref` is not positive and finite.
+    pub fn new(v_ref: Volts) -> Adc8 {
+        assert!(
+            v_ref.value().is_finite() && v_ref.value() > 0.0,
+            "ADC reference must be positive"
+        );
+        Adc8 { v_ref }
+    }
+
+    /// The full-scale reference voltage.
+    #[inline]
+    pub fn v_ref(&self) -> Volts {
+        self.v_ref
+    }
+
+    /// Volts per code step.
+    #[inline]
+    pub fn lsb(&self) -> Volts {
+        self.v_ref / 255.0
+    }
+
+    /// Quantizes a voltage to an 8-bit code (round-to-nearest, saturating
+    /// at 0 and 255).
+    pub fn sample(&self, v: Volts) -> u8 {
+        let code = (v.value() / self.v_ref.value() * 255.0).round();
+        code.clamp(0.0, 255.0) as u8
+    }
+
+    /// The voltage at the center of a code's quantization bin.
+    pub fn code_to_volts(&self, code: u8) -> Volts {
+        self.v_ref * (code as f64 / 255.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_scale_and_zero() {
+        let adc = Adc8::default();
+        assert_eq!(adc.sample(Volts::ZERO), 0);
+        assert_eq!(adc.sample(Volts(0.6)), 255);
+    }
+
+    #[test]
+    fn saturates_out_of_range() {
+        let adc = Adc8::default();
+        assert_eq!(adc.sample(Volts(-0.1)), 0);
+        assert_eq!(adc.sample(Volts(5.0)), 255);
+    }
+
+    #[test]
+    fn midscale() {
+        let adc = Adc8::default();
+        assert_eq!(adc.sample(Volts(0.3)), 128); // 0.5·255 = 127.5 → rounds to 128
+    }
+
+    #[test]
+    fn lsb_value() {
+        let adc = Adc8::default();
+        assert!((adc.lsb().value() - 0.6 / 255.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn roundtrip_error_within_half_lsb() {
+        let adc = Adc8::default();
+        for i in 0..=600 {
+            let v = Volts(i as f64 / 1000.0);
+            let back = adc.code_to_volts(adc.sample(v));
+            assert!((back.value() - v.value()).abs() <= adc.lsb().value() / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reference must be positive")]
+    fn rejects_zero_reference() {
+        Adc8::new(Volts(0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn monotone(v1 in 0.0f64..0.6, v2 in 0.0f64..0.6) {
+            let adc = Adc8::default();
+            if v1 <= v2 {
+                prop_assert!(adc.sample(Volts(v1)) <= adc.sample(Volts(v2)));
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! ADC-reference calibration for the measurement circuit.
+//!
+//! Algorithm 3 assumes one ADC count of diode-voltage difference equals
+//! a current ratio of exactly `2^(1/8)`. That holds when
+//!
+//! ```text
+//! q · log2(e) · V_ADCMax / (k·T · 255) = 1/8
+//! ⇒ V_ADCMax = 255 · ln(2) · (kT/q) / 8
+//! ```
+//!
+//! — a temperature-dependent value. The paper fixes `V_ADCMax = 0.6 V`
+//! "for temperatures between 25–50 °C", which is the calibration for a
+//! junction temperature of ≈ 42 °C; the residual drift across the band
+//! is one of the module's two error sources (the other is quantization).
+//! This module computes the exact calibration point, the drift across a
+//! band, and the worst-case ratio error it induces — reproducing the
+//! paper's ≤ 5.5 % error analysis.
+
+use crate::adc::Adc8;
+use crate::diode::thermal_voltage;
+use qz_types::Volts;
+
+/// The ADC full-scale reference that makes one count exactly `2^(1/8)`
+/// of current ratio at the given junction temperature.
+///
+/// # Examples
+///
+/// ```
+/// use qz_hw::calibration::ideal_adc_reference;
+/// // The paper's 0.6 V choice is the ~42 °C calibration point.
+/// let v = ideal_adc_reference(42.0);
+/// assert!((v.value() - 0.6).abs() < 0.01);
+/// ```
+pub fn ideal_adc_reference(temp_c: f64) -> Volts {
+    Volts(255.0 * core::f64::consts::LN_2 * thermal_voltage(temp_c) / 8.0)
+}
+
+/// The temperature at which a given ADC reference is exactly calibrated.
+pub fn calibrated_temperature(v_ref: Volts) -> f64 {
+    // Invert ideal_adc_reference: kT/q = 8·V/(255·ln2).
+    let vt = 8.0 * v_ref.value() / (255.0 * core::f64::consts::LN_2);
+    vt * 1.602_176_634e-19 / 1.380_649e-23 - 273.15
+}
+
+/// An [`Adc8`] calibrated for the middle of a temperature band.
+pub fn calibrated_adc(band_low_c: f64, band_high_c: f64) -> Adc8 {
+    Adc8::new(ideal_adc_reference((band_low_c + band_high_c) / 2.0))
+}
+
+/// Worst-case *approximation* error (excluding quantization) of the
+/// `2^(delta/8)` decode across a temperature band, for a given true
+/// ratio: the exponent coefficient drifts with `kT/q`, so the decoded
+/// ratio is off by `2^(delta·(1/8 − c(T)))`.
+///
+/// Returns the worst absolute relative error over the band's endpoints.
+pub fn approximation_error(
+    v_ref: Volts,
+    band_low_c: f64,
+    band_high_c: f64,
+    true_ratio: f64,
+) -> f64 {
+    assert!(true_ratio >= 1.0, "ratio must be at least 1");
+    let mut worst: f64 = 0.0;
+    for temp in [band_low_c, band_high_c] {
+        // Exact per-count exponent at this temperature.
+        let c = core::f64::consts::LOG2_E * (v_ref.value() / 255.0) / thermal_voltage(temp);
+        // The (real-valued) delta this ratio produces.
+        let delta = true_ratio.log2() / c;
+        // Decoding assumes 1/8 per count.
+        let decoded = 2f64.powf(delta / 8.0);
+        worst = worst.max((decoded / true_ratio - 1.0).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_is_mid_band_calibration() {
+        // 0.6 V calibrates for ~42 °C — inside (toward the top of) the
+        // paper's 25–50 °C band.
+        let t = calibrated_temperature(Volts(0.6));
+        assert!((t - 42.0).abs() < 1.5, "calibrated at {t}");
+    }
+
+    #[test]
+    fn reference_roundtrip() {
+        for t in [0.0, 25.0, 42.0, 50.0, 85.0] {
+            let v = ideal_adc_reference(t);
+            let back = calibrated_temperature(v);
+            assert!((back - t).abs() < 1e-9, "t={t} back={back}");
+        }
+    }
+
+    #[test]
+    fn reference_grows_with_temperature() {
+        assert!(ideal_adc_reference(50.0) > ideal_adc_reference(25.0));
+    }
+
+    #[test]
+    fn calibrated_adc_centers_the_band() {
+        let adc = calibrated_adc(25.0, 50.0);
+        let v = adc.v_ref();
+        assert!((calibrated_temperature(v) - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_error_at_calibration_point() {
+        let v = ideal_adc_reference(37.5);
+        let e = approximation_error(v, 37.5, 37.5, 2.0);
+        assert!(e < 1e-12, "e={e}");
+    }
+
+    #[test]
+    fn paper_band_error_bound() {
+        // With the paper's 0.6 V reference, the approximation error over
+        // 25–50 °C stays within the paper's ≤5.5 % claim for the ratio
+        // range the scheduler exercises (up to ~2.5×).
+        for ratio10 in 10..=25u32 {
+            let ratio = ratio10 as f64 / 10.0;
+            let e = approximation_error(Volts(0.6), 25.0, 50.0, ratio);
+            assert!(e <= 0.055, "ratio {ratio}: error {e}");
+        }
+    }
+
+    #[test]
+    fn error_grows_with_ratio() {
+        let small = approximation_error(Volts(0.6), 25.0, 50.0, 1.5);
+        let large = approximation_error(Volts(0.6), 25.0, 50.0, 16.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn mid_band_calibration_beats_paper_choice_at_low_end() {
+        // Re-centering the reference on 37.5 °C reduces the worst error
+        // at the cool end of the band.
+        let centered = calibrated_adc(25.0, 50.0).v_ref();
+        let e_centered = approximation_error(centered, 25.0, 50.0, 2.0);
+        let e_paper = approximation_error(Volts(0.6), 25.0, 50.0, 2.0);
+        assert!(e_centered <= e_paper + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be")]
+    fn rejects_sub_unit_ratio() {
+        approximation_error(Volts(0.6), 25.0, 50.0, 0.5);
+    }
+}

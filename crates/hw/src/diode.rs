@@ -1,0 +1,174 @@
+//! Shockley diode-law model.
+
+use qz_types::{Amps, Volts};
+
+/// Boltzmann constant, J/K.
+const BOLTZMANN: f64 = 1.380_649e-23;
+/// Elementary charge, C.
+const CHARGE: f64 = 1.602_176_634e-19;
+
+/// Converts a Celsius temperature to the thermal voltage `kT/q` in volts.
+///
+/// ≈ 25.7 mV at 25 °C, ≈ 27.8 mV at 50 °C — the band the paper's 1/8
+/// exponent approximation is calibrated over.
+#[inline]
+pub fn thermal_voltage(temp_c: f64) -> f64 {
+    BOLTZMANN * (temp_c + 273.15) / CHARGE
+}
+
+/// A forward-biased measurement diode (one of D1/D2 in the paper's
+/// circuit, e.g. the SDM40E20 Schottky).
+///
+/// Models the Shockley diode law in its log form,
+/// `V_d = n · (kT/q) · ln(I / I_0)`, valid for `I ≫ I_0` — always true
+/// here since measured currents are µA–mA against a nA-scale saturation
+/// current.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeSensor {
+    /// Reverse saturation current `I_0`.
+    i_sat: Amps,
+    /// Ideality factor `n` (1.0 for an ideal diode).
+    ideality: f64,
+}
+
+impl Default for DiodeSensor {
+    /// A near-ideal small-signal Schottky: `I_0` = 1 nA, `n` = 1.
+    fn default() -> DiodeSensor {
+        DiodeSensor {
+            i_sat: Amps(1e-9),
+            ideality: 1.0,
+        }
+    }
+}
+
+impl DiodeSensor {
+    /// Creates a diode with the given saturation current and ideality
+    /// factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_sat` is not positive-finite or `ideality` is not in
+    /// `[0.5, 2.5]` (physical range for real diodes).
+    pub fn new(i_sat: Amps, ideality: f64) -> DiodeSensor {
+        assert!(
+            i_sat.value().is_finite() && i_sat.value() > 0.0,
+            "saturation current must be positive"
+        );
+        assert!(
+            (0.5..=2.5).contains(&ideality),
+            "ideality factor out of physical range"
+        );
+        DiodeSensor { i_sat, ideality }
+    }
+
+    /// Saturation current `I_0`.
+    #[inline]
+    pub fn i_sat(&self) -> Amps {
+        self.i_sat
+    }
+
+    /// Ideality factor `n`.
+    #[inline]
+    pub fn ideality(&self) -> f64 {
+        self.ideality
+    }
+
+    /// Forward voltage for a current at a junction temperature.
+    ///
+    /// Returns 0 V for non-positive currents (no forward drop).
+    pub fn forward_voltage(&self, current: Amps, temp_c: f64) -> Volts {
+        if current.value() <= 0.0 {
+            return Volts::ZERO;
+        }
+        let vt = thermal_voltage(temp_c);
+        Volts(self.ideality * vt * (current.value() / self.i_sat.value()).ln())
+    }
+
+    /// Inverts the diode law: the current that produces `v` at `temp_c`.
+    pub fn current_for_voltage(&self, v: Volts, temp_c: f64) -> Amps {
+        let vt = thermal_voltage(temp_c);
+        Amps(self.i_sat.value() * (v.value() / (self.ideality * vt)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn thermal_voltage_at_room_temp() {
+        assert!((thermal_voltage(25.0) - 0.025693).abs() < 1e-5);
+        assert!((thermal_voltage(50.0) - 0.027847).abs() < 1e-5);
+    }
+
+    #[test]
+    fn forward_voltage_is_logarithmic() {
+        let d = DiodeSensor::default();
+        let v1 = d.forward_voltage(Amps(1e-3), 25.0);
+        let v2 = d.forward_voltage(Amps(2e-3), 25.0);
+        // Doubling current adds exactly Vt·ln2.
+        let expect = thermal_voltage(25.0) * core::f64::consts::LN_2;
+        assert!(((v2 - v1).value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_difference_encodes_current_ratio() {
+        // The core trick of the paper's circuit: ΔV = Vt·ln(I2/I1).
+        let d = DiodeSensor::default();
+        let i1 = Amps(0.5e-3);
+        let i2 = Amps(60e-3);
+        let dv = d.forward_voltage(i2, 30.0) - d.forward_voltage(i1, 30.0);
+        let ratio = (dv.value() / thermal_voltage(30.0)).exp();
+        assert!((ratio - 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_and_negative_current_give_zero_volts() {
+        let d = DiodeSensor::default();
+        assert_eq!(d.forward_voltage(Amps::ZERO, 25.0), Volts::ZERO);
+        assert_eq!(d.forward_voltage(Amps(-1.0), 25.0), Volts::ZERO);
+    }
+
+    #[test]
+    fn roundtrip_voltage_current() {
+        let d = DiodeSensor::new(Amps(2e-9), 1.05);
+        let i = Amps(3.3e-3);
+        let v = d.forward_voltage(i, 40.0);
+        let back = d.current_for_voltage(v, 40.0);
+        assert!((back.value() - i.value()).abs() / i.value() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "saturation current")]
+    fn rejects_bad_saturation_current() {
+        DiodeSensor::new(Amps(0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ideality")]
+    fn rejects_bad_ideality() {
+        DiodeSensor::new(Amps(1e-9), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn voltage_monotone_in_current(a in 1e-6f64..0.1, b in 1e-6f64..0.1) {
+            let d = DiodeSensor::default();
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(
+                d.forward_voltage(Amps(lo), 25.0).value()
+                    <= d.forward_voltage(Amps(hi), 25.0).value()
+            );
+        }
+
+        #[test]
+        fn hotter_diode_higher_voltage(i in 1e-5f64..0.1, t1 in 0.0f64..40.0) {
+            // For I >> I0 the log term is positive, so V grows with T.
+            let d = DiodeSensor::default();
+            let v_cool = d.forward_voltage(Amps(i), t1).value();
+            let v_hot = d.forward_voltage(Amps(i), t1 + 10.0).value();
+            prop_assert!(v_hot > v_cool);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Quetzal's hardware power-measurement module (paper §5.1), in simulation.
+//!
+//! Quetzal needs the ratio `P_exe / P_in` to evaluate the energy-aware
+//! service time `S_e2e = max(t_exe, t_exe · P_exe / P_in)` (Eq. 1) — and it
+//! needs it hundreds of times per second on microcontrollers that may lack
+//! a hardware divider. The paper's circuit sidesteps the division with
+//! semiconductor physics: currents are passed through a diode, whose
+//! forward voltage is *logarithmic* in current (the Shockley diode law),
+//! so a ratio of currents becomes a *difference* of diode voltages, and
+//! exponentiation back out of the log domain becomes shifts and a small
+//! table lookup (Algorithm 3).
+//!
+//! This crate models the full measurement chain:
+//!
+//! - [`DiodeSensor`] — Shockley diode law `V_d = n·(kT/q)·ln(I/I_0)`.
+//! - [`Adc8`] — the 8-bit ADC quantizing diode voltages over `V_ADCMax`.
+//! - [`PowerMonitor`] — the assembled circuit (two diodes + mux + ADC):
+//!   profile-time `V_D2` capture and run-time `V_D1` sampling.
+//! - [`ratio`] — Algorithm 3: premultiplied `t_exe` tables, shift +
+//!   3-bit lookup evaluation, all in Q16.16 fixed point.
+//! - [`costs`] — per-MCU cycle/energy cost models (MSP430FR5994,
+//!   Ambiq Apollo 4) for the division-based and module-based ratio paths,
+//!   plus runtime memory footprint, reproducing the §5.1 cost table.
+//!
+//! # Fidelity notes
+//!
+//! Algorithm 3's listing in the paper contains an obvious typesetting
+//! corruption (`t_exe[delta AND 0x03] * (1-(delta))`). We implement the
+//! reconstruction the surrounding text specifies: the low **three** bits
+//! of `delta` select one of the **eight** premultiplied `t_exe` entries
+//! (`2^{0.b}`, b ∈ {0, 1/8, …, 7/8}), and the high bits are applied as a
+//! left shift (`2^a`). The paper's ≤5.5 % error claim is reproduced for
+//! the ratio range its tasks exercise; see `EXPERIMENTS.md` for the
+//! measured error surface over temperature and ratio.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
+
+// The runtime-side pieces (Algorithm 3, cost tables) are `no_std`; the
+// analog *models* of the circuit (diode law, ADC, monitor, calibration)
+// need transcendental float functions and stay behind the default `std`
+// feature — on a real device they are replaced by the physical circuit.
+#[cfg(feature = "std")]
+pub mod adc;
+#[cfg(feature = "std")]
+pub mod calibration;
+pub mod costs;
+#[cfg(feature = "std")]
+pub mod diode;
+#[cfg(feature = "std")]
+pub mod monitor;
+pub mod ratio;
+
+#[cfg(feature = "std")]
+pub use adc::Adc8;
+pub use costs::{McuProfile, OpCost, RatioPath, APOLLO4, MSP430FR5994, STM32G071};
+#[cfg(feature = "std")]
+pub use diode::DiodeSensor;
+#[cfg(feature = "std")]
+pub use monitor::PowerMonitor;
+pub use ratio::{premultiply_t_exe, ratio_estimate, se2e_hw, PremultTable};

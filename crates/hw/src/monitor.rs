@@ -1,0 +1,164 @@
+//! The assembled power-measurement circuit.
+
+use crate::adc::Adc8;
+use crate::diode::DiodeSensor;
+use qz_types::{Volts, Watts};
+
+/// Quetzal's power-measurement circuit: two diodes, a multiplexer and an
+/// 8-bit ADC (paper Fig. 6).
+///
+/// Both the execution-power diode (D2, sampled once per task during
+/// profiling) and the input-power diode (D1, sampled at run time) operate
+/// at the same rail voltage, so the power ratio `P_exe / P_in` reduces to
+/// the current ratio `I_exe / I_in`, and the diode law turns that into
+/// the voltage difference `V_D2 − V_D1` — which is all Algorithm 3 needs.
+///
+/// The model includes the two real error sources: the thermal-voltage
+/// drift of the diode across the 25–50 °C operating band, and the ADC's
+/// quantization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerMonitor {
+    diode: DiodeSensor,
+    adc: Adc8,
+    v_rail: Volts,
+    temp_c: f64,
+}
+
+impl Default for PowerMonitor {
+    /// Default circuit: ideal 1 nA Schottky, 0.6 V ADC reference, 3.3 V
+    /// rail, 25 °C.
+    fn default() -> PowerMonitor {
+        PowerMonitor {
+            diode: DiodeSensor::default(),
+            adc: Adc8::default(),
+            v_rail: Volts(3.3),
+            temp_c: 25.0,
+        }
+    }
+}
+
+impl PowerMonitor {
+    /// Builds a monitor from explicit components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_rail` is not positive and finite.
+    pub fn new(diode: DiodeSensor, adc: Adc8, v_rail: Volts, temp_c: f64) -> PowerMonitor {
+        assert!(
+            v_rail.value().is_finite() && v_rail.value() > 0.0,
+            "rail voltage must be positive"
+        );
+        PowerMonitor {
+            diode,
+            adc,
+            v_rail,
+            temp_c,
+        }
+    }
+
+    /// The ADC in the measurement chain.
+    #[inline]
+    pub fn adc(&self) -> &Adc8 {
+        &self.adc
+    }
+
+    /// The sensing diode.
+    #[inline]
+    pub fn diode(&self) -> &DiodeSensor {
+        &self.diode
+    }
+
+    /// Current junction temperature, °C.
+    #[inline]
+    pub fn temperature(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Changes the junction temperature (the environment warms/cools the
+    /// board; Quetzal's error analysis sweeps 25–50 °C).
+    pub fn set_temperature(&mut self, temp_c: f64) {
+        self.temp_c = temp_c;
+    }
+
+    /// Samples the ADC code for a power flowing through a measurement
+    /// diode at the rail voltage.
+    ///
+    /// This is both the profiling path (capture `V_D2` for a task's
+    /// `P_exe`) and the runtime path (read `V_D1` for the instantaneous
+    /// `P_in`): the mux selects which diode feeds the ADC.
+    pub fn sample_power(&self, p: Watts) -> u8 {
+        let current = p / self.v_rail;
+        let v = self.diode.forward_voltage(current, self.temp_c);
+        self.adc.sample(v)
+    }
+
+    /// The exact (un-quantized, divider-based) power ratio — the value the
+    /// hardware module approximates. Returns `f64::INFINITY` when
+    /// `p_in` is zero.
+    pub fn exact_ratio(p_exe: Watts, p_in: Watts) -> f64 {
+        if p_in.value() <= 0.0 {
+            f64::INFINITY
+        } else {
+            p_exe / p_in
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::ratio_estimate;
+
+    #[test]
+    fn higher_power_higher_code() {
+        let m = PowerMonitor::default();
+        let low = m.sample_power(Watts(0.001));
+        let high = m.sample_power(Watts(0.4));
+        assert!(high > low);
+    }
+
+    #[test]
+    fn zero_power_reads_zero() {
+        let m = PowerMonitor::default();
+        assert_eq!(m.sample_power(Watts::ZERO), 0);
+    }
+
+    #[test]
+    fn code_difference_tracks_log_ratio() {
+        // One ADC count ≈ 2^(1/8) of current ratio at the calibration
+        // temperature — the invariant the whole module rests on.
+        let m = PowerMonitor::default();
+        let p1 = Watts(0.004);
+        let p2 = Watts(0.032); // 8× ratio → log2 = 3 → ~24 counts
+        let d = m.sample_power(p2) as i32 - m.sample_power(p1) as i32;
+        assert!((20..=28).contains(&d), "delta={d}");
+        // And Algorithm 3's estimate of the ratio from that delta is close.
+        let est = ratio_estimate(d as u8);
+        assert!((est / 8.0 - 1.0).abs() < 0.35, "est={est}");
+    }
+
+    #[test]
+    fn temperature_shifts_codes() {
+        let mut m = PowerMonitor::default();
+        let cold = m.sample_power(Watts(0.01));
+        m.set_temperature(50.0);
+        let hot = m.sample_power(Watts(0.01));
+        assert!(
+            hot >= cold,
+            "diode voltage grows with temperature in the log regime"
+        );
+        assert_eq!(m.temperature(), 50.0);
+    }
+
+    #[test]
+    fn exact_ratio_edges() {
+        assert_eq!(PowerMonitor::exact_ratio(Watts(0.4), Watts(0.1)), 4.0);
+        assert!(PowerMonitor::exact_ratio(Watts(0.4), Watts::ZERO).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "rail voltage")]
+    fn rejects_bad_rail() {
+        PowerMonitor::new(DiodeSensor::default(), Adc8::default(), Volts(0.0), 25.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Algorithm 3: division-free `S_e2e` evaluation.
+//!
+//! At the ADC's calibration point, one code step of diode-voltage
+//! difference corresponds to a current ratio of `2^(1/8)`. So for
+//! `delta = V_D2 − V_D1` (in ADC counts):
+//!
+//! ```text
+//! P_exe / P_in ≈ 2^(delta/8) = 2^a · 2^(0.b)
+//!     a = delta >> 3        (integer part of the exponent → left shift)
+//!     b = delta & 0x07      (fractional part → one of 8 table entries)
+//! ```
+//!
+//! The eight `t_exe · 2^(b/8)` products are computed once at profile time
+//! ([`premultiply_t_exe`]); the runtime evaluation ([`se2e_hw`]) is one
+//! subtraction, one comparison, one table lookup and one shift — no
+//! division, no multiplication in the hot path.
+
+use qz_types::{Seconds, Q16};
+
+/// Profile-time table of `t_exe · 2^(b/8)` for `b = 0..8`, in Q16.16
+/// seconds.
+pub type PremultTable = [Q16; 8];
+
+/// The eight fractional-power-of-two multipliers `2^(b/8)`.
+const FRAC_POW2: [f64; 8] = [
+    1.0,
+    1.090_507_732_665_257_7, // 2^(1/8)
+    1.189_207_115_002_721_1, // 2^(2/8)
+    1.296_839_554_651_009_7, // 2^(3/8)
+    1.414_213_562_373_095_1, // 2^(4/8)
+    1.542_210_825_407_940_8, // 2^(5/8)
+    1.681_792_830_507_429_1, // 2^(6/8)
+    1.834_008_086_409_342_5, // 2^(7/8)
+];
+
+/// Computes the profile-time premultiplied `t_exe` table for a task (or a
+/// degradation option). Done once per profiling pass, so it may use
+/// full-precision arithmetic; the results are stored in Q16.16.
+///
+/// # Examples
+///
+/// ```
+/// use qz_hw::premultiply_t_exe;
+/// use qz_types::Seconds;
+///
+/// let table = premultiply_t_exe(Seconds(2.0));
+/// assert_eq!(table[0].to_f64(), 2.0);                 // 2·2^0
+/// assert!((table[4].to_f64() - 2.0 * 2f64.sqrt()).abs() < 1e-4); // 2·2^(1/2)
+/// ```
+pub fn premultiply_t_exe(t_exe: Seconds) -> PremultTable {
+    let mut table = [Q16::ZERO; 8];
+    for (entry, multiplier) in table.iter_mut().zip(FRAC_POW2) {
+        *entry = Q16::from_f64(t_exe.value() * multiplier);
+    }
+    table
+}
+
+/// The module's estimate of the power ratio `2^(delta/8)` for a code
+/// difference, in floating point — used by the error analysis, not by the
+/// runtime path.
+#[inline]
+pub fn ratio_estimate(delta: u8) -> f64 {
+    let a = (delta >> 3) as u32; // ≤ 31, so the shift below cannot overflow
+    let b = (delta & 0x07) as usize;
+    FRAC_POW2[b] * (1u64 << a) as f64
+}
+
+/// Algorithm 3: evaluates `S_e2e = max(t_exe, t_exe · P_exe / P_in)` from
+/// the two ADC codes, division-free.
+///
+/// - `table` — this task's premultiplied `t_exe` values.
+/// - `vd1` — the input-power diode code, sampled at run time.
+/// - `vd2` — the execution-power diode code, recorded at profile time.
+///
+/// When `vd2 <= vd1` the device harvests at least as fast as the task
+/// spends (`P_in ≥ P_exe`), so execution time dominates and the result is
+/// `t_exe` itself (`table[0]`). Otherwise recharging dominates and the
+/// result is `t_exe · 2^(delta/8)`, saturating at [`Q16::MAX`] (≈ 9.1
+/// hours — effectively "longer than any experiment" for a shift that
+/// would overflow).
+pub fn se2e_hw(table: &PremultTable, vd1: u8, vd2: u8) -> Q16 {
+    if vd2 <= vd1 {
+        return table[0];
+    }
+    let delta = vd2 - vd1;
+    let a = (delta >> 3) as u32;
+    let b = (delta & 0x07) as usize;
+    let base = table[b];
+    // Saturating left shift: Q16 tops out at ≈ 32768 s.
+    if a >= 31 || base.to_bits() > (i32::MAX >> a) {
+        Q16::MAX
+    } else {
+        base << a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::PowerMonitor;
+    use proptest::prelude::*;
+    use qz_types::Watts;
+
+    #[test]
+    fn compute_bound_returns_t_exe() {
+        let table = premultiply_t_exe(Seconds(0.8));
+        // vd2 <= vd1 → P_in >= P_exe → S_e2e = t_exe
+        assert_eq!(se2e_hw(&table, 100, 100), table[0]);
+        assert_eq!(se2e_hw(&table, 120, 80), table[0]);
+        assert!((table[0].to_f64() - 0.8).abs() < 1e-4);
+    }
+
+    #[test]
+    fn one_count_is_eighth_octave() {
+        let table = premultiply_t_exe(Seconds(1.0));
+        let s = se2e_hw(&table, 100, 101);
+        assert!((s.to_f64() - 2f64.powf(1.0 / 8.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eight_counts_double() {
+        let table = premultiply_t_exe(Seconds(1.5));
+        let s = se2e_hw(&table, 100, 108);
+        assert!((s.to_f64() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn estimate_matches_exact_power() {
+        for delta in 0u8..=80 {
+            let exact = 2f64.powf(delta as f64 / 8.0);
+            let est = ratio_estimate(delta);
+            assert!((est / exact - 1.0).abs() < 1e-12, "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let table = premultiply_t_exe(Seconds(50.0));
+        // Huge delta → enormous recharge estimate → saturate.
+        assert_eq!(se2e_hw(&table, 0, 255), Q16::MAX);
+    }
+
+    #[test]
+    fn algorithm_cost_is_division_free() {
+        // Structural property, checked by construction: se2e_hw only
+        // compares, subtracts, masks, indexes and shifts. This test pins
+        // the *numerical* contract that the premultiplied entries are
+        // exactly the t_exe·2^(b/8) products Algorithm 3 assumes.
+        let t = Seconds(2.0);
+        let table = premultiply_t_exe(t);
+        for (b, entry) in table.iter().enumerate() {
+            let expect = t.value() * 2f64.powf(b as f64 / 8.0);
+            assert!((entry.to_f64() - expect).abs() < 1e-4, "b={b}");
+        }
+    }
+
+    /// The paper's headline accuracy claim: the module's ratio estimate
+    /// is within a few percent of the true ratio across 25–50 °C for the
+    /// ratio range the scheduler exercises. We verify the end-to-end
+    /// chain (diode physics + quantization + Algorithm 3).
+    #[test]
+    fn end_to_end_accuracy_across_temperature() {
+        let mut worst: f64 = 0.0;
+        for temp10 in 250..=500 {
+            let mut m = PowerMonitor::default();
+            m.set_temperature(temp10 as f64 / 10.0);
+            let p_in = Watts(0.020);
+            for ratio10 in 11..=25u32 {
+                // ratios 1.1×..2.5× — the S_e2e regime Quetzal degrades over
+                let true_ratio = ratio10 as f64 / 10.0;
+                let p_exe = Watts(p_in.value() * true_ratio);
+                let vd1 = m.sample_power(p_in);
+                let vd2 = m.sample_power(p_exe);
+                if vd2 <= vd1 {
+                    continue;
+                }
+                let est = ratio_estimate(vd2 - vd1);
+                let err = (est / true_ratio - 1.0).abs();
+                worst = worst.max(err);
+            }
+        }
+        // Quantization (±1 count ≈ 9 %) plus thermal drift bound the
+        // worst case; typical error is far lower (reported in
+        // EXPERIMENTS.md against the paper's ≤5.5 % claim).
+        assert!(worst < 0.16, "worst-case ratio error {worst}");
+    }
+
+    proptest! {
+        #[test]
+        fn se2e_never_below_t_exe(t in 0.01f64..100.0, vd1 in 0u8..=255, vd2 in 0u8..=255) {
+            let table = premultiply_t_exe(Seconds(t));
+            let s = se2e_hw(&table, vd1, vd2);
+            prop_assert!(s >= table[0]);
+        }
+
+        #[test]
+        fn se2e_monotone_in_delta(t in 0.01f64..10.0, vd1 in 0u8..200, d in 0u8..50) {
+            let table = premultiply_t_exe(Seconds(t));
+            let s1 = se2e_hw(&table, vd1, vd1.saturating_add(d));
+            let s2 = se2e_hw(&table, vd1, vd1.saturating_add(d).saturating_add(1));
+            prop_assert!(s2 >= s1);
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Queueing-theory models underpinning Quetzal's IBO prediction.
+//!
+//! The paper grounds its design in queueing theory (§3, citing
+//! Harchol-Balter's *Performance Modeling and Design of Computer
+//! Systems*): the input buffer is a queue with arrival rate λ, Little's
+//! Law `E[N] = λ·E[S]` predicts occupancy, and SJF is chosen because it
+//! minimizes mean waiting time. This crate implements the standard
+//! results the design leans on, so the simulator can be validated
+//! against closed forms and the IBO engine's assumptions can be examined
+//! quantitatively:
+//!
+//! - [`littles_law`] — the `E[N] = λ·E[S]` identity used by Algorithm 2.
+//! - [`MM1`] — the M/M/1 queue (exponential interarrivals and service).
+//! - [`MG1`] — the M/G/1 queue via the Pollaczek–Khinchine formula
+//!   (general service distributions; an M/D/1 constructor covers the
+//!   deterministic service times of profiled tasks).
+//! - [`MM1K`] — the finite-capacity M/M/1/K queue, whose *blocking
+//!   probability* is the analytic analogue of the input-buffer-overflow
+//!   rate.
+//!
+//! The `queueing_validation` integration test compares the device
+//! simulator's measured occupancy and loss rates against these formulas
+//! in regimes where the assumptions approximately hold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Little's Law: the long-run average number in the system.
+///
+/// # Examples
+///
+/// ```
+/// use qz_queueing::littles_law;
+/// // 0.5 arrivals/s held for 4 s each → 2 in the system on average.
+/// assert_eq!(littles_law(0.5, 4.0), 2.0);
+/// ```
+pub fn littles_law(lambda: f64, expected_service: f64) -> f64 {
+    lambda * expected_service
+}
+
+/// Validates a (λ, μ) pair and returns the utilization ρ = λ/μ.
+fn utilization(lambda: f64, mu: f64) -> f64 {
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be non-negative and finite"
+    );
+    assert!(mu > 0.0 && mu.is_finite(), "mu must be positive and finite");
+    lambda / mu
+}
+
+/// The M/M/1 queue: Poisson arrivals at rate λ, exponential service at
+/// rate μ, infinite buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1 {
+    /// Arrival rate λ (per second).
+    pub lambda: f64,
+    /// Service rate μ (per second).
+    pub mu: f64,
+}
+
+impl MM1 {
+    /// Creates the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if λ is negative or μ is not positive.
+    pub fn new(lambda: f64, mu: f64) -> MM1 {
+        let _ = utilization(lambda, mu);
+        MM1 { lambda, mu }
+    }
+
+    /// Utilization ρ = λ/μ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// `true` when the queue has a steady state (ρ < 1).
+    pub fn is_stable(&self) -> bool {
+        self.rho() < 1.0
+    }
+
+    /// Expected number in the system, `E[N] = ρ/(1−ρ)`.
+    ///
+    /// Returns `f64::INFINITY` for ρ ≥ 1.
+    pub fn expected_number(&self) -> f64 {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            f64::INFINITY
+        } else {
+            rho / (1.0 - rho)
+        }
+    }
+
+    /// Expected time in the system, `E[T] = 1/(μ−λ)` (via Little's Law).
+    pub fn expected_time(&self) -> f64 {
+        if self.rho() >= 1.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (self.mu - self.lambda)
+        }
+    }
+}
+
+/// The M/G/1 queue: Poisson arrivals, a general service distribution
+/// described by its mean and squared coefficient of variation
+/// `C² = Var[S]/E[S]²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MG1 {
+    /// Arrival rate λ (per second).
+    pub lambda: f64,
+    /// Mean service time `E[S]` (seconds).
+    pub mean_service: f64,
+    /// Squared coefficient of variation of the service time.
+    pub cs2: f64,
+}
+
+impl MG1 {
+    /// Creates the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if λ is negative, the mean service is not positive, or
+    /// `cs2` is negative.
+    pub fn new(lambda: f64, mean_service: f64, cs2: f64) -> MG1 {
+        let _ = utilization(lambda, 1.0 / mean_service);
+        assert!(cs2 >= 0.0 && cs2.is_finite(), "cs2 must be non-negative");
+        MG1 {
+            lambda,
+            mean_service,
+            cs2,
+        }
+    }
+
+    /// M/D/1: deterministic service (C² = 0) — the right model for
+    /// Quetzal's profiled, constant-cost tasks at fixed power.
+    pub fn deterministic(lambda: f64, service: f64) -> MG1 {
+        MG1::new(lambda, service, 0.0)
+    }
+
+    /// M/M/1 as an M/G/1 special case (C² = 1).
+    pub fn exponential(lambda: f64, mean_service: f64) -> MG1 {
+        MG1::new(lambda, mean_service, 1.0)
+    }
+
+    /// Utilization `ρ = λ·E[S]`.
+    pub fn rho(&self) -> f64 {
+        self.lambda * self.mean_service
+    }
+
+    /// Pollaczek–Khinchine: expected number in the system,
+    /// `E[N] = ρ + ρ²(1+C²) / (2(1−ρ))`.
+    ///
+    /// Returns `f64::INFINITY` for ρ ≥ 1.
+    pub fn expected_number(&self) -> f64 {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            f64::INFINITY
+        } else {
+            rho + rho * rho * (1.0 + self.cs2) / (2.0 * (1.0 - rho))
+        }
+    }
+
+    /// Expected waiting time in the queue (excluding service),
+    /// `E[W] = λ·E[S²] / (2(1−ρ))`.
+    pub fn expected_wait(&self) -> f64 {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            return f64::INFINITY;
+        }
+        let es2 = self.mean_service * self.mean_service * (1.0 + self.cs2);
+        self.lambda * es2 / (2.0 * (1.0 - rho))
+    }
+}
+
+/// The finite-capacity M/M/1/K queue: at most `K` customers in the
+/// system; arrivals finding it full are *lost* — the analytic analogue of
+/// an input buffer overflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1K {
+    /// Arrival rate λ (per second).
+    pub lambda: f64,
+    /// Service rate μ (per second).
+    pub mu: f64,
+    /// System capacity (buffer slots, including the one in service).
+    pub k: usize,
+}
+
+impl MM1K {
+    /// Creates the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if λ is negative, μ is not positive, or `k` is zero.
+    pub fn new(lambda: f64, mu: f64, k: usize) -> MM1K {
+        let _ = utilization(lambda, mu);
+        assert!(k > 0, "capacity must be positive");
+        MM1K { lambda, mu, k }
+    }
+
+    /// Utilization ρ = λ/μ (may exceed 1; the finite queue still has a
+    /// steady state).
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Steady-state probability of exactly `n` in the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > k`.
+    pub fn probability_of(&self, n: usize) -> f64 {
+        assert!(n <= self.k, "state out of range");
+        let rho = self.rho();
+        if (rho - 1.0).abs() < 1e-12 {
+            return 1.0 / (self.k + 1) as f64;
+        }
+        (1.0 - rho) * rho.powi(n as i32) / (1.0 - rho.powi(self.k as i32 + 1))
+    }
+
+    /// Blocking probability: the fraction of arrivals lost because the
+    /// buffer is full — the closed-form IBO rate for Poisson arrivals and
+    /// exponential service.
+    pub fn blocking_probability(&self) -> f64 {
+        self.probability_of(self.k)
+    }
+
+    /// Expected number in the system.
+    pub fn expected_number(&self) -> f64 {
+        (0..=self.k)
+            .map(|n| n as f64 * self.probability_of(n))
+            .sum()
+    }
+
+    /// Throughput of *accepted* arrivals, `λ·(1 − P_block)`.
+    pub fn accepted_rate(&self) -> f64 {
+        self.lambda * (1.0 - self.blocking_probability())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn littles_law_identity() {
+        assert_eq!(littles_law(2.0, 3.0), 6.0);
+        assert_eq!(littles_law(0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn mm1_textbook_values() {
+        // ρ = 0.5 → E[N] = 1, E[T] = 1/(μ−λ) = 2/μ.
+        let q = MM1::new(0.5, 1.0);
+        assert!(q.is_stable());
+        assert!((q.expected_number() - 1.0).abs() < 1e-12);
+        assert!((q.expected_time() - 2.0).abs() < 1e-12);
+        // Little's Law ties them together.
+        assert!((littles_law(q.lambda, q.expected_time()) - q.expected_number()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_saturates_at_unit_utilization() {
+        let q = MM1::new(1.0, 1.0);
+        assert!(!q.is_stable());
+        assert!(q.expected_number().is_infinite());
+        assert!(q.expected_time().is_infinite());
+    }
+
+    #[test]
+    fn md1_halves_the_queueing_term() {
+        // Classic result: the M/D/1 queue has half the waiting time of
+        // the M/M/1 queue at the same utilization.
+        let md1 = MG1::deterministic(0.8, 1.0);
+        let mm1 = MG1::exponential(0.8, 1.0);
+        assert!((md1.expected_wait() / mm1.expected_wait() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mg1_exponential_matches_mm1() {
+        let via_pk = MG1::exponential(0.6, 1.0).expected_number();
+        let direct = MM1::new(0.6, 1.0).expected_number();
+        assert!((via_pk - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1k_probabilities_sum_to_one() {
+        for rho10 in [3, 8, 10, 15] {
+            let q = MM1K::new(rho10 as f64 / 10.0, 1.0, 10);
+            let total: f64 = (0..=q.k).map(|n| q.probability_of(n)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "rho={rho10}: sum={total}");
+        }
+    }
+
+    #[test]
+    fn mm1k_blocking_grows_with_load() {
+        let light = MM1K::new(0.2, 1.0, 10).blocking_probability();
+        let heavy = MM1K::new(2.0, 1.0, 10).blocking_probability();
+        assert!(light < 1e-6, "light load barely blocks: {light}");
+        assert!(heavy > 0.4, "overload blocks about (rho-1)/rho: {heavy}");
+    }
+
+    #[test]
+    fn mm1k_overload_blocking_approaches_flow_balance() {
+        // In deep overload the accepted rate equals the service rate:
+        // P_block → 1 − μ/λ.
+        let q = MM1K::new(4.0, 1.0, 10);
+        assert!((q.blocking_probability() - 0.75).abs() < 1e-3);
+        assert!((q.accepted_rate() - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn mm1k_at_unit_load_is_uniform() {
+        let q = MM1K::new(1.0, 1.0, 4);
+        for n in 0..=4 {
+            assert!((q.probability_of(n) - 0.2).abs() < 1e-12);
+        }
+        assert!((q.expected_number() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1k_large_k_approaches_mm1() {
+        let finite = MM1K::new(0.5, 1.0, 200);
+        let infinite = MM1::new(0.5, 1.0);
+        assert!((finite.expected_number() - infinite.expected_number()).abs() < 1e-6);
+        assert!(finite.blocking_probability() < 1e-30);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn mm1k_rejects_zero_capacity() {
+        MM1K::new(1.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must be positive")]
+    fn rejects_zero_service_rate() {
+        MM1::new(1.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn pk_number_at_least_utilization(lambda in 0.01f64..0.99, cs2 in 0.0f64..4.0) {
+            let q = MG1::new(lambda, 1.0, cs2);
+            prop_assert!(q.expected_number() >= q.rho() - 1e-12);
+        }
+
+        #[test]
+        fn variability_only_hurts(lambda in 0.01f64..0.95, a in 0.0f64..2.0, b in 0.0f64..2.0) {
+            // P-K is monotone in C²: more service variability, longer queues.
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let q_lo = MG1::new(lambda, 1.0, lo).expected_number();
+            let q_hi = MG1::new(lambda, 1.0, hi).expected_number();
+            prop_assert!(q_lo <= q_hi + 1e-12);
+        }
+
+        #[test]
+        fn blocking_in_unit_interval(lambda in 0.0f64..5.0, k in 1usize..40) {
+            let q = MM1K::new(lambda, 1.0, k);
+            let p = q.blocking_probability();
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(q.expected_number() <= k as f64 + 1e-9);
+        }
+
+        #[test]
+        fn smaller_buffers_block_more(lambda in 0.1f64..3.0, k in 2usize..20) {
+            let small = MM1K::new(lambda, 1.0, k - 1).blocking_probability();
+            let large = MM1K::new(lambda, 1.0, k).blocking_probability();
+            prop_assert!(large <= small + 1e-12);
+        }
+    }
+}

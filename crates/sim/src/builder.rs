@@ -1,0 +1,340 @@
+//! A fluent builder for simulated applications.
+//!
+//! Assembling a simulated app otherwise means keeping three structures
+//! in sync: the [`AppSpec`] (task costs and job
+//! grouping), the behaviour vector (what each task does to an input) and
+//! the route vector (where inputs go after each job).
+//! [`SimAppBuilder`] couples them so a task's cost and behaviour are
+//! declared together:
+//!
+//! ```
+//! use qz_sim::builder::SimAppBuilder;
+//! use qz_sim::{ClassRates, ReportQuality};
+//! use quetzal::model::TaskCost;
+//! use qz_types::{Seconds, Watts};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = SimAppBuilder::new();
+//! let ml = b
+//!     .classifier("ml")
+//!     .option("hi", TaskCost::new(Seconds(0.5), Watts(0.005)), ClassRates::new(0.05, 0.05))
+//!     .option("lo", TaskCost::new(Seconds(0.05), Watts(0.004)), ClassRates::new(0.25, 0.20))
+//!     .finish()?;
+//! let tx = b
+//!     .transmitter("radio")
+//!     .option("full", TaskCost::new(Seconds(0.4), Watts(0.050)), ReportQuality::High)
+//!     .option("byte", TaskCost::new(Seconds(0.005), Watts(0.090)), ReportQuality::Low)
+//!     .finish()?;
+//! let process = b.job("process", vec![ml])?;
+//! let report = b.job("report", vec![tx])?;
+//! let app = b.entry(process).forward(process, report).build()?;
+//! assert_eq!(app.spec.jobs().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::pipeline::{ClassRates, PipelineError, ReportQuality, Route, TaskBehavior};
+use core::fmt;
+use quetzal::model::{AppSpec, AppSpecBuilder, JobId, SpecError, TaskCost, TaskId};
+
+/// Errors from assembling a [`SimApp`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The underlying spec rejected a task or job.
+    Spec(SpecError),
+    /// The behaviour/route binding was inconsistent.
+    Pipeline(PipelineError),
+    /// `build` was called without declaring an entry job.
+    NoEntryJob,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Spec(e) => write!(f, "invalid app spec: {e}"),
+            BuildError::Pipeline(e) => write!(f, "invalid pipeline binding: {e}"),
+            BuildError::NoEntryJob => write!(f, "declare an entry job with `.entry(job)`"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Spec(e) => Some(e),
+            BuildError::Pipeline(e) => Some(e),
+            BuildError::NoEntryJob => None,
+        }
+    }
+}
+
+impl From<SpecError> for BuildError {
+    fn from(e: SpecError) -> BuildError {
+        BuildError::Spec(e)
+    }
+}
+
+impl From<PipelineError> for BuildError {
+    fn from(e: PipelineError) -> BuildError {
+        BuildError::Pipeline(e)
+    }
+}
+
+/// The assembled application: everything
+/// [`Simulation::new`](crate::Simulation::new) needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimApp {
+    /// The runtime-facing spec (clone it into each runtime build).
+    pub spec: AppSpec,
+    /// Per-task behaviours, in task order.
+    pub behaviors: Vec<TaskBehavior>,
+    /// Per-job routes, in job order.
+    pub routes: Vec<Route>,
+    /// The job receiving fresh captures.
+    pub entry: JobId,
+}
+
+/// Builds a [`SimApp`]; see the module docs for a full example.
+#[derive(Debug, Default)]
+pub struct SimAppBuilder {
+    spec: AppSpecBuilder,
+    behaviors: Vec<TaskBehavior>,
+    routes: Vec<(JobId, JobId)>, // forward edges
+    jobs: usize,
+    entry: Option<JobId>,
+}
+
+impl SimAppBuilder {
+    /// Starts an empty application.
+    pub fn new() -> SimAppBuilder {
+        SimAppBuilder::default()
+    }
+
+    /// Adds a plain compute task (fixed cost, no input-routing effect).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError`] from the spec builder.
+    pub fn compute(&mut self, name: &str, cost: TaskCost) -> Result<TaskId, BuildError> {
+        let id = self.spec.fixed_task(name, cost)?;
+        self.behaviors.push(TaskBehavior::Compute);
+        Ok(id)
+    }
+
+    /// Starts a degradable classifier task; add quality-ordered options.
+    pub fn classifier<'a>(&'a mut self, name: &'a str) -> ClassifierBuilder<'a> {
+        ClassifierBuilder {
+            owner: self,
+            name,
+            options: Vec::new(),
+        }
+    }
+
+    /// Starts a degradable transmitter task; add quality-ordered options.
+    pub fn transmitter<'a>(&'a mut self, name: &'a str) -> TransmitterBuilder<'a> {
+        TransmitterBuilder {
+            owner: self,
+            name,
+            options: Vec::new(),
+        }
+    }
+
+    /// Groups tasks into a job (each job may contain at most one
+    /// degradable task).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError`] from the spec builder.
+    pub fn job(&mut self, name: &str, tasks: Vec<TaskId>) -> Result<JobId, BuildError> {
+        let id = self.spec.job(name, tasks)?;
+        self.jobs += 1;
+        Ok(id)
+    }
+
+    /// Declares the job whose queue receives fresh captures.
+    pub fn entry(mut self, job: JobId) -> SimAppBuilder {
+        self.entry = Some(job);
+        self
+    }
+
+    /// Routes `from`'s surviving inputs into `to`'s queue (jobs without a
+    /// forward edge finish their inputs).
+    pub fn forward(mut self, from: JobId, to: JobId) -> SimAppBuilder {
+        self.routes.push((from, to));
+        self
+    }
+
+    /// Validates everything and produces the [`SimApp`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the spec, binding, or entry declaration
+    /// is inconsistent.
+    pub fn build(self) -> Result<SimApp, BuildError> {
+        let entry = self.entry.ok_or(BuildError::NoEntryJob)?;
+        let spec = self.spec.build()?;
+        let mut routes = vec![Route::Finish; spec.jobs().len()];
+        for (from, to) in self.routes {
+            routes[from.index()] = Route::Forward(to);
+        }
+        // Validate the binding once through the canonical checker.
+        crate::pipeline::PipelineSpec::new(&spec, entry, self.behaviors.clone(), routes.clone())?;
+        Ok(SimApp {
+            spec,
+            behaviors: self.behaviors,
+            routes,
+            entry,
+        })
+    }
+}
+
+/// In-progress classifier task; created by [`SimAppBuilder::classifier`].
+#[derive(Debug)]
+pub struct ClassifierBuilder<'a> {
+    owner: &'a mut SimAppBuilder,
+    name: &'a str,
+    options: Vec<(String, TaskCost, ClassRates)>,
+}
+
+impl ClassifierBuilder<'_> {
+    /// Appends the next-lower-quality option with its error rates.
+    pub fn option(mut self, name: &str, cost: TaskCost, rates: ClassRates) -> Self {
+        self.options.push((name.to_owned(), cost, rates));
+        self
+    }
+
+    /// Registers the task.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError`] from the spec builder.
+    pub fn finish(self) -> Result<TaskId, BuildError> {
+        let mut t = self.owner.spec.degradable_task(self.name);
+        for (name, cost, _) in &self.options {
+            t = t.option(name, *cost);
+        }
+        let id = t.finish()?;
+        self.owner.behaviors.push(TaskBehavior::Classify(
+            self.options.into_iter().map(|(_, _, r)| r).collect(),
+        ));
+        Ok(id)
+    }
+}
+
+/// In-progress transmitter task; created by
+/// [`SimAppBuilder::transmitter`].
+#[derive(Debug)]
+pub struct TransmitterBuilder<'a> {
+    owner: &'a mut SimAppBuilder,
+    name: &'a str,
+    options: Vec<(String, TaskCost, ReportQuality)>,
+}
+
+impl TransmitterBuilder<'_> {
+    /// Appends the next-lower-quality option with its report quality.
+    pub fn option(mut self, name: &str, cost: TaskCost, quality: ReportQuality) -> Self {
+        self.options.push((name.to_owned(), cost, quality));
+        self
+    }
+
+    /// Registers the task.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError`] from the spec builder.
+    pub fn finish(self) -> Result<TaskId, BuildError> {
+        let mut t = self.owner.spec.degradable_task(self.name);
+        for (name, cost, _) in &self.options {
+            t = t.option(name, *cost);
+        }
+        let id = t.finish()?;
+        self.owner.behaviors.push(TaskBehavior::Transmit(
+            self.options.into_iter().map(|(_, _, q)| q).collect(),
+        ));
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qz_types::{Seconds, Watts};
+
+    fn cost() -> TaskCost {
+        TaskCost::new(Seconds(0.1), Watts(0.01))
+    }
+
+    fn two_stage() -> Result<SimApp, BuildError> {
+        let mut b = SimAppBuilder::new();
+        let ml = b
+            .classifier("ml")
+            .option("hi", cost(), ClassRates::new(0.05, 0.05))
+            .option("lo", cost(), ClassRates::new(0.25, 0.20))
+            .finish()?;
+        let note = b.compute("note", cost())?;
+        let tx = b
+            .transmitter("tx")
+            .option("full", cost(), ReportQuality::High)
+            .option("byte", cost(), ReportQuality::Low)
+            .finish()?;
+        let process = b.job("process", vec![ml, note])?;
+        let report = b.job("report", vec![tx])?;
+        b.entry(process).forward(process, report).build()
+    }
+
+    #[test]
+    fn builds_consistent_app() {
+        let app = two_stage().unwrap();
+        assert_eq!(app.spec.tasks().len(), 3);
+        assert_eq!(app.behaviors.len(), 3);
+        assert_eq!(app.routes.len(), 2);
+        assert_eq!(app.routes[0], Route::Forward(app.spec.job_id(1).unwrap()));
+        assert_eq!(app.routes[1], Route::Finish);
+        assert!(matches!(app.behaviors[0], TaskBehavior::Classify(ref r) if r.len() == 2));
+        assert!(matches!(app.behaviors[1], TaskBehavior::Compute));
+        assert!(matches!(app.behaviors[2], TaskBehavior::Transmit(ref q) if q.len() == 2));
+    }
+
+    #[test]
+    fn requires_entry_job() {
+        let mut b = SimAppBuilder::new();
+        let t = b.compute("t", cost()).unwrap();
+        b.job("j", vec![t]).unwrap();
+        assert!(matches!(b.build(), Err(BuildError::NoEntryJob)));
+    }
+
+    #[test]
+    fn propagates_spec_errors() {
+        let mut b = SimAppBuilder::new();
+        let r = b.classifier("c").finish(); // no options
+        assert!(matches!(r, Err(BuildError::Spec(_))));
+    }
+
+    #[test]
+    fn runs_through_the_simulator() {
+        use crate::{SimConfig, Simulation};
+        use quetzal::{Quetzal, QuetzalConfig};
+
+        let app = two_stage().unwrap();
+        let env =
+            qz_traces::SensingEnvironment::generate(qz_traces::EnvironmentKind::LessCrowded, 5, 3);
+        let runtime = Quetzal::new(app.spec.clone(), QuetzalConfig::default()).unwrap();
+        let m = Simulation::new(
+            SimConfig::default(),
+            &env,
+            runtime,
+            app.entry,
+            app.behaviors,
+            app.routes,
+        )
+        .unwrap()
+        .run();
+        assert!(m.frames_total > 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BuildError::NoEntryJob.to_string().contains("entry"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Intermittent-computing checkpoint policies.
+//!
+//! The paper's simulator implements just-in-time checkpointing (§6.3,
+//! citing Hibernus and QuickRecall); the wider literature it
+//! builds on also uses periodic checkpointing (Mementos) and
+//! task-boundary atomicity (Alpaca). This module models all three
+//! so their impact on IBOs can be compared (`ablate_checkpointing`):
+//!
+//! - [`CheckpointPolicy::JustInTime`] — a voltage-threshold interrupt
+//!   fires one checkpoint right before brownout. No progress is lost;
+//!   the cost is one checkpoint per power failure.
+//! - [`CheckpointPolicy::Periodic`] — checkpoints every fixed interval
+//!   while executing. A power failure loses (re-executes) the progress
+//!   made since the last checkpoint.
+//! - [`CheckpointPolicy::TaskBoundary`] — state is only consistent at
+//!   task boundaries. A power failure replays the interrupted task from
+//!   its beginning (tasks are atomic, as in task-based intermittent
+//!   programming models).
+
+use qz_types::SimDuration;
+
+/// How the device preserves progress across power failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointPolicy {
+    /// Checkpoint exactly once, just before brownout (Hibernus-style).
+    JustInTime,
+    /// Checkpoint every `interval` of active execution (Mementos-style);
+    /// progress since the last checkpoint is lost on failure.
+    Periodic {
+        /// Active-execution time between checkpoints.
+        interval: SimDuration,
+    },
+    /// No mid-task checkpoints: a power failure replays the interrupted
+    /// task from its start (Alpaca-style task atomicity).
+    TaskBoundary,
+}
+
+impl Default for CheckpointPolicy {
+    /// The paper's simulator uses JIT checkpointing.
+    fn default() -> CheckpointPolicy {
+        CheckpointPolicy::JustInTime
+    }
+}
+
+/// Book-keeping for the active job's recoverable progress under the
+/// configured policy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgressKeeper {
+    /// The task's remaining latency at the last consistent point.
+    snapshot: SimDuration,
+    /// Active execution time since the last checkpoint (drives the
+    /// periodic policy).
+    since_checkpoint: SimDuration,
+}
+
+impl ProgressKeeper {
+    /// Called when a task starts (or restarts): the consistent point is
+    /// the task's full latency.
+    pub fn task_started(&mut self, full_latency: SimDuration) {
+        self.snapshot = full_latency;
+        self.since_checkpoint = SimDuration::ZERO;
+    }
+
+    /// Called every tick of active task execution. Returns `true` when a
+    /// periodic checkpoint is due (the caller pays the checkpoint energy
+    /// and then calls [`ProgressKeeper::checkpointed`]).
+    #[must_use]
+    pub fn tick(&mut self, policy: CheckpointPolicy) -> bool {
+        self.since_checkpoint += SimDuration::TICK;
+        matches!(policy, CheckpointPolicy::Periodic { interval } if self.since_checkpoint >= interval)
+    }
+
+    /// Called when a checkpoint completes: the current remaining latency
+    /// becomes the consistent point.
+    pub fn checkpointed(&mut self, remaining: SimDuration) {
+        self.snapshot = remaining;
+        self.since_checkpoint = SimDuration::ZERO;
+    }
+
+    /// Called at a power failure: returns the remaining latency the task
+    /// resumes with after restore, and the amount of re-execution the
+    /// failure cost.
+    ///
+    /// `remaining` is the task's remaining latency at the instant of the
+    /// failure; `full_latency` its total latency.
+    pub fn on_power_failure(
+        &mut self,
+        policy: CheckpointPolicy,
+        remaining: SimDuration,
+        full_latency: SimDuration,
+    ) -> (SimDuration, SimDuration) {
+        let resume_at = match policy {
+            // The JIT checkpoint captured the instant of failure.
+            CheckpointPolicy::JustInTime => remaining,
+            // Roll back to the last periodic checkpoint.
+            CheckpointPolicy::Periodic { .. } => self.snapshot,
+            // Replay the whole task.
+            CheckpointPolicy::TaskBoundary => full_latency,
+        };
+        let lost = resume_at.saturating_sub(remaining);
+        self.since_checkpoint = SimDuration::ZERO;
+        (resume_at, lost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: SimDuration = SimDuration(1000);
+
+    #[test]
+    fn jit_loses_nothing() {
+        let mut k = ProgressKeeper::default();
+        k.task_started(FULL);
+        let (resume, lost) =
+            k.on_power_failure(CheckpointPolicy::JustInTime, SimDuration(400), FULL);
+        assert_eq!(resume, SimDuration(400));
+        assert_eq!(lost, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn task_boundary_replays_everything() {
+        let mut k = ProgressKeeper::default();
+        k.task_started(FULL);
+        let (resume, lost) =
+            k.on_power_failure(CheckpointPolicy::TaskBoundary, SimDuration(400), FULL);
+        assert_eq!(resume, FULL);
+        assert_eq!(lost, SimDuration(600));
+    }
+
+    #[test]
+    fn periodic_rolls_back_to_snapshot() {
+        let policy = CheckpointPolicy::Periodic {
+            interval: SimDuration(100),
+        };
+        let mut k = ProgressKeeper::default();
+        k.task_started(FULL);
+        // Execute 100 ticks → checkpoint due.
+        let mut due = false;
+        for _ in 0..100 {
+            due = k.tick(policy);
+        }
+        assert!(due);
+        k.checkpointed(SimDuration(900));
+        // Execute 50 more ticks, then fail.
+        for _ in 0..50 {
+            let _ = k.tick(policy);
+        }
+        let (resume, lost) = k.on_power_failure(policy, SimDuration(850), FULL);
+        assert_eq!(resume, SimDuration(900), "rolls back to the checkpoint");
+        assert_eq!(lost, SimDuration(50));
+    }
+
+    #[test]
+    fn periodic_without_any_checkpoint_replays_task() {
+        let policy = CheckpointPolicy::Periodic {
+            interval: SimDuration(500),
+        };
+        let mut k = ProgressKeeper::default();
+        k.task_started(FULL);
+        for _ in 0..100 {
+            assert!(!k.tick(policy));
+        }
+        let (resume, lost) = k.on_power_failure(policy, SimDuration(900), FULL);
+        assert_eq!(resume, FULL, "snapshot is the task start");
+        assert_eq!(lost, SimDuration(100));
+    }
+
+    #[test]
+    fn jit_never_asks_for_periodic_checkpoints() {
+        let mut k = ProgressKeeper::default();
+        k.task_started(FULL);
+        for _ in 0..10_000 {
+            assert!(!k.tick(CheckpointPolicy::JustInTime));
+        }
+    }
+
+    #[test]
+    fn checkpoint_interval_restarts_after_checkpoint() {
+        let policy = CheckpointPolicy::Periodic {
+            interval: SimDuration(10),
+        };
+        let mut k = ProgressKeeper::default();
+        k.task_started(FULL);
+        for _ in 0..9 {
+            assert!(!k.tick(policy));
+        }
+        assert!(k.tick(policy));
+        k.checkpointed(SimDuration(990));
+        for _ in 0..9 {
+            assert!(!k.tick(policy));
+        }
+        assert!(k.tick(policy));
+    }
+
+    #[test]
+    fn default_is_jit() {
+        assert_eq!(CheckpointPolicy::default(), CheckpointPolicy::JustInTime);
+    }
+}

@@ -1,0 +1,212 @@
+//! Everything the evaluation counts.
+
+use qz_types::{Joules, SimDuration};
+
+/// Counters collected over one simulation run.
+///
+/// The paper's headline metric is **interesting inputs discarded** —
+/// decomposed into losses to input buffer overflows (IBOs), ML false
+/// negatives, and frames the device never captured because it was
+/// powered off. Radio reports are split by ground truth (interesting /
+/// uninteresting, i.e. true/false positives) and quality (full image /
+/// single byte).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics {
+    // --- Capture ---
+    /// Frames the periodic capture schedule attempted.
+    pub frames_total: u64,
+    /// Frames captured during an interesting event (ground truth).
+    pub interesting_total: u64,
+    /// Frames missed because the device was off (or mid-capture).
+    pub frames_missed_off: u64,
+    /// Interesting frames among the missed ones.
+    pub interesting_missed_off: u64,
+    /// Captured frames discarded by the pixel-diff prefilter (unchanged).
+    pub frames_filtered: u64,
+    /// Captured frames that passed pre-filtering ("different") and
+    /// therefore arrived at the input buffer.
+    pub arrivals: u64,
+
+    // --- Buffering ---
+    /// Arrivals successfully stored.
+    pub stored: u64,
+    /// Arrivals lost to input buffer overflows.
+    pub ibo_discards: u64,
+    /// Interesting arrivals lost to IBOs.
+    pub ibo_interesting: u64,
+    /// IBO discards that happened while the device was powered off.
+    pub ibo_while_off: u64,
+    /// IBO discards while a highest-quality job was executing.
+    pub ibo_during_full_job: u64,
+    /// IBO discards while a degraded job was executing.
+    pub ibo_during_degraded_job: u64,
+
+    // --- Classification ---
+    /// Interesting inputs misclassified negative (and lost).
+    pub false_negatives: u64,
+    /// Uninteresting inputs correctly discarded.
+    pub true_negatives: u64,
+
+    // --- Reporting ---
+    /// Interesting inputs reported at high quality.
+    pub reports_interesting_high: u64,
+    /// Interesting inputs reported at low quality.
+    pub reports_interesting_low: u64,
+    /// Uninteresting inputs reported at high quality (false positives).
+    pub reports_uninteresting_high: u64,
+    /// Uninteresting inputs reported at low quality (false positives).
+    pub reports_uninteresting_low: u64,
+
+    // --- Execution ---
+    /// Jobs completed, indexed by the degradation option they ran at
+    /// (index 0 = highest quality).
+    pub jobs_by_option: [u64; 4],
+    /// Scheduler decisions that predicted an imminent IBO.
+    pub ibo_predictions: u64,
+    /// Checkpoint operations taken (one per power failure under the JIT
+    /// policy; every interval under the periodic policy).
+    pub checkpoints: u64,
+    /// Power failures (brownouts that turned the device off).
+    pub power_failures: u64,
+    /// Restores after recharging.
+    pub restores: u64,
+    /// Execution time lost to re-execution after power failures (zero
+    /// under JIT checkpointing; positive under periodic or task-boundary
+    /// policies).
+    pub reexecuted: SimDuration,
+
+    // --- Time & energy ---
+    /// Time spent powered on.
+    pub time_on: SimDuration,
+    /// Time spent powered off recharging.
+    pub time_off: SimDuration,
+    /// Total simulated time.
+    pub sim_time: SimDuration,
+    /// Sum over ticks of the buffer occupancy (slots × ms) — divide by
+    /// `sim_time` for the time-averaged occupancy, the `E[N]` that
+    /// queueing theory predicts.
+    pub occupancy_ms: u64,
+    /// Energy accepted into storage.
+    pub energy_harvested: Joules,
+    /// Harvested energy wasted on a full capacitor.
+    pub energy_wasted: Joules,
+
+    // --- End-of-run state ---
+    /// Inputs still buffered when the simulation ended.
+    pub pending: u64,
+    /// Interesting inputs among the pending ones.
+    pub pending_interesting: u64,
+}
+
+impl Metrics {
+    /// Total interesting inputs lost: missed at capture, lost to IBOs, or
+    /// misclassified. (Pending inputs are *not* counted as lost; they are
+    /// reported separately.)
+    pub fn interesting_discarded(&self) -> u64 {
+        self.interesting_missed_off + self.ibo_interesting + self.false_negatives
+    }
+
+    /// Interesting inputs discarded as a fraction of all interesting
+    /// inputs the environment produced. Returns 0 when there were none.
+    pub fn interesting_discarded_fraction(&self) -> f64 {
+        if self.interesting_total == 0 {
+            0.0
+        } else {
+            self.interesting_discarded() as f64 / self.interesting_total as f64
+        }
+    }
+
+    /// Interesting inputs successfully reported (any quality).
+    pub fn interesting_reported(&self) -> u64 {
+        self.reports_interesting_high + self.reports_interesting_low
+    }
+
+    /// All radio reports sent (any ground truth, any quality).
+    pub fn total_reports(&self) -> u64 {
+        self.reports_interesting_high
+            + self.reports_interesting_low
+            + self.reports_uninteresting_high
+            + self.reports_uninteresting_low
+    }
+
+    /// Fraction of interesting reports sent at high quality (0 when no
+    /// interesting reports were sent).
+    pub fn high_quality_fraction(&self) -> f64 {
+        let total = self.interesting_reported();
+        if total == 0 {
+            0.0
+        } else {
+            self.reports_interesting_high as f64 / total as f64
+        }
+    }
+
+    /// Jobs that ran degraded (any option other than the highest
+    /// quality).
+    pub fn degraded_jobs(&self) -> u64 {
+        self.jobs_by_option.iter().skip(1).sum()
+    }
+
+    /// All jobs completed.
+    pub fn total_jobs(&self) -> u64 {
+        self.jobs_by_option.iter().sum()
+    }
+
+    /// Time-averaged buffer occupancy `E[N]` (slots).
+    pub fn mean_occupancy(&self) -> f64 {
+        let t = self.sim_time.as_millis();
+        if t == 0 {
+            0.0
+        } else {
+            self.occupancy_ms as f64 / t as f64
+        }
+    }
+
+    /// Fraction of simulated time spent powered off recharging.
+    pub fn off_fraction(&self) -> f64 {
+        let total = self.sim_time.as_millis();
+        if total == 0 {
+            0.0
+        } else {
+            self.time_off.as_millis() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let m = Metrics {
+            interesting_total: 100,
+            interesting_missed_off: 5,
+            ibo_interesting: 20,
+            false_negatives: 10,
+            reports_interesting_high: 40,
+            reports_interesting_low: 20,
+            reports_uninteresting_high: 3,
+            reports_uninteresting_low: 2,
+            jobs_by_option: [50, 30, 0, 0],
+            time_off: SimDuration::from_secs(25),
+            sim_time: SimDuration::from_secs(100),
+            ..Metrics::default()
+        };
+        assert_eq!(m.interesting_discarded(), 35);
+        assert!((m.interesting_discarded_fraction() - 0.35).abs() < 1e-12);
+        assert_eq!(m.interesting_reported(), 60);
+        assert_eq!(m.total_reports(), 65);
+        assert!((m.high_quality_fraction() - 40.0 / 60.0).abs() < 1e-12);
+        assert_eq!(m.degraded_jobs(), 30);
+        assert_eq!(m.total_jobs(), 80);
+        assert!((m.off_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let m = Metrics::default();
+        assert_eq!(m.interesting_discarded_fraction(), 0.0);
+        assert_eq!(m.high_quality_fraction(), 0.0);
+        assert_eq!(m.off_fraction(), 0.0);
+    }
+}

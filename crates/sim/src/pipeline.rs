@@ -1,0 +1,339 @@
+//! Binds an [`AppSpec`]'s tasks and jobs to simulated behaviours.
+//!
+//! The Quetzal runtime only knows task *costs*; what a task *does* to an
+//! input is application logic. The simulator models the three behaviours
+//! the paper's person-detection pipeline needs:
+//!
+//! - [`TaskBehavior::Compute`] — pure time/energy cost (e.g. JPEG
+//!   compression).
+//! - [`TaskBehavior::Classify`] — an ML model deciding whether the input
+//!   is interesting, with per-quality-option false-negative /
+//!   false-positive rates. A negative classification drops the input and
+//!   short-circuits the rest of the job; this is how the paper's hardware
+//!   experiment models ML ("the main system used the ML models'
+//!   misclassification rates to process 'different' inputs", §6.2).
+//! - [`TaskBehavior::Transmit`] — a radio report, with per-option quality
+//!   (full image = auditable = high quality; single byte = low).
+//!
+//! Each job routes its surviving input on completion: [`Route::Finish`]
+//! frees the buffer slot, [`Route::Forward`] re-inserts the input into
+//! another job's queue (the paper's "one job can spawn another job by
+//! inserting its input into the device's input buffer").
+
+use core::fmt;
+use quetzal::model::{AppSpec, JobId, TaskId};
+
+/// Misclassification rates for one quality level of a classifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassRates {
+    /// Probability an *interesting* input is classified negative (and
+    /// therefore lost).
+    pub false_negative: f64,
+    /// Probability an *uninteresting* input is classified positive (and
+    /// therefore wastes downstream work and radio bandwidth).
+    pub false_positive: f64,
+}
+
+impl ClassRates {
+    /// Creates a rate pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1]`.
+    pub fn new(false_negative: f64, false_positive: f64) -> ClassRates {
+        assert!(
+            (0.0..=1.0).contains(&false_negative),
+            "false-negative rate out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&false_positive),
+            "false-positive rate out of range"
+        );
+        ClassRates {
+            false_negative,
+            false_positive,
+        }
+    }
+}
+
+/// Report quality of a transmit option (paper: full images are auditable
+/// by the receiver and count as high quality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportQuality {
+    /// Full-payload report (e.g. the complete JPEG image).
+    High,
+    /// Degraded report (e.g. a single "interesting!" byte).
+    Low,
+}
+
+/// What a task does to the input it processes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskBehavior {
+    /// Pure computation; consumes time and energy only.
+    Compute,
+    /// Classification with per-option rates (index = degradation option;
+    /// must have exactly as many entries as the task has options).
+    Classify(Vec<ClassRates>),
+    /// Radio report with per-option quality (same indexing rule).
+    Transmit(Vec<ReportQuality>),
+}
+
+/// Where an input goes after its job completes without dropping it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The input leaves the buffer.
+    Finish,
+    /// The input is re-inserted into another job's queue (keeping its
+    /// buffer slot and capture timestamp).
+    Forward(JobId),
+}
+
+/// Errors from validating a [`PipelineSpec`] against an [`AppSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// A task was given no behaviour, or a behaviour for an unknown task.
+    BehaviorCoverage,
+    /// A `Classify`/`Transmit` behaviour's per-option list length does
+    /// not match the task's option count.
+    OptionMismatch {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A route was missing for some job, or given for an unknown job.
+    RouteCoverage,
+    /// A forward route targets the job itself or an unknown job.
+    BadForward {
+        /// The offending job.
+        job: JobId,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::BehaviorCoverage => {
+                write!(f, "every task needs exactly one behaviour")
+            }
+            PipelineError::OptionMismatch { task } => {
+                write!(
+                    f,
+                    "behaviour option list for {task} does not match its option count"
+                )
+            }
+            PipelineError::RouteCoverage => write!(f, "every job needs exactly one route"),
+            PipelineError::BadForward { job } => {
+                write!(f, "{job} forwards to itself or an unknown job")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The validated behaviour binding for a whole application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpec {
+    behaviors: Vec<TaskBehavior>, // indexed by task
+    routes: Vec<Route>,           // indexed by job
+    entry: JobId,
+}
+
+impl PipelineSpec {
+    /// Validates behaviours (one per task, in task order) and routes (one
+    /// per job, in job order) against the spec. `entry` is the job whose
+    /// queue receives fresh captures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] on any coverage or option-count
+    /// mismatch.
+    pub fn new(
+        spec: &AppSpec,
+        entry: JobId,
+        behaviors: Vec<TaskBehavior>,
+        routes: Vec<Route>,
+    ) -> Result<PipelineSpec, PipelineError> {
+        if behaviors.len() != spec.tasks().len() {
+            return Err(PipelineError::BehaviorCoverage);
+        }
+        for (i, (behavior, task)) in behaviors.iter().zip(spec.tasks()).enumerate() {
+            let expected = task.option_count();
+            let got = match behavior {
+                TaskBehavior::Compute => expected,
+                TaskBehavior::Classify(rates) => rates.len(),
+                TaskBehavior::Transmit(quals) => quals.len(),
+            };
+            if got != expected {
+                let task = spec.task_id(i).expect("index within task range");
+                return Err(PipelineError::OptionMismatch { task });
+            }
+        }
+        if routes.len() != spec.jobs().len() {
+            return Err(PipelineError::RouteCoverage);
+        }
+        for (j, route) in routes.iter().enumerate() {
+            if let Route::Forward(target) = route {
+                if target.index() == j || target.index() >= spec.jobs().len() {
+                    let job = spec.job_id(j).expect("index within job range");
+                    return Err(PipelineError::BadForward { job });
+                }
+            }
+        }
+        if entry.index() >= spec.jobs().len() {
+            return Err(PipelineError::RouteCoverage);
+        }
+        Ok(PipelineSpec {
+            behaviors,
+            routes,
+            entry,
+        })
+    }
+
+    /// The behaviour bound to a task.
+    pub fn behavior(&self, task: TaskId) -> &TaskBehavior {
+        &self.behaviors[task.index()]
+    }
+
+    /// The route bound to a job.
+    pub fn route(&self, job: JobId) -> Route {
+        self.routes[job.index()]
+    }
+
+    /// The job whose queue receives fresh captures.
+    pub fn entry_job(&self) -> JobId {
+        self.entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal::model::{AppSpecBuilder, TaskCost};
+    use qz_types::{Seconds, Watts};
+
+    fn cost() -> TaskCost {
+        TaskCost::new(Seconds(1.0), Watts(0.01))
+    }
+
+    /// ML (2 options) + compress; report job with radio (2 options).
+    fn spec() -> (AppSpec, JobId, JobId) {
+        let mut b = AppSpecBuilder::new();
+        let ml = b
+            .degradable_task("ml")
+            .option("hi", cost())
+            .option("lo", cost())
+            .finish()
+            .unwrap();
+        let compress = b.fixed_task("compress", cost()).unwrap();
+        let radio = b
+            .degradable_task("radio")
+            .option("full", cost())
+            .option("byte", cost())
+            .finish()
+            .unwrap();
+        let process = b.job("process", vec![ml, compress]).unwrap();
+        let report = b.job("report", vec![radio]).unwrap();
+        (b.build().unwrap(), process, report)
+    }
+
+    fn behaviors() -> Vec<TaskBehavior> {
+        vec![
+            TaskBehavior::Classify(vec![
+                ClassRates::new(0.05, 0.05),
+                ClassRates::new(0.25, 0.2),
+            ]),
+            TaskBehavior::Compute,
+            TaskBehavior::Transmit(vec![ReportQuality::High, ReportQuality::Low]),
+        ]
+    }
+
+    #[test]
+    fn valid_pipeline_builds() {
+        let (spec, process, report) = spec();
+        let p = PipelineSpec::new(
+            &spec,
+            process,
+            behaviors(),
+            vec![Route::Forward(report), Route::Finish],
+        )
+        .unwrap();
+        assert_eq!(p.entry_job(), process);
+        assert_eq!(p.route(process), Route::Forward(report));
+        assert_eq!(p.route(report), Route::Finish);
+        let t0 = spec.task_id(0).unwrap();
+        assert!(matches!(p.behavior(t0), TaskBehavior::Classify(_)));
+    }
+
+    #[test]
+    fn rejects_wrong_behavior_count() {
+        let (spec, _, report) = spec();
+        let (_, process) = (0, spec.job_id(0).unwrap());
+        let err = PipelineSpec::new(
+            &spec,
+            process,
+            behaviors()[..2].to_vec(),
+            vec![Route::Forward(report), Route::Finish],
+        )
+        .unwrap_err();
+        assert_eq!(err, PipelineError::BehaviorCoverage);
+    }
+
+    #[test]
+    fn rejects_option_mismatch() {
+        let (spec, _, report) = spec();
+        let mut bad = behaviors();
+        bad[0] = TaskBehavior::Classify(vec![ClassRates::new(0.05, 0.05)]); // 1 ≠ 2
+        let entry = spec.job_id(0).unwrap();
+        let err = PipelineSpec::new(
+            &spec,
+            entry,
+            bad,
+            vec![Route::Forward(report), Route::Finish],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::OptionMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_route() {
+        let (spec, ..) = spec();
+        let entry = spec.job_id(0).unwrap();
+        let err = PipelineSpec::new(&spec, entry, behaviors(), vec![Route::Finish]).unwrap_err();
+        assert_eq!(err, PipelineError::RouteCoverage);
+    }
+
+    #[test]
+    fn rejects_self_forward() {
+        let (spec, process, _) = spec();
+        let err = PipelineSpec::new(
+            &spec,
+            process,
+            behaviors(),
+            vec![Route::Forward(process), Route::Finish],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::BadForward { .. }));
+    }
+
+    #[test]
+    fn class_rates_validate() {
+        let r = ClassRates::new(0.1, 0.2);
+        assert_eq!(r.false_negative, 0.1);
+        assert_eq!(r.false_positive, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "false-negative")]
+    fn class_rates_reject_out_of_range() {
+        ClassRates::new(1.5, 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PipelineError::BehaviorCoverage
+            .to_string()
+            .contains("behaviour"));
+        assert!(PipelineError::RouteCoverage.to_string().contains("route"));
+    }
+}

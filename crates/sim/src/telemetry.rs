@@ -1,0 +1,200 @@
+//! Periodic device-state telemetry.
+//!
+//! Recording the simulated device's internal state over time — stored
+//! energy, buffer occupancy, power state, the runtime's λ estimate and
+//! PID correction — is how the Fig. 1/Fig. 2-style timelines are
+//! produced and how scheduling pathologies are diagnosed (the tuning
+//! notes in `DESIGN.md` all came from these traces). Enable with
+//! [`Simulation::record_telemetry`](crate::Simulation::record_telemetry)
+//! and export with [`Telemetry::write_csv`].
+
+use core::fmt;
+use qz_types::{Joules, SimDuration, SimTime};
+use std::io::Write;
+
+/// One periodic snapshot of device state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySample {
+    /// Sample instant.
+    pub t: SimTime,
+    /// Environment irradiance fraction at `t`.
+    pub irradiance: f64,
+    /// Usable stored energy.
+    pub stored: Joules,
+    /// Whether the device was powered on.
+    pub on: bool,
+    /// Buffer occupancy (queued + in flight).
+    pub occupancy: usize,
+    /// The runtime's arrival-rate estimate λ.
+    pub lambda: f64,
+    /// The runtime's PID correction, seconds.
+    pub correction: f64,
+    /// Degradation option of the executing job (`usize::MAX` when idle).
+    pub active_option: usize,
+    /// Cumulative IBO discards so far.
+    pub ibo_discards: u64,
+}
+
+impl TelemetrySample {
+    /// `true` if a job was executing at the sample instant.
+    pub fn is_busy(&self) -> bool {
+        self.active_option != usize::MAX
+    }
+}
+
+/// A recorded sequence of periodic snapshots.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Telemetry {
+    samples: Vec<TelemetrySample>,
+}
+
+impl Telemetry {
+    /// All samples, in time order.
+    pub fn samples(&self) -> &[TelemetrySample] {
+        &self.samples
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends a sample (called by the engine).
+    pub(crate) fn push(&mut self, sample: TelemetrySample) {
+        self.samples.push(sample);
+    }
+
+    /// Fraction of samples with the device powered on.
+    pub fn on_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.on).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Maximum buffer occupancy observed at any sample.
+    pub fn peak_occupancy(&self) -> usize {
+        self.samples.iter().map(|s| s.occupancy).max().unwrap_or(0)
+    }
+
+    /// Writes the samples as CSV
+    /// (`t_s,irradiance,stored_mj,on,occupancy,lambda,correction,option,ibo`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "t_s,irradiance,stored_mj,on,occupancy,lambda,correction,option,ibo"
+        )?;
+        for s in &self.samples {
+            writeln!(
+                w,
+                "{},{:.4},{:.3},{},{},{:.3},{:.3},{},{}",
+                s.t.as_millis() as f64 / 1e3,
+                s.irradiance,
+                s.stored.value() * 1e3,
+                u8::from(s.on),
+                s.occupancy,
+                s.lambda,
+                s.correction,
+                if s.is_busy() {
+                    s.active_option as i64
+                } else {
+                    -1
+                },
+                s.ibo_discards,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} samples, on {:.0}%, peak occupancy {}",
+            self.len(),
+            self.on_fraction() * 100.0,
+            self.peak_occupancy()
+        )
+    }
+}
+
+/// Recording configuration held by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Recorder {
+    pub interval: SimDuration,
+    pub telemetry: Telemetry,
+}
+
+impl Recorder {
+    pub fn new(interval: SimDuration) -> Recorder {
+        assert!(!interval.is_zero(), "telemetry interval must be positive");
+        Recorder {
+            interval,
+            telemetry: Telemetry::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t_s: u64, on: bool, occ: usize, option: usize) -> TelemetrySample {
+        TelemetrySample {
+            t: SimTime::from_secs(t_s),
+            irradiance: 0.5,
+            stored: Joules(0.1),
+            on,
+            occupancy: occ,
+            lambda: 0.4,
+            correction: 0.1,
+            active_option: option,
+            ibo_discards: 2,
+        }
+    }
+
+    #[test]
+    fn accumulates_and_summarizes() {
+        let mut t = Telemetry::default();
+        assert!(t.is_empty());
+        t.push(sample(0, true, 3, 0));
+        t.push(sample(1, false, 7, usize::MAX));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.on_fraction(), 0.5);
+        assert_eq!(t.peak_occupancy(), 7);
+        assert!(t.samples()[0].is_busy());
+        assert!(!t.samples()[1].is_busy());
+        assert!(t.to_string().contains("2 samples"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Telemetry::default();
+        t.push(sample(0, true, 3, 1));
+        t.push(sample(1, false, 0, usize::MAX));
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("t_s,"));
+        assert!(lines[1].contains(",1,3,"), "{}", lines[1]);
+        assert!(lines[2].ends_with(",-1,2"), "{}", lines[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn recorder_rejects_zero_interval() {
+        Recorder::new(SimDuration::ZERO);
+    }
+}

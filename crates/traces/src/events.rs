@@ -1,0 +1,440 @@
+//! Sensing-event activity traces.
+//!
+//! The device's camera captures frames periodically; a frame is "different"
+//! (and therefore stored into the input buffer) when a sensing event is
+//! active at the capture instant, and its ground truth is "interesting"
+//! when that event is an interesting one (paper §6.2: two I/O pins driven
+//! by a secondary MCU indicate presence and interestingness).
+//!
+//! [`EventTraceBuilder`] substitutes the paper's surveillance-dataset
+//! sampling with a stochastic process: exponential interarrival gaps and
+//! uniformly distributed durations capped by the sensing environment's
+//! maximum (Table 1).
+
+use qz_types::{SimDuration, SimTime, SplitMix64};
+
+/// One sensing event: a contiguous span of environmental activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// When the event begins.
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+    /// Whether the application considers this event interesting
+    /// (e.g. a person, vs. an empty disturbance).
+    pub interesting: bool,
+}
+
+impl Event {
+    /// First instant *after* the event.
+    #[inline]
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// `true` if the event is active at `t` (start-inclusive,
+    /// end-exclusive).
+    #[inline]
+    pub fn is_active_at(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end()
+    }
+}
+
+/// A time-ordered, non-overlapping sequence of sensing events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventTrace {
+    events: Vec<Event>,
+}
+
+impl EventTrace {
+    /// Builds a trace from events, validating ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events overlap or are out of order — traces are intended
+    /// to come from [`EventTraceBuilder`], which guarantees both.
+    pub fn from_events(events: Vec<Event>) -> EventTrace {
+        for pair in events.windows(2) {
+            assert!(
+                pair[0].end() <= pair[1].start,
+                "events must be non-overlapping and time-ordered"
+            );
+        }
+        EventTrace { events }
+    }
+
+    /// All events, in time order.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the trace has no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of interesting events.
+    pub fn interesting_count(&self) -> usize {
+        self.events.iter().filter(|e| e.interesting).count()
+    }
+
+    /// The first instant after the last event (simulation horizon).
+    pub fn end(&self) -> SimTime {
+        self.events.last().map_or(SimTime::ZERO, Event::end)
+    }
+
+    /// Fraction of `[0, end)` covered by events — the long-run activity
+    /// level, which is (capture-rate-scaled) the arrival rate λ the input
+    /// buffer sees.
+    pub fn activity_fraction(&self) -> f64 {
+        let end = self.end().as_millis();
+        if end == 0 {
+            return 0.0;
+        }
+        let active: u64 = self.events.iter().map(|e| e.duration.as_millis()).sum();
+        active as f64 / end as f64
+    }
+
+    /// Binary-searches for the event active at `t`, if any. For
+    /// time-ordered scans use [`ActivityCursor`], which is O(1) amortized.
+    pub fn active_at(&self, t: SimTime) -> Option<&Event> {
+        let idx = self.events.partition_point(|e| e.end() <= t);
+        self.events.get(idx).filter(|e| e.is_active_at(t))
+    }
+
+    /// Creates a sequential cursor positioned at the start of the trace.
+    pub fn cursor(&self) -> ActivityCursor<'_> {
+        ActivityCursor {
+            trace: self,
+            idx: 0,
+        }
+    }
+}
+
+/// Amortized-O(1) activity lookup for monotonically non-decreasing query
+/// times — the access pattern of a forward-running simulator.
+#[derive(Debug, Clone)]
+pub struct ActivityCursor<'a> {
+    trace: &'a EventTrace,
+    idx: usize,
+}
+
+impl<'a> ActivityCursor<'a> {
+    /// Returns the event active at `t`, if any.
+    ///
+    /// Queries must be issued in non-decreasing time order; querying an
+    /// earlier time than a previous call may miss events (the cursor only
+    /// moves forward).
+    pub fn active_at(&mut self, t: SimTime) -> Option<&'a Event> {
+        while let Some(e) = self.trace.events.get(self.idx) {
+            if e.end() <= t {
+                self.idx += 1;
+            } else {
+                return Some(e).filter(|e| e.is_active_at(t));
+            }
+        }
+        None
+    }
+}
+
+/// Builder for stochastic [`EventTrace`]s.
+///
+/// # Examples
+///
+/// ```
+/// use qz_traces::EventTraceBuilder;
+/// use qz_types::SimDuration;
+///
+/// let trace = EventTraceBuilder::new()
+///     .event_count(100)
+///     .max_duration(SimDuration::from_secs(60))
+///     .seed(11)
+///     .build();
+/// assert_eq!(trace.len(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventTraceBuilder {
+    event_count: usize,
+    min_duration: SimDuration,
+    max_duration: SimDuration,
+    mean_gap: SimDuration,
+    min_gap: SimDuration,
+    interesting_probability: f64,
+    seed: u64,
+}
+
+impl Default for EventTraceBuilder {
+    fn default() -> EventTraceBuilder {
+        EventTraceBuilder {
+            event_count: 1000,
+            min_duration: SimDuration::from_secs(2),
+            max_duration: SimDuration::from_secs(60),
+            mean_gap: SimDuration::from_secs(20),
+            min_gap: SimDuration::from_secs(2),
+            interesting_probability: 0.5,
+            seed: 0xE7E77,
+        }
+    }
+}
+
+impl EventTraceBuilder {
+    /// Starts from the "Crowded" defaults (60 s max duration, 20 s mean
+    /// gap, 50 % interesting).
+    pub fn new() -> EventTraceBuilder {
+        EventTraceBuilder::default()
+    }
+
+    /// Number of events to generate.
+    pub fn event_count(mut self, n: usize) -> EventTraceBuilder {
+        self.event_count = n;
+        self
+    }
+
+    /// Minimum event duration (default 2 s).
+    pub fn min_duration(mut self, d: SimDuration) -> EventTraceBuilder {
+        self.min_duration = d;
+        self
+    }
+
+    /// Maximum event duration — the Table 1 environment knob
+    /// (600 s / 60 s / 20 s).
+    pub fn max_duration(mut self, d: SimDuration) -> EventTraceBuilder {
+        self.max_duration = d;
+        self
+    }
+
+    /// Mean interarrival gap between events (exponentially distributed).
+    pub fn mean_gap(mut self, d: SimDuration) -> EventTraceBuilder {
+        self.mean_gap = d;
+        self
+    }
+
+    /// Minimum gap between consecutive events (default 2 s), keeping
+    /// events distinguishable at a 1 FPS capture rate.
+    pub fn min_gap(mut self, d: SimDuration) -> EventTraceBuilder {
+        self.min_gap = d;
+        self
+    }
+
+    /// Probability that an event is interesting (clamped to `[0, 1]`).
+    pub fn interesting_probability(mut self, p: f64) -> EventTraceBuilder {
+        self.interesting_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Seed for the deterministic generator.
+    pub fn seed(mut self, seed: u64) -> EventTraceBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the trace.
+    pub fn build(&self) -> EventTrace {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut events = Vec::with_capacity(self.event_count);
+        let mut t = SimTime::ZERO;
+        let lo = self.min_duration.min(self.max_duration).as_millis();
+        let hi = self.max_duration.max(self.min_duration).as_millis();
+
+        for _ in 0..self.event_count {
+            // Exponential gap via inverse CDF, floored at min_gap.
+            let u = rng.next_f64();
+            let gap_ms = (-(1.0 - u).ln() * self.mean_gap.as_millis() as f64) as u64;
+            let gap = SimDuration::from_millis(gap_ms).max(self.min_gap);
+            t += gap;
+
+            let dur_ms = if hi > lo {
+                lo + rng.next_below(hi - lo + 1)
+            } else {
+                lo
+            };
+            let duration = SimDuration::from_millis(dur_ms.max(1));
+            let interesting = rng.chance(self.interesting_probability);
+
+            events.push(Event {
+                start: t,
+                duration,
+                interesting,
+            });
+            t += duration;
+        }
+        EventTrace::from_events(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn trace() -> EventTrace {
+        EventTraceBuilder::new().event_count(50).seed(1).build()
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = EventTraceBuilder::new().seed(4).build();
+        let b = EventTraceBuilder::new().seed(4).build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        assert_eq!(trace().len(), 50);
+        assert!(!trace().is_empty());
+        let empty = EventTraceBuilder::new().event_count(0).build();
+        assert!(empty.is_empty());
+        assert_eq!(empty.end(), SimTime::ZERO);
+        assert_eq!(empty.activity_fraction(), 0.0);
+    }
+
+    #[test]
+    fn events_are_ordered_and_disjoint() {
+        let t = trace();
+        for pair in t.events().windows(2) {
+            assert!(pair[0].end() <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn durations_respect_bounds() {
+        let t = EventTraceBuilder::new()
+            .event_count(200)
+            .min_duration(SimDuration::from_secs(2))
+            .max_duration(SimDuration::from_secs(20))
+            .seed(9)
+            .build();
+        for e in t.events() {
+            assert!(e.duration >= SimDuration::from_secs(2));
+            assert!(e.duration <= SimDuration::from_secs(20));
+        }
+    }
+
+    #[test]
+    fn interesting_probability_extremes() {
+        let all = EventTraceBuilder::new()
+            .interesting_probability(1.0)
+            .seed(2)
+            .build();
+        assert_eq!(all.interesting_count(), all.len());
+        let none = EventTraceBuilder::new()
+            .interesting_probability(0.0)
+            .seed(2)
+            .build();
+        assert_eq!(none.interesting_count(), 0);
+    }
+
+    #[test]
+    fn interesting_fraction_near_probability() {
+        let t = EventTraceBuilder::new()
+            .event_count(2000)
+            .interesting_probability(0.5)
+            .seed(6)
+            .build();
+        let frac = t.interesting_count() as f64 / t.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac={frac}");
+    }
+
+    #[test]
+    fn active_at_binary_search() {
+        let t = trace();
+        let e = t.events()[10];
+        assert_eq!(t.active_at(e.start), Some(&t.events()[10]));
+        let mid = e.start + SimDuration::from_millis(e.duration.as_millis() / 2);
+        assert_eq!(t.active_at(mid), Some(&t.events()[10]));
+        assert_eq!(
+            t.active_at(e.end()),
+            t.events().get(11).filter(|n| n.is_active_at(e.end()))
+        );
+    }
+
+    #[test]
+    fn cursor_matches_binary_search() {
+        let t = trace();
+        let mut cur = t.cursor();
+        let end = t.end().as_millis();
+        let mut ms = 0;
+        while ms < end {
+            let time = SimTime::from_millis(ms);
+            assert_eq!(cur.active_at(time), t.active_at(time), "at {time}");
+            ms += 500;
+        }
+    }
+
+    #[test]
+    fn activity_fraction_scales_with_duration_cap() {
+        let long = EventTraceBuilder::new()
+            .event_count(200)
+            .max_duration(SimDuration::from_secs(600))
+            .seed(3)
+            .build();
+        let short = EventTraceBuilder::new()
+            .event_count(200)
+            .max_duration(SimDuration::from_secs(20))
+            .seed(3)
+            .build();
+        assert!(long.activity_fraction() > short.activity_fraction());
+    }
+
+    #[test]
+    fn event_is_active_window() {
+        let e = Event {
+            start: SimTime::from_secs(10),
+            duration: SimDuration::from_secs(5),
+            interesting: true,
+        };
+        assert!(!e.is_active_at(SimTime::from_millis(9_999)));
+        assert!(e.is_active_at(SimTime::from_secs(10)));
+        assert!(e.is_active_at(SimTime::from_millis(14_999)));
+        assert!(!e.is_active_at(SimTime::from_secs(15)));
+        assert_eq!(e.end(), SimTime::from_secs(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-overlapping")]
+    fn overlapping_events_rejected() {
+        EventTrace::from_events(vec![
+            Event {
+                start: SimTime::ZERO,
+                duration: SimDuration::from_secs(10),
+                interesting: false,
+            },
+            Event {
+                start: SimTime::from_secs(5),
+                duration: SimDuration::from_secs(10),
+                interesting: false,
+            },
+        ]);
+    }
+
+    proptest! {
+        #[test]
+        fn any_seed_produces_valid_trace(seed in any::<u64>()) {
+            let t = EventTraceBuilder::new().event_count(30).seed(seed).build();
+            prop_assert_eq!(t.len(), 30);
+            for pair in t.events().windows(2) {
+                prop_assert!(pair[0].end() <= pair[1].start);
+            }
+            prop_assert!(t.activity_fraction() <= 1.0);
+        }
+
+        #[test]
+        fn gaps_respect_minimum(seed in any::<u64>()) {
+            let min_gap = SimDuration::from_secs(2);
+            let t = EventTraceBuilder::new().event_count(20).min_gap(min_gap).seed(seed).build();
+            let mut prev_end = SimTime::ZERO;
+            for e in t.events() {
+                prop_assert!(e.start.since(prev_end) >= min_gap);
+                prev_end = e.end();
+            }
+        }
+    }
+}

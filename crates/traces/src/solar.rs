@@ -1,0 +1,402 @@
+//! Synthetic solar irradiance traces.
+//!
+//! Produces an irradiance *fraction* in `[0, 1]` — the share of the
+//! harvester's datasheet-rated output currently available — sampled at
+//! 1-second resolution. The generator composes three processes:
+//!
+//! 1. A three-state **weather Markov chain** (clear / partly-cloudy /
+//!    overcast) with configurable mean residence times, giving the
+//!    minutes-scale power swings that force the device between
+//!    compute-bound and recharge-bound regimes. The intermediate state
+//!    matters for baseline comparisons: static power thresholds (the
+//!    Protean/Zygarde rule) land inside it and degrade unnecessarily.
+//! 2. An **AR(1) smoothing filter** so transitions ramp over tens of
+//!    seconds instead of stepping instantaneously.
+//! 3. An optional **diurnal envelope** (`sin²` day curve with a night
+//!    fraction) for multi-day experiments.
+//!
+//! Real harvesting traces rarely approach the panel's rated maximum; the
+//! defaults reproduce that (clear-sky level defaults to 0.85 with most
+//! mass far lower), which is what defeats datasheet-fraction thresholds
+//! (paper §6.1).
+
+use qz_types::{SimDuration, SimTime, SplitMix64};
+
+/// A sampled irradiance trace, 1 sample per second, values in `[0, 1]`.
+///
+/// Lookups beyond the end of the trace wrap around cyclically so a trace
+/// can drive an arbitrarily long simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolarTrace {
+    samples: Vec<f32>,
+}
+
+impl SolarTrace {
+    /// Builds a trace directly from per-second samples.
+    ///
+    /// Values are clamped into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: Vec<f32>) -> SolarTrace {
+        assert!(
+            !samples.is_empty(),
+            "a solar trace needs at least one sample"
+        );
+        let samples = samples.into_iter().map(|s| s.clamp(0.0, 1.0)).collect();
+        SolarTrace { samples }
+    }
+
+    /// A constant-irradiance trace (useful in tests and microbenchmarks).
+    pub fn constant(level: f64) -> SolarTrace {
+        SolarTrace::from_samples(vec![level as f32])
+    }
+
+    /// Irradiance fraction at an instant (zero-order hold over each
+    /// 1-second sample; wraps cyclically past the end).
+    #[inline]
+    pub fn irradiance(&self, t: SimTime) -> f64 {
+        let idx = (t.as_millis() / 1000) as usize % self.samples.len();
+        self.samples[idx] as f64
+    }
+
+    /// Duration covered before the trace wraps.
+    #[inline]
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_secs(self.samples.len() as u64)
+    }
+
+    /// The raw per-second samples.
+    #[inline]
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// Maximum irradiance observed anywhere in the trace.
+    ///
+    /// This is the "oracular" maximum the idealized PZI baseline
+    /// thresholds against (paper §6.1): implementable only with knowledge
+    /// of the whole future trace.
+    pub fn observed_max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0f32, f32::max) as f64
+    }
+
+    /// Mean irradiance over the trace.
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().map(|&s| s as f64).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Builder for synthetic [`SolarTrace`]s.
+///
+/// # Examples
+///
+/// ```
+/// use qz_traces::SolarTraceBuilder;
+/// use qz_types::SimDuration;
+///
+/// let trace = SolarTraceBuilder::new()
+///     .duration(SimDuration::from_secs(3600))
+///     .seed(7)
+///     .build();
+/// assert_eq!(trace.duration(), SimDuration::from_secs(3600));
+/// assert!(trace.observed_max() <= 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolarTraceBuilder {
+    duration: SimDuration,
+    seed: u64,
+    clear_level: f64,
+    partly_level: f64,
+    overcast_level: f64,
+    mean_clear_secs: f64,
+    mean_partly_secs: f64,
+    mean_overcast_secs: f64,
+    smoothing: f64,
+    jitter: f64,
+    diurnal_period: Option<SimDuration>,
+    night_fraction: f64,
+}
+
+impl Default for SolarTraceBuilder {
+    fn default() -> SolarTraceBuilder {
+        SolarTraceBuilder {
+            duration: SimDuration::from_secs(3600),
+            seed: 0xC10D,
+            clear_level: 0.55,
+            partly_level: 0.17,
+            overcast_level: 0.055,
+            mean_clear_secs: 420.0,
+            mean_partly_secs: 540.0,
+            mean_overcast_secs: 600.0,
+            smoothing: 0.92,
+            jitter: 0.15,
+            diurnal_period: None,
+            night_fraction: 0.4,
+        }
+    }
+}
+
+impl SolarTraceBuilder {
+    /// Starts from the default mid-latitude "partly cloudy" parameters.
+    pub fn new() -> SolarTraceBuilder {
+        SolarTraceBuilder::default()
+    }
+
+    /// Total trace duration (rounded down to whole seconds, minimum 1 s).
+    pub fn duration(mut self, d: SimDuration) -> SolarTraceBuilder {
+        self.duration = d;
+        self
+    }
+
+    /// Seed for the deterministic weather process.
+    pub fn seed(mut self, seed: u64) -> SolarTraceBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Irradiance fraction targeted in the clear state (clamped to `[0,1]`).
+    pub fn clear_level(mut self, level: f64) -> SolarTraceBuilder {
+        self.clear_level = level.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Irradiance fraction targeted in the partly-cloudy state (clamped
+    /// to `[0,1]`).
+    pub fn partly_level(mut self, level: f64) -> SolarTraceBuilder {
+        self.partly_level = level.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Irradiance fraction targeted in the overcast state (clamped to `[0,1]`).
+    pub fn overcast_level(mut self, level: f64) -> SolarTraceBuilder {
+        self.overcast_level = level.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Mean residence time in the clear state, in seconds (minimum 1 s).
+    pub fn mean_clear_secs(mut self, secs: f64) -> SolarTraceBuilder {
+        self.mean_clear_secs = secs.max(1.0);
+        self
+    }
+
+    /// Mean residence time in the partly-cloudy state, in seconds
+    /// (minimum 1 s).
+    pub fn mean_partly_secs(mut self, secs: f64) -> SolarTraceBuilder {
+        self.mean_partly_secs = secs.max(1.0);
+        self
+    }
+
+    /// Mean residence time in the overcast state, in seconds (minimum 1 s).
+    pub fn mean_overcast_secs(mut self, secs: f64) -> SolarTraceBuilder {
+        self.mean_overcast_secs = secs.max(1.0);
+        self
+    }
+
+    /// AR(1) smoothing coefficient in `[0, 1)`; higher = slower ramps.
+    pub fn smoothing(mut self, alpha: f64) -> SolarTraceBuilder {
+        self.smoothing = alpha.clamp(0.0, 0.999);
+        self
+    }
+
+    /// Per-sample multiplicative jitter amplitude (fraction of the
+    /// current level).
+    pub fn jitter(mut self, j: f64) -> SolarTraceBuilder {
+        self.jitter = j.max(0.0);
+        self
+    }
+
+    /// Enables a `sin²` diurnal envelope with the given day length.
+    /// `night_fraction` of each period has zero irradiance.
+    pub fn diurnal(mut self, period: SimDuration, night_fraction: f64) -> SolarTraceBuilder {
+        self.diurnal_period = Some(period);
+        self.night_fraction = night_fraction.clamp(0.0, 0.95);
+        self
+    }
+
+    /// Generates the trace.
+    pub fn build(&self) -> SolarTrace {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Sky {
+            Clear,
+            Partly,
+            Overcast,
+        }
+        let secs = (self.duration.as_millis() / 1000).max(1);
+        let mut rng = SplitMix64::new(self.seed);
+        let mut samples = Vec::with_capacity(secs as usize);
+
+        let mut sky = if rng.chance(0.5) {
+            Sky::Partly
+        } else {
+            Sky::Overcast
+        };
+        let mut level = match sky {
+            Sky::Clear => self.clear_level,
+            Sky::Partly => self.partly_level,
+            Sky::Overcast => self.overcast_level,
+        };
+
+        for s in 0..secs {
+            // Weather transitions: clear and overcast always pass
+            // through the partly-cloudy state; from partly the sky
+            // clears or closes with equal probability.
+            sky = match sky {
+                Sky::Clear if rng.chance(1.0 / self.mean_clear_secs) => Sky::Partly,
+                Sky::Partly if rng.chance(1.0 / self.mean_partly_secs) => {
+                    if rng.chance(0.5) {
+                        Sky::Clear
+                    } else {
+                        Sky::Overcast
+                    }
+                }
+                Sky::Overcast if rng.chance(1.0 / self.mean_overcast_secs) => Sky::Partly,
+                other => other,
+            };
+            let target = match sky {
+                Sky::Clear => self.clear_level,
+                Sky::Partly => self.partly_level,
+                Sky::Overcast => self.overcast_level,
+            };
+
+            // AR(1) ramp toward the target, then multiplicative jitter —
+            // irradiance fluctuation scales with the level itself, so an
+            // overcast sample stays in the overcast regime. The level is
+            // capped at the clear-sky target: clouds only ever attenuate,
+            // so the trace never exceeds its clear-state irradiance.
+            level = self.smoothing * level + (1.0 - self.smoothing) * target;
+            level = level.clamp(0.0, self.clear_level.max(self.overcast_level));
+            let noise = 1.0 + rng.next_range(-self.jitter, self.jitter);
+            let sample = (level * noise).clamp(0.0, 1.0);
+
+            let env = self.envelope(s);
+            samples.push((sample * env) as f32);
+        }
+        SolarTrace::from_samples(samples)
+    }
+
+    /// Diurnal envelope value at second `s` (1.0 when diurnal is disabled).
+    fn envelope(&self, s: u64) -> f64 {
+        let Some(period) = self.diurnal_period else {
+            return 1.0;
+        };
+        let period_s = (period.as_millis() / 1000).max(1);
+        let phase = (s % period_s) as f64 / period_s as f64;
+        let day_span = 1.0 - self.night_fraction;
+        if phase >= day_span {
+            0.0
+        } else {
+            let x = phase / day_span; // 0..1 across the day
+            (core::f64::consts::PI * x).sin().powi(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = SolarTraceBuilder::new().seed(9).build();
+        let b = SolarTraceBuilder::new().seed(9).build();
+        assert_eq!(a, b);
+        let c = SolarTraceBuilder::new().seed(10).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn samples_in_unit_range() {
+        let t = SolarTraceBuilder::new().seed(1).jitter(0.5).build();
+        assert!(t.samples().iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn constant_trace() {
+        let t = SolarTrace::constant(0.3);
+        assert!((t.irradiance(SimTime::from_secs(5)) - 0.3).abs() < 1e-6);
+        assert_eq!(t.duration(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        SolarTrace::from_samples(vec![]);
+    }
+
+    #[test]
+    fn from_samples_clamps() {
+        let t = SolarTrace::from_samples(vec![-1.0, 2.0, 0.5]);
+        assert_eq!(t.samples(), &[0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn wraps_cyclically() {
+        let t = SolarTrace::from_samples(vec![0.1, 0.2, 0.3]);
+        assert!((t.irradiance(SimTime::from_secs(0)) - 0.1).abs() < 1e-6);
+        assert!((t.irradiance(SimTime::from_secs(4)) - 0.2).abs() < 1e-6);
+        assert!((t.irradiance(SimTime::from_millis(2500)) - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spends_time_in_both_regimes() {
+        let t = SolarTraceBuilder::new()
+            .duration(SimDuration::from_secs(7200))
+            .seed(42)
+            .build();
+        let high = t.samples().iter().filter(|&&s| s > 0.5).count();
+        let low = t.samples().iter().filter(|&&s| s < 0.2).count();
+        assert!(high > 100, "high={high}");
+        assert!(low > 100, "low={low}");
+    }
+
+    #[test]
+    fn observed_max_well_below_rated() {
+        // The property that defeats datasheet-fraction thresholds: the
+        // trace never reaches the panel's rated output.
+        let t = SolarTraceBuilder::new()
+            .duration(SimDuration::from_secs(7200))
+            .seed(3)
+            .build();
+        assert!(t.observed_max() < 0.95);
+        assert!(t.observed_max() > 0.5);
+    }
+
+    #[test]
+    fn diurnal_has_dark_nights() {
+        let day = SimDuration::from_secs(1000);
+        let t = SolarTraceBuilder::new()
+            .duration(SimDuration::from_secs(2000))
+            .diurnal(day, 0.4)
+            .seed(5)
+            .build();
+        // Last 40% of each period must be dark.
+        for s in 650..1000 {
+            assert_eq!(t.samples()[s], 0.0, "s={s}");
+        }
+    }
+
+    #[test]
+    fn mean_is_sane() {
+        let t = SolarTraceBuilder::new()
+            .duration(SimDuration::from_secs(3600))
+            .seed(8)
+            .build();
+        let m = t.mean();
+        assert!(m > 0.05 && m < 0.9, "mean={m}");
+    }
+
+    proptest! {
+        #[test]
+        fn any_seed_produces_valid_trace(seed in any::<u64>()) {
+            let t = SolarTraceBuilder::new()
+                .duration(SimDuration::from_secs(120))
+                .seed(seed)
+                .build();
+            prop_assert_eq!(t.samples().len(), 120);
+            prop_assert!(t.samples().iter().all(|&s| (0.0..=1.0).contains(&s)));
+        }
+    }
+}

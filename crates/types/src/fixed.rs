@@ -1,0 +1,343 @@
+//! Q16.16 signed fixed-point arithmetic.
+//!
+//! Quetzal's runtime is designed for microcontrollers without floating-point
+//! or even hardware-divide units (MSP430, Cortex-M0; §5.1 of the paper). The
+//! hardware-module crate (`qz-hw`) therefore evaluates Algorithm 3 in pure
+//! integer arithmetic. [`Q16`] mirrors what that firmware would do: a 32-bit
+//! value with 16 fractional bits, multiplication via a 64-bit intermediate,
+//! and shift-based scaling.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Shl, Shr, Sub, SubAssign};
+
+/// Number of fractional bits in [`Q16`].
+pub const FRAC_BITS: u32 = 16;
+
+/// A signed Q16.16 fixed-point number.
+///
+/// Range ≈ ±32768 with resolution 2⁻¹⁶ ≈ 1.5e-5, comfortably covering the
+/// service times (≤ hundreds of seconds) and power ratios (≤ 2¹⁵ after the
+/// shift decomposition of Algorithm 3) Quetzal manipulates.
+///
+/// # Examples
+///
+/// ```
+/// use qz_types::Q16;
+/// let a = Q16::from_f64(1.5);
+/// let b = Q16::from_f64(2.0);
+/// assert_eq!((a * b).to_f64(), 3.0);
+/// assert_eq!((a << 2).to_f64(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Q16(pub i32);
+
+impl Q16 {
+    /// The value 0.
+    pub const ZERO: Q16 = Q16(0);
+    /// The value 1.
+    pub const ONE: Q16 = Q16(1 << FRAC_BITS);
+    /// Largest representable value (≈ 32767.99998).
+    pub const MAX: Q16 = Q16(i32::MAX);
+    /// Smallest representable value (≈ −32768).
+    pub const MIN: Q16 = Q16(i32::MIN);
+    /// Smallest positive increment (2⁻¹⁶).
+    pub const EPSILON: Q16 = Q16(1);
+
+    /// Builds a fixed-point value from raw Q16.16 bits.
+    #[inline]
+    pub const fn from_bits(bits: i32) -> Q16 {
+        Q16(bits)
+    }
+
+    /// The raw Q16.16 bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Converts from an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `v` is outside ±32767.
+    #[inline]
+    pub const fn from_int(v: i16) -> Q16 {
+        Q16((v as i32) << FRAC_BITS)
+    }
+
+    /// Converts from `f64`, rounding to the nearest representable value and
+    /// saturating at the type's range.
+    #[inline]
+    pub fn from_f64(v: f64) -> Q16 {
+        let scaled = crate::math::round_half_away(v * (1u32 << FRAC_BITS) as f64);
+        Q16(scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+    }
+
+    /// Converts to `f64` exactly (every Q16.16 value is an exact `f64`).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1u32 << FRAC_BITS) as f64
+    }
+
+    /// Truncates toward negative infinity to an integer.
+    #[inline]
+    pub const fn floor_int(self) -> i32 {
+        self.0 >> FRAC_BITS
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub const fn saturating_add(self, rhs: Q16) -> Q16 {
+        Q16(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating multiplication.
+    #[inline]
+    pub fn saturating_mul(self, rhs: Q16) -> Q16 {
+        let wide = (self.0 as i64 * rhs.0 as i64) >> FRAC_BITS;
+        Q16(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Absolute value (saturating at `MAX` for `MIN`).
+    #[inline]
+    pub const fn abs(self) -> Q16 {
+        if self.0 == i32::MIN {
+            Q16::MAX
+        } else if self.0 < 0 {
+            Q16(-self.0)
+        } else {
+            self
+        }
+    }
+
+    /// Returns the smaller of two values.
+    #[inline]
+    pub fn min(self, other: Q16) -> Q16 {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two values.
+    #[inline]
+    pub fn max(self, other: Q16) -> Q16 {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Q16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl Add for Q16 {
+    type Output = Q16;
+    /// # Panics
+    ///
+    /// Panics in debug builds on overflow; use
+    /// [`Q16::saturating_add`] when the operands are unbounded.
+    #[inline]
+    fn add(self, rhs: Q16) -> Q16 {
+        Q16(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Q16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Q16) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn sub(self, rhs: Q16) -> Q16 {
+        Q16(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Q16 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Q16) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn neg(self) -> Q16 {
+        Q16(-self.0)
+    }
+}
+
+impl Mul for Q16 {
+    type Output = Q16;
+    /// Fixed-point multiply through a 64-bit intermediate, truncating
+    /// toward zero — exactly what MCU firmware would emit.
+    #[inline]
+    fn mul(self, rhs: Q16) -> Q16 {
+        Q16(((self.0 as i64 * rhs.0 as i64) >> FRAC_BITS) as i32)
+    }
+}
+
+impl Div for Q16 {
+    type Output = Q16;
+    /// Fixed-point division.
+    ///
+    /// Present for completeness and for modeling the *baseline* software-
+    /// division cost; Quetzal's hardware module exists precisely to avoid
+    /// this operation at runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[inline]
+    fn div(self, rhs: Q16) -> Q16 {
+        Q16((((self.0 as i64) << FRAC_BITS) / rhs.0 as i64) as i32)
+    }
+}
+
+impl Shl<u32> for Q16 {
+    type Output = Q16;
+    /// Multiply by 2ⁿ.
+    #[inline]
+    fn shl(self, rhs: u32) -> Q16 {
+        Q16(self.0 << rhs)
+    }
+}
+
+impl Shr<u32> for Q16 {
+    type Output = Q16;
+    /// Divide by 2ⁿ (arithmetic shift).
+    #[inline]
+    fn shr(self, rhs: u32) -> Q16 {
+        Q16(self.0 >> rhs)
+    }
+}
+
+impl From<i16> for Q16 {
+    #[inline]
+    fn from(v: i16) -> Q16 {
+        Q16::from_int(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Q16::ZERO.to_f64(), 0.0);
+        assert_eq!(Q16::ONE.to_f64(), 1.0);
+        assert_eq!(Q16::EPSILON.to_f64(), 1.0 / 65536.0);
+    }
+
+    #[test]
+    fn f64_roundtrip_exact_values() {
+        for v in [0.0, 1.0, -1.0, 0.5, -0.5, 1.25, 100.0625, -32767.0] {
+            assert_eq!(Q16::from_f64(v).to_f64(), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        assert_eq!(Q16::from_f64(1e12), Q16::MAX);
+        assert_eq!(Q16::from_f64(-1e12), Q16::MIN);
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Q16::from_f64(1.5);
+        let b = Q16::from_f64(2.0);
+        assert_eq!((a + b).to_f64(), 3.5);
+        assert_eq!((a - b).to_f64(), -0.5);
+        assert_eq!((a * b).to_f64(), 3.0);
+        assert_eq!(
+            (b / a).to_f64(),
+            2.0 / 1.5 - ((2.0 / 1.5) % (1.0 / 65536.0))
+        );
+        assert_eq!((-a).to_f64(), -1.5);
+    }
+
+    #[test]
+    fn shifts_scale_by_powers_of_two() {
+        let x = Q16::from_f64(3.0);
+        assert_eq!((x << 3).to_f64(), 24.0);
+        assert_eq!((x >> 1).to_f64(), 1.5);
+    }
+
+    #[test]
+    fn floor_int() {
+        assert_eq!(Q16::from_f64(3.75).floor_int(), 3);
+        assert_eq!(Q16::from_f64(-0.25).floor_int(), -1);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Q16::MAX.saturating_add(Q16::ONE), Q16::MAX);
+        assert_eq!(
+            Q16::from_f64(30000.0).saturating_mul(Q16::from_f64(2.0)),
+            Q16::MAX
+        );
+        assert_eq!(Q16::MIN.abs(), Q16::MAX);
+        assert_eq!(Q16::from_f64(-2.0).abs().to_f64(), 2.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Q16::from_f64(1.0);
+        let b = Q16::from_f64(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn div_by_zero_panics() {
+        let _ = Q16::ONE / Q16::ZERO;
+    }
+
+    proptest! {
+        #[test]
+        fn mul_matches_f64_within_quantum(a in -1000.0f64..1000.0, b in -30.0f64..30.0) {
+            let qa = Q16::from_f64(a);
+            let qb = Q16::from_f64(b);
+            let exact = qa.to_f64() * qb.to_f64();
+            prop_assume!(exact.abs() < 30000.0);
+            let got = (qa * qb).to_f64();
+            // Truncating fixed-point multiply loses at most one quantum.
+            prop_assert!((got - exact).abs() <= 1.0 / 65536.0 + 1e-12);
+        }
+
+        #[test]
+        fn add_matches_f64(a in -10000.0f64..10000.0, b in -10000.0f64..10000.0) {
+            let got = (Q16::from_f64(a) + Q16::from_f64(b)).to_f64();
+            let exact = Q16::from_f64(a).to_f64() + Q16::from_f64(b).to_f64();
+            prop_assert_eq!(got, exact);
+        }
+
+        #[test]
+        fn roundtrip_error_bounded(v in -30000.0f64..30000.0) {
+            let rt = Q16::from_f64(v).to_f64();
+            prop_assert!((rt - v).abs() <= 0.5 / 65536.0 + 1e-12);
+        }
+
+        #[test]
+        fn shl_shr_inverse(v in -100.0f64..100.0, s in 0u32..6) {
+            let q = Q16::from_f64(v);
+            let back = (q << s) >> s;
+            prop_assert_eq!(back, q);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Tiny `core`-only float helpers.
+//!
+//! `f64::round`/`f64::ceil` live in `std` (they lower to platform
+//! intrinsics); these replacements keep the crate `no_std`-capable for
+//! the value ranges the workspace uses (|v| well below 2⁶³).
+
+/// Rounds half away from zero — the same tie behaviour as
+/// [`f64::round`] — using only `core` operations.
+///
+/// # Examples
+///
+/// ```
+/// use qz_types::round_half_away;
+/// assert_eq!(round_half_away(2.5), 3.0);
+/// assert_eq!(round_half_away(-2.5), -3.0);
+/// assert_eq!(round_half_away(2.4), 2.0);
+/// ```
+#[inline]
+pub fn round_half_away(v: f64) -> f64 {
+    if !v.is_finite() {
+        return v;
+    }
+    if v >= 0.0 {
+        (v + 0.5) as i64 as f64
+    } else {
+        (v - 0.5) as i64 as f64
+    }
+}
+
+/// Ceiling for non-negative values using only `core` operations.
+///
+/// # Examples
+///
+/// ```
+/// use qz_types::ceil_positive;
+/// assert_eq!(ceil_positive(2.0), 2.0);
+/// assert_eq!(ceil_positive(2.0001), 3.0);
+/// assert_eq!(ceil_positive(0.0), 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Debug-asserts that `v` is non-negative.
+#[inline]
+pub fn ceil_positive(v: f64) -> f64 {
+    debug_assert!(v >= 0.0, "ceil_positive requires a non-negative input");
+    let t = v as u64 as f64;
+    if v > t {
+        t + 1.0
+    } else {
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_matches_std() {
+        for v in [
+            0.0, 0.4, 0.5, 0.6, 1.5, 2.5, -0.4, -0.5, -1.5, 123.456, -99.99,
+        ] {
+            assert_eq!(round_half_away(v), v.round(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn round_passes_non_finite_through() {
+        assert!(round_half_away(f64::NAN).is_nan());
+        assert_eq!(round_half_away(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn ceil_matches_std() {
+        for v in [0.0, 0.1, 1.0, 1.0001, 42.0, 42.9, 1e9] {
+            assert_eq!(ceil_positive(v), v.ceil(), "v={v}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! A small deterministic pseudo-random generator.
+//!
+//! The simulator needs reproducible randomness in hot paths (per-input
+//! misclassification draws) where pulling a full `rand` RNG through every
+//! API would add noise. [`SplitMix64`] is the standard 64-bit mixing
+//! generator (Steele et al., "Fast splittable pseudorandom number
+//! generators", OOPSLA 2014): tiny state, excellent statistical quality for
+//! simulation purposes, and trivially seedable.
+//!
+//! The trace-generation crate (`qz-traces`) uses `rand` distributions on
+//! top of this for non-uniform draws.
+
+/// A deterministic SplitMix64 pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use qz_types::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    #[inline]
+    pub const fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift reduction; the slight modulo bias is
+    /// negligible for simulation workloads (bound ≪ 2⁶⁴).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// simulation subsystem its own stream so adding draws in one does not
+    /// perturb another.
+    #[inline]
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+impl Default for SplitMix64 {
+    /// Seeds with a fixed arbitrary constant; prefer [`SplitMix64::new`]
+    /// with an explicit experiment seed.
+    fn default() -> SplitMix64 {
+        SplitMix64::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(123);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = SplitMix64::new(99);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn chance_edge_cases() {
+        let mut r = SplitMix64::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-3.0));
+        assert!(r.chance(3.0));
+    }
+
+    #[test]
+    fn chance_frequency_matches_probability() {
+        let mut r = SplitMix64::new(17);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.chance(0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            assert!(r.next_below(10) < 10);
+        }
+        // every bucket gets hit for a small bound
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.next_below(10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn next_range_bounds() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let v = r.next_range(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = SplitMix64::new(8);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

@@ -1,0 +1,328 @@
+//! Discrete simulation time.
+//!
+//! The paper's custom simulator advances in fixed 1 ms increments (§6.3).
+//! [`SimTime`] is an absolute instant (milliseconds since simulation start)
+//! and [`SimDuration`] is a span, both integer-backed so stepping is exact
+//! and deterministic. Conversions to the continuous [`Seconds`] unit are
+//! provided for the modeling layer.
+
+use crate::units::Seconds;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// Milliseconds per second; the simulator tick is 1 ms.
+pub const MS_PER_SEC: u64 = 1_000;
+
+/// An absolute simulation instant, in integer milliseconds since t = 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time, in integer milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation start instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from whole milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms)
+    }
+
+    /// Creates an instant from whole seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * MS_PER_SEC)
+    }
+
+    /// Milliseconds since simulation start.
+    #[inline]
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as continuous seconds.
+    #[inline]
+    pub fn as_seconds(self) -> Seconds {
+        Seconds(self.0 as f64 / MS_PER_SEC as f64)
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// Returns [`SimDuration::ZERO`] if `earlier` is after `self` (saturating),
+    /// which keeps metric arithmetic panic-free in edge cases.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Advances by one 1 ms tick.
+    #[inline]
+    pub fn tick(self) -> SimTime {
+        SimTime(self.0 + 1)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// One simulator tick (1 ms).
+    pub const TICK: SimDuration = SimDuration(1);
+
+    /// Creates a span from whole milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms)
+    }
+
+    /// Creates a span from whole seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * MS_PER_SEC)
+    }
+
+    /// Creates a span from continuous seconds, rounding *up* to the next
+    /// whole millisecond so a task can never complete earlier than its
+    /// modeled latency.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qz_types::{SimDuration, Seconds};
+    /// assert_eq!(SimDuration::from_seconds_ceil(Seconds(0.0004)), SimDuration(1));
+    /// assert_eq!(SimDuration::from_seconds_ceil(Seconds(0.25)), SimDuration(250));
+    /// ```
+    #[inline]
+    pub fn from_seconds_ceil(s: Seconds) -> SimDuration {
+        let ms = (s.0 * MS_PER_SEC as f64).max(0.0);
+        SimDuration(crate::math::ceil_positive(ms) as u64)
+    }
+
+    /// The span in whole milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// This span as continuous seconds.
+    #[inline]
+    pub fn as_seconds(self) -> Seconds {
+        Seconds(self.0 as f64 / MS_PER_SEC as f64)
+    }
+
+    /// Returns `true` if the span is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the smaller of two spans.
+    #[inline]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two spans.
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ms", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics in debug builds if the duration exceeds the instant.
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is after `self`; use
+    /// [`SimTime::since`] for a saturating version.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use
+    /// [`SimDuration::saturating_sub`] when the operands may be unordered.
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Rem<SimDuration> for SimTime {
+    type Output = SimDuration;
+    /// Phase of this instant within a repeating period — used for periodic
+    /// capture scheduling (`t % period == 0` fires a capture).
+    #[inline]
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_plus_duration() {
+        assert_eq!(SimTime(100) + SimDuration(50), SimTime(150));
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_secs(2);
+        assert_eq!(t, SimTime(2000));
+    }
+
+    #[test]
+    fn instant_difference() {
+        assert_eq!(SimTime(150) - SimTime(100), SimDuration(50));
+        assert_eq!(SimTime(100).since(SimTime(150)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn seconds_roundtrip() {
+        let t = SimTime::from_secs(3);
+        assert_eq!(t.as_seconds(), Seconds(3.0));
+        let d = SimDuration::from_millis(1500);
+        assert_eq!(d.as_seconds(), Seconds(1.5));
+    }
+
+    #[test]
+    fn ceil_conversion_never_undershoots() {
+        for ms in [0.1, 0.5, 0.999, 1.0, 1.0001, 123.456] {
+            let d = SimDuration::from_seconds_ceil(Seconds(ms / 1e3));
+            assert!(d.as_seconds().0 >= ms / 1e3 - 1e-12, "ms={ms}");
+        }
+        assert_eq!(
+            SimDuration::from_seconds_ceil(Seconds(-1.0)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn tick_advances_one_ms() {
+        assert_eq!(SimTime(41).tick(), SimTime(42));
+    }
+
+    #[test]
+    fn periodic_phase() {
+        let period = SimDuration::from_secs(1);
+        assert_eq!(SimTime(3000) % period, SimDuration::ZERO);
+        assert_eq!(SimTime(3250) % period, SimDuration(250));
+    }
+
+    #[test]
+    fn duration_arith() {
+        assert_eq!(SimDuration(10) * 3, SimDuration(30));
+        assert_eq!(SimDuration(30) / 3, SimDuration(10));
+        assert_eq!(
+            SimDuration(30).saturating_sub(SimDuration(40)),
+            SimDuration::ZERO
+        );
+        assert_eq!(SimDuration(3).min(SimDuration(5)), SimDuration(3));
+        assert_eq!(SimDuration(3).max(SimDuration(5)), SimDuration(5));
+        assert!(SimDuration::ZERO.is_zero());
+        let total: SimDuration = [SimDuration(1), SimDuration(2)].into_iter().sum();
+        assert_eq!(total, SimDuration(3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime(5).to_string(), "t=5ms");
+        assert_eq!(SimDuration(5).to_string(), "5ms");
+    }
+}

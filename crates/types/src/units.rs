@@ -1,0 +1,462 @@
+//! Strongly-typed physical quantities.
+//!
+//! Every quantity the energy models manipulate is wrapped in a newtype so
+//! the compiler catches dimensional mistakes (e.g. adding a power to an
+//! energy). Arithmetic between units follows physics:
+//!
+//! - `Watts * Seconds = Joules` and `Joules / Seconds = Watts`
+//! - `Joules / Watts = Seconds`
+//! - `Volts * Amps = Watts`
+//! - `Farads * Volts = Coulombs` is not needed; capacitor energy is computed
+//!   directly in [`qz-energy`](https://docs.rs/qz-energy) as `½·C·V²`.
+//!
+//! All quantities are `f64` internally; the simulator's discrete time is a
+//! separate integer type ([`crate::time::SimTime`]) to keep the 1 ms
+//! stepping exact.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the shared boilerplate for an `f64` newtype unit.
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw `f64` value.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            ///
+            /// Uses IEEE-754 total ordering via `f64::min`, so `NaN`
+            /// propagation follows `f64::min` semantics.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` (same contract as [`f64::clamp`]).
+            #[inline]
+            pub fn clamp(self, lo: $name, hi: $name) -> $name {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the quantity is finite (not NaN/±∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns `true` if the quantity is `NaN`.
+            #[inline]
+            pub fn is_nan(self) -> bool {
+                self.0.is_nan()
+            }
+
+            /// Total ordering over the underlying `f64` (see
+            /// [`f64::total_cmp`]); useful for sorting and exact
+            /// min-selection in the scheduler.
+            #[inline]
+            pub fn total_cmp(&self, other: &$name) -> core::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl From<f64> for $name {
+            #[inline]
+            fn from(v: f64) -> $name {
+                $name(v)
+            }
+        }
+    };
+}
+
+unit!(
+    /// A time span in seconds.
+    ///
+    /// Continuous model-level time. For the simulator's discrete clock see
+    /// [`crate::time::SimTime`].
+    Seconds,
+    "s"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+
+// --- Cross-unit arithmetic -------------------------------------------------
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// Energy = power × time.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    /// Energy = time × power.
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    /// Time to produce/consume this energy at the given power.
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// Average power over the time span.
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    /// Power = voltage × current.
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    /// Power = current × voltage.
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    /// Current drawn at the given voltage.
+    #[inline]
+    fn div(self, rhs: Volts) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Hertz {
+    /// The period corresponding to this frequency.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qz_types::{Hertz, Seconds};
+    /// assert_eq!(Hertz(1.0).period(), Seconds(1.0));
+    /// assert_eq!(Hertz(4.0).period(), Seconds(0.25));
+    /// ```
+    #[inline]
+    pub fn period(self) -> Seconds {
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl Seconds {
+    /// The frequency corresponding to this period.
+    #[inline]
+    pub fn frequency(self) -> Hertz {
+        Hertz(1.0 / self.0)
+    }
+
+    /// Convenience constructor from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Seconds {
+        Seconds(ms / 1e3)
+    }
+
+    /// This span expressed in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Watts {
+    /// Convenience constructor from milliwatts.
+    #[inline]
+    pub fn from_milliwatts(mw: f64) -> Watts {
+        Watts(mw / 1e3)
+    }
+
+    /// This power expressed in milliwatts.
+    #[inline]
+    pub fn as_milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Convenience constructor from microwatts.
+    #[inline]
+    pub fn from_microwatts(uw: f64) -> Watts {
+        Watts(uw / 1e6)
+    }
+}
+
+impl Joules {
+    /// Convenience constructor from millijoules.
+    #[inline]
+    pub fn from_millijoules(mj: f64) -> Joules {
+        Joules(mj / 1e3)
+    }
+
+    /// This energy expressed in millijoules.
+    #[inline]
+    pub fn as_millijoules(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Convenience constructor from microjoules.
+    #[inline]
+    pub fn from_microjoules(uj: f64) -> Joules {
+        Joules(uj / 1e6)
+    }
+
+    /// Convenience constructor from nanojoules.
+    #[inline]
+    pub fn from_nanojoules(nj: f64) -> Joules {
+        Joules(nj / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        assert_eq!(Watts(2.0) * Seconds(3.0), Joules(6.0));
+        assert_eq!(Seconds(3.0) * Watts(2.0), Joules(6.0));
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        assert_eq!(Joules(6.0) / Watts(2.0), Seconds(3.0));
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        assert_eq!(Joules(6.0) / Seconds(3.0), Watts(2.0));
+    }
+
+    #[test]
+    fn volts_times_amps_is_watts() {
+        assert_eq!(Volts(3.3) * Amps(2.0), Watts(6.6));
+        assert_eq!(Amps(2.0) * Volts(3.3), Watts(6.6));
+    }
+
+    #[test]
+    fn watts_over_volts_is_amps() {
+        assert_eq!(Watts(6.6) / Volts(3.3), Amps(2.0));
+    }
+
+    #[test]
+    fn like_division_is_dimensionless() {
+        let r: f64 = Watts(10.0) / Watts(4.0);
+        assert_eq!(r, 2.5);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        assert_eq!(Watts(2.0) * 3.0, Watts(6.0));
+        assert_eq!(3.0 * Watts(2.0), Watts(6.0));
+        assert_eq!(Watts(6.0) / 3.0, Watts(2.0));
+        assert_eq!(-Watts(1.0), Watts(-1.0));
+    }
+
+    #[test]
+    fn add_sub_assign() {
+        let mut e = Joules(1.0);
+        e += Joules(0.5);
+        assert_eq!(e, Joules(1.5));
+        e -= Joules(1.0);
+        assert_eq!(e, Joules(0.5));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        assert_eq!(Watts(1.0).min(Watts(2.0)), Watts(1.0));
+        assert_eq!(Watts(1.0).max(Watts(2.0)), Watts(2.0));
+        assert_eq!(Watts(5.0).clamp(Watts(0.0), Watts(2.0)), Watts(2.0));
+        assert_eq!(Watts(-1.0).clamp(Watts(0.0), Watts(2.0)), Watts(0.0));
+    }
+
+    #[test]
+    fn frequency_period_roundtrip() {
+        let f = Hertz(2.0);
+        assert!((f.period().frequency().0 - f.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(Seconds::from_millis(1500.0), Seconds(1.5));
+        assert_eq!(Seconds(1.5).as_millis(), 1500.0);
+        assert_eq!(Watts::from_milliwatts(20.0), Watts(0.020));
+        assert!((Watts::from_microwatts(500.0).0 - 0.0005).abs() < 1e-15);
+        assert_eq!(Joules::from_millijoules(60.0), Joules(0.060));
+        assert!((Joules::from_nanojoules(3.75).0 - 3.75e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Joules = [Joules(1.0), Joules(2.0), Joules(3.0)].into_iter().sum();
+        assert_eq!(total, Joules(6.0));
+    }
+
+    #[test]
+    fn display_includes_suffix() {
+        assert_eq!(Watts(1.5).to_string(), "1.5 W");
+        assert_eq!(Seconds(0.25).to_string(), "0.25 s");
+        assert_eq!(Joules(2.0).to_string(), "2 J");
+    }
+
+    #[test]
+    fn total_cmp_handles_nan() {
+        use core::cmp::Ordering;
+        let nan = Watts(f64::NAN);
+        assert_eq!(Watts(1.0).total_cmp(&Watts(2.0)), Ordering::Less);
+        assert_eq!(nan.total_cmp(&Watts(1.0)), Ordering::Greater);
+        assert!(nan.is_nan());
+        assert!(!nan.is_finite());
+    }
+}

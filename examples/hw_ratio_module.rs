@@ -1,0 +1,58 @@
+//! Demonstrates the hardware power-measurement module (paper §5.1): how
+//! the diode law turns the `P_exe / P_in` division into a subtraction
+//! plus shifts, what it costs, and how accurate it is.
+//!
+//! Run with: `cargo run --release --example hw_ratio_module`
+
+use qz_hw::{
+    premultiply_t_exe, ratio_estimate, se2e_hw, PowerMonitor, RatioPath, APOLLO4, MSP430FR5994,
+};
+use qz_types::{Seconds, Watts};
+
+fn main() {
+    let monitor = PowerMonitor::default();
+
+    // Profile-time: the radio task's execution power goes through diode
+    // D2 once; its t_exe is premultiplied by the eight 2^(b/8) factors.
+    let t_exe = Seconds(0.4);
+    let p_exe = Watts(0.050);
+    let vd2 = monitor.sample_power(p_exe);
+    let table = premultiply_t_exe(t_exe);
+    println!("profiled radio task: t_exe = {t_exe}, P_exe = 50 mW, V_D2 code = {vd2}\n");
+
+    // Run-time: sweep input power, compare Algorithm 3's division-free
+    // S_e2e against the exact model.
+    println!("P_in      V_D1  delta  ratio(est)  S_e2e(hw)  S_e2e(exact)  err");
+    println!("----------------------------------------------------------------");
+    for p_in_mw in [50.0, 25.0, 12.0, 6.0, 3.0, 1.5] {
+        let p_in = Watts(p_in_mw / 1e3);
+        let vd1 = monitor.sample_power(p_in);
+        let hw = se2e_hw(&table, vd1, vd2).to_f64();
+        let exact = quetzal::service::EnergyAwareEstimator::se2e(
+            quetzal::model::TaskCost::new(t_exe, p_exe),
+            p_in,
+        )
+        .value();
+        let delta = vd2.saturating_sub(vd1);
+        println!(
+            "{p_in_mw:>5.1}mW  {vd1:>4}  {delta:>5}  {:>9.2}x  {hw:>8.2}s  {exact:>11.2}s  {:+5.1}%",
+            if delta > 0 { ratio_estimate(delta) } else { 1.0 },
+            (hw / exact - 1.0) * 100.0,
+        );
+    }
+
+    // What the module saves: per-ratio cycles and energy on each MCU.
+    println!("\nper-ratio cost of evaluating S_e2e:");
+    for mcu in [&MSP430FR5994, &APOLLO4] {
+        let native = mcu.native_path();
+        println!(
+            "  {:<13} {}: {} cycles / {:.2} nJ   vs   module: {} cycles / {:.2} nJ",
+            mcu.name,
+            native,
+            mcu.div_cycles,
+            mcu.ratio_op_energy(native).value() * 1e9,
+            mcu.module_cycles,
+            mcu.ratio_op_energy(RatioPath::QuetzalModule).value() * 1e9,
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Smoke tests for every figure runner: each must produce the expected
+//! row structure on a small workload (the full-scale outputs are
+//! recorded in EXPERIMENTS.md).
+
+use qz_bench::figures;
+
+const SMALL: usize = 30;
+
+#[test]
+fn fig02_rows() {
+    let rows = figures::fig02_capture_rate(SMALL);
+    assert_eq!(rows.len(), 10);
+    // Slower capture sees fewer frames.
+    assert!(rows[9].metrics.frames_total < rows[0].metrics.frames_total);
+}
+
+#[test]
+fn fig03_rows() {
+    let rows = figures::fig03_naive(SMALL);
+    let systems: Vec<&str> = rows.iter().map(|r| r.system.as_str()).collect();
+    assert_eq!(systems.len(), 6);
+    assert!(systems.contains(&"Ideal"));
+    assert!(systems.contains(&"QZ"));
+    assert!(systems.iter().any(|s| s.starts_with("PZ")));
+}
+
+#[test]
+fn fig08_rows() {
+    let rows = figures::fig08_hardware(SMALL);
+    assert_eq!(rows.len(), 4);
+    assert!(rows
+        .iter()
+        .any(|r| r.environment == "Crowded" && r.system == "QZ"));
+    assert!(rows
+        .iter()
+        .any(|r| r.environment == "LessCrowded" && r.system == "NA"));
+}
+
+#[test]
+fn fig09_fig10_fig11_fig12_cover_three_environments() {
+    for rows in [
+        figures::fig09_vs_nonadaptive(SMALL),
+        figures::fig10_vs_prior(SMALL),
+        figures::fig11_thresholds(SMALL),
+        figures::fig12_schedulers(SMALL),
+    ] {
+        assert_eq!(rows.len(), 4 * 3);
+        for env in ["MoreCrowded", "Crowded", "LessCrowded"] {
+            assert_eq!(
+                rows.iter().filter(|r| r.environment == env).count(),
+                4,
+                "{env}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig11_sweep_is_monotone_in_threshold_labels() {
+    let rows = figures::fig11_sweep(SMALL);
+    assert_eq!(rows.len(), 12);
+    assert_eq!(rows.last().unwrap().environment, "dynamic");
+}
+
+#[test]
+fn fig13_covers_all_systems() {
+    let rows = figures::fig13_msp430(SMALL);
+    assert_eq!(rows.len(), 10);
+    assert!(rows.iter().all(|r| r.environment == "Short"));
+}
+
+#[test]
+fn fig14_sweeps_three_parameters() {
+    let rows = figures::fig14_params(SMALL);
+    assert_eq!(
+        rows.iter()
+            .filter(|r| r.environment.starts_with("cells="))
+            .count(),
+        5
+    );
+    assert_eq!(
+        rows.iter()
+            .filter(|r| r.environment.starts_with("arrival-window="))
+            .count(),
+        7
+    );
+    assert_eq!(
+        rows.iter()
+            .filter(|r| r.environment.starts_with("task-window="))
+            .count(),
+        6
+    );
+}
+
+#[test]
+fn ablation_rows() {
+    let rows = figures::ablations(SMALL);
+    let systems: Vec<&str> = rows.iter().map(|r| r.system.as_str()).collect();
+    assert_eq!(
+        systems,
+        vec![
+            "QZ",
+            "QZ-noPID",
+            "QZ-noSticky",
+            "QZ-HW",
+            "QZ+jitter",
+            "QZ-VAR90+jitter",
+            "QZ-EWMA"
+        ]
+    );
+}
+
+#[test]
+fn same_environment_across_systems() {
+    // Every system within a figure must see the identical event trace:
+    // the interesting-input totals must agree per environment.
+    let rows = figures::fig09_vs_nonadaptive(SMALL);
+    for env in ["MoreCrowded", "Crowded", "LessCrowded"] {
+        let totals: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.environment == env)
+            .map(|r| r.metrics.interesting_total)
+            .collect();
+        assert!(totals.windows(2).all(|w| w[0] == w[1]), "{env}: {totals:?}");
+    }
+}

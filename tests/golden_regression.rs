@@ -1,0 +1,119 @@
+//! Golden-value regression tests: exact metric values for fixed seeds.
+//!
+//! The simulator is fully deterministic, so any change to scheduling,
+//! energy accounting, trace generation or the runtime shows up as a
+//! change in these numbers. A failure here is not necessarily a bug —
+//! it means behaviour changed and the goldens (and EXPERIMENTS.md, whose
+//! results would shift too) must be consciously re-baselined.
+//!
+//! Regenerate with:
+//! `cargo test -p qz-bench --test golden_regression -- --nocapture`
+//! (failing assertions print the new values).
+
+use qz_app::{apollo4, msp430fr5994, simulate, SimTweaks};
+use qz_baselines::BaselineKind;
+use qz_traces::{EnvironmentKind, SensingEnvironment};
+
+const SEED: u64 = 424_242;
+
+fn fingerprint(
+    kind: BaselineKind,
+    env_kind: EnvironmentKind,
+    msp430: bool,
+) -> (u64, u64, u64, u64, u64) {
+    let env = SensingEnvironment::generate(env_kind, 40, SEED);
+    let profile = if msp430 { msp430fr5994() } else { apollo4() };
+    let m = simulate(
+        kind,
+        &profile,
+        &env,
+        &SimTweaks {
+            seed: SEED,
+            ..SimTweaks::default()
+        },
+    );
+    (
+        m.interesting_discarded(),
+        m.ibo_interesting,
+        m.false_negatives,
+        m.interesting_reported(),
+        m.total_jobs(),
+    )
+}
+
+macro_rules! golden {
+    ($name:ident, $kind:expr, $env:expr, $msp430:expr) => {
+        #[test]
+        fn $name() {
+            let got = fingerprint($kind, $env, $msp430);
+            // On first run (or after an intentional change) copy the
+            // printed tuple into the GOLDENS table below.
+            let expect = GOLDENS
+                .iter()
+                .find(|(n, _)| *n == stringify!($name))
+                .map(|(_, v)| *v)
+                .expect("golden entry exists");
+            assert_eq!(
+                got,
+                expect,
+                "{} drifted — re-baseline if intentional",
+                stringify!($name)
+            );
+        }
+    };
+}
+
+/// The baselined fingerprints:
+/// (discarded, ibo, false-neg, reported, jobs).
+const GOLDENS: &[(&str, (u64, u64, u64, u64, u64))] = &[
+    ("qz_crowded", (106, 58, 48, 617, 1829)),
+    ("na_crowded", (324, 306, 18, 399, 1262)),
+    ("ad_crowded", (155, 0, 155, 568, 1932)),
+    ("cn_crowded", (252, 229, 23, 471, 1436)),
+    ("qz_more_crowded", (1344, 577, 767, 5715, 17478)),
+    ("qz_less_crowded", (37, 20, 17, 217, 640)),
+    ("qz_msp430_short", (37, 23, 14, 100, 313)),
+];
+
+golden!(
+    qz_crowded,
+    BaselineKind::Quetzal,
+    EnvironmentKind::Crowded,
+    false
+);
+golden!(
+    na_crowded,
+    BaselineKind::NoAdapt,
+    EnvironmentKind::Crowded,
+    false
+);
+golden!(
+    ad_crowded,
+    BaselineKind::AlwaysDegrade,
+    EnvironmentKind::Crowded,
+    false
+);
+golden!(
+    cn_crowded,
+    BaselineKind::CatNap,
+    EnvironmentKind::Crowded,
+    false
+);
+golden!(
+    qz_more_crowded,
+    BaselineKind::Quetzal,
+    EnvironmentKind::MoreCrowded,
+    false
+);
+golden!(
+    qz_less_crowded,
+    BaselineKind::Quetzal,
+    EnvironmentKind::LessCrowded,
+    false
+);
+golden!(
+    qz_msp430_short,
+    BaselineKind::Quetzal,
+    EnvironmentKind::Short,
+    true
+);

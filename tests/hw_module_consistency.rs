@@ -1,0 +1,100 @@
+//! Integration tests for the hardware measurement module against the
+//! exact service-time model, across the core and hw crates.
+
+use quetzal::model::{AppSpecBuilder, TaskCost, TaskKey};
+use quetzal::service::{EnergyAwareEstimator, HwAssistedEstimator, ServiceEstimator};
+use qz_hw::{PowerMonitor, RatioPath, APOLLO4, MSP430FR5994};
+use qz_types::{Seconds, Watts};
+
+fn spec_with(costs: &[(f64, f64)]) -> quetzal::model::AppSpec {
+    let mut b = AppSpecBuilder::new();
+    let mut ids = Vec::new();
+    for (i, &(t, p)) in costs.iter().enumerate() {
+        ids.push(
+            b.fixed_task(&format!("t{i}"), TaskCost::new(Seconds(t), Watts(p)))
+                .unwrap(),
+        );
+    }
+    b.job("j", ids).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn hw_estimator_tracks_exact_model_within_quantization() {
+    // Across a grid of task powers and input powers, the division-free
+    // path must stay within the quantization-dominated error envelope.
+    let costs = [(0.5, 0.005), (0.4, 0.050), (0.05, 0.004), (0.005, 0.090)];
+    let spec = spec_with(&costs);
+    let est = HwAssistedEstimator::from_spec(&spec, PowerMonitor::default());
+    let mut worst: f64 = 0.0;
+    for (i, &(t, p)) in costs.iter().enumerate() {
+        let key = TaskKey::best(spec.task_id(i).unwrap());
+        let cost = TaskCost::new(Seconds(t), Watts(p));
+        for p_in_mw in [1.0, 2.0, 5.0, 10.0, 20.0, 40.0] {
+            let p_in = Watts(p_in_mw / 1e3);
+            let exact = EnergyAwareEstimator::se2e(cost, p_in).value();
+            let hw = est.predict(key, cost, p_in).value();
+            let err = (hw / exact - 1.0).abs();
+            worst = worst.max(err);
+            assert!(
+                err < 0.25,
+                "task {i} at {p_in_mw} mW: exact {exact:.3}s hw {hw:.3}s"
+            );
+        }
+    }
+    // Most of the grid should be far tighter than the bound.
+    assert!(worst > 0.0, "the quantized path should not be bit-exact");
+}
+
+#[test]
+fn hw_estimator_never_underestimates_t_exe() {
+    let spec = spec_with(&[(0.8, 0.05)]);
+    let est = HwAssistedEstimator::from_spec(&spec, PowerMonitor::default());
+    let key = TaskKey::best(spec.task_id(0).unwrap());
+    let cost = TaskCost::new(Seconds(0.8), Watts(0.05));
+    for p_in_mw in [0.5, 1.0, 5.0, 25.0, 100.0] {
+        let s = est.predict(key, cost, Watts(p_in_mw / 1e3));
+        assert!(
+            s.value() >= 0.8 * 0.999,
+            "S_e2e below t_exe at {p_in_mw} mW"
+        );
+    }
+}
+
+#[test]
+fn temperature_drift_stays_bounded() {
+    // The paper's 25–50 °C claim: the same profile, re-read at a hotter
+    // junction temperature, must not blow up the estimate.
+    let spec = spec_with(&[(0.4, 0.050)]);
+    let key = TaskKey::best(spec.task_id(0).unwrap());
+    let cost = TaskCost::new(Seconds(0.4), Watts(0.050));
+    let cool = HwAssistedEstimator::from_spec(&spec, PowerMonitor::default());
+    let mut hot_monitor = PowerMonitor::default();
+    hot_monitor.set_temperature(50.0);
+    let hot = HwAssistedEstimator::from_spec(&spec, hot_monitor);
+    for p_in_mw in [2.0, 5.0, 10.0, 25.0] {
+        let p_in = Watts(p_in_mw / 1e3);
+        let a = cool.predict(key, cost, p_in).value();
+        let b = hot.predict(key, cost, p_in).value();
+        assert!(
+            (a / b - 1.0).abs() < 0.25,
+            "temp drift too large at {p_in_mw} mW: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn module_overheads_match_paper_costs_table() {
+    // §5.1 end-to-end: module vs native path on both MCUs.
+    let msp_native = MSP430FR5994.overhead_fraction(10.0, 32, 128, RatioPath::SoftwareDiv);
+    let msp_module = MSP430FR5994.overhead_fraction(10.0, 32, 128, RatioPath::QuetzalModule);
+    assert!(
+        msp_native / msp_module > 10.0,
+        "the module must be >10x cheaper on MSP430"
+    );
+    let apollo_module = APOLLO4.overhead_fraction(10.0, 32, 128, RatioPath::QuetzalModule);
+    assert!(
+        apollo_module < 0.001,
+        "Apollo 4 overhead must be negligible"
+    );
+}

@@ -1,0 +1,113 @@
+//! Property-based integration tests: the simulator's conservation
+//! invariants must hold for *arbitrary* small configurations, not just
+//! the curated experiment presets.
+
+use proptest::prelude::*;
+use qz_app::{apollo4, simulate, SimTweaks};
+use qz_baselines::BaselineKind;
+use qz_sim::CheckpointPolicy;
+use qz_traces::{EnvironmentKind, SensingEnvironment};
+use qz_types::{SimDuration, Watts};
+
+fn any_baseline() -> impl Strategy<Value = BaselineKind> {
+    prop_oneof![
+        Just(BaselineKind::Quetzal),
+        Just(BaselineKind::NoAdapt),
+        Just(BaselineKind::AlwaysDegrade),
+        Just(BaselineKind::CatNap),
+        (0u8..=10).prop_map(|p| BaselineKind::FixedThreshold(p as f64 / 10.0)),
+        (1u32..40).prop_map(|mw| BaselineKind::PowerThreshold(Watts(mw as f64 / 1e3))),
+        Just(BaselineKind::AvgSe2e),
+        Just(BaselineKind::FcfsIbo),
+        Just(BaselineKind::LcfsIbo),
+        (60u8..=95).prop_map(|p| BaselineKind::QuetzalVar(p as f64 / 100.0)),
+    ]
+}
+
+fn any_env_kind() -> impl Strategy<Value = EnvironmentKind> {
+    prop_oneof![
+        Just(EnvironmentKind::MoreCrowded),
+        Just(EnvironmentKind::Crowded),
+        Just(EnvironmentKind::LessCrowded),
+        Just(EnvironmentKind::Short),
+    ]
+}
+
+fn any_checkpoint_policy() -> impl Strategy<Value = CheckpointPolicy> {
+    prop_oneof![
+        Just(CheckpointPolicy::JustInTime),
+        (50u64..2000).prop_map(|ms| CheckpointPolicy::Periodic {
+            interval: SimDuration::from_millis(ms)
+        }),
+        Just(CheckpointPolicy::TaskBoundary),
+    ]
+}
+
+proptest! {
+    // Each case simulates a few minutes of device time; keep the count
+    // modest so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_holds_for_arbitrary_configurations(
+        kind in any_baseline(),
+        env_kind in any_env_kind(),
+        seed in 0u64..1000,
+        buffer in 2usize..16,
+        capture_period in 1u64..4,
+        jitter in 0.0f64..0.6,
+        checkpoint_policy in any_checkpoint_policy(),
+        cells in 2u32..10,
+    ) {
+        let env = SensingEnvironment::generate(env_kind, 8, seed);
+        let tweaks = SimTweaks {
+            seed,
+            buffer_capacity: buffer,
+            capture_period: SimDuration::from_secs(capture_period),
+            task_jitter: jitter,
+            checkpoint_policy,
+            harvester_cells: cells,
+            drain: SimDuration::from_secs(600),
+            ..SimTweaks::default()
+        };
+        let m = simulate(kind, &apollo4(), &env, &tweaks);
+
+        // Frame accounting.
+        prop_assert_eq!(m.frames_total, m.frames_filtered + m.arrivals + m.frames_missed_off);
+        prop_assert_eq!(m.arrivals, m.stored + m.ibo_discards);
+        prop_assert!(m.interesting_total <= m.frames_total);
+        prop_assert!(m.ibo_interesting <= m.ibo_discards);
+
+        // Stored inputs resolve to classification outcomes, reports or
+        // pending work (at most one extra in flight at the horizon).
+        let resolved = m.false_negatives + m.true_negatives + m.total_reports() + m.pending;
+        prop_assert!(resolved <= m.stored + 1);
+
+        // Time and occupancy.
+        prop_assert_eq!(m.sim_time, m.time_on + m.time_off);
+        prop_assert!(m.mean_occupancy() <= buffer as f64 + 1e-9);
+
+        // Power-failure accounting: JIT takes exactly one checkpoint per
+        // failure and never re-executes.
+        if checkpoint_policy == CheckpointPolicy::JustInTime {
+            prop_assert_eq!(m.checkpoints, m.power_failures);
+            prop_assert_eq!(m.reexecuted.as_millis(), 0);
+        }
+
+        // Energy sanity: the device cannot report more than it stored.
+        prop_assert!(m.total_reports() <= m.stored);
+    }
+
+    #[test]
+    fn determinism_for_arbitrary_configurations(
+        kind in any_baseline(),
+        env_kind in any_env_kind(),
+        seed in 0u64..1000,
+    ) {
+        let env = SensingEnvironment::generate(env_kind, 6, seed);
+        let tweaks = SimTweaks { seed, ..SimTweaks::default() };
+        let a = simulate(kind, &apollo4(), &env, &tweaks);
+        let b = simulate(kind, &apollo4(), &env, &tweaks);
+        prop_assert_eq!(a, b);
+    }
+}

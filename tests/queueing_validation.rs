@@ -1,0 +1,158 @@
+//! Validates the device simulator against the closed-form queueing
+//! models that Quetzal's design rests on (paper §3).
+//!
+//! The scenarios pin the simulator into textbook regimes: abundant
+//! power (service time = `t_exe`, deterministic), single-frame events
+//! with near-exponential interarrivals (≈ Poisson arrivals), a single
+//! one-task job. The measured time-averaged occupancy and loss rates are
+//! then compared against the M/D/1 (Pollaczek–Khinchine) and flow-balance
+//! predictions.
+
+use quetzal::model::{AppSpecBuilder, TaskCost};
+use quetzal::{Quetzal, QuetzalConfig};
+use qz_queueing::{MG1, MM1K};
+use qz_sim::{Route, SimConfig, Simulation, TaskBehavior};
+use qz_traces::{EnvironmentKind, EventTraceBuilder, SensingEnvironment, SolarTrace};
+use qz_types::{Seconds, SimDuration, Watts};
+
+/// Builds a single-job, single-Compute-task device under constant full
+/// sun with negligible capture costs, so the input buffer behaves like a
+/// G/D/1/K queue with service time `service_s`.
+fn run_queue_scenario(
+    service_s: f64,
+    mean_gap_s: u64,
+    events: usize,
+    capacity: usize,
+) -> qz_sim::Metrics {
+    let mut b = AppSpecBuilder::new();
+    // Low power so service stays compute-bound at full sun.
+    let t = b
+        .fixed_task("serve", TaskCost::new(Seconds(service_s), Watts(0.001)))
+        .unwrap();
+    let job = b.job("serve-job", vec![t]).unwrap();
+    let spec = b.build().unwrap();
+
+    // Single-frame events (1 s duration → one capture each) with
+    // exponential-ish gaps.
+    let events = EventTraceBuilder::new()
+        .event_count(events)
+        .min_duration(SimDuration::from_secs(1))
+        .max_duration(SimDuration::from_secs(1))
+        .mean_gap(SimDuration::from_secs(mean_gap_s))
+        .min_gap(SimDuration::from_millis(1))
+        .interesting_probability(1.0)
+        .seed(1234)
+        .build();
+    let env =
+        SensingEnvironment::with_parts(EnvironmentKind::Crowded, events, SolarTrace::constant(1.0));
+
+    let mut cfg = SimConfig::default();
+    cfg.device.buffer_capacity = capacity;
+    // Make the capture path nearly free so it does not perturb service.
+    cfg.device.capture = TaskCost::new(Seconds(1e-4), Watts(1e-5));
+    cfg.device.diff = TaskCost::new(Seconds(1e-4), Watts(1e-5));
+    cfg.device.compress = TaskCost::new(Seconds(1e-4), Watts(1e-5));
+    cfg.device.scheduler_overhead = TaskCost::new(Seconds(1e-6), Watts(1e-6));
+    cfg.drain = SimDuration::from_secs(300);
+
+    let runtime = Quetzal::new(spec, QuetzalConfig::default()).unwrap();
+    Simulation::new(
+        cfg,
+        &env,
+        runtime,
+        job,
+        vec![TaskBehavior::Compute],
+        vec![Route::Finish],
+    )
+    .unwrap()
+    .run()
+}
+
+/// The scenario's arrival rate: one frame per (1 s event + mean gap).
+fn arrival_rate(mean_gap_s: u64) -> f64 {
+    1.0 / (1.0 + mean_gap_s as f64)
+}
+
+#[test]
+fn light_load_occupancy_tracks_pollaczek_khinchine() {
+    // ρ ≈ 0.45: the measured E[N] must land in the band between the
+    // D/D/1 floor (ρ) and the M/D/1 prediction (arrivals here are
+    // *shifted*-exponential, less bursty than Poisson, so P-K is an
+    // upper bound).
+    let service = 2.5;
+    let gap = 10;
+    let lambda = arrival_rate(gap);
+    let m = run_queue_scenario(service, gap, 600, 50);
+    assert_eq!(
+        m.ibo_discards, 0,
+        "light load must not overflow a 50-slot buffer"
+    );
+
+    let measured = m.mean_occupancy();
+    let md1 = MG1::deterministic(lambda, service).expected_number();
+    let floor = lambda * service; // pure utilization, no queueing
+    assert!(
+        measured > floor * 0.8 && measured < md1 * 1.15,
+        "measured E[N]={measured:.3}, utilization floor={floor:.3}, M/D/1={md1:.3}"
+    );
+}
+
+#[test]
+fn occupancy_grows_with_load() {
+    let service = 2.5;
+    let loads: Vec<f64> = [20u64, 10, 5]
+        .into_iter()
+        .map(|gap| run_queue_scenario(service, gap, 300, 50).mean_occupancy())
+        .collect();
+    assert!(
+        loads[0] < loads[1] && loads[1] < loads[2],
+        "E[N] must grow with load: {loads:?}"
+    );
+}
+
+#[test]
+fn overload_loss_rate_matches_flow_balance() {
+    // ρ = λ·S ≈ 2: in sustained overload the server processes one input
+    // per service time and everything else is lost, regardless of the
+    // arrival distribution: loss fraction → 1 − 1/ρ.
+    let service = 4.0;
+    let gap = 1; // λ = 0.5 → ρ = 2
+    let m = run_queue_scenario(service, gap, 800, 10);
+    let loss = m.ibo_discards as f64 / m.arrivals as f64;
+    let rho = arrival_rate(gap) * service;
+    let flow_balance = 1.0 - 1.0 / rho;
+    assert!(
+        (loss - flow_balance).abs() < 0.08,
+        "loss={loss:.3} vs flow balance={flow_balance:.3}"
+    );
+}
+
+#[test]
+fn blocking_grows_as_buffer_shrinks() {
+    // Same moderate overload, three buffer sizes: smaller buffers lose
+    // more — the qualitative M/M/1/K shape.
+    let service = 3.0;
+    let gap = 1; // ρ = 1.5
+    let losses: Vec<f64> = [3usize, 6, 12]
+        .into_iter()
+        .map(|k| {
+            let m = run_queue_scenario(service, gap, 400, k);
+            m.ibo_discards as f64 / m.arrivals as f64
+        })
+        .collect();
+    assert!(
+        losses[0] > losses[1] && losses[1] > losses[2],
+        "loss must shrink with capacity: {losses:?}"
+    );
+    // And the analytic M/M/1/K agrees on the ordering and rough scale.
+    let analytic: Vec<f64> = [3usize, 6, 12]
+        .into_iter()
+        .map(|k| MM1K::new(arrival_rate(gap), 1.0 / service, k).blocking_probability())
+        .collect();
+    for (sim, theory) in losses.iter().zip(&analytic) {
+        assert!(
+            (sim - theory).abs() < 0.2,
+            "sim loss {sim:.3} vs M/M/1/K {theory:.3} (losses={losses:?}, analytic={analytic:?})"
+        );
+    }
+}
