@@ -111,6 +111,62 @@ pub fn simulate_with_telemetry(
     tweaks: &SimTweaks,
     telemetry_interval: Option<qz_types::SimDuration>,
 ) -> (Metrics, qz_sim::Telemetry) {
+    let mut sim = build_simulation(kind, profile, env, tweaks);
+    if let Some(interval) = telemetry_interval {
+        sim.record_telemetry(interval);
+    }
+    sim.run_with_telemetry()
+}
+
+/// Like [`simulate`], recording the full decision-event stream: every
+/// scheduler pick, IBO prediction/reaction, PID correction, power
+/// transition, buffer admit/discard, and a periodic state snapshot.
+/// The log feeds `qz trace`, the metrics registry, and the
+/// reconstruction tests.
+///
+/// # Panics
+///
+/// Panics on invalid experiment constants (see [`simulate`]).
+pub fn simulate_traced(
+    kind: BaselineKind,
+    profile: &DeviceProfile,
+    env: &SensingEnvironment,
+    tweaks: &SimTweaks,
+) -> (Metrics, Vec<qz_obs::Event>) {
+    let mut sim = build_simulation(kind, profile, env, tweaks);
+    sim.set_observer(Box::new(qz_obs::RecordingObserver::new()));
+    let (metrics, mut observer) = sim.run_traced();
+    let events = qz_obs::take_recorded(observer.as_mut()).expect("recording sink installed");
+    (metrics, events)
+}
+
+/// Maps an application's spec indices to names for
+/// [`qz_obs::timeline::render_timeline`].
+pub fn timeline_names(spec: &quetzal::AppSpec) -> qz_obs::timeline::TimelineNames {
+    use quetzal::model::TaskKind;
+    qz_obs::timeline::TimelineNames {
+        jobs: spec.jobs().iter().map(|j| j.name.clone()).collect(),
+        options_by_job: spec
+            .jobs()
+            .iter()
+            .map(|j| match j.degradable_task() {
+                Some(task) => match &spec.task(task).kind {
+                    TaskKind::Degradable(opts) => opts.iter().map(|o| o.name.clone()).collect(),
+                    TaskKind::Fixed(_) => Vec::new(),
+                },
+                None => Vec::new(),
+            })
+            .collect(),
+    }
+}
+
+/// Assembles the simulation every `simulate*` entry point runs.
+fn build_simulation<'a>(
+    kind: BaselineKind,
+    profile: &DeviceProfile,
+    env: &'a SensingEnvironment,
+    tweaks: &SimTweaks,
+) -> Simulation<'a> {
     let app = AppModel::person_detection(profile).expect("valid app model");
 
     let qcfg = QuetzalConfig {
@@ -156,12 +212,8 @@ pub fn simulate_with_telemetry(
         _ => profile.device.scheduler_overhead,
     };
 
-    let mut sim = Simulation::new(cfg, env, runtime, app.entry, app.behaviors, app.routes)
-        .expect("valid pipeline binding");
-    if let Some(interval) = telemetry_interval {
-        sim.record_telemetry(interval);
-    }
-    sim.run_with_telemetry()
+    Simulation::new(cfg, env, runtime, app.entry, app.behaviors, app.routes)
+        .expect("valid pipeline binding")
 }
 
 /// The analytic ∞-memory Ideal reference for this profile and

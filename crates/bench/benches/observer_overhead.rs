@@ -1,0 +1,77 @@
+//! Measures the cost of the `qz-obs` decision-tracing layer on a full
+//! simulator run: the seed baseline (no observer installed), an
+//! explicitly-installed no-op observer (the disabled path every emit
+//! site branches on), and a recording observer capturing the complete
+//! event stream. The acceptance bar is no-op overhead under 2% of the
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quetzal::QuetzalConfig;
+use qz_app::{apollo4, AppModel};
+use qz_baselines::{build_runtime, BaselineKind};
+use qz_obs::{NoopObserver, RecordingObserver};
+use qz_sim::{SimConfig, Simulation};
+use qz_traces::{EnvironmentKind, SensingEnvironment};
+use std::hint::black_box;
+
+fn make_sim(env: &SensingEnvironment) -> Simulation<'_> {
+    let profile = apollo4();
+    let app = AppModel::person_detection(&profile).unwrap();
+    let runtime = build_runtime(
+        BaselineKind::Quetzal,
+        app.spec.clone(),
+        QuetzalConfig::default(),
+    )
+    .unwrap();
+    let cfg = SimConfig {
+        device: profile.device.clone(),
+        ..SimConfig::default()
+    };
+    Simulation::new(cfg, env, runtime, app.entry, app.behaviors, app.routes).unwrap()
+}
+
+fn bench_observer_overhead(c: &mut Criterion) {
+    let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 25, 3);
+    let mut group = c.benchmark_group("observer_overhead");
+
+    group.bench_function("baseline_no_observer", |b| {
+        b.iter_batched(
+            || make_sim(&env),
+            |sim| black_box(sim.run()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("noop_observer", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = make_sim(&env);
+                sim.set_observer(Box::new(NoopObserver));
+                sim
+            },
+            |sim| black_box(sim.run()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("recording_observer", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = make_sim(&env);
+                sim.set_observer(Box::new(RecordingObserver::new()));
+                sim
+            },
+            |sim| black_box(sim.run_traced()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_observer_overhead
+}
+criterion_main!(benches);

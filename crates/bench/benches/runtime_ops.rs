@@ -128,7 +128,7 @@ fn bench_windows(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            w.push(i % 3 == 0);
+            w.push(i.is_multiple_of(3));
             black_box(w.ones())
         })
     });

@@ -19,8 +19,10 @@ fn make_sim(env: &SensingEnvironment) -> Simulation<'_> {
         QuetzalConfig::default(),
     )
     .unwrap();
-    let mut cfg = SimConfig::default();
-    cfg.device = profile.device.clone();
+    let cfg = SimConfig {
+        device: profile.device.clone(),
+        ..SimConfig::default()
+    };
     Simulation::new(cfg, env, runtime, app.entry, app.behaviors, app.routes).unwrap()
 }
 

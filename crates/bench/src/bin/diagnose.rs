@@ -1,9 +1,15 @@
 //! Diagnostic summary: the full internal-metric table (IBO attribution,
 //! degradation counts, off-time) for QZ/NA/AD/Ideal across the three
-//! environments. Useful when re-tuning device profiles; not part of the
-//! figure index.
+//! environments, followed by the event-derived metrics registry for
+//! Quetzal in each — prediction-error, occupancy, and recharge-time
+//! distributions straight from the decision log. Useful when re-tuning
+//! device profiles; not part of the figure index.
 
+use qz_app::{apollo4, simulate_traced, SimTweaks};
+use qz_baselines::BaselineKind;
 use qz_bench::{cli_event_count, figures, Table};
+use qz_obs::MetricsObserver;
+use qz_traces::{EnvironmentKind, SensingEnvironment};
 
 fn main() {
     let events = cli_event_count(200);
@@ -47,4 +53,20 @@ fn main() {
         ]);
     }
     println!("{t}");
+
+    // Event-derived registry: the same runs, diagnosed from the
+    // decision log alone (see EXPERIMENTS.md, "re-deriving calibration
+    // diagnoses").
+    let tweaks = SimTweaks::default();
+    let profile = apollo4();
+    for kind in [
+        EnvironmentKind::MoreCrowded,
+        EnvironmentKind::Crowded,
+        EnvironmentKind::LessCrowded,
+    ] {
+        let env = SensingEnvironment::generate(kind, events, tweaks.seed);
+        let (_, log) = simulate_traced(BaselineKind::Quetzal, &profile, &env, &tweaks);
+        println!("== QZ decision-log registry, {kind} ==");
+        println!("{}", MetricsObserver::from_events(&log).render());
+    }
 }

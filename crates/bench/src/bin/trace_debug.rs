@@ -1,59 +1,49 @@
-//! Diagnostic timeline dump for tuning: per-second device state for a
-//! Quetzal run in the Crowded environment. Not part of the figure index.
+//! Diagnostic timeline dump for tuning: the full decision-event stream
+//! for a Quetzal run in the Crowded environment, rendered through the
+//! `qz-obs` timeline plus the event-derived metrics registry. Not part
+//! of the figure index.
+//!
+//! Usage: `trace_debug [events] [seed]` (defaults: 30 events, the
+//! standard experiment seed).
 
-use qz_app::{apollo4, simulate, AppModel, SimTweaks};
-use qz_baselines::{build_runtime, BaselineKind};
-use qz_sim::{SimConfig, Simulation};
+use qz_app::{apollo4, simulate_traced, timeline_names, AppModel, SimTweaks};
+use qz_baselines::BaselineKind;
+use qz_obs::timeline::{render_timeline, TimelineConfig};
+use qz_obs::MetricsObserver;
 use qz_traces::{EnvironmentKind, SensingEnvironment};
 
 fn main() {
-    let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 30, 20_250_330);
-    let profile = apollo4();
-    let app = AppModel::person_detection(&profile).unwrap();
-    let runtime = build_runtime(
-        BaselineKind::Quetzal,
-        app.spec.clone(),
-        quetzal::QuetzalConfig::default(),
-    )
-    .unwrap();
-    let mut cfg = SimConfig::default();
-    cfg.device = profile.device.clone();
-    let mut sim =
-        Simulation::new(cfg, &env, runtime, app.entry, app.behaviors, app.routes).unwrap();
+    let mut args = std::env::args().skip(1);
+    let events: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(30);
+    let seed: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_250_330);
 
-    let mut last_ibo = 0u64;
-    let mut last_jobs = [0u64; 4];
-    println!("t(s) irr cap(mJ) on occ lam corr opt ibo+ full+ deg+");
-    let mut next_print = 0;
-    while sim.step() {
-        let t = sim.time().as_millis();
-        if t >= next_print {
-            next_print += 1000;
-            let m = sim.metrics();
-            let jb = m.jobs_by_option;
-            let dfull = jb[0] - last_jobs[0];
-            let ddeg: u64 = jb[1..].iter().sum::<u64>() - last_jobs[1..].iter().sum::<u64>();
-            let dibo = m.ibo_discards - last_ibo;
-            let irr = env.solar().irradiance(sim.time());
-            if dibo > 0 || sim.occupancy() >= 8 || t % 60_000 == 0 {
-                println!(
-                    "{:>6} {:.2} {:>6.1} {} {:>2} {:.2} {:+.2} {:?} {} {} {}",
-                    t / 1000,
-                    irr,
-                    sim.stored_energy().value() * 1e3,
-                    if sim.is_on() { "on " } else { "OFF" },
-                    sim.occupancy(),
-                    sim.runtime().lambda(),
-                    sim.runtime().correction().value(),
-                    sim.active_option(),
-                    dibo,
-                    dfull,
-                    ddeg,
-                );
-            }
-            last_ibo = m.ibo_discards;
-            last_jobs = jb;
-        }
-    }
-    let _ = simulate(BaselineKind::NoAdapt, &profile, &env, &SimTweaks::default());
+    let env = SensingEnvironment::generate(EnvironmentKind::Crowded, events, seed);
+    let profile = apollo4();
+    let tweaks = SimTweaks {
+        seed,
+        ..SimTweaks::default()
+    };
+
+    let (metrics, log) = simulate_traced(BaselineKind::Quetzal, &profile, &env, &tweaks);
+    let names = timeline_names(&AppModel::person_detection(&profile).unwrap().spec);
+
+    // Full timeline including periodic snapshots — this binary exists
+    // for eyeballing state around anomalies, so nothing is elided.
+    let cfg = TimelineConfig {
+        show_snapshots: true,
+        limit: 0,
+        ..TimelineConfig::default()
+    };
+    println!("{}", render_timeline(&log, &names, &cfg));
+    println!("{}", MetricsObserver::from_events(&log).render());
+    println!(
+        "run summary: {} events in log | {} jobs | {} IBO discards | {:.0}% off",
+        log.len(),
+        metrics.total_jobs(),
+        metrics.ibo_discards,
+        metrics.off_fraction() * 100.0
+    );
 }

@@ -15,6 +15,8 @@ pub enum Command {
     Compare(RunArgs),
     /// `qz export-traces …` — write the environment's solar/event CSVs.
     ExportTraces(RunArgs),
+    /// `qz trace …` — record and render the decision-event timeline.
+    Trace(RunArgs),
     /// `qz help` / `--help`.
     Help,
 }
@@ -38,6 +40,14 @@ pub struct RunArgs {
     pub plot: bool,
     /// Output directory (`ExportTraces` only).
     pub out_dir: String,
+    /// Event-log JSONL output path (`Trace` only).
+    pub jsonl: Option<String>,
+    /// Event-log CSV output path (`Trace` only).
+    pub csv: Option<String>,
+    /// Maximum timeline lines to render, 0 = unlimited (`Trace` only).
+    pub limit: usize,
+    /// Include periodic state snapshots in the timeline (`Trace` only).
+    pub snapshots: bool,
 }
 
 impl Default for RunArgs {
@@ -51,6 +61,10 @@ impl Default for RunArgs {
             telemetry: None,
             plot: false,
             out_dir: ".".into(),
+            jsonl: None,
+            csv: None,
+            limit: 200,
+            snapshots: false,
         }
     }
 }
@@ -146,6 +160,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "--telemetry" => run.telemetry = Some(take_value(&mut i, flag)?),
             "--plot" => run.plot = true,
             "--out-dir" => run.out_dir = take_value(&mut i, flag)?,
+            "--jsonl" => run.jsonl = Some(take_value(&mut i, flag)?),
+            "--csv" => run.csv = Some(take_value(&mut i, flag)?),
+            "--limit" => {
+                run.limit = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--limit` must be a non-negative integer"))?;
+            }
+            "--snapshots" => run.snapshots = true,
             other => return Err(err(format!("unknown flag `{other}`"))),
         }
         i += 1;
@@ -154,8 +176,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "run" => Ok(Command::Run(run)),
         "compare" => Ok(Command::Compare(run)),
         "export-traces" => Ok(Command::ExportTraces(run)),
+        "trace" => Ok(Command::Trace(run)),
         other => Err(err(format!(
-            "unknown command `{other}` (try run, compare, export-traces)"
+            "unknown command `{other}` (try run, compare, export-traces, trace)"
         ))),
     }
 }
@@ -169,6 +192,9 @@ USAGE:
                     [--device apollo4|msp430] [--telemetry out.csv] [--plot]
   qz compare        [--env crowded] [--events 200] [--seed N] [--device …]
   qz export-traces  [--env crowded] [--events 200] [--seed N] [--out-dir DIR]
+  qz trace          [--system QZ] [--env crowded] [--events 200] [--seed N]
+                    [--device …] [--jsonl out.jsonl] [--csv out.csv]
+                    [--limit 200] [--snapshots]
   qz help
 
 SYSTEMS:       QZ, QZ-HW, NA, AD, CN, TH25, TH50, TH75, PZO, FCFS, LCFS, AvgSe2e
@@ -235,6 +261,27 @@ mod tests {
             panic!()
         };
         assert_eq!(r.out_dir, "/tmp/x");
+    }
+
+    #[test]
+    fn trace_defaults_and_flags() {
+        let Command::Trace(r) = parse(&argv("trace")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.limit, 200);
+        assert!(!r.snapshots);
+        assert_eq!(r.jsonl, None);
+        let Command::Trace(r) = parse(&argv(
+            "trace --env less --jsonl e.jsonl --csv e.csv --limit 0 --snapshots",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.env, EnvironmentKind::LessCrowded);
+        assert_eq!(r.jsonl.as_deref(), Some("e.jsonl"));
+        assert_eq!(r.csv.as_deref(), Some("e.csv"));
+        assert_eq!(r.limit, 0);
+        assert!(r.snapshots);
     }
 
     #[test]

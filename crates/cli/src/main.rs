@@ -4,6 +4,7 @@
 //! qz run --system QZ --env crowded --events 200 --telemetry run.csv
 //! qz compare --env more-crowded
 //! qz export-traces --env crowded --out-dir traces/
+//! qz trace --system QZ --env crowded --events 50 --jsonl run.jsonl
 //! ```
 
 mod args;
@@ -11,7 +12,8 @@ mod plot;
 
 use args::{Command, RunArgs};
 use qz_app::{
-    apollo4, ideal, msp430fr5994, simulate, simulate_with_telemetry, DeviceProfile, SimTweaks,
+    apollo4, ideal, msp430fr5994, simulate, simulate_traced, simulate_with_telemetry,
+    timeline_names, AppModel, DeviceProfile, SimTweaks,
 };
 use qz_baselines::BaselineKind;
 use qz_sim::Metrics;
@@ -36,6 +38,7 @@ fn main() -> ExitCode {
         Command::Run(r) => run_one(&r),
         Command::Compare(r) => compare(&r),
         Command::ExportTraces(r) => export_traces(&r),
+        Command::Trace(r) => trace(&r),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -147,6 +150,47 @@ fn compare(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     ] {
         println!();
         print_metrics(&kind.label(), &simulate(kind, &profile, &env, &tweaks));
+    }
+    Ok(())
+}
+
+fn trace(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let profile = profile_for(args);
+    let env = environment(args);
+    let tweaks = SimTweaks {
+        seed: args.seed,
+        ..SimTweaks::default()
+    };
+    println!(
+        "tracing {} on {} in {} ({} events, seed {})\n",
+        args.system.label(),
+        profile.name,
+        env.kind(),
+        args.events,
+        args.seed
+    );
+    let (metrics, events) = simulate_traced(args.system, &profile, &env, &tweaks);
+    let names = timeline_names(&AppModel::person_detection(&profile)?.spec);
+    let cfg = qz_obs::timeline::TimelineConfig {
+        show_snapshots: args.snapshots,
+        limit: args.limit,
+        ..qz_obs::timeline::TimelineConfig::default()
+    };
+    println!(
+        "{}",
+        qz_obs::timeline::render_timeline(&events, &names, &cfg)
+    );
+    println!("{}", qz_obs::MetricsObserver::from_events(&events).render());
+    print_metrics(&args.system.label(), &metrics);
+    if let Some(path) = &args.jsonl {
+        let file = std::fs::File::create(path)?;
+        qz_obs::export::write_jsonl(std::io::BufWriter::new(file), &events)?;
+        println!("\nevent log ({} events) written to {path}", events.len());
+    }
+    if let Some(path) = &args.csv {
+        let file = std::fs::File::create(path)?;
+        qz_obs::export::write_csv(std::io::BufWriter::new(file), &events)?;
+        println!("\nevent log ({} events) written to {path}", events.len());
     }
     Ok(())
 }

@@ -268,8 +268,8 @@ mod tests {
                 prop_assert_eq!(d, IboDecision::NO_ACTION);
             } else if !d.unavoidable {
                 // Every higher-quality option must overflow...
-                for i in 0..d.option {
-                    prop_assert!(c.predicts_overflow(Seconds(non_deg) + options[i]));
+                for &svc in options.iter().take(d.option) {
+                    prop_assert!(c.predicts_overflow(Seconds(non_deg) + svc));
                 }
                 // ...and the chosen one must not.
                 prop_assert!(!c.predicts_overflow(Seconds(non_deg) + options[d.option]));

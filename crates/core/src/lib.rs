@@ -96,6 +96,9 @@ pub use mcu::{McuDecision, McuEngine, McuTaskProfile};
 pub use model::{AppSpec, AppSpecBuilder, JobId, SpecError, TaskCost, TaskId, TaskKey};
 pub use policy::{EnergyAwareSjf, Fcfs, JobCandidate, Lcfs, SchedulingPolicy, Selection};
 pub use runtime::{BufferView, Decision, Quetzal, QuetzalConfig};
+// Decision tracing rides on the companion observability crate; re-export
+// it so firmware-side users don't need a separate dependency line.
+pub use qz_obs as obs;
 #[cfg(feature = "std")]
 pub use service::HwAssistedEstimator;
 pub use service::{AvgObservedEstimator, EnergyAwareEstimator, ServiceEstimator};

@@ -221,7 +221,7 @@ impl McuEngine {
         let mut best: Option<(usize, Q16)> = None;
         for (i, job) in runnable.iter().enumerate() {
             let es = self.job_expected_service(job.index(), vd1);
-            if best.map_or(true, |(_, b)| es < b) {
+            if best.is_none_or(|(_, b)| es < b) {
                 best = Some((i, es));
             }
         }

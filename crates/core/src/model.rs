@@ -229,12 +229,12 @@ impl AppSpec {
 
     /// The `TaskId` at a given index, if in range.
     pub fn task_id(&self, index: usize) -> Option<TaskId> {
-        (index < self.tasks.len()).then(|| TaskId(index as u8))
+        (index < self.tasks.len()).then_some(TaskId(index as u8))
     }
 
     /// The `JobId` at a given index, if in range.
     pub fn job_id(&self, index: usize) -> Option<JobId> {
-        (index < self.jobs.len()).then(|| JobId(index as u8))
+        (index < self.jobs.len()).then_some(JobId(index as u8))
     }
 
     /// Iterates over every `(TaskKey, TaskCost)` in the spec — the set a

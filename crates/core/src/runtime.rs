@@ -25,6 +25,7 @@ use crate::trackers::{ArrivalTracker, ExecutionTracker};
 use alloc::boxed::Box;
 use alloc::vec;
 use alloc::vec::Vec;
+use qz_obs::{CandidateEval, EventKind, Observer, ObserverHandle, OptionEval};
 use qz_types::{Hertz, Seconds, Watts};
 
 /// Runtime configuration (paper Table 1 defaults).
@@ -119,6 +120,9 @@ pub struct Quetzal {
     /// Each task's current degradation option (sticky: what the IBO
     /// engine last selected for it).
     current_options: Vec<u8>,
+    /// Decision-tracing hook (`qz-obs`). Defaults to the disabled noop,
+    /// so emission sites cost one cached-boolean test per decision.
+    observer: ObserverHandle,
 }
 
 impl Quetzal {
@@ -155,6 +159,43 @@ impl Quetzal {
     /// The active configuration.
     pub fn config(&self) -> &QuetzalConfig {
         &self.config
+    }
+
+    /// Installs a decision-tracing observer (see `qz-obs`). The runtime
+    /// emits [`EventKind::SchedulerPick`], [`EventKind::IboDecision`],
+    /// [`EventKind::PidUpdate`] and [`EventKind::JobComplete`]; the
+    /// driver (simulator or firmware) is expected to route its own
+    /// transition events through [`Quetzal::emit_event`] so one sink
+    /// sees the whole stream.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer.install(observer);
+    }
+
+    /// Removes the installed observer (a disabled noop takes its
+    /// place), returning it so sinks can be drained.
+    pub fn take_observer(&mut self) -> Box<dyn Observer> {
+        self.observer.take()
+    }
+
+    /// Whether an enabled observer is installed. Drivers should guard
+    /// event construction on this, exactly like the runtime does.
+    #[inline]
+    pub fn observing(&self) -> bool {
+        self.observer.enabled()
+    }
+
+    /// Advances the device clock used to stamp emitted events,
+    /// milliseconds. Drivers call this once per tick.
+    #[inline]
+    pub fn set_time_ms(&mut self, now_ms: u64) {
+        self.observer.set_now_ms(now_ms);
+    }
+
+    /// Emits a driver-side event (power transitions, buffer admits,
+    /// discards…) through the runtime's observer, stamped with the
+    /// clock last set by [`Quetzal::set_time_ms`].
+    pub fn emit_event(&mut self, kind: EventKind) {
+        self.observer.emit(kind);
     }
 
     /// Records one periodic capture; `stored` is whether it survived
@@ -194,9 +235,25 @@ impl Quetzal {
     /// time (for the PID error loop).
     pub fn on_job_complete(&mut self, job: JobId, executed: &[(TaskId, bool)], observed: Seconds) {
         self.exec.record_job(executed.iter().copied());
+        if self.observer.enabled() {
+            self.observer.emit(EventKind::JobComplete {
+                job: job.index(),
+                observed_s: observed.value(),
+            });
+        }
         if let Some((predicted_job, predicted)) = self.last_prediction.take() {
             if predicted_job == job {
-                self.pid.update(observed.value() - predicted.value());
+                let error = observed.value() - predicted.value();
+                let correction = self.pid.update(error);
+                if self.observer.enabled() {
+                    self.observer.emit(EventKind::PidUpdate {
+                        job: job.index(),
+                        predicted_s: predicted.value(),
+                        observed_s: observed.value(),
+                        error_s: error,
+                        correction_s: correction,
+                    });
+                }
             }
         }
     }
@@ -286,6 +343,66 @@ impl Quetzal {
             p_in,
         };
         let decision = self.degradation.select_option(&ctx);
+
+        // Trace the two decisions just made. Both event payloads are
+        // recomputed from the same inputs the algorithms used, so the
+        // disabled path (the common case) pays only these two branches.
+        if self.observer.enabled() {
+            let candidates_eval: Vec<CandidateEval> = {
+                let inputs = SchedulerInputs {
+                    spec: &self.spec,
+                    exec: &self.exec,
+                    estimator: self.estimator.as_ref(),
+                    p_in,
+                    current_options: &self.current_options,
+                };
+                candidates
+                    .iter()
+                    .enumerate()
+                    .map(|(i, cand)| CandidateEval {
+                        job: cand.job.index(),
+                        expected_service_s: crate::policy::expected_service(&inputs, cand.job)
+                            .value(),
+                        oldest_input_age_s: cand.oldest_input_age.value(),
+                        selected: i == selection.index,
+                    })
+                    .collect()
+            };
+            self.observer.emit(EventKind::SchedulerPick {
+                job: job.index(),
+                expected_service_s: corrected_best.value(),
+                correction_s: correction.value(),
+                p_in_w: p_in.value(),
+                candidates: candidates_eval,
+            });
+
+            // Replay Algorithm 2's quality-ordered walk for the log.
+            let options: Vec<OptionEval> = option_services
+                .iter()
+                .enumerate()
+                .map(|(o, &svc)| {
+                    let es = ctx.non_degradable_service + svc;
+                    OptionEval {
+                        option: o,
+                        expected_service_s: es.value(),
+                        predicts_overflow: ctx.predicts_overflow(es),
+                    }
+                })
+                .collect();
+            self.observer.emit(EventKind::IboDecision {
+                job: job.index(),
+                lambda,
+                occupancy: buffer.occupancy,
+                capacity: buffer.capacity,
+                expected_service_s: corrected_best.value(),
+                predicted_arrivals: lambda * corrected_best.value(),
+                ibo_predicted: decision.ibo_predicted,
+                unavoidable: decision.unavoidable,
+                chosen_option: decision.option,
+                options,
+            });
+        }
+
         if self.config.sticky_options {
             if let Some(task) = job_spec.degradable_task() {
                 self.current_options[task.index()] = decision.option as u8;
@@ -423,6 +540,7 @@ impl QuetzalBuilder {
             }),
             last_prediction: None,
             current_options,
+            observer: ObserverHandle::noop(),
         })
     }
 }
@@ -686,6 +804,86 @@ mod tests {
             "E[S]={}",
             d2.expected_service
         );
+    }
+
+    #[test]
+    fn observer_captures_decision_stream() {
+        use qz_obs::{take_recorded, RecordingObserver};
+        let (mut qz, process, report) = quetzal();
+        assert!(!qz.observing());
+        qz.set_observer(Box::new(RecordingObserver::new()));
+        assert!(qz.observing());
+        qz.set_time_ms(1_000);
+        for _ in 0..64 {
+            qz.on_capture(true);
+        }
+        // IBO pressure, as in `degrades_under_ibo_pressure`.
+        let d = qz
+            .schedule(
+                &[(process, Some(Seconds(4.0))), (report, None)],
+                BufferView {
+                    occupancy: 8,
+                    capacity: 10,
+                },
+                Watts(0.005),
+            )
+            .unwrap();
+        qz.set_time_ms(2_000);
+        qz.on_job_complete(
+            d.job,
+            &[(TaskId(0), true), (TaskId(1), true)],
+            d.expected_service + Seconds(1.0),
+        );
+        let mut obs = qz.take_observer();
+        assert!(!qz.observing());
+        let events = take_recorded(obs.as_mut()).unwrap();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "scheduler_pick",
+                "ibo_decision",
+                "job_complete",
+                "pid_update"
+            ]
+        );
+        assert_eq!(events[0].t_ms, 1_000);
+        assert_eq!(events[2].t_ms, 2_000);
+        match &events[0].kind {
+            EventKind::SchedulerPick {
+                job, candidates, ..
+            } => {
+                assert_eq!(*job, process.index());
+                // Only `process` had a queued input.
+                assert_eq!(candidates.len(), 1);
+                assert!(candidates[0].selected);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        match &events[1].kind {
+            EventKind::IboDecision {
+                ibo_predicted,
+                chosen_option,
+                options,
+                occupancy,
+                capacity,
+                ..
+            } => {
+                assert!(*ibo_predicted);
+                assert_eq!(*chosen_option, d.option);
+                assert_eq!((*occupancy, *capacity), (8, 10));
+                // The rejected high-quality option is in the log.
+                assert!(options[0].predicts_overflow);
+                assert!(!options[d.option].predicts_overflow);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        match &events[3].kind {
+            EventKind::PidUpdate { error_s, .. } => {
+                assert!((*error_s - 1.0).abs() < 1e-9, "err={error_s}")
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

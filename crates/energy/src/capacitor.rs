@@ -227,25 +227,36 @@ mod tests {
 
     #[test]
     fn rejects_bad_capacitance() {
-        let mut cfg = SupercapConfig::default();
-        cfg.capacitance = Farads(0.0);
+        let cfg = SupercapConfig {
+            capacitance: Farads(0.0),
+            ..SupercapConfig::default()
+        };
         assert_eq!(Supercap::new(cfg), Err(SupercapError::InvalidCapacitance));
-        cfg.capacitance = Farads(f64::NAN);
+        let cfg = SupercapConfig {
+            capacitance: Farads(f64::NAN),
+            ..SupercapConfig::default()
+        };
         assert_eq!(Supercap::new(cfg), Err(SupercapError::InvalidCapacitance));
     }
 
     #[test]
     fn rejects_bad_voltage_window() {
-        let mut cfg = SupercapConfig::default();
-        cfg.v_on = Volts(1.0); // below v_off
+        let cfg = SupercapConfig {
+            v_on: Volts(1.0), // below v_off
+            ..SupercapConfig::default()
+        };
         assert_eq!(Supercap::new(cfg), Err(SupercapError::InvalidVoltageWindow));
 
-        let mut cfg = SupercapConfig::default();
-        cfg.v_init = Volts(0.5); // below v_off
+        let cfg = SupercapConfig {
+            v_init: Volts(0.5), // below v_off
+            ..SupercapConfig::default()
+        };
         assert_eq!(Supercap::new(cfg), Err(SupercapError::InvalidVoltageWindow));
 
-        let mut cfg = SupercapConfig::default();
-        cfg.v_max = Volts(2.0); // below v_on
+        let cfg = SupercapConfig {
+            v_max: Volts(2.0), // below v_on
+            ..SupercapConfig::default()
+        };
         assert_eq!(Supercap::new(cfg), Err(SupercapError::InvalidVoltageWindow));
     }
 
@@ -311,7 +322,7 @@ mod tests {
                 prop_assert!(c.energy().value() >= 0.0);
                 prop_assert!(c.energy().value() <= c.capacity().value() + 1e-12);
                 let v = c.voltage().value();
-                prop_assert!(v >= 1.8 - 1e-9 && v <= 3.3 + 1e-9);
+                prop_assert!((1.8 - 1e-9..=3.3 + 1e-9).contains(&v));
             }
         }
 

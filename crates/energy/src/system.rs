@@ -148,8 +148,10 @@ mod tests {
     }
 
     fn sys_starting_empty() -> PowerSystem {
-        let mut cfg = SupercapConfig::default();
-        cfg.v_init = Volts(1.8);
+        let cfg = SupercapConfig {
+            v_init: Volts(1.8),
+            ..SupercapConfig::default()
+        };
         PowerSystem::new(
             Supercap::new(cfg).unwrap(),
             Harvester::new(6, Watts(0.010), 0.80).unwrap(),
@@ -202,8 +204,10 @@ mod tests {
 
     #[test]
     fn leakage_drains_idle_capacitor() {
-        let mut cfg = SupercapConfig::default();
-        cfg.leakage = Watts(10e-6);
+        let cfg = SupercapConfig {
+            leakage: Watts(10e-6),
+            ..SupercapConfig::default()
+        };
         let mut s = PowerSystem::new(
             Supercap::new(cfg).unwrap(),
             Harvester::new(6, Watts(0.010), 0.80).unwrap(),

@@ -24,13 +24,13 @@ pub type PremultTable = [Q16; 8];
 /// The eight fractional-power-of-two multipliers `2^(b/8)`.
 const FRAC_POW2: [f64; 8] = [
     1.0,
-    1.090_507_732_665_257_7, // 2^(1/8)
-    1.189_207_115_002_721_1, // 2^(2/8)
-    1.296_839_554_651_009_7, // 2^(3/8)
-    1.414_213_562_373_095_1, // 2^(4/8)
-    1.542_210_825_407_940_8, // 2^(5/8)
-    1.681_792_830_507_429_1, // 2^(6/8)
-    1.834_008_086_409_342_5, // 2^(7/8)
+    1.090_507_732_665_257_7,   // 2^(1/8)
+    1.189_207_115_002_721,     // 2^(2/8)
+    1.296_839_554_651_009_7,   // 2^(3/8)
+    core::f64::consts::SQRT_2, // 2^(4/8)
+    1.542_210_825_407_940_8,   // 2^(5/8)
+    1.681_792_830_507_429,     // 2^(6/8)
+    1.834_008_086_409_342_5,   // 2^(7/8)
 ];
 
 /// Computes the profile-time premultiplied `t_exe` table for a task (or a

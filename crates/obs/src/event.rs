@@ -1,0 +1,276 @@
+//! The typed event taxonomy: every decision the paper's algorithms make,
+//! plus the device transitions that frame them.
+
+use alloc::vec::Vec;
+
+/// One observable occurrence, stamped with device time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Device time in milliseconds (simulated time under `qz-sim`; a
+    /// firmware port would feed its own timer).
+    pub t_ms: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// One candidate the scheduler evaluated (Algorithm 1's `E[S]` loop).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateEval {
+    /// Job index in the application spec.
+    pub job: usize,
+    /// The candidate's expected service time `E[S]` at its current
+    /// configuration, seconds (no PID correction).
+    pub expected_service_s: f64,
+    /// Age of the candidate's oldest queued input, seconds.
+    pub oldest_input_age_s: f64,
+    /// Whether this candidate won.
+    pub selected: bool,
+}
+
+/// One degradation option the IBO engine considered (Algorithm 2's
+/// quality-ordered walk).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptionEval {
+    /// Option index (0 = highest quality).
+    pub option: usize,
+    /// The job's `E[S]` with the degradable task at this option,
+    /// seconds (PID-corrected, like the engine's own test).
+    pub expected_service_s: f64,
+    /// Whether Little's Law predicts the buffer overflows while the job
+    /// runs at this option.
+    pub predicts_overflow: bool,
+}
+
+/// A periodic device-state snapshot (the telemetry channel, riding the
+/// same observer hook as the decision events).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Environment irradiance fraction.
+    pub irradiance: f64,
+    /// Usable stored energy, joules.
+    pub stored_j: f64,
+    /// Whether the device is powered on.
+    pub on: bool,
+    /// Buffer occupancy (queued + in flight).
+    pub occupancy: usize,
+    /// The runtime's arrival-rate estimate λ, inputs/second.
+    pub lambda: f64,
+    /// The runtime's PID correction, seconds.
+    pub correction_s: f64,
+    /// Degradation option of the executing job (`None` when idle).
+    pub active_option: Option<usize>,
+    /// Cumulative IBO discards so far.
+    pub ibo_discards: u64,
+}
+
+/// Everything that can be observed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EventKind {
+    // --- Runtime decisions (emitted by `quetzal`) ---
+    /// Algorithm 1 picked a job, with the per-candidate `E[S]`
+    /// breakdown it ranked.
+    SchedulerPick {
+        /// The winning job's index.
+        job: usize,
+        /// The winner's `E[S]` at its highest quality, seconds
+        /// (PID-corrected — what the IBO engine will test).
+        expected_service_s: f64,
+        /// The PID correction folded into predictions, seconds.
+        correction_s: f64,
+        /// Predicted input power used for the `S_e2e` scaling, watts.
+        p_in_w: f64,
+        /// Every candidate evaluated, in candidate order.
+        candidates: Vec<CandidateEval>,
+    },
+    /// Algorithm 2 ran for the scheduled job: the Little's-Law
+    /// prediction and the option walk.
+    IboDecision {
+        /// The scheduled job's index.
+        job: usize,
+        /// Arrival-rate estimate λ, inputs/second.
+        lambda: f64,
+        /// Buffer occupancy when the decision was made.
+        occupancy: usize,
+        /// Buffer capacity.
+        capacity: usize,
+        /// The job's `E[S]` at highest quality, seconds (corrected).
+        expected_service_s: f64,
+        /// Predicted arrivals while the job runs: `λ · E[S]`.
+        predicted_arrivals: f64,
+        /// Whether an overflow was predicted at highest quality.
+        ibo_predicted: bool,
+        /// Whether every option still overflows (engine fell back to
+        /// the minimum-`S_e2e` option).
+        unavoidable: bool,
+        /// The option the engine chose (0 = highest quality).
+        chosen_option: usize,
+        /// The full quality-ordered walk, including rejected options.
+        /// Empty when the job has no degradable task.
+        options: Vec<OptionEval>,
+    },
+    /// The PID error loop updated after a job completed (§4.3).
+    PidUpdate {
+        /// The completed job's index.
+        job: usize,
+        /// The model's raw `E[S]` prediction, seconds.
+        predicted_s: f64,
+        /// The observed end-to-end service time, seconds.
+        observed_s: f64,
+        /// The error fed to the controller (`observed − predicted`).
+        error_s: f64,
+        /// The controller's new output correction, seconds.
+        correction_s: f64,
+    },
+    /// A job finished and its observation was fed back to the trackers.
+    JobComplete {
+        /// The job's index.
+        job: usize,
+        /// Observed end-to-end service time, seconds.
+        observed_s: f64,
+    },
+
+    // --- Simulator transitions (emitted by `qz-sim`) ---
+    /// A dispatched job began executing.
+    JobStart {
+        /// The job's index.
+        job: usize,
+        /// The degradation option it runs at.
+        option: usize,
+        /// Buffer occupancy at dispatch (including this input).
+        occupancy: usize,
+    },
+    /// An input passed pre-filtering and was stored in the buffer.
+    BufferAdmit {
+        /// The entry job it was queued for.
+        job: usize,
+        /// Occupancy after the store.
+        occupancy: usize,
+        /// Ground truth: was the frame interesting?
+        interesting: bool,
+    },
+    /// An input arrived to a full buffer and was lost (the paper's
+    /// headline failure).
+    IboDiscard {
+        /// Occupancy at the discard (== capacity).
+        occupancy: usize,
+        /// Ground truth: was the lost frame interesting?
+        interesting: bool,
+        /// Whether the device was powered off at the time.
+        device_on: bool,
+        /// Degradation option of the job executing at the time
+        /// (`None` when idle or off).
+        active_option: Option<usize>,
+    },
+    /// Stored energy fell to the checkpoint reserve and the device
+    /// powered down.
+    PowerFailure {
+        /// Whether a just-in-time checkpoint preserved progress.
+        checkpointed: bool,
+    },
+    /// A periodic/boundary checkpoint was taken while running.
+    Checkpoint,
+    /// The capacitor recharged past the turn-on threshold and the
+    /// device came back.
+    Restore {
+        /// How long the device was off, milliseconds.
+        off_ms: u64,
+    },
+    /// A periodic telemetry snapshot.
+    Snapshot(Snapshot),
+}
+
+impl EventKind {
+    /// A short stable name for exports and aggregation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SchedulerPick { .. } => "scheduler_pick",
+            EventKind::IboDecision { .. } => "ibo_decision",
+            EventKind::PidUpdate { .. } => "pid_update",
+            EventKind::JobComplete { .. } => "job_complete",
+            EventKind::JobStart { .. } => "job_start",
+            EventKind::BufferAdmit { .. } => "buffer_admit",
+            EventKind::IboDiscard { .. } => "ibo_discard",
+            EventKind::PowerFailure { .. } => "power_failure",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Restore { .. } => "restore",
+            EventKind::Snapshot(_) => "snapshot",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alloc::vec;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let kinds = vec![
+            EventKind::SchedulerPick {
+                job: 0,
+                expected_service_s: 1.0,
+                correction_s: 0.0,
+                p_in_w: 0.01,
+                candidates: vec![],
+            },
+            EventKind::IboDecision {
+                job: 0,
+                lambda: 0.5,
+                occupancy: 1,
+                capacity: 10,
+                expected_service_s: 1.0,
+                predicted_arrivals: 0.5,
+                ibo_predicted: false,
+                unavoidable: false,
+                chosen_option: 0,
+                options: vec![],
+            },
+            EventKind::PidUpdate {
+                job: 0,
+                predicted_s: 1.0,
+                observed_s: 1.5,
+                error_s: 0.5,
+                correction_s: 0.01,
+            },
+            EventKind::JobComplete {
+                job: 0,
+                observed_s: 1.5,
+            },
+            EventKind::JobStart {
+                job: 0,
+                option: 0,
+                occupancy: 1,
+            },
+            EventKind::BufferAdmit {
+                job: 0,
+                occupancy: 1,
+                interesting: true,
+            },
+            EventKind::IboDiscard {
+                occupancy: 10,
+                interesting: false,
+                device_on: true,
+                active_option: Some(1),
+            },
+            EventKind::PowerFailure { checkpointed: true },
+            EventKind::Checkpoint,
+            EventKind::Restore { off_ms: 2000 },
+            EventKind::Snapshot(Snapshot {
+                irradiance: 0.5,
+                stored_j: 0.1,
+                on: true,
+                occupancy: 2,
+                lambda: 0.3,
+                correction_s: 0.0,
+                active_option: None,
+                ibo_discards: 0,
+            }),
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "event names must be distinct");
+    }
+}

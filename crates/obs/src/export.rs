@@ -1,0 +1,426 @@
+//! Hand-rolled JSONL and CSV exporters for event logs (`std` only).
+//!
+//! The workspace is dependency-free by design, so serialization is
+//! written out by hand: JSONL gives one self-describing object per
+//! event (nested candidate/option arrays included); CSV flattens to a
+//! fixed column set shared by all event kinds, leaving unused columns
+//! empty — convenient for spreadsheet and pandas post-processing.
+
+use std::io::{self, Write};
+
+use crate::event::{Event, EventKind};
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::from("null")
+    }
+}
+
+fn json_opt(v: Option<usize>) -> String {
+    match v {
+        Some(x) => format!("{x}"),
+        None => String::from("null"),
+    }
+}
+
+/// Serializes one event as a single-line JSON object.
+pub fn event_to_json(event: &Event) -> String {
+    let mut s = format!(
+        "{{\"t_ms\":{},\"kind\":\"{}\"",
+        event.t_ms,
+        event.kind.name()
+    );
+    match &event.kind {
+        EventKind::SchedulerPick {
+            job,
+            expected_service_s,
+            correction_s,
+            p_in_w,
+            candidates,
+        } => {
+            s.push_str(&format!(
+                ",\"job\":{job},\"expected_service_s\":{},\"correction_s\":{},\"p_in_w\":{}",
+                json_f64(*expected_service_s),
+                json_f64(*correction_s),
+                json_f64(*p_in_w)
+            ));
+            s.push_str(",\"candidates\":[");
+            for (i, c) in candidates.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"job\":{},\"expected_service_s\":{},\"oldest_input_age_s\":{},\"selected\":{}}}",
+                    c.job,
+                    json_f64(c.expected_service_s),
+                    json_f64(c.oldest_input_age_s),
+                    c.selected
+                ));
+            }
+            s.push(']');
+        }
+        EventKind::IboDecision {
+            job,
+            lambda,
+            occupancy,
+            capacity,
+            expected_service_s,
+            predicted_arrivals,
+            ibo_predicted,
+            unavoidable,
+            chosen_option,
+            options,
+        } => {
+            s.push_str(&format!(
+                ",\"job\":{job},\"lambda\":{},\"occupancy\":{occupancy},\"capacity\":{capacity},\
+                 \"expected_service_s\":{},\"predicted_arrivals\":{},\"ibo_predicted\":{ibo_predicted},\
+                 \"unavoidable\":{unavoidable},\"chosen_option\":{chosen_option}",
+                json_f64(*lambda),
+                json_f64(*expected_service_s),
+                json_f64(*predicted_arrivals)
+            ));
+            s.push_str(",\"options\":[");
+            for (i, o) in options.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"option\":{},\"expected_service_s\":{},\"predicts_overflow\":{}}}",
+                    o.option,
+                    json_f64(o.expected_service_s),
+                    o.predicts_overflow
+                ));
+            }
+            s.push(']');
+        }
+        EventKind::PidUpdate {
+            job,
+            predicted_s,
+            observed_s,
+            error_s,
+            correction_s,
+        } => {
+            s.push_str(&format!(
+                ",\"job\":{job},\"predicted_s\":{},\"observed_s\":{},\"error_s\":{},\"correction_s\":{}",
+                json_f64(*predicted_s),
+                json_f64(*observed_s),
+                json_f64(*error_s),
+                json_f64(*correction_s)
+            ));
+        }
+        EventKind::JobComplete { job, observed_s } => {
+            s.push_str(&format!(
+                ",\"job\":{job},\"observed_s\":{}",
+                json_f64(*observed_s)
+            ));
+        }
+        EventKind::JobStart {
+            job,
+            option,
+            occupancy,
+        } => {
+            s.push_str(&format!(
+                ",\"job\":{job},\"option\":{option},\"occupancy\":{occupancy}"
+            ));
+        }
+        EventKind::BufferAdmit {
+            job,
+            occupancy,
+            interesting,
+        } => {
+            s.push_str(&format!(
+                ",\"job\":{job},\"occupancy\":{occupancy},\"interesting\":{interesting}"
+            ));
+        }
+        EventKind::IboDiscard {
+            occupancy,
+            interesting,
+            device_on,
+            active_option,
+        } => {
+            s.push_str(&format!(
+                ",\"occupancy\":{occupancy},\"interesting\":{interesting},\"device_on\":{device_on},\
+                 \"active_option\":{}",
+                json_opt(*active_option)
+            ));
+        }
+        EventKind::PowerFailure { checkpointed } => {
+            s.push_str(&format!(",\"checkpointed\":{checkpointed}"));
+        }
+        EventKind::Checkpoint => {}
+        EventKind::Restore { off_ms } => {
+            s.push_str(&format!(",\"off_ms\":{off_ms}"));
+        }
+        EventKind::Snapshot(snap) => {
+            s.push_str(&format!(
+                ",\"irradiance\":{},\"stored_j\":{},\"on\":{},\"occupancy\":{},\"lambda\":{},\
+                 \"correction_s\":{},\"active_option\":{},\"ibo_discards\":{}",
+                json_f64(snap.irradiance),
+                json_f64(snap.stored_j),
+                snap.on,
+                snap.occupancy,
+                json_f64(snap.lambda),
+                json_f64(snap.correction_s),
+                json_opt(snap.active_option),
+                snap.ibo_discards
+            ));
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Writes the event log as JSON Lines: one object per event.
+pub fn write_jsonl<W: Write>(mut w: W, events: &[Event]) -> io::Result<()> {
+    for event in events {
+        writeln!(w, "{}", event_to_json(event))?;
+    }
+    Ok(())
+}
+
+/// The fixed CSV header used by [`write_csv`].
+pub const CSV_HEADER: &str =
+    "t_ms,kind,job,option,occupancy,capacity,lambda,expected_service_s,observed_s,\
+     error_s,correction_s,predicted_arrivals,ibo_predicted,unavoidable,interesting,\
+     device_on,checkpointed,off_ms,stored_j,irradiance,on";
+
+/// Writes the event log as flat CSV; columns an event kind does not
+/// define are left empty.
+pub fn write_csv<W: Write>(mut w: W, events: &[Event]) -> io::Result<()> {
+    writeln!(w, "{CSV_HEADER}")?;
+    for e in events {
+        // Column slots, defaulted empty, filled per kind.
+        let mut job = String::new();
+        let mut option = String::new();
+        let mut occupancy = String::new();
+        let mut capacity = String::new();
+        let mut lambda = String::new();
+        let mut expected = String::new();
+        let mut observed = String::new();
+        let mut error = String::new();
+        let mut correction = String::new();
+        let mut predicted_arrivals = String::new();
+        let mut ibo_predicted = String::new();
+        let mut unavoidable = String::new();
+        let mut interesting = String::new();
+        let mut device_on = String::new();
+        let mut checkpointed = String::new();
+        let mut off_ms = String::new();
+        let mut stored_j = String::new();
+        let mut irradiance = String::new();
+        let mut on = String::new();
+        match &e.kind {
+            EventKind::SchedulerPick {
+                job: j,
+                expected_service_s,
+                correction_s,
+                ..
+            } => {
+                job = j.to_string();
+                expected = expected_service_s.to_string();
+                correction = correction_s.to_string();
+            }
+            EventKind::IboDecision {
+                job: j,
+                lambda: l,
+                occupancy: occ,
+                capacity: cap,
+                expected_service_s,
+                predicted_arrivals: pa,
+                ibo_predicted: ip,
+                unavoidable: ua,
+                chosen_option,
+                ..
+            } => {
+                job = j.to_string();
+                lambda = l.to_string();
+                occupancy = occ.to_string();
+                capacity = cap.to_string();
+                expected = expected_service_s.to_string();
+                predicted_arrivals = pa.to_string();
+                ibo_predicted = ip.to_string();
+                unavoidable = ua.to_string();
+                option = chosen_option.to_string();
+            }
+            EventKind::PidUpdate {
+                job: j,
+                predicted_s,
+                observed_s,
+                error_s,
+                correction_s,
+            } => {
+                job = j.to_string();
+                expected = predicted_s.to_string();
+                observed = observed_s.to_string();
+                error = error_s.to_string();
+                correction = correction_s.to_string();
+            }
+            EventKind::JobComplete { job: j, observed_s } => {
+                job = j.to_string();
+                observed = observed_s.to_string();
+            }
+            EventKind::JobStart {
+                job: j,
+                option: o,
+                occupancy: occ,
+            } => {
+                job = j.to_string();
+                option = o.to_string();
+                occupancy = occ.to_string();
+            }
+            EventKind::BufferAdmit {
+                job: j,
+                occupancy: occ,
+                interesting: i,
+            } => {
+                job = j.to_string();
+                occupancy = occ.to_string();
+                interesting = i.to_string();
+            }
+            EventKind::IboDiscard {
+                occupancy: occ,
+                interesting: i,
+                device_on: d,
+                active_option,
+            } => {
+                occupancy = occ.to_string();
+                interesting = i.to_string();
+                device_on = d.to_string();
+                if let Some(o) = active_option {
+                    option = o.to_string();
+                }
+            }
+            EventKind::PowerFailure { checkpointed: c } => checkpointed = c.to_string(),
+            EventKind::Checkpoint => {}
+            EventKind::Restore { off_ms: o } => off_ms = o.to_string(),
+            EventKind::Snapshot(snap) => {
+                occupancy = snap.occupancy.to_string();
+                lambda = snap.lambda.to_string();
+                correction = snap.correction_s.to_string();
+                stored_j = snap.stored_j.to_string();
+                irradiance = snap.irradiance.to_string();
+                on = snap.on.to_string();
+                if let Some(o) = snap.active_option {
+                    option = o.to_string();
+                }
+            }
+        }
+        writeln!(
+            w,
+            "{},{},{job},{option},{occupancy},{capacity},{lambda},{expected},{observed},\
+             {error},{correction},{predicted_arrivals},{ibo_predicted},{unavoidable},\
+             {interesting},{device_on},{checkpointed},{off_ms},{stored_j},{irradiance},{on}",
+            e.t_ms,
+            e.kind.name()
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CandidateEval, OptionEval};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                t_ms: 10,
+                kind: EventKind::SchedulerPick {
+                    job: 1,
+                    expected_service_s: 2.5,
+                    correction_s: 0.1,
+                    p_in_w: 0.02,
+                    candidates: vec![CandidateEval {
+                        job: 1,
+                        expected_service_s: 2.4,
+                        oldest_input_age_s: 0.5,
+                        selected: true,
+                    }],
+                },
+            },
+            Event {
+                t_ms: 11,
+                kind: EventKind::IboDecision {
+                    job: 1,
+                    lambda: 0.5,
+                    occupancy: 3,
+                    capacity: 10,
+                    expected_service_s: 2.5,
+                    predicted_arrivals: 1.25,
+                    ibo_predicted: false,
+                    unavoidable: false,
+                    chosen_option: 0,
+                    options: vec![OptionEval {
+                        option: 0,
+                        expected_service_s: 2.5,
+                        predicts_overflow: false,
+                    }],
+                },
+            },
+            Event {
+                t_ms: 12,
+                kind: EventKind::IboDiscard {
+                    occupancy: 10,
+                    interesting: true,
+                    device_on: false,
+                    active_option: None,
+                },
+            },
+            Event {
+                t_ms: 13,
+                kind: EventKind::Checkpoint,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_looking_object_per_line() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &sample_events()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"t_ms\":"));
+        }
+        assert!(lines[0].contains("\"kind\":\"scheduler_pick\""));
+        assert!(lines[0].contains("\"candidates\":[{"));
+        assert!(lines[1].contains("\"options\":[{"));
+        assert!(lines[2].contains("\"active_option\":null"));
+    }
+
+    #[test]
+    fn csv_has_header_and_constant_column_count() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &sample_events()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let cols = lines[0].split(',').count();
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+        assert!(lines[3].contains("ibo_discard"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event {
+            t_ms: 0,
+            kind: EventKind::PidUpdate {
+                job: 0,
+                predicted_s: f64::NAN,
+                observed_s: 1.0,
+                error_s: f64::INFINITY,
+                correction_s: 0.0,
+            },
+        };
+        let json = event_to_json(&e);
+        assert!(json.contains("\"predicted_s\":null"));
+        assert!(json.contains("\"error_s\":null"));
+    }
+}

@@ -1,0 +1,161 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The workspace's build environment is hermetic: no crate registry is
+//! reachable, so the real `proptest` cannot be fetched. This shim
+//! implements exactly the subset of proptest's API the workspace's tests
+//! use — range/tuple/`Just`/`prop_oneof!`/`prop_map`/`collection::vec`
+//! strategies, `any::<T>()`, the `proptest!` macro with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert*` /
+//! `prop_assume!` macros — backed by deterministic random sampling.
+//!
+//! Differences from the real crate (acceptable for this workspace):
+//!
+//! - **No shrinking.** A failing case reports its inputs but is not
+//!   minimized.
+//! - **No persistence.** `proptest-regressions` files are ignored; the
+//!   RNG is seeded deterministically from the test name, so every run
+//!   explores the same cases.
+//! - Default case count is 64 (the real default is 256); override with
+//!   `ProptestConfig::with_cases(n)` as usual.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything tests conventionally glob-import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut cases_run: u32 = 0;
+                let mut attempts: u32 = 0;
+                while cases_run < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(20).max(1000),
+                        "proptest: too many rejected cases in {}",
+                        stringify!($name)
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => cases_run += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {}/{} of {} failed: {}",
+                                cases_run + 1,
+                                config.cases,
+                                stringify!($name),
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Like `assert!`, but fails the current proptest case with a message
+/// instead of panicking directly (the harness adds case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Like `assert_ne!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case (sampled inputs don't satisfy a
+/// precondition) without counting it as run.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type. (The real proptest supports weights; this workspace doesn't use
+/// them.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,317 @@
+//! Value-generation strategies (sampling only; no shrinking).
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values of `Self::Value` from an RNG.
+///
+/// Unlike the real proptest `Strategy` (which builds shrinkable value
+/// trees), this one samples directly. The combinator subset matches what
+/// the workspace uses: `prop_map`, `boxed`, ranges, tuples, [`Just`],
+/// [`Union`] (via `prop_oneof!`), and `collection::vec`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `true`, retrying up to an
+    /// attempt cap (matches the real crate's local-rejection behaviour).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies can share a
+    /// collection (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `strategy.prop_map(f)`.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// `strategy.prop_filter(reason, f)`.
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({}) rejected 1000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds from pre-boxed alternatives; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Samples an unconstrained value.
+    fn arbitrary_sample(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_sample(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_sample(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_sample(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning several orders of magnitude —
+        // a pragmatic "any" for numeric property tests.
+        let mag = rng.next_f64() * 2.0 - 1.0;
+        let exp = (rng.below(61) as i32) - 30;
+        mag * 2f64.powi(exp)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_sample(rng)
+    }
+}
+
+/// An unconstrained strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3u8..9).sample(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (1u64..=4).sample(&mut r);
+            assert!((1..=4).contains(&w));
+            let f = (0.25f64..0.75).sample(&mut r);
+            assert!((0.25..0.75).contains(&f));
+            let s = (-5i64..5).sample(&mut r);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn map_filter_union_compose() {
+        let mut r = rng();
+        let even = (0u32..100).prop_map(|x| x * 2);
+        let big_even = (0u32..100)
+            .prop_map(|x| x * 2)
+            .prop_filter("big", |x| *x >= 50);
+        let pick = Union::new(vec![Just(1u32).boxed(), Just(2u32).boxed()]);
+        for _ in 0..200 {
+            assert_eq!(even.sample(&mut r) % 2, 0);
+            assert!(big_even.sample(&mut r) >= 50);
+            assert!(matches!(pick.sample(&mut r), 1 | 2));
+        }
+    }
+
+    #[test]
+    fn tuples_sample_elementwise() {
+        let mut r = rng();
+        let (a, b) = (0u8..4, any::<bool>()).sample(&mut r);
+        assert!(a < 4);
+        let _: bool = b;
+    }
+}

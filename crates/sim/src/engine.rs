@@ -11,6 +11,7 @@ use quetzal::model::{JobId, TaskCost, TaskId, TaskKey};
 use quetzal::runtime::BufferView;
 use quetzal::Quetzal;
 use qz_energy::PowerSystem;
+use qz_obs::{EventKind, Observer};
 use qz_traces::SensingEnvironment;
 use qz_types::{SimDuration, SimTime, SplitMix64, Watts};
 
@@ -100,6 +101,10 @@ pub struct Simulation<'a> {
     metrics: Metrics,
     rng: SplitMix64,
     recorder: Option<Recorder>,
+    /// When the device last powered down (for `Restore` off-time events).
+    off_since: Option<SimTime>,
+    /// Cadence of `Snapshot` events while an observer is installed.
+    snapshot_every: SimDuration,
     done: bool,
 }
 
@@ -143,6 +148,8 @@ impl<'a> Simulation<'a> {
             metrics: Metrics::default(),
             rng,
             recorder: None,
+            off_since: None,
+            snapshot_every: SimDuration::from_secs(1),
             done: false,
         })
     }
@@ -192,6 +199,31 @@ impl<'a> Simulation<'a> {
         self.recorder = Some(Recorder::new(interval));
     }
 
+    /// Installs a decision-tracing observer on the runtime; the
+    /// simulator routes its own transition events (power failures,
+    /// restores, checkpoints, buffer admits/discards, job starts,
+    /// periodic snapshots) through the same hook, so the sink sees one
+    /// interleaved stream.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.runtime.set_observer(observer);
+    }
+
+    /// Removes the installed observer (a disabled noop takes its
+    /// place), returning it so sinks can be drained.
+    pub fn take_observer(&mut self) -> Box<dyn Observer> {
+        self.runtime.take_observer()
+    }
+
+    /// Changes the cadence of `Snapshot` events (default 1 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn snapshot_interval(&mut self, interval: SimDuration) {
+        assert!(!interval.is_zero(), "snapshot interval must be positive");
+        self.snapshot_every = interval;
+    }
+
     /// The recorded telemetry so far (empty unless
     /// [`Simulation::record_telemetry`] was called).
     pub fn telemetry(&self) -> Option<&Telemetry> {
@@ -202,6 +234,15 @@ impl<'a> Simulation<'a> {
     pub fn run(mut self) -> Metrics {
         while self.step() {}
         self.metrics
+    }
+
+    /// Runs to completion and returns the metrics together with the
+    /// observer installed via [`Simulation::set_observer`] (a disabled
+    /// noop if none was installed).
+    pub fn run_traced(mut self) -> (Metrics, Box<dyn Observer>) {
+        while self.step() {}
+        let observer = self.runtime.take_observer();
+        (self.metrics, observer)
     }
 
     /// Runs to completion and returns the metrics together with the
@@ -224,6 +265,9 @@ impl<'a> Simulation<'a> {
         }
         let t = self.now;
         let irr = self.env.solar().irradiance(t);
+        // Stamp every event emitted this tick (runtime- and sim-side)
+        // with the current device time.
+        self.runtime.set_time_ms(t.as_millis());
 
         // 1. Periodic capture boundary (the camera only senses while the
         //    event period lasts; afterwards every frame would be empty).
@@ -255,20 +299,35 @@ impl<'a> Simulation<'a> {
         }
         self.metrics.occupancy_ms += self.buffer.occupancy() as u64;
 
-        if let Some(rec) = &mut self.recorder {
-            if (t % rec.interval).is_zero() {
-                let sample = TelemetrySample {
-                    t,
-                    irradiance: irr,
-                    stored: self.power.capacitor().energy(),
-                    on: self.state == DeviceState::On,
-                    occupancy: self.buffer.occupancy(),
-                    lambda: self.runtime.lambda(),
-                    correction: self.runtime.correction().value(),
-                    active_option: self.job.as_ref().map_or(usize::MAX, |j| j.option),
-                    ibo_discards: self.metrics.ibo_discards,
-                };
-                rec.telemetry.push(sample);
+        // One sample serves both telemetry consumers: the legacy
+        // recorder and the observer's Snapshot events.
+        let recorder_due = self
+            .recorder
+            .as_ref()
+            .is_some_and(|rec| (t % rec.interval).is_zero());
+        let snapshot_due = self.runtime.observing() && (t % self.snapshot_every).is_zero();
+        if recorder_due || snapshot_due {
+            let sample = TelemetrySample {
+                t,
+                irradiance: irr,
+                stored: self.power.capacitor().energy(),
+                on: self.state == DeviceState::On,
+                occupancy: self.buffer.occupancy(),
+                lambda: self.runtime.lambda(),
+                correction: self.runtime.correction().value(),
+                active_option: self.job.as_ref().map(|j| j.option),
+                ibo_discards: self.metrics.ibo_discards,
+            };
+            if snapshot_due {
+                self.runtime
+                    .emit_event(EventKind::Snapshot(sample.to_snapshot()));
+            }
+            if recorder_due {
+                self.recorder
+                    .as_mut()
+                    .expect("recorder_due implies recorder")
+                    .telemetry
+                    .push(sample);
             }
         }
 
@@ -286,6 +345,14 @@ impl<'a> Simulation<'a> {
                     self.power.draw(self.cfg.device.restore_energy);
                     self.metrics.restores += 1;
                     self.state = DeviceState::On;
+                    if self.runtime.observing() {
+                        let off_ms = self
+                            .off_since
+                            .take()
+                            .map_or(0, |off| t.since(off).as_millis());
+                        self.runtime.emit_event(EventKind::Restore { off_ms });
+                    }
+                    self.off_since = None;
                 }
             }
         }
@@ -333,6 +400,13 @@ impl<'a> Simulation<'a> {
         };
         if self.buffer.store(self.pipeline.entry_job(), entry) {
             self.metrics.stored += 1;
+            if self.runtime.observing() {
+                self.runtime.emit_event(EventKind::BufferAdmit {
+                    job: self.pipeline.entry_job().index(),
+                    occupancy: self.buffer.occupancy(),
+                    interesting,
+                });
+            }
         } else {
             self.metrics.ibo_discards += 1;
             if interesting {
@@ -346,6 +420,14 @@ impl<'a> Simulation<'a> {
                 } else {
                     self.metrics.ibo_during_degraded_job += 1;
                 }
+            }
+            if self.runtime.observing() {
+                self.runtime.emit_event(EventKind::IboDiscard {
+                    occupancy: self.buffer.occupancy(),
+                    interesting,
+                    device_on: self.state == DeviceState::On,
+                    active_option: self.job.as_ref().map(|j| j.option),
+                });
             }
         }
     }
@@ -389,6 +471,11 @@ impl<'a> Simulation<'a> {
     fn on_power_failure(&mut self) {
         let policy = self.cfg.device.checkpoint_policy;
         self.metrics.power_failures += 1;
+        if self.runtime.observing() {
+            self.runtime.emit_event(EventKind::PowerFailure {
+                checkpointed: matches!(policy, CheckpointPolicy::JustInTime),
+            });
+        }
         match policy {
             CheckpointPolicy::JustInTime => {
                 self.power.draw(self.cfg.device.checkpoint_energy);
@@ -407,6 +494,7 @@ impl<'a> Simulation<'a> {
             }
         }
         self.state = DeviceState::Off;
+        self.off_since = Some(self.now);
     }
 
     fn progress_job(&mut self, t: SimTime) {
@@ -418,6 +506,9 @@ impl<'a> Simulation<'a> {
             j.keeper.checkpointed(remaining);
             self.power.draw(self.cfg.device.checkpoint_energy);
             self.metrics.checkpoints += 1;
+            if self.runtime.observing() {
+                self.runtime.emit_event(EventKind::Checkpoint);
+            }
         }
         let j = self.job.as_mut().expect("job present");
         j.remaining = j.remaining.saturating_sub(SimDuration::TICK);
@@ -558,6 +649,13 @@ impl<'a> Simulation<'a> {
             .buffer
             .take(decision.job)
             .expect("scheduled job has a queued input");
+        if self.runtime.observing() {
+            self.runtime.emit_event(EventKind::JobStart {
+                job: decision.job.index(),
+                option: decision.option,
+                occupancy: self.buffer.occupancy(),
+            });
+        }
         let executed: Vec<(TaskId, bool)> = self
             .runtime
             .spec()
@@ -838,6 +936,46 @@ mod tests {
 
         let jit = sim(&env, 0.05).run();
         assert_eq!(jit.reexecuted.as_millis(), 0, "JIT never re-executes");
+    }
+
+    #[test]
+    fn traced_run_agrees_with_metrics() {
+        let env = SensingEnvironment::generate(EnvironmentKind::MoreCrowded, 20, 4);
+        let (qz, process, report) = build_runtime();
+        let mut cfg = SimConfig::default();
+        cfg.device.buffer_capacity = 2;
+        let mut s = Simulation::new(
+            cfg,
+            &env,
+            qz,
+            process,
+            behaviors(0.05),
+            vec![Route::Forward(report), Route::Finish],
+        )
+        .unwrap();
+        s.set_observer(Box::new(qz_obs::RecordingObserver::new()));
+        let (m, mut obs) = s.run_traced();
+        let events = qz_obs::take_recorded(obs.as_mut()).expect("recording sink");
+        let count = |name: &str| events.iter().filter(|e| e.kind.name() == name).count() as u64;
+        assert!(m.ibo_discards > 0, "scenario must overflow");
+        assert_eq!(count("ibo_discard"), m.ibo_discards);
+        assert_eq!(count("buffer_admit"), m.stored);
+        assert_eq!(count("restore"), m.restores);
+        assert_eq!(count("power_failure"), m.power_failures);
+        assert!(count("scheduler_pick") > 0);
+        assert_eq!(count("scheduler_pick"), count("ibo_decision"));
+        // Timestamps are monotonic.
+        assert!(events.windows(2).all(|w| w[0].t_ms <= w[1].t_ms));
+    }
+
+    #[test]
+    fn observer_does_not_perturb_results() {
+        let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 15, 21);
+        let baseline = sim(&env, 0.05).run();
+        let mut traced = sim(&env, 0.05);
+        traced.set_observer(Box::new(qz_obs::RecordingObserver::new()));
+        let (m, _) = traced.run_traced();
+        assert_eq!(m, baseline, "tracing must be observation-only");
     }
 
     #[test]

@@ -7,8 +7,14 @@
 //! notes in `DESIGN.md` all came from these traces). Enable with
 //! [`Simulation::record_telemetry`](crate::Simulation::record_telemetry)
 //! and export with [`Telemetry::write_csv`].
+//!
+//! Telemetry rides the same observer hook as decision tracing: each
+//! sample doubles as a [`qz_obs::Snapshot`] event, and a [`Telemetry`]
+//! can be reconstructed from a recorded event log with
+//! [`Telemetry::from_events`].
 
 use core::fmt;
+use qz_obs::{Event, EventKind, Snapshot};
 use qz_types::{Joules, SimDuration, SimTime};
 use std::io::Write;
 
@@ -29,8 +35,8 @@ pub struct TelemetrySample {
     pub lambda: f64,
     /// The runtime's PID correction, seconds.
     pub correction: f64,
-    /// Degradation option of the executing job (`usize::MAX` when idle).
-    pub active_option: usize,
+    /// Degradation option of the executing job (`None` when idle).
+    pub active_option: Option<usize>,
     /// Cumulative IBO discards so far.
     pub ibo_discards: u64,
 }
@@ -38,7 +44,36 @@ pub struct TelemetrySample {
 impl TelemetrySample {
     /// `true` if a job was executing at the sample instant.
     pub fn is_busy(&self) -> bool {
-        self.active_option != usize::MAX
+        self.active_option.is_some()
+    }
+
+    /// The sample as an observer [`Snapshot`] payload.
+    pub fn to_snapshot(self) -> Snapshot {
+        Snapshot {
+            irradiance: self.irradiance,
+            stored_j: self.stored.value(),
+            on: self.on,
+            occupancy: self.occupancy,
+            lambda: self.lambda,
+            correction_s: self.correction,
+            active_option: self.active_option,
+            ibo_discards: self.ibo_discards,
+        }
+    }
+
+    /// Rebuilds a sample from a [`Snapshot`] event payload.
+    pub fn from_snapshot(t: SimTime, snap: &Snapshot) -> TelemetrySample {
+        TelemetrySample {
+            t,
+            irradiance: snap.irradiance,
+            stored: Joules(snap.stored_j),
+            on: snap.on,
+            occupancy: snap.occupancy,
+            lambda: snap.lambda,
+            correction: snap.correction_s,
+            active_option: snap.active_option,
+            ibo_discards: snap.ibo_discards,
+        }
     }
 }
 
@@ -49,6 +84,22 @@ pub struct Telemetry {
 }
 
 impl Telemetry {
+    /// Rebuilds telemetry from the `Snapshot` events in a recorded
+    /// event log (other event kinds are skipped).
+    pub fn from_events(events: &[Event]) -> Telemetry {
+        let samples = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Snapshot(snap) => Some(TelemetrySample::from_snapshot(
+                    SimTime::from_millis(e.t_ms),
+                    snap,
+                )),
+                _ => None,
+            })
+            .collect();
+        Telemetry { samples }
+    }
+
     /// All samples, in time order.
     pub fn samples(&self) -> &[TelemetrySample] {
         &self.samples
@@ -84,6 +135,7 @@ impl Telemetry {
 
     /// Writes the samples as CSV
     /// (`t_s,irradiance,stored_mj,on,occupancy,lambda,correction,option,ibo`).
+    /// The `option` column is `-1` while the device is idle.
     ///
     /// # Errors
     ///
@@ -104,11 +156,7 @@ impl Telemetry {
                 s.occupancy,
                 s.lambda,
                 s.correction,
-                if s.is_busy() {
-                    s.active_option as i64
-                } else {
-                    -1
-                },
+                s.active_option.map_or(-1, |o| o as i64),
                 s.ibo_discards,
             )?;
         }
@@ -149,7 +197,7 @@ impl Recorder {
 mod tests {
     use super::*;
 
-    fn sample(t_s: u64, on: bool, occ: usize, option: usize) -> TelemetrySample {
+    fn sample(t_s: u64, on: bool, occ: usize, option: Option<usize>) -> TelemetrySample {
         TelemetrySample {
             t: SimTime::from_secs(t_s),
             irradiance: 0.5,
@@ -167,8 +215,8 @@ mod tests {
     fn accumulates_and_summarizes() {
         let mut t = Telemetry::default();
         assert!(t.is_empty());
-        t.push(sample(0, true, 3, 0));
-        t.push(sample(1, false, 7, usize::MAX));
+        t.push(sample(0, true, 3, Some(0)));
+        t.push(sample(1, false, 7, None));
         assert_eq!(t.len(), 2);
         assert_eq!(t.on_fraction(), 0.5);
         assert_eq!(t.peak_occupancy(), 7);
@@ -180,8 +228,8 @@ mod tests {
     #[test]
     fn csv_roundtrip_shape() {
         let mut t = Telemetry::default();
-        t.push(sample(0, true, 3, 1));
-        t.push(sample(1, false, 0, usize::MAX));
+        t.push(sample(0, true, 3, Some(1)));
+        t.push(sample(1, false, 0, None));
         let mut buf = Vec::new();
         t.write_csv(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
@@ -190,6 +238,24 @@ mod tests {
         assert!(lines[0].starts_with("t_s,"));
         assert!(lines[1].contains(",1,3,"), "{}", lines[1]);
         assert!(lines[2].ends_with(",-1,2"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_sample() {
+        let s = sample(7, true, 5, Some(1));
+        let event = Event {
+            t_ms: s.t.as_millis(),
+            kind: EventKind::Snapshot(s.to_snapshot()),
+        };
+        let rebuilt = Telemetry::from_events(&[
+            event,
+            Event {
+                t_ms: 8_000,
+                kind: EventKind::Checkpoint,
+            },
+        ]);
+        assert_eq!(rebuilt.len(), 1);
+        assert_eq!(rebuilt.samples()[0], s);
     }
 
     #[test]

@@ -65,8 +65,10 @@ fn run(policy: Box<dyn SchedulingPolicy>, env: &SensingEnvironment) -> qz_sim::M
         .policy(policy)
         .build()
         .unwrap();
-    let mut cfg = SimConfig::default();
-    cfg.device = profile.device.clone();
+    let cfg = SimConfig {
+        device: profile.device.clone(),
+        ..SimConfig::default()
+    };
     Simulation::new(cfg, env, runtime, app.entry, app.behaviors, app.routes)
         .unwrap()
         .run()

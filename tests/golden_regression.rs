@@ -63,9 +63,11 @@ macro_rules! golden {
     };
 }
 
-/// The baselined fingerprints:
-/// (discarded, ibo, false-neg, reported, jobs).
-const GOLDENS: &[(&str, (u64, u64, u64, u64, u64))] = &[
+/// One baselined fingerprint: (discarded, ibo, false-neg, reported, jobs).
+type Fingerprint = (u64, u64, u64, u64, u64);
+
+/// The baselined fingerprints.
+const GOLDENS: &[(&str, Fingerprint)] = &[
     ("qz_crowded", (106, 58, 48, 617, 1829)),
     ("na_crowded", (324, 306, 18, 399, 1262)),
     ("ad_crowded", (155, 0, 155, 568, 1932)),

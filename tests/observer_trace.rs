@@ -1,0 +1,93 @@
+//! Observability integration tests: replaying the Fig. 8 configuration
+//! with a recording observer must capture, in the event log, every
+//! decision the `Metrics` totals count — and installing an observer
+//! (no-op or recording) must not perturb the simulation at all.
+
+use proptest::prelude::*;
+use qz_app::{apollo4, simulate, simulate_traced, SimTweaks};
+use qz_baselines::BaselineKind;
+use qz_obs::{Event, EventKind, MetricsObserver};
+use qz_traces::{EnvironmentKind, SensingEnvironment};
+
+/// The Fig. 8 hardware-experiment configuration (paper §6.4), scaled to
+/// a test-friendly event count: QZ on the Crowded environment with the
+/// standard experiment seed and Table 1 tweaks.
+fn fig08_env(events: usize) -> SensingEnvironment {
+    SensingEnvironment::generate(EnvironmentKind::Crowded, events, qz_bench::EVENT_SEED)
+}
+
+fn count(events: &[Event], name: &str) -> u64 {
+    events.iter().filter(|e| e.kind.name() == name).count() as u64
+}
+
+#[test]
+fn fig08_replay_event_log_matches_metrics() {
+    let env = fig08_env(60);
+    let tweaks = SimTweaks::default();
+    let (m, log) = simulate_traced(BaselineKind::Quetzal, &apollo4(), &env, &tweaks);
+
+    assert!(m.ibo_discards > 0, "Fig. 8 config should exercise IBO");
+    assert_eq!(
+        count(&log, "ibo_discard"),
+        m.ibo_discards,
+        "every IBO discard counted in Metrics appears in the event log"
+    );
+    assert_eq!(count(&log, "buffer_admit"), m.stored);
+    assert_eq!(count(&log, "power_failure"), m.power_failures);
+    assert_eq!(count(&log, "restore"), m.restores);
+    assert_eq!(count(&log, "job_start"), m.total_jobs());
+
+    // Every scheduler pick pairs with exactly one IBO decision, and the
+    // whole decision sequence is reconstructible: the event-derived
+    // registry agrees with the simulator's own totals.
+    assert_eq!(count(&log, "scheduler_pick"), count(&log, "ibo_decision"));
+    let registry = MetricsObserver::from_events(&log);
+    assert_eq!(registry.counter("ibo_discards"), m.ibo_discards);
+    assert_eq!(registry.counter("jobs_started"), m.total_jobs());
+
+    // Each pick carries its candidate ranking with exactly one winner,
+    // and each IBO decision's chosen option is consistent with its
+    // option walk — the properties `qz trace` rendering relies on.
+    for event in &log {
+        match &event.kind {
+            EventKind::SchedulerPick { candidates, .. } => {
+                assert_eq!(candidates.iter().filter(|c| c.selected).count(), 1);
+            }
+            EventKind::IboDecision {
+                chosen_option,
+                options,
+                ..
+            } => {
+                assert!(options.iter().any(|o| o.option == *chosen_option));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn fig08_replay_traced_metrics_match_untraced() {
+    let env = fig08_env(60);
+    let tweaks = SimTweaks::default();
+    let baseline = simulate(BaselineKind::Quetzal, &apollo4(), &env, &tweaks);
+    let (traced, _) = simulate_traced(BaselineKind::Quetzal, &apollo4(), &env, &tweaks);
+    assert_eq!(baseline, traced, "recording observer perturbed the run");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Installing an observer never changes results: for arbitrary
+    /// seeds and event counts, a traced run is bit-identical to the
+    /// plain run (the no-op default path and the recording path share
+    /// every emission site, so this pins both).
+    #[test]
+    fn observer_is_invisible_to_results(seed in 0u64..1_000, events in 10usize..40) {
+        let env = SensingEnvironment::generate(EnvironmentKind::MoreCrowded, events, seed);
+        let tweaks = SimTweaks { seed, ..SimTweaks::default() };
+        let plain = simulate(BaselineKind::Quetzal, &apollo4(), &env, &tweaks);
+        let (traced, log) = simulate_traced(BaselineKind::Quetzal, &apollo4(), &env, &tweaks);
+        prop_assert_eq!(plain, traced);
+        prop_assert_eq!(count(&log, "ibo_discard"), traced.ibo_discards);
+    }
+}
