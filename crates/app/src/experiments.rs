@@ -7,7 +7,7 @@ use qz_baselines::{build_runtime, ideal_metrics, BaselineKind};
 use qz_hw::RatioPath;
 use qz_sim::{Metrics, SimConfig, Simulation};
 use qz_traces::SensingEnvironment;
-use qz_types::{Hertz, SimDuration, Watts};
+use qz_types::{Farads, Hertz, SimDuration, Watts};
 
 /// Per-experiment knobs over the Table 1 defaults (each figure adjusts a
 /// couple of these).
@@ -39,6 +39,9 @@ pub struct SimTweaks {
     pub checkpoint_policy: qz_sim::CheckpointPolicy,
     /// Optional EWMA smoothing of the input-power measurement.
     pub power_ewma_alpha: Option<f64>,
+    /// Override the supercapacitor capacitance (storage-sizing sweeps
+    /// and infeasibility demos; `None` keeps the Table 1 default).
+    pub supercap_capacitance: Option<Farads>,
 }
 
 impl Default for SimTweaks {
@@ -56,6 +59,7 @@ impl Default for SimTweaks {
             task_jitter: 0.0,
             checkpoint_policy: qz_sim::CheckpointPolicy::JustInTime,
             power_ewma_alpha: None,
+            supercap_capacitance: None,
         }
     }
 }
@@ -160,13 +164,19 @@ pub fn timeline_names(spec: &quetzal::AppSpec) -> qz_obs::timeline::TimelineName
     }
 }
 
-/// Assembles the simulation every `simulate*` entry point runs.
-fn build_simulation<'a>(
+/// Assembles the app model, runtime config, and simulator config every
+/// `simulate*` entry point — and the [`check_experiment`] analyzer —
+/// share. Pure config assembly: no validation happens here.
+///
+/// # Panics
+///
+/// Panics on invalid experiment constants (spec assembly failures),
+/// which indicate a bug in the profile definitions.
+pub fn experiment_configs(
     kind: BaselineKind,
     profile: &DeviceProfile,
-    env: &'a SensingEnvironment,
     tweaks: &SimTweaks,
-) -> Simulation<'a> {
+) -> (AppModel, QuetzalConfig, SimConfig) {
     let app = AppModel::person_detection(profile).expect("valid app model");
 
     let qcfg = QuetzalConfig {
@@ -178,7 +188,6 @@ fn build_simulation<'a>(
         power_ewma_alpha: tweaks.power_ewma_alpha,
         ..QuetzalConfig::default()
     };
-    let runtime = build_runtime(kind, app.spec.clone(), qcfg).expect("valid runtime");
 
     let mut cfg = SimConfig {
         device: profile.device.clone(),
@@ -191,13 +200,20 @@ fn build_simulation<'a>(
     cfg.device.task_jitter = tweaks.task_jitter;
     cfg.device.checkpoint_policy = tweaks.checkpoint_policy;
     cfg.power.harvester_cells = tweaks.harvester_cells;
+    if let Some(capacitance) = tweaks.supercap_capacitance {
+        cfg.power.supercap.capacitance = capacitance;
+    }
 
     // Scheduler overhead: Quetzal-style systems pay the full invocation
     // cost (one ratio per task + one per degradation option); Quetzal
     // proper uses its hardware module, while estimator-equivalent
     // baselines fall back to the MCU's native divide path. Trivial
     // baselines (FCFS + static rules) keep the profile's nominal cost.
+    // Bounded by MAX_TASKS (32) and MAX_OPTIONS (4) per task, so the
+    // casts are exact.
+    #[allow(clippy::cast_possible_truncation)]
     let num_tasks = app.spec.tasks().len() as u32;
+    #[allow(clippy::cast_possible_truncation)]
     let num_options = app.spec.total_options() as u32;
     cfg.device.scheduler_overhead = match kind {
         BaselineKind::Quetzal | BaselineKind::QuetzalHw => {
@@ -212,6 +228,46 @@ fn build_simulation<'a>(
         _ => profile.device.scheduler_overhead,
     };
 
+    (app, qcfg, cfg)
+}
+
+/// Runs the `qz-check` semantic analyses over exactly the spec and
+/// configs a `simulate(kind, profile, …, tweaks)` call would use.
+pub fn check_experiment(
+    kind: BaselineKind,
+    profile: &DeviceProfile,
+    tweaks: &SimTweaks,
+) -> qz_check::Report {
+    let (app, qcfg, cfg) = experiment_configs(kind, profile, tweaks);
+    let mut input = qz_check::CheckInput::new(&app.spec);
+    input.device = cfg.device;
+    input.power = cfg.power;
+    input.runtime = qcfg;
+    input.hw_estimator = matches!(kind, BaselineKind::QuetzalHw);
+    qz_check::check(&input)
+}
+
+/// Assembles the simulation every `simulate*` entry point runs, after
+/// front-ending it with the `qz-check` analyzer: errors panic with the
+/// rendered report (an infeasible config would produce garbage
+/// metrics), warnings print once per (diagnostic, config) to stderr.
+fn build_simulation<'a>(
+    kind: BaselineKind,
+    profile: &DeviceProfile,
+    env: &'a SensingEnvironment,
+    tweaks: &SimTweaks,
+) -> Simulation<'a> {
+    let report = check_experiment(kind, profile, tweaks);
+    assert!(
+        !report.has_errors(),
+        "qz-check rejected the {kind:?}/{} experiment config:\n{}",
+        profile.name,
+        report.render_text()
+    );
+    qz_check::report_to_stderr_once(&format!("{kind:?}/{}", profile.name), &report);
+
+    let (app, qcfg, cfg) = experiment_configs(kind, profile, tweaks);
+    let runtime = build_runtime(kind, app.spec.clone(), qcfg).expect("valid runtime");
     Simulation::new(cfg, env, runtime, app.entry, app.behaviors, app.routes)
         .expect("valid pipeline binding")
 }
@@ -306,6 +362,44 @@ mod tests {
             pzi < pzo,
             "observed-max threshold must be below datasheet-max"
         );
+    }
+
+    #[test]
+    fn checker_passes_default_experiment_configs() {
+        for kind in [
+            BaselineKind::Quetzal,
+            BaselineKind::QuetzalHw,
+            BaselineKind::NoAdapt,
+        ] {
+            let report = check_experiment(kind, &apollo4(), &SimTweaks::default());
+            assert!(!report.has_errors(), "{kind:?}:\n{}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn checker_flags_infeasible_storage() {
+        use qz_types::Farads;
+        let tweaks = SimTweaks {
+            supercap_capacitance: Some(Farads(0.05e-3)),
+            ..SimTweaks::default()
+        };
+        let report = check_experiment(BaselineKind::Quetzal, &apollo4(), &tweaks);
+        assert!(report.has_errors(), "{}", report.render_text());
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == qz_check::Code::QZ001 && d.severity == qz_check::Severity::Error));
+    }
+
+    #[test]
+    #[should_panic(expected = "qz-check rejected")]
+    fn simulate_refuses_infeasible_storage() {
+        use qz_types::Farads;
+        let tweaks = SimTweaks {
+            supercap_capacitance: Some(Farads(0.05e-3)),
+            ..SimTweaks::default()
+        };
+        simulate(BaselineKind::Quetzal, &apollo4(), &env(), &tweaks);
     }
 
     #[test]

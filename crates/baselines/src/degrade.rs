@@ -171,6 +171,9 @@ mod tests {
     }
 
     #[test]
+    // threshold() returns the constructor argument verbatim, so strict
+    // float comparison is the point.
+    #[allow(clippy::float_cmp)]
     fn buffer_threshold_triggers_at_fill() {
         let mut p = BufferThreshold::new(0.5);
         assert_eq!(p.select_option(&ctx(4, 1.0, &OPTS)), IboDecision::NO_ACTION);

@@ -6,6 +6,7 @@
 use qz_bench::{cli_event_count, figures, report};
 
 fn main() {
+    qz_bench::preflight("ablations", qz_bench::FigureDevices::Apollo4);
     let events = cli_event_count(300);
     println!("Ablations — MoreCrowded ({events} events)\n");
     let rows = figures::ablations(events);

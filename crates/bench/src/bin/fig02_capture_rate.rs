@@ -4,6 +4,7 @@
 use qz_bench::{cli_event_count, figures, report, Table};
 
 fn main() {
+    qz_bench::preflight("fig02_capture_rate", qz_bench::FigureDevices::Apollo4);
     let events = cli_event_count(400);
     println!("Fig. 2b — NoAdapt with reduced capture rates (Crowded, {events} events)\n");
     let rows = figures::fig02_capture_rate(events);

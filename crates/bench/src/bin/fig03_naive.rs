@@ -5,6 +5,7 @@
 use qz_bench::{cli_event_count, figures, report};
 
 fn main() {
+    qz_bench::preflight("fig03_naive", qz_bench::FigureDevices::Apollo4);
     let events = cli_event_count(400);
     println!("Fig. 3 — naive solutions vs Quetzal (Crowded, {events} events)\n");
     let rows = figures::fig03_naive(events);

@@ -5,6 +5,7 @@
 use qz_bench::{cli_event_count, figures, report};
 
 fn main() {
+    qz_bench::preflight("fig08_hardware", qz_bench::FigureDevices::Apollo4);
     let events = cli_event_count(100);
     println!("Fig. 8 — end-to-end experiment: QZ vs NoAdapt ({events} events)\n");
     let rows = figures::fig08_hardware(events);

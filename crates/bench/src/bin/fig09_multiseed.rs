@@ -7,6 +7,7 @@ use qz_bench::stats::{aggregate, mean_improvement};
 use qz_bench::{cli_event_count, Table};
 
 fn main() {
+    qz_bench::preflight("fig09_multiseed", qz_bench::FigureDevices::Apollo4);
     let events = cli_event_count(200);
     let seeds = [20_250_330u64, 7, 99, 1234, 0xBEEF];
     println!(

@@ -4,6 +4,7 @@
 use qz_bench::{cli_event_count, figures, report};
 
 fn main() {
+    qz_bench::preflight("fig09_vs_nonadaptive", qz_bench::FigureDevices::Apollo4);
     let events = cli_event_count(400);
     println!("Fig. 9 — QZ vs NA/AD/Ideal ({events} events)\n");
     let rows = figures::fig09_vs_nonadaptive(events);

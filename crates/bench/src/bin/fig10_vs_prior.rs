@@ -5,6 +5,7 @@
 use qz_bench::{cli_event_count, figures, report};
 
 fn main() {
+    qz_bench::preflight("fig10_vs_prior", qz_bench::FigureDevices::Apollo4);
     let events = cli_event_count(400);
     println!("Fig. 10 — QZ vs CatNap / PZO / PZI ({events} events)\n");
     let rows = figures::fig10_vs_prior(events);

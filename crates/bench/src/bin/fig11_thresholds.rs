@@ -5,6 +5,7 @@
 use qz_bench::{cli_event_count, figures, report};
 
 fn main() {
+    qz_bench::preflight("fig11_thresholds", qz_bench::FigureDevices::Apollo4);
     let events = cli_event_count(400);
     println!("Fig. 11a/b — QZ vs fixed thresholds 25/50/75% ({events} events)\n");
     let rows = figures::fig11_thresholds(events);

@@ -4,6 +4,7 @@
 use qz_bench::{cli_event_count, figures, report};
 
 fn main() {
+    qz_bench::preflight("fig12_schedulers", qz_bench::FigureDevices::Apollo4);
     let events = cli_event_count(400);
     println!("Fig. 12 — scheduling policies under the IBO engine ({events} events)\n");
     let rows = figures::fig12_schedulers(events);

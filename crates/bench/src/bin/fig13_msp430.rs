@@ -4,6 +4,7 @@
 use qz_bench::{cli_event_count, figures, report};
 
 fn main() {
+    qz_bench::preflight("fig13_msp430", qz_bench::FigureDevices::Msp430);
     let events = cli_event_count(400);
     println!("Fig. 13 — MSP430FR5994, Short-event environment ({events} events)\n");
     let rows = figures::fig13_msp430(events);

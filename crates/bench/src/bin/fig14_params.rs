@@ -4,6 +4,7 @@
 use qz_bench::{cli_event_count, figures, report, Table};
 
 fn main() {
+    qz_bench::preflight("fig14_params", qz_bench::FigureDevices::Apollo4);
     let events = cli_event_count(300);
     println!("Fig. 14 — parameter sensitivity (MoreCrowded, {events} events)\n");
     let rows = figures::fig14_params(events);

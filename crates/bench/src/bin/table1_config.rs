@@ -9,6 +9,7 @@ use qz_bench::Table;
 use qz_traces::EnvironmentKind;
 
 fn main() {
+    qz_bench::preflight("table1_config", qz_bench::FigureDevices::Both);
     println!("Table 1 — experiment details (reproduction values)\n");
 
     let mut t = Table::new(vec!["component", "value"]);

@@ -24,6 +24,69 @@ pub mod stats;
 pub use figures::{ResultRow, EVENT_SEED};
 pub use report::Table;
 
+/// Which device profiles a figure simulates (for [`preflight`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FigureDevices {
+    /// Apollo 4 only (most figures).
+    Apollo4,
+    /// MSP430FR5994 only (Fig. 13).
+    Msp430,
+    /// Both platforms (Table 1).
+    Both,
+}
+
+/// The full preset list [`preflight`] sweeps — every system any figure
+/// simulates, with the parameter values the figures use.
+const PREFLIGHT_KINDS: [qz_baselines::BaselineKind; 13] = [
+    qz_baselines::BaselineKind::Quetzal,
+    qz_baselines::BaselineKind::QuetzalHw,
+    qz_baselines::BaselineKind::NoAdapt,
+    qz_baselines::BaselineKind::AlwaysDegrade,
+    qz_baselines::BaselineKind::CatNap,
+    qz_baselines::BaselineKind::FixedThreshold(0.25),
+    qz_baselines::BaselineKind::FixedThreshold(0.50),
+    qz_baselines::BaselineKind::FixedThreshold(0.75),
+    qz_baselines::BaselineKind::PowerThreshold(qz_types::Watts(0.030)),
+    qz_baselines::BaselineKind::AvgSe2e,
+    qz_baselines::BaselineKind::QuetzalVar(0.9),
+    qz_baselines::BaselineKind::FcfsIbo,
+    qz_baselines::BaselineKind::LcfsIbo,
+];
+
+/// Gate every figure binary runs before simulating anything: the
+/// `qz-check` analyzer over each preset the figure's platform(s) can
+/// reach. A config with errors would plot garbage, not data, so the
+/// binary refuses and exits nonzero. Warnings don't block — the MSP430
+/// presets warn `QZ011` by design (degrading out of full-quality
+/// overload is the phenomenon Fig. 13 plots).
+pub fn preflight(figure: &str, devices: FigureDevices) {
+    let profiles = match devices {
+        FigureDevices::Apollo4 => vec![qz_app::apollo4()],
+        FigureDevices::Msp430 => vec![qz_app::msp430fr5994()],
+        FigureDevices::Both => vec![qz_app::apollo4(), qz_app::msp430fr5994()],
+    };
+    let tweaks = qz_app::SimTweaks::default();
+    let mut failed = false;
+    for profile in &profiles {
+        for &kind in &PREFLIGHT_KINDS {
+            let report = qz_app::check_experiment(kind, profile, &tweaks);
+            if report.has_errors() {
+                eprintln!(
+                    "{figure}: qz-check rejected the {} preset on {}:\n{}",
+                    kind.label(),
+                    profile.name,
+                    report.render_text()
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("{figure}: refusing to plot from infeasible configs");
+        std::process::exit(1);
+    }
+}
+
 /// Reads the experiment scale from the environment: `QZ_EVENTS`, or the
 /// given default.
 pub fn event_count(default: usize) -> usize {

@@ -160,6 +160,9 @@ mod tests {
     }
 
     #[test]
+    // A single run's standard deviation must be exactly 0.0 (no
+    // arithmetic happened), so the strict comparison is the point.
+    #[allow(clippy::float_cmp)]
     fn single_run_has_zero_spread() {
         let runs = vec![vec![row("QZ", "E", 10)]];
         let agg = aggregate(&runs);

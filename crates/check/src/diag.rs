@@ -1,0 +1,551 @@
+//! The diagnostics engine: stable codes, severities, spans, and a
+//! [`Report`] that renders to text or JSON.
+//!
+//! Codes are stable across releases (`QZ001`, `QZ002`, …) so CI greps
+//! and `--allow` lists do not break when messages are reworded. The
+//! catalog lives in DESIGN.md ("Diagnostics catalog"); each code's
+//! one-line summary here must stay in sync with it.
+
+use std::fmt;
+
+/// A stable diagnostic code.
+///
+/// Grouped by analysis family: `QZ00x` energy feasibility, `QZ01x`
+/// queueing/Little's-Law, `QZ02x` degradation lattice, `QZ03x`
+/// fixed-point and hardware-model ranges, `QZ04x` control and window
+/// sanity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(clippy::doc_markdown)]
+pub enum Code {
+    /// Task atomic energy exceeds the per-charge storage budget under an
+    /// atomic-replay checkpoint policy: the task can never complete.
+    QZ001,
+    /// Task energy exceeds the per-charge storage budget: at least one
+    /// power failure per execution is guaranteed.
+    QZ002,
+    /// Sustained capture-path power exceeds the harvester ceiling.
+    QZ003,
+    /// Worst-case arrival rate times best-case (min-option, full-sun)
+    /// service time is ≥ 1: overflow is unavoidable at any degradation
+    /// level.
+    QZ010,
+    /// Full-quality utilization ≥ 1 at the worst-case arrival rate:
+    /// Quetzal cannot prevent overflow at full quality, only degrade.
+    QZ011,
+    /// `capture_rate` disagrees with the device `capture_period`.
+    QZ012,
+    /// Buffer capacity is within one full-quality service interval of
+    /// the worst-case arrival volume (no burst headroom).
+    QZ013,
+    /// Degradation options are not monotone: a lower-quality option
+    /// costs more energy than a higher-quality sibling.
+    QZ020,
+    /// A degradation option is dominated (no faster and no cheaper than
+    /// a higher-quality sibling).
+    QZ021,
+    /// Duplicate option name or identical option cost within one task.
+    QZ022,
+    /// No degradation freedom (job without a degradable task, or a
+    /// degradable task with a single option).
+    QZ023,
+    /// `premultiply_t_exe` table saturates Q16.16.
+    QZ030,
+    /// Invalid numeric in a device/power config (non-finite, negative,
+    /// zero capacity/period, inconsistent supercap window).
+    QZ031,
+    /// Suspicious zero/degenerate device entry (zero-cost capture-path
+    /// stage, jitter ≥ 1).
+    QZ032,
+    /// A profiled execution power clips the ADC code range.
+    QZ033,
+    /// PID configuration that the controller constructor rejects.
+    QZ040,
+    /// PID gains outside the documented stability envelope.
+    QZ041,
+    /// Invalid estimator windows or capture rate (zero windows,
+    /// non-finite rate, bad EWMA coefficient).
+    QZ042,
+    /// Estimator window far outside the useful range.
+    QZ043,
+}
+
+impl Code {
+    /// Every code, in catalog order.
+    pub const ALL: [Code; 19] = [
+        Code::QZ001,
+        Code::QZ002,
+        Code::QZ003,
+        Code::QZ010,
+        Code::QZ011,
+        Code::QZ012,
+        Code::QZ013,
+        Code::QZ020,
+        Code::QZ021,
+        Code::QZ022,
+        Code::QZ023,
+        Code::QZ030,
+        Code::QZ031,
+        Code::QZ032,
+        Code::QZ033,
+        Code::QZ040,
+        Code::QZ041,
+        Code::QZ042,
+        Code::QZ043,
+    ];
+
+    /// The stable string form, e.g. `"QZ001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::QZ001 => "QZ001",
+            Code::QZ002 => "QZ002",
+            Code::QZ003 => "QZ003",
+            Code::QZ010 => "QZ010",
+            Code::QZ011 => "QZ011",
+            Code::QZ012 => "QZ012",
+            Code::QZ013 => "QZ013",
+            Code::QZ020 => "QZ020",
+            Code::QZ021 => "QZ021",
+            Code::QZ022 => "QZ022",
+            Code::QZ023 => "QZ023",
+            Code::QZ030 => "QZ030",
+            Code::QZ031 => "QZ031",
+            Code::QZ032 => "QZ032",
+            Code::QZ033 => "QZ033",
+            Code::QZ040 => "QZ040",
+            Code::QZ041 => "QZ041",
+            Code::QZ042 => "QZ042",
+            Code::QZ043 => "QZ043",
+        }
+    }
+
+    /// One-line catalog summary (mirrors DESIGN.md).
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::QZ001 => {
+                "task can never complete on this storage (atomic replay outruns harvest)"
+            }
+            Code::QZ002 => "task cannot complete on stored energy alone",
+            Code::QZ003 => "capture path outruns the harvester ceiling",
+            Code::QZ010 => "overflow unavoidable at any degradation level (λ·S_min ≥ 1)",
+            Code::QZ011 => "full quality unsustainable; Quetzal can only degrade (λ·S_full ≥ 1)",
+            Code::QZ012 => "capture_rate disagrees with capture_period",
+            Code::QZ013 => "no burst headroom in the input buffer",
+            Code::QZ020 => "non-monotone degradation lattice (energy inversion)",
+            Code::QZ021 => "dominated degradation option",
+            Code::QZ022 => "two options with bit-identical costs (unreachable twin)",
+            Code::QZ023 => "no degradation freedom",
+            Code::QZ030 => "premultiply_t_exe table saturates Q16.16",
+            Code::QZ031 => "invalid numeric in device/power config",
+            Code::QZ032 => "degenerate device entry",
+            Code::QZ033 => "profiled power clips the ADC code range",
+            Code::QZ040 => "PID config rejected by the controller constructor",
+            Code::QZ041 => "PID outside the documented stability envelope",
+            Code::QZ042 => "invalid estimator windows or capture rate",
+            Code::QZ043 => "estimator window far outside the useful range",
+        }
+    }
+
+    /// Parses the stable string form (case-insensitive).
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL
+            .into_iter()
+            .find(|c| c.as_str().eq_ignore_ascii_case(s))
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity, ordered most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The configuration cannot work; entry points refuse to run it.
+    Error,
+    /// The configuration works but is degenerate or lossy by
+    /// construction; fails under `--deny-warnings`.
+    Warning,
+    /// Informational; never affects exit status.
+    Note,
+}
+
+impl Severity {
+    /// Lower-case label used in rendered output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points: the offending task, job, option, and/or
+/// config field. All parts are optional; an empty span means the
+/// configuration as a whole.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Offending task name.
+    pub task: Option<String>,
+    /// Offending job name.
+    pub job: Option<String>,
+    /// Offending degradation-option name.
+    pub option: Option<String>,
+    /// Offending config field, dotted (e.g. `device.capture_period`).
+    pub field: Option<String>,
+}
+
+impl Span {
+    /// A span naming a task.
+    pub fn task(name: &str) -> Span {
+        Span {
+            task: Some(name.to_owned()),
+            ..Span::default()
+        }
+    }
+
+    /// A span naming a job.
+    pub fn job(name: &str) -> Span {
+        Span {
+            job: Some(name.to_owned()),
+            ..Span::default()
+        }
+    }
+
+    /// A span naming a config field.
+    pub fn field(path: &str) -> Span {
+        Span {
+            field: Some(path.to_owned()),
+            ..Span::default()
+        }
+    }
+
+    /// Adds an option name to the span.
+    #[must_use]
+    pub fn option(mut self, name: &str) -> Span {
+        self.option = Some(name.to_owned());
+        self
+    }
+
+    /// Adds a field path to the span.
+    #[must_use]
+    pub fn in_field(mut self, path: &str) -> Span {
+        self.field = Some(path.to_owned());
+        self
+    }
+
+    /// `true` if no part is set.
+    pub fn is_empty(&self) -> bool {
+        self.task.is_none() && self.job.is_none() && self.option.is_none() && self.field.is_none()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("config");
+        }
+        let mut first = true;
+        let mut part = |f: &mut fmt::Formatter<'_>, label: &str, value: &str| -> fmt::Result {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{label} `{value}`")
+        };
+        if let Some(job) = &self.job {
+            part(f, "job", job)?;
+        }
+        if let Some(task) = &self.task {
+            part(f, "task", task)?;
+        }
+        if let Some(option) = &self.option {
+            part(f, "option", option)?;
+        }
+        if let Some(field) = &self.field {
+            part(f, "field", field)?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding: code, severity, span, and a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (possibly downgraded by [`Report::allow`]).
+    pub severity: Severity,
+    /// What it points at.
+    pub span: Span,
+    /// Full message with the concrete numbers.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+/// The outcome of a checker run: every diagnostic, plus rendering and
+/// policy helpers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Records a diagnostic.
+    pub fn push(&mut self, code: Code, severity: Severity, span: Span, message: String) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            span,
+            message,
+        });
+    }
+
+    /// All diagnostics, most severe first (after [`Report::sort`]).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Stable ordering: severity, then code, then span.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.severity, a.code)
+                .cmp(&(b.severity, b.code))
+                .then_with(|| format!("{}", a.span).cmp(&format!("{}", b.span)))
+        });
+    }
+
+    /// Downgrades every diagnostic with a listed code to a note, so
+    /// documented-intentional warnings pass `--deny-warnings`.
+    pub fn allow(&mut self, codes: &[Code]) {
+        for d in &mut self.diagnostics {
+            if codes.contains(&d.code) && d.severity != Severity::Error {
+                d.severity = Severity::Note;
+            }
+        }
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Number of errors.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warnings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of notes.
+    pub fn notes(&self) -> usize {
+        self.count(Severity::Note)
+    }
+
+    /// `true` if any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// `true` if nothing was found at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether this report should fail an entry point.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.has_errors() || (deny_warnings && self.warnings() > 0)
+    }
+
+    /// Renders the report as human-readable text, one diagnostic per
+    /// line plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} note(s)\n",
+            self.errors(),
+            self.warnings(),
+            self.notes()
+        ));
+        out
+    }
+
+    /// Renders the report as a single JSON object (hand-rolled, like
+    /// `qz-obs`: the workspace deliberately carries no serde).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"tool\":\"qz-check\",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"code\":\"");
+            out.push_str(d.code.as_str());
+            out.push_str("\",\"severity\":\"");
+            out.push_str(d.severity.as_str());
+            out.push_str("\",\"span\":{");
+            let mut first = true;
+            for (key, value) in [
+                ("job", &d.span.job),
+                ("task", &d.span.task),
+                ("option", &d.span.option),
+                ("field", &d.span.field),
+            ] {
+                if let Some(value) = value {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push('"');
+                    out.push_str(key);
+                    out.push_str("\":\"");
+                    json_escape_into(&mut out, value);
+                    out.push('"');
+                }
+            }
+            out.push_str("},\"message\":\"");
+            json_escape_into(&mut out, &d.message);
+            out.push_str("\"}");
+        }
+        out.push_str(&format!(
+            "],\"errors\":{},\"warnings\":{},\"notes\":{}}}",
+            self.errors(),
+            self.warnings(),
+            self.notes()
+        ));
+        out
+    }
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_parse() {
+        for code in Code::ALL {
+            assert_eq!(Code::parse(code.as_str()), Some(code));
+            assert_eq!(Code::parse(&code.as_str().to_lowercase()), Some(code));
+        }
+        assert_eq!(Code::parse("QZ999"), None);
+    }
+
+    #[test]
+    fn span_renders_parts_in_order() {
+        let span = Span::job("detect").in_field("runtime.pid");
+        assert_eq!(span.to_string(), "job `detect`, field `runtime.pid`");
+        assert_eq!(Span::default().to_string(), "config");
+        assert_eq!(
+            Span::task("ml").option("low").to_string(),
+            "task `ml`, option `low`"
+        );
+    }
+
+    #[test]
+    fn report_counts_and_failure_policy() {
+        let mut r = Report::new();
+        r.push(Code::QZ011, Severity::Warning, Span::default(), "w".into());
+        assert!(!r.fails(false));
+        assert!(r.fails(true));
+        r.push(Code::QZ001, Severity::Error, Span::task("t"), "e".into());
+        assert!(r.fails(false));
+        assert_eq!((r.errors(), r.warnings(), r.notes()), (1, 1, 0));
+    }
+
+    #[test]
+    fn allow_downgrades_warnings_but_not_errors() {
+        let mut r = Report::new();
+        r.push(Code::QZ011, Severity::Warning, Span::default(), "w".into());
+        r.push(Code::QZ001, Severity::Error, Span::default(), "e".into());
+        r.allow(&[Code::QZ011, Code::QZ001]);
+        assert_eq!(r.warnings(), 0);
+        assert_eq!(r.notes(), 1);
+        assert_eq!(r.errors(), 1, "errors are never downgraded");
+        assert!(!r.fails(true) || r.has_errors());
+    }
+
+    #[test]
+    fn sort_puts_errors_first() {
+        let mut r = Report::new();
+        r.push(Code::QZ043, Severity::Note, Span::default(), "n".into());
+        r.push(Code::QZ011, Severity::Warning, Span::default(), "w".into());
+        r.push(Code::QZ001, Severity::Error, Span::default(), "e".into());
+        r.sort();
+        let sevs: Vec<Severity> = r.diagnostics().iter().map(|d| d.severity).collect();
+        assert_eq!(
+            sevs,
+            vec![Severity::Error, Severity::Warning, Severity::Note]
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut r = Report::new();
+        r.push(
+            Code::QZ031,
+            Severity::Error,
+            Span::field("device.\"odd\""),
+            "line1\nline2".into(),
+        );
+        let json = r.render_json();
+        assert!(json.contains("\\\"odd\\\""));
+        assert!(json.contains("line1\\nline2"));
+        assert!(json.contains("\"errors\":1"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn text_render_has_summary_line() {
+        let mut r = Report::new();
+        r.push(Code::QZ010, Severity::Error, Span::default(), "boom".into());
+        let text = r.render_text();
+        assert!(text.contains("error[QZ010]: config: boom"));
+        assert!(text.ends_with("1 error(s), 0 warning(s), 0 note(s)\n"));
+    }
+}

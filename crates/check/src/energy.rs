@@ -1,0 +1,306 @@
+//! Energy-feasibility analysis (`QZ001`–`QZ003`).
+//!
+//! The usable energy per charge cycle is what the capacitor holds
+//! between `V_max` and `V_off` (`½·C·(V_max² − V_off²)`), minus the
+//! just-in-time checkpoint reserve the simulator refuses to dip into
+//! and the restore cost paid on every wake. Any task whose atomic
+//! energy exceeds that budget under an atomic-replay checkpoint policy
+//! replays forever — the classic intermittent-computing non-termination
+//! bug — so it is an error, not a hang.
+
+use qz_energy::Supercap;
+use qz_sim::CheckpointPolicy;
+
+use crate::{fmt_mj, fmt_mw, for_each_cost, harvester_ceiling, CheckInput};
+use crate::{Code, Report, Severity, Span};
+
+pub(crate) fn run(input: &CheckInput<'_>, report: &mut Report) {
+    per_charge_budget(input, report);
+    capture_path_power(input, report);
+}
+
+/// QZ001 / QZ002: per-task energy against the per-charge budget.
+fn per_charge_budget(input: &CheckInput<'_>, report: &mut Report) {
+    // An invalid supercap window is QZ031 (range analysis); nothing to
+    // compare against here.
+    let Ok(cap) = Supercap::new(input.power.supercap) else {
+        return;
+    };
+    let device = &input.device;
+    let budget = cap.capacity().value()
+        - device.checkpoint_reserve().value()
+        - device.restore_energy.value();
+    if !budget.is_finite() {
+        return; // non-finite checkpoint/restore energies are QZ031
+    }
+    if budget <= 0.0 {
+        report.push(
+            Code::QZ001,
+            Severity::Error,
+            Span::field("power.supercap"),
+            format!(
+                "usable storage {} (½·C·(V_max² − V_off²)) does not even cover the checkpoint \
+                 reserve {} plus restore energy {}; the device can never resume after a power \
+                 failure, under any checkpoint policy",
+                fmt_mj(cap.capacity().value()),
+                fmt_mj(device.checkpoint_reserve().value()),
+                fmt_mj(device.restore_energy.value()),
+            ),
+        );
+        return;
+    }
+
+    // Execution is harvest-assisted: while a task runs, the harvester
+    // keeps supplying up to its full-sun ceiling, so storage only covers
+    // the *deficit* `(P_exe − ceiling)·t`. A task is provably
+    // non-terminating (error) only when even that best-case deficit
+    // exceeds the budget; a gross draw the budget cannot cover alone is
+    // a warning — it completes under good harvest but replays
+    // indefinitely through low-harvest periods.
+    let ceiling = harvester_ceiling(&input.power).unwrap_or(0.0);
+    for_each_cost(input.spec, |task, option, cost| {
+        let energy = cost.energy().value();
+        // Run time that must fit in one charge for the task to make
+        // progress at all, by checkpoint policy.
+        let (t_atomic, replay_unit) = match device.checkpoint_policy {
+            CheckpointPolicy::TaskBoundary => (cost.t_exe.value(), "the whole task"),
+            CheckpointPolicy::Periodic { interval } => (
+                cost.t_exe.value().min(interval.as_seconds().value()),
+                "one checkpoint interval",
+            ),
+            _ => (0.0, ""),
+        };
+        let gross = cost.p_exe.value() * t_atomic;
+        let deficit = (cost.p_exe.value() - ceiling) * t_atomic;
+        let span = match option {
+            Some(name) => Span::task(&task.name).option(name),
+            None => Span::task(&task.name),
+        };
+        if deficit > budget {
+            report.push(
+                Code::QZ001,
+                Severity::Error,
+                span,
+                format!(
+                    "even at the full-sun harvester ceiling {}, one replay unit ({replay_unit}) \
+                     drains {} net from storage, exceeding the per-charge budget {} \
+                     (½·C·(V_max² − V_off²) − checkpoint reserve − restore); every power failure \
+                     replays it from the start, so this task can never complete on this storage",
+                    fmt_mw(ceiling),
+                    fmt_mj(deficit),
+                    fmt_mj(budget),
+                ),
+            );
+        } else if gross > budget {
+            report.push(
+                Code::QZ002,
+                Severity::Warning,
+                span,
+                format!(
+                    "atomic energy {} ({replay_unit}) exceeds the per-charge storage budget {}; \
+                     the task completes only while harvested power covers the deficit, and \
+                     replays indefinitely through low-harvest periods",
+                    fmt_mj(gross),
+                    fmt_mj(budget),
+                ),
+            );
+        } else if energy > budget {
+            report.push(
+                Code::QZ002,
+                Severity::Warning,
+                span,
+                format!(
+                    "execution energy {} exceeds the per-charge storage budget {}; the task \
+                     cannot complete on stored energy alone, so at least one power failure \
+                     (checkpoint + recharge + restore) per execution is expected under low input",
+                    fmt_mj(energy),
+                    fmt_mj(budget),
+                ),
+            );
+        }
+    });
+}
+
+/// QZ003: the always-on capture path must be sustainable at full sun.
+fn capture_path_power(input: &CheckInput<'_>, report: &mut Report) {
+    let Some(ceiling) = harvester_ceiling(&input.power) else {
+        return; // QZ031 from the range analysis
+    };
+    let device = &input.device;
+    let period = device.capture_period.as_seconds().value();
+    if period <= 0.0 {
+        return; // QZ031
+    }
+    let per_frame = device.capture.energy().value()
+        + device.diff.energy().value()
+        + device.compress.energy().value();
+    let sustained = per_frame / period + device.sleep_power.value();
+    if !sustained.is_finite() {
+        return; // QZ031
+    }
+    if sustained > ceiling {
+        report.push(
+            Code::QZ003,
+            Severity::Error,
+            Span::field("device.capture_period"),
+            format!(
+                "sustained capture-path power {} (capture+diff+compress per {period} s frame, \
+                 plus sleep) exceeds the harvester ceiling {} even at full sun; the device loses \
+                 energy on every frame before any job runs",
+                fmt_mw(sustained),
+                fmt_mw(ceiling),
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::two_option_spec;
+    use qz_types::{Farads, SimDuration, Watts};
+
+    fn input_with<'a>(
+        spec: &'a quetzal::model::AppSpec,
+        policy: CheckpointPolicy,
+        capacitance: f64,
+    ) -> CheckInput<'a> {
+        let mut input = CheckInput::new(spec);
+        input.device.checkpoint_policy = policy;
+        input.power.supercap.capacitance = Farads(capacitance);
+        input
+    }
+
+    #[test]
+    fn reserves_exceeding_storage_are_fatal_under_any_policy() {
+        // 0.05 mF holds ~0.19 mJ — less than the 1.125 mJ of checkpoint
+        // reserve + restore. The device can never resume.
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let input = input_with(&spec, CheckpointPolicy::JustInTime, 0.05e-3);
+        let report = crate::check(&input);
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .any(|d| d.code == Code::QZ001
+                    && d.span.field.as_deref() == Some("power.supercap")),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn infeasible_task_under_task_boundary_is_an_error() {
+        // 20 mJ radio burst vs a 1 mF capacitor (~2.7 mJ budget), with a
+        // single-cell harvester (8 mW ceiling): the full-sun deficit
+        // (50 − 8) mW × 0.4 s ≈ 16.8 mJ can never fit in one charge.
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), Some((0.4, 0.050)));
+        let mut input = input_with(&spec, CheckpointPolicy::TaskBoundary, 1e-3);
+        input.power.harvester_cells = 1;
+        let report = crate::check(&input);
+        let qz001: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::QZ001)
+            .collect();
+        assert!(!qz001.is_empty(), "{}", report.render_text());
+        assert!(qz001
+            .iter()
+            .any(|d| d.span.task.as_deref() == Some("radio")));
+    }
+
+    #[test]
+    fn full_sun_coverable_burst_is_a_warning_not_error() {
+        // Same 20 mJ burst, but the default 6-cell harvester (48 mW
+        // ceiling) covers all but (50 − 48) mW × 0.4 s = 0.8 mJ of it —
+        // the task completes in good light, so this must not be QZ001.
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), Some((0.4, 0.050)));
+        let input = input_with(&spec, CheckpointPolicy::TaskBoundary, 1e-3);
+        let report = crate::check(&input);
+        assert!(
+            report.diagnostics().iter().all(|d| d.code != Code::QZ001),
+            "{}",
+            report.render_text()
+        );
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == Code::QZ002),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn same_config_under_jit_is_a_warning_not_error() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), Some((0.4, 0.050)));
+        let input = input_with(&spec, CheckpointPolicy::JustInTime, 1e-3);
+        let report = crate::check(&input);
+        assert!(
+            report.diagnostics().iter().all(|d| d.code != Code::QZ001),
+            "{}",
+            report.render_text()
+        );
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == Code::QZ002),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn periodic_checkpoints_shrink_the_atomic_unit() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), Some((0.4, 0.050)));
+        // 0.1 s checkpoint interval → atomic unit 50 mW × 0.1 s = 5 mJ;
+        // a 3.3 mF cap holds ~12.6 mJ minus reserves → chunk fits, whole
+        // 20 mJ burst does not.
+        let input = input_with(
+            &spec,
+            CheckpointPolicy::Periodic {
+                interval: SimDuration::from_millis(100),
+            },
+            3.3e-3,
+        );
+        let report = crate::check(&input);
+        assert!(report.diagnostics().iter().all(|d| d.code != Code::QZ001));
+        assert!(report.diagnostics().iter().any(|d| d.code == Code::QZ002));
+    }
+
+    #[test]
+    fn default_storage_fits_paper_workload() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), Some((0.4, 0.050)));
+        let mut input = CheckInput::new(&spec);
+        input.device.checkpoint_policy = CheckpointPolicy::TaskBoundary;
+        let report = crate::check(&input);
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .all(|d| d.code != Code::QZ001 && d.code != Code::QZ002),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn unsustainable_capture_path_is_an_error() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let mut input = CheckInput::new(&spec);
+        // 10 fps of a 15 mW × 0.15 s compress alone is ~22.5 mW; push the
+        // period down until the path exceeds the 48 mW ceiling.
+        input.device.capture_period = SimDuration::from_millis(50);
+        let report = crate::check(&input);
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == Code::QZ003),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn sleep_power_alone_can_sink_the_budget() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let mut input = CheckInput::new(&spec);
+        input.device.sleep_power = Watts(0.060);
+        let report = crate::check(&input);
+        assert!(report.diagnostics().iter().any(|d| d.code == Code::QZ003));
+    }
+}

@@ -1,0 +1,196 @@
+//! Degradation-lattice lints (`QZ020`–`QZ023`).
+//!
+//! The runtime assumes options are quality-ordered (index 0 highest)
+//! and that degrading buys something: lower quality should mean lower
+//! cost, and every option should be selectable under *some* energy
+//! condition. Violations don't crash anything — they silently waste
+//! the mechanism the paper is about, so they are lints, not errors.
+
+use quetzal::model::{DegradationOption, TaskKind};
+
+use crate::{fmt_mj, CheckInput};
+use crate::{Code, Report, Severity, Span};
+
+pub(crate) fn run(input: &CheckInput<'_>, report: &mut Report) {
+    for task in input.spec.tasks() {
+        let TaskKind::Degradable(options) = &task.kind else {
+            continue;
+        };
+        monotone_energy(&task.name, options, report);
+        dominated_options(&task.name, options, report);
+        duplicates(&task.name, options, report);
+        if options.len() == 1 {
+            report.push(
+                Code::QZ023,
+                Severity::Note,
+                Span::task(&task.name),
+                "degradable task has a single option; the degradation engine has no freedom here"
+                    .to_owned(),
+            );
+        }
+    }
+    for job in input.spec.jobs() {
+        if job.degradable.is_none() {
+            report.push(
+                Code::QZ023,
+                Severity::Note,
+                Span::job(&job.name),
+                "job has no degradable task; Quetzal can reorder it but never shrink it".to_owned(),
+            );
+        }
+    }
+}
+
+/// QZ020: energy must not increase as quality decreases.
+fn monotone_energy(task: &str, options: &[DegradationOption], report: &mut Report) {
+    for pair in options.windows(2) {
+        let (hi, lo) = (&pair[0], &pair[1]);
+        if lo.cost.energy().value() > hi.cost.energy().value() {
+            report.push(
+                Code::QZ020,
+                Severity::Warning,
+                Span::task(task).option(&lo.name),
+                format!(
+                    "costs more energy ({}) than the higher-quality option `{}` ({}); the \
+                     quality ordering is not a cost ordering, so degrading here loses quality \
+                     without saving energy",
+                    fmt_mj(lo.cost.energy().value()),
+                    hi.name,
+                    fmt_mj(hi.cost.energy().value()),
+                ),
+            );
+        }
+    }
+}
+
+/// QZ021: an option that is no faster and no cheaper than a
+/// higher-quality sibling is never worth selecting.
+fn dominated_options(task: &str, options: &[DegradationOption], report: &mut Report) {
+    for (j, lo) in options.iter().enumerate().skip(1) {
+        let dominator = options[..j].iter().find(|hi| {
+            let same = hi.cost.t_exe.value().to_bits() == lo.cost.t_exe.value().to_bits()
+                && hi.cost.p_exe.value().to_bits() == lo.cost.p_exe.value().to_bits();
+            !same
+                && hi.cost.t_exe.value() <= lo.cost.t_exe.value()
+                && hi.cost.energy().value() <= lo.cost.energy().value()
+        });
+        if let Some(hi) = dominator {
+            report.push(
+                Code::QZ021,
+                Severity::Warning,
+                Span::task(task).option(&lo.name),
+                format!(
+                    "dominated by higher-quality option `{}` (no faster, no cheaper); an \
+                     energy-aware scheduler will never benefit from choosing it",
+                    hi.name,
+                ),
+            );
+        }
+    }
+}
+
+/// QZ022: identical costs make the lower-quality twin unreachable under
+/// energy-aware selection. (Duplicate option *names* are rejected at
+/// construction by `AppSpecBuilder`; identical *costs* stay a lint
+/// because coarse profiling can legitimately collide.)
+fn duplicates(task: &str, options: &[DegradationOption], report: &mut Report) {
+    for (j, opt) in options.iter().enumerate().skip(1) {
+        if let Some(prev) = options[..j].iter().find(|prev| {
+            prev.cost.t_exe.value().to_bits() == opt.cost.t_exe.value().to_bits()
+                && prev.cost.p_exe.value().to_bits() == opt.cost.p_exe.value().to_bits()
+        }) {
+            report.push(
+                Code::QZ022,
+                Severity::Warning,
+                Span::task(task).option(&opt.name),
+                format!(
+                    "identical cost to higher-quality option `{}`; the lower-quality twin is \
+                     unreachable under energy-aware selection",
+                    prev.name,
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal::model::{AppSpecBuilder, TaskCost};
+    use qz_types::{Seconds, Watts};
+
+    fn spec_with_options(options: &[(&str, f64, f64)]) -> quetzal::model::AppSpec {
+        let mut b = AppSpecBuilder::new();
+        let mut t = b.degradable_task("ml");
+        for (name, t_exe, p_exe) in options {
+            t = t.option(name, TaskCost::new(Seconds(*t_exe), Watts(*p_exe)));
+        }
+        let ml = t.finish().unwrap();
+        b.job("detect", vec![ml]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn codes_for(spec: &quetzal::model::AppSpec) -> Vec<Code> {
+        crate::check(&CheckInput::new(spec))
+            .diagnostics()
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn well_ordered_lattice_is_quiet() {
+        let spec = spec_with_options(&[("full", 0.5, 0.005), ("lite", 0.05, 0.004)]);
+        let codes = codes_for(&spec);
+        assert!(!codes.contains(&Code::QZ020));
+        assert!(!codes.contains(&Code::QZ021));
+        assert!(!codes.contains(&Code::QZ022));
+    }
+
+    #[test]
+    fn energy_inversion_warns() {
+        // "lite" draws more energy than "full".
+        let spec = spec_with_options(&[("full", 0.5, 0.005), ("lite", 0.5, 0.008)]);
+        assert!(codes_for(&spec).contains(&Code::QZ020));
+    }
+
+    #[test]
+    fn dominated_option_warns() {
+        // "mid" is slower than "full" at the same energy.
+        let spec = spec_with_options(&[("full", 0.4, 0.005), ("mid", 0.5, 0.004)]);
+        assert!(codes_for(&spec).contains(&Code::QZ021));
+    }
+
+    #[test]
+    fn identical_cost_twin_warns_once_as_duplicate() {
+        let spec = spec_with_options(&[
+            ("full", 0.5, 0.005),
+            ("lite", 0.05, 0.004),
+            ("lite2", 0.05, 0.004),
+        ]);
+        let report = crate::check(&CheckInput::new(&spec));
+        let dups: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::QZ022)
+            .collect();
+        assert_eq!(dups.len(), 1, "{}", report.render_text());
+        assert_eq!(dups[0].span.option.as_deref(), Some("lite2"));
+        // An exact twin is a duplicate, not a "dominated" finding.
+        assert!(report.diagnostics().iter().all(|d| d.code != Code::QZ021));
+    }
+
+    #[test]
+    fn single_option_and_fixed_only_jobs_note() {
+        let spec = spec_with_options(&[("only", 0.5, 0.005)]);
+        assert!(codes_for(&spec).contains(&Code::QZ023));
+
+        let mut b = AppSpecBuilder::new();
+        let fixed = b
+            .fixed_task("radio", TaskCost::new(Seconds(0.4), Watts(0.050)))
+            .unwrap();
+        b.job("tx", vec![fixed]).unwrap();
+        let spec = b.build().unwrap();
+        assert!(codes_for(&spec).contains(&Code::QZ023));
+    }
+}

@@ -1,0 +1,218 @@
+//! Little's-Law inevitability analysis (`QZ010`–`QZ013`).
+//!
+//! Quetzal's runtime test (Eq. 2) compares predicted arrivals
+//! `λ·E[S]` against free buffer space. This pass evaluates the same
+//! inequality *offline* under the most favourable assumptions the
+//! runtime could ever enjoy — full sun (harvester ceiling), cheapest
+//! degradation options — against the least favourable arrivals (every
+//! frame stored, i.e. λ at the capture rate). If even that best case
+//! is unstable, no scheduling decision can prevent overflow.
+
+use crate::{harvester_ceiling, CheckInput};
+use crate::{Code, Report, Severity, Span};
+use quetzal::model::{AppSpec, TaskCost, TaskKind};
+
+/// `S_e2e = max(t_exe, t_exe · P_exe / P_in)` (Eq. 1) at input power
+/// `ceiling`.
+fn se2e_at(cost: TaskCost, ceiling: f64) -> f64 {
+    let t = cost.t_exe.value();
+    let ratio = cost.p_exe.value() / ceiling;
+    t * ratio.max(1.0)
+}
+
+/// Total service time for every job's chain (scheduler invocation plus
+/// all tasks), selecting options with `pick`.
+fn chain_service(
+    spec: &AppSpec,
+    overhead: TaskCost,
+    ceiling: f64,
+    pick: impl Fn(&[quetzal::model::DegradationOption]) -> TaskCost,
+) -> f64 {
+    spec.jobs()
+        .iter()
+        .map(|job| {
+            let tasks: f64 = job
+                .tasks
+                .iter()
+                .map(|&id| {
+                    let task = spec.task(id);
+                    let cost = match &task.kind {
+                        TaskKind::Fixed(c) => *c,
+                        TaskKind::Degradable(opts) => pick(opts),
+                    };
+                    se2e_at(cost, ceiling)
+                })
+                .sum();
+            se2e_at(overhead, ceiling) + tasks
+        })
+        .sum()
+}
+
+pub(crate) fn run(input: &CheckInput<'_>, report: &mut Report) {
+    let Some(ceiling) = harvester_ceiling(&input.power) else {
+        return; // QZ031 from the range analysis
+    };
+    let lambda = input.runtime.capture_rate.value();
+    if !lambda.is_finite() || lambda <= 0.0 {
+        return; // QZ042 from the control analysis
+    }
+
+    // QZ012: the runtime's λ floor and the device's actual frame rate
+    // are configured independently; they should agree.
+    let period = input.device.capture_period.as_seconds().value();
+    if period > 0.0 && (lambda * period - 1.0).abs() > 1e-6 {
+        report.push(
+            Code::QZ012,
+            Severity::Warning,
+            Span::field("runtime.capture_rate"),
+            format!(
+                "capture_rate {lambda} Hz disagrees with the device capture_period {period} s \
+                 (= {:.4} Hz); the arrival estimator's floor will be systematically wrong",
+                1.0 / period,
+            ),
+        );
+    }
+
+    let overhead = input.device.scheduler_overhead;
+    let min_cost = |opts: &[quetzal::model::DegradationOption]| {
+        opts.iter()
+            .map(|o| o.cost)
+            .min_by(|a, b| {
+                a.energy()
+                    .value()
+                    .total_cmp(&b.energy().value())
+                    .then(a.t_exe.value().total_cmp(&b.t_exe.value()))
+            })
+            .expect("degradable tasks have at least one option")
+    };
+    let s_min = chain_service(input.spec, overhead, ceiling, min_cost);
+    let s_full = chain_service(input.spec, overhead, ceiling, |opts| opts[0].cost);
+    if !(s_min.is_finite() && s_full.is_finite()) {
+        return; // degenerate costs are QZ031/QZ032
+    }
+
+    let util_min = lambda * s_min;
+    let util_full = lambda * s_full;
+    if util_min >= 1.0 {
+        report.push(
+            Code::QZ010,
+            Severity::Error,
+            Span::default(),
+            format!(
+                "overflow is unavoidable at any degradation level: worst-case λ = {lambda} Hz \
+                 and best-case E[S] = {s_min:.3} s (cheapest options, full-sun harvester ceiling) \
+                 give λ·E[S] = {util_min:.2} ≥ 1, so Eq. 2 can never hold and the input buffer \
+                 fills no matter what the scheduler does",
+            ),
+        );
+    } else if util_full >= 1.0 {
+        report.push(
+            Code::QZ011,
+            Severity::Warning,
+            Span::default(),
+            format!(
+                "full quality is unsustainable at the worst-case arrival rate: λ·E[S_full] = \
+                 {util_full:.2} ≥ 1 (E[S_full] = {s_full:.3} s at the harvester ceiling) while \
+                 λ·E[S_min] = {util_min:.2} < 1 — Quetzal cannot prevent overflow at full \
+                 quality, only degrade out of it",
+            ),
+        );
+    }
+
+    // QZ013: stability is asymptotic; a buffer smaller than one
+    // full-quality service interval's worth of arrivals still overflows
+    // on bursts.
+    let capacity = input.device.buffer_capacity;
+    if capacity > 0 && util_min < 1.0 && (capacity as f64) <= util_full {
+        report.push(
+            Code::QZ013,
+            Severity::Note,
+            Span::field("device.buffer_capacity"),
+            format!(
+                "buffer capacity {capacity} is within one full-quality service interval of the \
+                 worst-case arrival volume (λ·E[S_full] = {util_full:.2}); a single burst can \
+                 fill it before the first decision lands",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::two_option_spec;
+    use qz_types::Hertz;
+
+    #[test]
+    fn stable_workload_is_quiet() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), Some((0.4, 0.050)));
+        let report = crate::check(&CheckInput::new(&spec));
+        assert!(report
+            .diagnostics()
+            .iter()
+            .all(|d| !matches!(d.code, Code::QZ010 | Code::QZ011 | Code::QZ012)));
+    }
+
+    #[test]
+    fn unstable_even_at_min_quality_is_an_error() {
+        // Cheapest option takes 2 s against 1 Hz arrivals: λ·S_min = 2.
+        let spec = two_option_spec((4.0, 0.02), (2.0, 0.02), None);
+        let report = crate::check(&CheckInput::new(&spec));
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == Code::QZ010),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn degrade_only_band_is_a_warning() {
+        // Full quality 1.5 s, lite 0.1 s at 1 Hz: only full is unstable.
+        let spec = two_option_spec((1.5, 0.02), (0.1, 0.01), None);
+        let report = crate::check(&CheckInput::new(&spec));
+        assert!(report.diagnostics().iter().all(|d| d.code != Code::QZ010));
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == Code::QZ011),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn rate_period_mismatch_warns() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let mut input = CheckInput::new(&spec);
+        input.runtime.capture_rate = Hertz(2.0); // device still at 1 s period
+        let report = crate::check(&input);
+        assert!(report.diagnostics().iter().any(|d| d.code == Code::QZ012));
+    }
+
+    #[test]
+    fn tiny_buffer_notes_burst_risk() {
+        let spec = two_option_spec((1.5, 0.02), (0.1, 0.01), None);
+        let mut input = CheckInput::new(&spec);
+        input.device.buffer_capacity = 1;
+        let report = crate::check(&input);
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == Code::QZ013),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn service_accounts_for_recharge_above_ceiling() {
+        // 50 mW execution against a 48 mW ceiling stretches S_e2e.
+        let s = se2e_at(
+            TaskCost::new(qz_types::Seconds(0.4), qz_types::Watts(0.050)),
+            0.048,
+        );
+        assert!((s - 0.4 * (0.050 / 0.048)).abs() < 1e-12);
+        // Below the ceiling, execution time dominates.
+        let s = se2e_at(
+            TaskCost::new(qz_types::Seconds(0.5), qz_types::Watts(0.005)),
+            0.048,
+        );
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,332 @@
+//! Fixed-point and hardware-model range analysis (`QZ030`–`QZ033`),
+//! plus basic numeric validation of device/power configs (`QZ031`,
+//! `QZ032`).
+//!
+//! The hardware estimator stores `t_exe · 2^(b/8)` tables in Q16.16
+//! ([`qz_hw::premultiply_t_exe`]) and reads power through an 8-bit ADC
+//! ([`qz_hw::PowerMonitor::sample_power`]). Both have hard range edges
+//! the profile data must respect; this pass evaluates the exact same
+//! functions the runtime uses, at profile values, so the findings are
+//! by construction in agreement with the hardware model.
+
+use qz_energy::Supercap;
+use qz_hw::{premultiply_t_exe, PowerMonitor};
+use qz_types::{Seconds, Q16};
+
+use crate::{for_each_cost, CheckInput};
+use crate::{Code, Report, Severity, Span};
+
+pub(crate) fn run(input: &CheckInput<'_>, report: &mut Report) {
+    device_numerics(input, report);
+    power_numerics(input, report);
+    hw_model_ranges(input, report);
+}
+
+fn finite_nonneg(v: f64) -> bool {
+    v.is_finite() && v >= 0.0
+}
+
+/// QZ031/QZ032 over the device cost table.
+fn device_numerics(input: &CheckInput<'_>, report: &mut Report) {
+    let d = &input.device;
+    for (name, cost, capture_path) in [
+        ("device.capture", d.capture, true),
+        ("device.diff", d.diff, true),
+        ("device.compress", d.compress, true),
+        ("device.scheduler_overhead", d.scheduler_overhead, false),
+    ] {
+        let (t, p) = (cost.t_exe.value(), cost.p_exe.value());
+        if !finite_nonneg(t) || !finite_nonneg(p) {
+            report.push(
+                Code::QZ031,
+                Severity::Error,
+                Span::field(name),
+                format!("non-finite or negative cost (t_exe = {t} s, p_exe = {p} W)"),
+            );
+        } else if capture_path && (t == 0.0 || p == 0.0) {
+            report.push(
+                Code::QZ032,
+                Severity::Warning,
+                Span::field(name),
+                format!(
+                    "zero-cost capture-path stage (t_exe = {t} s, p_exe = {p} W); the paper's \
+                     capture pipeline is never free — a zero here usually means an unprofiled \
+                     entry"
+                ),
+            );
+        }
+    }
+
+    for (name, joules) in [
+        ("device.checkpoint_energy", d.checkpoint_energy),
+        ("device.restore_energy", d.restore_energy),
+    ] {
+        if !finite_nonneg(joules.value()) {
+            report.push(
+                Code::QZ031,
+                Severity::Error,
+                Span::field(name),
+                format!("non-finite or negative energy ({} J)", joules.value()),
+            );
+        }
+    }
+    for (name, watts) in [
+        ("device.sleep_power", d.sleep_power),
+        ("device.off_leakage", d.off_leakage),
+    ] {
+        if !finite_nonneg(watts.value()) {
+            report.push(
+                Code::QZ031,
+                Severity::Error,
+                Span::field(name),
+                format!("non-finite or negative power ({} W)", watts.value()),
+            );
+        }
+    }
+
+    if d.buffer_capacity == 0 {
+        report.push(
+            Code::QZ031,
+            Severity::Error,
+            Span::field("device.buffer_capacity"),
+            "zero-capacity input buffer: every stored frame is an overflow".to_owned(),
+        );
+    }
+    if d.capture_period.as_seconds().value() <= 0.0 {
+        report.push(
+            Code::QZ031,
+            Severity::Error,
+            Span::field("device.capture_period"),
+            "capture period must be positive".to_owned(),
+        );
+    }
+
+    let j = d.task_jitter;
+    if !j.is_finite() || j < 0.0 {
+        report.push(
+            Code::QZ031,
+            Severity::Error,
+            Span::field("device.task_jitter"),
+            format!("jitter must be finite and non-negative (got {j})"),
+        );
+    } else if j >= 1.0 {
+        report.push(
+            Code::QZ032,
+            Severity::Warning,
+            Span::field("device.task_jitter"),
+            format!(
+                "jitter {j} ≥ 1 makes the latency factor [1−j, 1+j] reach zero; the simulator \
+                 clamps it at 0.1×, so the configured distribution is not what runs"
+            ),
+        );
+    }
+}
+
+/// QZ031 over the power system.
+fn power_numerics(input: &CheckInput<'_>, report: &mut Report) {
+    let p = &input.power;
+    if let Err(err) = Supercap::new(p.supercap) {
+        report.push(
+            Code::QZ031,
+            Severity::Error,
+            Span::field("power.supercap"),
+            format!("invalid supercapacitor configuration: {err}"),
+        );
+    }
+    let rating = p.cell_rating.value();
+    let eff = p.converter_efficiency;
+    if p.harvester_cells == 0
+        || !rating.is_finite()
+        || rating <= 0.0
+        || !eff.is_finite()
+        || eff <= 0.0
+        || eff > 1.0
+    {
+        report.push(
+            Code::QZ031,
+            Severity::Error,
+            Span::field("power.harvester"),
+            format!(
+                "invalid harvester configuration (cells = {}, rating = {rating} W, \
+                 efficiency = {eff})",
+                p.harvester_cells,
+            ),
+        );
+    }
+}
+
+/// QZ030/QZ033: evaluate the actual hardware-model functions at every
+/// profiled cost.
+fn hw_model_ranges(input: &CheckInput<'_>, report: &mut Report) {
+    // With the hardware estimator selected these are real fidelity
+    // losses on the scheduling path; otherwise they only matter if the
+    // user switches estimators, so they render as notes.
+    let severity = if input.hw_estimator {
+        Severity::Warning
+    } else {
+        Severity::Note
+    };
+    let monitor = PowerMonitor::default();
+    for_each_cost(input.spec, |task, option, cost| {
+        let t = cost.t_exe.value();
+        let p = cost.p_exe.value();
+        if !(t.is_finite() && p.is_finite()) {
+            return; // builder-validated specs cannot reach this
+        }
+        let span = || match option {
+            Some(name) => Span::task(&task.name).option(name),
+            None => Span::task(&task.name),
+        };
+        let table = premultiply_t_exe(Seconds(t));
+        if table[7] >= Q16::MAX {
+            report.push(
+                Code::QZ030,
+                severity,
+                span(),
+                format!(
+                    "t_exe = {t} s saturates the premultiplied Q16.16 table \
+                     (t_exe · 2^(7/8) ≥ {:.0} s); the hardware estimator will treat every \
+                     recharge-bound execution as \"longer than any experiment\"",
+                    Q16::MAX.to_f64(),
+                ),
+            );
+        }
+        let code = monitor.sample_power(qz_types::Watts(p));
+        if code == 0 || code == u8::MAX {
+            report.push(
+                Code::QZ033,
+                severity,
+                span(),
+                format!(
+                    "p_exe = {p} W clips the ADC code range (code {code}); the hardware \
+                     estimator cannot distinguish this power from the rail edge, so its \
+                     S_e2e ratio is unreliable for this entry",
+                ),
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::two_option_spec;
+    use qz_types::{Farads, SimDuration, Volts, Watts};
+
+    fn base_input(spec: &quetzal::model::AppSpec) -> CheckInput<'_> {
+        CheckInput::new(spec)
+    }
+
+    #[test]
+    fn default_configs_have_no_range_findings() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), Some((0.4, 0.050)));
+        let report = crate::check(&base_input(&spec));
+        assert!(report.diagnostics().iter().all(|d| !matches!(
+            d.code,
+            Code::QZ030 | Code::QZ031 | Code::QZ032 | Code::QZ033
+        )));
+    }
+
+    #[test]
+    fn nan_sleep_power_is_an_error() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let mut input = base_input(&spec);
+        input.device.sleep_power = Watts(f64::NAN);
+        let report = crate::check(&input);
+        assert!(report.diagnostics().iter().any(
+            |d| d.code == Code::QZ031 && d.span.field.as_deref() == Some("device.sleep_power")
+        ));
+    }
+
+    #[test]
+    fn zero_capture_cost_warns() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let mut input = base_input(&spec);
+        input.device.diff.p_exe = Watts(0.0);
+        let report = crate::check(&input);
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::QZ032 && d.span.field.as_deref() == Some("device.diff")));
+    }
+
+    #[test]
+    fn inverted_supercap_window_is_an_error() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let mut input = base_input(&spec);
+        input.power.supercap.v_off = Volts(3.0);
+        input.power.supercap.v_on = Volts(2.0);
+        let report = crate::check(&input);
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::QZ031 && d.span.field.as_deref() == Some("power.supercap")));
+    }
+
+    #[test]
+    fn zero_capacitance_is_an_error() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let mut input = base_input(&spec);
+        input.power.supercap.capacitance = Farads(0.0);
+        let report = crate::check(&input);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn zero_buffer_and_period_are_errors() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let mut input = base_input(&spec);
+        input.device.buffer_capacity = 0;
+        input.device.capture_period = SimDuration::from_secs(0);
+        let report = crate::check(&input);
+        let fields: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::QZ031)
+            .filter_map(|d| d.span.field.clone())
+            .collect();
+        assert!(fields.contains(&"device.buffer_capacity".to_owned()));
+        assert!(fields.contains(&"device.capture_period".to_owned()));
+    }
+
+    #[test]
+    fn huge_t_exe_saturates_q16_table() {
+        // 20 000 s · 2^(7/8) ≈ 36 680 s > Q16::MAX ≈ 32 768 s.
+        let spec = two_option_spec((20_000.0, 0.005), (0.05, 0.004), None);
+        let mut input = base_input(&spec);
+        let report = crate::check(&input);
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::QZ030 && d.severity == Severity::Note));
+        input.hw_estimator = true;
+        let report = crate::check(&input);
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::QZ030 && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn microwatt_power_clips_the_adc() {
+        // 1 µW is below what the diode/ADC chain can register.
+        let spec = two_option_spec((0.5, 1e-9), (0.05, 0.004), None);
+        let report = crate::check(&base_input(&spec));
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == Code::QZ033),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn jitter_of_one_warns() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let mut input = base_input(&spec);
+        input.device.task_jitter = 1.0;
+        let report = crate::check(&input);
+        assert!(report.diagnostics().iter().any(
+            |d| d.code == Code::QZ032 && d.span.field.as_deref() == Some("device.task_jitter")
+        ));
+    }
+}

@@ -17,8 +17,79 @@ pub enum Command {
     ExportTraces(RunArgs),
     /// `qz trace …` — record and render the decision-event timeline.
     Trace(RunArgs),
+    /// `qz check …` — static semantic analysis of an experiment config.
+    Check(CheckArgs),
     /// `qz help` / `--help`.
     Help,
+}
+
+/// Options for `qz check`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckArgs {
+    /// System preset to check; `None` sweeps every shipped preset.
+    pub system: Option<BaselineKind>,
+    /// Device profile (`apollo4`, `msp430`, or `all`).
+    pub device: String,
+    /// Emit the report as JSON instead of rendered text.
+    pub json: bool,
+    /// Exit nonzero on warnings as well as errors (CI mode).
+    pub deny_warnings: bool,
+    /// Diagnostic codes downgraded to notes (repeatable `--allow`).
+    pub allow: Vec<qz_check::Code>,
+    /// Override the supercapacitor capacitance, in millifarads.
+    pub cap_mf: Option<f64>,
+    /// Override the checkpoint policy.
+    pub checkpoint: Option<qz_sim::CheckpointPolicy>,
+    /// Override the harvester cell count.
+    pub cells: Option<u32>,
+    /// Override the input-buffer capacity.
+    pub buffer: Option<usize>,
+    /// Override the capture period, in seconds.
+    pub capture_period: Option<f64>,
+}
+
+impl Default for CheckArgs {
+    fn default() -> CheckArgs {
+        CheckArgs {
+            system: None,
+            device: "all".into(),
+            json: false,
+            deny_warnings: false,
+            allow: Vec::new(),
+            cap_mf: None,
+            checkpoint: None,
+            cells: None,
+            buffer: None,
+            capture_period: None,
+        }
+    }
+}
+
+/// Parses a `--checkpoint` value: `jit`, `task-boundary`, or
+/// `periodic:SECS`.
+pub fn parse_checkpoint(value: &str) -> Result<qz_sim::CheckpointPolicy, ParseError> {
+    let v = value.to_ascii_lowercase();
+    match v.as_str() {
+        "jit" | "just-in-time" => Ok(qz_sim::CheckpointPolicy::JustInTime),
+        "task-boundary" | "task" => Ok(qz_sim::CheckpointPolicy::TaskBoundary),
+        _ => {
+            if let Some(secs) = v.strip_prefix("periodic:") {
+                let secs: f64 = secs
+                    .parse()
+                    .map_err(|_| err("`--checkpoint periodic:SECS` needs a number of seconds"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(err("`--checkpoint periodic:SECS` must be positive"));
+                }
+                Ok(qz_sim::CheckpointPolicy::Periodic {
+                    interval: qz_types::SimDuration::from_seconds_ceil(qz_types::Seconds(secs)),
+                })
+            } else {
+                Err(err(format!(
+                    "unknown checkpoint policy `{value}` (try jit, task-boundary, periodic:SECS)"
+                )))
+            }
+        }
+    }
 }
 
 /// Options shared by the subcommands.
@@ -127,6 +198,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     if sub == "help" || sub == "--help" || sub == "-h" {
         return Ok(Command::Help);
     }
+    if sub == "check" {
+        return parse_check(&args[1..]).map(Command::Check);
+    }
     let mut run = RunArgs::default();
     let mut i = 1;
     let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
@@ -178,9 +252,75 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "export-traces" => Ok(Command::ExportTraces(run)),
         "trace" => Ok(Command::Trace(run)),
         other => Err(err(format!(
-            "unknown command `{other}` (try run, compare, export-traces, trace)"
+            "unknown command `{other}` (try run, compare, export-traces, trace, check)"
         ))),
     }
+}
+
+/// Parses the flags of `qz check`.
+fn parse_check(args: &[String]) -> Result<CheckArgs, ParseError> {
+    let mut check = CheckArgs::default();
+    let mut i = 0;
+    let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--system" => check.system = Some(parse_system(&take_value(&mut i, flag)?)?),
+            "--device" => {
+                let d = take_value(&mut i, flag)?.to_ascii_lowercase();
+                if d != "apollo4" && d != "msp430" && d != "all" {
+                    return Err(err("`--device` must be `apollo4`, `msp430`, or `all`"));
+                }
+                check.device = d;
+            }
+            "--json" => check.json = true,
+            "--deny-warnings" => check.deny_warnings = true,
+            "--allow" => {
+                let code = take_value(&mut i, flag)?;
+                check.allow.push(
+                    qz_check::Code::parse(&code)
+                        .ok_or_else(|| err(format!("unknown diagnostic code `{code}`")))?,
+                );
+            }
+            "--cap-mf" => {
+                let mf: f64 = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--cap-mf` must be a capacitance in millifarads"))?;
+                check.cap_mf = Some(mf);
+            }
+            "--checkpoint" => {
+                check.checkpoint = Some(parse_checkpoint(&take_value(&mut i, flag)?)?)
+            }
+            "--cells" => {
+                check.cells = Some(
+                    take_value(&mut i, flag)?
+                        .parse()
+                        .map_err(|_| err("`--cells` must be a positive integer"))?,
+                );
+            }
+            "--buffer" => {
+                check.buffer = Some(
+                    take_value(&mut i, flag)?
+                        .parse()
+                        .map_err(|_| err("`--buffer` must be a non-negative integer"))?,
+                );
+            }
+            "--capture-period" => {
+                let secs: f64 = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--capture-period` must be a number of seconds"))?;
+                check.capture_period = Some(secs);
+            }
+            other => return Err(err(format!("unknown flag `{other}` for `qz check`"))),
+        }
+        i += 1;
+    }
+    Ok(check)
 }
 
 /// The help text.
@@ -195,10 +335,20 @@ USAGE:
   qz trace          [--system QZ] [--env crowded] [--events 200] [--seed N]
                     [--device …] [--jsonl out.jsonl] [--csv out.csv]
                     [--limit 200] [--snapshots]
+  qz check          [--system QZ] [--device apollo4|msp430|all] [--json]
+                    [--deny-warnings] [--allow QZ011]…
+                    [--cap-mf 33] [--checkpoint jit|task-boundary|periodic:SECS]
+                    [--cells 6] [--buffer 10] [--capture-period 1]
   qz help
 
 SYSTEMS:       QZ, QZ-HW, NA, AD, CN, TH25, TH50, TH75, PZO, FCFS, LCFS, AvgSe2e
 ENVIRONMENTS:  more-crowded, crowded, less-crowded, short
+
+`qz check` statically analyzes the spec + device profile + configs a run
+would use (energy feasibility, Little's-Law arrival pressure, degradation
+lattice, fixed-point ranges, control sanity) and exits nonzero on errors —
+or on warnings too, with --deny-warnings. Without --system it sweeps every
+shipped preset.
 ";
 
 #[cfg(test)]
@@ -293,6 +443,52 @@ mod tests {
         );
         assert_eq!(parse_system("lcfs").unwrap(), BaselineKind::LcfsIbo);
         assert!(parse_system("nope").is_err());
+    }
+
+    #[test]
+    fn check_defaults_and_flags() {
+        let Command::Check(c) = parse(&argv("check")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c, CheckArgs::default());
+        let Command::Check(c) = parse(&argv(
+            "check --system QZ --device msp430 --json --deny-warnings --allow QZ011 \
+             --cap-mf 0.05 --checkpoint task-boundary --buffer 4 --capture-period 0.5",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.system, Some(BaselineKind::Quetzal));
+        assert_eq!(c.device, "msp430");
+        assert!(c.json && c.deny_warnings);
+        assert_eq!(c.allow, vec![qz_check::Code::QZ011]);
+        assert_eq!(c.cap_mf, Some(0.05));
+        assert_eq!(c.checkpoint, Some(qz_sim::CheckpointPolicy::TaskBoundary));
+        assert_eq!(c.buffer, Some(4));
+        assert_eq!(c.capture_period, Some(0.5));
+    }
+
+    #[test]
+    fn check_checkpoint_parsing() {
+        assert_eq!(
+            parse_checkpoint("jit").unwrap(),
+            qz_sim::CheckpointPolicy::JustInTime
+        );
+        assert_eq!(
+            parse_checkpoint("periodic:0.25").unwrap(),
+            qz_sim::CheckpointPolicy::Periodic {
+                interval: qz_types::SimDuration::from_millis(250)
+            }
+        );
+        assert!(parse_checkpoint("periodic:-1").is_err());
+        assert!(parse_checkpoint("sometimes").is_err());
+    }
+
+    #[test]
+    fn check_rejects_bad_input() {
+        assert!(parse(&argv("check --allow QZ999")).is_err());
+        assert!(parse(&argv("check --device z80")).is_err());
+        assert!(parse(&argv("check --events 5")).is_err(), "run-only flag");
     }
 
     #[test]

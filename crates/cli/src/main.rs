@@ -10,15 +10,15 @@
 mod args;
 mod plot;
 
-use args::{Command, RunArgs};
+use args::{CheckArgs, Command, RunArgs};
 use qz_app::{
-    apollo4, ideal, msp430fr5994, simulate, simulate_traced, simulate_with_telemetry,
-    timeline_names, AppModel, DeviceProfile, SimTweaks,
+    apollo4, check_experiment, ideal, msp430fr5994, simulate, simulate_traced,
+    simulate_with_telemetry, timeline_names, AppModel, DeviceProfile, SimTweaks,
 };
 use qz_baselines::BaselineKind;
 use qz_sim::Metrics;
 use qz_traces::SensingEnvironment;
-use qz_types::SimDuration;
+use qz_types::{Farads, Seconds, SimDuration, Watts};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         Command::Compare(r) => compare(&r),
         Command::ExportTraces(r) => export_traces(&r),
         Command::Trace(r) => trace(&r),
+        Command::Check(c) => return check(&c),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -85,6 +86,95 @@ fn print_metrics(label: &str, m: &Metrics) {
         m.off_fraction() * 100.0,
         m.mean_occupancy(),
     );
+}
+
+/// Every preset `qz check` sweeps when no `--system` is given — one per
+/// evaluated system, with the parameter values the figures use.
+const PRESET_SWEEP: [BaselineKind; 13] = [
+    BaselineKind::Quetzal,
+    BaselineKind::QuetzalHw,
+    BaselineKind::NoAdapt,
+    BaselineKind::AlwaysDegrade,
+    BaselineKind::CatNap,
+    BaselineKind::FixedThreshold(0.25),
+    BaselineKind::FixedThreshold(0.50),
+    BaselineKind::FixedThreshold(0.75),
+    BaselineKind::PowerThreshold(Watts(0.030)),
+    BaselineKind::AvgSe2e,
+    BaselineKind::QuetzalVar(0.9),
+    BaselineKind::FcfsIbo,
+    BaselineKind::LcfsIbo,
+];
+
+fn check(args: &CheckArgs) -> ExitCode {
+    let systems: Vec<BaselineKind> = match args.system {
+        Some(kind) => vec![kind],
+        None => PRESET_SWEEP.to_vec(),
+    };
+    let profiles: Vec<DeviceProfile> = match args.device.as_str() {
+        "apollo4" => vec![apollo4()],
+        "msp430" => vec![msp430fr5994()],
+        _ => vec![apollo4(), msp430fr5994()],
+    };
+    let mut tweaks = SimTweaks::default();
+    if let Some(mf) = args.cap_mf {
+        tweaks.supercap_capacitance = Some(Farads(mf * 1e-3));
+    }
+    if let Some(policy) = args.checkpoint {
+        tweaks.checkpoint_policy = policy;
+    }
+    if let Some(cells) = args.cells {
+        tweaks.harvester_cells = cells;
+    }
+    if let Some(capacity) = args.buffer {
+        tweaks.buffer_capacity = capacity;
+    }
+    if let Some(secs) = args.capture_period {
+        tweaks.capture_period = SimDuration::from_seconds_ceil(Seconds(secs));
+    }
+
+    let mut failed = false;
+    let mut json_entries = Vec::new();
+    for profile in &profiles {
+        for &kind in &systems {
+            let mut report = check_experiment(kind, profile, &tweaks);
+            report.allow(&args.allow);
+            failed |= report.fails(args.deny_warnings);
+            if args.json {
+                json_entries.push(format!(
+                    "{{\"system\":\"{}\",\"device\":\"{}\",\"report\":{}}}",
+                    kind.label(),
+                    profile.name,
+                    report.render_json()
+                ));
+            } else {
+                println!("{} on {}:", kind.label(), profile.name);
+                for line in report.render_text().lines() {
+                    println!("  {line}");
+                }
+                println!();
+            }
+        }
+    }
+    if args.json {
+        println!("[{}]", json_entries.join(","));
+    } else if failed {
+        println!(
+            "FAILED{}",
+            if args.deny_warnings {
+                " (warnings denied)"
+            } else {
+                ""
+            }
+        );
+    } else {
+        println!("OK");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn run_one(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {

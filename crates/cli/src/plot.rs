@@ -24,6 +24,9 @@ pub fn sparkline(values: &[f64], width: usize, lo: f64, hi: f64) -> String {
     for bucket in values.chunks(bucket_len) {
         let peak = bucket.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let norm = ((peak - lo) / span).clamp(0.0, 1.0);
+        // norm is clamped to [0, 1], so the product is a small
+        // non-negative index.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let idx = (norm * (BLOCKS.len() - 1) as f64).round() as usize;
         out.push(BLOCKS[idx.min(BLOCKS.len() - 1)]);
     }

@@ -171,7 +171,10 @@ impl McuEngine {
         if t.exec_window.filled() == t.exec_window.capacity() {
             let wide =
                 (se2e.to_bits() as i64 * t.exec_window.ones() as i64) >> self.task_window_log2;
-            Q16::from_bits(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+            // Clamped to i32 range on this line, so the narrowing is exact.
+            #[allow(clippy::cast_possible_truncation)]
+            let narrowed = wide.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+            Q16::from_bits(narrowed)
         } else {
             // Warm-up: treat probability as 1 (conservative).
             se2e
@@ -200,7 +203,9 @@ impl McuEngine {
             frac_num / self.arrival_window.filled().max(1)
         };
         let wide = (es.to_bits() as i64 * ones as i64) >> self.arrival_window_log2;
-        let scaled = Q16::from_bits(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+        // Clamped to i32 range on this line, so the narrowing is exact.
+        #[allow(clippy::cast_possible_truncation)]
+        let scaled = Q16::from_bits(wide.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32);
         scaled.saturating_mul(self.capture_rate)
     }
 
@@ -229,6 +234,8 @@ impl McuEngine {
         let job = &self.jobs[runnable[candidate].index()];
 
         // Algorithm 2: Little's-Law check and the option walk.
+        // `.min(i16::MAX as usize)` bounds the value, so the cast is exact.
+        #[allow(clippy::cast_possible_truncation)]
         let slack = Q16::from_int(capacity.saturating_sub(occupancy).min(i16::MAX as usize) as i16);
         if self.predicted_arrivals(best_es) < slack {
             return Some(McuDecision {
@@ -385,6 +392,8 @@ mod tests {
 
         for _ in 0..400 {
             let stored_frac = rng.next_f64();
+            // next_below(11) < 11, so the cast is exact.
+            #[allow(clippy::cast_possible_truncation)]
             let occupancy = rng.next_below(11) as usize;
             let p_in = Watts(rng.next_range(0.0005, 0.040));
 

@@ -228,17 +228,24 @@ impl AppSpec {
     }
 
     /// The `TaskId` at a given index, if in range.
+    // Bounded by MAX_TASKS (32), so the u8 casts are exact.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn task_id(&self, index: usize) -> Option<TaskId> {
         (index < self.tasks.len()).then_some(TaskId(index as u8))
     }
 
     /// The `JobId` at a given index, if in range.
+    // Bounded by MAX_TASKS (32), so the u8 cast is exact.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn job_id(&self, index: usize) -> Option<JobId> {
         (index < self.jobs.len()).then_some(JobId(index as u8))
     }
 
     /// Iterates over every `(TaskKey, TaskCost)` in the spec — the set a
     /// profiling pass measures.
+    // Bounded by MAX_TASKS (32) and MAX_OPTIONS (4), so the u8 casts
+    // are exact.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn profile_entries(&self) -> impl Iterator<Item = (TaskKey, TaskCost)> + '_ {
         self.tasks.iter().enumerate().flat_map(|(t, spec)| {
             (0..spec.option_count()).map(move |o| {
@@ -298,8 +305,23 @@ pub enum SpecError {
         /// The duplicated name.
         name: String,
     },
+    /// Two options of one degradable task shared a name, so the
+    /// quality levels are indistinguishable in spans and telemetry.
+    DuplicateOption {
+        /// The offending task's name.
+        task: String,
+        /// The duplicated option name.
+        option: String,
+    },
     /// The spec had no jobs.
     NoJobs,
+    /// A runtime configuration field was invalid (zero estimator
+    /// window, non-positive capture rate, a PID config the controller
+    /// rejects, …).
+    InvalidConfig {
+        /// Dotted path of the offending field (e.g. `pid.tau`).
+        field: &'static str,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -321,7 +343,13 @@ impl fmt::Display for SpecError {
             }
             SpecError::EmptyJob { job } => write!(f, "job `{job}` has no tasks"),
             SpecError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            SpecError::DuplicateOption { task, option } => {
+                write!(f, "task `{task}` has two options named `{option}`")
+            }
             SpecError::NoJobs => write!(f, "application has no jobs"),
+            SpecError::InvalidConfig { field } => {
+                write!(f, "invalid runtime configuration field `{field}`")
+            }
         }
     }
 }
@@ -400,6 +428,8 @@ impl AppSpecBuilder {
                 degradable = Some(i);
             }
         }
+        // Bounded by the MAX_TASKS check above, so the cast is exact.
+        #[allow(clippy::cast_possible_truncation)]
         let id = JobId(self.jobs.len() as u8);
         self.jobs.push(JobSpec {
             name: name.to_owned(),
@@ -431,6 +461,8 @@ impl AppSpecBuilder {
         if self.tasks.iter().any(|t| t.name == spec.name) {
             return Err(SpecError::DuplicateName { name: spec.name });
         }
+        // Bounded by the MAX_TASKS check above, so the cast is exact.
+        #[allow(clippy::cast_possible_truncation)]
         let id = TaskId(self.tasks.len() as u8);
         self.tasks.push(spec);
         Ok(id)
@@ -468,8 +500,14 @@ impl DegradableTaskBuilder<'_> {
         if self.options.is_empty() || self.options.len() > MAX_OPTIONS {
             return Err(SpecError::BadOptionCount { task: self.name });
         }
-        for opt in &self.options {
+        for (i, opt) in self.options.iter().enumerate() {
             validate_cost(&self.name, &opt.cost)?;
+            if self.options[..i].iter().any(|prev| prev.name == opt.name) {
+                return Err(SpecError::DuplicateOption {
+                    task: self.name.clone(),
+                    option: opt.name.clone(),
+                });
+            }
         }
         self.spec.push_task(TaskSpec {
             name: self.name,
@@ -625,6 +663,29 @@ mod tests {
                 .finish(),
             Err(SpecError::InvalidCost { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_duplicate_option_names() {
+        let mut b = AppSpecBuilder::new();
+        assert_eq!(
+            b.degradable_task("d")
+                .option("same", cost(1.0, 0.01))
+                .option("same", cost(0.5, 0.01))
+                .finish(),
+            Err(SpecError::DuplicateOption {
+                task: "d".into(),
+                option: "same".into(),
+            })
+        );
+        // Identical costs under distinct names stay legal (coarse
+        // profiling can collide); qz-check lints them as QZ022.
+        assert!(b
+            .degradable_task("d2")
+            .option("a", cost(1.0, 0.01))
+            .option("b", cost(1.0, 0.01))
+            .finish()
+            .is_ok());
     }
 
     #[test]

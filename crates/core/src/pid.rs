@@ -150,6 +150,10 @@ impl Pid {
 }
 
 #[cfg(test)]
+// Many assertions here pin values that are copied or computed exactly
+// (literals, dyadic fractions, pass-through accessors); strict float
+// comparison is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

@@ -88,7 +88,12 @@ pub fn expected_service(inputs: &SchedulerInputs<'_>, job: JobId) -> Seconds {
                 .get(task.index())
                 .copied()
                 .unwrap_or(0)
-                .min((inputs.spec.task(task).option_count() - 1) as u8);
+                .min({
+                    // option_count() <= MAX_OPTIONS (4), so the cast is exact.
+                    #[allow(clippy::cast_possible_truncation)]
+                    let last = (inputs.spec.task(task).option_count() - 1) as u8;
+                    last
+                });
             let cost = inputs.spec.task(task).cost(option as usize);
             let key = TaskKey { task, option };
             inputs.estimator.predict(key, cost, inputs.p_in) * prob

@@ -142,6 +142,9 @@ impl P2Quantile {
                 seen[..n].copy_from_slice(&self.heights[..n]);
                 let slice = &mut seen[..n];
                 slice.sort_unstable_by(|a, b| a.total_cmp(b));
+                // `round_half_away` of a value in [0, 3] (n <= 4 and
+                // p in [0, 1]), so the narrowing is exact.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 let idx = qz_types::round_half_away((n as f64 - 1.0) * self.p) as usize;
                 Some(slice[idx.min(n - 1)])
             }
@@ -174,6 +177,9 @@ mod tests {
 
     fn exact_quantile(samples: &mut [f64], p: f64) -> f64 {
         samples.sort_unstable_by(|a, b| a.total_cmp(b));
+        // p in [0, 1] and len >= 1, so the product is a small non-negative
+        // integer after rounding.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
         samples[idx]
     }

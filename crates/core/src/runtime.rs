@@ -307,6 +307,8 @@ impl Quetzal {
             if task_spec.is_degradable() {
                 option_services = (0..task_spec.option_count())
                     .map(|o| {
+                        // o < MAX_OPTIONS (4), so the cast is exact.
+                        #[allow(clippy::cast_possible_truncation)]
                         let key = TaskKey {
                             task,
                             option: o as u8,
@@ -405,7 +407,10 @@ impl Quetzal {
 
         if self.config.sticky_options {
             if let Some(task) = job_spec.degradable_task() {
-                self.current_options[task.index()] = decision.option as u8;
+                // decision.option < MAX_OPTIONS (4), so the cast is exact.
+                #[allow(clippy::cast_possible_truncation)]
+                let chosen = decision.option as u8;
+                self.current_options[task.index()] = chosen;
             }
         }
         debug_assert!(
@@ -422,6 +427,8 @@ impl Quetzal {
             } else {
                 0
             };
+            // option < MAX_OPTIONS (4), so the cast is exact.
+            #[allow(clippy::cast_possible_truncation)]
             let key = TaskKey {
                 task,
                 option: option as u8,
@@ -512,8 +519,14 @@ impl QuetzalBuilder {
     ///
     /// # Errors
     ///
-    /// Reserved for future configuration validation; infallible today.
+    /// Returns [`SpecError::InvalidConfig`] for configurations the
+    /// runtime cannot operate on: zero estimator windows, a
+    /// non-positive or non-finite capture rate, a PID config the
+    /// controller constructor would panic on, or an out-of-range EWMA
+    /// coefficient. (`qz-check` flags the same conditions as `QZ040`/
+    /// `QZ042` diagnostics before a simulation is ever built.)
     pub fn build(self) -> Result<Quetzal, SpecError> {
+        validate_config(&self.config)?;
         let exec = ExecutionTracker::new(&self.spec, self.config.task_window);
         let arrivals = ArrivalTracker::new(self.config.arrival_window, self.config.capture_rate);
         let pid = Pid::new(self.config.pid);
@@ -545,7 +558,59 @@ impl QuetzalBuilder {
     }
 }
 
+/// Rejects configurations the runtime cannot operate on. Kept in exact
+/// agreement with `Pid::new`'s panics and the trackers' requirements so
+/// a successful `build()` can never panic on construction.
+fn validate_config(config: &QuetzalConfig) -> Result<(), SpecError> {
+    if config.task_window == 0 {
+        return Err(SpecError::InvalidConfig {
+            field: "task_window",
+        });
+    }
+    if config.arrival_window == 0 {
+        return Err(SpecError::InvalidConfig {
+            field: "arrival_window",
+        });
+    }
+    let rate = config.capture_rate.value();
+    if !rate.is_finite() || rate <= 0.0 {
+        return Err(SpecError::InvalidConfig {
+            field: "capture_rate",
+        });
+    }
+    let pid = &config.pid;
+    if !(pid.kp.is_finite() && pid.ki.is_finite() && pid.kd.is_finite()) {
+        return Err(SpecError::InvalidConfig { field: "pid.gains" });
+    }
+    if !(pid.tau.is_finite() && pid.tau > 0.0) {
+        return Err(SpecError::InvalidConfig { field: "pid.tau" });
+    }
+    if !(pid.sample_time.is_finite() && pid.sample_time > 0.0) {
+        return Err(SpecError::InvalidConfig {
+            field: "pid.sample_time",
+        });
+    }
+    let (lo, hi) = pid.output_limits;
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(SpecError::InvalidConfig {
+            field: "pid.output_limits",
+        });
+    }
+    if let Some(alpha) = config.power_ewma_alpha {
+        if !alpha.is_finite() || alpha <= 0.0 || alpha > 1.0 {
+            return Err(SpecError::InvalidConfig {
+                field: "power_ewma_alpha",
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
+// Many assertions here pin values that are copied or computed exactly
+// (literals, dyadic fractions, pass-through accessors); strict float
+// comparison is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::model::{AppSpecBuilder, TaskCost};
@@ -583,6 +648,81 @@ mod tests {
             process,
             report,
         )
+    }
+
+    #[test]
+    fn build_rejects_invalid_configs() {
+        let cases: Vec<(QuetzalConfig, &str)> = vec![
+            (
+                QuetzalConfig {
+                    task_window: 0,
+                    ..QuetzalConfig::default()
+                },
+                "task_window",
+            ),
+            (
+                QuetzalConfig {
+                    arrival_window: 0,
+                    ..QuetzalConfig::default()
+                },
+                "arrival_window",
+            ),
+            (
+                QuetzalConfig {
+                    capture_rate: Hertz(0.0),
+                    ..QuetzalConfig::default()
+                },
+                "capture_rate",
+            ),
+            (
+                QuetzalConfig {
+                    pid: PidConfig {
+                        tau: 0.0,
+                        ..PidConfig::default()
+                    },
+                    ..QuetzalConfig::default()
+                },
+                "pid.tau",
+            ),
+            (
+                QuetzalConfig {
+                    pid: PidConfig {
+                        kp: f64::NAN,
+                        ..PidConfig::default()
+                    },
+                    ..QuetzalConfig::default()
+                },
+                "pid.gains",
+            ),
+            (
+                QuetzalConfig {
+                    pid: PidConfig {
+                        output_limits: (2.0, -2.0),
+                        ..PidConfig::default()
+                    },
+                    ..QuetzalConfig::default()
+                },
+                "pid.output_limits",
+            ),
+            (
+                QuetzalConfig {
+                    power_ewma_alpha: Some(1.5),
+                    ..QuetzalConfig::default()
+                },
+                "power_ewma_alpha",
+            ),
+        ];
+        for (config, field) in cases {
+            let (spec, ..) = spec();
+            assert_eq!(
+                Quetzal::new(spec, config).err(),
+                Some(SpecError::InvalidConfig { field }),
+                "expected rejection for {field}"
+            );
+        }
+        // The default config still builds.
+        let (spec, ..) = spec();
+        assert!(Quetzal::new(spec, QuetzalConfig::default()).is_ok());
     }
 
     #[test]

@@ -173,6 +173,10 @@ impl ServiceEstimator for AvgObservedEstimator {
 }
 
 #[cfg(test)]
+// Many assertions here pin values that are copied or computed exactly
+// (literals, dyadic fractions, pass-through accessors); strict float
+// comparison is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::model::{AppSpecBuilder, TaskId};

@@ -18,6 +18,14 @@
 //!
 //! [`criterion`]: https://docs.rs/criterion
 
+// Shim code intentionally narrows RNG output into the requested
+// integer domains; these casts are the sampling mechanism.
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::float_cmp
+)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -101,6 +101,9 @@ impl EfficiencyCurve {
 }
 
 #[cfg(test)]
+// Flat/clamped efficiency curves return their stored endpoints
+// verbatim, so strict float comparison is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

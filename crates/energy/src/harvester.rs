@@ -144,6 +144,9 @@ impl Harvester {
 }
 
 #[cfg(test)]
+// Accessors hand back the constructor arguments verbatim, so strict
+// float comparison is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

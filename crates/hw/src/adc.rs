@@ -51,6 +51,9 @@ impl Adc8 {
 
     /// Quantizes a voltage to an 8-bit code (round-to-nearest, saturating
     /// at 0 and 255).
+    // The clamp to [0, 255] makes the narrowing cast exact — this IS the
+    // converter's saturation behaviour.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn sample(&self, v: Volts) -> u8 {
         let code = (v.value() / self.v_ref.value() * 255.0).round();
         code.clamp(0.0, 255.0) as u8

@@ -319,6 +319,9 @@ mod tests {
     }
 
     #[test]
+    // The clamp returns the literal 1.0, so the strict comparison is
+    // the point.
+    #[allow(clippy::float_cmp)]
     fn overhead_clamped_at_one() {
         let o = MSP430FR5994.overhead_fraction(1e9, 32, 128, RatioPath::SoftwareDiv);
         assert_eq!(o, 1.0);

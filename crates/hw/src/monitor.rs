@@ -133,11 +133,16 @@ mod tests {
         let d = m.sample_power(p2) as i32 - m.sample_power(p1) as i32;
         assert!((20..=28).contains(&d), "delta={d}");
         // And Algorithm 3's estimate of the ratio from that delta is close.
+        // The range assertion above pins d to 20..=28, so the cast is exact.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let est = ratio_estimate(d as u8);
         assert!((est / 8.0 - 1.0).abs() < 0.35, "est={est}");
     }
 
     #[test]
+    // `temperature()` returns the stored setter value verbatim, so the
+    // strict comparison is the point.
+    #[allow(clippy::float_cmp)]
     fn temperature_shifts_codes() {
         let mut m = PowerMonitor::default();
         let cold = m.sample_power(Watts(0.01));
@@ -151,6 +156,8 @@ mod tests {
     }
 
     #[test]
+    // 0.4 / 0.1 is exact in binary floating point.
+    #[allow(clippy::float_cmp)]
     fn exact_ratio_edges() {
         assert_eq!(PowerMonitor::exact_ratio(Watts(0.4), Watts(0.1)), 4.0);
         assert!(PowerMonitor::exact_ratio(Watts(0.4), Watts::ZERO).is_infinite());

@@ -60,9 +60,9 @@ pub fn premultiply_t_exe(t_exe: Seconds) -> PremultTable {
 /// runtime path.
 #[inline]
 pub fn ratio_estimate(delta: u8) -> f64 {
-    let a = (delta >> 3) as u32; // ≤ 31, so the shift below cannot overflow
-    let b = (delta & 0x07) as usize;
-    FRAC_POW2[b] * (1u64 << a) as f64
+    let a = u32::from(delta >> 3); // ≤ 31, so the shift below cannot overflow
+    let b = usize::from(delta & 0x07);
+    FRAC_POW2[b] * f64::from(1u32 << a)
 }
 
 /// Algorithm 3: evaluates `S_e2e = max(t_exe, t_exe · P_exe / P_in)` from
@@ -83,8 +83,9 @@ pub fn se2e_hw(table: &PremultTable, vd1: u8, vd2: u8) -> Q16 {
         return table[0];
     }
     let delta = vd2 - vd1;
-    let a = (delta >> 3) as u32;
-    let b = (delta & 0x07) as usize;
+    // Widening (lossless) conversions; `From` keeps them provably so.
+    let a = u32::from(delta >> 3);
+    let b = usize::from(delta & 0x07);
     let base = table[b];
     // Saturating left shift: Q16 tops out at ≈ 32768 s.
     if a >= 31 || base.to_bits() > (i32::MAX >> a) {

@@ -20,6 +20,9 @@ fn abs_f64(v: f64) -> f64 {
 
 /// Rounds a non-negative `f64` to the nearest `u64` without `std`.
 #[inline]
+// The truncating cast IS the rounding mechanism after the half-offset;
+// callers pass non-negative millisecond/count magnitudes.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 fn round_u64(v: f64) -> u64 {
     (v + 0.5) as u64
 }
@@ -98,6 +101,8 @@ impl Log2Histogram {
 
     /// Upper bound (`2^(i+1) − 1`) of the bucket containing the `q`
     /// quantile (0.0..=1.0); an approximation with log2 resolution.
+    // `exact` is clamped to [0, count], so the floor-by-cast is exact.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;

@@ -20,6 +20,14 @@
 //!
 //! [`proptest`]: https://docs.rs/proptest
 
+// Shim code intentionally narrows RNG output into the requested
+// integer domains; these casts are the sampling mechanism.
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::float_cmp
+)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

@@ -208,6 +208,9 @@ impl MM1K {
     /// # Panics
     ///
     /// Panics if `n > k`.
+    // Buffer sizes are tiny (tens of slots), so the i32 exponent casts
+    // are exact.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn probability_of(&self, n: usize) -> f64 {
         assert!(n <= self.k, "state out of range");
         let rho = self.rho();
@@ -243,6 +246,8 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
+    // Small-integer products are exact in binary floating point.
+    #[allow(clippy::float_cmp)]
     fn littles_law_identity() {
         assert_eq!(littles_law(2.0, 3.0), 6.0);
         assert_eq!(littles_law(0.0, 100.0), 0.0);

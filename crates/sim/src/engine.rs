@@ -562,6 +562,8 @@ impl<'a> Simulation<'a> {
         // Feed the observed per-task S_e2e (includes recharge stalls and
         // capture preemptions) to the estimator.
         let task_spec = self.runtime.spec().task(task);
+        // option < MAX_OPTIONS (4), so the cast is exact.
+        #[allow(clippy::cast_possible_truncation)]
         let observed_key = TaskKey {
             task,
             option: if task_spec.is_degradable() {

@@ -203,6 +203,9 @@ mod tests {
     }
 
     #[test]
+    // Zero-denominator fractions are defined as the 0.0 literal, so
+    // strict float comparison is the point.
+    #[allow(clippy::float_cmp)]
     fn zero_denominators_are_safe() {
         let m = Metrics::default();
         assert_eq!(m.interesting_discarded_fraction(), 0.0);

@@ -317,6 +317,9 @@ mod tests {
     }
 
     #[test]
+    // Accessors hand back the constructor arguments verbatim, so strict
+    // float comparison is the point.
+    #[allow(clippy::float_cmp)]
     fn class_rates_validate() {
         let r = ClassRates::new(0.1, 0.2);
         assert_eq!(r.false_negative, 0.1);

@@ -247,6 +247,10 @@ impl EventTraceBuilder {
         for _ in 0..self.event_count {
             // Exponential gap via inverse CDF, floored at min_gap.
             let u = rng.next_f64();
+            // The exponential draw is non-negative and far below u64
+            // range; truncation to whole milliseconds is the intended
+            // quantization.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let gap_ms = (-(1.0 - u).ln() * self.mean_gap.as_millis() as f64) as u64;
             let gap = SimDuration::from_millis(gap_ms).max(self.min_gap);
             t += gap;
@@ -287,6 +291,8 @@ mod tests {
     }
 
     #[test]
+    // An empty trace's activity fraction is exactly 0.0 by construction.
+    #[allow(clippy::float_cmp)]
     fn generates_requested_count() {
         assert_eq!(trace().len(), 50);
         assert!(!trace().is_empty());

@@ -49,6 +49,9 @@ impl SolarTrace {
     }
 
     /// A constant-irradiance trace (useful in tests and microbenchmarks).
+    // Irradiance fractions live in [0, 1]; f32 is the trace's native
+    // storage precision.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn constant(level: f64) -> SolarTrace {
         SolarTrace::from_samples(vec![level as f32])
     }
@@ -271,6 +274,8 @@ impl SolarTraceBuilder {
             let sample = (level * noise).clamp(0.0, 1.0);
 
             let env = self.envelope(s);
+            // In [0, 1] by the clamp above; f32 is the storage precision.
+            #[allow(clippy::cast_possible_truncation)]
             samples.push((sample * env) as f32);
         }
         SolarTrace::from_samples(samples)
@@ -365,6 +370,9 @@ mod tests {
     }
 
     #[test]
+    // Dark-tail samples are written as the 0.0 literal, so strict
+    // comparison is the point.
+    #[allow(clippy::float_cmp)]
     fn diurnal_has_dark_nights() {
         let day = SimDuration::from_secs(1000);
         let t = SolarTraceBuilder::new()

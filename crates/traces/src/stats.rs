@@ -95,6 +95,9 @@ pub fn solar_stats(trace: &SolarTrace) -> SolarStats {
     let mut sorted: Vec<f32> = trace.samples().to_vec();
     sorted.sort_unstable_by(|a, b| a.total_cmp(b));
     let q = |p: f64| -> f64 {
+        // p in [0, 1] and len >= 1, so the rounded index is a small
+        // non-negative integer.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
         sorted[idx.min(sorted.len() - 1)] as f64
     };
@@ -176,6 +179,8 @@ mod tests {
     }
 
     #[test]
+    // A constant trace's quartiles are the stored f32 value exactly.
+    #[allow(clippy::float_cmp)]
     fn constant_trace_has_degenerate_quartiles() {
         let t = crate::solar::SolarTrace::constant(0.4);
         let s = solar_stats(&t);

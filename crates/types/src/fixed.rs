@@ -66,11 +66,21 @@ impl Q16 {
     }
 
     /// Converts from `f64`, rounding to the nearest representable value and
-    /// saturating at the type's range.
+    /// saturating at the type's range (`NaN` maps to zero).
     #[inline]
     pub fn from_f64(v: f64) -> Q16 {
-        let scaled = crate::math::round_half_away(v * (1u32 << FRAC_BITS) as f64);
-        Q16(scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+        let scaled = crate::math::round_half_away(v * f64::from(1u32 << FRAC_BITS));
+        if scaled >= f64::from(i32::MAX) {
+            Q16::MAX
+        } else if scaled <= f64::from(i32::MIN) {
+            Q16::MIN
+        } else if scaled.is_nan() {
+            Q16::ZERO
+        } else {
+            // In-range by the branches above, so the narrowing is exact.
+            #[allow(clippy::cast_possible_truncation)]
+            Q16(scaled as i32)
+        }
     }
 
     /// Converts to `f64` exactly (every Q16.16 value is an exact `f64`).
@@ -94,8 +104,10 @@ impl Q16 {
     /// Saturating multiplication.
     #[inline]
     pub fn saturating_mul(self, rhs: Q16) -> Q16 {
-        let wide = (self.0 as i64 * rhs.0 as i64) >> FRAC_BITS;
-        Q16(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+        let wide = (i64::from(self.0) * i64::from(rhs.0)) >> FRAC_BITS;
+        // Clamped to i32 range on the line above, so the narrowing is exact.
+        #[allow(clippy::cast_possible_truncation)]
+        Q16(wide.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32)
     }
 
     /// Absolute value (saturating at `MAX` for `MIN`).
@@ -182,10 +194,13 @@ impl Neg for Q16 {
 impl Mul for Q16 {
     type Output = Q16;
     /// Fixed-point multiply through a 64-bit intermediate, truncating
-    /// toward zero — exactly what MCU firmware would emit.
+    /// toward zero and *saturating* at the type's range. MCU firmware
+    /// emits the same 64-bit multiply; the saturation matches
+    /// [`Q16::MAX`]'s "longer than any experiment" semantics instead of
+    /// wrapping into nonsense service times.
     #[inline]
     fn mul(self, rhs: Q16) -> Q16 {
-        Q16(((self.0 as i64 * rhs.0 as i64) >> FRAC_BITS) as i32)
+        self.saturating_mul(rhs)
     }
 }
 
@@ -197,12 +212,18 @@ impl Div for Q16 {
     /// division cost; Quetzal's hardware module exists precisely to avoid
     /// this operation at runtime.
     ///
+    /// Saturates at the type's range when the quotient leaves Q16.16
+    /// (e.g. a large value divided by [`Q16::EPSILON`]).
+    ///
     /// # Panics
     ///
     /// Panics if `rhs` is zero.
     #[inline]
     fn div(self, rhs: Q16) -> Q16 {
-        Q16((((self.0 as i64) << FRAC_BITS) / rhs.0 as i64) as i32)
+        let wide = (i64::from(self.0) << FRAC_BITS) / i64::from(rhs.0);
+        // Clamped to i32 range on the line above, so the narrowing is exact.
+        #[allow(clippy::cast_possible_truncation)]
+        Q16(wide.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32)
     }
 }
 
@@ -232,6 +253,9 @@ impl From<i16> for Q16 {
 }
 
 #[cfg(test)]
+// Q16/unit round-trips over dyadic rationals are exact by construction;
+// these tests pin that exactness, so strict float comparison is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
@@ -306,6 +330,20 @@ mod tests {
     #[should_panic]
     fn div_by_zero_panics() {
         let _ = Q16::ONE / Q16::ZERO;
+    }
+
+    #[test]
+    fn mul_and_div_saturate_instead_of_wrapping() {
+        let big = Q16::from_f64(30000.0);
+        assert_eq!(big * Q16::from_f64(2.0), Q16::MAX);
+        assert_eq!(-big * Q16::from_f64(2.0), Q16::MIN);
+        assert_eq!(big / Q16::EPSILON, Q16::MAX);
+        assert_eq!(-big / Q16::EPSILON, Q16::MIN);
+    }
+
+    #[test]
+    fn from_f64_maps_nan_to_zero() {
+        assert_eq!(Q16::from_f64(f64::NAN), Q16::ZERO);
     }
 
     proptest! {

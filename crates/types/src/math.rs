@@ -16,6 +16,10 @@
 /// assert_eq!(round_half_away(2.4), 2.0);
 /// ```
 #[inline]
+// The i64 round-trip IS the rounding mechanism (truncation toward zero
+// after the half-offset); inputs are simulator milliseconds, far inside
+// i64 range.
+#[allow(clippy::cast_possible_truncation)]
 pub fn round_half_away(v: f64) -> f64 {
     if !v.is_finite() {
         return v;
@@ -42,6 +46,9 @@ pub fn round_half_away(v: f64) -> f64 {
 ///
 /// Debug-asserts that `v` is non-negative.
 #[inline]
+// The u64 round-trip IS the floor operation; the debug_assert pins the
+// non-negative domain that makes the sign-losing cast exact.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 pub fn ceil_positive(v: f64) -> f64 {
     debug_assert!(v >= 0.0, "ceil_positive requires a non-negative input");
     let t = v as u64 as f64;
@@ -53,6 +60,9 @@ pub fn ceil_positive(v: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Q16/unit round-trips over dyadic rationals are exact by construction;
+// these tests pin that exactness, so strict float comparison is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -156,7 +156,10 @@ mod tests {
         // every bucket gets hit for a small bound
         let mut seen = [false; 10];
         for _ in 0..1000 {
-            seen[r.next_below(10) as usize] = true;
+            // next_below(10) < 10, so the cast is exact.
+            #[allow(clippy::cast_possible_truncation)]
+            let bucket = r.next_below(10) as usize;
+            seen[bucket] = true;
         }
         assert!(seen.iter().all(|&s| s));
     }

@@ -97,6 +97,9 @@ impl SimDuration {
     /// assert_eq!(SimDuration::from_seconds_ceil(Seconds(0.25)), SimDuration(250));
     /// ```
     #[inline]
+    // `ceil_positive` returns a whole non-negative value (clamped by the
+    // `.max(0.0)` above), so the narrowing cast is exact.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn from_seconds_ceil(s: Seconds) -> SimDuration {
         let ms = (s.0 * MS_PER_SEC as f64).max(0.0);
         SimDuration(crate::math::ceil_positive(ms) as u64)

@@ -360,6 +360,9 @@ impl Joules {
 }
 
 #[cfg(test)]
+// Q16/unit round-trips over dyadic rationals are exact by construction;
+// these tests pin that exactness, so strict float comparison is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -75,6 +75,21 @@ fn run(policy: Box<dyn SchedulingPolicy>, env: &SensingEnvironment) -> qz_sim::M
 }
 
 fn main() {
+    // Every policy below runs the same person-detection app; check it
+    // once against the Apollo 4 profile before simulating anything.
+    let profile = apollo4();
+    let app = AppModel::person_detection(&profile).unwrap();
+    let check_input = qz_check::CheckInput {
+        device: profile.device.clone(),
+        ..qz_check::CheckInput::new(&app.spec)
+    };
+    let report = qz_check::check(&check_input);
+    assert!(
+        !report.has_errors(),
+        "custom_policy app failed qz-check:\n{}",
+        report.render_text()
+    );
+
     let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 150, 11);
     println!("Custom scheduling policy demo — Crowded, 150 events\n");
     for (name, policy) in [

@@ -31,6 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = spec.job("report", vec![radio])?;
     let spec = spec.build()?;
 
+    // 1b. Prove the spec feasible before building anything: qz-check
+    //     runs the energy/queueing/lattice analyses over the spec and
+    //     the default device profile.
+    let check_report = qz_check::check(&qz_check::CheckInput::new(&spec));
+    assert!(
+        !check_report.has_errors(),
+        "quickstart spec failed qz-check:\n{}",
+        check_report.render_text()
+    );
+
     // 2. Assemble the runtime: Energy-aware SJF + IBO engine + PID.
     let mut qz = Quetzal::new(spec, QuetzalConfig::default())?;
 

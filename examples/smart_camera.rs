@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example smart_camera`
 
-use qz_app::{apollo4, ideal, simulate, SimTweaks};
+use qz_app::{apollo4, check_experiment, ideal, simulate, SimTweaks};
 use qz_baselines::BaselineKind;
 use qz_sim::Metrics;
 use qz_traces::{EnvironmentKind, SensingEnvironment};
@@ -42,6 +42,17 @@ fn main() {
     let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 200, 7);
     let profile = apollo4();
     let tweaks = SimTweaks::default();
+
+    // Front-end both experiment configs through qz-check before
+    // simulating; an error here means the scenario can't run at all.
+    for kind in [BaselineKind::NoAdapt, BaselineKind::Quetzal] {
+        let report = check_experiment(kind, &profile, &tweaks);
+        assert!(
+            !report.has_errors(),
+            "smart_camera {kind:?} config failed qz-check:\n{}",
+            report.render_text()
+        );
+    }
 
     let ideal_m = ideal(&profile, &env, &tweaks);
     let na = simulate(BaselineKind::NoAdapt, &profile, &env, &tweaks);

@@ -67,6 +67,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
     let env = SensingEnvironment::with_parts(EnvironmentKind::Crowded, events, solar);
 
+    // Front-end the hand-built spec through qz-check: errors abort,
+    // warnings are printed and tolerated (a slow full-quality path is a
+    // trade-off this app knowingly makes, like the paper's MSP430 port).
+    let report = qz_check::check(&qz_check::CheckInput::new(&spec));
+    assert!(
+        !report.has_errors(),
+        "wildlife monitor spec failed qz-check:\n{}",
+        report.render_text()
+    );
+    if report.warnings() > 0 {
+        eprintln!("qz-check warnings for the wildlife monitor spec:");
+        eprint!("{}", report.render_text());
+    }
+
     let runtime = Quetzal::new(spec, QuetzalConfig::default())?;
     let metrics = Simulation::new(
         SimConfig::default(),
