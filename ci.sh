@@ -21,6 +21,17 @@ echo "== qz check: preset sweep (deny warnings) =="
 # except the intentional MSP430 QZ011 regime (see EXPERIMENTS.md).
 cargo run -q --bin qz -- check --deny-warnings --allow QZ011
 
+echo "== qz fleet: smoke run + thread-count determinism =="
+# A small fleet must complete, and the JSON report must be byte-identical
+# at 1 and 2 worker threads (the qz-fleet determinism contract).
+fleet_dir=$(mktemp -d)
+trap 'rm -rf "${fleet_dir}"' EXIT
+cargo run -q --bin qz -- fleet --devices 6 --events 10 --threads 1 \
+    --json "${fleet_dir}/t1.json" > /dev/null
+cargo run -q --bin qz -- fleet --devices 6 --events 10 --threads 2 \
+    --json "${fleet_dir}/t2.json" > /dev/null
+cmp "${fleet_dir}/t1.json" "${fleet_dir}/t2.json"
+
 echo "== examples (each front-ends its config through qz-check) =="
 for example in quickstart smart_camera wildlife_monitor custom_policy hw_ratio_module; do
     echo "-- example: ${example}"

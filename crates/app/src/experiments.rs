@@ -251,7 +251,14 @@ pub fn check_experiment(
 /// front-ending it with the `qz-check` analyzer: errors panic with the
 /// rendered report (an infeasible config would produce garbage
 /// metrics), warnings print once per (diagnostic, config) to stderr.
-fn build_simulation<'a>(
+///
+/// Public so `qz-fleet` can assemble per-device simulations it then
+/// drives epoch by epoch instead of running to completion.
+///
+/// # Panics
+///
+/// Panics when `qz-check` rejects the configuration (see above).
+pub fn build_simulation<'a>(
     kind: BaselineKind,
     profile: &DeviceProfile,
     env: &'a SensingEnvironment,

@@ -28,7 +28,7 @@ pub mod model;
 
 pub use devices::{apollo4, msp430fr5994, DeviceProfile};
 pub use experiments::{
-    check_experiment, experiment_configs, ideal, pzi_threshold, pzo_threshold, simulate,
-    simulate_traced, simulate_with_telemetry, timeline_names, SimTweaks,
+    build_simulation, check_experiment, experiment_configs, ideal, pzi_threshold, pzo_threshold,
+    simulate, simulate_traced, simulate_with_telemetry, timeline_names, SimTweaks,
 };
 pub use model::AppModel;

@@ -5,16 +5,22 @@
 use qz_bench::figures::fig09_seeded;
 use qz_bench::stats::{aggregate, mean_improvement};
 use qz_bench::{cli_event_count, Table};
+use qz_fleet::Executor;
 
 fn main() {
     qz_bench::preflight("fig09_multiseed", qz_bench::FigureDevices::Apollo4);
     let events = cli_event_count(200);
     let seeds = [20_250_330u64, 7, 99, 1234, 0xBEEF];
+    let exec = Executor::from_env(0);
     println!(
-        "Fig. 9 (multi-seed) — QZ vs NA/AD over {} seeds, {events} events each\n",
-        seeds.len()
+        "Fig. 9 (multi-seed) — QZ vs NA/AD over {} seeds, {events} events each ({} threads)\n",
+        seeds.len(),
+        exec.threads()
     );
-    let runs: Vec<_> = seeds.iter().map(|&s| fig09_seeded(events, s)).collect();
+    // Seeds are independent runs; fan them out (QZ_THREADS overrides
+    // the width). The map returns in seed order, so aggregation — and
+    // the printed table — is identical at any thread count.
+    let runs = exec.map(seeds.to_vec(), |_, s| fig09_seeded(events, s));
     let agg = aggregate(&runs);
 
     let mut t = Table::new(vec![

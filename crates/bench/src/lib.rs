@@ -66,20 +66,28 @@ pub fn preflight(figure: &str, devices: FigureDevices) {
         FigureDevices::Both => vec![qz_app::apollo4(), qz_app::msp430fr5994()],
     };
     let tweaks = qz_app::SimTweaks::default();
+    // The preset × device sweep is embarrassingly parallel; fan it out
+    // (QZ_THREADS overrides the width) and print failures serially in
+    // sweep order so the output stays deterministic.
+    let pairs: Vec<(qz_app::DeviceProfile, qz_baselines::BaselineKind)> = profiles
+        .iter()
+        .flat_map(|p| PREFLIGHT_KINDS.iter().map(move |&k| (p.clone(), k)))
+        .collect();
+    let rejections = qz_fleet::Executor::from_env(0).map(pairs, |_, (profile, kind)| {
+        let report = qz_app::check_experiment(kind, &profile, &tweaks);
+        report.has_errors().then(|| {
+            format!(
+                "{figure}: qz-check rejected the {} preset on {}:\n{}",
+                kind.label(),
+                profile.name,
+                report.render_text()
+            )
+        })
+    });
     let mut failed = false;
-    for profile in &profiles {
-        for &kind in &PREFLIGHT_KINDS {
-            let report = qz_app::check_experiment(kind, profile, &tweaks);
-            if report.has_errors() {
-                eprintln!(
-                    "{figure}: qz-check rejected the {} preset on {}:\n{}",
-                    kind.label(),
-                    profile.name,
-                    report.render_text()
-                );
-                failed = true;
-            }
-        }
+    for rejection in rejections.into_iter().flatten() {
+        eprintln!("{rejection}");
+        failed = true;
     }
     if failed {
         eprintln!("{figure}: refusing to plot from infeasible configs");

@@ -13,7 +13,7 @@ use std::fmt;
 /// Grouped by analysis family: `QZ00x` energy feasibility, `QZ01x`
 /// queueing/Little's-Law, `QZ02x` degradation lattice, `QZ03x`
 /// fixed-point and hardware-model ranges, `QZ04x` control and window
-/// sanity.
+/// sanity, `QZ05x` fleet/shared-uplink feasibility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(clippy::doc_markdown)]
 pub enum Code {
@@ -67,11 +67,25 @@ pub enum Code {
     QZ042,
     /// Estimator window far outside the useful range.
     QZ043,
+    /// Aggregate fleet airtime demand saturates the shared channel:
+    /// even if every device degrades to its cheapest report, N devices'
+    /// worst-case offered load keeps the gateway busy ≥ 100% of the
+    /// time (Little's Law at the channel — queues grow without bound).
+    QZ050,
+    /// A device's duty-cycle budget cannot drain its own worst-case
+    /// report stream (per-window allowance below the offered airtime,
+    /// or too small to fit even one cheapest report): transmit queues
+    /// back up regardless of fleet size.
+    QZ051,
+    /// Degenerate retry/backoff parameters: the capped maximum backoff
+    /// exceeds the duty window, so a deferred transmitter can sleep
+    /// through entire replenished budgets.
+    QZ052,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 19] = [
+    pub const ALL: [Code; 22] = [
         Code::QZ001,
         Code::QZ002,
         Code::QZ003,
@@ -91,6 +105,9 @@ impl Code {
         Code::QZ041,
         Code::QZ042,
         Code::QZ043,
+        Code::QZ050,
+        Code::QZ051,
+        Code::QZ052,
     ];
 
     /// The stable string form, e.g. `"QZ001"`.
@@ -115,6 +132,9 @@ impl Code {
             Code::QZ041 => "QZ041",
             Code::QZ042 => "QZ042",
             Code::QZ043 => "QZ043",
+            Code::QZ050 => "QZ050",
+            Code::QZ051 => "QZ051",
+            Code::QZ052 => "QZ052",
         }
     }
 
@@ -142,6 +162,9 @@ impl Code {
             Code::QZ041 => "PID outside the documented stability envelope",
             Code::QZ042 => "invalid estimator windows or capture rate",
             Code::QZ043 => "estimator window far outside the useful range",
+            Code::QZ050 => "fleet airtime demand saturates the shared channel (N·λ·airtime ≥ 1)",
+            Code::QZ051 => "duty-cycle budget cannot drain the device's own report stream",
+            Code::QZ052 => "maximum backoff outsleeps the duty window",
         }
     }
 

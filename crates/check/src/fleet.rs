@@ -1,0 +1,233 @@
+//! Fleet/shared-uplink feasibility analysis (`QZ050`–`QZ052`).
+//!
+//! A fleet of N devices shares one gateway channel. Before `qz-fleet`
+//! spends minutes simulating it, this pass applies Little's Law *at
+//! the channel*: if the worst-case offered airtime already saturates
+//! the medium, or a single device's duty-cycle budget cannot carry its
+//! own report stream, no amount of backoff tuning makes the
+//! configuration drain — the simulation would only confirm unbounded
+//! transmit queues.
+//!
+//! The pass is deliberately self-contained (plain numbers, no
+//! `qz-fleet` types) so the dependency points from the fleet crate to
+//! the analyzer and never back.
+
+use crate::{Code, Report, Severity, Span};
+
+/// The shared-channel numbers the fleet analysis needs, already
+/// reduced to scalars by the caller (`qz-fleet` derives them from its
+/// `FleetConfig`; tests construct them directly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCheckInput {
+    /// Devices contending for the channel.
+    pub devices: u64,
+    /// Channel slot length, seconds.
+    pub slot_s: f64,
+    /// Per-device duty-cycle fraction (`>= 1` means uncapped).
+    pub duty_cycle: f64,
+    /// Duty accounting window, seconds.
+    pub duty_window_s: f64,
+    /// Slot-rounded time-on-air of the *cheapest* report a device can
+    /// send (most-degraded quality), seconds.
+    pub min_report_airtime_s: f64,
+    /// Slot-rounded time-on-air of the full-quality report, seconds.
+    pub max_report_airtime_s: f64,
+    /// Worst-case per-device report rate, reports/second (every
+    /// captured frame reported — the channel-side λ bound).
+    pub max_report_rate_hz: f64,
+    /// First busy-sense backoff wait, seconds.
+    pub backoff_base_s: f64,
+    /// Exponential backoff doubling cap (`base · 2^max_exp`).
+    pub backoff_max_exp: u32,
+}
+
+/// Runs the fleet battery and returns the sorted report.
+pub fn check_fleet(input: &FleetCheckInput) -> Report {
+    let mut report = Report::new();
+    run(input, &mut report);
+    report.sort();
+    report
+}
+
+fn span(field: &str) -> Span {
+    Span {
+        field: Some(field.to_string()),
+        ..Span::default()
+    }
+}
+
+fn run(input: &FleetCheckInput, report: &mut Report) {
+    let n = input.devices;
+    if n == 0
+        || !input.min_report_airtime_s.is_finite()
+        || !input.max_report_rate_hz.is_finite()
+        || input.min_report_airtime_s <= 0.0
+        || input.max_report_rate_hz <= 0.0
+    {
+        return; // Degenerate inputs; the per-device analyses own those.
+    }
+
+    // QZ050 — Little's Law at the gateway. The channel is a single
+    // server; its utilization under the worst-case offered load is
+    //   ρ = N · λ_report · airtime_min.
+    // Even with every device maximally degraded, ρ ≥ 1 means the
+    // channel queue grows without bound: collisions and backoff only
+    // subtract capacity from this best case.
+    let rho = n as f64 * input.max_report_rate_hz * input.min_report_airtime_s;
+    if rho >= 1.0 {
+        report.push(
+            Code::QZ050,
+            Severity::Error,
+            span("fleet.devices"),
+            format!(
+                "{} devices offering up to {:.3} reports/s of {:.3} s cheapest airtime \
+                 demand {:.2}× the shared channel's capacity; the gateway queue grows \
+                 without bound at any backoff setting",
+                n, input.max_report_rate_hz, input.min_report_airtime_s, rho
+            ),
+        );
+    }
+
+    // QZ051 — per-device duty-budget drain test. Independent of fleet
+    // size: airtime offered per second must fit the duty fraction, and
+    // the per-window allowance must fit at least one cheapest report.
+    if input.duty_cycle < 1.0 && input.duty_cycle >= 0.0 && input.duty_window_s > 0.0 {
+        let offered = input.max_report_rate_hz * input.min_report_airtime_s;
+        if offered >= input.duty_cycle {
+            report.push(
+                Code::QZ051,
+                Severity::Warning,
+                span("uplink.duty_cycle"),
+                format!(
+                    "worst-case offered airtime {:.3} s/s meets or exceeds the {:.1}% duty \
+                     budget; the transmit queue cannot drain even on an idle channel",
+                    offered,
+                    input.duty_cycle * 100.0
+                ),
+            );
+        }
+        let allowance_s = if input.slot_s > 0.0 {
+            (input.duty_cycle * (input.duty_window_s / input.slot_s)).floor() * input.slot_s
+        } else {
+            input.duty_cycle * input.duty_window_s
+        };
+        if allowance_s < input.min_report_airtime_s {
+            report.push(
+                Code::QZ051,
+                Severity::Warning,
+                span("uplink.duty_window"),
+                format!(
+                    "per-window allowance {allowance_s:.3} s cannot fit one cheapest report \
+                     ({:.3} s); every transmission defers forever",
+                    input.min_report_airtime_s
+                ),
+            );
+        }
+    }
+
+    // QZ052 — backoff pathology: the capped maximum backoff wait
+    // outlasting a whole duty window means a deferred device can sleep
+    // through budget replenishments it could have used.
+    if input.backoff_base_s > 0.0 && input.duty_window_s > 0.0 {
+        let max_backoff = input.backoff_base_s * f64::from(1u32 << input.backoff_max_exp.min(31));
+        if max_backoff > input.duty_window_s {
+            report.push(
+                Code::QZ052,
+                Severity::Warning,
+                span("uplink.backoff_base"),
+                format!(
+                    "capped backoff {max_backoff:.1} s exceeds the {:.1} s duty window; a \
+                     backed-off device sleeps through entire replenished budgets",
+                    input.duty_window_s
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A comfortably feasible 16-device LoRa-ish fleet.
+    fn feasible() -> FleetCheckInput {
+        FleetCheckInput {
+            devices: 16,
+            slot_s: 0.1,
+            duty_cycle: 0.10,
+            duty_window_s: 10.0,
+            min_report_airtime_s: 0.1,
+            max_report_airtime_s: 0.4,
+            max_report_rate_hz: 0.05,
+            backoff_base_s: 0.2,
+            backoff_max_exp: 5,
+        }
+    }
+
+    fn codes(r: &Report) -> Vec<Code> {
+        r.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn feasible_fleet_is_clean() {
+        let r = check_fleet(&feasible());
+        assert!(r.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn saturated_channel_is_qz050_error() {
+        let input = FleetCheckInput {
+            devices: 64,
+            max_report_rate_hz: 1.0, // 64 × 1/s × 0.1 s = 6.4 ≥ 1
+            ..feasible()
+        };
+        let r = check_fleet(&input);
+        assert!(codes(&r).contains(&Code::QZ050));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn undrainable_duty_budget_is_qz051_warning() {
+        let input = FleetCheckInput {
+            devices: 1,
+            max_report_rate_hz: 2.0, // 0.2 s/s offered vs 10% budget
+            ..feasible()
+        };
+        let r = check_fleet(&input);
+        assert!(codes(&r).contains(&Code::QZ051));
+        assert!(!r.has_errors(), "QZ051 alone is a warning");
+    }
+
+    #[test]
+    fn allowance_below_one_report_is_qz051() {
+        let input = FleetCheckInput {
+            duty_cycle: 0.001, // 10 ms allowance < 100 ms report
+            ..feasible()
+        };
+        let r = check_fleet(&input);
+        assert!(codes(&r).contains(&Code::QZ051));
+    }
+
+    #[test]
+    fn oversized_backoff_is_qz052() {
+        let input = FleetCheckInput {
+            backoff_base_s: 1.0,
+            backoff_max_exp: 6, // 64 s > 10 s window
+            ..feasible()
+        };
+        let r = check_fleet(&input);
+        assert!(codes(&r).contains(&Code::QZ052));
+    }
+
+    #[test]
+    fn uncapped_duty_skips_budget_checks() {
+        let input = FleetCheckInput {
+            duty_cycle: 1.0,
+            max_report_rate_hz: 2.0,
+            devices: 1,
+            ..feasible()
+        };
+        let r = check_fleet(&input);
+        assert!(!codes(&r).contains(&Code::QZ051));
+    }
+}

@@ -52,6 +52,7 @@
 mod control;
 mod diag;
 mod energy;
+mod fleet;
 mod lattice;
 mod queueing;
 mod ranges;
@@ -64,6 +65,7 @@ use quetzal::QuetzalConfig;
 use qz_sim::{DeviceConfig, PowerConfig};
 
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use fleet::{check_fleet, FleetCheckInput};
 
 /// Everything the checker looks at, borrowed or defaulted.
 ///

@@ -19,8 +19,60 @@ pub enum Command {
     Trace(RunArgs),
     /// `qz check …` — static semantic analysis of an experiment config.
     Check(CheckArgs),
+    /// `qz fleet …` — parallel multi-device fleet simulation over a
+    /// shared uplink channel.
+    Fleet(FleetArgs),
     /// `qz help` / `--help`.
     Help,
+}
+
+/// Options for `qz fleet`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetArgs {
+    /// Number of devices in the fleet.
+    pub devices: usize,
+    /// Events per device environment.
+    pub events: usize,
+    /// Master fleet seed (per-device streams derive from it).
+    pub seed: u64,
+    /// System every device runs.
+    pub system: BaselineKind,
+    /// Device profile (`apollo4` or `msp430`).
+    pub device: String,
+    /// Environment mix, assigned round-robin by device index.
+    pub envs: Vec<EnvironmentKind>,
+    /// Worker threads; 0 = all available cores (`QZ_THREADS` also
+    /// applies when the flag is absent).
+    pub threads: Option<usize>,
+    /// Shared-channel duty-cycle override (fraction of the window).
+    pub duty_cycle: Option<f64>,
+    /// Channel slot length override, milliseconds.
+    pub slot_ms: Option<u64>,
+    /// JSON report output path (`-` for stdout).
+    pub json: Option<String>,
+    /// Per-device CSV output path (`-` for stdout).
+    pub csv: Option<String>,
+    /// Also print the qz-obs metrics registry.
+    pub metrics: bool,
+}
+
+impl Default for FleetArgs {
+    fn default() -> FleetArgs {
+        FleetArgs {
+            devices: 16,
+            events: 40,
+            seed: 0xF1EE7,
+            system: BaselineKind::Quetzal,
+            device: "apollo4".into(),
+            envs: Vec::new(),
+            threads: None,
+            duty_cycle: None,
+            slot_ms: None,
+            json: None,
+            csv: None,
+            metrics: false,
+        }
+    }
 }
 
 /// Options for `qz check`.
@@ -201,6 +253,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     if sub == "check" {
         return parse_check(&args[1..]).map(Command::Check);
     }
+    if sub == "fleet" {
+        return parse_fleet(&args[1..]).map(Command::Fleet);
+    }
     let mut run = RunArgs::default();
     let mut i = 1;
     let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
@@ -323,6 +378,93 @@ fn parse_check(args: &[String]) -> Result<CheckArgs, ParseError> {
     Ok(check)
 }
 
+/// Parses the flags of `qz fleet`.
+fn parse_fleet(args: &[String]) -> Result<FleetArgs, ParseError> {
+    let mut fleet = FleetArgs::default();
+    let mut i = 0;
+    let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--devices" => {
+                fleet.devices = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--devices` must be a positive integer"))?;
+                if fleet.devices == 0 {
+                    return Err(err("`--devices` must be at least 1"));
+                }
+            }
+            "--events" => {
+                fleet.events = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--events` must be a positive integer"))?;
+            }
+            "--seed" => {
+                fleet.seed = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--seed` must be an integer"))?;
+            }
+            "--system" => fleet.system = parse_system(&take_value(&mut i, flag)?)?,
+            "--device" => {
+                let d = take_value(&mut i, flag)?.to_ascii_lowercase();
+                if d != "apollo4" && d != "msp430" {
+                    return Err(err("`--device` must be `apollo4` or `msp430`"));
+                }
+                fleet.device = d;
+            }
+            "--envs" => {
+                let list = take_value(&mut i, flag)?;
+                fleet.envs = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(parse_env)
+                    .collect::<Result<_, _>>()?;
+                if fleet.envs.is_empty() {
+                    return Err(err("`--envs` needs at least one environment"));
+                }
+            }
+            "--threads" => {
+                fleet.threads = Some(
+                    take_value(&mut i, flag)?
+                        .parse()
+                        .map_err(|_| err("`--threads` must be a non-negative integer"))?,
+                );
+            }
+            "--duty-cycle" => {
+                let d: f64 = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--duty-cycle` must be a fraction"))?;
+                if !(d.is_finite() && d > 0.0) {
+                    return Err(err(
+                        "`--duty-cycle` must be positive (>= 1 disables the cap)",
+                    ));
+                }
+                fleet.duty_cycle = Some(d);
+            }
+            "--slot-ms" => {
+                let ms: u64 = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--slot-ms` must be a positive integer"))?;
+                if ms == 0 {
+                    return Err(err("`--slot-ms` must be at least 1"));
+                }
+                fleet.slot_ms = Some(ms);
+            }
+            "--json" => fleet.json = Some(take_value(&mut i, flag)?),
+            "--csv" => fleet.csv = Some(take_value(&mut i, flag)?),
+            "--metrics" => fleet.metrics = true,
+            other => return Err(err(format!("unknown flag `{other}` for `qz fleet`"))),
+        }
+        i += 1;
+    }
+    Ok(fleet)
+}
+
 /// The help text.
 pub const HELP: &str = "\
 qz — Quetzal experiment runner
@@ -339,6 +481,10 @@ USAGE:
                     [--deny-warnings] [--allow QZ011]…
                     [--cap-mf 33] [--checkpoint jit|task-boundary|periodic:SECS]
                     [--cells 6] [--buffer 10] [--capture-period 1]
+  qz fleet          [--devices 16] [--events 40] [--seed N] [--system QZ]
+                    [--device apollo4|msp430] [--envs more,crowded,less]
+                    [--threads N] [--duty-cycle 0.1] [--slot-ms 50]
+                    [--json out.json|-] [--csv out.csv|-] [--metrics]
   qz help
 
 SYSTEMS:       QZ, QZ-HW, NA, AD, CN, TH25, TH50, TH75, PZO, FCFS, LCFS, AvgSe2e
@@ -349,6 +495,12 @@ would use (energy feasibility, Little's-Law arrival pressure, degradation
 lattice, fixed-point ranges, control sanity) and exits nonzero on errors —
 or on warnings too, with --deny-warnings. Without --system it sweeps every
 shipped preset.
+
+`qz fleet` simulates N independently-seeded devices sharing one duty-cycled
+uplink channel, in parallel (--threads 0 = all cores; QZ_THREADS also
+works). Reports are byte-identical at any thread count. The preflight
+feasibility check (QZ050-QZ052) rejects configs whose offered airtime
+saturates the channel.
 ";
 
 #[cfg(test)]
@@ -489,6 +641,47 @@ mod tests {
         assert!(parse(&argv("check --allow QZ999")).is_err());
         assert!(parse(&argv("check --device z80")).is_err());
         assert!(parse(&argv("check --events 5")).is_err(), "run-only flag");
+    }
+
+    #[test]
+    fn fleet_defaults_and_flags() {
+        let Command::Fleet(f) = parse(&argv("fleet")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(f, FleetArgs::default());
+        let Command::Fleet(f) = parse(&argv(
+            "fleet --devices 64 --events 20 --seed 7 --system CN --device msp430 \
+             --envs more,short --threads 8 --duty-cycle 0.2 --slot-ms 100 \
+             --json out.json --csv - --metrics",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(f.devices, 64);
+        assert_eq!(f.events, 20);
+        assert_eq!(f.seed, 7);
+        assert_eq!(f.system, BaselineKind::CatNap);
+        assert_eq!(f.device, "msp430");
+        assert_eq!(
+            f.envs,
+            vec![EnvironmentKind::MoreCrowded, EnvironmentKind::Short]
+        );
+        assert_eq!(f.threads, Some(8));
+        assert_eq!(f.duty_cycle, Some(0.2));
+        assert_eq!(f.slot_ms, Some(100));
+        assert_eq!(f.json.as_deref(), Some("out.json"));
+        assert_eq!(f.csv.as_deref(), Some("-"));
+        assert!(f.metrics);
+    }
+
+    #[test]
+    fn fleet_rejects_bad_input() {
+        assert!(parse(&argv("fleet --devices 0")).is_err());
+        assert!(parse(&argv("fleet --envs")).is_err());
+        assert!(parse(&argv("fleet --envs mars")).is_err());
+        assert!(parse(&argv("fleet --duty-cycle -1")).is_err());
+        assert!(parse(&argv("fleet --slot-ms 0")).is_err());
+        assert!(parse(&argv("fleet --plot")).is_err(), "run-only flag");
     }
 
     #[test]

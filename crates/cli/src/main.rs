@@ -10,7 +10,7 @@
 mod args;
 mod plot;
 
-use args::{CheckArgs, Command, RunArgs};
+use args::{CheckArgs, Command, FleetArgs, RunArgs};
 use qz_app::{
     apollo4, check_experiment, ideal, msp430fr5994, simulate, simulate_traced,
     simulate_with_telemetry, timeline_names, AppModel, DeviceProfile, SimTweaks,
@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         Command::ExportTraces(r) => export_traces(&r),
         Command::Trace(r) => trace(&r),
         Command::Check(c) => return check(&c),
+        Command::Fleet(f) => fleet(&f),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -175,6 +176,76 @@ fn check(args: &CheckArgs) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn fleet(args: &FleetArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = qz_fleet::FleetConfig {
+        devices: args.devices,
+        events: args.events,
+        fleet_seed: args.seed,
+        system: args.system,
+        profile: if args.device == "msp430" {
+            msp430fr5994()
+        } else {
+            apollo4()
+        },
+        ..qz_fleet::FleetConfig::default()
+    };
+    if !args.envs.is_empty() {
+        cfg.env_mix = args.envs.clone();
+    }
+    if let Some(duty) = args.duty_cycle {
+        cfg.uplink.duty_cycle = duty;
+    }
+    if let Some(ms) = args.slot_ms {
+        cfg.uplink.slot = SimDuration::from_millis(ms);
+    }
+    let exec = match args.threads {
+        Some(n) => qz_fleet::Executor::new(if n == 0 {
+            qz_fleet::Executor::available()
+        } else {
+            n
+        }),
+        None => qz_fleet::Executor::from_env(1),
+    };
+
+    // Surface preflight warnings even when the run proceeds; errors
+    // come back through run_fleet as FleetError::Infeasible.
+    let preflight = qz_fleet::preflight(&cfg);
+    if !preflight.is_empty() && !preflight.has_errors() {
+        eprintln!("{}", preflight.render_text());
+    }
+    eprintln!(
+        "fleet: {} devices × {} events on {} ({} threads)",
+        cfg.devices,
+        cfg.events,
+        cfg.profile.name,
+        exec.threads()
+    );
+    let report = qz_fleet::run_fleet(&cfg, exec)?;
+    println!("{}", report.render_text());
+    if args.metrics {
+        println!("{}", report.registry().render());
+    }
+    if let Some(path) = &args.json {
+        let doc = report.to_json();
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            std::fs::write(path, &doc)?;
+            println!("JSON report written to {path}");
+        }
+    }
+    if let Some(path) = &args.csv {
+        let doc = report.to_csv();
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            std::fs::write(path, &doc)?;
+            println!("per-device CSV written to {path}");
+        }
+    }
+    Ok(())
 }
 
 fn run_one(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {

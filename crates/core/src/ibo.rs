@@ -84,7 +84,10 @@ impl IboDecision {
 }
 
 /// Chooses a degradation option for the scheduled job.
-pub trait DegradationPolicy: fmt::Debug {
+///
+/// `Send` because `qz-fleet` moves whole runtimes across worker
+/// threads between epochs.
+pub trait DegradationPolicy: fmt::Debug + Send {
     /// Decides which option the job's degradable task should run at.
     ///
     /// When `ctx.option_services` is empty (no degradable task), the

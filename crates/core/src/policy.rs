@@ -64,7 +64,10 @@ pub struct Selection {
 }
 
 /// A job-selection policy.
-pub trait SchedulingPolicy: fmt::Debug {
+///
+/// `Send` because `qz-fleet` moves whole runtimes across worker
+/// threads between epochs; implementations hold plain owned state.
+pub trait SchedulingPolicy: fmt::Debug + Send {
     /// Picks one of `candidates`, or `None` if the slice is empty.
     fn select(
         &mut self,

@@ -13,7 +13,10 @@ use qz_types::Watts;
 
 /// Predicts the input power over the scheduling horizon from the
 /// measurements taken at each scheduler invocation.
-pub trait PowerPredictor: fmt::Debug {
+///
+/// `Send` because `qz-fleet` moves whole runtimes across worker
+/// threads between epochs.
+pub trait PowerPredictor: fmt::Debug + Send {
     /// Feeds one measurement and returns the prediction to use now.
     fn predict(&mut self, measured: Watts) -> Watts;
 }

@@ -37,7 +37,10 @@ pub const SE2E_CAP: Seconds = Seconds(1.0e6);
 ///
 /// `observe` feeds back measured service times after execution; only
 /// history-based estimators use it.
-pub trait ServiceEstimator: fmt::Debug {
+///
+/// `Send` because `qz-fleet` moves whole runtimes across worker
+/// threads between epochs.
+pub trait ServiceEstimator: fmt::Debug + Send {
     /// Predicts `S_e2e` for a task configuration at the given input power.
     fn predict(&self, key: TaskKey, cost: TaskCost, p_in: Watts) -> Seconds;
 

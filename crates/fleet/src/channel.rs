@@ -1,0 +1,260 @@
+//! Gateway-side channel accounting: a deterministic slot-ordered
+//! reduction over every device's granted transmissions.
+//!
+//! Devices decide *locally* whether to transmit (duty budget + a
+//! carrier-sense draw against the previous epoch's fleet load, see
+//! [`qz_sim::uplink`]); the gateway never arbitrates in real time.
+//! Instead, at every epoch barrier the coordinator hands each device's
+//! drained [`TxRecord`] log to [`GatewayChannel::reduce_epoch`], which
+//! merges them in slot order and charges exact outcomes:
+//!
+//! - slots covered by exactly one transmission are **clean**;
+//! - slots covered by two or more are **collisions** (slotted-ALOHA
+//!   semantics: everybody loses the slot);
+//! - a transmission touching any collision slot is a **collided
+//!   transmission** — its report reached the air but not the gateway.
+//!
+//! The reduction also returns each device's next-epoch busy
+//! probability: the fraction of the epoch the *other* devices spent on
+//! air. That one-epoch-delayed mean-field signal is what keeps the
+//! whole fleet deterministic regardless of thread count — no device
+//! ever observes a neighbour's in-progress epoch.
+//!
+//! Limitations, stated plainly: back-pressure is delayed by one epoch,
+//! and collisions are detected within an epoch (a transmission
+//! spanning a barrier is reduced with the epoch that granted it), so
+//! cross-barrier overlap is not charged. Transmissions (≤ a few
+//! hundred ms) are short against the default 1 s epoch.
+
+use qz_sim::TxRecord;
+
+/// Cumulative channel outcome over a whole fleet run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Slot length, milliseconds.
+    pub slot_ms: u64,
+    /// Total channel slots in the fleet horizon (set by
+    /// [`GatewayChannel::finish`]).
+    pub horizon_slots: u64,
+    /// Slots occupied by exactly one transmission.
+    pub clean_slots: u64,
+    /// Slots occupied by two or more transmissions.
+    pub collision_slots: u64,
+    /// Transmissions granted across the fleet.
+    pub total_tx: u64,
+    /// Transmissions that touched at least one collision slot.
+    pub collided_tx: u64,
+    /// Sum of per-device time-on-air, in slots (collision slots count
+    /// once per transmitter).
+    pub airtime_slots: u64,
+}
+
+impl ChannelStats {
+    /// Slots in which the channel carried nothing.
+    pub fn idle_slots(&self) -> u64 {
+        self.horizon_slots
+            .saturating_sub(self.clean_slots + self.collision_slots)
+    }
+
+    /// Fraction of the horizon the channel was occupied (clean or
+    /// colliding). 0 for an empty horizon.
+    pub fn utilization(&self) -> f64 {
+        if self.horizon_slots == 0 {
+            0.0
+        } else {
+            (self.clean_slots + self.collision_slots) as f64 / self.horizon_slots as f64
+        }
+    }
+
+    /// Fraction of transmissions lost to collisions. 0 when nothing
+    /// was sent.
+    pub fn collision_rate(&self) -> f64 {
+        if self.total_tx == 0 {
+            0.0
+        } else {
+            self.collided_tx as f64 / self.total_tx as f64
+        }
+    }
+}
+
+/// The epoch-barrier reducer. One per fleet run.
+#[derive(Debug, Clone)]
+pub struct GatewayChannel {
+    epoch_slots: u64,
+    stats: ChannelStats,
+    /// Highest end slot seen, so the horizon covers every grant.
+    max_end_slot: u64,
+}
+
+impl GatewayChannel {
+    /// A reducer for a channel with the given slot length and epoch
+    /// length (both in slots ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_slots` is zero.
+    pub fn new(slot_ms: u64, epoch_slots: u64) -> GatewayChannel {
+        assert!(epoch_slots > 0, "epoch must hold at least one slot");
+        GatewayChannel {
+            epoch_slots,
+            stats: ChannelStats {
+                slot_ms,
+                ..ChannelStats::default()
+            },
+            max_end_slot: 0,
+        }
+    }
+
+    /// Merges one epoch's per-device transmission logs in slot order,
+    /// updating the cumulative stats, and returns each device's busy
+    /// probability for the **next** epoch: the other devices' airtime
+    /// in this epoch as a fraction of the epoch (uncapped; the port
+    /// clamps).
+    pub fn reduce_epoch(&mut self, logs: &[Vec<TxRecord>]) -> Vec<f64> {
+        // Deterministic merge order: (start, end, device index).
+        let mut intervals: Vec<(u64, u64, usize)> = Vec::new();
+        let mut device_airtime = vec![0u64; logs.len()];
+        for (device, log) in logs.iter().enumerate() {
+            for rec in log {
+                intervals.push((rec.start_slot, rec.end_slot(), device));
+                device_airtime[device] += rec.slots;
+                self.max_end_slot = self.max_end_slot.max(rec.end_slot());
+            }
+        }
+        intervals.sort_unstable();
+        self.stats.total_tx += u64::try_from(intervals.len()).expect("tx count fits u64");
+        self.stats.airtime_slots += device_airtime.iter().sum::<u64>();
+
+        // Boundary sweep: +1 at each start, −1 at each end, then walk
+        // the distinct boundaries charging clean/collision runs.
+        let mut deltas: std::collections::BTreeMap<u64, i64> = std::collections::BTreeMap::new();
+        for &(start, end, _) in &intervals {
+            *deltas.entry(start).or_insert(0) += 1;
+            *deltas.entry(end).or_insert(0) -= 1;
+        }
+        let mut collision_ranges: Vec<(u64, u64)> = Vec::new();
+        let mut coverage: i64 = 0;
+        let mut prev: Option<u64> = None;
+        for (&slot, &delta) in &deltas {
+            if let Some(p) = prev {
+                let run = slot - p;
+                match coverage {
+                    1 => self.stats.clean_slots += run,
+                    c if c >= 2 => {
+                        self.stats.collision_slots += run;
+                        collision_ranges.push((p, slot));
+                    }
+                    _ => {}
+                }
+            }
+            coverage += delta;
+            prev = Some(slot);
+        }
+        // A transmission overlapping any collision range is lost.
+        for &(start, end, _) in &intervals {
+            let hit = collision_ranges
+                .iter()
+                .any(|&(cs, ce)| start < ce && cs < end);
+            if hit {
+                self.stats.collided_tx += 1;
+            }
+        }
+
+        let total: u64 = device_airtime.iter().sum();
+        device_airtime
+            .iter()
+            .map(|&own| (total - own) as f64 / self.epoch_slots as f64)
+            .collect()
+    }
+
+    /// Closes the books: fixes the horizon (at least every granted
+    /// slot) and returns the cumulative stats.
+    pub fn finish(mut self, horizon_slots: u64) -> ChannelStats {
+        self.stats.horizon_slots = horizon_slots.max(self.max_end_slot);
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(start_slot: u64, slots: u64) -> TxRecord {
+        TxRecord { start_slot, slots }
+    }
+
+    #[test]
+    // The reduction is integer slot arithmetic; the derived fractions
+    // are exact, so strict float comparison is the point.
+    #[allow(clippy::float_cmp)]
+    fn disjoint_transmissions_are_clean() {
+        let mut g = GatewayChannel::new(100, 10);
+        let loads = g.reduce_epoch(&[vec![tx(0, 2)], vec![tx(5, 3)]]);
+        // Each device sees the other's 2 or 3 slots over a 10-slot epoch.
+        assert_eq!(loads, vec![0.3, 0.2]);
+        let stats = g.finish(10);
+        assert_eq!(stats.clean_slots, 5);
+        assert_eq!(stats.collision_slots, 0);
+        assert_eq!(stats.collided_tx, 0);
+        assert_eq!(stats.total_tx, 2);
+        assert_eq!(stats.airtime_slots, 5);
+        assert_eq!(stats.idle_slots(), 5);
+        assert!((stats.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_charges_collisions_and_loses_both() {
+        let mut g = GatewayChannel::new(100, 10);
+        g.reduce_epoch(&[vec![tx(0, 4)], vec![tx(2, 4)]]);
+        let stats = g.finish(10);
+        // Slots 0–1 and 4–5 clean, 2–3 collided.
+        assert_eq!(stats.clean_slots, 4);
+        assert_eq!(stats.collision_slots, 2);
+        assert_eq!(stats.collided_tx, 2);
+        assert_eq!(stats.airtime_slots, 8);
+        assert!((stats.collision_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_is_order_independent() {
+        let a = {
+            let mut g = GatewayChannel::new(100, 20);
+            g.reduce_epoch(&[vec![tx(0, 3), tx(10, 2)], vec![tx(1, 1)], vec![tx(15, 4)]]);
+            g.finish(20)
+        };
+        let b = {
+            let mut g = GatewayChannel::new(100, 20);
+            g.reduce_epoch(&[vec![tx(15, 4)], vec![tx(0, 3), tx(10, 2)], vec![tx(1, 1)]]);
+            g.finish(20)
+        };
+        // Same multiset of intervals → same slot accounting (device
+        // attribution differs, but the channel totals cannot).
+        assert_eq!(a.clean_slots, b.clean_slots);
+        assert_eq!(a.collision_slots, b.collision_slots);
+        assert_eq!(a.collided_tx, b.collided_tx);
+        assert_eq!(a.airtime_slots, b.airtime_slots);
+    }
+
+    #[test]
+    fn horizon_extends_to_cover_grants() {
+        let mut g = GatewayChannel::new(100, 10);
+        g.reduce_epoch(&[vec![tx(95, 10)]]);
+        let stats = g.finish(10);
+        assert_eq!(stats.horizon_slots, 105);
+        assert_eq!(stats.idle_slots(), 95);
+    }
+
+    #[test]
+    // Zero-denominator fractions are the 0.0 literal by definition.
+    #[allow(clippy::float_cmp)]
+    fn empty_epochs_accumulate_nothing() {
+        let mut g = GatewayChannel::new(100, 10);
+        assert!(g.reduce_epoch(&[]).is_empty());
+        let loads = g.reduce_epoch(&[vec![], vec![]]);
+        assert_eq!(loads, vec![0.0, 0.0]);
+        let stats = g.finish(40);
+        assert_eq!(stats.total_tx, 0);
+        assert_eq!(stats.utilization(), 0.0);
+        assert_eq!(stats.collision_rate(), 0.0);
+    }
+}

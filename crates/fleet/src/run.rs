@@ -1,0 +1,234 @@
+//! The fleet coordinator: builds N independently-seeded devices, steps
+//! them epoch by epoch on the thread crew, and reduces their uplink
+//! logs at every barrier.
+//!
+//! Determinism contract: every device's trajectory depends only on
+//! `(FleetConfig)` — its environment, classification draws, and uplink
+//! jitter come from seed streams derived with
+//! [`qz_types::SplitMix64::derive_stream`], and the only cross-device
+//! coupling (the carrier-sense busy probability) is computed in a
+//! serial reduction at epoch barriers from *completed* epochs. Threads
+//! only decide which core steps which device; they can't change what
+//! any device observes.
+
+use crate::channel::{ChannelStats, GatewayChannel};
+use crate::config::FleetConfig;
+use crate::exec::Executor;
+use crate::report::{DeviceReport, FleetAggregates, FleetReport};
+use qz_app::build_simulation;
+use qz_sim::{Simulation, TxRecord, UplinkPort};
+use qz_traces::SensingEnvironment;
+use qz_types::{SimDuration, SimTime};
+
+/// Why a fleet run could not start.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The preflight feasibility check found errors (e.g. QZ050: the
+    /// offered airtime saturates the shared channel). The report
+    /// carries the diagnostics.
+    Infeasible(qz_check::Report),
+    /// The config is structurally unusable (empty env mix, zero
+    /// devices).
+    BadConfig(String),
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::Infeasible(report) => {
+                write!(f, "fleet preflight failed:\n{}", report.render_text())
+            }
+            FleetError::BadConfig(why) => write!(f, "bad fleet config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Runs the fleet feasibility preflight on its own — the same check
+/// [`run_fleet`] performs — so callers can surface warnings even when
+/// the run proceeds.
+pub fn preflight(cfg: &FleetConfig) -> qz_check::Report {
+    qz_check::check_fleet(&cfg.check_input())
+}
+
+/// One device mid-run: its simulation plus the transmissions it logged
+/// during the epoch being stepped.
+struct DeviceRun<'a> {
+    sim: Simulation<'a>,
+    epoch_log: Vec<TxRecord>,
+}
+
+/// Runs the whole fleet to completion on `exec`'s thread crew and
+/// returns the report. The report is byte-identical for a given config
+/// at any thread count.
+///
+/// # Errors
+///
+/// [`FleetError::BadConfig`] when the config has zero devices or an
+/// empty environment mix; [`FleetError::Infeasible`] when the
+/// preflight check finds errors.
+///
+/// # Panics
+///
+/// Panics if a device's experiment config fails validation (the same
+/// contract as [`qz_app::build_simulation`]).
+pub fn run_fleet(cfg: &FleetConfig, exec: Executor) -> Result<FleetReport, FleetError> {
+    if cfg.devices == 0 {
+        return Err(FleetError::BadConfig(
+            "fleet needs at least one device".into(),
+        ));
+    }
+    if cfg.env_mix.is_empty() {
+        return Err(FleetError::BadConfig(
+            "environment mix must not be empty".into(),
+        ));
+    }
+    let report = preflight(cfg);
+    if report.has_errors() {
+        return Err(FleetError::Infeasible(report));
+    }
+
+    // Environment generation is pure in (kind, events, seed); fan it
+    // out. The map returns in device order regardless of scheduling.
+    let envs: Vec<SensingEnvironment> = exec.map((0..cfg.devices).collect(), |_, device| {
+        SensingEnvironment::generate(cfg.env_for(device), cfg.events, cfg.env_seed(device as u64))
+    });
+
+    // Assemble per-device simulations, each with its own seed streams
+    // and an uplink gate on the shared channel.
+    let mut runs: Vec<DeviceRun<'_>> = envs
+        .iter()
+        .enumerate()
+        .map(|(device, env)| {
+            let mut tweaks = cfg.tweaks.clone();
+            tweaks.seed = cfg.sim_seed(device as u64);
+            let mut sim = build_simulation(cfg.system, &cfg.profile, env, &tweaks);
+            sim.set_uplink(UplinkPort::new(
+                cfg.uplink.clone(),
+                cfg.uplink_seed(device as u64),
+            ));
+            DeviceRun {
+                sim,
+                epoch_log: Vec::new(),
+            }
+        })
+        .collect();
+
+    // Epoch loop: parallel step to the barrier, serial slot-ordered
+    // reduction, one-epoch-delayed back-pressure, repeat.
+    let mut gateway = GatewayChannel::new(cfg.uplink.slot.as_millis(), cfg.epoch_slots());
+    let mut epoch_end: SimTime = SimTime::ZERO + cfg.epoch;
+    loop {
+        exec.for_each_mut(&mut runs, |_, run| {
+            while !run.sim.is_done() && run.sim.time() < epoch_end {
+                run.sim.step();
+            }
+            run.epoch_log = run.sim.drain_tx_log();
+        });
+        let logs: Vec<Vec<TxRecord>> = runs
+            .iter_mut()
+            .map(|run| core::mem::take(&mut run.epoch_log))
+            .collect();
+        let loads = gateway.reduce_epoch(&logs);
+        for (run, load) in runs.iter_mut().zip(loads) {
+            run.sim.set_uplink_busy_probability(load);
+        }
+        if runs.iter().all(|run| run.sim.is_done()) {
+            break;
+        }
+        epoch_end += cfg.epoch;
+    }
+
+    // Close the channel books over the longest device horizon.
+    let slot_ms = cfg.uplink.slot.as_millis();
+    let horizon_ms = runs
+        .iter()
+        .map(|run| run.sim.metrics().sim_time)
+        .max()
+        .unwrap_or(SimDuration::ZERO)
+        .as_millis();
+    let channel: ChannelStats = gateway.finish(horizon_ms.div_ceil(slot_ms));
+
+    let devices: Vec<DeviceReport> = runs
+        .iter()
+        .enumerate()
+        .map(|(device, run)| DeviceReport {
+            device,
+            env: cfg.env_for(device).label().to_string(),
+            metrics: run.sim.metrics().clone(),
+        })
+        .collect();
+    let mut report = FleetReport {
+        system: cfg.system.label(),
+        fleet_seed: cfg.fleet_seed,
+        devices,
+        channel,
+        aggregates: FleetAggregates::default(),
+    };
+    report.aggregate();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FleetConfig {
+        FleetConfig {
+            devices: 4,
+            events: 6,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_fleet_runs_and_accounts_airtime() {
+        let report = run_fleet(&small(), Executor::new(2)).expect("fleet runs");
+        assert_eq!(report.devices.len(), 4);
+        // Every device simulated something and the channel books
+        // balance: clean + collision ≤ airtime ≤ horizon × devices.
+        let c = &report.channel;
+        assert!(c.horizon_slots > 0);
+        assert!(c.clean_slots + c.collision_slots <= c.airtime_slots);
+        let per_device: u64 = report
+            .devices
+            .iter()
+            .map(|d| d.metrics.tx_airtime.as_millis() / c.slot_ms)
+            .sum();
+        assert_eq!(c.airtime_slots, per_device);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let cfg = small();
+        let one = run_fleet(&cfg, Executor::new(1)).expect("1 thread");
+        let four = run_fleet(&cfg, Executor::new(4)).expect("4 threads");
+        assert_eq!(one.to_json(), four.to_json());
+        assert_eq!(one.to_csv(), four.to_csv());
+    }
+
+    #[test]
+    fn zero_devices_is_rejected() {
+        let cfg = FleetConfig {
+            devices: 0,
+            ..FleetConfig::default()
+        };
+        assert!(matches!(
+            run_fleet(&cfg, Executor::new(1)),
+            Err(FleetError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn saturating_fleet_is_rejected_by_preflight() {
+        let cfg = FleetConfig {
+            devices: 100_000,
+            ..FleetConfig::default()
+        };
+        match run_fleet(&cfg, Executor::new(1)) {
+            Err(FleetError::Infeasible(report)) => assert!(report.has_errors()),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+}

@@ -176,6 +176,17 @@ pub enum EventKind {
         /// How long the device was off, milliseconds.
         off_ms: u64,
     },
+    /// A transmit attempt was refused by the shared-uplink gate
+    /// (carrier sense found the channel busy, or the duty-cycle budget
+    /// for the current window was spent) and the job is waiting to
+    /// retry.
+    TxBackoff {
+        /// How long the device waits before re-sensing, milliseconds.
+        wait_ms: u64,
+        /// `true` when the refusal was a duty-budget deferral rather
+        /// than a busy carrier sense.
+        duty_capped: bool,
+    },
     /// A periodic telemetry snapshot.
     Snapshot(Snapshot),
 }
@@ -194,6 +205,7 @@ impl EventKind {
             EventKind::PowerFailure { .. } => "power_failure",
             EventKind::Checkpoint => "checkpoint",
             EventKind::Restore { .. } => "restore",
+            EventKind::TxBackoff { .. } => "tx_backoff",
             EventKind::Snapshot(_) => "snapshot",
         }
     }
@@ -256,6 +268,10 @@ mod tests {
             EventKind::PowerFailure { checkpointed: true },
             EventKind::Checkpoint,
             EventKind::Restore { off_ms: 2000 },
+            EventKind::TxBackoff {
+                wait_ms: 400,
+                duty_capped: false,
+            },
             EventKind::Snapshot(Snapshot {
                 irradiance: 0.5,
                 stored_j: 0.1,

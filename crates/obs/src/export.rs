@@ -153,6 +153,14 @@ pub fn event_to_json(event: &Event) -> String {
         EventKind::Restore { off_ms } => {
             s.push_str(&format!(",\"off_ms\":{off_ms}"));
         }
+        EventKind::TxBackoff {
+            wait_ms,
+            duty_capped,
+        } => {
+            s.push_str(&format!(
+                ",\"wait_ms\":{wait_ms},\"duty_capped\":{duty_capped}"
+            ));
+        }
         EventKind::Snapshot(snap) => {
             s.push_str(&format!(
                 ",\"irradiance\":{},\"stored_j\":{},\"on\":{},\"occupancy\":{},\"lambda\":{},\
@@ -295,6 +303,8 @@ pub fn write_csv<W: Write>(mut w: W, events: &[Event]) -> io::Result<()> {
             EventKind::PowerFailure { checkpointed: c } => checkpointed = c.to_string(),
             EventKind::Checkpoint => {}
             EventKind::Restore { off_ms: o } => off_ms = o.to_string(),
+            // Backoff waits reuse the generic off_ms duration column.
+            EventKind::TxBackoff { wait_ms, .. } => off_ms = wait_ms.to_string(),
             EventKind::Snapshot(snap) => {
                 occupancy = snap.occupancy.to_string();
                 lambda = snap.lambda.to_string();

@@ -325,6 +325,16 @@ impl Observer for MetricsObserver {
                 r.counter_add("restores", 1);
                 r.histogram_record("recharge_time_ms", *off_ms);
             }
+            EventKind::TxBackoff {
+                wait_ms,
+                duty_capped,
+            } => {
+                r.counter_add("tx_backoffs", 1);
+                if *duty_capped {
+                    r.counter_add("tx_duty_deferrals", 1);
+                }
+                r.histogram_record("tx_backoff_wait_ms", *wait_ms);
+            }
             EventKind::Snapshot(s) => {
                 r.histogram_record("occupancy", s.occupancy as u64);
                 r.gauge_set("stored_j", s.stored_j);

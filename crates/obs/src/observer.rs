@@ -14,7 +14,12 @@ use crate::sinks::RecordingObserver;
 /// event construction entirely — [`NoopObserver`] returns `false`, and
 /// [`ObserverHandle`] caches the answer so the disabled fast path is a
 /// single boolean test.
-pub trait Observer: core::fmt::Debug {
+///
+/// Observers must be `Send`: the fleet executor (`qz-fleet`) moves
+/// whole simulations — observer included — across worker threads
+/// between epochs. All bundled sinks are plain owned data, so the
+/// bound costs nothing.
+pub trait Observer: core::fmt::Debug + Send {
     /// Whether this observer wants events at all. Checked once at
     /// install time; return `false` to compile emission down to nothing.
     fn enabled(&self) -> bool {

@@ -221,6 +221,20 @@ fn render_event(out: &mut String, e: &Event, names: &TimelineNames, cfg: &Timeli
                 *off_ms as f64 / 1000.0
             ));
         }
+        EventKind::TxBackoff {
+            wait_ms,
+            duty_capped,
+        } => {
+            out.push_str(&format!(
+                "{t} RADIO    uplink {} — retry in {:.1}s\n",
+                if *duty_capped {
+                    "duty budget spent"
+                } else {
+                    "busy"
+                },
+                *wait_ms as f64 / 1000.0
+            ));
+        }
         EventKind::Snapshot(s) => {
             out.push_str(&format!(
                 "{t} ····     irr={:.2} stored={:.3}J buf={} λ={:.3}/s{}\n",

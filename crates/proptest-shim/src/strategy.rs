@@ -217,6 +217,8 @@ tuple_strategy! {
     (A, B)
     (A, B, C)
     (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
 }
 
 /// Types with a canonical "any value" strategy (`any::<T>()`).

@@ -6,6 +6,7 @@ use crate::intermittent::{CheckpointPolicy, ProgressKeeper};
 use crate::metrics::Metrics;
 use crate::pipeline::{PipelineError, PipelineSpec, Route, TaskBehavior};
 use crate::telemetry::{Recorder, Telemetry, TelemetrySample};
+use crate::uplink::{TxDecision, TxRecord, UplinkPort};
 use core::fmt;
 use quetzal::model::{JobId, TaskCost, TaskId, TaskKey};
 use quetzal::runtime::BufferView;
@@ -75,6 +76,10 @@ struct ActiveJob {
     executed: Vec<(TaskId, bool)>,
     started_at: SimTime,
     task_started_at: SimTime,
+    /// Waiting out an uplink backoff/duty deferral before the task at
+    /// `phase` may (re-)attempt to transmit. The radio sleeps while
+    /// waiting, so the job draws sleep power, not task power.
+    tx_wait: bool,
 }
 
 /// One simulated device run: environment + power system + runtime +
@@ -101,6 +106,9 @@ pub struct Simulation<'a> {
     metrics: Metrics,
     rng: SplitMix64,
     recorder: Option<Recorder>,
+    /// Gate onto a shared uplink channel; `None` (the default) leaves
+    /// radio tasks completely ungated.
+    uplink: Option<UplinkPort>,
     /// When the device last powered down (for `Restore` off-time events).
     off_since: Option<SimTime>,
     /// Cadence of `Snapshot` events while an observer is installed.
@@ -148,6 +156,7 @@ impl<'a> Simulation<'a> {
             metrics: Metrics::default(),
             rng,
             recorder: None,
+            uplink: None,
             off_since: None,
             snapshot_every: SimDuration::from_secs(1),
             done: false,
@@ -188,6 +197,43 @@ impl<'a> Simulation<'a> {
     /// diagnostic.
     pub fn active_option(&self) -> Option<usize> {
         self.job.as_ref().map(|j| j.option)
+    }
+
+    /// Installs a gate onto a shared uplink channel. From now on every
+    /// `Transmit` task must pass duty-cycle and carrier-sense checks
+    /// before executing; refused attempts wait and retry, holding their
+    /// buffer slot (see [`crate::uplink`]).
+    pub fn set_uplink(&mut self, port: UplinkPort) {
+        self.uplink = Some(port);
+    }
+
+    /// The installed uplink gate, if any.
+    pub fn uplink(&self) -> Option<&UplinkPort> {
+        self.uplink.as_ref()
+    }
+
+    /// Sets the carrier-sense busy probability on the installed gate
+    /// (no-op without one). The fleet coordinator calls this between
+    /// epochs with the other devices' previous-epoch channel load.
+    pub fn set_uplink_busy_probability(&mut self, p: f64) {
+        if let Some(port) = self.uplink.as_mut() {
+            port.set_busy_probability(p);
+        }
+    }
+
+    /// Takes the transmissions granted since the last drain (empty
+    /// without an uplink gate).
+    pub fn drain_tx_log(&mut self) -> Vec<TxRecord> {
+        self.uplink
+            .as_mut()
+            .map(UplinkPort::drain_log)
+            .unwrap_or_default()
+    }
+
+    /// Whether the run has finished (same condition that makes
+    /// [`step`](Simulation::step) return `false`).
+    pub fn is_done(&self) -> bool {
+        self.done
     }
 
     /// Enables periodic telemetry recording at the given interval.
@@ -435,6 +481,10 @@ impl<'a> Simulation<'a> {
     /// Power drawn by whatever the device is doing right now.
     fn current_power(&self) -> Watts {
         if let Some(j) = &self.job {
+            if j.tx_wait {
+                // Radio backoff: the MCU sleeps until the re-sense.
+                return self.cfg.device.sleep_power;
+            }
             return match j.phase {
                 JobPhase::Overhead => self.cfg.device.scheduler_overhead.p_exe,
                 JobPhase::Task(i) => self.task_cost(j.job, i, j.option).p_exe,
@@ -515,8 +565,14 @@ impl<'a> Simulation<'a> {
         if !j.remaining.is_zero() {
             return;
         }
+        let waiting = j.tx_wait;
         match j.phase {
             JobPhase::Overhead => self.start_task(t, 0),
+            JobPhase::Task(i) if waiting => {
+                // Backoff elapsed: re-enter the task, which re-senses.
+                self.job.as_mut().expect("job present").tx_wait = false;
+                self.start_task(t, i);
+            }
             JobPhase::Task(i) => self.finish_task(t, i),
         }
     }
@@ -540,9 +596,45 @@ impl<'a> Simulation<'a> {
         } else {
             cost.t_exe
         };
+        let duration = SimDuration::from_seconds_ceil(latency);
+        // A transmit task must clear the shared-channel gate first.
+        // Refusals park the job in a tx_wait hold (sleep power, buffer
+        // slot held — IBO pressure keeps building) and retry at expiry.
+        if let Some(port) = self.uplink.as_mut() {
+            let task = self.runtime.spec().job(job).tasks[idx];
+            if matches!(self.pipeline.behavior(task), TaskBehavior::Transmit(_)) {
+                let decision = port.sense(t, duration);
+                match decision {
+                    TxDecision::Grant { airtime } => {
+                        self.metrics.tx_grants += 1;
+                        self.metrics.tx_airtime += airtime;
+                    }
+                    TxDecision::Busy(wait) | TxDecision::DutyCapped(wait) => {
+                        match decision {
+                            TxDecision::Busy(_) => self.metrics.tx_busy_backoffs += 1,
+                            _ => self.metrics.tx_duty_deferrals += 1,
+                        }
+                        self.metrics.tx_backoff_wait += wait;
+                        if self.runtime.observing() {
+                            self.runtime.emit_event(EventKind::TxBackoff {
+                                wait_ms: wait.as_millis(),
+                                duty_capped: matches!(decision, TxDecision::DutyCapped(_)),
+                            });
+                        }
+                        let j = self.job.as_mut().expect("job present");
+                        j.phase = JobPhase::Task(idx);
+                        j.tx_wait = true;
+                        j.remaining = wait;
+                        j.full_latency = wait;
+                        j.keeper.task_started(wait);
+                        return;
+                    }
+                }
+            }
+        }
         let j = self.job.as_mut().expect("job present");
         j.phase = JobPhase::Task(idx);
-        j.remaining = SimDuration::from_seconds_ceil(latency);
+        j.remaining = duration;
         j.full_latency = j.remaining;
         j.keeper.task_started(j.remaining);
         j.task_started_at = t;
@@ -550,13 +642,14 @@ impl<'a> Simulation<'a> {
     }
 
     fn finish_task(&mut self, t: SimTime, idx: usize) {
-        let (option, task, task_started_at, interesting) = {
+        let (option, task, task_started_at, interesting, captured_at) = {
             let j = self.job.as_ref().expect("job present");
             (
                 j.option,
                 j.executed[idx].0,
                 j.task_started_at,
                 j.entry.interesting,
+                j.entry.captured_at,
             )
         };
         // Feed the observed per-task S_e2e (includes recharge stalls and
@@ -603,6 +696,11 @@ impl<'a> Simulation<'a> {
                     (false, ReportQuality::High) => self.metrics.reports_uninteresting_high += 1,
                     (false, ReportQuality::Low) => self.metrics.reports_uninteresting_low += 1,
                 }
+                // Capture-to-delivery latency: the fleet-level QoS
+                // metric the shared channel pushes around.
+                let latency = t.since(captured_at) + SimDuration::TICK;
+                self.metrics.delivery_latency_total += latency;
+                self.metrics.delivery_latency_max = self.metrics.delivery_latency_max.max(latency);
             }
         }
         self.start_task(t, idx + 1);
@@ -678,6 +776,7 @@ impl<'a> Simulation<'a> {
             executed,
             started_at: t,
             task_started_at: t,
+            tx_wait: false,
         };
         if overhead.is_zero() {
             // No modeled overhead: enter the first task immediately.

@@ -41,6 +41,7 @@ pub mod intermittent;
 pub mod metrics;
 pub mod pipeline;
 pub mod telemetry;
+pub mod uplink;
 
 pub use buffer::{BufferEntry, InputBuffer};
 pub use builder::{SimApp, SimAppBuilder};
@@ -50,3 +51,4 @@ pub use intermittent::{CheckpointPolicy, ProgressKeeper};
 pub use metrics::Metrics;
 pub use pipeline::{ClassRates, PipelineSpec, ReportQuality, Route, TaskBehavior};
 pub use telemetry::{Telemetry, TelemetrySample};
+pub use uplink::{TxDecision, TxRecord, UplinkConfig, UplinkPort};

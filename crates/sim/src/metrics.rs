@@ -57,6 +57,24 @@ pub struct Metrics {
     /// Uninteresting inputs reported at low quality (false positives).
     pub reports_uninteresting_low: u64,
 
+    // --- Uplink (zero unless an `UplinkPort` is installed, except the
+    // --- delivery-latency pair which every run records) ---
+    /// Channel grants: transmissions that passed the gate.
+    pub tx_grants: u64,
+    /// Carrier senses that found the channel busy (each cost a backoff).
+    pub tx_busy_backoffs: u64,
+    /// Transmissions deferred because the duty-cycle budget was spent.
+    pub tx_duty_deferrals: u64,
+    /// Total time spent waiting out backoffs and duty deferrals.
+    pub tx_backoff_wait: SimDuration,
+    /// Slot-rounded time-on-air across all granted transmissions.
+    pub tx_airtime: SimDuration,
+    /// Sum over reports of capture-to-delivery latency (divide by
+    /// [`total_reports`](Metrics::total_reports) for the mean).
+    pub delivery_latency_total: SimDuration,
+    /// Worst capture-to-delivery latency over all reports.
+    pub delivery_latency_max: SimDuration,
+
     // --- Execution ---
     /// Jobs completed, indexed by the degradation option they ran at
     /// (index 0 = highest quality).
@@ -149,6 +167,17 @@ impl Metrics {
     /// All jobs completed.
     pub fn total_jobs(&self) -> u64 {
         self.jobs_by_option.iter().sum()
+    }
+
+    /// Mean capture-to-delivery latency over all reports, seconds
+    /// (0 when nothing was reported).
+    pub fn mean_delivery_latency_s(&self) -> f64 {
+        let n = self.total_reports();
+        if n == 0 {
+            0.0
+        } else {
+            self.delivery_latency_total.as_seconds().0 / n as f64
+        }
     }
 
     /// Time-averaged buffer occupancy `E[N]` (slots).

@@ -1,0 +1,133 @@
+//! Determinism guarantees of the fleet layer (ISSUE acceptance
+//! criteria):
+//!
+//! 1. The same `(fleet_seed, config)` produces **byte-identical**
+//!    JSON/CSV reports whether the fleet runs on 1 thread or 8.
+//! 2. With an uncontended channel (single device, non-binding duty
+//!    budget) every device's metrics match a standalone `qz-sim` run
+//!    bit for bit — the uplink gate costs nothing when it never
+//!    refuses.
+
+use proptest::prelude::*;
+use qz_app::{apollo4, simulate, SimTweaks};
+use qz_baselines::BaselineKind;
+use qz_fleet::{run_fleet, Executor, FleetConfig};
+use qz_sim::UplinkConfig;
+use qz_traces::{EnvironmentKind, SensingEnvironment};
+
+#[test]
+fn reports_are_byte_identical_across_thread_counts() {
+    let cfg = FleetConfig {
+        devices: 8,
+        events: 8,
+        ..FleetConfig::default()
+    };
+    let one = run_fleet(&cfg, Executor::new(1)).expect("1 thread");
+    let two = run_fleet(&cfg, Executor::new(2)).expect("2 threads");
+    let eight = run_fleet(&cfg, Executor::new(8)).expect("8 threads");
+    assert_eq!(one.to_json(), two.to_json());
+    assert_eq!(one.to_json(), eight.to_json());
+    assert_eq!(one.to_csv(), eight.to_csv());
+    assert_eq!(one.render_text(), eight.render_text());
+}
+
+#[test]
+fn reruns_with_the_same_seed_are_identical() {
+    let cfg = FleetConfig {
+        devices: 4,
+        events: 6,
+        ..FleetConfig::default()
+    };
+    let a = run_fleet(&cfg, Executor::new(2)).expect("first run");
+    let b = run_fleet(&cfg, Executor::new(2)).expect("second run");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_fleet_seeds_diverge() {
+    let a = run_fleet(
+        &FleetConfig {
+            devices: 4,
+            events: 8,
+            fleet_seed: 1,
+            ..FleetConfig::default()
+        },
+        Executor::new(2),
+    )
+    .expect("seed 1");
+    let b = run_fleet(
+        &FleetConfig {
+            devices: 4,
+            events: 8,
+            fleet_seed: 2,
+            ..FleetConfig::default()
+        },
+        Executor::new(2),
+    )
+    .expect("seed 2");
+    assert_ne!(a.to_json(), b.to_json(), "seeds must matter");
+}
+
+fn any_env_kind() -> impl Strategy<Value = EnvironmentKind> {
+    prop_oneof![
+        Just(EnvironmentKind::MoreCrowded),
+        Just(EnvironmentKind::Crowded),
+        Just(EnvironmentKind::LessCrowded),
+        Just(EnvironmentKind::Short),
+    ]
+}
+
+fn any_system() -> impl Strategy<Value = BaselineKind> {
+    prop_oneof![
+        Just(BaselineKind::Quetzal),
+        Just(BaselineKind::NoAdapt),
+        Just(BaselineKind::CatNap),
+        Just(BaselineKind::AlwaysDegrade),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A one-device fleet with the duty budget disabled never draws
+    /// from the uplink RNG and never defers, so the device must behave
+    /// exactly like a standalone simulation: same metrics, except the
+    /// uplink-only grant counters which the ungated run doesn't track.
+    #[test]
+    fn uncontended_device_matches_standalone_run(
+        system in any_system(),
+        env_kind in any_env_kind(),
+        fleet_seed in 0u64..500,
+        events in 4usize..10,
+    ) {
+        let cfg = FleetConfig {
+            devices: 1,
+            events,
+            fleet_seed,
+            system,
+            env_mix: vec![env_kind],
+            uplink: UplinkConfig {
+                // >= 1 disables the budget; p_busy stays 0 with one
+                // device, so the gate grants every sense untouched.
+                duty_cycle: 1.0,
+                ..UplinkConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let fleet = run_fleet(&cfg, Executor::new(2)).expect("fleet runs");
+        prop_assert_eq!(fleet.devices.len(), 1);
+
+        let env = SensingEnvironment::generate(env_kind, events, cfg.env_seed(0));
+        let tweaks = SimTweaks { seed: cfg.sim_seed(0), ..cfg.tweaks.clone() };
+        let standalone = simulate(system, &apollo4(), &env, &tweaks);
+
+        let mut gated = fleet.devices[0].metrics.clone();
+        prop_assert_eq!(gated.tx_grants, gated.total_reports(),
+            "every report passed the gate exactly once");
+        // Erase the gate-only counters the ungated engine never sets.
+        gated.tx_grants = 0;
+        gated.tx_airtime = qz_types::SimDuration::ZERO;
+        prop_assert_eq!(gated, standalone,
+            "an uncontended gate must not change the simulation");
+    }
+}

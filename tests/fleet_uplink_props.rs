@@ -1,0 +1,117 @@
+//! Property-based invariants of the shared-uplink model:
+//!
+//! - **Airtime conservation** — the gateway's slot accounting balances:
+//!   clean + collision + idle slots cover the horizon, and the summed
+//!   per-device airtime equals the channel's airtime total.
+//! - **Duty budgets are never exceeded** — no accounting window grants
+//!   more slots than `duty_cycle × window`, for arbitrary request
+//!   streams and busy probabilities.
+
+use proptest::prelude::*;
+use qz_fleet::{run_fleet, Executor, FleetConfig};
+use qz_sim::{TxDecision, UplinkConfig, UplinkPort};
+use qz_types::{SimDuration, SimTime};
+
+fn any_uplink() -> impl Strategy<Value = UplinkConfig> {
+    (
+        1u64..=4,   // slot, ×50 ms
+        5u64..=100, // duty cycle, percent
+        2u64..=10,  // duty window, ×slot×10
+        1u64..=8,   // backoff base, ×100 ms
+        0u32..=8,   // backoff doubling cap
+    )
+        .prop_map(|(slot, duty, window, base, max_exp)| {
+            let slot = SimDuration::from_millis(slot * 50);
+            UplinkConfig {
+                slot,
+                duty_cycle: duty as f64 / 100.0,
+                duty_window: slot * (window * 10),
+                backoff_base: SimDuration::from_millis(base * 100),
+                backoff_max_exp: max_exp,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end conservation over a real (small) fleet run.
+    #[test]
+    fn fleet_channel_accounting_balances(
+        devices in 2usize..6,
+        events in 4usize..8,
+        fleet_seed in 0u64..500,
+    ) {
+        let cfg = FleetConfig { devices, events, fleet_seed, ..FleetConfig::default() };
+        let report = run_fleet(&cfg, Executor::new(2)).expect("fleet runs");
+        let c = &report.channel;
+
+        // The horizon decomposes exactly into clean, collision, and
+        // idle slots (idle is defined by subtraction; the assert pins
+        // that the subtraction never saturated).
+        prop_assert!(c.clean_slots + c.collision_slots <= c.horizon_slots);
+        prop_assert_eq!(c.clean_slots + c.collision_slots + c.idle_slots(), c.horizon_slots);
+
+        // Summed per-device airtime equals the channel's total, and
+        // occupied slots never exceed airtime (collisions collapse
+        // overlapping airtime into shared slots).
+        let per_device: u64 = report.devices.iter()
+            .map(|d| d.metrics.tx_airtime.as_millis() / c.slot_ms)
+            .sum();
+        prop_assert_eq!(c.airtime_slots, per_device);
+        prop_assert!(c.clean_slots + c.collision_slots <= c.airtime_slots);
+
+        // Transmission accounting: grants across devices equal the
+        // channel's total; losses are a subset.
+        let grants: u64 = report.devices.iter().map(|d| d.metrics.tx_grants).sum();
+        prop_assert_eq!(c.total_tx, grants);
+        prop_assert!(c.collided_tx <= c.total_tx);
+    }
+
+    /// Drive a lone port with an arbitrary request stream and verify
+    /// that no duty window ever grants more than its allowance.
+    #[test]
+    fn duty_budget_is_never_exceeded(
+        cfg in any_uplink(),
+        seed in 0u64..1000,
+        p_busy in 0.0f64..0.9,
+        steps in (1u64..=40).prop_map(|n| n),
+        latency_ms in 50u64..1000,
+    ) {
+        let mut port = UplinkPort::new(cfg.clone(), seed);
+        port.set_busy_probability(p_busy);
+        let window_ms = cfg.duty_window.as_millis();
+        let allowance = cfg.allowance_slots();
+        let latency = SimDuration::from_millis(latency_ms);
+
+        let mut granted_per_window = std::collections::BTreeMap::new();
+        let mut granted_airtime = SimDuration::ZERO;
+        let mut t = SimTime::ZERO;
+        for _ in 0..steps {
+            match port.sense(t, latency) {
+                TxDecision::Grant { airtime } => {
+                    granted_airtime += airtime;
+                    *granted_per_window.entry(t.as_millis() / window_ms).or_insert(0u64)
+                        += cfg.slots_for(latency);
+                    t += airtime;
+                }
+                TxDecision::Busy(wait) | TxDecision::DutyCapped(wait) => {
+                    prop_assert!(!wait.is_zero(), "refusals must advance time");
+                    t += wait;
+                }
+            }
+        }
+
+        for (window, used) in &granted_per_window {
+            prop_assert!(
+                *used <= allowance,
+                "window {window} granted {used} of {allowance} slots"
+            );
+        }
+        // The port's own airtime ledger agrees with the decisions.
+        prop_assert_eq!(port.total_airtime(), granted_airtime);
+        // And with its transmission log.
+        let log_slots: u64 = port.drain_log().iter().map(|r| r.slots).sum();
+        prop_assert_eq!(log_slots, granted_airtime.as_millis() / cfg.slot.as_millis());
+    }
+}
