@@ -16,6 +16,18 @@ cargo clippy --workspace --all-targets -- -D warnings \
 echo "== cargo test =="
 cargo test -q
 
+echo "== test-count guard =="
+# The suite must never silently shrink (a deleted [[test]] stanza or a
+# dropped module compiles fine and loses coverage without failing CI).
+# Raise the floor when tests are added; never lower it casually.
+test_floor=650
+test_count=$(cargo test -q --workspace -- --list 2>/dev/null | grep -c ': test$')
+echo "   ${test_count} tests (floor ${test_floor})"
+if [ "${test_count}" -lt "${test_floor}" ]; then
+    echo "test suite shrank: ${test_count} < floor ${test_floor}" >&2
+    exit 1
+fi
+
 echo "== qz check: preset sweep (deny warnings) =="
 # Every shipped preset on both devices must be error- and warning-free,
 # except the intentional MSP430 QZ011 regime (see EXPERIMENTS.md).
@@ -31,6 +43,16 @@ cargo run -q --bin qz -- fleet --devices 6 --events 10 --threads 1 \
 cargo run -q --bin qz -- fleet --devices 6 --events 10 --threads 2 \
     --json "${fleet_dir}/t2.json" > /dev/null
 cmp "${fleet_dir}/t1.json" "${fleet_dir}/t2.json"
+
+echo "== qz fault: smoke campaign + thread-count determinism =="
+# A fixed-seed smoke campaign must hold all four differential-oracle
+# invariants (exit 0) and its JSON report must be byte-identical at 1
+# and 2 worker threads (the qz-fault determinism contract).
+cargo run -q --bin qz -- fault --preset smoke --events 4 --campaigns 4 \
+    --seed 0xC1C1 --threads 1 --json "${fleet_dir}/f1.json" > /dev/null
+cargo run -q --bin qz -- fault --preset smoke --events 4 --campaigns 4 \
+    --seed 0xC1C1 --threads 2 --json "${fleet_dir}/f2.json" > /dev/null
+cmp "${fleet_dir}/f1.json" "${fleet_dir}/f2.json"
 
 echo "== examples (each front-ends its config through qz-check) =="
 for example in quickstart smart_camera wildlife_monitor custom_policy hw_ratio_module; do

@@ -13,7 +13,8 @@ use std::fmt;
 /// Grouped by analysis family: `QZ00x` energy feasibility, `QZ01x`
 /// queueing/Little's-Law, `QZ02x` degradation lattice, `QZ03x`
 /// fixed-point and hardware-model ranges, `QZ04x` control and window
-/// sanity, `QZ05x` fleet/shared-uplink feasibility.
+/// sanity, `QZ05x` fleet/shared-uplink feasibility, `QZ06x`
+/// fault-campaign survivability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(clippy::doc_markdown)]
 pub enum Code {
@@ -81,11 +82,24 @@ pub enum Code {
     /// exceeds the duty window, so a deferred transmitter can sleep
     /// through entire replenished budgets.
     QZ052,
+    /// Checkpoint/restore churn at the injected failure density exceeds
+    /// the harvest ceiling: every joule harvested goes to checkpoint
+    /// and restore overhead, so the device makes no net progress under
+    /// the fault campaign.
+    QZ060,
+    /// The injected failure period is shorter than the time to recharge
+    /// the checkpoint reserve plus restore cost: the device thrashes
+    /// between failure and restore without running application code.
+    QZ061,
+    /// Expected replay work per injected failure meets or exceeds the
+    /// failure period: interrupted tasks are re-executed forever and
+    /// never complete (fault-induced livelock).
+    QZ062,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 22] = [
+    pub const ALL: [Code; 25] = [
         Code::QZ001,
         Code::QZ002,
         Code::QZ003,
@@ -108,6 +122,9 @@ impl Code {
         Code::QZ050,
         Code::QZ051,
         Code::QZ052,
+        Code::QZ060,
+        Code::QZ061,
+        Code::QZ062,
     ];
 
     /// The stable string form, e.g. `"QZ001"`.
@@ -135,6 +152,9 @@ impl Code {
             Code::QZ050 => "QZ050",
             Code::QZ051 => "QZ051",
             Code::QZ052 => "QZ052",
+            Code::QZ060 => "QZ060",
+            Code::QZ061 => "QZ061",
+            Code::QZ062 => "QZ062",
         }
     }
 
@@ -165,6 +185,9 @@ impl Code {
             Code::QZ050 => "fleet airtime demand saturates the shared channel (N·λ·airtime ≥ 1)",
             Code::QZ051 => "duty-cycle budget cannot drain the device's own report stream",
             Code::QZ052 => "maximum backoff outsleeps the duty window",
+            Code::QZ060 => "checkpoint churn at the injected failure density outruns harvest",
+            Code::QZ061 => "failure period shorter than reserve recharge + restore (thrash)",
+            Code::QZ062 => "expected replay per failure ≥ failure period (livelock)",
         }
     }
 

@@ -1,0 +1,218 @@
+//! Fault-campaign survivability analysis (`QZ060`–`QZ062`).
+//!
+//! Before `qz-fault` spends wall-clock time on a campaign, this pass
+//! asks whether the configuration can survive the *injected* failure
+//! density at all: if every harvested joule goes to checkpoint/restore
+//! churn, or the failure period is shorter than the recovery cycle, or
+//! interrupted tasks can never finish between failures, the campaign
+//! would only confirm a livelocked device. Like the fleet pass, it is
+//! self-contained (plain scalars) so `qz-fault` depends on the
+//! analyzer and never the other way around.
+
+use crate::{Code, Report, Severity, Span};
+
+/// The fault-campaign numbers the survivability analysis needs,
+/// already reduced to scalars by the caller (`qz-fault` derives them
+/// from its campaign plan; tests construct them directly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCheckInput {
+    /// Energy of one checkpoint operation, joules.
+    pub checkpoint_energy_j: f64,
+    /// Energy of one restore operation, joules.
+    pub restore_energy_j: f64,
+    /// Reserve the engine protects for the final checkpoint, joules.
+    pub checkpoint_reserve_j: f64,
+    /// Post-converter harvester power ceiling (full sun), watts.
+    pub harvest_ceiling_w: f64,
+    /// Injected power-failure rate, failures/second (expected value of
+    /// the campaign's per-tick Bernoulli schedule).
+    pub failure_rate_per_s: f64,
+    /// Probability a restore finds its checkpoint corrupted.
+    pub corruption_prob: f64,
+    /// `true` under just-in-time checkpointing (progress survives
+    /// uncorrupted failures; replay only on corruption).
+    pub jit_checkpointing: bool,
+    /// Mean task latency across the spec's options, seconds — the
+    /// expected replay cost when progress is lost.
+    pub mean_task_latency_s: f64,
+}
+
+/// Runs the fault-survivability battery and returns the sorted report.
+pub fn check_faults(input: &FaultCheckInput) -> Report {
+    let mut report = Report::new();
+    run(input, &mut report);
+    report.sort();
+    report
+}
+
+fn span(field: &str) -> Span {
+    Span {
+        field: Some(field.to_string()),
+        ..Span::default()
+    }
+}
+
+fn run(input: &FaultCheckInput, report: &mut Report) {
+    let rate = input.failure_rate_per_s;
+    if !(rate.is_finite() && rate > 0.0) {
+        return; // No injected failures: nothing to survive.
+    }
+    if !(input.harvest_ceiling_w.is_finite() && input.harvest_ceiling_w > 0.0) {
+        return; // Degenerate harvester; the range analyses own that.
+    }
+
+    // QZ060 — energy budget. Every injected failure costs one
+    // checkpoint (JIT) plus one restore; at `rate` failures/second the
+    // churn power is rate × (E_ckpt + E_restore). If that alone meets
+    // the harvest ceiling, application code can never run.
+    let churn_w = rate * (input.checkpoint_energy_j + input.restore_energy_j);
+    if churn_w >= input.harvest_ceiling_w {
+        report.push(
+            Code::QZ060,
+            Severity::Error,
+            span("fault.power_failure_per_tick"),
+            format!(
+                "checkpoint+restore churn at {rate:.3} failures/s draws {:.2} mW, meeting \
+                 the {:.2} mW harvest ceiling; no energy remains for application progress",
+                churn_w * 1e3,
+                input.harvest_ceiling_w * 1e3
+            ),
+        );
+    }
+
+    // QZ061 — thrash test. After a failure the device must recharge
+    // the checkpoint reserve and pay the restore before doing anything;
+    // at full sun that floor takes (reserve + restore) / ceiling
+    // seconds. A failure period at or below it keeps the device in a
+    // permanent fail/recover cycle.
+    let recover_s = (input.checkpoint_reserve_j + input.restore_energy_j) / input.harvest_ceiling_w;
+    let period_s = 1.0 / rate;
+    if recover_s > 0.0 && period_s <= recover_s {
+        report.push(
+            Code::QZ061,
+            Severity::Warning,
+            span("fault.power_failure_per_tick"),
+            format!(
+                "injected failure period {period_s:.2} s is within the {recover_s:.2} s \
+                 reserve-recharge + restore floor; the device thrashes between failure \
+                 and restore"
+            ),
+        );
+    }
+
+    // QZ062 — replay livelock. Expected replay per failure: corrupted
+    // checkpoints always replay the whole task; abrupt (non-JIT)
+    // failures additionally lose half a task on average.
+    if input.mean_task_latency_s > 0.0 {
+        let replay_frac = if input.jit_checkpointing {
+            input.corruption_prob.clamp(0.0, 1.0)
+        } else {
+            0.5 + input.corruption_prob.clamp(0.0, 1.0)
+        };
+        let replay_s = input.mean_task_latency_s * replay_frac;
+        if replay_s * rate >= 1.0 {
+            report.push(
+                Code::QZ062,
+                Severity::Warning,
+                span("fault.checkpoint_corruption"),
+                format!(
+                    "expected replay {replay_s:.2} s per failure at {rate:.3} failures/s \
+                     meets the failure period; interrupted tasks re-execute forever"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A survivable smoke-level campaign on the paper's primary config.
+    fn survivable() -> FaultCheckInput {
+        FaultCheckInput {
+            checkpoint_energy_j: 0.5e-3,
+            restore_energy_j: 0.5e-3,
+            checkpoint_reserve_j: 0.625e-3,
+            harvest_ceiling_w: 0.048,
+            failure_rate_per_s: 0.05,
+            corruption_prob: 0.1,
+            jit_checkpointing: true,
+            mean_task_latency_s: 1.5,
+        }
+    }
+
+    fn codes(r: &Report) -> Vec<Code> {
+        r.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn survivable_campaign_is_clean() {
+        let r = check_faults(&survivable());
+        assert!(r.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn zero_rate_skips_everything() {
+        let input = FaultCheckInput {
+            failure_rate_per_s: 0.0,
+            ..survivable()
+        };
+        assert!(check_faults(&input).is_empty());
+    }
+
+    #[test]
+    fn churn_saturation_is_qz060_error() {
+        let input = FaultCheckInput {
+            failure_rate_per_s: 50.0, // 50/s × 1 mJ = 50 mW ≥ 48 mW
+            ..survivable()
+        };
+        let r = check_faults(&input);
+        assert!(codes(&r).contains(&Code::QZ060));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn thrash_period_is_qz061_warning() {
+        let input = FaultCheckInput {
+            // Recovery floor = 1.125 mJ / 48 mW ≈ 23.4 ms; a 50/s rate
+            // (20 ms period) sits inside it.
+            failure_rate_per_s: 50.0,
+            ..survivable()
+        };
+        let r = check_faults(&input);
+        assert!(codes(&r).contains(&Code::QZ061));
+    }
+
+    #[test]
+    fn replay_livelock_is_qz062_warning() {
+        let input = FaultCheckInput {
+            failure_rate_per_s: 0.8,
+            corruption_prob: 1.0, // every failure replays the full task
+            ..survivable()
+        };
+        let r = check_faults(&input);
+        assert!(codes(&r).contains(&Code::QZ062));
+        assert!(!r.has_errors(), "QZ062 alone is a warning");
+    }
+
+    #[test]
+    fn abrupt_policies_livelock_sooner_than_jit() {
+        let base = FaultCheckInput {
+            failure_rate_per_s: 0.8,
+            corruption_prob: 0.3,
+            mean_task_latency_s: 1.5,
+            ..survivable()
+        };
+        // JIT at 30% corruption: replay 0.45 s × 0.8 < 1 — clean.
+        assert!(!codes(&check_faults(&base)).contains(&Code::QZ062));
+        // Same numbers without JIT: replay (0.5+0.3)·1.5 × 0.8 ≈ 0.96…
+        // push the rate slightly to cross the line.
+        let abrupt = FaultCheckInput {
+            jit_checkpointing: false,
+            failure_rate_per_s: 0.9,
+            ..base
+        };
+        assert!(codes(&check_faults(&abrupt)).contains(&Code::QZ062));
+    }
+}

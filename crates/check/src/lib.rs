@@ -52,6 +52,7 @@
 mod control;
 mod diag;
 mod energy;
+mod faults;
 mod fleet;
 mod lattice;
 mod queueing;
@@ -65,6 +66,7 @@ use quetzal::QuetzalConfig;
 use qz_sim::{DeviceConfig, PowerConfig};
 
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use faults::{check_faults, FaultCheckInput};
 pub use fleet::{check_fleet, FleetCheckInput};
 
 /// Everything the checker looks at, borrowed or defaulted.

@@ -22,8 +22,54 @@ pub enum Command {
     /// `qz fleet …` — parallel multi-device fleet simulation over a
     /// shared uplink channel.
     Fleet(FleetArgs),
+    /// `qz fault …` — seeded fault-injection campaigns judged by the
+    /// differential oracle harness.
+    Fault(FaultArgs),
     /// `qz help` / `--help`.
     Help,
+}
+
+/// Options for `qz fault`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultArgs {
+    /// Fault plan preset (`none`, `smoke`, `standard`, `heavy`).
+    pub preset: String,
+    /// System under test.
+    pub system: BaselineKind,
+    /// Device profile (`apollo4` or `msp430`).
+    pub device: String,
+    /// Sensing environment.
+    pub env: EnvironmentKind,
+    /// Events in the shared environment trace.
+    pub events: usize,
+    /// Number of seeded campaigns to run.
+    pub campaigns: usize,
+    /// First campaign index (repro lines use `--start N --campaigns 1`).
+    pub start: usize,
+    /// Master campaign seed (decimal or `0x`-prefixed hex).
+    pub seed: u64,
+    /// Worker threads; 0 = all available cores (`QZ_THREADS` also
+    /// applies when the flag is absent).
+    pub threads: Option<usize>,
+    /// JSON report output path (`-` for stdout).
+    pub json: Option<String>,
+}
+
+impl Default for FaultArgs {
+    fn default() -> FaultArgs {
+        FaultArgs {
+            preset: "standard".into(),
+            system: BaselineKind::Quetzal,
+            device: "apollo4".into(),
+            env: EnvironmentKind::Crowded,
+            events: 12,
+            campaigns: 8,
+            start: 0,
+            seed: 0xFA017,
+            threads: None,
+            json: None,
+        }
+    }
 }
 
 /// Options for `qz fleet`.
@@ -208,6 +254,18 @@ fn err(msg: impl Into<String>) -> ParseError {
     ParseError(msg.into())
 }
 
+/// Parses a seed value, decimal or `0x`-prefixed hex (the form fault
+/// repro lines print).
+pub fn parse_seed(value: &str) -> Result<u64, ParseError> {
+    let v = value.to_ascii_lowercase();
+    let parsed = if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    parsed.map_err(|_| err("`--seed` must be an integer (decimal or 0x-prefixed hex)"))
+}
+
 /// Parses a system name (paper abbreviation, case-insensitive).
 pub fn parse_system(name: &str) -> Result<BaselineKind, ParseError> {
     match name.to_ascii_lowercase().as_str() {
@@ -255,6 +313,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
     if sub == "fleet" {
         return parse_fleet(&args[1..]).map(Command::Fleet);
+    }
+    if sub == "fault" {
+        return parse_fault(&args[1..]).map(Command::Fault);
     }
     let mut run = RunArgs::default();
     let mut i = 1;
@@ -307,7 +368,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "export-traces" => Ok(Command::ExportTraces(run)),
         "trace" => Ok(Command::Trace(run)),
         other => Err(err(format!(
-            "unknown command `{other}` (try run, compare, export-traces, trace, check)"
+            "unknown command `{other}` (try run, compare, export-traces, trace, check, fleet, fault)"
         ))),
     }
 }
@@ -462,7 +523,80 @@ fn parse_fleet(args: &[String]) -> Result<FleetArgs, ParseError> {
         }
         i += 1;
     }
+    if fleet.json.as_deref() == Some("-") && fleet.csv.as_deref() == Some("-") {
+        return Err(err(
+            "`--json -` and `--csv -` cannot both stream to stdout (pick one, or write files)",
+        ));
+    }
     Ok(fleet)
+}
+
+/// Parses the flags of `qz fault`.
+fn parse_fault(args: &[String]) -> Result<FaultArgs, ParseError> {
+    let mut fault = FaultArgs::default();
+    let mut i = 0;
+    let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--preset" => {
+                let p = take_value(&mut i, flag)?.to_ascii_lowercase();
+                if qz_fault::FaultPlan::preset(&p).is_none() {
+                    return Err(err(format!(
+                        "unknown fault preset `{p}` (try none, smoke, standard, heavy)"
+                    )));
+                }
+                fault.preset = p;
+            }
+            "--system" => fault.system = parse_system(&take_value(&mut i, flag)?)?,
+            "--device" => {
+                let d = take_value(&mut i, flag)?.to_ascii_lowercase();
+                if d != "apollo4" && d != "msp430" {
+                    return Err(err("`--device` must be `apollo4` or `msp430`"));
+                }
+                fault.device = d;
+            }
+            "--env" => fault.env = parse_env(&take_value(&mut i, flag)?)?,
+            "--events" => {
+                fault.events = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--events` must be a positive integer"))?;
+                if fault.events == 0 {
+                    return Err(err("`--events` must be at least 1"));
+                }
+            }
+            "--campaigns" => {
+                fault.campaigns = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--campaigns` must be a positive integer"))?;
+                if fault.campaigns == 0 {
+                    return Err(err("`--campaigns` must be at least 1"));
+                }
+            }
+            "--start" => {
+                fault.start = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--start` must be a non-negative integer"))?;
+            }
+            "--seed" => fault.seed = parse_seed(&take_value(&mut i, flag)?)?,
+            "--threads" => {
+                fault.threads = Some(
+                    take_value(&mut i, flag)?
+                        .parse()
+                        .map_err(|_| err("`--threads` must be a non-negative integer"))?,
+                );
+            }
+            "--json" => fault.json = Some(take_value(&mut i, flag)?),
+            other => return Err(err(format!("unknown flag `{other}` for `qz fault`"))),
+        }
+        i += 1;
+    }
+    Ok(fault)
 }
 
 /// The help text.
@@ -485,6 +619,10 @@ USAGE:
                     [--device apollo4|msp430] [--envs more,crowded,less]
                     [--threads N] [--duty-cycle 0.1] [--slot-ms 50]
                     [--json out.json|-] [--csv out.csv|-] [--metrics]
+  qz fault          [--preset none|smoke|standard|heavy] [--system QZ]
+                    [--device apollo4|msp430] [--env crowded] [--events 12]
+                    [--campaigns 8] [--seed N|0xN] [--start 0]
+                    [--threads N] [--json out.json|-]
   qz help
 
 SYSTEMS:       QZ, QZ-HW, NA, AD, CN, TH25, TH50, TH75, PZO, FCFS, LCFS, AvgSe2e
@@ -501,6 +639,15 @@ uplink channel, in parallel (--threads 0 = all cores; QZ_THREADS also
 works). Reports are byte-identical at any thread count. The preflight
 feasibility check (QZ050-QZ052) rejects configs whose offered airtime
 saturates the channel.
+
+`qz fault` runs seeded fault-injection campaigns (adversarial power
+failures, checkpoint corruption, ADC misreads, clock jitter, input
+bursts, uplink jams) and judges each against the fault-free run and an
+always-on oracle on four invariants: replay idempotence, buffer
+conservation, energy accounting, decision monotonicity. Reports are
+byte-identical at any thread count for a fixed seed; each violation
+prints a single-line repro command. Exits nonzero on violations; the
+survivability preflight (QZ060-QZ062) rejects saturating plans.
 ";
 
 #[cfg(test)]
@@ -675,6 +822,13 @@ mod tests {
     }
 
     #[test]
+    fn fleet_rejects_conflicting_stdout_streams() {
+        assert!(parse(&argv("fleet --json - --csv -")).is_err());
+        assert!(parse(&argv("fleet --json - --csv out.csv")).is_ok());
+        assert!(parse(&argv("fleet --json out.json --csv -")).is_ok());
+    }
+
+    #[test]
     fn fleet_rejects_bad_input() {
         assert!(parse(&argv("fleet --devices 0")).is_err());
         assert!(parse(&argv("fleet --envs")).is_err());
@@ -682,6 +836,66 @@ mod tests {
         assert!(parse(&argv("fleet --duty-cycle -1")).is_err());
         assert!(parse(&argv("fleet --slot-ms 0")).is_err());
         assert!(parse(&argv("fleet --plot")).is_err(), "run-only flag");
+    }
+
+    #[test]
+    fn fault_defaults_and_flags() {
+        let Command::Fault(f) = parse(&argv("fault")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(f, FaultArgs::default());
+        let Command::Fault(f) = parse(&argv(
+            "fault --preset heavy --system QZ-HW --device msp430 --env more-crowded \
+             --events 4 --campaigns 1 --seed 0xD1FF0002 --start 17 --threads 2 --json -",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(f.preset, "heavy");
+        assert_eq!(f.system, BaselineKind::QuetzalHw);
+        assert_eq!(f.device, "msp430");
+        assert_eq!(f.env, EnvironmentKind::MoreCrowded);
+        assert_eq!(f.events, 4);
+        assert_eq!(f.campaigns, 1);
+        assert_eq!(f.seed, 0xD1FF_0002);
+        assert_eq!(f.start, 17);
+        assert_eq!(f.threads, Some(2));
+        assert_eq!(f.json.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn fault_accepts_its_own_repro_lines() {
+        // The exact flag vocabulary FaultReport::repro_line() emits.
+        let line = "fault --system qz --device apollo4 --env crowded --events 4 \
+                    --preset standard --seed 0xd1ff0001 --start 3 --campaigns 1";
+        let Command::Fault(f) = parse(&argv(line)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(f.seed, 0xD1FF_0001);
+        assert_eq!(f.start, 3);
+        assert_eq!(f.campaigns, 1);
+    }
+
+    #[test]
+    fn fault_rejects_bad_input() {
+        assert!(parse(&argv("fault --preset catastrophic")).is_err());
+        assert!(parse(&argv("fault --campaigns 0")).is_err());
+        assert!(parse(&argv("fault --events 0")).is_err());
+        assert!(parse(&argv("fault --seed 0xnope")).is_err());
+        assert!(parse(&argv("fault --device z80")).is_err());
+        assert!(
+            parse(&argv("fault --devices 4")).is_err(),
+            "fleet-only flag"
+        );
+    }
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed("42").unwrap(), 42);
+        assert_eq!(parse_seed("0xFA017").unwrap(), 0xFA017);
+        assert_eq!(parse_seed("0Xfa017").unwrap(), 0xFA017);
+        assert!(parse_seed("-1").is_err());
+        assert!(parse_seed("0x").is_err());
     }
 
     #[test]

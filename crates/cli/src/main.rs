@@ -10,7 +10,7 @@
 mod args;
 mod plot;
 
-use args::{CheckArgs, Command, FleetArgs, RunArgs};
+use args::{CheckArgs, Command, FaultArgs, FleetArgs, RunArgs};
 use qz_app::{
     apollo4, check_experiment, ideal, msp430fr5994, simulate, simulate_traced,
     simulate_with_telemetry, timeline_names, AppModel, DeviceProfile, SimTweaks,
@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         Command::Trace(r) => trace(&r),
         Command::Check(c) => return check(&c),
         Command::Fleet(f) => fleet(&f),
+        Command::Fault(f) => return fault(&f),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -172,6 +173,76 @@ fn check(args: &CheckArgs) -> ExitCode {
         println!("OK");
     }
     if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn fault(args: &FaultArgs) -> ExitCode {
+    // The parser already vetted the preset name.
+    let Some(plan) = qz_fault::FaultPlan::preset(&args.preset) else {
+        eprintln!("error: unknown fault preset `{}`", args.preset);
+        return ExitCode::FAILURE;
+    };
+    let cfg = qz_fault::CampaignConfig {
+        system: args.system,
+        profile: if args.device == "msp430" {
+            msp430fr5994()
+        } else {
+            apollo4()
+        },
+        env: args.env,
+        events: args.events,
+        campaigns: args.campaigns,
+        start: args.start,
+        seed: args.seed,
+        plan,
+        tweaks: SimTweaks::default(),
+    };
+    let exec = match args.threads {
+        Some(n) => qz_fleet::Executor::new(if n == 0 {
+            qz_fleet::Executor::available()
+        } else {
+            n
+        }),
+        None => qz_fleet::Executor::from_env(1),
+    };
+    // Surface survivability warnings even when the campaigns proceed;
+    // errors come back through run_campaigns as FaultError::Infeasible.
+    let preflight = qz_fault::preflight(&cfg);
+    if !preflight.is_empty() && !preflight.has_errors() {
+        eprintln!("{}", preflight.render_text());
+    }
+    eprintln!(
+        "fault: {} campaigns × {} events, preset `{}` for {} on {} ({} threads)",
+        cfg.campaigns,
+        cfg.events,
+        args.preset,
+        cfg.system.label(),
+        cfg.profile.name,
+        exec.threads()
+    );
+    let report = match qz_fault::run_campaigns(&cfg, exec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.render_text());
+    if let Some(path) = &args.json {
+        let doc = report.to_json();
+        if path == "-" {
+            print!("{doc}");
+        } else if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        } else {
+            println!("JSON report written to {path}");
+        }
+    }
+    if report.total_violations() > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,334 @@
+//! Arg-matrix integration tests: drive the built `qz` binary across
+//! subcommand × flag combinations, asserting that foreign and
+//! conflicting flags are rejected and that every `--json`/`--jsonl`
+//! surface emits syntactically valid JSON (checked with a hand-rolled
+//! validator — the workspace is dependency-free by design).
+
+use std::process::Command;
+
+fn qz(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_qz"))
+        .args(args)
+        .output()
+        .expect("qz binary runs")
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("qz_matrix_{}_{name}", std::process::id()))
+}
+
+/// A minimal recursive-descent JSON syntax validator.
+mod json {
+    pub fn validate(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        skip_ws(b, &mut i);
+        value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at offset {i}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while matches!(b.get(*i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        match b.get(*i) {
+            Some(b'{') => object(b, i),
+            Some(b'[') => array(b, i),
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, "true"),
+            Some(b'f') => literal(b, i, "false"),
+            Some(b'n') => literal(b, i, "null"),
+            Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, i),
+            other => Err(format!("unexpected {other:?} at offset {i}")),
+        }
+    }
+
+    fn literal(b: &[u8], i: &mut usize, word: &str) -> Result<(), String> {
+        if b[*i..].starts_with(word.as_bytes()) {
+            *i += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {i}"))
+        }
+    }
+
+    fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+        *i += 1; // consume '{'
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b'}') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, i);
+            string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected `:` at offset {i}"));
+            }
+            *i += 1;
+            skip_ws(b, i);
+            value(b, i)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected `,` or `}}`, got {other:?} at {i}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+        *i += 1; // consume '['
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b']') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, i);
+            value(b, i)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected `,` or `]`, got {other:?} at {i}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at offset {i}"));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+        let start = *i;
+        if b.get(*i) == Some(&b'-') {
+            *i += 1;
+        }
+        let digits = |b: &[u8], i: &mut usize| {
+            let from = *i;
+            while b.get(*i).is_some_and(u8::is_ascii_digit) {
+                *i += 1;
+            }
+            *i > from
+        };
+        if !digits(b, i) {
+            return Err(format!("bad number at offset {start}"));
+        }
+        if b.get(*i) == Some(&b'.') {
+            *i += 1;
+            if !digits(b, i) {
+                return Err(format!("bad fraction at offset {start}"));
+            }
+        }
+        if matches!(b.get(*i), Some(b'e' | b'E')) {
+            *i += 1;
+            if matches!(b.get(*i), Some(b'+' | b'-')) {
+                *i += 1;
+            }
+            if !digits(b, i) {
+                return Err(format!("bad exponent at offset {start}"));
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate(r#"{"a": [1, -2.5e3, "x\"y", true, null], "b": {}}"#).is_ok());
+        assert!(validate("").is_err());
+        assert!(validate("{").is_err());
+        assert!(validate(r#"{"a": 1,}"#).is_err());
+        assert!(validate("[1 2]").is_err());
+        assert!(validate("07a").is_err());
+        assert!(validate("{}extra").is_err());
+    }
+}
+
+#[test]
+fn check_json_is_valid_for_sweep_and_overrides() {
+    for args in [
+        vec!["check", "--json"],
+        vec![
+            "check",
+            "--json",
+            "--system",
+            "QZ",
+            "--device",
+            "msp430",
+            "--checkpoint",
+            "jit",
+            "--buffer",
+            "4",
+        ],
+        vec!["check", "--json", "--deny-warnings", "--allow", "QZ011"],
+    ] {
+        let out = qz(&args);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        json::validate(stdout.trim())
+            .unwrap_or_else(|e| panic!("`qz {}` emitted invalid JSON: {e}", args.join(" ")));
+    }
+}
+
+#[test]
+fn fleet_json_report_is_valid() {
+    let path = tmp("fleet.json");
+    let out = qz(&[
+        "fleet",
+        "--devices",
+        "2",
+        "--events",
+        "4",
+        "--seed",
+        "7",
+        "--threads",
+        "2",
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&path).expect("json written");
+    json::validate(doc.trim()).expect("fleet JSON must parse");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn fault_json_report_is_valid_and_exit_code_tracks_violations() {
+    let path = tmp("fault.json");
+    let out = qz(&[
+        "fault",
+        "--preset",
+        "smoke",
+        "--events",
+        "3",
+        "--campaigns",
+        "1",
+        "--seed",
+        "0xBEEF",
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    // The smoke preset holds all four invariants on the default config,
+    // so the exit code must be zero.
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&path).expect("json written");
+    json::validate(doc.trim()).expect("fault JSON must parse");
+    assert!(doc.contains("\"violations\": 0"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trace_jsonl_lines_are_each_valid_json() {
+    let path = tmp("trace.jsonl");
+    let out = qz(&["trace", "--events", "2", "--jsonl", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&path).expect("jsonl written");
+    assert!(!doc.trim().is_empty());
+    for (n, line) in doc.lines().enumerate() {
+        json::validate(line).unwrap_or_else(|e| panic!("jsonl line {n} invalid: {e}"));
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn foreign_flags_are_rejected_per_subcommand() {
+    // Each flag is valid somewhere — just not on this subcommand.
+    let matrix: &[&[&str]] = &[
+        &["check", "--plot"],
+        &["check", "--events", "5"],
+        &["check", "--campaigns", "2"],
+        &["fleet", "--plot"],
+        &["fleet", "--limit", "10"],
+        &["fleet", "--deny-warnings"],
+        &["fault", "--devices", "4"],
+        &["fault", "--telemetry", "t.csv"],
+        &["fault", "--snapshots"],
+        &["trace", "--campaigns", "2"],
+        &["trace", "--deny-warnings"],
+        &["trace", "--duty-cycle", "0.5"],
+        &["run", "--preset", "smoke"],
+        &["run", "--threads", "2"],
+    ];
+    for args in matrix {
+        let out = qz(args);
+        assert!(
+            !out.status.success(),
+            "`qz {}` should have been rejected",
+            args.join(" ")
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown flag"),
+            "`qz {}` stderr: {stderr}",
+            args.join(" ")
+        );
+    }
+}
+
+#[test]
+fn conflicting_stdout_streams_are_rejected() {
+    let out = qz(&["fleet", "--json", "-", "--csv", "-"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stdout"));
+}
+
+#[test]
+fn help_lists_every_subcommand_and_unknowns_fail() {
+    let out = qz(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for sub in [
+        "run",
+        "compare",
+        "export-traces",
+        "trace",
+        "check",
+        "fleet",
+        "fault",
+    ] {
+        assert!(text.contains(&format!("qz {sub}")), "help misses {sub}");
+    }
+    let out = qz(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}

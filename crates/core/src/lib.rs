@@ -90,6 +90,7 @@ pub mod service;
 pub mod trackers;
 pub mod variable;
 pub mod window;
+pub mod witness;
 
 pub use ibo::{DegradationContext, DegradationPolicy, IboDecision, IboEngine};
 pub use mcu::{McuDecision, McuEngine, McuTaskProfile};
@@ -103,3 +104,4 @@ pub use qz_obs as obs;
 pub use service::HwAssistedEstimator;
 pub use service::{AvgObservedEstimator, EnergyAwareEstimator, ServiceEstimator};
 pub use variable::VariableCostEstimator;
+pub use witness::{check_ibo_walk, check_pressure_monotone, WitnessViolation};

@@ -286,6 +286,67 @@ mod tests {
         });
     }
 
+    #[test]
+    fn step_input_keeps_the_integrator_inside_the_clamp_window() {
+        // Regression for integrator wind-up: a sustained step must leave
+        // the integrator clamped to the room the output limits leave
+        // (out_max − proportional), not accumulating without bound. A
+        // naive trapezoidal integrator would reach 0.5·ki·Δt·2e·n ≈ 25000
+        // here; anti-windup caps it at 1.5.
+        let cfg = PidConfig {
+            ki: 0.5,
+            kd: 0.0,
+            ..PidConfig::default()
+        };
+        let mut pid = Pid::new(cfg);
+        for _ in 0..1000 {
+            pid.update(50.0);
+            assert!(
+                pid.integrator <= cfg.output_limits.1,
+                "integrator wound up to {}",
+                pid.integrator
+            );
+            assert!(pid.integrator >= cfg.output_limits.0);
+        }
+        assert_eq!(pid.output(), cfg.output_limits.1, "step must saturate");
+        assert_eq!(
+            pid.integrator,
+            cfg.output_limits.1 - cfg.kp * 50.0,
+            "integrator must sit exactly at the anti-windup limit"
+        );
+    }
+
+    #[test]
+    fn sign_flip_recovers_within_a_fixed_window() {
+        // Regression for the recovery half of anti-windup: after hard
+        // positive saturation, a sign-flipped error must drive the output
+        // negative within a handful of samples (2 with these gains). An
+        // unclamped integrator would need ~1500 samples to unwind.
+        let cfg = PidConfig {
+            ki: 0.5,
+            kd: 0.0,
+            ..PidConfig::default()
+        };
+        let mut pid = Pid::new(cfg);
+        for _ in 0..500 {
+            pid.update(50.0);
+        }
+        assert_eq!(pid.output(), cfg.output_limits.1);
+        let mut steps = 0;
+        while pid.output() > 0.0 {
+            pid.update(-50.0);
+            steps += 1;
+            assert!(
+                steps <= 3,
+                "sign flip took more than 3 samples to recover (output {})",
+                pid.output()
+            );
+        }
+        // And it reaches the opposite rail, not just zero.
+        pid.update(-50.0);
+        assert_eq!(pid.output(), cfg.output_limits.0);
+    }
+
     proptest! {
         #[test]
         fn output_always_within_limits(errors in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
@@ -296,6 +357,27 @@ mod tests {
                 prop_assert!(out >= lo && out <= hi);
                 prop_assert!(out.is_finite());
             }
+        }
+
+        #[test]
+        fn integrator_bounded_and_recovery_window_holds_after_any_history(
+            errors in proptest::collection::vec(-1e3f64..1e3, 1..200)
+        ) {
+            // Whatever the drive history, the integrator never exceeds the
+            // clamp window plus the proportional headroom, and 20 strong
+            // opposite samples always flip the output's sign.
+            let cfg = PidConfig { kd: 0.0, ..PidConfig::default() };
+            let mut pid = Pid::new(cfg);
+            let bound = cfg.output_limits.1 + cfg.kp * 1e3 + 1e-9;
+            for e in errors {
+                pid.update(e);
+                prop_assert!(pid.integrator.abs() <= bound, "integrator {}", pid.integrator);
+            }
+            let mut out = pid.output();
+            for _ in 0..20 {
+                out = pid.update(-100.0);
+            }
+            prop_assert!(out < 0.0, "stuck at {out} after 20 corrective samples");
         }
     }
 }

@@ -1,0 +1,284 @@
+//! The adversarial injector: a seeded [`FaultInjector`] that turns a
+//! [`FaultPlan`] into a concrete, reproducible fault schedule.
+//!
+//! Each fault class draws from its own [`SplitMix64`] stream derived
+//! from the campaign seed, so firing one class more often never
+//! perturbs another class's schedule — the same property the simulator
+//! relies on for its classification draws. Power failures are biased
+//! toward *vulnerable windows* (mid-task, mid-transmit, right after a
+//! checkpoint): the phase alignments where intermittent-execution bugs
+//! hide.
+
+use crate::plan::FaultPlan;
+use qz_sim::{FaultContext, FaultInjector};
+use qz_types::{SimDuration, SimTime, SplitMix64, Watts};
+
+/// Stream indices for the per-class generators.
+const STREAM_POWER: u64 = 0;
+const STREAM_CORRUPT: u64 = 1;
+const STREAM_ADC: u64 = 2;
+const STREAM_CLOCK: u64 = 3;
+const STREAM_BURST: u64 = 4;
+const STREAM_JAM: u64 = 5;
+
+/// Counters the injector accumulates alongside the simulator's own
+/// fault metrics: energy-floor tracking for the non-negativity
+/// invariant, plus how often the adversary found a vulnerable window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultStats {
+    /// Ticks observed (on or off).
+    pub ticks: u64,
+    /// Lowest stored energy seen at any tick, joules.
+    pub min_stored_j: f64,
+    /// Ticks at which stored energy was negative (beyond float noise).
+    pub negative_energy_ticks: u64,
+    /// Ticks that sat inside a vulnerable window.
+    pub vulnerable_ticks: u64,
+}
+
+impl Default for FaultStats {
+    fn default() -> FaultStats {
+        FaultStats {
+            ticks: 0,
+            min_stored_j: f64::INFINITY,
+            negative_energy_ticks: 0,
+            vulnerable_ticks: 0,
+        }
+    }
+}
+
+/// A seeded, plan-driven fault injector.
+#[derive(Debug)]
+pub struct AdversarialInjector {
+    plan: FaultPlan,
+    power: SplitMix64,
+    corrupt: SplitMix64,
+    adc: SplitMix64,
+    clock: SplitMix64,
+    burst: SplitMix64,
+    jam: SplitMix64,
+    stats: FaultStats,
+}
+
+impl AdversarialInjector {
+    /// Builds an injector for `plan` with per-class streams derived
+    /// from `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> AdversarialInjector {
+        let stream = |s| SplitMix64::new(SplitMix64::derive_stream(seed, s));
+        AdversarialInjector {
+            plan,
+            power: stream(STREAM_POWER),
+            corrupt: stream(STREAM_CORRUPT),
+            adc: stream(STREAM_ADC),
+            clock: stream(STREAM_CLOCK),
+            burst: stream(STREAM_BURST),
+            jam: stream(STREAM_JAM),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Whether the context sits in a window the adversary targets:
+    /// mid-task (20–80 % progress), mid-transmit, or within one tick of
+    /// a checkpoint.
+    fn vulnerable(ctx: &FaultContext) -> bool {
+        let mid_task = matches!(
+            ctx.phase,
+            qz_sim::FaultPhase::Task { progress, .. } if (0.2..0.8).contains(&progress)
+        );
+        mid_task || ctx.transmitting || ctx.just_checkpointed
+    }
+}
+
+impl FaultInjector for AdversarialInjector {
+    fn on_tick(&mut self, ctx: &FaultContext) {
+        self.stats.ticks += 1;
+        let stored = ctx.stored.value();
+        if stored < self.stats.min_stored_j {
+            self.stats.min_stored_j = stored;
+        }
+        if stored < -1e-9 {
+            self.stats.negative_energy_ticks += 1;
+        }
+        if Self::vulnerable(ctx) {
+            self.stats.vulnerable_ticks += 1;
+        }
+    }
+
+    fn force_power_failure(&mut self, ctx: &FaultContext) -> bool {
+        let boost = if Self::vulnerable(ctx) {
+            self.plan.phase_boost
+        } else {
+            1.0
+        };
+        self.power.chance(self.plan.power_failure_per_tick * boost)
+    }
+
+    fn corrupt_checkpoint(&mut self, _ctx: &FaultContext) -> bool {
+        self.corrupt.chance(self.plan.checkpoint_corruption)
+    }
+
+    fn adc_misread(&mut self, _t: SimTime, p_in: Watts) -> Option<Watts> {
+        if !self.adc.chance(self.plan.adc_misread) {
+            return None;
+        }
+        let a = self.plan.adc_amplitude;
+        Some(p_in * self.adc.next_range(1.0 - a, 1.0 + a))
+    }
+
+    fn clock_jitter(&mut self, _t: SimTime) -> Option<f64> {
+        if !self.clock.chance(self.plan.clock_jitter) {
+            return None;
+        }
+        let a = self.plan.clock_amplitude;
+        Some(self.clock.next_range(1.0 - a, 1.0 + a))
+    }
+
+    fn extra_burst(&mut self, _t: SimTime) -> u32 {
+        if self.plan.burst_max == 0 || !self.burst.chance(self.plan.burst) {
+            return 0;
+        }
+        // Truncation-safe: burst_max is u32, the draw is below it.
+        #[allow(clippy::cast_possible_truncation)]
+        let n = self.burst.next_below(u64::from(self.plan.burst_max)) as u32;
+        n + 1
+    }
+
+    fn jam_uplink(&mut self, _t: SimTime) -> Option<SimDuration> {
+        if self.plan.jam_max.as_millis() == 0 || !self.jam.chance(self.plan.uplink_jam) {
+            return None;
+        }
+        let ms = self.jam.next_below(self.plan.jam_max.as_millis()) + 1;
+        Some(SimDuration::from_millis(ms))
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn core::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qz_sim::FaultPhase;
+    use qz_types::Joules;
+
+    fn ctx(phase: FaultPhase, transmitting: bool, just_checkpointed: bool) -> FaultContext {
+        FaultContext {
+            now: SimTime::ZERO,
+            phase,
+            stored: Joules(0.1),
+            reserve: Joules(0.625e-3),
+            occupancy: 0,
+            capacity: 10,
+            transmitting,
+            just_checkpointed,
+        }
+    }
+
+    #[test]
+    fn zero_plan_never_fires() {
+        let mut inj = AdversarialInjector::new(FaultPlan::none(), 7);
+        let c = ctx(FaultPhase::Idle, false, false);
+        for t in 0..10_000 {
+            inj.on_tick(&c);
+            assert!(!inj.force_power_failure(&c));
+            assert!(!inj.corrupt_checkpoint(&c));
+            assert!(inj.adc_misread(SimTime::ZERO, Watts(0.01)).is_none());
+            assert!(inj.clock_jitter(SimTime::ZERO).is_none());
+            assert_eq!(inj.extra_burst(SimTime::ZERO), 0);
+            assert!(inj.jam_uplink(SimTime::ZERO).is_none());
+            let _ = t;
+        }
+        assert_eq!(inj.stats().ticks, 10_000);
+        assert_eq!(inj.stats().negative_energy_ticks, 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let draw = |seed| {
+            let mut inj = AdversarialInjector::new(FaultPlan::heavy(), seed);
+            let c = ctx(FaultPhase::Idle, false, false);
+            (0..5_000)
+                .map(|_| inj.force_power_failure(&c))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn vulnerable_windows_attract_failures() {
+        let fire_count = |phase, transmitting| {
+            let mut inj = AdversarialInjector::new(FaultPlan::standard(), 11);
+            let c = ctx(phase, transmitting, false);
+            (0..100_000).filter(|_| inj.force_power_failure(&c)).count()
+        };
+        let idle = fire_count(FaultPhase::Idle, false);
+        let mid = fire_count(
+            FaultPhase::Task {
+                index: 0,
+                progress: 0.5,
+            },
+            false,
+        );
+        assert!(
+            mid > idle * 5,
+            "mid-task fired {mid}, idle fired {idle}: expected a strong boost"
+        );
+    }
+
+    #[test]
+    fn task_edges_are_not_boosted() {
+        let early = ctx(
+            FaultPhase::Task {
+                index: 0,
+                progress: 0.05,
+            },
+            false,
+            false,
+        );
+        assert!(!AdversarialInjector::vulnerable(&early));
+        assert!(AdversarialInjector::vulnerable(&ctx(
+            FaultPhase::Idle,
+            true,
+            false
+        )));
+        assert!(AdversarialInjector::vulnerable(&ctx(
+            FaultPhase::Idle,
+            false,
+            true
+        )));
+    }
+
+    #[test]
+    fn burst_and_jam_respect_bounds() {
+        let mut inj = AdversarialInjector::new(FaultPlan::heavy(), 3);
+        for _ in 0..50_000 {
+            let b = inj.extra_burst(SimTime::ZERO);
+            assert!(b <= FaultPlan::heavy().burst_max);
+            if let Some(wait) = inj.jam_uplink(SimTime::ZERO) {
+                assert!(wait.as_millis() >= 1);
+                assert!(wait <= FaultPlan::heavy().jam_max);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_energy_floor() {
+        let mut inj = AdversarialInjector::new(FaultPlan::none(), 1);
+        let mut c = ctx(FaultPhase::Idle, false, false);
+        c.stored = Joules(0.2);
+        inj.on_tick(&c);
+        c.stored = Joules(0.05);
+        inj.on_tick(&c);
+        assert!((inj.stats().min_stored_j - 0.05).abs() < 1e-15);
+        c.stored = Joules(-0.01);
+        inj.on_tick(&c);
+        assert_eq!(inj.stats().negative_energy_ticks, 1);
+    }
+}

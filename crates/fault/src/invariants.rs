@@ -1,0 +1,365 @@
+//! The four machine-checked invariants of the differential oracle.
+//!
+//! Every faulted run is judged against the fault-free run and the
+//! always-on oracle of the same configuration (see [`crate::oracle`]):
+//!
+//! 1. **Replay idempotence** — under just-in-time checkpointing with no
+//!    injected corruption, power failures replay nothing
+//!    (`reexecuted == 0`, one checkpoint per failure), and no run
+//!    observes more frames than the always-on oracle attempted.
+//! 2. **Buffer conservation** — no entry is lost or duplicated across
+//!    reboots: `arrivals == stored + ibo_discards`, every frame is
+//!    missed/filtered/arrived, and everything stored is classified,
+//!    reported, or still pending (± one in-flight entry).
+//! 3. **Energy accounting** — stored energy never goes negative at any
+//!    tick, and the end-of-run energy totals are finite and
+//!    non-negative.
+//! 4. **Decision monotonicity** — the recorded degradation decisions
+//!    satisfy the quality-ordered IBO walk (for `IboEngine`-family
+//!    systems) and never get *less* degraded as buffer pressure rises
+//!    with identical model inputs (all systems except instantaneous
+//!    power-threshold rules).
+
+use crate::inject::FaultStats;
+use crate::oracle::RunOutcome;
+use qz_baselines::BaselineKind;
+
+/// One invariant violation, labeled with the invariant that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant failed (`replay_idempotent`,
+    /// `buffer_conservation`, `energy_accounting`,
+    /// `decision_monotone`).
+    pub invariant: &'static str,
+    /// What went wrong, human-readable.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(invariant: &'static str, detail: String) -> Violation {
+        Violation { invariant, detail }
+    }
+}
+
+/// Everything one differential judgment needs.
+#[derive(Debug)]
+pub struct DiffInputs<'a> {
+    /// The faulted run under judgment.
+    pub faulted: &'a RunOutcome,
+    /// The fault-free run of the same configuration.
+    pub clean: &'a RunOutcome,
+    /// The always-on oracle run.
+    pub oracle: &'a RunOutcome,
+    /// The injector's accumulated statistics.
+    pub stats: &'a FaultStats,
+    /// `true` when the device checkpoints just-in-time.
+    pub jit: bool,
+    /// The system under test (selects which witnesses apply).
+    pub system: BaselineKind,
+}
+
+/// Whether the system's degradation decisions come from the
+/// quality-ordered `IboEngine` walk (Algorithm 2).
+fn ibo_engine_family(kind: BaselineKind) -> bool {
+    matches!(
+        kind,
+        BaselineKind::Quetzal
+            | BaselineKind::QuetzalHw
+            | BaselineKind::QuetzalVar(_)
+            | BaselineKind::AvgSe2e
+            | BaselineKind::FcfsIbo
+            | BaselineKind::LcfsIbo
+    )
+}
+
+/// Runs all four invariants and returns every violation found.
+pub fn check_all(inputs: &DiffInputs<'_>) -> Vec<Violation> {
+    let mut v = Vec::new();
+    replay_idempotent(inputs, &mut v);
+    buffer_conservation(inputs, &mut v);
+    energy_accounting(inputs, &mut v);
+    decision_monotone(inputs, &mut v);
+    v
+}
+
+/// Invariant 1: interrupted work replays idempotently.
+fn replay_idempotent(inputs: &DiffInputs<'_>, out: &mut Vec<Violation>) {
+    const INV: &str = "replay_idempotent";
+    let m = &inputs.faulted.metrics;
+    if inputs.jit {
+        // JIT checkpoints exactly at failure, so an uncorrupted restore
+        // resumes with zero lost progress.
+        if m.faults_checkpoint == 0 && m.reexecuted.as_millis() > 0 {
+            out.push(Violation::new(
+                INV,
+                format!(
+                    "JIT run with no corrupted checkpoints re-executed {} ms",
+                    m.reexecuted.as_millis()
+                ),
+            ));
+        }
+        if m.checkpoints != m.power_failures {
+            out.push(Violation::new(
+                INV,
+                format!(
+                    "JIT checkpoints ({}) != power failures ({})",
+                    m.checkpoints, m.power_failures
+                ),
+            ));
+        }
+    }
+    // Reboots must not manufacture observations: net of injected burst
+    // frames, the faulted run cannot attempt more captures — or see
+    // more interesting frames — than the always-on oracle.
+    let organic_frames = m.frames_total.saturating_sub(m.faults_burst);
+    if organic_frames > inputs.oracle.metrics.frames_total {
+        out.push(Violation::new(
+            INV,
+            format!(
+                "faulted run attempted {organic_frames} organic frames, oracle only {}",
+                inputs.oracle.metrics.frames_total
+            ),
+        ));
+    }
+    if m.interesting_total > inputs.oracle.metrics.interesting_total {
+        out.push(Violation::new(
+            INV,
+            format!(
+                "faulted run saw {} interesting frames, oracle only {}",
+                m.interesting_total, inputs.oracle.metrics.interesting_total
+            ),
+        ));
+    }
+}
+
+/// Invariant 2: no buffer entry is lost or duplicated across reboots.
+fn buffer_conservation(inputs: &DiffInputs<'_>, out: &mut Vec<Violation>) {
+    const INV: &str = "buffer_conservation";
+    for (run, name) in [
+        (inputs.faulted, "faulted"),
+        (inputs.clean, "clean"),
+        (inputs.oracle, "oracle"),
+    ] {
+        let m = &run.metrics;
+        if m.arrivals != m.stored + m.ibo_discards {
+            out.push(Violation::new(
+                INV,
+                format!(
+                    "{name}: arrivals ({}) != stored ({}) + discards ({})",
+                    m.arrivals, m.stored, m.ibo_discards
+                ),
+            ));
+        }
+        if m.frames_total < m.frames_missed_off + m.frames_filtered + m.arrivals {
+            out.push(Violation::new(
+                INV,
+                format!(
+                    "{name}: frames_total ({}) under-counts missed+filtered+arrived ({})",
+                    m.frames_total,
+                    m.frames_missed_off + m.frames_filtered + m.arrivals
+                ),
+            ));
+        }
+        // Everything stored leaves exactly once: classified away,
+        // reported, or still pending. At most one entry may sit
+        // in-flight inside an interrupted job at end-of-run.
+        let processed = m.false_negatives + m.true_negatives + m.total_reports() + m.pending;
+        if processed > m.stored || m.stored - processed > 1 {
+            out.push(Violation::new(
+                INV,
+                format!(
+                    "{name}: stored ({}) vs classified+reported+pending ({processed}) \
+                     — an entry was lost or duplicated",
+                    m.stored
+                ),
+            ));
+        }
+    }
+}
+
+/// Invariant 3: energy accounting never goes negative.
+fn energy_accounting(inputs: &DiffInputs<'_>, out: &mut Vec<Violation>) {
+    const INV: &str = "energy_accounting";
+    let s = inputs.stats;
+    if s.negative_energy_ticks > 0 {
+        out.push(Violation::new(
+            INV,
+            format!(
+                "stored energy was negative at {} ticks (floor {:.9} J)",
+                s.negative_energy_ticks, s.min_stored_j
+            ),
+        ));
+    }
+    let m = &inputs.faulted.metrics;
+    for (name, joules) in [
+        ("energy_harvested", m.energy_harvested.value()),
+        ("energy_wasted", m.energy_wasted.value()),
+    ] {
+        if !joules.is_finite() || joules < 0.0 {
+            out.push(Violation::new(
+                INV,
+                format!("{name} is {joules} (must be finite and non-negative)"),
+            ));
+        }
+    }
+}
+
+/// Invariant 4: degradation decisions stay consistent and monotone in
+/// buffer pressure.
+fn decision_monotone(inputs: &DiffInputs<'_>, out: &mut Vec<Violation>) {
+    const INV: &str = "decision_monotone";
+    if ibo_engine_family(inputs.system) {
+        for w in quetzal::check_ibo_walk(&inputs.faulted.events) {
+            out.push(Violation::new(
+                INV,
+                format!("t={}ms ibo walk: {}", w.t_ms, w.detail),
+            ));
+        }
+    }
+    // Power-threshold rules key on instantaneous P_in, which the event
+    // does not carry — occupancy-monotonicity is not theirs to keep.
+    if !matches!(inputs.system, BaselineKind::PowerThreshold(_)) {
+        for w in quetzal::check_pressure_monotone(&inputs.faulted.events) {
+            out.push(Violation::new(
+                INV,
+                format!("t={}ms pressure: {}", w.t_ms, w.detail),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qz_sim::Metrics;
+
+    /// A self-consistent metrics block (all conservation laws hold).
+    fn consistent() -> Metrics {
+        Metrics {
+            frames_total: 100,
+            frames_filtered: 40,
+            arrivals: 60,
+            stored: 50,
+            ibo_discards: 10,
+            false_negatives: 5,
+            true_negatives: 20,
+            reports_interesting_high: 15,
+            reports_interesting_low: 5,
+            pending: 5,
+            checkpoints: 3,
+            power_failures: 3,
+            interesting_total: 30,
+            ..Metrics::default()
+        }
+    }
+
+    fn outcome(metrics: Metrics) -> RunOutcome {
+        RunOutcome {
+            metrics,
+            events: Vec::new(),
+        }
+    }
+
+    fn judge(faulted: Metrics, oracle: Metrics) -> Vec<Violation> {
+        let faulted = outcome(faulted);
+        let clean = outcome(consistent());
+        let oracle = outcome(oracle);
+        let stats = FaultStats::default();
+        check_all(&DiffInputs {
+            faulted: &faulted,
+            clean: &clean,
+            oracle: &oracle,
+            stats: &stats,
+            jit: true,
+            system: BaselineKind::Quetzal,
+        })
+    }
+
+    fn oracle_metrics() -> Metrics {
+        Metrics {
+            frames_total: 200,
+            frames_filtered: 80,
+            arrivals: 120,
+            stored: 120,
+            false_negatives: 10,
+            true_negatives: 50,
+            reports_interesting_high: 55,
+            pending: 5,
+            interesting_total: 60,
+            ..Metrics::default()
+        }
+    }
+
+    #[test]
+    fn consistent_run_passes() {
+        let v = judge(consistent(), oracle_metrics());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lost_entry_is_flagged() {
+        let mut m = consistent();
+        m.stored -= 2; // two arrivals vanish
+        let v = judge(m, oracle_metrics());
+        assert!(v.iter().any(|x| x.invariant == "buffer_conservation"));
+    }
+
+    #[test]
+    fn duplicated_entry_is_flagged() {
+        let mut m = consistent();
+        m.reports_interesting_high += 3; // more leaves than entries
+        let v = judge(m, oracle_metrics());
+        assert!(v.iter().any(|x| x.invariant == "buffer_conservation"));
+    }
+
+    #[test]
+    fn jit_replay_is_flagged() {
+        let mut m = consistent();
+        m.reexecuted = qz_types::SimDuration::from_millis(500);
+        let v = judge(m, oracle_metrics());
+        assert!(v.iter().any(|x| x.invariant == "replay_idempotent"));
+    }
+
+    #[test]
+    fn more_frames_than_oracle_is_flagged() {
+        let mut m = consistent();
+        m.frames_total = 500;
+        m.frames_filtered = 440;
+        let v = judge(m, oracle_metrics());
+        assert!(v
+            .iter()
+            .any(|x| x.invariant == "replay_idempotent" && x.detail.contains("organic")));
+    }
+
+    #[test]
+    fn negative_energy_is_flagged() {
+        let faulted = outcome(consistent());
+        let clean = outcome(consistent());
+        let oracle = outcome(oracle_metrics());
+        let stats = FaultStats {
+            ticks: 100,
+            min_stored_j: -0.002,
+            negative_energy_ticks: 4,
+            vulnerable_ticks: 0,
+        };
+        let v = check_all(&DiffInputs {
+            faulted: &faulted,
+            clean: &clean,
+            oracle: &oracle,
+            stats: &stats,
+            jit: true,
+            system: BaselineKind::Quetzal,
+        });
+        assert!(v.iter().any(|x| x.invariant == "energy_accounting"));
+    }
+
+    #[test]
+    fn witness_families_are_selected_by_system() {
+        assert!(ibo_engine_family(BaselineKind::Quetzal));
+        assert!(ibo_engine_family(BaselineKind::FcfsIbo));
+        assert!(!ibo_engine_family(BaselineKind::CatNap));
+        assert!(!ibo_engine_family(BaselineKind::PowerThreshold(
+            qz_types::Watts(0.03)
+        )));
+    }
+}

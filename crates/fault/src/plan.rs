@@ -1,0 +1,180 @@
+//! Fault plans: per-class injection probabilities and amplitudes.
+//!
+//! A plan is pure data — which adversities to inject and how hard —
+//! while the [`crate::inject::AdversarialInjector`] owns the seeded
+//! randomness that turns the plan into a concrete schedule. Keeping
+//! the two separate means one plan can drive hundreds of independently
+//! seeded campaigns, and a campaign is reproducible from
+//! `(plan, seed)` alone.
+
+use qz_types::SimDuration;
+
+/// Per-class fault probabilities and amplitudes for one campaign.
+///
+/// Probabilities are per *opportunity*: power failures per 1 ms tick
+/// (while powered on), checkpoint corruption per restore, ADC misreads
+/// per scheduler power reading, clock jitter per task start, bursts per
+/// capture boundary, jams per transmit attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Preset name (`smoke`, `standard`, `heavy`, or `none`).
+    pub label: &'static str,
+    /// Power-failure probability per powered-on tick.
+    pub power_failure_per_tick: f64,
+    /// Multiplier on the failure probability inside a *vulnerable
+    /// window*: mid-task (20–80 % progress), mid-transmit, or within a
+    /// tick of a checkpoint — the worst-case phase alignments an
+    /// adversary would target.
+    pub phase_boost: f64,
+    /// Probability a restore finds its checkpoint corrupted (forcing a
+    /// from-scratch replay of the interrupted task).
+    pub checkpoint_corruption: f64,
+    /// Probability the scheduler's `P_in` reading is misread.
+    pub adc_misread: f64,
+    /// Relative misread amplitude: a misread scales the true reading by
+    /// a uniform factor in `[1 − a, 1 + a]`, so amplitudes near 1 drive
+    /// the `P_exe/P_in` ratio circuit toward its div-by-near-zero edge.
+    pub adc_amplitude: f64,
+    /// Probability a task start's latency is jittered.
+    pub clock_jitter: f64,
+    /// Relative jitter amplitude (uniform scale in `[1 − a, 1 + a]`).
+    pub clock_amplitude: f64,
+    /// Probability of an input-burst anomaly at a capture boundary.
+    pub burst: f64,
+    /// Maximum extra frames one burst injects (uniform in `1..=max`).
+    pub burst_max: u32,
+    /// Probability a transmit attempt is jammed into backoff.
+    pub uplink_jam: f64,
+    /// Longest jam-induced backoff.
+    pub jam_max: SimDuration,
+}
+
+impl FaultPlan {
+    /// The all-zero plan: an installed injector that never fires.
+    /// A campaign under this plan must be byte-identical to a clean run
+    /// (pinned by the differential tests).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            label: "none",
+            power_failure_per_tick: 0.0,
+            phase_boost: 1.0,
+            checkpoint_corruption: 0.0,
+            adc_misread: 0.0,
+            adc_amplitude: 0.0,
+            clock_jitter: 0.0,
+            clock_amplitude: 0.0,
+            burst: 0.0,
+            burst_max: 0,
+            uplink_jam: 0.0,
+            jam_max: SimDuration::ZERO,
+        }
+    }
+
+    /// Light adversity for CI smoke campaigns: every fault class fires,
+    /// but rarely enough that short runs stay mostly productive.
+    pub fn smoke() -> FaultPlan {
+        FaultPlan {
+            label: "smoke",
+            power_failure_per_tick: 5e-5,
+            phase_boost: 10.0,
+            checkpoint_corruption: 0.05,
+            adc_misread: 0.002,
+            adc_amplitude: 0.5,
+            clock_jitter: 0.002,
+            clock_amplitude: 0.2,
+            burst: 0.01,
+            burst_max: 2,
+            uplink_jam: 0.05,
+            jam_max: SimDuration::from_millis(200),
+        }
+    }
+
+    /// The default campaign plan: failures every few seconds with a
+    /// strong bias toward vulnerable windows, moderate corruption and
+    /// sensor noise.
+    pub fn standard() -> FaultPlan {
+        FaultPlan {
+            label: "standard",
+            power_failure_per_tick: 2e-4,
+            phase_boost: 25.0,
+            checkpoint_corruption: 0.15,
+            adc_misread: 0.01,
+            adc_amplitude: 0.9,
+            clock_jitter: 0.01,
+            clock_amplitude: 0.5,
+            burst: 0.05,
+            burst_max: 3,
+            uplink_jam: 0.15,
+            jam_max: SimDuration::from_millis(400),
+        }
+    }
+
+    /// Near-torture adversity: roughly one failure per second, half of
+    /// all restores corrupted, deep sensor and clock noise.
+    pub fn heavy() -> FaultPlan {
+        FaultPlan {
+            label: "heavy",
+            power_failure_per_tick: 1e-3,
+            phase_boost: 50.0,
+            checkpoint_corruption: 0.5,
+            adc_misread: 0.05,
+            adc_amplitude: 0.95,
+            clock_jitter: 0.05,
+            clock_amplitude: 0.9,
+            burst: 0.15,
+            burst_max: 5,
+            uplink_jam: 0.4,
+            jam_max: SimDuration::from_millis(800),
+        }
+    }
+
+    /// Looks up a preset by name (case-insensitive).
+    pub fn preset(name: &str) -> Option<FaultPlan> {
+        match name.to_ascii_lowercase().as_str() {
+            "none" => Some(FaultPlan::none()),
+            "smoke" => Some(FaultPlan::smoke()),
+            "standard" => Some(FaultPlan::standard()),
+            "heavy" => Some(FaultPlan::heavy()),
+            _ => None,
+        }
+    }
+
+    /// Expected power-failure rate in failures/second (ticks are 1 ms),
+    /// ignoring the phase boost: vulnerable windows are narrow, so the
+    /// steady-state churn tracks the base rate.
+    pub fn failure_rate_per_s(&self) -> f64 {
+        self.power_failure_per_tick * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in ["none", "smoke", "standard", "heavy", "HEAVY"] {
+            let plan = FaultPlan::preset(name).expect("known preset");
+            assert_eq!(plan.label, name.to_ascii_lowercase());
+        }
+        assert!(FaultPlan::preset("torture").is_none());
+    }
+
+    #[test]
+    fn presets_escalate() {
+        let (s, m, h) = (
+            FaultPlan::smoke(),
+            FaultPlan::standard(),
+            FaultPlan::heavy(),
+        );
+        assert!(s.power_failure_per_tick < m.power_failure_per_tick);
+        assert!(m.power_failure_per_tick < h.power_failure_per_tick);
+        assert!(s.checkpoint_corruption < m.checkpoint_corruption);
+        assert!(m.checkpoint_corruption < h.checkpoint_corruption);
+    }
+
+    #[test]
+    fn failure_rate_converts_ticks_to_seconds() {
+        assert!((FaultPlan::standard().failure_rate_per_s() - 0.2).abs() < 1e-12);
+    }
+}

@@ -189,6 +189,14 @@ pub enum EventKind {
     },
     /// A periodic telemetry snapshot.
     Snapshot(Snapshot),
+    /// The fault layer injected an adversarial perturbation (see
+    /// `qz-sim`'s fault hooks / the `qz-fault` crate).
+    FaultInjected {
+        /// Stable fault-class label: `power_failure`,
+        /// `checkpoint_corruption`, `adc_misread`, `clock_jitter`,
+        /// `input_burst`, or `uplink_jam`.
+        fault: &'static str,
+    },
 }
 
 impl EventKind {
@@ -207,6 +215,7 @@ impl EventKind {
             EventKind::Restore { .. } => "restore",
             EventKind::TxBackoff { .. } => "tx_backoff",
             EventKind::Snapshot(_) => "snapshot",
+            EventKind::FaultInjected { .. } => "fault_injected",
         }
     }
 }
@@ -282,6 +291,9 @@ mod tests {
                 active_option: None,
                 ibo_discards: 0,
             }),
+            EventKind::FaultInjected {
+                fault: "power_failure",
+            },
         ];
         let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         names.sort_unstable();

@@ -175,6 +175,9 @@ pub fn event_to_json(event: &Event) -> String {
                 snap.ibo_discards
             ));
         }
+        EventKind::FaultInjected { fault } => {
+            s.push_str(&format!(",\"fault\":\"{fault}\""));
+        }
     }
     s.push('}');
     s
@@ -316,6 +319,9 @@ pub fn write_csv<W: Write>(mut w: W, events: &[Event]) -> io::Result<()> {
                     option = o.to_string();
                 }
             }
+            // The fault class is visible through the kind column only;
+            // fault events carry no numeric payload.
+            EventKind::FaultInjected { .. } => {}
         }
         writeln!(
             w,

@@ -339,6 +339,7 @@ impl Observer for MetricsObserver {
                 r.histogram_record("occupancy", s.occupancy as u64);
                 r.gauge_set("stored_j", s.stored_j);
             }
+            EventKind::FaultInjected { .. } => r.counter_add("faults_injected", 1),
         }
     }
 

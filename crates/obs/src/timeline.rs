@@ -245,6 +245,9 @@ fn render_event(out: &mut String, e: &Event, names: &TimelineNames, cfg: &Timeli
                 if s.on { "" } else { " OFF" }
             ));
         }
+        EventKind::FaultInjected { fault } => {
+            out.push_str(&format!("{t} FAULT    injected {fault}\n"));
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::buffer::{BufferEntry, InputBuffer};
 use crate::config::SimConfig;
+use crate::fault::{FaultContext, FaultInjector, FaultPhase};
 use crate::intermittent::{CheckpointPolicy, ProgressKeeper};
 use crate::metrics::Metrics;
 use crate::pipeline::{PipelineError, PipelineSpec, Route, TaskBehavior};
@@ -113,6 +114,12 @@ pub struct Simulation<'a> {
     off_since: Option<SimTime>,
     /// Cadence of `Snapshot` events while an observer is installed.
     snapshot_every: SimDuration,
+    /// Seeded adversary consulted while stepping; `None` (the default)
+    /// leaves the engine's behaviour bit-identical to a fault-free build.
+    fault: Option<Box<dyn FaultInjector>>,
+    /// When a checkpoint last completed (for the mid-checkpoint fault
+    /// window).
+    last_checkpoint_at: Option<SimTime>,
     done: bool,
 }
 
@@ -159,6 +166,8 @@ impl<'a> Simulation<'a> {
             uplink: None,
             off_since: None,
             snapshot_every: SimDuration::from_secs(1),
+            fault: None,
+            last_checkpoint_at: None,
             done: false,
         })
     }
@@ -210,6 +219,61 @@ impl<'a> Simulation<'a> {
     /// The installed uplink gate, if any.
     pub fn uplink(&self) -> Option<&UplinkPort> {
         self.uplink.as_ref()
+    }
+
+    /// Installs a seeded fault injector. From now on every tick
+    /// consults the adversary for forced power failures, checkpoint
+    /// corruption, ADC misreads, clock jitter, input bursts, and uplink
+    /// jams (see [`crate::fault`]).
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.fault = Some(injector);
+    }
+
+    /// Removes the installed fault injector, returning it so harnesses
+    /// can recover accumulated statistics.
+    pub fn take_fault_injector(&mut self) -> Option<Box<dyn FaultInjector>> {
+        self.fault.take()
+    }
+
+    /// Snapshot of the engine state the fault hooks see this tick.
+    fn fault_context(&self, now: SimTime) -> FaultContext {
+        let mut transmitting = false;
+        let phase = match (&self.state, &self.job) {
+            (DeviceState::Off, _) => FaultPhase::Off,
+            (DeviceState::On, None) => FaultPhase::Idle,
+            (DeviceState::On, Some(j)) if j.tx_wait => {
+                transmitting = true;
+                FaultPhase::TxWait
+            }
+            (DeviceState::On, Some(j)) => match j.phase {
+                JobPhase::Overhead => FaultPhase::Overhead,
+                JobPhase::Task(index) => {
+                    let task = self.runtime.spec().job(j.job).tasks[index];
+                    transmitting =
+                        matches!(self.pipeline.behavior(task), TaskBehavior::Transmit(_));
+                    let full = j.full_latency.as_millis();
+                    let progress = if full == 0 {
+                        0.0
+                    } else {
+                        1.0 - j.remaining.as_millis() as f64 / full as f64
+                    };
+                    FaultPhase::Task { index, progress }
+                }
+            },
+        };
+        let just_checkpointed = self
+            .last_checkpoint_at
+            .is_some_and(|at| now.since(at) <= SimDuration::TICK);
+        FaultContext {
+            now,
+            phase,
+            stored: self.power.capacitor().energy(),
+            reserve: self.cfg.device.checkpoint_reserve(),
+            occupancy: self.buffer.occupancy(),
+            capacity: self.buffer.capacity(),
+            transmitting,
+            just_checkpointed,
+        }
     }
 
     /// Sets the carrier-sense busy probability on the installed gate
@@ -377,28 +441,61 @@ impl<'a> Simulation<'a> {
             }
         }
 
-        // 5. Power-state transitions and work progress.
-        match self.state {
-            DeviceState::On => {
-                if self.power.capacitor().energy() <= self.cfg.device.checkpoint_reserve() {
-                    self.on_power_failure();
-                } else if !out.brownout {
-                    self.progress(t, irr);
+        // 4b. Fault hooks: let the adversary observe the tick and decide
+        //     on a forced power failure before normal progress runs.
+        let mut forced_failure = false;
+        if self.fault.is_some() {
+            // The context snapshot needs `&self`, so build it before
+            // borrowing the injector mutably.
+            let ctx = self.fault_context(t);
+            if let Some(f) = self.fault.as_mut() {
+                f.on_tick(&ctx);
+                if self.state == DeviceState::On {
+                    forced_failure = f.force_power_failure(&ctx);
                 }
             }
-            DeviceState::Off => {
-                if self.power.capacitor().can_turn_on() {
-                    self.power.draw(self.cfg.device.restore_energy);
-                    self.metrics.restores += 1;
-                    self.state = DeviceState::On;
-                    if self.runtime.observing() {
-                        let off_ms = self
-                            .off_since
-                            .take()
-                            .map_or(0, |off| t.since(off).as_millis());
-                        self.runtime.emit_event(EventKind::Restore { off_ms });
+        }
+
+        // 5. Power-state transitions and work progress.
+        if forced_failure {
+            // Adversarial brownout: drain stored energy down to the
+            // checkpoint reserve, then take the normal failure path so
+            // checkpoint accounting matches a natural failure exactly.
+            self.metrics.faults_power += 1;
+            if self.runtime.observing() {
+                self.runtime.emit_event(EventKind::FaultInjected {
+                    fault: "power_failure",
+                });
+            }
+            let excess = self.power.capacitor().energy() - self.cfg.device.checkpoint_reserve();
+            if excess.value() > 0.0 {
+                self.power.draw(excess);
+            }
+            self.on_power_failure();
+        } else {
+            match self.state {
+                DeviceState::On => {
+                    if self.power.capacitor().energy() <= self.cfg.device.checkpoint_reserve() {
+                        self.on_power_failure();
+                    } else if !out.brownout {
+                        self.progress(t, irr);
                     }
-                    self.off_since = None;
+                }
+                DeviceState::Off => {
+                    if self.power.capacitor().can_turn_on() {
+                        self.power.draw(self.cfg.device.restore_energy);
+                        self.metrics.restores += 1;
+                        self.state = DeviceState::On;
+                        if self.runtime.observing() {
+                            let off_ms = self
+                                .off_since
+                                .take()
+                                .map_or(0, |off| t.since(off).as_millis());
+                            self.runtime.emit_event(EventKind::Restore { off_ms });
+                        }
+                        self.off_since = None;
+                        self.maybe_corrupt_checkpoint(t);
+                    }
                 }
             }
         }
@@ -437,6 +534,33 @@ impl<'a> Simulation<'a> {
         // Changed frame: compress, then try to store. λ counts inputs
         // that pass pre-filtering (the queue's *offered* load, §3.1),
         // whether or not the store succeeds.
+        self.admit_arrival(t, interesting);
+
+        // Input-burst anomaly: extra changed-but-uninteresting frames
+        // the adversary injects at this boundary. Each pays the full
+        // capture-path energy and contends for a buffer slot, so the
+        // conservation law `arrivals == stored + ibo_discards` holds
+        // for burst frames too.
+        let burst = self.fault.as_mut().map_or(0, |f| f.extra_burst(t));
+        if burst > 0 {
+            self.metrics.faults_burst += u64::from(burst);
+            if self.runtime.observing() {
+                self.runtime.emit_event(EventKind::FaultInjected {
+                    fault: "input_burst",
+                });
+            }
+            for _ in 0..burst {
+                self.metrics.frames_total += 1;
+                self.power.draw(self.cfg.device.capture.energy());
+                self.power.draw(self.cfg.device.diff.energy());
+                self.admit_arrival(t, false);
+            }
+        }
+    }
+
+    /// Compresses and stores one changed frame, counting the arrival and
+    /// the store-or-discard outcome.
+    fn admit_arrival(&mut self, t: SimTime, interesting: bool) {
         self.power.draw(self.cfg.device.compress.energy());
         self.metrics.arrivals += 1;
         self.runtime.on_capture(true);
@@ -530,6 +654,7 @@ impl<'a> Simulation<'a> {
             CheckpointPolicy::JustInTime => {
                 self.power.draw(self.cfg.device.checkpoint_energy);
                 self.metrics.checkpoints += 1;
+                self.last_checkpoint_at = Some(self.now);
             }
             CheckpointPolicy::Periodic { .. } | CheckpointPolicy::TaskBoundary => {
                 if let Some(j) = self.job.as_mut() {
@@ -547,6 +672,43 @@ impl<'a> Simulation<'a> {
         self.off_since = Some(self.now);
     }
 
+    /// Consults the adversary right after a restore: a corrupted
+    /// checkpoint forces the interrupted task to replay from scratch.
+    /// Replay-from-start is the safe recovery for idempotent tasks, so
+    /// only re-execution time (not application state) is lost.
+    fn maybe_corrupt_checkpoint(&mut self, t: SimTime) {
+        if self.fault.is_none() {
+            return;
+        }
+        let mid_task = self
+            .job
+            .as_ref()
+            .is_some_and(|j| matches!(j.phase, JobPhase::Task(_)) && !j.tx_wait);
+        if !mid_task {
+            return;
+        }
+        let ctx = self.fault_context(t);
+        let corrupt = self
+            .fault
+            .as_mut()
+            .expect("fault injector present")
+            .corrupt_checkpoint(&ctx);
+        if !corrupt {
+            return;
+        }
+        self.metrics.faults_checkpoint += 1;
+        if self.runtime.observing() {
+            self.runtime.emit_event(EventKind::FaultInjected {
+                fault: "checkpoint_corruption",
+            });
+        }
+        let j = self.job.as_mut().expect("mid-task job present");
+        let lost = j.full_latency.saturating_sub(j.remaining);
+        j.remaining = j.full_latency;
+        j.keeper.task_started(j.full_latency);
+        self.metrics.reexecuted += lost;
+    }
+
     fn progress_job(&mut self, t: SimTime) {
         let policy = self.cfg.device.checkpoint_policy;
         let j = self.job.as_mut().expect("job present");
@@ -556,6 +718,7 @@ impl<'a> Simulation<'a> {
             j.keeper.checkpointed(remaining);
             self.power.draw(self.cfg.device.checkpoint_energy);
             self.metrics.checkpoints += 1;
+            self.last_checkpoint_at = Some(t);
             if self.runtime.observing() {
                 self.runtime.emit_event(EventKind::Checkpoint);
             }
@@ -587,22 +750,58 @@ impl<'a> Simulation<'a> {
             self.complete_job(t, false);
             return;
         }
+        let task = self.runtime.spec().job(job).tasks[idx];
+        let is_transmit = matches!(self.pipeline.behavior(task), TaskBehavior::Transmit(_));
         let cost = self.task_cost(job, idx, option);
         // Data-dependent cost variability (DeviceConfig::task_jitter).
         let jitter = self.cfg.device.task_jitter;
-        let latency = if jitter > 0.0 {
+        let mut latency = if jitter > 0.0 {
             let factor = (1.0 + self.rng.next_range(-jitter, jitter)).max(0.1);
             cost.t_exe * factor
         } else {
             cost.t_exe
         };
+        // Clock jitter: the adversary's timer drift stretches (or
+        // shrinks) this task's wall-clock latency.
+        if let Some(f) = self.fault.as_mut() {
+            if let Some(scale) = f.clock_jitter(t) {
+                latency = latency * scale.max(0.05);
+                self.metrics.faults_clock += 1;
+                if self.runtime.observing() {
+                    self.runtime.emit_event(EventKind::FaultInjected {
+                        fault: "clock_jitter",
+                    });
+                }
+            }
+        }
         let duration = SimDuration::from_seconds_ceil(latency);
+        // Uplink jam: the adversary floods the channel, so the transmit
+        // attempt parks in a backoff hold exactly as if carrier sense
+        // had failed (works with or without a shared-channel gate).
+        if is_transmit {
+            let jam = self.fault.as_mut().and_then(|f| f.jam_uplink(t));
+            if let Some(wait) = jam {
+                let wait = wait.max(SimDuration::TICK);
+                self.metrics.faults_jam += 1;
+                if self.runtime.observing() {
+                    self.runtime.emit_event(EventKind::FaultInjected {
+                        fault: "uplink_jam",
+                    });
+                }
+                let j = self.job.as_mut().expect("job present");
+                j.phase = JobPhase::Task(idx);
+                j.tx_wait = true;
+                j.remaining = wait;
+                j.full_latency = wait;
+                j.keeper.task_started(wait);
+                return;
+            }
+        }
         // A transmit task must clear the shared-channel gate first.
         // Refusals park the job in a tx_wait hold (sleep power, buffer
         // slot held — IBO pressure keeps building) and retry at expiry.
         if let Some(port) = self.uplink.as_mut() {
-            let task = self.runtime.spec().job(job).tasks[idx];
-            if matches!(self.pipeline.behavior(task), TaskBehavior::Transmit(_)) {
+            if is_transmit {
                 let decision = port.sense(t, duration);
                 match decision {
                     TxDecision::Grant { airtime } => {
@@ -734,7 +933,20 @@ impl<'a> Simulation<'a> {
                 (id, age)
             })
             .collect();
-        let p_in = self.power.input_power(irr);
+        let mut p_in = self.power.input_power(irr);
+        // ADC misread: the adversary may substitute the P_in reading the
+        // scheduler's ratio circuit sees (never the true energy flow).
+        if let Some(f) = self.fault.as_mut() {
+            if let Some(misread) = f.adc_misread(t, p_in) {
+                p_in = Watts(misread.value().max(0.0));
+                self.metrics.faults_adc += 1;
+                if self.runtime.observing() {
+                    self.runtime.emit_event(EventKind::FaultInjected {
+                        fault: "adc_misread",
+                    });
+                }
+            }
+        }
         let view = BufferView {
             occupancy: self.buffer.occupancy(),
             capacity: self.buffer.capacity(),

@@ -1,0 +1,156 @@
+//! Fault-injection hooks for the simulation engine.
+//!
+//! The engine consults an installed [`FaultInjector`] at the few points
+//! where an adversary could plausibly perturb a real deployment: power
+//! failures at arbitrary phase alignment, checkpoint corruption on
+//! restore, ADC misreads on the `P_in` sense path, clock jitter on task
+//! latencies, input-burst anomalies at capture boundaries, and uplink
+//! jamming at transmit attempts. Every hook is *pull-based*: with no
+//! injector installed (the default) the engine takes the exact same
+//! branch structure and draws no extra randomness, so fault-free runs
+//! are bit-identical to builds that never heard of this module.
+//!
+//! Concrete adversaries live in the `qz-fault` crate; this module only
+//! defines the trait and the per-tick context the engine exposes, so
+//! `qz-sim` stays dependency-free.
+
+use qz_types::{Joules, SimDuration, SimTime, Watts};
+
+/// What the device was doing when a fault hook fired — the "phase
+/// alignment" an adversarial schedule targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPhase {
+    /// No job active (sleeping between inputs).
+    Idle,
+    /// Paying the scheduler/degradation-engine overhead.
+    Overhead,
+    /// Executing the task at `index`, `progress` fraction complete
+    /// (0 = just started, 1 = about to finish).
+    Task {
+        /// Task index within the active job.
+        index: usize,
+        /// Fraction of the task's latency already executed.
+        progress: f64,
+    },
+    /// Waiting out an uplink backoff (radio asleep, slot held).
+    TxWait,
+    /// Powered off, recharging.
+    Off,
+}
+
+/// Snapshot of engine state passed to fault hooks each tick.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultContext {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// What the device is executing right now.
+    pub phase: FaultPhase,
+    /// Usable stored energy (relative to the turn-off threshold).
+    pub stored: Joules,
+    /// The checkpoint reserve the engine protects.
+    pub reserve: Joules,
+    /// Buffer occupancy (queued + in flight).
+    pub occupancy: usize,
+    /// Buffer capacity.
+    pub capacity: usize,
+    /// `true` while a transmit task is active or parked in backoff —
+    /// the mid-radio-grant window.
+    pub transmitting: bool,
+    /// `true` if a checkpoint completed within the last tick — the
+    /// mid-checkpoint window.
+    pub just_checkpointed: bool,
+}
+
+/// A seeded adversary the engine consults while stepping.
+///
+/// Every method has a no-op default so implementations opt into only
+/// the fault classes they model. Implementations must be deterministic
+/// given their seed: the engine calls hooks in a fixed order at fixed
+/// points, so a faulted run is exactly reproducible.
+pub trait FaultInjector: core::fmt::Debug + Send {
+    /// Called once per tick before any fault decision, with the current
+    /// context. Use it to track state (e.g. minimum observed energy).
+    fn on_tick(&mut self, _ctx: &FaultContext) {}
+
+    /// Force an immediate power failure this tick (only consulted while
+    /// the device is on). The engine drains stored energy down to the
+    /// checkpoint reserve and runs the normal failure path.
+    fn force_power_failure(&mut self, _ctx: &FaultContext) -> bool {
+        false
+    }
+
+    /// Corrupt the restored checkpoint right after a power-on (only
+    /// consulted when a mid-task job was carried across the outage).
+    /// The engine responds by replaying the task from the start.
+    fn corrupt_checkpoint(&mut self, _ctx: &FaultContext) -> bool {
+        false
+    }
+
+    /// Perturb the `P_in` reading the scheduler sees (the ADC on the
+    /// ratio circuit). Return `Some(reading)` to substitute a value, or
+    /// `None` to leave the true reading untouched.
+    fn adc_misread(&mut self, _now: SimTime, _p_in: Watts) -> Option<Watts> {
+        None
+    }
+
+    /// Scale the next task's latency (timer drift). Return
+    /// `Some(factor)` to multiply the jittered latency, `None` for no
+    /// drift. Factors are clamped to a sane floor by the engine.
+    fn clock_jitter(&mut self, _now: SimTime) -> Option<f64> {
+        None
+    }
+
+    /// Extra anomalous frames arriving at this capture boundary (an
+    /// input burst). Each is treated as a changed-but-uninteresting
+    /// frame: it pays the capture/diff/compress energy and contends for
+    /// a buffer slot.
+    fn extra_burst(&mut self, _now: SimTime) -> u32 {
+        0
+    }
+
+    /// Jam the uplink at a transmit attempt: return `Some(wait)` to
+    /// park the job in a backoff hold as if carrier sense failed,
+    /// `None` to let the attempt proceed.
+    fn jam_uplink(&mut self, _now: SimTime) -> Option<SimDuration> {
+        None
+    }
+
+    /// Downcast support so harnesses can recover a concrete injector
+    /// (and its accumulated statistics) after a run.
+    fn as_any_mut(&mut self) -> Option<&mut dyn core::any::Any> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The default hooks must all be inert.
+    #[derive(Debug)]
+    struct Inert;
+    impl FaultInjector for Inert {}
+
+    #[test]
+    fn default_hooks_do_nothing() {
+        let mut f = Inert;
+        let ctx = FaultContext {
+            now: SimTime::ZERO,
+            phase: FaultPhase::Idle,
+            stored: Joules(0.01),
+            reserve: Joules(0.001),
+            occupancy: 0,
+            capacity: 10,
+            transmitting: false,
+            just_checkpointed: false,
+        };
+        f.on_tick(&ctx);
+        assert!(!f.force_power_failure(&ctx));
+        assert!(!f.corrupt_checkpoint(&ctx));
+        assert!(f.adc_misread(ctx.now, Watts(0.01)).is_none());
+        assert!(f.clock_jitter(ctx.now).is_none());
+        assert_eq!(f.extra_burst(ctx.now), 0);
+        assert!(f.jam_uplink(ctx.now).is_none());
+        assert!(f.as_any_mut().is_none());
+    }
+}

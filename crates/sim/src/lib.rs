@@ -28,6 +28,7 @@
 //!   (compute / classify / transmit) and jobs to routing.
 //! - [`config`] — device cost tables and simulation parameters.
 //! - [`metrics`] — everything the evaluation counts.
+//! - [`fault`] — seeded adversarial fault-injection hooks.
 //! - [`engine`] — the tick loop.
 
 #![forbid(unsafe_code)]
@@ -37,6 +38,7 @@ pub mod buffer;
 pub mod builder;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod intermittent;
 pub mod metrics;
 pub mod pipeline;
@@ -47,6 +49,7 @@ pub use buffer::{BufferEntry, InputBuffer};
 pub use builder::{SimApp, SimAppBuilder};
 pub use config::{DeviceConfig, PowerConfig, SimConfig};
 pub use engine::{SimError, Simulation};
+pub use fault::{FaultContext, FaultInjector, FaultPhase};
 pub use intermittent::{CheckpointPolicy, ProgressKeeper};
 pub use metrics::Metrics;
 pub use pipeline::{ClassRates, PipelineSpec, ReportQuality, Route, TaskBehavior};

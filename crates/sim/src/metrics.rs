@@ -109,6 +109,21 @@ pub struct Metrics {
     /// Harvested energy wasted on a full capacitor.
     pub energy_wasted: Joules,
 
+    // --- Fault injection (zero unless a `FaultInjector` is installed) ---
+    /// Forced power failures injected by the fault layer.
+    pub faults_power: u64,
+    /// Checkpoint corruptions injected on restore (each forces a
+    /// from-scratch task replay).
+    pub faults_checkpoint: u64,
+    /// ADC misreads substituted for the scheduler's `P_in` reading.
+    pub faults_adc: u64,
+    /// Clock-jitter perturbations applied to task latencies.
+    pub faults_clock: u64,
+    /// Anomalous burst frames injected at capture boundaries.
+    pub faults_burst: u64,
+    /// Uplink jams that parked a transmit attempt in backoff.
+    pub faults_jam: u64,
+
     // --- End-of-run state ---
     /// Inputs still buffered when the simulation ended.
     pub pending: u64,
@@ -167,6 +182,16 @@ impl Metrics {
     /// All jobs completed.
     pub fn total_jobs(&self) -> u64 {
         self.jobs_by_option.iter().sum()
+    }
+
+    /// All injected faults, across every fault class.
+    pub fn faults_total(&self) -> u64 {
+        self.faults_power
+            + self.faults_checkpoint
+            + self.faults_adc
+            + self.faults_clock
+            + self.faults_burst
+            + self.faults_jam
     }
 
     /// Mean capture-to-delivery latency over all reports, seconds

@@ -377,5 +377,69 @@ mod tests {
             let back = (q << s) >> s;
             prop_assert_eq!(back, q);
         }
+
+        #[test]
+        fn f64_roundtrip_is_bit_exact(bits in any::<i32>()) {
+            // Every Q16.16 value is an exact f64, so the round trip must
+            // restore the identical bit pattern — including MIN and MAX.
+            let q = Q16::from_bits(bits);
+            prop_assert_eq!(Q16::from_f64(q.to_f64()), q);
+        }
+
+        #[test]
+        fn mul_saturates_at_both_rails(a in 200.0f64..32000.0, b in 200.0f64..32000.0) {
+            // |a·b| ≥ 40000 > 32768, so every product overflows Q16.16.
+            let (qa, qb) = (Q16::from_f64(a), Q16::from_f64(b));
+            prop_assert_eq!(qa * qb, Q16::MAX);
+            prop_assert_eq!(-qa * qb, Q16::MIN);
+            prop_assert_eq!(qa * -qb, Q16::MIN);
+            prop_assert_eq!(-qa * -qb, Q16::MAX);
+        }
+
+        #[test]
+        fn add_saturates_at_both_rails(a in 20000.0f64..32000.0, b in 20000.0f64..32000.0) {
+            // a+b ≥ 40000 > 32768, so every sum overflows Q16.16.
+            let (qa, qb) = (Q16::from_f64(a), Q16::from_f64(b));
+            prop_assert_eq!(qa.saturating_add(qb), Q16::MAX);
+            prop_assert_eq!((-qa).saturating_add(-qb), Q16::MIN);
+        }
+
+        #[test]
+        fn mul_tracks_the_clamped_f64_product(a in any::<i32>(), b in any::<i32>()) {
+            // Over the full bit range, the fixed-point product equals the
+            // real-valued product clamped to the rails, within two quanta
+            // (one for truncation, one for boundary rounding).
+            let (qa, qb) = (Q16::from_bits(a), Q16::from_bits(b));
+            let exact = (qa.to_f64() * qb.to_f64())
+                .clamp(Q16::MIN.to_f64(), Q16::MAX.to_f64());
+            let got = (qa * qb).to_f64();
+            prop_assert!(
+                (got - exact).abs() <= 2.0 / 65536.0,
+                "{qa} * {qb}: got {got}, clamped exact {exact}"
+            );
+        }
+
+        #[test]
+        fn div_by_near_zero_saturates(v in 8.0f64..30000.0, tiny_bits in 1i32..16) {
+            // Divisors of a few quanta (≤ 15·2⁻¹⁶) push every quotient of
+            // |v| ≥ 8 past the rails; division must clamp, not wrap.
+            let q = Q16::from_f64(v);
+            let tiny = Q16::from_bits(tiny_bits);
+            prop_assert_eq!(q / tiny, Q16::MAX);
+            prop_assert_eq!(-q / tiny, Q16::MIN);
+            prop_assert_eq!(q / -tiny, Q16::MIN);
+            prop_assert_eq!(-q / -tiny, Q16::MAX);
+        }
+
+        #[test]
+        fn in_range_div_stays_within_one_quantum(a in -500.0f64..500.0, b in 1.0f64..30.0) {
+            let (qa, qb) = (Q16::from_f64(a), Q16::from_f64(b));
+            let exact = qa.to_f64() / qb.to_f64();
+            let got = (qa / qb).to_f64();
+            prop_assert!(
+                (got - exact).abs() <= 1.0 / 65536.0 + 1e-12,
+                "{qa} / {qb}: got {got}, exact {exact}"
+            );
+        }
     }
 }

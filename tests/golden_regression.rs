@@ -119,3 +119,25 @@ golden!(
     EnvironmentKind::Short,
     true
 );
+
+/// The fleet layer gets the same treatment: a small 3-device run whose
+/// entire JSON report is snapshotted byte-for-byte. Covers per-device
+/// simulation, uplink contention accounting, and aggregate statistics
+/// in one artifact. Regenerate after an intentional behaviour change:
+/// `qz fleet --devices 3 --events 6 --seed 424242 --json tests/golden/fleet_small.json`
+#[test]
+fn fleet_small_json_snapshot() {
+    let cfg = qz_fleet::FleetConfig {
+        devices: 3,
+        events: 6,
+        fleet_seed: SEED,
+        ..qz_fleet::FleetConfig::default()
+    };
+    let report = qz_fleet::run_fleet(&cfg, qz_fleet::Executor::new(2)).expect("fleet runs");
+    let got = report.to_json();
+    let want = include_str!("golden/fleet_small.json");
+    assert_eq!(
+        got, want,
+        "fleet JSON drifted — re-baseline tests/golden/fleet_small.json if intentional:\n{got}"
+    );
+}
