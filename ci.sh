@@ -20,7 +20,7 @@ echo "== test-count guard =="
 # The suite must never silently shrink (a deleted [[test]] stanza or a
 # dropped module compiles fine and loses coverage without failing CI).
 # Raise the floor when tests are added; never lower it casually.
-test_floor=650
+test_floor=690
 test_count=$(cargo test -q --workspace -- --list 2>/dev/null | grep -c ': test$')
 echo "   ${test_count} tests (floor ${test_floor})"
 if [ "${test_count}" -lt "${test_floor}" ]; then
@@ -43,6 +43,30 @@ cargo run -q --bin qz -- fleet --devices 6 --events 10 --threads 1 \
 cargo run -q --bin qz -- fleet --devices 6 --events 10 --threads 2 \
     --json "${fleet_dir}/t2.json" > /dev/null
 cmp "${fleet_dir}/t1.json" "${fleet_dir}/t2.json"
+
+echo "== engine equivalence: tick vs fast-forward reports =="
+# The fast-forward engine must be observably identical to the per-tick
+# reference loop: the same fixed-seed fleet run under both engines must
+# produce byte-identical JSON reports (the in-depth randomized proof is
+# tests/engine_equivalence.rs; this is the end-to-end CLI smoke).
+cargo run -q --bin qz -- fleet --devices 6 --events 10 --threads 1 \
+    --engine tick --json "${fleet_dir}/e_tick.json" > /dev/null
+cargo run -q --bin qz -- fleet --devices 6 --events 10 --threads 1 \
+    --engine fast-forward --json "${fleet_dir}/e_fast.json" > /dev/null
+cmp "${fleet_dir}/e_tick.json" "${fleet_dir}/e_fast.json"
+
+echo "== sim throughput bench: fast-forward >= 3x tick on Quiet =="
+# Regenerates results/BENCH_sim_throughput.json and gates on the Quiet
+# speedup. The acceptance bar in the issue is 5x on a quiet machine;
+# CI uses a 3x floor to absorb shared-runner noise.
+cargo bench -q -p qz-bench --bench sim_throughput
+quiet_speedup=$(grep -o '"env":"Quiet"[^}]*' results/BENCH_sim_throughput.json \
+    | grep -o '"speedup":[0-9.]*' | cut -d: -f2)
+echo "   Quiet speedup: ${quiet_speedup}x (floor 3x)"
+awk -v s="${quiet_speedup}" 'BEGIN { exit !(s >= 3.0) }' || {
+    echo "fast-forward engine too slow: ${quiet_speedup}x < 3x on Quiet" >&2
+    exit 1
+}
 
 echo "== qz fault: smoke campaign + thread-count determinism =="
 # A fixed-seed smoke campaign must hold all four differential-oracle

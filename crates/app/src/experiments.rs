@@ -42,6 +42,10 @@ pub struct SimTweaks {
     /// Override the supercapacitor capacitance (storage-sizing sweeps
     /// and infeasibility demos; `None` keeps the Table 1 default).
     pub supercap_capacitance: Option<Farads>,
+    /// Stepping engine. Defaults to the `QZ_ENGINE` environment variable
+    /// when set (`tick` or `fast`), else fast-forward; both engines
+    /// produce byte-identical results.
+    pub engine: qz_sim::EngineKind,
 }
 
 impl Default for SimTweaks {
@@ -60,6 +64,7 @@ impl Default for SimTweaks {
             checkpoint_policy: qz_sim::CheckpointPolicy::JustInTime,
             power_ewma_alpha: None,
             supercap_capacitance: None,
+            engine: qz_sim::EngineKind::from_env().unwrap_or_default(),
         }
     }
 }
@@ -193,6 +198,7 @@ pub fn experiment_configs(
         device: profile.device.clone(),
         drain: tweaks.drain,
         seed: tweaks.seed,
+        engine: tweaks.engine,
         ..SimConfig::default()
     };
     cfg.device.capture_period = tweaks.capture_period;
@@ -407,6 +413,21 @@ mod tests {
             ..SimTweaks::default()
         };
         simulate(BaselineKind::Quetzal, &apollo4(), &env(), &tweaks);
+    }
+
+    #[test]
+    fn engines_agree_through_the_experiment_path() {
+        let tick = SimTweaks {
+            engine: qz_sim::EngineKind::Tick,
+            ..SimTweaks::default()
+        };
+        let fast = SimTweaks {
+            engine: qz_sim::EngineKind::FastForward,
+            ..SimTweaks::default()
+        };
+        let mt = simulate(BaselineKind::Quetzal, &apollo4(), &env(), &tick);
+        let mf = simulate(BaselineKind::Quetzal, &apollo4(), &env(), &fast);
+        assert_eq!(mt, mf);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Measures simulator throughput with the per-tick reference engine
+//! versus the event-horizon fast-forward engine, on one sparse and one
+//! dense environment, and writes `results/BENCH_sim_throughput.json`.
+//!
+//! The workspace's criterion shim has no measurement API, so this
+//! harness times runs itself with `std::time::Instant` (best of
+//! `REPS`) and emits the JSON the CI gate parses. Both engines run the
+//! same seeds; the harness asserts their metrics are identical before
+//! reporting any number, so a speedup can never come from divergence.
+
+use qz_app::{apollo4, simulate, SimTweaks};
+use qz_baselines::BaselineKind;
+use qz_sim::{EngineKind, Metrics};
+use qz_traces::{EnvironmentKind, SensingEnvironment};
+use std::hint::black_box;
+use std::time::Instant;
+
+const REPS: usize = 3;
+const SEED: u64 = 9_2025;
+
+struct Case {
+    env: EnvironmentKind,
+    events: usize,
+}
+
+struct Outcome {
+    label: &'static str,
+    events: usize,
+    sim_ms: u64,
+    tick_secs: f64,
+    fast_secs: f64,
+}
+
+impl Outcome {
+    fn speedup(&self) -> f64 {
+        self.tick_secs / self.fast_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Best-of-`REPS` wall-clock for one engine; returns the metrics too so
+/// the caller can assert both engines agree.
+fn time_engine(env: &SensingEnvironment, engine: EngineKind) -> (f64, Metrics) {
+    let profile = apollo4();
+    let tweaks = SimTweaks {
+        engine,
+        ..SimTweaks::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut metrics = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let m = simulate(BaselineKind::Quetzal, &profile, env, &tweaks);
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        metrics = Some(black_box(m));
+    }
+    (best, metrics.expect("REPS > 0"))
+}
+
+fn run_case(case: &Case) -> Outcome {
+    let env = SensingEnvironment::generate(case.env, case.events, SEED);
+    let (tick_secs, tick_metrics) = time_engine(&env, EngineKind::Tick);
+    let (fast_secs, fast_metrics) = time_engine(&env, EngineKind::FastForward);
+    assert_eq!(
+        tick_metrics,
+        fast_metrics,
+        "engines diverged on {} — a speedup number would be meaningless",
+        case.env.label()
+    );
+    Outcome {
+        label: case.env.label(),
+        events: case.events,
+        sim_ms: tick_metrics.sim_time.as_millis(),
+        tick_secs,
+        fast_secs,
+    }
+}
+
+fn main() {
+    let cases = [
+        Case {
+            env: EnvironmentKind::Quiet,
+            events: 120,
+        },
+        Case {
+            env: EnvironmentKind::Crowded,
+            events: 120,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for case in &cases {
+        let o = run_case(case);
+        println!(
+            "{:>8}: {:>11} simulated ticks | tick {:.3} s | fast-forward {:.3} s | {:.1}x",
+            o.label,
+            o.sim_ms,
+            o.tick_secs,
+            o.fast_secs,
+            o.speedup()
+        );
+        rows.push(o);
+    }
+
+    let mut json = String::from("{\"bench\":\"sim_throughput\",\"system\":\"QZ\",\"cases\":[");
+    for (i, o) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"env\":\"{}\",\"events\":{},\"sim_ticks\":{},\
+             \"tick_secs\":{:.6},\"fast_forward_secs\":{:.6},\"speedup\":{:.3}}}",
+            o.label,
+            o.events,
+            o.sim_ms,
+            o.tick_secs,
+            o.fast_secs,
+            o.speedup()
+        ));
+    }
+    json.push_str("]}\n");
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_sim_throughput.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_sim_throughput.json");
+    println!("wrote {path}");
+}

@@ -1,4 +1,5 @@
-//! Control and window sanity (`QZ040`–`QZ043`).
+//! Control and window sanity (`QZ040`–`QZ043`) and fast-forward
+//! horizon hygiene (`QZ070`).
 //!
 //! The PID error-mitigation loop (paper §5.3) and the windowed
 //! estimators are the only feedback paths in the runtime; a bad gain
@@ -18,9 +19,33 @@ const MAX_KI: f64 = 1.0;
 const MAX_KD: f64 = 10.0;
 const MAX_CLAMP_SECONDS: f64 = 30.0;
 
+/// Capture periods at or below this many ticks leave the fast-forward
+/// engine no quiescent span to skip: a capture boundary is a mandatory
+/// reference tick, so the simulation degenerates to per-tick stepping.
+/// Shipped presets capture at 1 FPS (1000 ticks), far above this.
+const HORIZON_COLLAPSE_TICKS: u64 = 10;
+
 pub(crate) fn run(input: &CheckInput<'_>, report: &mut Report) {
     pid(input, report);
     windows(input, report);
+    horizon(input, report);
+}
+
+/// QZ070: the capture period forces a horizon collapse.
+fn horizon(input: &CheckInput<'_>, report: &mut Report) {
+    let period = input.device.capture_period.as_millis();
+    if period > 0 && period <= HORIZON_COLLAPSE_TICKS {
+        report.push(
+            Code::QZ070,
+            Severity::Warning,
+            Span::field("device.capture_period"),
+            format!(
+                "capture period of {period} tick(s) puts a capture boundary on (almost) every \
+                 tick; the fast-forward engine's event horizon collapses and simulation speed \
+                 degenerates to the per-tick reference loop (--engine tick without the name)",
+            ),
+        );
+    }
 }
 
 /// QZ040/QZ041 over the PID configuration.
@@ -295,6 +320,27 @@ mod tests {
             .diagnostics()
             .iter()
             .any(|d| d.code == Code::QZ042));
+    }
+
+    #[test]
+    fn tiny_capture_period_collapses_the_horizon() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let mut i = input(&spec);
+        i.device.capture_period = qz_types::SimDuration::from_millis(1);
+        let report = crate::check(&i);
+        let qz070 = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == Code::QZ070)
+            .unwrap_or_else(|| panic!("no QZ070:\n{}", report.render_text()));
+        assert_eq!(qz070.severity, Severity::Warning);
+
+        // The shipped 1 FPS capture period stays clean.
+        let i = input(&spec);
+        assert!(crate::check(&i)
+            .diagnostics()
+            .iter()
+            .all(|d| d.code != Code::QZ070));
     }
 
     #[test]

@@ -14,7 +14,8 @@ use std::fmt;
 /// queueing/Little's-Law, `QZ02x` degradation lattice, `QZ03x`
 /// fixed-point and hardware-model ranges, `QZ04x` control and window
 /// sanity, `QZ05x` fleet/shared-uplink feasibility, `QZ06x`
-/// fault-campaign survivability.
+/// fault-campaign survivability, `QZ07x` simulation-performance
+/// hygiene (fast-forward horizon collapse).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(clippy::doc_markdown)]
 pub enum Code {
@@ -95,11 +96,15 @@ pub enum Code {
     /// failure period: interrupted tasks are re-executed forever and
     /// never complete (fault-induced livelock).
     QZ062,
+    /// The capture period is so short that a capture boundary lands on
+    /// (almost) every tick: the fast-forward engine's event horizon
+    /// collapses and the simulation degenerates to per-tick stepping.
+    QZ070,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 25] = [
+    pub const ALL: [Code; 26] = [
         Code::QZ001,
         Code::QZ002,
         Code::QZ003,
@@ -125,6 +130,7 @@ impl Code {
         Code::QZ060,
         Code::QZ061,
         Code::QZ062,
+        Code::QZ070,
     ];
 
     /// The stable string form, e.g. `"QZ001"`.
@@ -155,6 +161,7 @@ impl Code {
             Code::QZ060 => "QZ060",
             Code::QZ061 => "QZ061",
             Code::QZ062 => "QZ062",
+            Code::QZ070 => "QZ070",
         }
     }
 
@@ -188,6 +195,7 @@ impl Code {
             Code::QZ060 => "checkpoint churn at the injected failure density outruns harvest",
             Code::QZ061 => "failure period shorter than reserve recharge + restore (thrash)",
             Code::QZ062 => "expected replay per failure ≥ failure period (livelock)",
+            Code::QZ070 => "capture period collapses the fast-forward event horizon",
         }
     }
 

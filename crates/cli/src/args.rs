@@ -53,6 +53,9 @@ pub struct FaultArgs {
     pub threads: Option<usize>,
     /// JSON report output path (`-` for stdout).
     pub json: Option<String>,
+    /// Simulation engine override (`None` keeps the `QZ_ENGINE` /
+    /// fast-forward default).
+    pub engine: Option<qz_sim::EngineKind>,
 }
 
 impl Default for FaultArgs {
@@ -68,6 +71,7 @@ impl Default for FaultArgs {
             seed: 0xFA017,
             threads: None,
             json: None,
+            engine: None,
         }
     }
 }
@@ -100,6 +104,9 @@ pub struct FleetArgs {
     pub csv: Option<String>,
     /// Also print the qz-obs metrics registry.
     pub metrics: bool,
+    /// Simulation engine override (`None` keeps the `QZ_ENGINE` /
+    /// fast-forward default).
+    pub engine: Option<qz_sim::EngineKind>,
 }
 
 impl Default for FleetArgs {
@@ -117,6 +124,7 @@ impl Default for FleetArgs {
             json: None,
             csv: None,
             metrics: false,
+            engine: None,
         }
     }
 }
@@ -217,6 +225,9 @@ pub struct RunArgs {
     pub limit: usize,
     /// Include periodic state snapshots in the timeline (`Trace` only).
     pub snapshots: bool,
+    /// Simulation engine override (`None` keeps the `QZ_ENGINE` /
+    /// fast-forward default).
+    pub engine: Option<qz_sim::EngineKind>,
 }
 
 impl Default for RunArgs {
@@ -234,6 +245,7 @@ impl Default for RunArgs {
             csv: None,
             limit: 200,
             snapshots: false,
+            engine: None,
         }
     }
 }
@@ -294,10 +306,17 @@ pub fn parse_env(name: &str) -> Result<EnvironmentKind, ParseError> {
         "crowded" => Ok(EnvironmentKind::Crowded),
         "less" | "lesscrowded" | "less-crowded" => Ok(EnvironmentKind::LessCrowded),
         "short" => Ok(EnvironmentKind::Short),
+        "quiet" => Ok(EnvironmentKind::Quiet),
         other => Err(err(format!(
-            "unknown environment `{other}` (try more-crowded, crowded, less-crowded, short)"
+            "unknown environment `{other}` (try more-crowded, crowded, less-crowded, short, quiet)"
         ))),
     }
+}
+
+/// Parses a `--engine` value (`fast-forward` or `tick`).
+pub fn parse_engine(name: &str) -> Result<qz_sim::EngineKind, ParseError> {
+    qz_sim::EngineKind::parse(name)
+        .ok_or_else(|| err(format!("unknown engine `{name}` (try fast-forward, tick)")))
 }
 
 /// Parses the full argument vector (without the program name).
@@ -358,6 +377,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .map_err(|_| err("`--limit` must be a non-negative integer"))?;
             }
             "--snapshots" => run.snapshots = true,
+            "--engine" => run.engine = Some(parse_engine(&take_value(&mut i, flag)?)?),
             other => return Err(err(format!("unknown flag `{other}`"))),
         }
         i += 1;
@@ -519,6 +539,7 @@ fn parse_fleet(args: &[String]) -> Result<FleetArgs, ParseError> {
             "--json" => fleet.json = Some(take_value(&mut i, flag)?),
             "--csv" => fleet.csv = Some(take_value(&mut i, flag)?),
             "--metrics" => fleet.metrics = true,
+            "--engine" => fleet.engine = Some(parse_engine(&take_value(&mut i, flag)?)?),
             other => return Err(err(format!("unknown flag `{other}` for `qz fleet`"))),
         }
         i += 1;
@@ -592,6 +613,7 @@ fn parse_fault(args: &[String]) -> Result<FaultArgs, ParseError> {
                 );
             }
             "--json" => fault.json = Some(take_value(&mut i, flag)?),
+            "--engine" => fault.engine = Some(parse_engine(&take_value(&mut i, flag)?)?),
             other => return Err(err(format!("unknown flag `{other}` for `qz fault`"))),
         }
         i += 1;
@@ -606,11 +628,13 @@ qz — Quetzal experiment runner
 USAGE:
   qz run            [--system QZ] [--env crowded] [--events 200] [--seed N]
                     [--device apollo4|msp430] [--telemetry out.csv] [--plot]
+                    [--engine fast-forward|tick]
   qz compare        [--env crowded] [--events 200] [--seed N] [--device …]
+                    [--engine fast-forward|tick]
   qz export-traces  [--env crowded] [--events 200] [--seed N] [--out-dir DIR]
   qz trace          [--system QZ] [--env crowded] [--events 200] [--seed N]
                     [--device …] [--jsonl out.jsonl] [--csv out.csv]
-                    [--limit 200] [--snapshots]
+                    [--limit 200] [--snapshots] [--engine fast-forward|tick]
   qz check          [--system QZ] [--device apollo4|msp430|all] [--json]
                     [--deny-warnings] [--allow QZ011]…
                     [--cap-mf 33] [--checkpoint jit|task-boundary|periodic:SECS]
@@ -619,14 +643,19 @@ USAGE:
                     [--device apollo4|msp430] [--envs more,crowded,less]
                     [--threads N] [--duty-cycle 0.1] [--slot-ms 50]
                     [--json out.json|-] [--csv out.csv|-] [--metrics]
+                    [--engine fast-forward|tick]
   qz fault          [--preset none|smoke|standard|heavy] [--system QZ]
                     [--device apollo4|msp430] [--env crowded] [--events 12]
                     [--campaigns 8] [--seed N|0xN] [--start 0]
                     [--threads N] [--json out.json|-]
+                    [--engine fast-forward|tick]
   qz help
 
 SYSTEMS:       QZ, QZ-HW, NA, AD, CN, TH25, TH50, TH75, PZO, FCFS, LCFS, AvgSe2e
-ENVIRONMENTS:  more-crowded, crowded, less-crowded, short
+ENVIRONMENTS:  more-crowded, crowded, less-crowded, short, quiet
+ENGINES:       fast-forward (default; skips quiescent ticks in bulk, reports
+               byte-identical to tick), tick (the reference per-tick loop).
+               QZ_ENGINE=tick|fast-forward sets the default; --engine wins.
 
 `qz check` statically analyzes the spec + device profile + configs a run
 would use (energy feasibility, Little's-Law arrival pressure, degradation
@@ -887,6 +916,32 @@ mod tests {
             parse(&argv("fault --devices 4")).is_err(),
             "fleet-only flag"
         );
+    }
+
+    #[test]
+    fn engine_flag_parses_everywhere() {
+        let Command::Run(r) = parse(&argv("run --engine tick")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.engine, Some(qz_sim::EngineKind::Tick));
+        let Command::Run(r) = parse(&argv("run")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.engine, None, "no flag leaves the default untouched");
+        let Command::Fleet(f) = parse(&argv("fleet --engine ff")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(f.engine, Some(qz_sim::EngineKind::FastForward));
+        let Command::Fault(f) = parse(&argv("fault --engine reference")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(f.engine, Some(qz_sim::EngineKind::Tick));
+        assert!(parse(&argv("run --engine warp")).is_err());
+    }
+
+    #[test]
+    fn quiet_environment_parses() {
+        assert_eq!(parse_env("quiet").unwrap(), EnvironmentKind::Quiet);
     }
 
     #[test]

@@ -64,6 +64,17 @@ fn environment(args: &RunArgs) -> SensingEnvironment {
     SensingEnvironment::generate(args.env, args.events, args.seed)
 }
 
+fn tweaks_for(args: &RunArgs) -> SimTweaks {
+    let mut tweaks = SimTweaks {
+        seed: args.seed,
+        ..SimTweaks::default()
+    };
+    if let Some(engine) = args.engine {
+        tweaks.engine = engine;
+    }
+    tweaks
+}
+
 fn print_metrics(label: &str, m: &Metrics) {
     println!("{label}:");
     println!(
@@ -198,7 +209,13 @@ fn fault(args: &FaultArgs) -> ExitCode {
         start: args.start,
         seed: args.seed,
         plan,
-        tweaks: SimTweaks::default(),
+        tweaks: {
+            let mut tweaks = SimTweaks::default();
+            if let Some(engine) = args.engine {
+                tweaks.engine = engine;
+            }
+            tweaks
+        },
     };
     let exec = match args.threads {
         Some(n) => qz_fleet::Executor::new(if n == 0 {
@@ -271,6 +288,9 @@ fn fleet(args: &FleetArgs) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(ms) = args.slot_ms {
         cfg.uplink.slot = SimDuration::from_millis(ms);
     }
+    if let Some(engine) = args.engine {
+        cfg.tweaks.engine = engine;
+    }
     let exec = match args.threads {
         Some(n) => qz_fleet::Executor::new(if n == 0 {
             qz_fleet::Executor::available()
@@ -322,10 +342,7 @@ fn fleet(args: &FleetArgs) -> Result<(), Box<dyn std::error::Error>> {
 fn run_one(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     let profile = profile_for(args);
     let env = environment(args);
-    let tweaks = SimTweaks {
-        seed: args.seed,
-        ..SimTweaks::default()
-    };
+    let tweaks = tweaks_for(args);
     println!(
         "running {} on {} in {} ({} events, seed {})\n",
         args.system.label(),
@@ -361,10 +378,7 @@ fn run_one(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
 fn compare(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     let profile = profile_for(args);
     let env = environment(args);
-    let tweaks = SimTweaks {
-        seed: args.seed,
-        ..SimTweaks::default()
-    };
+    let tweaks = tweaks_for(args);
     println!(
         "comparing systems on {} in {} ({} events, seed {})\n",
         profile.name,
@@ -389,10 +403,7 @@ fn compare(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
 fn trace(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     let profile = profile_for(args);
     let env = environment(args);
-    let tweaks = SimTweaks {
-        seed: args.seed,
-        ..SimTweaks::default()
-    };
+    let tweaks = tweaks_for(args);
     println!(
         "tracing {} on {} in {} ({} events, seed {})\n",
         args.system.label(),

@@ -169,6 +169,17 @@ impl Supercap {
         self.energy.value() <= 0.0
     }
 
+    /// Stored energy at which [`Supercap::can_turn_on`] flips true, from
+    /// the ideal-capacitor law `½·C·(v_on² − v_off²)` (including
+    /// `can_turn_on`'s 1 nV hysteresis slack). Exposed for closed-form
+    /// threshold-crossing estimates; the authoritative per-tick check
+    /// remains [`Supercap::can_turn_on`].
+    pub fn turn_on_energy(&self) -> Joules {
+        let v_on = (self.config.v_on - Volts(1e-9)).value();
+        let v_off = self.config.v_off.value();
+        Joules((0.5 * self.config.capacitance.value() * (v_on * v_on - v_off * v_off)).max(0.0))
+    }
+
     /// Adds harvested energy, clamping at the full capacity.
     ///
     /// Returns the energy actually accepted; the remainder is wasted
@@ -198,6 +209,16 @@ impl Supercap {
             self.energy = Joules::ZERO;
         }
         supplied
+    }
+
+    /// Overwrites the stored energy directly. Crate-internal escape
+    /// hatch for [`crate::PowerSystem`]'s sprint loop, which mirrors
+    /// the charge/discharge arithmetic on hoisted `f64` locals and
+    /// writes the result back; all invariants (`0 ≤ energy ≤ capacity`
+    /// up to per-op rounding) are the caller's responsibility.
+    #[inline]
+    pub(crate) fn set_energy_raw(&mut self, energy: Joules) {
+        self.energy = energy;
     }
 
     /// Energy stored between two voltages: `½·C·(v_hi² − v_lo²)`.

@@ -19,6 +19,32 @@ pub struct StepOutcome {
     pub brownout: bool,
 }
 
+/// A post-step condition that ends a bulk [`PowerSystem::advance`] early.
+///
+/// The tick on which the condition first holds is still committed —
+/// matching a reference loop that steps the energy system first and
+/// inspects the stored level afterwards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// Never stop early: commit every requested tick.
+    None,
+    /// Stop once stored energy falls to (or below) the given reserve, or
+    /// the load browns out.
+    Depleted(Joules),
+    /// Stop once the capacitor clears its turn-on threshold
+    /// ([`Supercap::can_turn_on`]).
+    CanTurnOn,
+}
+
+/// Result of a bulk [`PowerSystem::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkOutcome {
+    /// Ticks actually committed (including the crossing tick, if any).
+    pub ticks: u64,
+    /// Whether the stop condition held after the final committed tick.
+    pub crossed: bool,
+}
+
 /// A harvester charging a supercapacitor that powers a load.
 ///
 /// This is the per-tick energy accounting engine the device simulator
@@ -101,6 +127,252 @@ impl PowerSystem {
             supplied,
             brownout,
         }
+    }
+
+    /// Bulk-advances up to `max_ticks` steps of constant `irradiance` and
+    /// `load`, stopping early (after committing the crossing tick) when
+    /// `stop` first holds. Per-tick harvested/wasted energy accumulates
+    /// into the caller's ledgers in step order.
+    ///
+    /// The stored energy and all lifetime totals are **bit-identical**
+    /// to a caller looping [`PowerSystem::step`] by hand: a *sprint*
+    /// prefix — whose length is proven crossing-free by conservative
+    /// rate bounds ([`PowerSystem::ticks_until_crossing`] gives the
+    /// closed-form estimate those bounds derive from) — replicates
+    /// `step`'s arithmetic operation-for-operation with the per-tick
+    /// constants hoisted, and the vigilant tail runs `step` itself with
+    /// per-tick stop checks.
+    #[allow(clippy::too_many_arguments)] // mirrors step() plus the span ledgers
+    pub fn advance(
+        &mut self,
+        irradiance: f64,
+        load: Watts,
+        dt: SimDuration,
+        max_ticks: u64,
+        stop: StopCondition,
+        harvested_acc: &mut Joules,
+        wasted_acc: &mut Joules,
+    ) -> BulkOutcome {
+        let sprint = self.sprint_bound(irradiance, load, dt, stop).min(max_ticks);
+        let mut ticks = sprint;
+        self.sprint(irradiance, load, dt, sprint, harvested_acc, wasted_acc);
+        while ticks < max_ticks {
+            let out = self.step(irradiance, load, dt);
+            *harvested_acc += out.harvested;
+            *wasted_acc += out.wasted;
+            ticks += 1;
+            let crossed = match stop {
+                StopCondition::None => false,
+                StopCondition::Depleted(reserve) => {
+                    self.capacitor.energy() <= reserve || out.brownout
+                }
+                StopCondition::CanTurnOn => self.capacitor.can_turn_on(),
+            };
+            if crossed {
+                return BulkOutcome {
+                    ticks,
+                    crossed: true,
+                };
+            }
+        }
+        BulkOutcome {
+            ticks,
+            crossed: false,
+        }
+    }
+
+    /// Runs `n` consecutive [`PowerSystem::step`]-equivalent ticks with
+    /// every per-tick constant hoisted out of the loop, on raw `f64`
+    /// locals. The arithmetic replicates `step` operation-for-operation
+    /// (`charge`'s `min`/`max` clamps, the leak draw, `discharge`'s
+    /// floor at zero, the three lifetime-total additions), so the final
+    /// state is bit-identical to stepping — pinned by the
+    /// `advance_is_bit_identical_to_stepping` proptest. This loop is
+    /// where the fast-forward engine's throughput comes from: the full
+    /// `step` path re-derives the harvester output, offered energy, and
+    /// capacity every tick, which dominates a quiescent tick's cost.
+    ///
+    /// Callers must only request ticks proven not to need a stop check
+    /// (see [`PowerSystem::advance`]'s sprint bound): the loop commits
+    /// all `n` ticks unconditionally.
+    fn sprint(
+        &mut self,
+        irradiance: f64,
+        load: Watts,
+        dt: SimDuration,
+        n: u64,
+        harvested_acc: &mut Joules,
+        wasted_acc: &mut Joules,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let secs = dt.as_seconds();
+        let offered = (self.harvester.output(irradiance) * secs).value();
+        let leak = (self.capacitor.config().leakage * secs).value();
+        let demand = (load * secs).value();
+        let capacity = self.capacitor.capacity().value();
+        let mut energy = self.capacitor.energy().value();
+        let mut total_h = self.total_harvested.value();
+        let mut total_w = self.total_wasted.value();
+        let mut total_s = self.total_supplied.value();
+        let mut acc_h = harvested_acc.value();
+        let mut acc_w = wasted_acc.value();
+        // `energy` is finite and non-negative, so a NaN bit pattern can
+        // never collide with a real start-of-tick value.
+        let mut prev_start = u64::MAX;
+        let (mut last_h, mut last_w, mut last_s) = (0.0f64, 0.0, 0.0);
+        let mut i = 0;
+        while i < n {
+            // Period-1 fixed-point detection: when a tick starts from
+            // the exact energy bits the previous tick started from, the
+            // whole tick repeats verbatim (every per-tick quantity is a
+            // pure function of the start energy and the hoisted
+            // constants). The capacitor pinned full under sun and
+            // pinned empty in the dark both reach this cycle within two
+            // ticks; replaying the constant increments drops the serial
+            // energy dependency chain from the loop.
+            let start = energy.to_bits();
+            if start == prev_start {
+                for _ in i..n {
+                    total_h += last_h;
+                    total_w += last_w;
+                    total_s += last_s;
+                    acc_h += last_h;
+                    acc_w += last_w;
+                }
+                break;
+            }
+            prev_start = start;
+            // charge(offered)
+            let headroom = (capacity - energy).max(0.0);
+            let harvested = offered.min(headroom);
+            energy += harvested;
+            let wasted = offered - harvested;
+            // self-discharge
+            if leak > 0.0 {
+                let leaked = leak.min(energy);
+                energy -= leaked;
+                if energy < 0.0 {
+                    energy = 0.0;
+                }
+            }
+            // discharge(demand)
+            let supplied = demand.min(energy);
+            energy -= supplied;
+            if energy < 0.0 {
+                energy = 0.0;
+            }
+            total_h += harvested;
+            total_w += wasted;
+            total_s += supplied;
+            acc_h += harvested;
+            acc_w += wasted;
+            (last_h, last_w, last_s) = (harvested, wasted, supplied);
+            i += 1;
+        }
+        self.capacitor.set_energy_raw(Joules(energy));
+        self.total_harvested = Joules(total_h);
+        self.total_wasted = Joules(total_w);
+        self.total_supplied = Joules(total_s);
+        *harvested_acc = Joules(acc_h);
+        *wasted_acc = Joules(acc_w);
+    }
+
+    /// Closed-form estimate of how many `dt` ticks of constant
+    /// `irradiance` and `load` pass before stored energy crosses
+    /// `threshold`, in the clamp-free linear regime (capacitor neither
+    /// fills nor empties along the way). Returns `None` when the net
+    /// flow points away from the threshold, `Some(0)` when already at or
+    /// past it.
+    ///
+    /// This is a *predictor* for horizon planning; bulk integration that
+    /// must stay bit-identical to per-tick stepping goes through
+    /// [`PowerSystem::advance`].
+    pub fn ticks_until_crossing(
+        &self,
+        irradiance: f64,
+        load: Watts,
+        dt: SimDuration,
+        threshold: Joules,
+    ) -> Option<u64> {
+        let secs = dt.as_seconds().value();
+        let delta = (self.harvester.output(irradiance).value()
+            - self.capacitor.config().leakage.value()
+            - load.value())
+            * secs;
+        let gap = threshold.value() - self.capacitor.energy().value();
+        let ticks = if gap > 0.0 {
+            if delta <= 0.0 {
+                return None;
+            }
+            (gap / delta).ceil()
+        } else if gap < 0.0 {
+            if delta >= 0.0 {
+                return None;
+            }
+            (gap / delta).ceil()
+        } else {
+            return Some(0);
+        };
+        // The ratio of two same-signed finite values is non-negative.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Some(ticks.min(9.0e18) as u64)
+    }
+
+    /// Ticks guaranteed *not* to satisfy `stop`, from conservative
+    /// per-tick rate bounds: energy can fall at most `load + leakage`
+    /// per second and rise at most as fast as the harvest offer. A
+    /// multiplicative haircut plus a fixed margin absorb f64 rounding
+    /// drift over long sprints, so [`PowerSystem::advance`] can skip the
+    /// per-tick stop checks for this prefix.
+    fn sprint_bound(
+        &self,
+        irradiance: f64,
+        load: Watts,
+        dt: SimDuration,
+        stop: StopCondition,
+    ) -> u64 {
+        const HAIRCUT: f64 = 1.0 - 1e-6;
+        const MARGIN: u64 = 64;
+        let energy = self.capacitor.energy().value();
+        let secs = dt.as_seconds().value();
+        let bound = match stop {
+            StopCondition::None => return u64::MAX,
+            StopCondition::Depleted(reserve) => {
+                let max_dec = (load.value() + self.capacitor.config().leakage.value()) * secs;
+                if energy <= reserve.value() {
+                    return 0;
+                }
+                if max_dec <= 0.0 {
+                    // Energy is non-decreasing and demand is zero: the
+                    // reserve is never reached and no brownout can fire.
+                    return u64::MAX;
+                }
+                (energy - reserve.value()) / max_dec * HAIRCUT
+            }
+            StopCondition::CanTurnOn => {
+                let e_on = self.capacitor.turn_on_energy().value() * HAIRCUT;
+                if energy >= e_on {
+                    return 0;
+                }
+                let max_inc = self.harvester.output(irradiance).value() * secs;
+                if max_inc <= 0.0 {
+                    // Nothing charges the capacitor: the threshold is
+                    // never reached.
+                    return u64::MAX;
+                }
+                (e_on - energy) / max_inc
+            }
+        };
+        if !bound.is_finite() || bound <= 0.0 {
+            return 0;
+        }
+        // Bounded above before the cast; the dividend/divisor signs make
+        // the ratio non-negative.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let ticks = bound.min(9.0e18) as u64;
+        ticks.saturating_sub(MARGIN)
     }
 
     /// Draws a one-shot energy amount from storage (e.g. a checkpoint or
@@ -235,7 +507,206 @@ mod tests {
         assert!((s.total_supplied().value() - 0.05 * 10.0 * 0.1).abs() < 1.0); // sanity
     }
 
+    /// Reference for `advance`: loop `step` by hand with the same stop
+    /// semantics, checking the condition after every committed tick.
+    #[allow(clippy::too_many_arguments)] // mirrors advance()'s signature
+    fn manual_advance(
+        s: &mut PowerSystem,
+        irr: f64,
+        load: Watts,
+        dt: SimDuration,
+        max_ticks: u64,
+        stop: StopCondition,
+        harvested: &mut Joules,
+        wasted: &mut Joules,
+    ) -> BulkOutcome {
+        let mut ticks = 0;
+        while ticks < max_ticks {
+            let out = s.step(irr, load, dt);
+            *harvested += out.harvested;
+            *wasted += out.wasted;
+            ticks += 1;
+            let crossed = match stop {
+                StopCondition::None => false,
+                StopCondition::Depleted(r) => s.capacitor().energy() <= r || out.brownout,
+                StopCondition::CanTurnOn => s.capacitor().can_turn_on(),
+            };
+            if crossed {
+                return BulkOutcome {
+                    ticks,
+                    crossed: true,
+                };
+            }
+        }
+        BulkOutcome {
+            ticks,
+            crossed: false,
+        }
+    }
+
+    fn assert_bit_identical(a: &PowerSystem, b: &PowerSystem) {
+        assert_eq!(
+            a.capacitor().energy().value().to_bits(),
+            b.capacitor().energy().value().to_bits()
+        );
+        assert_eq!(
+            a.total_harvested().value().to_bits(),
+            b.total_harvested().value().to_bits()
+        );
+        assert_eq!(
+            a.total_wasted().value().to_bits(),
+            b.total_wasted().value().to_bits()
+        );
+        assert_eq!(
+            a.total_supplied().value().to_bits(),
+            b.total_supplied().value().to_bits()
+        );
+    }
+
+    #[test]
+    fn advance_stops_on_the_same_tick_as_manual_stepping() {
+        let cases = [
+            // (irr, load_w, start_empty, stop)
+            (0.0, 0.010, false, StopCondition::Depleted(Joules(0.625e-3))),
+            (0.1, 0.020, false, StopCondition::Depleted(Joules(0.625e-3))),
+            (0.5, 0.0, true, StopCondition::CanTurnOn),
+            (0.02, 5e-6, true, StopCondition::CanTurnOn),
+            (0.3, 0.001, false, StopCondition::None),
+        ];
+        for (irr, load_w, empty, stop) in cases {
+            let (mut fast, mut slow) = if empty {
+                (sys_starting_empty(), sys_starting_empty())
+            } else {
+                (sys(), sys())
+            };
+            let (mut fh, mut fw) = (Joules::ZERO, Joules::ZERO);
+            let (mut sh, mut sw) = (Joules::ZERO, Joules::ZERO);
+            let dt = SimDuration::TICK;
+            let out_fast = fast.advance(irr, Watts(load_w), dt, 2_000_000, stop, &mut fh, &mut fw);
+            let out_slow = manual_advance(
+                &mut slow,
+                irr,
+                Watts(load_w),
+                dt,
+                2_000_000,
+                stop,
+                &mut sh,
+                &mut sw,
+            );
+            assert_eq!(out_fast, out_slow, "case irr={irr} load={load_w}");
+            assert_eq!(fh.value().to_bits(), sh.value().to_bits());
+            assert_eq!(fw.value().to_bits(), sw.value().to_bits());
+            assert_bit_identical(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn closed_form_crossing_brackets_the_observed_tick() {
+        // Discharge toward the reserve in the clamp-free regime.
+        let mut s = sys();
+        let reserve = Joules(0.625e-3);
+        let predicted = s
+            .ticks_until_crossing(0.0, Watts(0.010), SimDuration::TICK, reserve)
+            .expect("net discharge must cross the reserve");
+        let (mut h, mut w) = (Joules::ZERO, Joules::ZERO);
+        let out = s.advance(
+            0.0,
+            Watts(0.010),
+            SimDuration::TICK,
+            predicted + 10,
+            StopCondition::Depleted(reserve),
+            &mut h,
+            &mut w,
+        );
+        assert!(out.crossed);
+        assert!(
+            out.ticks.abs_diff(predicted) <= 2,
+            "predicted {predicted}, observed {out:?}"
+        );
+        // Net flow away from the threshold has no crossing.
+        assert!(sys()
+            .ticks_until_crossing(1.0, Watts::ZERO, SimDuration::TICK, reserve)
+            .is_none());
+    }
+
+    #[test]
+    fn turn_on_energy_bound_is_safe_for_sprinting() {
+        // The sprint bound assumes: while stored energy sits below
+        // turn_on_energy() (minus the haircut), can_turn_on is false.
+        let mut s = sys_starting_empty();
+        let e_on = s.capacitor().turn_on_energy().value() * (1.0 - 1e-6);
+        let mut crossed = false;
+        for _ in 0..2_000_000 {
+            let below = s.capacitor().energy().value() < e_on;
+            if below {
+                assert!(!s.capacitor().can_turn_on());
+            } else {
+                crossed = true;
+                break;
+            }
+            s.step(0.01, Watts::ZERO, SimDuration::TICK);
+        }
+        assert!(crossed, "trickle charge must eventually clear the bound");
+    }
+
+    #[test]
+    fn advance_without_charge_never_reaches_turn_on() {
+        let mut s = sys_starting_empty();
+        let (mut h, mut w) = (Joules::ZERO, Joules::ZERO);
+        let out = s.advance(
+            0.0,
+            Watts::ZERO,
+            SimDuration::TICK,
+            500_000,
+            StopCondition::CanTurnOn,
+            &mut h,
+            &mut w,
+        );
+        assert_eq!(
+            out,
+            BulkOutcome {
+                ticks: 500_000,
+                crossed: false
+            }
+        );
+        assert!(!s.capacitor().can_turn_on());
+    }
+
     proptest! {
+        #[test]
+        fn advance_is_bit_identical_to_stepping(
+            irr in 0.0f64..1.0,
+            load_mw in 0.0f64..30.0,
+            max_ticks in 1u64..200_000,
+            which in 0u8..3,
+        ) {
+            let stop = match which {
+                0 => StopCondition::None,
+                1 => StopCondition::Depleted(Joules(0.625e-3)),
+                _ => StopCondition::CanTurnOn,
+            };
+            let mut fast = sys_starting_empty();
+            let mut slow = sys_starting_empty();
+            // Pre-charge both a little so either direction is reachable.
+            fast.step(0.8, Watts::ZERO, SimDuration::from_secs(2));
+            slow.step(0.8, Watts::ZERO, SimDuration::from_secs(2));
+            let load = Watts(load_mw * 1e-3);
+            let (mut fh, mut fw) = (Joules::ZERO, Joules::ZERO);
+            let (mut sh, mut sw) = (Joules::ZERO, Joules::ZERO);
+            let out_fast =
+                fast.advance(irr, load, SimDuration::TICK, max_ticks, stop, &mut fh, &mut fw);
+            let out_slow = manual_advance(
+                &mut slow, irr, load, SimDuration::TICK, max_ticks, stop, &mut sh, &mut sw,
+            );
+            prop_assert_eq!(out_fast, out_slow);
+            prop_assert_eq!(fh.value().to_bits(), sh.value().to_bits());
+            prop_assert_eq!(fw.value().to_bits(), sw.value().to_bits());
+            prop_assert_eq!(
+                fast.capacitor().energy().value().to_bits(),
+                slow.capacitor().energy().value().to_bits()
+            );
+        }
+
         #[test]
         fn energy_is_conserved(
             steps in proptest::collection::vec((0.0f64..1.0, 0.0f64..0.5), 1..100)

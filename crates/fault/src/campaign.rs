@@ -224,6 +224,7 @@ pub fn cli_env_token(env: EnvironmentKind) -> &'static str {
         EnvironmentKind::Crowded => "crowded",
         EnvironmentKind::LessCrowded => "less-crowded",
         EnvironmentKind::Short => "short",
+        EnvironmentKind::Quiet => "quiet",
         // Kinds added after this crate default to the mid-load mix.
         _ => "crowded",
     }

@@ -121,9 +121,9 @@ pub fn run_fleet(cfg: &FleetConfig, exec: Executor) -> Result<FleetReport, Fleet
     let mut epoch_end: SimTime = SimTime::ZERO + cfg.epoch;
     loop {
         exec.for_each_mut(&mut runs, |_, run| {
-            while !run.sim.is_done() && run.sim.time() < epoch_end {
-                run.sim.step();
-            }
+            // step_until lets the fast-forward engine advance whole
+            // quiescent spans while still honouring the epoch barrier.
+            run.sim.step_until(epoch_end);
             run.epoch_log = run.sim.drain_tx_log();
         });
         let logs: Vec<Vec<TxRecord>> = runs

@@ -28,6 +28,10 @@ pub struct InputBuffer {
     /// Slots held by entries popped for active processing but not yet
     /// released.
     in_flight: usize,
+    /// Cached total of queued + in-flight slots, maintained by every
+    /// mutation so the per-tick `occupancy`/`is_idle` reads are O(1)
+    /// instead of scanning all queues.
+    occupied: usize,
 }
 
 impl InputBuffer {
@@ -44,6 +48,7 @@ impl InputBuffer {
             queues: vec![VecDeque::new(); num_jobs],
             capacity,
             in_flight: 0,
+            occupied: 0,
         }
     }
 
@@ -54,8 +59,14 @@ impl InputBuffer {
     }
 
     /// Occupied slots: queued entries plus any in-flight entry.
+    #[inline]
     pub fn occupancy(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum::<usize>() + self.in_flight
+        debug_assert_eq!(
+            self.occupied,
+            self.queues.iter().map(VecDeque::len).sum::<usize>() + self.in_flight,
+            "cached occupancy out of sync"
+        );
+        self.occupied
     }
 
     /// Queued entries awaiting a specific job.
@@ -64,8 +75,9 @@ impl InputBuffer {
     }
 
     /// `true` if every queue is empty and nothing is in flight.
+    #[inline]
     pub fn is_idle(&self) -> bool {
-        self.in_flight == 0 && self.queues.iter().all(VecDeque::is_empty)
+        self.occupancy() == 0
     }
 
     /// `true` if a new entry cannot be stored.
@@ -83,6 +95,7 @@ impl InputBuffer {
             return false;
         }
         self.queues[job.index()].push_back(entry);
+        self.occupied += 1;
         true
     }
 
@@ -109,6 +122,7 @@ impl InputBuffer {
     pub fn release(&mut self) {
         assert!(self.in_flight > 0, "release without a matching take");
         self.in_flight -= 1;
+        self.occupied -= 1;
     }
 
     /// Moves an in-flight entry to another job's queue (the input needs

@@ -1,7 +1,9 @@
-//! The fixed-increment simulation loop.
+//! The simulation loop: a fixed-increment reference engine plus an
+//! event-horizon fast-forward engine that advances provably quiescent
+//! spans in bulk (see `DESIGN.md`, "Fast-forward engine").
 
 use crate::buffer::{BufferEntry, InputBuffer};
-use crate::config::SimConfig;
+use crate::config::{EngineKind, SimConfig};
 use crate::fault::{FaultContext, FaultInjector, FaultPhase};
 use crate::intermittent::{CheckpointPolicy, ProgressKeeper};
 use crate::metrics::Metrics;
@@ -12,10 +14,10 @@ use core::fmt;
 use quetzal::model::{JobId, TaskCost, TaskId, TaskKey};
 use quetzal::runtime::BufferView;
 use quetzal::Quetzal;
-use qz_energy::PowerSystem;
+use qz_energy::{PowerSystem, StopCondition};
 use qz_obs::{EventKind, Observer};
 use qz_traces::SensingEnvironment;
-use qz_types::{SimDuration, SimTime, SplitMix64, Watts};
+use qz_types::{Seconds, SimDuration, SimTime, SplitMix64, Watts};
 
 /// Errors from assembling a [`Simulation`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,6 +123,11 @@ pub struct Simulation<'a> {
     /// window).
     last_checkpoint_at: Option<SimTime>,
     done: bool,
+    /// Scratch buffer for `try_schedule`'s per-tick runnable list, reused
+    /// across invocations so the hot path does not allocate.
+    scratch_runnable: Vec<(JobId, Option<Seconds>)>,
+    /// Recycled allocation for the next `ActiveJob::executed` list.
+    spare_executed: Vec<(TaskId, bool)>,
 }
 
 impl<'a> Simulation<'a> {
@@ -169,6 +176,8 @@ impl<'a> Simulation<'a> {
             fault: None,
             last_checkpoint_at: None,
             done: false,
+            scratch_runnable: Vec::new(),
+            spare_executed: Vec::new(),
         })
     }
 
@@ -367,12 +376,210 @@ impl<'a> Simulation<'a> {
         (self.metrics, telemetry)
     }
 
-    /// Advances one 1 ms tick. Returns `false` once the simulation has
-    /// finished (events over, work drained, or horizon reached).
+    /// Advances the simulation. Under [`EngineKind::Tick`] this is
+    /// exactly one 1 ms tick; under [`EngineKind::FastForward`] it is
+    /// one tick *or* one bulk-advanced quiescent span — every observable
+    /// (metrics, telemetry, observer events) is identical either way.
+    /// Returns `false` once the simulation has finished (events over,
+    /// work drained, or horizon reached).
     pub fn step(&mut self) -> bool {
         if self.done {
             return false;
         }
+        if self.cfg.engine == EngineKind::FastForward {
+            let span = self.quiescent_span();
+            if span > 0 {
+                return self.advance_span(span);
+            }
+        }
+        self.step_tick()
+    }
+
+    /// Steps until `limit` (exclusive) or completion, whichever comes
+    /// first; returns `false` once the simulation has finished.
+    /// Fast-forward spans never cross `limit`, so external barriers
+    /// (qz-fleet epoch boundaries) observe the same intermediate states
+    /// the tick engine would expose.
+    pub fn step_until(&mut self, limit: SimTime) -> bool {
+        while !self.done && self.now < limit {
+            if self.cfg.engine == EngineKind::FastForward {
+                let span = self
+                    .quiescent_span()
+                    .min(limit.as_millis().saturating_sub(self.now.as_millis()));
+                if span > 0 {
+                    self.advance_span(span);
+                    continue;
+                }
+            }
+            self.step_tick();
+        }
+        !self.done
+    }
+
+    /// How many ticks from `now` are provably *quiescent*: no capture
+    /// boundary, telemetry sample, snapshot, scheduler invocation, job
+    /// countdown expiry, due periodic checkpoint, fault hook, or
+    /// termination check can fire inside the span — only energy flow and
+    /// time accounting happen. Such ticks can be advanced in bulk by
+    /// [`Simulation::advance_span`] with byte-identical observables.
+    /// Returns 0 when the current tick must run the reference path.
+    fn quiescent_span(&self) -> u64 {
+        // An installed adversary draws from its fault streams every
+        // tick, so every tick is a potential fault trigger: the horizon
+        // collapses and the reference loop runs (see qz-check QZ070 for
+        // the analogous config-induced collapses).
+        if self.fault.is_some() {
+            return 0;
+        }
+        let on = self.state == DeviceState::On;
+        // A powered-on idle device with queued inputs invokes the
+        // scheduler — and its estimator/controller updates — every tick.
+        if on && self.job.is_none() && !self.buffer.is_idle() {
+            return 0;
+        }
+        let t = self.now.as_millis();
+        // The first tick that must run the reference path. Seeded with
+        // the horizon's final tick (it fires the termination check) and
+        // pulled closer by every other pending boundary.
+        let mut next_event = self.horizon.as_millis().saturating_sub(1);
+        if self.job.is_none() && self.buffer.is_idle() {
+            // Fully drained: the tick ending at `events_end` terminates.
+            next_event = next_event.min(self.events_end.as_millis().saturating_sub(1));
+        }
+        if self.now < self.events_end {
+            let boundary = self.now.next_multiple_of(self.cfg.device.capture_period);
+            if boundary < self.events_end {
+                next_event = next_event.min(boundary.as_millis());
+            }
+        }
+        if let Some(rec) = &self.recorder {
+            next_event = next_event.min(self.now.next_multiple_of(rec.interval).as_millis());
+        }
+        if self.runtime.observing() {
+            next_event = next_event.min(self.now.next_multiple_of(self.snapshot_every).as_millis());
+        }
+        // Job countdowns only tick while the device is on; while off the
+        // job is frozen and only the restore crossing (handled by the
+        // bulk integrator's stop condition) can wake it.
+        if on {
+            if let Some(j) = &self.job {
+                // The countdown (task, overhead, or tx backoff) reaches
+                // zero — and runs its transition — on tick t + rem − 1.
+                next_event = next_event.min(t + j.remaining.as_millis().saturating_sub(1));
+                if matches!(j.phase, JobPhase::Task(_)) {
+                    if let Some(due) = j
+                        .keeper
+                        .ticks_until_periodic_due(self.cfg.device.checkpoint_policy)
+                    {
+                        next_event = next_event.min(t + due);
+                    }
+                }
+            }
+        }
+        next_event.saturating_sub(t)
+    }
+
+    /// Advances `span` provably-quiescent ticks in bulk. Energy flows
+    /// through [`PowerSystem::advance`] one constant-irradiance segment
+    /// at a time (bit-identical arithmetic to per-tick stepping), while
+    /// time accounting, buffer-occupancy integration, the job countdown,
+    /// and the periodic-checkpoint clock advance arithmetically. A
+    /// capacitor threshold crossing inside the span runs the very same
+    /// transition the reference loop would, on the same tick.
+    fn advance_span(&mut self, span: u64) -> bool {
+        let occupancy = self.buffer.occupancy() as u64;
+        let on = self.state == DeviceState::On;
+        let (load, stop) = if on {
+            (
+                self.current_power(),
+                StopCondition::Depleted(self.cfg.device.checkpoint_reserve()),
+            )
+        } else {
+            (self.cfg.device.off_leakage, StopCondition::CanTurnOn)
+        };
+        let mut left = span;
+        let mut crossed = false;
+        while left > 0 && !crossed {
+            let t = self.now;
+            let (irr, segment) = self.env.solar().constant_until(t);
+            let ticks = left.min(segment.max(1));
+            let out = self.power.advance(
+                irr,
+                load,
+                SimDuration::TICK,
+                ticks,
+                stop,
+                &mut self.metrics.energy_harvested,
+                &mut self.metrics.energy_wasted,
+            );
+            if on {
+                self.metrics.time_on += SimDuration::TICK * out.ticks;
+            } else {
+                self.metrics.time_off += SimDuration::TICK * out.ticks;
+            }
+            self.metrics.occupancy_ms += occupancy * out.ticks;
+            // The crossing tick (if any) takes the failure/restore path
+            // instead of progressing work, exactly like the reference
+            // loop's tick for that instant.
+            let progressed = if out.crossed {
+                out.ticks - 1
+            } else {
+                out.ticks
+            };
+            if on && progressed > 0 {
+                if let Some(j) = self.job.as_mut() {
+                    j.remaining = j.remaining.saturating_sub(SimDuration::TICK * progressed);
+                    if matches!(j.phase, JobPhase::Task(_)) {
+                        j.keeper.advance(SimDuration::TICK * progressed);
+                    }
+                }
+            }
+            if out.crossed {
+                let t_cross = t + SimDuration::TICK * (out.ticks - 1);
+                // Events emitted by the transition must carry the
+                // crossing tick's timestamp, and `on_power_failure`
+                // reads `self.now` for `off_since`.
+                self.now = t_cross;
+                self.runtime.set_time_ms(t_cross.as_millis());
+                if on {
+                    if self.power.capacitor().energy() <= self.cfg.device.checkpoint_reserve() {
+                        self.on_power_failure();
+                    }
+                    // Otherwise the tick merely browned out above the
+                    // reserve: the reference loop neither fails nor
+                    // progresses it, so there is nothing more to do.
+                } else {
+                    self.power.draw(self.cfg.device.restore_energy);
+                    self.metrics.restores += 1;
+                    self.state = DeviceState::On;
+                    if self.runtime.observing() {
+                        let off_ms = self
+                            .off_since
+                            .take()
+                            .map_or(0, |off| t_cross.since(off).as_millis());
+                        self.runtime.emit_event(EventKind::Restore { off_ms });
+                    }
+                    self.off_since = None;
+                    self.maybe_corrupt_checkpoint(t_cross);
+                }
+                crossed = true;
+            }
+            self.now = t + SimDuration::TICK * out.ticks;
+            left -= out.ticks;
+        }
+        // Quiescent ticks cannot terminate the run by construction, but
+        // a crossing can cut the span short right at a boundary — run
+        // the reference loop's termination check for the current tick.
+        let drained = self.now >= self.events_end && self.job.is_none() && self.buffer.is_idle();
+        if self.now >= self.horizon || drained {
+            self.finalize();
+            return false;
+        }
+        true
+    }
+
+    /// Advances one 1 ms tick of the reference loop.
+    fn step_tick(&mut self) -> bool {
         let t = self.now;
         let irr = self.env.solar().irradiance(t);
         // Stamp every event emitted this tick (runtime- and sim-side)
@@ -911,13 +1118,22 @@ impl<'a> Simulation<'a> {
         let observed = t.since(j.started_at) + SimDuration::TICK;
         self.runtime
             .on_job_complete(j.job, &j.executed, observed.as_seconds());
+        let ActiveJob {
+            job,
+            entry,
+            mut executed,
+            ..
+        } = j;
+        // Recycle the task-list allocation for the next scheduled job.
+        executed.clear();
+        self.spare_executed = executed;
         if dropped {
             self.buffer.release();
             return;
         }
-        match self.pipeline.route(j.job) {
+        match self.pipeline.route(job) {
             Route::Finish => self.buffer.release(),
-            Route::Forward(next) => self.buffer.forward(j.entry, next),
+            Route::Forward(next) => self.buffer.forward(entry, next),
         }
     }
 
@@ -926,13 +1142,15 @@ impl<'a> Simulation<'a> {
             return;
         }
         let spec_jobs = self.runtime.spec().jobs().len();
-        let runnable: Vec<(JobId, Option<qz_types::Seconds>)> = (0..spec_jobs)
-            .map(|i| {
-                let id = self.runtime.spec().job_id(i).expect("job index in range");
-                let age = self.buffer.oldest(id).map(|cap| t.since(cap).as_seconds());
-                (id, age)
-            })
-            .collect();
+        // Reuse the scratch allocation across ticks: this is the hottest
+        // allocation site in a crowded run.
+        let mut runnable = core::mem::take(&mut self.scratch_runnable);
+        runnable.clear();
+        for i in 0..spec_jobs {
+            let id = self.runtime.spec().job_id(i).expect("job index in range");
+            let age = self.buffer.oldest(id).map(|cap| t.since(cap).as_seconds());
+            runnable.push((id, age));
+        }
         let mut p_in = self.power.input_power(irr);
         // ADC misread: the adversary may substitute the P_in reading the
         // scheduler's ratio circuit sees (never the true energy flow).
@@ -951,7 +1169,9 @@ impl<'a> Simulation<'a> {
             occupancy: self.buffer.occupancy(),
             capacity: self.buffer.capacity(),
         };
-        let Some(decision) = self.runtime.schedule(&runnable, view, p_in) else {
+        let decision = self.runtime.schedule(&runnable, view, p_in);
+        self.scratch_runnable = runnable;
+        let Some(decision) = decision else {
             return;
         };
         if decision.ibo_predicted {
@@ -968,14 +1188,16 @@ impl<'a> Simulation<'a> {
                 occupancy: self.buffer.occupancy(),
             });
         }
-        let executed: Vec<(TaskId, bool)> = self
-            .runtime
-            .spec()
-            .job(decision.job)
-            .tasks
-            .iter()
-            .map(|&task| (task, false))
-            .collect();
+        let mut executed = core::mem::take(&mut self.spare_executed);
+        executed.clear();
+        executed.extend(
+            self.runtime
+                .spec()
+                .job(decision.job)
+                .tasks
+                .iter()
+                .map(|&task| (task, false)),
+        );
         let overhead = SimDuration::from_seconds_ceil(self.cfg.device.scheduler_overhead.t_exe);
         let mut active = ActiveJob {
             job: decision.job,
@@ -1289,6 +1511,71 @@ mod tests {
         traced.set_observer(Box::new(qz_obs::RecordingObserver::new()));
         let (m, _) = traced.run_traced();
         assert_eq!(m, baseline, "tracing must be observation-only");
+    }
+
+    fn sim_with_engine<'a>(env: &'a SensingEnvironment, engine: EngineKind) -> Simulation<'a> {
+        let (qz, process, report) = build_runtime();
+        let cfg = SimConfig {
+            engine,
+            ..SimConfig::default()
+        };
+        Simulation::new(
+            cfg,
+            env,
+            qz,
+            process,
+            behaviors(0.05),
+            vec![Route::Forward(report), Route::Finish],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fast_forward_matches_tick_engine_exactly() {
+        for (kind, events, seed) in [
+            (EnvironmentKind::LessCrowded, 10, 7),
+            (EnvironmentKind::Crowded, 20, 3),
+            (EnvironmentKind::Short, 15, 11),
+        ] {
+            let env = SensingEnvironment::generate(kind, events, seed);
+            let mut fast = sim_with_engine(&env, EngineKind::FastForward);
+            let mut tick = sim_with_engine(&env, EngineKind::Tick);
+            fast.record_telemetry(SimDuration::from_secs(1));
+            tick.record_telemetry(SimDuration::from_secs(1));
+            let (mf, tf) = fast.run_with_telemetry();
+            let (mt, tt) = tick.run_with_telemetry();
+            assert_eq!(mf, mt, "{kind:?} metrics diverge");
+            assert_eq!(tf, tt, "{kind:?} telemetry diverges");
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_tick_under_darkness() {
+        // Exercise the Off → restore crossing path repeatedly.
+        let mut env = SensingEnvironment::generate(EnvironmentKind::Crowded, 20, 2);
+        env = override_solar(env, qz_traces::SolarTrace::constant(0.02));
+        let mf = sim_with_engine(&env, EngineKind::FastForward).run();
+        let mt = sim_with_engine(&env, EngineKind::Tick).run();
+        assert!(mf.restores > 0, "darkness must force power cycles");
+        assert_eq!(mf, mt);
+    }
+
+    #[test]
+    fn step_until_stops_at_the_barrier() {
+        let env = SensingEnvironment::generate(EnvironmentKind::LessCrowded, 10, 7);
+        let mut s = sim_with_engine(&env, EngineKind::FastForward);
+        let barrier = SimTime::from_millis(12_345);
+        assert!(s.step_until(barrier));
+        assert_eq!(s.time(), barrier, "spans must not overshoot the barrier");
+        // Interleaved barriers reproduce the single-run result exactly.
+        let mut chunked = sim_with_engine(&env, EngineKind::FastForward);
+        let mut at = SimTime::ZERO;
+        while !chunked.is_done() {
+            at += SimDuration::from_millis(7_001);
+            chunked.step_until(at);
+        }
+        let whole = sim_with_engine(&env, EngineKind::FastForward).run();
+        assert_eq!(chunked.metrics(), &whole);
     }
 
     #[test]

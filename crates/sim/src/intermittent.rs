@@ -71,6 +71,31 @@ impl ProgressKeeper {
         matches!(policy, CheckpointPolicy::Periodic { interval } if self.since_checkpoint >= interval)
     }
 
+    /// Bulk equivalent of `d / TICK` consecutive [`ProgressKeeper::tick`]
+    /// calls that all returned `false` — used by the fast-forward engine
+    /// to advance through spans proven (via
+    /// [`ProgressKeeper::ticks_until_periodic_due`]) to contain no due
+    /// checkpoint.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.since_checkpoint += d;
+    }
+
+    /// How many future [`ProgressKeeper::tick`] calls return `false`
+    /// before one returns `true`: `Some(0)` means the very next tick is
+    /// a due periodic checkpoint. `None` for policies that never request
+    /// mid-task checkpoints.
+    pub fn ticks_until_periodic_due(&self, policy: CheckpointPolicy) -> Option<u64> {
+        match policy {
+            CheckpointPolicy::Periodic { interval } => Some(
+                interval
+                    .as_millis()
+                    .saturating_sub(self.since_checkpoint.as_millis())
+                    .saturating_sub(1),
+            ),
+            _ => None,
+        }
+    }
+
     /// Called when a checkpoint completes: the current remaining latency
     /// becomes the consistent point.
     pub fn checkpointed(&mut self, remaining: SimDuration) {
@@ -198,5 +223,31 @@ mod tests {
     #[test]
     fn default_is_jit() {
         assert_eq!(CheckpointPolicy::default(), CheckpointPolicy::JustInTime);
+    }
+
+    #[test]
+    fn bulk_advance_matches_ticking() {
+        let policy = CheckpointPolicy::Periodic {
+            interval: SimDuration(100),
+        };
+        let mut k = ProgressKeeper::default();
+        k.task_started(FULL);
+        // 30 single ticks, none due.
+        for _ in 0..30 {
+            assert!(!k.tick(policy));
+        }
+        let due = k.ticks_until_periodic_due(policy).unwrap();
+        assert_eq!(due, 69, "ticks 31..=99 are quiet; tick 100 is due");
+        // Bulk-advance exactly through the quiet ticks…
+        k.advance(SimDuration(due));
+        assert_eq!(k.ticks_until_periodic_due(policy), Some(0));
+        // …and the next real tick reports the checkpoint.
+        assert!(k.tick(policy));
+        assert!(ProgressKeeper::default()
+            .ticks_until_periodic_due(CheckpointPolicy::JustInTime)
+            .is_none());
+        assert!(ProgressKeeper::default()
+            .ticks_until_periodic_due(CheckpointPolicy::TaskBoundary)
+            .is_none());
     }
 }

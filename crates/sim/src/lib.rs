@@ -47,7 +47,7 @@ pub mod uplink;
 
 pub use buffer::{BufferEntry, InputBuffer};
 pub use builder::{SimApp, SimAppBuilder};
-pub use config::{DeviceConfig, PowerConfig, SimConfig};
+pub use config::{DeviceConfig, EngineKind, PowerConfig, SimConfig};
 pub use engine::{SimError, Simulation};
 pub use fault::{FaultContext, FaultInjector, FaultPhase};
 pub use intermittent::{CheckpointPolicy, ProgressKeeper};

@@ -26,6 +26,11 @@ pub enum EnvironmentKind {
     /// busier short-event scene used for the MSP430 experiment
     /// (Table 1's second block).
     Short,
+    /// Maximum event duration 5 s with two-minute mean gaps — a sparse
+    /// scene outside the paper's table, dominated by quiescent recharge
+    /// and idle spans. Used to benchmark the fast-forward engine where
+    /// it helps most.
+    Quiet,
 }
 
 impl EnvironmentKind {
@@ -45,14 +50,17 @@ impl EnvironmentKind {
             EnvironmentKind::Crowded => SimDuration::from_secs(60),
             EnvironmentKind::LessCrowded => SimDuration::from_secs(20),
             EnvironmentKind::Short => SimDuration::from_secs(10),
+            EnvironmentKind::Quiet => SimDuration::from_secs(5),
         }
     }
 
     /// Mean interarrival gap between events for this environment. The
-    /// Apollo set shares one gap; the MSP430 short-event scene is busier.
+    /// Apollo set shares one gap; the MSP430 short-event scene is busier
+    /// and the Quiet scene far sparser.
     pub fn mean_gap(self) -> SimDuration {
         match self {
             EnvironmentKind::Short => SimDuration::from_secs(6),
+            EnvironmentKind::Quiet => SimDuration::from_secs(120),
             _ => SimDuration::from_secs(20),
         }
     }
@@ -64,6 +72,7 @@ impl EnvironmentKind {
             EnvironmentKind::Crowded => "Crowded",
             EnvironmentKind::LessCrowded => "LessCrowded",
             EnvironmentKind::Short => "Short",
+            EnvironmentKind::Quiet => "Quiet",
         }
     }
 }
@@ -165,6 +174,14 @@ mod tests {
             SimDuration::from_secs(10)
         );
         assert_eq!(EnvironmentKind::Short.mean_gap(), SimDuration::from_secs(6));
+        assert_eq!(
+            EnvironmentKind::Quiet.max_event_duration(),
+            SimDuration::from_secs(5)
+        );
+        assert_eq!(
+            EnvironmentKind::Quiet.mean_gap(),
+            SimDuration::from_secs(120)
+        );
         assert_eq!(
             EnvironmentKind::Crowded.mean_gap(),
             SimDuration::from_secs(20)

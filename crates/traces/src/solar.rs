@@ -64,6 +64,31 @@ impl SolarTrace {
         self.samples[idx] as f64
     }
 
+    /// The irradiance at `t` together with how many milliseconds it
+    /// keeps exactly that value: the remainder of the current 1-second
+    /// sample plus any directly following samples that are bit-identical
+    /// (wrapping cyclically). A uniform trace reports `u64::MAX`.
+    ///
+    /// This exposes the trace's piecewise-constant structure so a
+    /// fast-forward simulator can bound bulk energy integration to
+    /// constant-irradiance segments.
+    pub fn constant_until(&self, t: SimTime) -> (f64, u64) {
+        let ms = t.as_millis();
+        let idx = (ms / 1000) as usize % self.samples.len();
+        let cur = self.samples[idx];
+        let same = |s: f32| s.to_bits() == cur.to_bits();
+        if self.samples.iter().all(|&s| same(s)) {
+            return (f64::from(cur), u64::MAX);
+        }
+        let mut left = 1000 - ms % 1000;
+        let mut j = (idx + 1) % self.samples.len();
+        while same(self.samples[j]) {
+            left += 1000;
+            j = (j + 1) % self.samples.len();
+        }
+        (f64::from(cur), left)
+    }
+
     /// Duration covered before the trace wraps.
     #[inline]
     pub fn duration(&self) -> SimDuration {
@@ -396,7 +421,44 @@ mod tests {
         assert!(m > 0.05 && m < 0.9, "mean={m}");
     }
 
+    #[test]
+    fn constant_until_spans_bit_equal_runs() {
+        let t = SolarTrace::from_samples(vec![0.1, 0.1, 0.3, 0.3, 0.3, 0.2]);
+        // Mid-sample inside a two-sample run: remainder + one more second.
+        let (irr, ms) = t.constant_until(SimTime::from_millis(250));
+        assert!((irr - f64::from(0.1f32)).abs() < 1e-9);
+        assert_eq!(ms, 750 + 1000);
+        // A run that wraps past the end of the trace.
+        let (irr, ms) = t.constant_until(SimTime::from_secs(5));
+        assert!((irr - f64::from(0.2f32)).abs() < 1e-9);
+        assert_eq!(ms, 1000);
+        let (_, ms) = t.constant_until(SimTime::from_millis(4999));
+        assert_eq!(ms, 1);
+        // A uniform trace never changes.
+        assert_eq!(
+            SolarTrace::constant(0.5).constant_until(SimTime::ZERO).1,
+            u64::MAX
+        );
+    }
+
     proptest! {
+        #[test]
+        fn constant_until_agrees_with_irradiance(
+            samples in proptest::collection::vec(0.0f64..1.0, 1..8),
+            start_ms in 0u64..20_000,
+        ) {
+            // f32 is the trace's native storage precision.
+            #[allow(clippy::cast_possible_truncation)]
+            let samples = samples.into_iter().map(|s| s as f32).collect();
+            let t = SolarTrace::from_samples(samples);
+            let (irr, span) = t.constant_until(SimTime::from_millis(start_ms));
+            let span = span.min(30_000);
+            for k in 0..span {
+                let here = t.irradiance(SimTime::from_millis(start_ms + k));
+                prop_assert_eq!(here.to_bits(), irr.to_bits(), "k={}", k);
+            }
+        }
+
         #[test]
         fn any_seed_produces_valid_trace(seed in any::<u64>()) {
             let t = SolarTraceBuilder::new()

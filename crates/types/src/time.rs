@@ -64,6 +64,29 @@ impl SimTime {
     pub fn tick(self) -> SimTime {
         SimTime(self.0 + 1)
     }
+
+    /// The earliest instant at or after `self` that is a whole multiple
+    /// of `period` — the next firing of a periodic boundary (capture,
+    /// telemetry sample, snapshot) whose phase test is `t % period == 0`.
+    /// Returns `self` when already on a boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qz_types::{SimDuration, SimTime};
+    /// let period = SimDuration::from_secs(1);
+    /// assert_eq!(SimTime(3000).next_multiple_of(period), SimTime(3000));
+    /// assert_eq!(SimTime(3001).next_multiple_of(period), SimTime(4000));
+    /// ```
+    #[inline]
+    pub fn next_multiple_of(self, period: SimDuration) -> SimTime {
+        assert!(!period.is_zero(), "period must be non-zero");
+        SimTime(self.0.div_ceil(period.0) * period.0)
+    }
 }
 
 impl SimDuration {
@@ -306,6 +329,16 @@ mod tests {
         let period = SimDuration::from_secs(1);
         assert_eq!(SimTime(3000) % period, SimDuration::ZERO);
         assert_eq!(SimTime(3250) % period, SimDuration(250));
+    }
+
+    #[test]
+    fn next_multiple_lands_on_boundaries() {
+        let p = SimDuration(250);
+        assert_eq!(SimTime::ZERO.next_multiple_of(p), SimTime::ZERO);
+        assert_eq!(SimTime(1).next_multiple_of(p), SimTime(250));
+        assert_eq!(SimTime(250).next_multiple_of(p), SimTime(250));
+        assert_eq!(SimTime(251).next_multiple_of(p), SimTime(500));
+        assert_eq!(SimTime(999).next_multiple_of(SimDuration(1)), SimTime(999));
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Differential equivalence suite: the fast-forward engine must be
+//! *observably identical* to the per-tick reference loop.
+//!
+//! Every case below runs the same configuration twice — once with
+//! `EngineKind::Tick` (the unmodified reference) and once with
+//! `EngineKind::FastForward` — and demands byte-identical reports:
+//!
+//! - end-of-run [`qz_sim::Metrics`] (exact equality, including the
+//!   accumulated-float energy totals),
+//! - the full recorded `qz-obs` decision-event stream, compared both
+//!   structurally and as serialized JSONL bytes,
+//! - periodic telemetry, compared as rendered CSV bytes,
+//! - fault-injector statistics when an adversarial injector is
+//!   installed (the engine must fall back to per-tick stepping so the
+//!   injector sees every tick).
+//!
+//! Cases are generated from a fixed [`SplitMix64`] stream so the suite
+//! is deterministic: environment kind, event count, trace seed,
+//! simulator seed, capture period, buffer capacity, drain time, device
+//! profile, baseline system, and (for a fifth of the cases) a fault
+//! plan are all randomized per case. With `CASES = 120` this crosses
+//! well past the hundred-configuration mark required by the design.
+
+use qz_app::{apollo4, msp430fr5994, simulate_with_telemetry, DeviceProfile, SimTweaks};
+use qz_baselines::BaselineKind;
+use qz_fault::{run_one, AdversarialInjector, FaultPlan};
+use qz_sim::EngineKind;
+use qz_traces::{EnvironmentKind, SensingEnvironment};
+use qz_types::{SimDuration, SplitMix64};
+
+const CASES: u64 = 120;
+const SUITE_SEED: u64 = 0x51CA_1020_26AB;
+
+/// One randomized configuration drawn from the case stream.
+struct Case {
+    index: u64,
+    kind: BaselineKind,
+    profile: DeviceProfile,
+    profile_label: &'static str,
+    env: SensingEnvironment,
+    tweaks: SimTweaks,
+    fault: Option<(FaultPlan, u64)>,
+}
+
+impl Case {
+    fn describe(&self) -> String {
+        format!(
+            "case {} ({:?} on {} in {} env, seed {:#x}, fault {:?})",
+            self.index,
+            self.kind,
+            self.profile_label,
+            self.env.kind(),
+            self.tweaks.seed,
+            self.fault.as_ref().map(|(plan, _)| plan.label),
+        )
+    }
+
+    fn tweaks_for(&self, engine: EngineKind) -> SimTweaks {
+        SimTweaks {
+            engine,
+            ..self.tweaks.clone()
+        }
+    }
+
+    fn injector(&self) -> Option<AdversarialInjector> {
+        self.fault
+            .as_ref()
+            .map(|(plan, seed)| AdversarialInjector::new(plan.clone(), *seed))
+    }
+}
+
+fn draw_case(rng: &mut SplitMix64, index: u64) -> Case {
+    // Mostly the short/medium environments (fast to simulate, still
+    // exercising every horizon class), with occasional MoreCrowded and
+    // Quiet cases for long-event and long-quiescent-span coverage.
+    let (env_kind, events) = match rng.next_below(16) {
+        0..=5 => (EnvironmentKind::Short, 2 + rng.next_below(4)),
+        6..=9 => (EnvironmentKind::LessCrowded, 2 + rng.next_below(4)),
+        10..=12 => (EnvironmentKind::Crowded, 2 + rng.next_below(3)),
+        13 => (EnvironmentKind::MoreCrowded, 2),
+        _ => (EnvironmentKind::Quiet, 2),
+    };
+    let env_seed = rng.next_u64();
+    let event_count = usize::try_from(events).expect("tiny event count");
+    let env = SensingEnvironment::generate(env_kind, event_count, env_seed);
+
+    let kind = match rng.next_below(7) {
+        0 => BaselineKind::Quetzal,
+        1 => BaselineKind::NoAdapt,
+        2 => BaselineKind::AlwaysDegrade,
+        3 => BaselineKind::CatNap,
+        4 => BaselineKind::FixedThreshold(rng.next_range(0.1, 0.9)),
+        5 => BaselineKind::AvgSe2e,
+        _ => BaselineKind::QuetzalHw,
+    };
+    let (profile, profile_label) = if rng.next_below(2) == 0 {
+        (apollo4(), "apollo4")
+    } else {
+        (msp430fr5994(), "msp430fr5994")
+    };
+
+    let tweaks = SimTweaks {
+        seed: rng.next_u64(),
+        capture_period: SimDuration::from_millis(1000 + 500 * rng.next_below(5)),
+        buffer_capacity: usize::try_from(4 + rng.next_below(9)).expect("tiny buffer"),
+        drain: SimDuration::from_secs(20 + rng.next_below(11)),
+        ..SimTweaks::default()
+    };
+
+    // Every fifth case runs under an adversarial fault injector; the
+    // engine must detect it and degrade to per-tick stepping without
+    // changing a single byte of the report.
+    let fault = index.is_multiple_of(5).then(|| {
+        let plan = match rng.next_below(4) {
+            0 => FaultPlan::none(),
+            1 => FaultPlan::smoke(),
+            2 => FaultPlan::standard(),
+            _ => FaultPlan::heavy(),
+        };
+        (plan, rng.next_u64())
+    });
+
+    Case {
+        index,
+        kind,
+        profile,
+        profile_label,
+        env,
+        tweaks,
+        fault,
+    }
+}
+
+/// Serializes a recorded event stream exactly as `qz fault --events` /
+/// `qz trace` would.
+fn jsonl_bytes(events: &[qz_obs::Event]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    qz_obs::export::write_jsonl(&mut buf, events).expect("in-memory write");
+    buf
+}
+
+#[test]
+fn fast_forward_is_byte_identical_across_randomized_cases() {
+    let mut rng = SplitMix64::new(SUITE_SEED);
+    let mut faulted = 0u64;
+    for index in 0..CASES {
+        let case = draw_case(&mut rng, index);
+        faulted += u64::from(case.fault.is_some());
+
+        let (tick, tick_stats) = run_one(
+            case.kind,
+            &case.profile,
+            &case.env,
+            &case.tweaks_for(EngineKind::Tick),
+            case.injector(),
+        );
+        let (fast, fast_stats) = run_one(
+            case.kind,
+            &case.profile,
+            &case.env,
+            &case.tweaks_for(EngineKind::FastForward),
+            case.injector(),
+        );
+
+        assert_eq!(
+            tick.metrics,
+            fast.metrics,
+            "metrics diverge: {}",
+            case.describe()
+        );
+        assert_eq!(
+            tick.events.len(),
+            fast.events.len(),
+            "event counts diverge: {}",
+            case.describe()
+        );
+        assert_eq!(
+            tick.events,
+            fast.events,
+            "event streams diverge: {}",
+            case.describe()
+        );
+        assert_eq!(
+            jsonl_bytes(&tick.events),
+            jsonl_bytes(&fast.events),
+            "serialized event bytes diverge: {}",
+            case.describe()
+        );
+        assert_eq!(
+            tick_stats,
+            fast_stats,
+            "fault stats diverge: {}",
+            case.describe()
+        );
+    }
+    assert!(
+        faulted >= 20,
+        "expected at least 20 fault-injected cases, got {faulted}"
+    );
+}
+
+#[test]
+fn telemetry_csv_bytes_match_across_engines() {
+    let mut rng = SplitMix64::new(SUITE_SEED ^ 0x7E1E_3E7E);
+    for index in 0..30u64 {
+        let case = draw_case(&mut rng, index);
+        let interval = SimDuration::from_millis(250 + 250 * rng.next_below(5));
+
+        let (tick_metrics, tick_tel) = simulate_with_telemetry(
+            case.kind,
+            &case.profile,
+            &case.env,
+            &case.tweaks_for(EngineKind::Tick),
+            Some(interval),
+        );
+        let (fast_metrics, fast_tel) = simulate_with_telemetry(
+            case.kind,
+            &case.profile,
+            &case.env,
+            &case.tweaks_for(EngineKind::FastForward),
+            Some(interval),
+        );
+
+        assert_eq!(
+            tick_metrics,
+            fast_metrics,
+            "metrics diverge: {}",
+            case.describe()
+        );
+        let mut tick_csv = Vec::new();
+        let mut fast_csv = Vec::new();
+        tick_tel.write_csv(&mut tick_csv).expect("in-memory write");
+        fast_tel.write_csv(&mut fast_csv).expect("in-memory write");
+        assert_eq!(
+            tick_csv,
+            fast_csv,
+            "telemetry CSV bytes diverge: {} (interval {interval:?})",
+            case.describe()
+        );
+    }
+}
