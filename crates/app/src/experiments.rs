@@ -46,6 +46,14 @@ pub struct SimTweaks {
     /// when set (`tick` or `fast`), else fast-forward; both engines
     /// produce byte-identical results.
     pub engine: qz_sim::EngineKind,
+    /// Telemetry-recorder sample period the run will install, if any —
+    /// declared here so `qz-check`'s QZ071 horizon lint can see it
+    /// before the run (the `simulate*` entry points do not install a
+    /// recorder themselves).
+    pub telemetry_period: Option<SimDuration>,
+    /// Observer snapshot period the run will use, if any (QZ071
+    /// likewise).
+    pub snapshot_period: Option<SimDuration>,
 }
 
 impl Default for SimTweaks {
@@ -65,6 +73,8 @@ impl Default for SimTweaks {
             power_ewma_alpha: None,
             supercap_capacitance: None,
             engine: qz_sim::EngineKind::from_env().unwrap_or_default(),
+            telemetry_period: None,
+            snapshot_period: None,
         }
     }
 }
@@ -147,6 +157,57 @@ pub fn simulate_traced(
     let (metrics, mut observer) = sim.run_traced();
     let events = qz_obs::take_recorded(observer.as_mut()).expect("recording sink installed");
     (metrics, events)
+}
+
+/// One profiled run: the usual metrics plus everything `qz profile`
+/// renders (see `qz-prof`).
+#[derive(Debug)]
+pub struct ProfiledRun {
+    /// End-of-run counters — byte-identical to the unprofiled run.
+    pub metrics: Metrics,
+    /// Wall-clock phase profile of the engine hot paths.
+    pub report: qz_prof::ProfileReport,
+    /// Deterministic horizon-cause accounting (why spans collapsed).
+    pub horizon: qz_prof::HorizonStats,
+    /// Total wall-clock nanoseconds for the run.
+    pub wall_ns: u64,
+    /// Handle onto the in-flight recorder ring when one was installed.
+    pub flight: Option<qz_prof::FlightHandle>,
+}
+
+/// Like [`simulate`], with the phase profiler enabled and horizon-cause
+/// accounting collected — the engine behind `qz profile`. Pass `flight`
+/// to also install a [`qz_prof::FlightObserver`] ring (note that any
+/// observer turns on periodic `Snapshot` emission, which the horizon
+/// ranking will then faithfully blame).
+///
+/// # Panics
+///
+/// Panics on invalid experiment constants (see [`simulate`]).
+pub fn profile_run(
+    kind: BaselineKind,
+    profile: &DeviceProfile,
+    env: &SensingEnvironment,
+    tweaks: &SimTweaks,
+    flight: Option<qz_prof::FlightMeta>,
+) -> ProfiledRun {
+    let mut sim = build_simulation(kind, profile, env, tweaks);
+    sim.enable_profiling();
+    let handle = flight.map(|meta| {
+        let (observer, handle) = qz_prof::FlightObserver::new(meta, qz_prof::DEFAULT_RING_CAPACITY);
+        sim.set_observer(Box::new(observer));
+        handle
+    });
+    let t0 = std::time::Instant::now();
+    while sim.step() {}
+    let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    ProfiledRun {
+        metrics: sim.metrics().clone(),
+        report: sim.profiler().report(),
+        horizon: sim.horizon_stats().clone(),
+        wall_ns,
+        flight: handle,
+    }
 }
 
 /// Maps an application's spec indices to names for
@@ -250,6 +311,8 @@ pub fn check_experiment(
     input.power = cfg.power;
     input.runtime = qcfg;
     input.hw_estimator = matches!(kind, BaselineKind::QuetzalHw);
+    input.telemetry_period = tweaks.telemetry_period.map(|p| p.as_millis());
+    input.snapshot_period = tweaks.snapshot_period.map(|p| p.as_millis());
     qz_check::check(&input)
 }
 

@@ -1,0 +1,79 @@
+//! Measures fleet-coordinator throughput with the per-tick reference
+//! engine versus the fast-forward engine on every device, and appends
+//! one record to the `results/BENCH_fleet_throughput.json` trajectory
+//! (`qz bench --check` gates on the newest record).
+//!
+//! Like `sim_throughput`, the criterion shim has no measurement API so
+//! this harness times itself (best of `REPS`). Both engine runs share
+//! one `FleetConfig` except for the engine knob; the harness asserts
+//! their full JSON reports are byte-identical before reporting a
+//! speedup, so the number can never come from divergence.
+
+use qz_fleet::{run_fleet, Executor, FleetConfig};
+use qz_sim::EngineKind;
+use std::hint::black_box;
+use std::time::Instant;
+
+const REPS: usize = 3;
+const SEED: u64 = 0x000F_1EE7_2026;
+const DEVICES: usize = 8;
+const EVENTS: usize = 20;
+
+/// Best-of-`REPS` wall-clock for one engine; returns the report JSON so
+/// the caller can assert both engines agree.
+fn time_engine(engine: EngineKind) -> (f64, String) {
+    let mut cfg = FleetConfig {
+        devices: DEVICES,
+        events: EVENTS,
+        fleet_seed: SEED,
+        ..FleetConfig::default()
+    };
+    cfg.tweaks.engine = engine;
+    let mut best = f64::INFINITY;
+    let mut json = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let report = run_fleet(&cfg, Executor::new(2)).expect("fleet runs");
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        json = Some(black_box(report.to_json()));
+    }
+    (best, json.expect("REPS > 0"))
+}
+
+fn main() {
+    let (tick_secs, tick_json) = time_engine(EngineKind::Tick);
+    let (fast_secs, fast_json) = time_engine(EngineKind::FastForward);
+    assert_eq!(
+        tick_json, fast_json,
+        "fleet engines diverged — a speedup number would be meaningless"
+    );
+    let speedup = tick_secs / fast_secs.max(f64::MIN_POSITIVE);
+    println!(
+        "fleet {DEVICES}x{EVENTS}: tick {tick_secs:.3} s | fast-forward {fast_secs:.3} s | {speedup:.1}x"
+    );
+
+    let repo = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cases = vec![qz_prof::BenchCase {
+        name: format!("Fleet{DEVICES}x{EVENTS}"),
+        values: vec![
+            ("devices".to_owned(), as_metric(DEVICES)),
+            ("events".to_owned(), as_metric(EVENTS)),
+            ("tick_secs".to_owned(), tick_secs),
+            ("fast_forward_secs".to_owned(), fast_secs),
+            ("speedup".to_owned(), speedup),
+        ],
+    }];
+    let path = repo.join("results/BENCH_fleet_throughput.json");
+    let run =
+        qz_prof::Trajectory::append_run(&path, "fleet_throughput", &qz_prof::git_rev(&repo), cases)
+            .expect("append BENCH_fleet_throughput.json");
+    println!("appended run {run} to {}", path.display());
+}
+
+/// Counter values stored as f64 in the trajectory; the counts here fit
+/// f64's 53-bit mantissa comfortably.
+#[allow(clippy::cast_precision_loss)]
+fn as_metric(v: usize) -> f64 {
+    v as f64
+}

@@ -1,9 +1,10 @@
 //! Measures the cost of the `qz-obs` decision-tracing layer on a full
 //! simulator run: the seed baseline (no observer installed), an
 //! explicitly-installed no-op observer (the disabled path every emit
-//! site branches on), and a recording observer capturing the complete
-//! event stream. The acceptance bar is no-op overhead under 2% of the
-//! baseline.
+//! site branches on), a recording observer capturing the complete
+//! event stream, and the `qz-prof` phase profiler armed (the `qz
+//! profile` path). The acceptance bar is no-op overhead under 2% of
+//! the baseline.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use quetzal::QuetzalConfig;
@@ -62,6 +63,18 @@ fn bench_observer_overhead(c: &mut Criterion) {
                 sim
             },
             |sim| black_box(sim.run_traced()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("qz_prof_profiler", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = make_sim(&env);
+                sim.enable_profiling();
+                sim
+            },
+            |sim| black_box(sim.run()),
             BatchSize::SmallInput,
         )
     });

@@ -1,6 +1,8 @@
 //! Measures simulator throughput with the per-tick reference engine
 //! versus the event-horizon fast-forward engine, on one sparse and one
-//! dense environment, and writes `results/BENCH_sim_throughput.json`.
+//! dense environment, and appends one record to the
+//! `results/BENCH_sim_throughput.json` trajectory (`qz bench --check`
+//! gates on the newest record).
 //!
 //! The workspace's criterion shim has no measurement API, so this
 //! harness times runs itself with `std::time::Instant` (best of
@@ -102,28 +104,33 @@ fn main() {
         rows.push(o);
     }
 
-    let mut json = String::from("{\"bench\":\"sim_throughput\",\"system\":\"QZ\",\"cases\":[");
-    for (i, o) in rows.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        json.push_str(&format!(
-            "{{\"env\":\"{}\",\"events\":{},\"sim_ticks\":{},\
-             \"tick_secs\":{:.6},\"fast_forward_secs\":{:.6},\"speedup\":{:.3}}}",
-            o.label,
-            o.events,
-            o.sim_ms,
-            o.tick_secs,
-            o.fast_secs,
-            o.speedup()
-        ));
-    }
-    json.push_str("]}\n");
+    let repo = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cases: Vec<qz_prof::BenchCase> = rows
+        .iter()
+        .map(|o| qz_prof::BenchCase {
+            name: o.label.to_owned(),
+            values: vec![
+                (
+                    "events".to_owned(),
+                    as_metric(u64::try_from(o.events).unwrap_or(u64::MAX)),
+                ),
+                ("sim_ticks".to_owned(), as_metric(o.sim_ms)),
+                ("tick_secs".to_owned(), o.tick_secs),
+                ("fast_forward_secs".to_owned(), o.fast_secs),
+                ("speedup".to_owned(), o.speedup()),
+            ],
+        })
+        .collect();
+    let path = repo.join("results/BENCH_sim_throughput.json");
+    let run =
+        qz_prof::Trajectory::append_run(&path, "sim_throughput", &qz_prof::git_rev(&repo), cases)
+            .expect("append BENCH_sim_throughput.json");
+    println!("appended run {run} to {}", path.display());
+}
 
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../results/BENCH_sim_throughput.json"
-    );
-    std::fs::write(path, &json).expect("write BENCH_sim_throughput.json");
-    println!("wrote {path}");
+/// Counter values stored as f64 in the trajectory; the counts here fit
+/// f64's 53-bit mantissa comfortably.
+#[allow(clippy::cast_precision_loss)]
+fn as_metric(v: u64) -> f64 {
+    v as f64
 }

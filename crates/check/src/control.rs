@@ -1,5 +1,5 @@
 //! Control and window sanity (`QZ040`–`QZ043`) and fast-forward
-//! horizon hygiene (`QZ070`).
+//! horizon hygiene (`QZ070`/`QZ071`).
 //!
 //! The PID error-mitigation loop (paper §5.3) and the windowed
 //! estimators are the only feedback paths in the runtime; a bad gain
@@ -31,7 +31,8 @@ pub(crate) fn run(input: &CheckInput<'_>, report: &mut Report) {
     horizon(input, report);
 }
 
-/// QZ070: the capture period forces a horizon collapse.
+/// QZ070: the capture period forces a horizon collapse. QZ071: the
+/// instrumentation (telemetry recorder or snapshot observer) does.
 fn horizon(input: &CheckInput<'_>, report: &mut Report) {
     let period = input.device.capture_period.as_millis();
     if period > 0 && period <= HORIZON_COLLAPSE_TICKS {
@@ -45,6 +46,32 @@ fn horizon(input: &CheckInput<'_>, report: &mut Report) {
                  degenerates to the per-tick reference loop (--engine tick without the name)",
             ),
         );
+    }
+    for (period, field, what) in [
+        (
+            input.telemetry_period,
+            "telemetry_period",
+            "telemetry-recorder sample",
+        ),
+        (
+            input.snapshot_period,
+            "snapshot_period",
+            "observer snapshot",
+        ),
+    ] {
+        let Some(period) = period else { continue };
+        if period > 0 && period <= HORIZON_COLLAPSE_TICKS {
+            report.push(
+                Code::QZ071,
+                Severity::Warning,
+                Span::field(field),
+                format!(
+                    "{what} period of {period} tick(s) puts an observation boundary on (almost) \
+                     every tick; the instrumentation itself collapses the fast-forward event \
+                     horizon (`qz profile` will rank it under telemetry-due/snapshot-due)",
+                ),
+            );
+        }
     }
 }
 
@@ -341,6 +368,31 @@ mod tests {
             .diagnostics()
             .iter()
             .all(|d| d.code != Code::QZ070));
+    }
+
+    #[test]
+    fn tiny_observation_periods_collapse_the_horizon() {
+        let spec = two_option_spec((0.5, 0.005), (0.05, 0.004), None);
+        let mut i = input(&spec);
+        i.telemetry_period = Some(1);
+        i.snapshot_period = Some(HORIZON_COLLAPSE_TICKS);
+        let report = crate::check(&i);
+        let qz071: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::QZ071)
+            .collect();
+        assert_eq!(qz071.len(), 2, "{}", report.render_text());
+        assert!(qz071.iter().all(|d| d.severity == Severity::Warning));
+
+        // Sane periods (and absent instrumentation) stay clean.
+        let mut i = input(&spec);
+        i.telemetry_period = Some(1000);
+        i.snapshot_period = None;
+        assert!(crate::check(&i)
+            .diagnostics()
+            .iter()
+            .all(|d| d.code != Code::QZ071));
     }
 
     #[test]

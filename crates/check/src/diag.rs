@@ -100,11 +100,15 @@ pub enum Code {
     /// (almost) every tick: the fast-forward engine's event horizon
     /// collapses and the simulation degenerates to per-tick stepping.
     QZ070,
+    /// A telemetry-recorder or observer-snapshot period is so short that
+    /// an observation boundary lands on (almost) every tick: the
+    /// instrumentation itself collapses the fast-forward event horizon.
+    QZ071,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 26] = [
+    pub const ALL: [Code; 27] = [
         Code::QZ001,
         Code::QZ002,
         Code::QZ003,
@@ -131,6 +135,7 @@ impl Code {
         Code::QZ061,
         Code::QZ062,
         Code::QZ070,
+        Code::QZ071,
     ];
 
     /// The stable string form, e.g. `"QZ001"`.
@@ -162,6 +167,7 @@ impl Code {
             Code::QZ061 => "QZ061",
             Code::QZ062 => "QZ062",
             Code::QZ070 => "QZ070",
+            Code::QZ071 => "QZ071",
         }
     }
 
@@ -196,6 +202,7 @@ impl Code {
             Code::QZ061 => "failure period shorter than reserve recharge + restore (thrash)",
             Code::QZ062 => "expected replay per failure ≥ failure period (livelock)",
             Code::QZ070 => "capture period collapses the fast-forward event horizon",
+            Code::QZ071 => "telemetry/snapshot period collapses the fast-forward event horizon",
         }
     }
 

@@ -25,8 +25,76 @@ pub enum Command {
     /// `qz fault …` — seeded fault-injection campaigns judged by the
     /// differential oracle harness.
     Fault(FaultArgs),
+    /// `qz profile …` — run one simulation with the phase profiler and
+    /// horizon-cause accounting enabled and explain where time went.
+    Profile(ProfileArgs),
+    /// `qz bench …` — inspect the bench trajectory and gate against the
+    /// committed baseline.
+    Bench(BenchArgs),
     /// `qz help` / `--help`.
     Help,
+}
+
+/// Options for `qz profile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileArgs {
+    /// System under test.
+    pub system: BaselineKind,
+    /// Device profile (`apollo4` or `msp430`).
+    pub device: String,
+    /// Sensing environment.
+    pub env: EnvironmentKind,
+    /// Events in the environment trace.
+    pub events: usize,
+    /// Environment/simulation seed.
+    pub seed: u64,
+    /// Simulation engine override (`None` keeps the `QZ_ENGINE` /
+    /// fast-forward default).
+    pub engine: Option<qz_sim::EngineKind>,
+    /// Profile report JSON output path (`-` for stdout).
+    pub json: Option<String>,
+    /// Collapsed-stack flamegraph output path.
+    pub flame: Option<String>,
+    /// Flight-recorder dump output path (installs a flight observer).
+    pub flight: Option<String>,
+}
+
+impl Default for ProfileArgs {
+    fn default() -> ProfileArgs {
+        ProfileArgs {
+            system: BaselineKind::Quetzal,
+            device: "apollo4".into(),
+            env: EnvironmentKind::Crowded,
+            events: 200,
+            seed: 20_250_330,
+            engine: None,
+            json: None,
+            flame: None,
+            flight: None,
+        }
+    }
+}
+
+/// Options for `qz bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Compare the newest trajectory records against the committed
+    /// baseline and exit nonzero on regression.
+    pub check: bool,
+    /// Directory holding `BENCH_*.json` trajectories.
+    pub results_dir: String,
+    /// Baseline file path (defaults to `<results-dir>/BENCH_baseline.json`).
+    pub baseline: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> BenchArgs {
+        BenchArgs {
+            check: false,
+            results_dir: "results".into(),
+            baseline: None,
+        }
+    }
 }
 
 /// Options for `qz fault`.
@@ -56,6 +124,9 @@ pub struct FaultArgs {
     /// Simulation engine override (`None` keeps the `QZ_ENGINE` /
     /// fast-forward default).
     pub engine: Option<qz_sim::EngineKind>,
+    /// Directory for `qz-flight/v1` postmortem dumps of violated
+    /// campaigns (one JSON file per violation).
+    pub postmortem: Option<String>,
 }
 
 impl Default for FaultArgs {
@@ -72,6 +143,7 @@ impl Default for FaultArgs {
             threads: None,
             json: None,
             engine: None,
+            postmortem: None,
         }
     }
 }
@@ -152,6 +224,10 @@ pub struct CheckArgs {
     pub buffer: Option<usize>,
     /// Override the capture period, in seconds.
     pub capture_period: Option<f64>,
+    /// Declare a telemetry-recorder sample period, in seconds (QZ071).
+    pub telemetry_period: Option<f64>,
+    /// Declare an observer snapshot period, in seconds (QZ071).
+    pub snapshot_period: Option<f64>,
 }
 
 impl Default for CheckArgs {
@@ -167,6 +243,8 @@ impl Default for CheckArgs {
             cells: None,
             buffer: None,
             capture_period: None,
+            telemetry_period: None,
+            snapshot_period: None,
         }
     }
 }
@@ -336,6 +414,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     if sub == "fault" {
         return parse_fault(&args[1..]).map(Command::Fault);
     }
+    if sub == "profile" {
+        return parse_profile(&args[1..]).map(Command::Profile);
+    }
+    if sub == "bench" {
+        return parse_bench(&args[1..]).map(Command::Bench);
+    }
     let mut run = RunArgs::default();
     let mut i = 1;
     let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
@@ -388,7 +472,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "export-traces" => Ok(Command::ExportTraces(run)),
         "trace" => Ok(Command::Trace(run)),
         other => Err(err(format!(
-            "unknown command `{other}` (try run, compare, export-traces, trace, check, fleet, fault)"
+            "unknown command `{other}` (try run, compare, export-traces, trace, check, fleet, \
+             fault, profile, bench)"
         ))),
     }
 }
@@ -451,6 +536,24 @@ fn parse_check(args: &[String]) -> Result<CheckArgs, ParseError> {
                     .parse()
                     .map_err(|_| err("`--capture-period` must be a number of seconds"))?;
                 check.capture_period = Some(secs);
+            }
+            "--telemetry-period" => {
+                let secs: f64 = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--telemetry-period` must be a number of seconds"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(err("`--telemetry-period` must be positive"));
+                }
+                check.telemetry_period = Some(secs);
+            }
+            "--snapshot-period" => {
+                let secs: f64 = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--snapshot-period` must be a number of seconds"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(err("`--snapshot-period` must be positive"));
+                }
+                check.snapshot_period = Some(secs);
             }
             other => return Err(err(format!("unknown flag `{other}` for `qz check`"))),
         }
@@ -614,11 +717,77 @@ fn parse_fault(args: &[String]) -> Result<FaultArgs, ParseError> {
             }
             "--json" => fault.json = Some(take_value(&mut i, flag)?),
             "--engine" => fault.engine = Some(parse_engine(&take_value(&mut i, flag)?)?),
+            "--postmortem" => fault.postmortem = Some(take_value(&mut i, flag)?),
             other => return Err(err(format!("unknown flag `{other}` for `qz fault`"))),
         }
         i += 1;
     }
     Ok(fault)
+}
+
+/// Parses the flags of `qz profile`.
+fn parse_profile(args: &[String]) -> Result<ProfileArgs, ParseError> {
+    let mut prof = ProfileArgs::default();
+    let mut i = 0;
+    let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--system" => prof.system = parse_system(&take_value(&mut i, flag)?)?,
+            "--device" => {
+                let d = take_value(&mut i, flag)?.to_ascii_lowercase();
+                if d != "apollo4" && d != "msp430" {
+                    return Err(err("`--device` must be `apollo4` or `msp430`"));
+                }
+                prof.device = d;
+            }
+            "--env" => prof.env = parse_env(&take_value(&mut i, flag)?)?,
+            "--events" => {
+                prof.events = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--events` must be a positive integer"))?;
+                if prof.events == 0 {
+                    return Err(err("`--events` must be at least 1"));
+                }
+            }
+            "--seed" => prof.seed = parse_seed(&take_value(&mut i, flag)?)?,
+            "--engine" => prof.engine = Some(parse_engine(&take_value(&mut i, flag)?)?),
+            "--json" => prof.json = Some(take_value(&mut i, flag)?),
+            "--flame" => prof.flame = Some(take_value(&mut i, flag)?),
+            "--flight" => prof.flight = Some(take_value(&mut i, flag)?),
+            other => return Err(err(format!("unknown flag `{other}` for `qz profile`"))),
+        }
+        i += 1;
+    }
+    Ok(prof)
+}
+
+/// Parses the flags of `qz bench`.
+fn parse_bench(args: &[String]) -> Result<BenchArgs, ParseError> {
+    let mut bench = BenchArgs::default();
+    let mut i = 0;
+    let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--check" => bench.check = true,
+            "--results-dir" => bench.results_dir = take_value(&mut i, flag)?,
+            "--baseline" => bench.baseline = Some(take_value(&mut i, flag)?),
+            other => return Err(err(format!("unknown flag `{other}` for `qz bench`"))),
+        }
+        i += 1;
+    }
+    Ok(bench)
 }
 
 /// The help text.
@@ -639,6 +808,7 @@ USAGE:
                     [--deny-warnings] [--allow QZ011]…
                     [--cap-mf 33] [--checkpoint jit|task-boundary|periodic:SECS]
                     [--cells 6] [--buffer 10] [--capture-period 1]
+                    [--telemetry-period 1] [--snapshot-period 1]
   qz fleet          [--devices 16] [--events 40] [--seed N] [--system QZ]
                     [--device apollo4|msp430] [--envs more,crowded,less]
                     [--threads N] [--duty-cycle 0.1] [--slot-ms 50]
@@ -648,7 +818,12 @@ USAGE:
                     [--device apollo4|msp430] [--env crowded] [--events 12]
                     [--campaigns 8] [--seed N|0xN] [--start 0]
                     [--threads N] [--json out.json|-]
-                    [--engine fast-forward|tick]
+                    [--engine fast-forward|tick] [--postmortem DIR]
+  qz profile        [--system QZ] [--env crowded] [--events 200] [--seed N|0xN]
+                    [--device apollo4|msp430] [--engine fast-forward|tick]
+                    [--json out.json|-] [--flame out.folded]
+                    [--flight dump.json]
+  qz bench          [--check] [--results-dir results] [--baseline FILE]
   qz help
 
 SYSTEMS:       QZ, QZ-HW, NA, AD, CN, TH25, TH50, TH75, PZO, FCFS, LCFS, AvgSe2e
@@ -676,7 +851,22 @@ always-on oracle on four invariants: replay idempotence, buffer
 conservation, energy accounting, decision monotonicity. Reports are
 byte-identical at any thread count for a fixed seed; each violation
 prints a single-line repro command. Exits nonzero on violations; the
-survivability preflight (QZ060-QZ062) rejects saturating plans.
+survivability preflight (QZ060-QZ062) rejects saturating plans. With
+--postmortem DIR, each violated campaign also writes a `qz-flight/v1`
+crash dump (event ring + state digests + repro line) into DIR.
+
+`qz profile` runs one simulation with the engine's phase profiler and
+horizon-cause accounting enabled, then prints a ranked \"why is this run
+slow\" list (which bound capped each quiescent span) and a per-phase
+self/total time table. --json writes the machine-readable report,
+--flame writes a collapsed-stack file for flamegraph tooling, and
+--flight installs a flight recorder and dumps its ring at exit.
+Profiling is observation-only: metrics are byte-identical with it on.
+
+`qz bench` prints the committed bench trajectories
+(results/BENCH_*.json). With --check it compares the newest record of
+each trajectory against results/BENCH_baseline.json and exits nonzero
+when any gated metric regresses beyond the baseline tolerance.
 ";
 
 #[cfg(test)]
@@ -817,6 +1007,19 @@ mod tests {
         assert!(parse(&argv("check --allow QZ999")).is_err());
         assert!(parse(&argv("check --device z80")).is_err());
         assert!(parse(&argv("check --events 5")).is_err(), "run-only flag");
+        assert!(parse(&argv("check --telemetry-period 0")).is_err());
+        assert!(parse(&argv("check --snapshot-period -2")).is_err());
+    }
+
+    #[test]
+    fn check_observation_period_flags() {
+        let Command::Check(c) =
+            parse(&argv("check --telemetry-period 0.001 --snapshot-period 1")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(c.telemetry_period, Some(0.001));
+        assert_eq!(c.snapshot_period, Some(1.0));
     }
 
     #[test]
@@ -916,6 +1119,65 @@ mod tests {
             parse(&argv("fault --devices 4")).is_err(),
             "fleet-only flag"
         );
+    }
+
+    #[test]
+    fn fault_postmortem_flag() {
+        let Command::Fault(f) = parse(&argv("fault --postmortem dumps/")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(f.postmortem.as_deref(), Some("dumps/"));
+        assert!(parse(&argv("fault --postmortem")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn profile_defaults_and_flags() {
+        let Command::Profile(p) = parse(&argv("profile")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(p, ProfileArgs::default());
+        let Command::Profile(p) = parse(&argv(
+            "profile --system CN --device msp430 --env quiet --events 50 --seed 0xBEEF \
+             --engine tick --json - --flame out.folded --flight dump.json",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(p.system, BaselineKind::CatNap);
+        assert_eq!(p.device, "msp430");
+        assert_eq!(p.env, EnvironmentKind::Quiet);
+        assert_eq!(p.events, 50);
+        assert_eq!(p.seed, 0xBEEF);
+        assert_eq!(p.engine, Some(qz_sim::EngineKind::Tick));
+        assert_eq!(p.json.as_deref(), Some("-"));
+        assert_eq!(p.flame.as_deref(), Some("out.folded"));
+        assert_eq!(p.flight.as_deref(), Some("dump.json"));
+    }
+
+    #[test]
+    fn profile_rejects_bad_input() {
+        assert!(parse(&argv("profile --events 0")).is_err());
+        assert!(parse(&argv("profile --device z80")).is_err());
+        assert!(parse(&argv("profile --campaigns 4")).is_err(), "fault-only");
+    }
+
+    #[test]
+    fn bench_defaults_and_flags() {
+        let Command::Bench(b) = parse(&argv("bench")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(b, BenchArgs::default());
+        assert!(!b.check);
+        let Command::Bench(b) = parse(&argv(
+            "bench --check --results-dir out --baseline floor.json",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert!(b.check);
+        assert_eq!(b.results_dir, "out");
+        assert_eq!(b.baseline.as_deref(), Some("floor.json"));
+        assert!(parse(&argv("bench --wat")).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 mod args;
 mod plot;
 
-use args::{CheckArgs, Command, FaultArgs, FleetArgs, RunArgs};
+use args::{BenchArgs, CheckArgs, Command, FaultArgs, FleetArgs, ProfileArgs, RunArgs};
 use qz_app::{
     apollo4, check_experiment, ideal, msp430fr5994, simulate, simulate_traced,
     simulate_with_telemetry, timeline_names, AppModel, DeviceProfile, SimTweaks,
@@ -42,6 +42,8 @@ fn main() -> ExitCode {
         Command::Check(c) => return check(&c),
         Command::Fleet(f) => fleet(&f),
         Command::Fault(f) => return fault(&f),
+        Command::Profile(p) => profile(&p),
+        Command::Bench(b) => return bench(&b),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -144,6 +146,12 @@ fn check(args: &CheckArgs) -> ExitCode {
     }
     if let Some(secs) = args.capture_period {
         tweaks.capture_period = SimDuration::from_seconds_ceil(Seconds(secs));
+    }
+    if let Some(secs) = args.telemetry_period {
+        tweaks.telemetry_period = Some(SimDuration::from_seconds_ceil(Seconds(secs)));
+    }
+    if let Some(secs) = args.snapshot_period {
+        tweaks.snapshot_period = Some(SimDuration::from_seconds_ceil(Seconds(secs)));
     }
 
     let mut failed = false;
@@ -259,11 +267,201 @@ fn fault(args: &FaultArgs) -> ExitCode {
             println!("JSON report written to {path}");
         }
     }
+    if let Some(dir) = &args.postmortem {
+        match qz_fault::write_postmortems(&cfg, &report, std::path::Path::new(dir)) {
+            Ok(paths) if paths.is_empty() => {
+                println!("no violations: no postmortems written to {dir}");
+            }
+            Ok(paths) => {
+                for p in &paths {
+                    println!("postmortem written to {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if report.total_violations() > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn profile(args: &ProfileArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let device = if args.device == "msp430" {
+        msp430fr5994()
+    } else {
+        apollo4()
+    };
+    let env = SensingEnvironment::generate(args.env, args.events, args.seed);
+    let mut tweaks = SimTweaks {
+        seed: args.seed,
+        ..SimTweaks::default()
+    };
+    if let Some(engine) = args.engine {
+        tweaks.engine = engine;
+    }
+    let repro = format!(
+        "qz profile --system {} --device {} --env {} --events {} --seed {:#x}",
+        qz_fault::cli_system_token(args.system),
+        qz_fault::cli_device_token(device.name),
+        qz_fault::cli_env_token(args.env),
+        args.events,
+        args.seed,
+    );
+    println!(
+        "profiling {} on {} in {} ({} events, seed {}, {} engine)\n",
+        args.system.label(),
+        device.name,
+        env.kind(),
+        args.events,
+        args.seed,
+        tweaks.engine.label(),
+    );
+    let flight_meta = args.flight.as_ref().map(|_| qz_prof::FlightMeta {
+        source: String::from("qz profile flight recorder"),
+        repro: repro.clone(),
+    });
+    // Arm early so a mid-run panic still ships the repro line; the
+    // post-run dump below carries the full ring.
+    if let (Some(path), Some(meta)) = (&args.flight, &flight_meta) {
+        qz_prof::arm_panic_dump(path.into(), meta.clone(), None);
+    }
+    let run = qz_app::profile_run(args.system, &device, &env, &tweaks, flight_meta);
+    println!("{}", run.horizon.render_ranking());
+    println!("{}", run.report.render_text());
+    #[allow(clippy::cast_precision_loss)] // display only
+    let wall_ms = run.wall_ns as f64 / 1e6;
+    println!("wall clock: {wall_ms:.2} ms");
+    println!();
+    print_metrics(&args.system.label(), &run.metrics);
+    if let Some(path) = &args.json {
+        let doc = format!(
+            "{{\"tool\":\"qz-prof\",\"repro\":\"{}\",\"wall_ns\":{},\"profile\":{},\
+             \"horizon\":{}}}",
+            repro,
+            run.wall_ns,
+            run.report.to_json(),
+            run.horizon.to_json(),
+        );
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            std::fs::write(path, &doc)?;
+            println!("profile JSON written to {path}");
+        }
+    }
+    if let Some(path) = &args.flame {
+        std::fs::write(path, run.report.render_folded())?;
+        println!("collapsed stacks written to {path}");
+    }
+    if let Some(path) = &args.flight {
+        if let Some(handle) = &run.flight {
+            std::fs::write(path, handle.dump_json())?;
+            println!("flight-recorder dump written to {path}");
+        }
+        qz_prof::disarm_panic_dump();
+    }
+    Ok(())
+}
+
+fn bench(args: &BenchArgs) -> ExitCode {
+    let dir = std::path::Path::new(&args.results_dir);
+    if !args.check {
+        return bench_list(dir);
+    }
+    let baseline_path = args
+        .baseline
+        .as_ref()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| dir.join("BENCH_baseline.json"));
+    let baseline = match qz_prof::Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = baseline.check(|bench| {
+        let path = dir.join(format!("BENCH_{bench}.json"));
+        match qz_prof::Trajectory::load(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                None
+            }
+        }
+    });
+    for line in &outcome.lines {
+        println!("{line}");
+    }
+    if outcome.failures > 0 {
+        println!(
+            "FAILED: {} of {} baseline check(s) regressed",
+            outcome.failures,
+            baseline.checks.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("OK: {} baseline check(s) hold", baseline.checks.len());
+        ExitCode::SUCCESS
+    }
+}
+
+/// `qz bench` without `--check`: print every committed trajectory.
+fn bench_list(dir: &std::path::Path) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json") && n != "BENCH_baseline.json")
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        println!("no BENCH_*.json trajectories in {}", dir.display());
+        return ExitCode::SUCCESS;
+    }
+    for name in &names {
+        let path = dir.join(name);
+        match qz_prof::Trajectory::load(&path) {
+            Ok(Some(t)) => {
+                let newest = t.newest();
+                println!(
+                    "{}: {} run(s){}",
+                    t.bench,
+                    t.records.len(),
+                    newest
+                        .map(|r| format!(", newest run {} @ {}", r.run, r.git_rev))
+                        .unwrap_or_default(),
+                );
+                if let Some(r) = newest {
+                    for case in &r.cases {
+                        let vals: Vec<String> = case
+                            .values
+                            .iter()
+                            .map(|(k, v)| format!("{k} {v}"))
+                            .collect();
+                        println!("  {}: {}", case.name, vals.join(", "));
+                    }
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn fleet(args: &FleetArgs) -> Result<(), Box<dyn std::error::Error>> {

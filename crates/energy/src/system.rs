@@ -1,6 +1,7 @@
 //! Combined power system: harvester charging a supercapacitor under load.
 
 use crate::{Harvester, Supercap};
+use qz_prof::{Phase, PhaseProfiler};
 use qz_types::{Joules, SimDuration, Watts};
 
 /// Accounting for one simulation step of the power system.
@@ -153,15 +154,87 @@ impl PowerSystem {
         harvested_acc: &mut Joules,
         wasted_acc: &mut Joules,
     ) -> BulkOutcome {
+        self.advance_inner(
+            irradiance,
+            load,
+            dt,
+            max_ticks,
+            stop,
+            harvested_acc,
+            wasted_acc,
+            None,
+        )
+    }
+
+    /// [`PowerSystem::advance`] with phase-profiler spans around the
+    /// sprint, the fixed-point replay, and the vigilant tail. Profiling
+    /// reads wall-clock time only; the energy trajectory and every
+    /// returned value are bit-identical to the unprofiled call.
+    #[allow(clippy::too_many_arguments)] // mirrors advance() plus the profiler
+    pub fn advance_profiled(
+        &mut self,
+        irradiance: f64,
+        load: Watts,
+        dt: SimDuration,
+        max_ticks: u64,
+        stop: StopCondition,
+        harvested_acc: &mut Joules,
+        wasted_acc: &mut Joules,
+        prof: &mut PhaseProfiler,
+    ) -> BulkOutcome {
+        self.advance_inner(
+            irradiance,
+            load,
+            dt,
+            max_ticks,
+            stop,
+            harvested_acc,
+            wasted_acc,
+            Some(prof),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn advance_inner(
+        &mut self,
+        irradiance: f64,
+        load: Watts,
+        dt: SimDuration,
+        max_ticks: u64,
+        stop: StopCondition,
+        harvested_acc: &mut Joules,
+        wasted_acc: &mut Joules,
+        mut prof: Option<&mut PhaseProfiler>,
+    ) -> BulkOutcome {
         let sprint = self.sprint_bound(irradiance, load, dt, stop).min(max_ticks);
         let mut ticks = sprint;
-        self.sprint(irradiance, load, dt, sprint, harvested_acc, wasted_acc);
+        if sprint > 0 {
+            let t0 = prof.as_ref().and_then(|p| p.begin());
+            self.sprint(
+                irradiance,
+                load,
+                dt,
+                sprint,
+                harvested_acc,
+                wasted_acc,
+                prof.as_deref_mut(),
+            );
+            if let Some(p) = prof.as_deref_mut() {
+                p.end(Phase::Sprint, t0);
+            }
+        }
+        let t_tail = if ticks < max_ticks {
+            prof.as_ref().and_then(|p| p.begin())
+        } else {
+            None
+        };
+        let mut crossed = false;
         while ticks < max_ticks {
             let out = self.step(irradiance, load, dt);
             *harvested_acc += out.harvested;
             *wasted_acc += out.wasted;
             ticks += 1;
-            let crossed = match stop {
+            crossed = match stop {
                 StopCondition::None => false,
                 StopCondition::Depleted(reserve) => {
                     self.capacitor.energy() <= reserve || out.brownout
@@ -169,16 +242,13 @@ impl PowerSystem {
                 StopCondition::CanTurnOn => self.capacitor.can_turn_on(),
             };
             if crossed {
-                return BulkOutcome {
-                    ticks,
-                    crossed: true,
-                };
+                break;
             }
         }
-        BulkOutcome {
-            ticks,
-            crossed: false,
+        if let Some(p) = prof {
+            p.end(Phase::VigilantTail, t_tail);
         }
+        BulkOutcome { ticks, crossed }
     }
 
     /// Runs `n` consecutive [`PowerSystem::step`]-equivalent ticks with
@@ -195,6 +265,7 @@ impl PowerSystem {
     /// Callers must only request ticks proven not to need a stop check
     /// (see [`PowerSystem::advance`]'s sprint bound): the loop commits
     /// all `n` ticks unconditionally.
+    #[allow(clippy::too_many_arguments)] // mirrors advance_inner()
     fn sprint(
         &mut self,
         irradiance: f64,
@@ -203,6 +274,7 @@ impl PowerSystem {
         n: u64,
         harvested_acc: &mut Joules,
         wasted_acc: &mut Joules,
+        mut prof: Option<&mut PhaseProfiler>,
     ) {
         if n == 0 {
             return;
@@ -234,12 +306,16 @@ impl PowerSystem {
             // energy dependency chain from the loop.
             let start = energy.to_bits();
             if start == prev_start {
+                let t0 = prof.as_ref().and_then(|p| p.begin());
                 for _ in i..n {
                     total_h += last_h;
                     total_w += last_w;
                     total_s += last_s;
                     acc_h += last_h;
                     acc_w += last_w;
+                }
+                if let Some(p) = prof.as_deref_mut() {
+                    p.end(Phase::Replay, t0);
                 }
                 break;
             }

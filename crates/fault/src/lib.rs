@@ -31,6 +31,8 @@
 //! - [`invariants`] — the four differential invariants.
 //! - [`campaign`] — campaign fan-out on the [`qz_fleet::Executor`],
 //!   `QZ06x` survivability preflight, deterministic reports.
+//! - [`postmortem`] — `qz-flight/v1` crash-dump evidence for violated
+//!   campaigns (deterministic re-run → event ring + state digests).
 //!
 //! # Quickstart
 //!
@@ -60,6 +62,7 @@ pub mod inject;
 pub mod invariants;
 pub mod oracle;
 pub mod plan;
+pub mod postmortem;
 
 pub use campaign::{
     cli_device_token, cli_env_token, cli_system_token, preflight, run_campaigns, CampaignConfig,
@@ -69,3 +72,4 @@ pub use inject::{AdversarialInjector, FaultStats};
 pub use invariants::{check_all, DiffInputs, Violation};
 pub use oracle::{oracle_environment, oracle_tweaks, run_one, RunOutcome};
 pub use plan::FaultPlan;
+pub use postmortem::{postmortem_json, write_postmortems};

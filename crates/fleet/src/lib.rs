@@ -51,4 +51,4 @@ pub use channel::{ChannelStats, GatewayChannel};
 pub use config::FleetConfig;
 pub use exec::{Executor, THREADS_ENV};
 pub use report::{DeviceReport, FleetAggregates, FleetReport, Percentiles};
-pub use run::{preflight, run_fleet, FleetError};
+pub use run::{preflight, run_fleet, run_fleet_profiled, FleetError, FleetProfile};

@@ -16,6 +16,7 @@ use crate::config::FleetConfig;
 use crate::exec::Executor;
 use crate::report::{DeviceReport, FleetAggregates, FleetReport};
 use qz_app::build_simulation;
+use qz_prof::{HorizonStats, Phase, PhaseProfiler};
 use qz_sim::{Simulation, TxRecord, UplinkPort};
 use qz_traces::SensingEnvironment;
 use qz_types::{SimDuration, SimTime};
@@ -74,6 +75,46 @@ struct DeviceRun<'a> {
 /// Panics if a device's experiment config fails validation (the same
 /// contract as [`qz_app::build_simulation`]).
 pub fn run_fleet(cfg: &FleetConfig, exec: Executor) -> Result<FleetReport, FleetError> {
+    run_fleet_inner(cfg, exec, false).map(|(report, _)| report)
+}
+
+/// Wall-clock and horizon accounting for a whole fleet run: every
+/// device's phase profiler and horizon stats merged into one aggregate,
+/// plus the coordinator's epoch-barrier and reduction spans.
+#[derive(Debug)]
+pub struct FleetProfile {
+    /// Merged phase profiler (per-device engine spans + coordinator
+    /// `fleet_epoch`/`fleet_reduce` spans).
+    pub profiler: PhaseProfiler,
+    /// Merged deterministic horizon-cause accounting across devices.
+    pub horizon: HorizonStats,
+}
+
+/// [`run_fleet`] with profiling enabled on every device and on the
+/// coordinator. The [`FleetReport`] is byte-identical to the unprofiled
+/// run — profiling reads wall-clock time only (pinned by the
+/// `profiler_invisibility` suite).
+///
+/// # Errors
+///
+/// Same contract as [`run_fleet`].
+pub fn run_fleet_profiled(
+    cfg: &FleetConfig,
+    exec: Executor,
+) -> Result<(FleetReport, FleetProfile), FleetError> {
+    run_fleet_inner(cfg, exec, true).map(|(report, profile)| {
+        (
+            report,
+            profile.expect("profiled run always yields a profile"),
+        )
+    })
+}
+
+fn run_fleet_inner(
+    cfg: &FleetConfig,
+    exec: Executor,
+    profile: bool,
+) -> Result<(FleetReport, Option<FleetProfile>), FleetError> {
     if cfg.devices == 0 {
         return Err(FleetError::BadConfig(
             "fleet needs at least one device".into(),
@@ -108,6 +149,9 @@ pub fn run_fleet(cfg: &FleetConfig, exec: Executor) -> Result<FleetReport, Fleet
                 cfg.uplink.clone(),
                 cfg.uplink_seed(device as u64),
             ));
+            if profile {
+                sim.enable_profiling();
+            }
             DeviceRun {
                 sim,
                 epoch_log: Vec::new(),
@@ -115,17 +159,29 @@ pub fn run_fleet(cfg: &FleetConfig, exec: Executor) -> Result<FleetReport, Fleet
         })
         .collect();
 
+    // Coordinator-side spans: the parallel step region and the serial
+    // reduction at each barrier. Disabled unless profiling, in which
+    // case begin()/end() are no-ops.
+    let mut coord = if profile {
+        PhaseProfiler::enabled()
+    } else {
+        PhaseProfiler::disabled()
+    };
+
     // Epoch loop: parallel step to the barrier, serial slot-ordered
     // reduction, one-epoch-delayed back-pressure, repeat.
     let mut gateway = GatewayChannel::new(cfg.uplink.slot.as_millis(), cfg.epoch_slots());
     let mut epoch_end: SimTime = SimTime::ZERO + cfg.epoch;
     loop {
+        let t_epoch = coord.begin();
         exec.for_each_mut(&mut runs, |_, run| {
             // step_until lets the fast-forward engine advance whole
             // quiescent spans while still honouring the epoch barrier.
             run.sim.step_until(epoch_end);
             run.epoch_log = run.sim.drain_tx_log();
         });
+        coord.end(Phase::FleetEpoch, t_epoch);
+        let t_reduce = coord.begin();
         let logs: Vec<Vec<TxRecord>> = runs
             .iter_mut()
             .map(|run| core::mem::take(&mut run.epoch_log))
@@ -134,6 +190,7 @@ pub fn run_fleet(cfg: &FleetConfig, exec: Executor) -> Result<FleetReport, Fleet
         for (run, load) in runs.iter_mut().zip(loads) {
             run.sim.set_uplink_busy_probability(load);
         }
+        coord.end(Phase::FleetReduce, t_reduce);
         if runs.iter().all(|run| run.sim.is_done()) {
             break;
         }
@@ -167,7 +224,18 @@ pub fn run_fleet(cfg: &FleetConfig, exec: Executor) -> Result<FleetReport, Fleet
         aggregates: FleetAggregates::default(),
     };
     report.aggregate();
-    Ok(report)
+    let fleet_profile = profile.then(|| {
+        let mut horizon = HorizonStats::new();
+        for run in &mut runs {
+            coord.merge(&run.sim.take_profiler());
+            horizon.merge(run.sim.horizon_stats());
+        }
+        FleetProfile {
+            profiler: coord,
+            horizon,
+        }
+    });
+    Ok((report, fleet_profile))
 }
 
 #[cfg(test)]

@@ -136,6 +136,18 @@ impl Log2Histogram {
             .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << i }, n))
             .collect()
     }
+
+    /// Folds another histogram into this one, bucket-wise. Count, sum,
+    /// and max combine exactly, so merging per-shard histograms (e.g.
+    /// qz-prof's per-device fleet profiles) is lossless.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A flat registry of named counters, gauges, and histograms.
@@ -352,6 +364,27 @@ impl Observer for MetricsObserver {
 mod tests {
     use super::*;
     use crate::event::Snapshot;
+
+    #[test]
+    fn histogram_merge_is_lossless() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut whole = Log2Histogram::new();
+        for v in [0, 1, 7, 32, 4096] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2, 2, 900, u64::MAX / 2] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.nonzero_buckets(), whole.nonzero_buckets());
+        assert_eq!(a.quantile(0.5), whole.quantile(0.5));
+    }
 
     #[test]
     fn histogram_buckets_and_stats() {

@@ -1,0 +1,354 @@
+//! Horizon-cause accounting: *why* the fast-forward engine stepped
+//! instead of skipping.
+//!
+//! Every call to the engine's horizon planner ends in one of two ways:
+//! a bulk-advanceable quiescent span (whose length some bound cut
+//! short), or a forced reference tick (span zero). [`HorizonStats`]
+//! attributes both to the [`HorizonCause`] that won the min-reduction,
+//! in deterministic simulated-time land — no clocks — so the ranking
+//! is identical across machines and thread counts.
+//!
+//! The stats live *beside* the simulator's `Metrics`, never inside:
+//! `Metrics` equality between the tick and fast-forward engines is a
+//! pinned contract, and the tick engine plans no horizons.
+
+use qz_obs::Log2Histogram;
+
+/// The bound that decided a horizon planning call. Mirrors the
+/// min-reduction in `Simulation::quiescent_span`; the first three are
+/// collapse causes (they force span 0 outright).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HorizonCause {
+    /// A fault injector is installed: every tick is a potential
+    /// trigger, the horizon collapses to per-tick stepping.
+    FaultCollapse,
+    /// Powered-on and idle with queued inputs: the scheduler (and its
+    /// estimator/controller updates) runs every tick.
+    BusyScheduler,
+    /// The next capture boundary (`device.capture_period` multiple).
+    /// Periods ≤ the QZ070 threshold collapse the horizon outright.
+    CaptureBoundary,
+    /// The next telemetry-recorder sample multiple (QZ071 warns when
+    /// this period is tiny).
+    TelemetryDue,
+    /// The next observer snapshot multiple (QZ071 likewise).
+    SnapshotDue,
+    /// The active job's countdown (task, overhead, or tx backoff)
+    /// expires.
+    JobCountdown,
+    /// A periodic checkpoint comes due.
+    CheckpointDue,
+    /// The post-events drain completes (`events_end` termination).
+    EventsEnd,
+    /// The simulation horizon's final tick (termination check).
+    HorizonEnd,
+}
+
+impl HorizonCause {
+    /// Number of causes (array sizing).
+    pub const COUNT: usize = 9;
+
+    /// Every cause, in catalog order.
+    pub const ALL: [HorizonCause; HorizonCause::COUNT] = [
+        HorizonCause::FaultCollapse,
+        HorizonCause::BusyScheduler,
+        HorizonCause::CaptureBoundary,
+        HorizonCause::TelemetryDue,
+        HorizonCause::SnapshotDue,
+        HorizonCause::JobCountdown,
+        HorizonCause::CheckpointDue,
+        HorizonCause::EventsEnd,
+        HorizonCause::HorizonEnd,
+    ];
+
+    /// Stable kebab-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HorizonCause::FaultCollapse => "fault-collapse",
+            HorizonCause::BusyScheduler => "busy-scheduler",
+            HorizonCause::CaptureBoundary => "capture-boundary",
+            HorizonCause::TelemetryDue => "telemetry-due",
+            HorizonCause::SnapshotDue => "snapshot-due",
+            HorizonCause::JobCountdown => "job-countdown",
+            HorizonCause::CheckpointDue => "checkpoint-due",
+            HorizonCause::EventsEnd => "events-end",
+            HorizonCause::HorizonEnd => "horizon-end",
+        }
+    }
+
+    /// A remediation hint printed under the ranking when this cause
+    /// dominates the forced reference ticks.
+    pub fn hint(self) -> Option<&'static str> {
+        match self {
+            HorizonCause::FaultCollapse => {
+                Some("an installed fault injector pins the engine to per-tick stepping by design")
+            }
+            HorizonCause::BusyScheduler => Some(
+                "scheduler runs every tick while inputs queue; this is the Crowded busy-tick \
+                 kernel the ROADMAP targets",
+            ),
+            HorizonCause::CaptureBoundary => {
+                Some("tiny capture periods collapse the horizon — see qz-check QZ070")
+            }
+            HorizonCause::TelemetryDue | HorizonCause::SnapshotDue => {
+                Some("tiny telemetry/snapshot periods collapse the horizon — see qz-check QZ071")
+            }
+            _ => None,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            HorizonCause::FaultCollapse => 0,
+            HorizonCause::BusyScheduler => 1,
+            HorizonCause::CaptureBoundary => 2,
+            HorizonCause::TelemetryDue => 3,
+            HorizonCause::SnapshotDue => 4,
+            HorizonCause::JobCountdown => 5,
+            HorizonCause::CheckpointDue => 6,
+            HorizonCause::EventsEnd => 7,
+            HorizonCause::HorizonEnd => 8,
+        }
+    }
+}
+
+/// Per-cause tallies.
+#[derive(Debug, Clone, Default)]
+pub struct CauseStat {
+    /// Bulk spans this bound terminated.
+    pub spans: u64,
+    /// Ticks skipped inside those spans.
+    pub skipped_ticks: u64,
+    /// Reference ticks this bound forced (span collapsed to zero).
+    pub ref_ticks: u64,
+    /// Distribution of bulk span lengths, ticks.
+    pub span_hist: Log2Histogram,
+}
+
+/// Deterministic horizon accounting for one fast-forward run.
+#[derive(Debug, Clone)]
+pub struct HorizonStats {
+    cells: [CauseStat; HorizonCause::COUNT],
+}
+
+impl Default for HorizonStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HorizonStats {
+    /// Empty accounting.
+    pub fn new() -> HorizonStats {
+        HorizonStats {
+            cells: std::array::from_fn(|_| CauseStat {
+                spans: 0,
+                skipped_ticks: 0,
+                ref_ticks: 0,
+                span_hist: Log2Histogram::new(),
+            }),
+        }
+    }
+
+    /// Records one bulk-advanced span of `ticks` ended by `cause`.
+    pub fn record_span(&mut self, cause: HorizonCause, ticks: u64) {
+        let c = &mut self.cells[cause.index()];
+        c.spans += 1;
+        c.skipped_ticks += ticks;
+        c.span_hist.record(ticks);
+    }
+
+    /// Records one forced reference tick attributed to `cause`.
+    pub fn record_ref_tick(&mut self, cause: HorizonCause) {
+        self.cells[cause.index()].ref_ticks += 1;
+    }
+
+    /// Tallies for one cause.
+    pub fn cause(&self, cause: HorizonCause) -> &CauseStat {
+        &self.cells[cause.index()]
+    }
+
+    /// Reference ticks forced across all causes.
+    pub fn total_ref_ticks(&self) -> u64 {
+        self.cells.iter().map(|c| c.ref_ticks).sum()
+    }
+
+    /// Ticks skipped in bulk across all causes.
+    pub fn total_skipped_ticks(&self) -> u64 {
+        self.cells.iter().map(|c| c.skipped_ticks).sum()
+    }
+
+    /// Whether nothing was recorded (tick engine, or an unrun sim).
+    pub fn is_empty(&self) -> bool {
+        self.cells.iter().all(|c| c.spans == 0 && c.ref_ticks == 0)
+    }
+
+    /// Folds another run's accounting into this one (fleet merges).
+    pub fn merge(&mut self, other: &HorizonStats) {
+        for (m, t) in self.cells.iter_mut().zip(other.cells.iter()) {
+            m.spans += t.spans;
+            m.skipped_ticks += t.skipped_ticks;
+            m.ref_ticks += t.ref_ticks;
+            m.span_hist.merge(&t.span_hist);
+        }
+    }
+
+    /// "Why is this run slow": causes ranked by the reference ticks
+    /// they forced (the quantity that costs wall-clock), with span
+    /// counts, skipped ticks, and median span length alongside.
+    pub fn render_ranking(&self) -> String {
+        if self.is_empty() {
+            return String::from(
+                "horizon-cause ranking: no fast-forward horizon decisions recorded \
+                 (tick engine?)\n",
+            );
+        }
+        let total_ref = self.total_ref_ticks();
+        let mut ranked: Vec<(HorizonCause, &CauseStat)> = HorizonCause::ALL
+            .iter()
+            .map(|&c| (c, self.cause(c)))
+            .filter(|(_, s)| s.spans > 0 || s.ref_ticks > 0)
+            .collect();
+        ranked.sort_by_key(|&(_, s)| std::cmp::Reverse((s.ref_ticks, s.spans)));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<4} {:<16} {:>12} {:>7} {:>10} {:>14} {:>11}\n",
+            "rank", "cause", "ref-ticks", "ref%", "spans", "skipped-ticks", "median-span"
+        ));
+        let mut hints: Vec<&'static str> = Vec::new();
+        for (rank, (cause, s)) in ranked.iter().enumerate() {
+            #[allow(clippy::cast_precision_loss)] // display only
+            let pct = if total_ref == 0 {
+                0.0
+            } else {
+                s.ref_ticks as f64 / total_ref as f64 * 100.0
+            };
+            out.push_str(&format!(
+                "{:<4} {:<16} {:>12} {:>6.1}% {:>10} {:>14} {:>11}\n",
+                rank + 1,
+                cause.label(),
+                s.ref_ticks,
+                pct,
+                s.spans,
+                s.skipped_ticks,
+                if s.spans == 0 {
+                    String::from("-")
+                } else {
+                    s.span_hist.quantile(0.5).to_string()
+                },
+            ));
+            // Hint on the causes that matter: the top forced-tick
+            // contributor plus anything over 10% of forced ticks.
+            if (rank == 0 || pct >= 10.0) && s.ref_ticks > 0 {
+                if let Some(hint) = cause.hint() {
+                    if !hints.contains(&hint) {
+                        hints.push(hint);
+                    }
+                }
+            }
+        }
+        out.push_str(&format!(
+            "total: {} reference tick(s), {} skipped in bulk\n",
+            total_ref,
+            self.total_skipped_ticks(),
+        ));
+        for hint in hints {
+            out.push_str(&format!("hint: {hint}\n"));
+        }
+        out
+    }
+
+    /// One self-describing JSON object, causes in catalog order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"tool\":\"qz-prof\",\"horizon_causes\":[");
+        let mut first = true;
+        for cause in HorizonCause::ALL {
+            let s = self.cause(cause);
+            if s.spans == 0 && s.ref_ticks == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"cause\":\"{}\",\"ref_ticks\":{},\"spans\":{},\"skipped_ticks\":{},\
+                 \"median_span\":{}}}",
+                cause.label(),
+                s.ref_ticks,
+                s.spans,
+                s.skipped_ticks,
+                s.span_hist.quantile(0.5),
+            ));
+        }
+        out.push_str(&format!(
+            "],\"total_ref_ticks\":{},\"total_skipped_ticks\":{}}}",
+            self.total_ref_ticks(),
+            self.total_skipped_ticks(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_orders_by_forced_ticks() {
+        let mut h = HorizonStats::new();
+        for _ in 0..100 {
+            h.record_ref_tick(HorizonCause::BusyScheduler);
+        }
+        for _ in 0..5 {
+            h.record_ref_tick(HorizonCause::CaptureBoundary);
+        }
+        h.record_span(HorizonCause::CaptureBoundary, 999);
+        let text = h.render_ranking();
+        let busy = text.find("busy-scheduler").unwrap();
+        let capture = text.find("capture-boundary").unwrap();
+        assert!(busy < capture, "{text}");
+        assert!(text.contains("hint: scheduler runs every tick"), "{text}");
+        assert_eq!(h.total_ref_ticks(), 105);
+        assert_eq!(h.total_skipped_ticks(), 999);
+    }
+
+    #[test]
+    fn empty_stats_render_placeholder() {
+        let h = HorizonStats::new();
+        assert!(h.is_empty());
+        assert!(h
+            .render_ranking()
+            .contains("no fast-forward horizon decisions"));
+        assert!(h.to_json().contains("\"total_ref_ticks\":0"));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = HorizonStats::new();
+        let mut b = HorizonStats::new();
+        a.record_span(HorizonCause::JobCountdown, 10);
+        b.record_span(HorizonCause::JobCountdown, 30);
+        b.record_ref_tick(HorizonCause::FaultCollapse);
+        a.merge(&b);
+        assert_eq!(a.cause(HorizonCause::JobCountdown).spans, 2);
+        assert_eq!(a.cause(HorizonCause::JobCountdown).skipped_ticks, 40);
+        assert_eq!(a.cause(HorizonCause::FaultCollapse).ref_ticks, 1);
+    }
+
+    #[test]
+    fn json_lists_only_active_causes() {
+        let mut h = HorizonStats::new();
+        h.record_span(HorizonCause::EventsEnd, 4);
+        let json = h.to_json();
+        assert!(json.contains("\"cause\":\"events-end\""));
+        assert!(!json.contains("snapshot-due"));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            HorizonCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), HorizonCause::COUNT);
+    }
+}

@@ -16,6 +16,7 @@ use quetzal::runtime::BufferView;
 use quetzal::Quetzal;
 use qz_energy::{PowerSystem, StopCondition};
 use qz_obs::{EventKind, Observer};
+use qz_prof::{HorizonCause, HorizonStats, Phase, PhaseProfiler};
 use qz_traces::SensingEnvironment;
 use qz_types::{Seconds, SimDuration, SimTime, SplitMix64, Watts};
 
@@ -128,6 +129,16 @@ pub struct Simulation<'a> {
     scratch_runnable: Vec<(JobId, Option<Seconds>)>,
     /// Recycled allocation for the next `ActiveJob::executed` list.
     spare_executed: Vec<(TaskId, bool)>,
+    /// Wall-clock phase profiler; disabled (zero-storage) by default.
+    /// Time flows *out* of the engine only — enabling it changes no
+    /// simulated observable (pinned by the `profiler_invisibility`
+    /// differential suite).
+    prof: PhaseProfiler,
+    /// Deterministic fast-forward horizon accounting: which bound won
+    /// each quiescent span and which causes forced reference ticks.
+    /// Counted in sim state (never wall-clock), kept outside `Metrics`
+    /// so every byte-equality contract on `Metrics` is untouched.
+    horizon_stats: HorizonStats,
 }
 
 impl<'a> Simulation<'a> {
@@ -178,6 +189,8 @@ impl<'a> Simulation<'a> {
             done: false,
             scratch_runnable: Vec::new(),
             spare_executed: Vec::new(),
+            prof: PhaseProfiler::disabled(),
+            horizon_stats: HorizonStats::new(),
         })
     }
 
@@ -349,6 +362,36 @@ impl<'a> Simulation<'a> {
         self.recorder.as_ref().map(|r| &r.telemetry)
     }
 
+    /// Turns on wall-clock phase profiling (see [`qz_prof`]). Profiling
+    /// is a pure side channel: every simulated observable — metrics,
+    /// telemetry, events, energy trajectory — stays byte-identical.
+    pub fn enable_profiling(&mut self) {
+        self.prof = PhaseProfiler::enabled();
+    }
+
+    /// Installs a specific profiler (e.g. one pre-seeded by a harness).
+    pub fn set_profiler(&mut self, prof: PhaseProfiler) {
+        self.prof = prof;
+    }
+
+    /// The phase profiler's current aggregate.
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.prof
+    }
+
+    /// Removes the profiler (a disabled one takes its place), returning
+    /// it so harnesses can merge or render it after the run.
+    pub fn take_profiler(&mut self) -> PhaseProfiler {
+        std::mem::replace(&mut self.prof, PhaseProfiler::disabled())
+    }
+
+    /// Fast-forward horizon accounting so far: which bound won each
+    /// quiescent span and which causes forced reference ticks. Empty
+    /// under [`EngineKind::Tick`].
+    pub fn horizon_stats(&self) -> &HorizonStats {
+        &self.horizon_stats
+    }
+
     /// Runs to completion and returns the final metrics.
     pub fn run(mut self) -> Metrics {
         while self.step() {}
@@ -387,10 +430,15 @@ impl<'a> Simulation<'a> {
             return false;
         }
         if self.cfg.engine == EngineKind::FastForward {
-            let span = self.quiescent_span();
+            let (span, cause) = self.quiescent_span();
             if span > 0 {
-                return self.advance_span(span);
+                self.horizon_stats.record_span(cause, span);
+                let t0 = self.prof.begin();
+                let alive = self.advance_span(span);
+                self.prof.end(Phase::SpanAdvance, t0);
+                return alive;
             }
+            self.horizon_stats.record_ref_tick(cause);
         }
         self.step_tick()
     }
@@ -403,13 +451,16 @@ impl<'a> Simulation<'a> {
     pub fn step_until(&mut self, limit: SimTime) -> bool {
         while !self.done && self.now < limit {
             if self.cfg.engine == EngineKind::FastForward {
-                let span = self
-                    .quiescent_span()
-                    .min(limit.as_millis().saturating_sub(self.now.as_millis()));
+                let (raw, cause) = self.quiescent_span();
+                let span = raw.min(limit.as_millis().saturating_sub(self.now.as_millis()));
                 if span > 0 {
+                    self.horizon_stats.record_span(cause, span);
+                    let t0 = self.prof.begin();
                     self.advance_span(span);
+                    self.prof.end(Phase::SpanAdvance, t0);
                     continue;
                 }
+                self.horizon_stats.record_ref_tick(cause);
             }
             self.step_tick();
         }
@@ -423,40 +474,73 @@ impl<'a> Simulation<'a> {
     /// time accounting happen. Such ticks can be advanced in bulk by
     /// [`Simulation::advance_span`] with byte-identical observables.
     /// Returns 0 when the current tick must run the reference path.
-    fn quiescent_span(&self) -> u64 {
+    ///
+    /// The returned [`HorizonCause`] names the bound that won the argmin
+    /// (ties keep the earlier-checked bound), feeding the deterministic
+    /// horizon accounting behind `qz profile`'s "why is this run slow"
+    /// ranking.
+    fn quiescent_span(&self) -> (u64, HorizonCause) {
         // An installed adversary draws from its fault streams every
         // tick, so every tick is a potential fault trigger: the horizon
         // collapses and the reference loop runs (see qz-check QZ070 for
         // the analogous config-induced collapses).
         if self.fault.is_some() {
-            return 0;
+            return (0, HorizonCause::FaultCollapse);
         }
         let on = self.state == DeviceState::On;
         // A powered-on idle device with queued inputs invokes the
         // scheduler — and its estimator/controller updates — every tick.
         if on && self.job.is_none() && !self.buffer.is_idle() {
-            return 0;
+            return (0, HorizonCause::BusyScheduler);
         }
         let t = self.now.as_millis();
         // The first tick that must run the reference path. Seeded with
         // the horizon's final tick (it fires the termination check) and
-        // pulled closer by every other pending boundary.
+        // pulled closer by every other pending boundary; each strict
+        // improvement also takes over the blame for the collapse.
         let mut next_event = self.horizon.as_millis().saturating_sub(1);
+        let mut cause = HorizonCause::HorizonEnd;
+        let pull = |next_event: &mut u64, cause: &mut HorizonCause, at: u64, c: HorizonCause| {
+            if at < *next_event {
+                *next_event = at;
+                *cause = c;
+            }
+        };
         if self.job.is_none() && self.buffer.is_idle() {
             // Fully drained: the tick ending at `events_end` terminates.
-            next_event = next_event.min(self.events_end.as_millis().saturating_sub(1));
+            pull(
+                &mut next_event,
+                &mut cause,
+                self.events_end.as_millis().saturating_sub(1),
+                HorizonCause::EventsEnd,
+            );
         }
         if self.now < self.events_end {
             let boundary = self.now.next_multiple_of(self.cfg.device.capture_period);
             if boundary < self.events_end {
-                next_event = next_event.min(boundary.as_millis());
+                pull(
+                    &mut next_event,
+                    &mut cause,
+                    boundary.as_millis(),
+                    HorizonCause::CaptureBoundary,
+                );
             }
         }
         if let Some(rec) = &self.recorder {
-            next_event = next_event.min(self.now.next_multiple_of(rec.interval).as_millis());
+            pull(
+                &mut next_event,
+                &mut cause,
+                self.now.next_multiple_of(rec.interval).as_millis(),
+                HorizonCause::TelemetryDue,
+            );
         }
         if self.runtime.observing() {
-            next_event = next_event.min(self.now.next_multiple_of(self.snapshot_every).as_millis());
+            pull(
+                &mut next_event,
+                &mut cause,
+                self.now.next_multiple_of(self.snapshot_every).as_millis(),
+                HorizonCause::SnapshotDue,
+            );
         }
         // Job countdowns only tick while the device is on; while off the
         // job is frozen and only the restore crossing (handled by the
@@ -465,18 +549,28 @@ impl<'a> Simulation<'a> {
             if let Some(j) = &self.job {
                 // The countdown (task, overhead, or tx backoff) reaches
                 // zero — and runs its transition — on tick t + rem − 1.
-                next_event = next_event.min(t + j.remaining.as_millis().saturating_sub(1));
+                pull(
+                    &mut next_event,
+                    &mut cause,
+                    t + j.remaining.as_millis().saturating_sub(1),
+                    HorizonCause::JobCountdown,
+                );
                 if matches!(j.phase, JobPhase::Task(_)) {
                     if let Some(due) = j
                         .keeper
                         .ticks_until_periodic_due(self.cfg.device.checkpoint_policy)
                     {
-                        next_event = next_event.min(t + due);
+                        pull(
+                            &mut next_event,
+                            &mut cause,
+                            t + due,
+                            HorizonCause::CheckpointDue,
+                        );
                     }
                 }
             }
         }
-        next_event.saturating_sub(t)
+        (next_event.saturating_sub(t), cause)
     }
 
     /// Advances `span` provably-quiescent ticks in bulk. Energy flows
@@ -503,7 +597,7 @@ impl<'a> Simulation<'a> {
             let t = self.now;
             let (irr, segment) = self.env.solar().constant_until(t);
             let ticks = left.min(segment.max(1));
-            let out = self.power.advance(
+            let out = self.power.advance_profiled(
                 irr,
                 load,
                 SimDuration::TICK,
@@ -511,6 +605,7 @@ impl<'a> Simulation<'a> {
                 stop,
                 &mut self.metrics.energy_harvested,
                 &mut self.metrics.energy_wasted,
+                &mut self.prof,
             );
             if on {
                 self.metrics.time_on += SimDuration::TICK * out.ticks;
@@ -580,6 +675,13 @@ impl<'a> Simulation<'a> {
 
     /// Advances one 1 ms tick of the reference loop.
     fn step_tick(&mut self) -> bool {
+        let t0 = self.prof.begin();
+        let alive = self.step_tick_inner();
+        self.prof.end(Phase::RefTick, t0);
+        alive
+    }
+
+    fn step_tick_inner(&mut self) -> bool {
         let t = self.now;
         let irr = self.env.solar().irradiance(t);
         // Stamp every event emitted this tick (runtime- and sim-side)
@@ -624,6 +726,7 @@ impl<'a> Simulation<'a> {
             .is_some_and(|rec| (t % rec.interval).is_zero());
         let snapshot_due = self.runtime.observing() && (t % self.snapshot_every).is_zero();
         if recorder_due || snapshot_due {
+            let t_obs = self.prof.begin();
             let sample = TelemetrySample {
                 t,
                 irradiance: irr,
@@ -646,6 +749,7 @@ impl<'a> Simulation<'a> {
                     .telemetry
                     .push(sample);
             }
+            self.prof.end(Phase::ObsEmit, t_obs);
         }
 
         // 4b. Fault hooks: let the adversary observe the tick and decide
@@ -1009,7 +1113,9 @@ impl<'a> Simulation<'a> {
         // slot held — IBO pressure keeps building) and retry at expiry.
         if let Some(port) = self.uplink.as_mut() {
             if is_transmit {
+                let t0 = self.prof.begin();
                 let decision = port.sense(t, duration);
+                self.prof.end(Phase::UplinkSense, t0);
                 match decision {
                     TxDecision::Grant { airtime } => {
                         self.metrics.tx_grants += 1;

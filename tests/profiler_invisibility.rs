@@ -1,0 +1,129 @@
+//! Profiling must be provably invisible: arming the `qz-prof` phase
+//! profiler, the horizon-cause accounting, or a flight-recorder ring
+//! must not change a single simulated bit. Each test runs the same
+//! seeded configuration with observability on and off and demands
+//! byte-for-byte identical outputs — metrics on the single-device
+//! engines, the full JSON report on the fleet coordinator.
+//!
+//! A failure here means an instrumentation path leaked into simulation
+//! state (e.g. a profiler span that skips work when disabled, or an
+//! observer that mutates what it observes). That is always a bug, never
+//! a re-baseline.
+
+use qz_app::{apollo4, msp430fr5994, profile_run, simulate, SimTweaks};
+use qz_baselines::BaselineKind;
+use qz_fleet::{run_fleet, run_fleet_profiled, Executor, FleetConfig};
+use qz_sim::EngineKind;
+use qz_traces::{EnvironmentKind, SensingEnvironment};
+
+const SEED: u64 = 77_031;
+
+fn tweaks(engine: EngineKind) -> SimTweaks {
+    SimTweaks {
+        seed: SEED,
+        engine,
+        ..SimTweaks::default()
+    }
+}
+
+/// Profiler + horizon accounting on vs off, both engines, both device
+/// profiles: end-of-run metrics must be equal.
+#[test]
+fn profiled_run_metrics_match_plain_run() {
+    for engine in [EngineKind::Tick, EngineKind::FastForward] {
+        for (profile, label) in [(apollo4(), "apollo4"), (msp430fr5994(), "msp430")] {
+            let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 30, SEED);
+            let plain = simulate(BaselineKind::Quetzal, &profile, &env, &tweaks(engine));
+            let profiled =
+                profile_run(BaselineKind::Quetzal, &profile, &env, &tweaks(engine), None);
+            assert_eq!(
+                plain,
+                profiled.metrics,
+                "profiler changed {label} metrics under the {} engine",
+                engine.label()
+            );
+            assert!(
+                !profiled.report.phases.is_empty(),
+                "profiled run produced no phase stats — profiling silently off"
+            );
+        }
+    }
+}
+
+/// Installing the flight-recorder ring (which also turns on periodic
+/// snapshot emission) must not change metrics either — on both
+/// engines, so the snapshot-due horizon bound is exercised.
+#[test]
+fn flight_recorder_does_not_change_metrics() {
+    let profile = apollo4();
+    let env = SensingEnvironment::generate(EnvironmentKind::LessCrowded, 30, SEED);
+    for engine in [EngineKind::Tick, EngineKind::FastForward] {
+        let plain = simulate(BaselineKind::Quetzal, &profile, &env, &tweaks(engine));
+        let meta = qz_prof::FlightMeta {
+            source: "profiler_invisibility test".into(),
+            repro: "cargo test -p qz-bench --test profiler_invisibility".into(),
+        };
+        let flown = profile_run(
+            BaselineKind::Quetzal,
+            &profile,
+            &env,
+            &tweaks(engine),
+            Some(meta),
+        );
+        assert_eq!(
+            plain,
+            flown.metrics,
+            "flight recorder changed metrics under the {} engine",
+            engine.label()
+        );
+        let handle = flown.flight.expect("flight handle returned");
+        assert!(
+            handle
+                .dump_json()
+                .starts_with("{\"schema\":\"qz-flight/v1\""),
+            "flight dump lost its schema header"
+        );
+    }
+}
+
+/// Fleet coordinator: the profiled run must emit a byte-identical
+/// report. `FleetReport::to_json` has no non-deterministic fields, so
+/// string equality is the strongest possible check.
+#[test]
+fn fleet_profiled_report_is_byte_identical() {
+    let cfg = FleetConfig {
+        devices: 5,
+        events: 12,
+        fleet_seed: SEED,
+        ..FleetConfig::default()
+    };
+    let plain = run_fleet(&cfg, Executor::new(2)).expect("fleet runs");
+    let (profiled, profile) = run_fleet_profiled(&cfg, Executor::new(2)).expect("fleet runs");
+    assert_eq!(
+        plain.to_json(),
+        profiled.to_json(),
+        "fleet profiling changed the report"
+    );
+    assert!(
+        !profile.profiler.report().phases.is_empty(),
+        "fleet profile came back empty — profiling silently off"
+    );
+    assert!(
+        !profile.horizon.is_empty(),
+        "fleet horizon accounting came back empty"
+    );
+}
+
+/// The disabled profiler (the default) reports nothing: the compiled-in
+/// spans must stay no-ops unless explicitly armed.
+#[test]
+fn disabled_profiler_records_nothing() {
+    let mut prof = qz_prof::PhaseProfiler::disabled();
+    let started = prof.begin();
+    assert!(started.is_none(), "disabled profiler read the clock");
+    prof.end(qz_prof::Phase::Sprint, started);
+    assert!(
+        prof.report().phases.is_empty(),
+        "disabled profiler recorded a span"
+    );
+}
