@@ -20,7 +20,7 @@ echo "== test-count guard =="
 # The suite must never silently shrink (a deleted [[test]] stanza or a
 # dropped module compiles fine and loses coverage without failing CI).
 # Raise the floor when tests are added; never lower it casually.
-test_floor=745
+test_floor=802
 test_count=$(cargo test -q --workspace -- --list 2>/dev/null | grep -c ': test$')
 echo "   ${test_count} tests (floor ${test_floor})"
 if [ "${test_count}" -lt "${test_floor}" ]; then
@@ -28,10 +28,34 @@ if [ "${test_count}" -lt "${test_floor}" ]; then
     exit 1
 fi
 
+echo "== qz lint-src: workspace determinism lint =="
+# No nondeterminism hazards (hash iteration, wall-clock reads, thread
+# identity, parallel reductions) outside the reviewed lint-allow.txt
+# entries anywhere under crates/*/src.
+cargo run -q --bin qz -- lint-src
+
 echo "== qz check: preset sweep (deny warnings) =="
 # Every shipped preset on both devices must be error- and warning-free,
 # except the intentional MSP430 QZ011 regime (see EXPERIMENTS.md).
 cargo run -q --bin qz -- check --deny-warnings --allow QZ011
+
+echo "== qz verify: envelope proofs + a caught refutation =="
+# The abstract interpreter must PROVE both properties (no stall, no
+# overflow) for the full preset sweep on the Quiet scene —
+# --deny-unproven turns any UNKNOWN or REFUTED verdict into a CI
+# failure. Conversely, on the Crowded scene even Quetzal overflows
+# under the envelope's floor corner (crowded scenes discard frames by
+# design), so verify must exit nonzero there AND print a runnable
+# single-line repro — the directed-search contract, end to end.
+cargo run -q --bin qz -- verify --env quiet --events 12 \
+    --deny-unproven > /dev/null
+if verify_out=$(cargo run -q --bin qz -- verify --system QZ --device apollo4 \
+    --env crowded --events 40 2>/dev/null); then
+    echo "verify failed to refute the crowded overflow" >&2
+    exit 1
+fi
+grep -q "REFUTED" <<< "${verify_out}"
+grep -q "repro: qz run .* --solar floor" <<< "${verify_out}"
 
 echo "== qz fleet: smoke run + thread-count determinism =="
 # A small fleet must complete, and the JSON report must be byte-identical

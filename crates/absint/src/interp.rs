@@ -1,0 +1,801 @@
+//! The abstract interpreter: a window-by-window transfer function over
+//! the box domain, plus verdicts and the directed counterexample search.
+//!
+//! # Abstraction
+//!
+//! The concrete system is `qz_sim::Simulation`: a 1 ms-tick state
+//! machine over (stored energy, buffer occupancy, device on/off,
+//! scheduler state). The interpreter abstracts it one *capture window*
+//! at a time — the window starting at `t = k·P` covers `[k·P, (k+1)·P)`
+//! where `P` is the capture period — because arrivals, frame costs and
+//! the paper's service-rate reasoning all live on that grid.
+//!
+//! The abstract state is a box:
+//!
+//! - `e`  — stored energy, Q16.16 millijoules ([`EnergyInterval`]). The
+//!   lower bound may go negative (physically the capacitor floors at
+//!   zero, so a negative bound is trivially sound); keeping the raw
+//!   arithmetic value avoids the clamp-at-zero timing unsoundness where
+//!   an early over-deduction would be forgotten and the adversary could
+//!   re-spend it later.
+//! - `occ` — buffer occupancy, fractional bounds ([`OccInterval`]),
+//!   discretized only at read time.
+//! - `slack_mj` — the greedy-spend *service budget*: an upper bound on
+//!   the service energy any feasible trajectory can still spend. Each
+//!   arrival credits `e_input_hi`; each guarded window debits the
+//!   greedy spend. Whenever the capacitor provably refills (the charge
+//!   clamp binds on the lower bound) the budget re-anchors to the
+//!   backlog bound `occ_hi · e_input_hi`, which is independently sound.
+//! - `head_owed_ms` — the *head-work allowance*: before the drain floor
+//!   may credit a single completion, the scheduler must be granted time
+//!   to finish every buffered input's non-final pipeline stages. The
+//!   scheduler is work-conserving but free to interleave stages across
+//!   inputs (SJF can run input 2's classifier before input 1's radio),
+//!   so inputs release slots only after up to `occ_hi · t_head_hi` of
+//!   head work plus one interrupted-stage replay. The allowance is
+//!   charged from the occupancy bound whenever a *drain run* — a
+//!   maximal sequence of guarded, arrival-free windows — begins, and
+//!   consumed before completions are credited at `1/t_input_hi`.
+//!
+//! # The guard
+//!
+//! A window is *guarded* when the lower energy bound survives the
+//! worst-case window drain with margin above the checkpoint reserve and
+//! starts above the turn-on threshold. Guarded windows provably have no
+//! power failure, so the device is on throughout, the work-conserving
+//! scheduler drains the buffer during arrival-free windows (after the
+//! head allowance), and per-input spend is bounded by the budget.
+//! Unguarded windows drop the floor, spend at the raw rate cap (replays
+//! under non-JIT policies may exceed the backlog budget), and pay
+//! restart-cycle overhead. Windows *with* arrivals never credit the
+//! occupancy upper bound: completions during them only help.
+
+use crate::envelope::HarvestEnvelope;
+use crate::interval::{q16_ceil, q16_floor, EnergyInterval, OccInterval};
+use crate::model::AbsModel;
+use qz_traces::EventTrace;
+use qz_types::{SimTime, Q16};
+
+/// Guard margin in millijoules, absorbing intra-window ordering effects
+/// (the frame cost lands at the boundary, drains interleave with
+/// harvest at tick granularity).
+pub const GUARD_MARGIN_MJ: f64 = 0.25;
+
+/// Drain-tail windows stepped exactly before widening kicks in.
+const WIDEN_DELAY: usize = 4;
+
+/// Abstract state at a window boundary (sampled *before* the boundary
+/// tick runs, matching `Simulation::step_until(t)`).
+#[derive(Debug, Clone)]
+pub struct AbsState {
+    /// Stored energy bounds, mJ.
+    pub e: EnergyInterval,
+    /// Buffer occupancy bounds (fractional).
+    pub occ: OccInterval,
+    /// Remaining greedy-spend service budget, mJ.
+    pub slack_mj: f64,
+    /// Outstanding head-work allowance for the live drain run, ms.
+    pub head_owed_ms: f64,
+    /// Whether a drain run (guarded, arrival-free windows) is live —
+    /// the head allowance was charged and not invalidated since.
+    drain_live: bool,
+}
+
+impl AbsState {
+    /// The initial concrete state, abstracted exactly: capacitor full,
+    /// buffer empty, no backlog credit.
+    pub fn initial(model: &AbsModel) -> AbsState {
+        AbsState {
+            e: EnergyInterval::point(model.init_mj),
+            occ: OccInterval::point(0.0),
+            slack_mj: 0.0,
+            head_owed_ms: 0.0,
+            drain_live: false,
+        }
+    }
+
+    fn subsumed_by(&self, other: &AbsState) -> bool {
+        // A dead drain run recharges the (maximal) allowance on its
+        // next window, so it over-approximates any live run; a live run
+        // subsumes only a live run with no larger an allowance left.
+        let drain_ok = !other.drain_live
+            || (self.drain_live && other.head_owed_ms + 1e-9 >= self.head_owed_ms);
+        self.e.subsumed_by(other.e)
+            && self.occ.subsumed_by(other.occ)
+            && self.slack_mj <= other.slack_mj + 1e-9
+            && drain_ok
+    }
+
+    fn widen(&self, previous: &AbsState, model: &AbsModel) -> AbsState {
+        let extreme = EnergyInterval {
+            lo: Q16::MIN,
+            hi: q16_ceil(model.cap_mj),
+        };
+        AbsState {
+            e: self.e.widen(previous.e, extreme),
+            occ: self.occ.widen(previous.occ, occ_cap(model)),
+            slack_mj: if self.slack_mj > previous.slack_mj {
+                occ_cap(model).min(1e9) * model.e_input_hi_mj
+            } else {
+                self.slack_mj
+            },
+            head_owed_ms: if self.head_owed_ms > previous.head_owed_ms {
+                occ_cap(model).min(1e9) * model.t_head_hi_ms + model.t_input_hi_ms
+            } else {
+                self.head_owed_ms
+            },
+            // `false` is the conservative pole: the next drain window
+            // recharges the full allowance.
+            drain_live: self.drain_live && previous.drain_live,
+        }
+    }
+}
+
+fn occ_cap(model: &AbsModel) -> f64 {
+    if model.buffer_capacity == usize::MAX {
+        f64::INFINITY
+    } else {
+        // Buffer capacities are small CLI knobs, far below 2^52.
+        #[allow(clippy::cast_precision_loss)]
+        {
+            model.buffer_capacity as f64
+        }
+    }
+}
+
+/// Per-window outcome flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowFlags {
+    /// The window was guarded (provably failure-free).
+    pub guard_ok: bool,
+    /// An arriving input may have found the buffer full.
+    pub overflow_possible: bool,
+    /// A restart-thrash energy stall may have begun here.
+    pub stall_possible: bool,
+}
+
+/// One step of the transfer function over the window starting at
+/// `t`. `frame` says whether the capture boundary fires (it stops at
+/// the end of the event trace); `arrival` whether a changed frame
+/// arrives; `irr` is the envelope's irradiance band over the window.
+pub fn step_window(
+    model: &AbsModel,
+    st: &mut AbsState,
+    frame: bool,
+    arrival: bool,
+    irr: (f64, f64),
+) -> WindowFlags {
+    let p_s = to_f64_ms(model.capture_period_ms) / 1e3;
+    let p_ms = to_f64_ms(model.capture_period_ms);
+    let cap_occ = occ_cap(model);
+
+    // 1. Frame cost at the boundary: capture + diff every frame,
+    //    compress on changed (arriving) frames even when discarded.
+    let fe = if frame {
+        model.frame_mj + if arrival { model.compress_mj } else { 0.0 }
+    } else {
+        0.0
+    };
+
+    // 2. Arrival admission. The event schedule is exact, so both bounds
+    //    move together; the store clamps at capacity.
+    let overflow_possible =
+        arrival && st.occ.hi_int(model.buffer_capacity) >= model.buffer_capacity;
+    let a = if arrival { 1.0 } else { 0.0 };
+    let occ_arr = OccInterval {
+        lo: (st.occ.lo + a).min(cap_occ),
+        hi: (st.occ.hi + a).min(cap_occ),
+    };
+    if arrival {
+        st.slack_mj += model.e_input_hi_mj;
+    }
+
+    // 3. The service budget for this window: remaining credit, capped
+    //    by the backlog bound (an in-flight input's remaining spend is
+    //    below e_input_hi and it still occupies a slot, so the product
+    //    bounds every feasible trajectory's remaining service energy).
+    let backlog_bound = to_occ_f64(occ_arr.hi_int(model.buffer_capacity)) * model.e_input_hi_mj;
+    let wb = st.slack_mj.min(backlog_bound).max(0.0);
+
+    // 4. Harvest band over the window.
+    let (p_lo_mw, p_hi_mw) = model.harvest_bounds_mw(irr.0, irr.1);
+    let in_lo = p_lo_mw * p_s;
+    let in_hi = p_hi_mw * p_s;
+
+    // 5. Periodic checkpoints tax active execution; active time within
+    //    a window is at most the window itself.
+    let periodic_tax = match model.policy {
+        qz_sim::CheckpointPolicy::Periodic { interval } => {
+            let iv = interval.as_seconds().value().max(1e-3);
+            model.ckpt_mj * (p_s / iv + 1.0)
+        }
+        _ => 0.0,
+    };
+
+    // 6. The guard: worst-case drain (greedy spend included) keeps the
+    //    lower bound above the reserve, and the window starts at or
+    //    above turn-on so the device is on (or restores immediately).
+    let rate_cap = model.p_exe_hi_mw * p_s;
+    let spend_budget = rate_cap.min(wb);
+    let guard_drain = fe
+        + (model.sleep_mw + model.leak_mw) * p_s
+        + spend_budget
+        + periodic_tax
+        + model.restore_mj;
+    let guard_ok = st.e.lo_mj() >= model.turn_on_mj
+        && st.e.lo_mj() - guard_drain > model.reserve_mj + GUARD_MARGIN_MJ;
+
+    // 7. Stall flag: only unguarded windows can power-fail, only
+    //    pending work replays, and only non-JIT policies lose progress.
+    let work_possible = arrival || occ_arr.hi_int(model.buffer_capacity) > 0;
+    let stall_possible = !guard_ok && work_possible && model.stall_possible_at(p_lo_mw);
+
+    // 8. Service bounds. The drain floor applies only to guarded,
+    //    arrival-free windows of a work-conserving system: the device
+    //    is provably on, nothing new arrives, so after the head-work
+    //    allowance (every buffered input's non-final stages plus one
+    //    interrupted-stage replay, chargeable because the scheduler may
+    //    interleave stages across inputs without releasing a slot) the
+    //    buffer drains at 1/t_input_hi. Arrival windows never credit
+    //    the upper bound — completions during them only help. The
+    //    service ceiling applies always (the device may be on and
+    //    retiring inputs at the fastest rate).
+    let mut s_min = 0.0;
+    if guard_ok && !arrival && model.work_conserving {
+        if !st.drain_live {
+            st.head_owed_ms = occ_arr.hi * model.t_head_hi_ms + model.t_input_hi_ms;
+            st.drain_live = true;
+        }
+        let usable = (p_ms - st.head_owed_ms).max(0.0);
+        st.head_owed_ms = (st.head_owed_ms - p_ms).max(0.0);
+        s_min = usable / model.t_input_hi_ms;
+    } else {
+        st.drain_live = false;
+    }
+    let s_max = p_ms / model.t_input_lo_ms;
+    let occ_new = OccInterval {
+        lo: (occ_arr.lo - s_max).max(0.0),
+        hi: (occ_arr.hi - s_min).max(0.0),
+    };
+
+    // 9. Energy spend for the lower bound. Guarded windows spend the
+    //    greedy budget (and debit it); unguarded windows may replay
+    //    lost progress, so the budget is neither trusted nor debited —
+    //    the raw rate cap applies, plus restart-cycle overhead (each
+    //    off→on cycle recovers `cycle_gap` of charge and pays a restore,
+    //    JIT additionally a checkpoint per failure).
+    let (spend_hi, cycle_tax) = if guard_ok {
+        st.slack_mj = (st.slack_mj - spend_budget).max(0.0);
+        (spend_budget, 0.0)
+    } else {
+        let per_cycle = model.restore_mj
+            + match model.policy {
+                qz_sim::CheckpointPolicy::JustInTime => model.ckpt_mj,
+                _ => 0.0,
+            };
+        let tax = if model.cycle_gap_mj > 1e-9 {
+            per_cycle * (1.0 + (in_hi / model.cycle_gap_mj).ceil())
+        } else {
+            f64::INFINITY
+        };
+        (rate_cap, tax)
+    };
+
+    // 10. Energy transfer, outward-rounded. The charge clamp commutes
+    //     with the bounds (min is monotone); when it binds on the lower
+    //     bound the capacitor provably refilled, so the spend budget
+    //     re-anchors to the backlog bound.
+    let cap = model.cap_mj;
+    let d_max = fe
+        + (model.sleep_mw.max(model.off_mw) + model.leak_mw) * p_s
+        + spend_hi
+        + periodic_tax
+        + model.restore_mj
+        + cycle_tax;
+    let d_min = fe + model.sleep_mw.min(model.off_mw) * p_s;
+    let charged_lo = st.e.lo_mj() + in_lo;
+    if charged_lo >= cap {
+        st.slack_mj = st.slack_mj.min(backlog_bound);
+    }
+    let e_lo = charged_lo.min(cap) - d_max;
+    let e_hi = (st.e.hi_mj() + in_hi - d_min).min(cap).max(e_lo);
+    st.e = EnergyInterval {
+        lo: q16_floor(e_lo),
+        hi: q16_ceil(e_hi),
+    };
+    st.occ = occ_new;
+
+    WindowFlags {
+        guard_ok,
+        overflow_possible,
+        stall_possible,
+    }
+}
+
+fn to_f64_ms(ms: u64) -> f64 {
+    // Capture periods are seconds-scale; far below 2^52 ms.
+    #[allow(clippy::cast_precision_loss)]
+    {
+        ms as f64
+    }
+}
+
+fn to_occ_f64(occ: usize) -> f64 {
+    if occ == usize::MAX {
+        return f64::INFINITY;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        occ as f64
+    }
+}
+
+/// State snapshot at one window start.
+#[derive(Debug, Clone)]
+pub struct WindowRecord {
+    /// Window start time (a capture boundary).
+    pub t: SimTime,
+    /// Energy bounds before the boundary tick.
+    pub e: EnergyInterval,
+    /// Occupancy bounds before the boundary tick.
+    pub occ: OccInterval,
+    /// Flags produced by stepping this window.
+    pub flags: WindowFlags,
+}
+
+/// Result of interpreting a full run (event phase + drain tail).
+#[derive(Debug, Clone)]
+pub struct AbsRun {
+    /// Per-window records, in time order, up to the drain fixpoint.
+    pub windows: Vec<WindowRecord>,
+    /// Window starts where an overflow is possible.
+    pub overflow_at: Vec<SimTime>,
+    /// Window starts where a restart-thrash stall is possible.
+    pub stall_at: Vec<SimTime>,
+    /// Time at which the drain tail reached a stable (post-widening)
+    /// state, if it did before the horizon.
+    pub drain_fixpoint: Option<SimTime>,
+    /// Final abstract state (the fixpoint hull, when one was reached).
+    pub final_state: AbsState,
+}
+
+/// Runs the interpreter over an exact event schedule under a harvest
+/// envelope, then over the drain tail of `drain_ms` (no frames, no
+/// arrivals) with widening to a fixpoint.
+pub fn interpret(
+    model: &AbsModel,
+    env: &HarvestEnvelope,
+    events: &EventTrace,
+    drain_ms: u64,
+) -> AbsRun {
+    let p_ms = model.capture_period_ms;
+    let events_end = events.end();
+    let mut st = AbsState::initial(model);
+    let mut windows = Vec::new();
+    let mut overflow_at = Vec::new();
+    let mut stall_at = Vec::new();
+
+    // Event phase: one window per capture boundary.
+    let mut t_ms = 0u64;
+    while t_ms < events_end.as_millis() {
+        let t = SimTime::from_millis(t_ms);
+        let arrival = events.active_at(t).is_some();
+        let irr = env.bounds_over(t, p_ms);
+        let before = st.clone();
+        let flags = step_window(model, &mut st, true, arrival, irr);
+        windows.push(WindowRecord {
+            t,
+            e: before.e,
+            occ: before.occ,
+            flags,
+        });
+        if flags.overflow_possible {
+            overflow_at.push(t);
+        }
+        if flags.stall_possible {
+            stall_at.push(t);
+        }
+        t_ms += p_ms;
+    }
+
+    // Drain tail: constant conditions (hull of the whole envelope, no
+    // frames). Step a few windows exactly, then widen; once the state
+    // is a post-fixpoint (stepping it stays inside it), every remaining
+    // window repeats the same flags and the loop stops early.
+    let horizon = events_end.as_millis() + drain_ms;
+    let irr = env.global_bounds();
+    let mut drain_fixpoint = None;
+    let mut drain_steps = 0usize;
+    while t_ms < horizon {
+        let t = SimTime::from_millis(t_ms);
+        let before = st.clone();
+        let flags = step_window(model, &mut st, false, false, irr);
+        if drain_steps >= WIDEN_DELAY {
+            st = st.widen(&before, model);
+            let mut probe = st.clone();
+            let probe_flags = step_window(model, &mut probe, false, false, irr);
+            if probe.subsumed_by(&st) {
+                // Invariant found: the remaining windows all carry
+                // `probe_flags`. Record one representative.
+                if probe_flags.stall_possible {
+                    stall_at.push(t);
+                }
+                windows.push(WindowRecord {
+                    t,
+                    e: before.e,
+                    occ: before.occ,
+                    flags: probe_flags,
+                });
+                drain_fixpoint = Some(t);
+                break;
+            }
+        }
+        windows.push(WindowRecord {
+            t,
+            e: before.e,
+            occ: before.occ,
+            flags,
+        });
+        if flags.stall_possible {
+            stall_at.push(t);
+        }
+        drain_steps += 1;
+        t_ms += p_ms;
+    }
+
+    AbsRun {
+        windows,
+        overflow_at,
+        stall_at,
+        drain_fixpoint,
+        final_state: st,
+    }
+}
+
+/// The two properties `qz verify` decides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Property {
+    /// "No input-buffer overflow": no arriving frame is ever discarded.
+    Overflow,
+    /// "No energy stall": no restart-thrash livelock where interrupted
+    /// work replays forever without completing.
+    Stall,
+}
+
+impl Property {
+    /// Stable lower-case token for CLI/JSON output.
+    pub fn token(self) -> &'static str {
+        match self {
+            Property::Overflow => "overflow",
+            Property::Stall => "stall",
+        }
+    }
+}
+
+/// Which realized solar trace a concrete (counterexample) run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolarMode {
+    /// The seeded realization itself.
+    Trace,
+    /// The envelope's lower corner ([`HarvestEnvelope::floor_trace`]).
+    Floor,
+    /// The envelope's upper corner ([`HarvestEnvelope::ceil_trace`]).
+    Ceil,
+}
+
+impl SolarMode {
+    /// Stable token, also accepted by `qz run --solar`.
+    pub fn token(self) -> &'static str {
+        match self {
+            SolarMode::Trace => "trace",
+            SolarMode::Floor => "floor",
+            SolarMode::Ceil => "ceil",
+        }
+    }
+
+    /// Parses a `--solar` token.
+    pub fn parse(s: &str) -> Option<SolarMode> {
+        match s {
+            "trace" => Some(SolarMode::Trace),
+            "floor" => Some(SolarMode::Floor),
+            "ceil" => Some(SolarMode::Ceil),
+            _ => None,
+        }
+    }
+}
+
+/// What a directed concrete run observed (a `Metrics` digest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcreteObservation {
+    /// Frames discarded by input-buffer overflow.
+    pub ibo_discards: u64,
+    /// Power failures over the run.
+    pub power_failures: u64,
+    /// Reports delivered (all interest/quality classes).
+    pub reports: u64,
+    /// Inputs that passed pre-filtering.
+    pub arrivals: u64,
+}
+
+impl ConcreteObservation {
+    /// Digests a finished run's metrics.
+    pub fn from_metrics(m: &qz_sim::Metrics) -> ConcreteObservation {
+        ConcreteObservation {
+            ibo_discards: m.ibo_discards,
+            power_failures: m.power_failures,
+            reports: m.reports_interesting_high
+                + m.reports_interesting_low
+                + m.reports_uninteresting_high
+                + m.reports_uninteresting_low,
+            arrivals: m.arrivals,
+        }
+    }
+
+    /// `true` when the observation is a concrete witness of the
+    /// property's violation.
+    pub fn witnesses(&self, prop: Property) -> bool {
+        match prop {
+            Property::Overflow => self.ibo_discards > 0,
+            // Work arrived, the device power-failed, and not one report
+            // ever landed: the pipeline replayed without completing —
+            // the same operational stall the qz-fault oracle pins.
+            Property::Stall => self.power_failures > 0 && self.reports == 0 && self.arrivals > 0,
+        }
+    }
+}
+
+/// Verification verdict for one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The abstract run excludes every violation: holds for every
+    /// harvest realization inside the envelope.
+    Proven,
+    /// A directed concrete run violated the property.
+    Refuted {
+        /// Which corner of the envelope witnessed it.
+        mode: SolarMode,
+    },
+    /// The abstraction flags a possible violation but no directed run
+    /// confirmed it: unreachable under the envelope so far.
+    Unknown {
+        /// Human-readable description of the first blocking interval.
+        blocking: String,
+    },
+}
+
+impl Verdict {
+    /// Stable upper-case token for CLI/JSON output.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Verdict::Proven => "PROVEN",
+            Verdict::Refuted { .. } => "REFUTED",
+            Verdict::Unknown { .. } => "UNKNOWN",
+        }
+    }
+
+    /// `true` for [`Verdict::Proven`].
+    pub fn is_proven(&self) -> bool {
+        matches!(self, Verdict::Proven)
+    }
+}
+
+/// Decides one property from an abstract run, driving a directed
+/// concrete search through `concrete` when the abstraction flags a
+/// possible violation. `concrete` runs the realized simulation under
+/// the given solar mode and digests its metrics; returning `None`
+/// skips that candidate.
+pub fn decide<F>(run: &AbsRun, prop: Property, mut concrete: F) -> Verdict
+where
+    F: FnMut(SolarMode) -> Option<ConcreteObservation>,
+{
+    let flagged = match prop {
+        Property::Overflow => &run.overflow_at,
+        Property::Stall => &run.stall_at,
+    };
+    let Some(&first) = flagged.first() else {
+        return Verdict::Proven;
+    };
+    // The violating abstract corner is lowest-harvest for both
+    // properties (less service, more failures), so the floor corner
+    // leads the search.
+    for mode in [SolarMode::Floor, SolarMode::Trace, SolarMode::Ceil] {
+        if let Some(obs) = concrete(mode) {
+            if obs.witnesses(prop) {
+                return Verdict::Refuted { mode };
+            }
+        }
+    }
+    let record = run
+        .windows
+        .iter()
+        .find(|w| w.t == first)
+        .expect("flagged window has a record");
+    Verdict::Unknown {
+        blocking: format!(
+            "first flagged window t={}s: energy in [{:.3}, {:.3}] mJ, occupancy in [{}, {}]; \
+             directed search (floor/trace/ceil corners) found no witness",
+            first.as_millis() / 1000,
+            record.e.lo_mj(),
+            record.e.hi_mj(),
+            record.occ.lo_int(),
+            record.occ.hi_int(usize::MAX),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AbsModel;
+    use quetzal::model::{AppSpec, AppSpecBuilder, TaskCost};
+    use qz_sim::{CheckpointPolicy, DeviceConfig, PowerConfig};
+    use qz_traces::{Event, EventTrace, SolarTrace};
+    use qz_types::{Seconds, SimDuration, Watts};
+
+    fn spec() -> AppSpec {
+        let mut b = AppSpecBuilder::new();
+        let ml = b
+            .degradable_task("ml")
+            .option("high", TaskCost::new(Seconds(0.5), Watts(0.005)))
+            .option("low", TaskCost::new(Seconds(0.05), Watts(0.004)))
+            .finish()
+            .expect("ml task");
+        let tx = b
+            .fixed_task("tx", TaskCost::new(Seconds(0.4), Watts(0.050)))
+            .expect("tx task");
+        b.job("process", vec![ml]).expect("process job");
+        b.job("report", vec![tx]).expect("report job");
+        b.build().expect("valid spec")
+    }
+
+    fn model() -> AbsModel {
+        AbsModel::new(&spec(), &DeviceConfig::default(), &PowerConfig::default())
+    }
+
+    fn burst_events(n: u64) -> EventTrace {
+        // One n-second event starting at t=10s: n arrivals.
+        EventTrace::from_events(vec![Event {
+            start: SimTime::from_secs(10),
+            duration: SimDuration::from_secs(n),
+            interesting: true,
+        }])
+    }
+
+    #[test]
+    fn initial_state_is_full_and_empty() {
+        let m = model();
+        let st = AbsState::initial(&m);
+        assert!(st.e.contains_mj(m.init_mj));
+        assert!(st.occ.contains(0));
+    }
+
+    #[test]
+    fn strong_harvest_proves_a_small_burst() {
+        let m = model();
+        let env = HarvestEnvelope::from_trace(&SolarTrace::constant(0.55), 60);
+        let run = interpret(&m, &env, &burst_events(6), 120_000);
+        assert!(run.overflow_at.is_empty(), "overflow flagged: {run:?}");
+        assert!(run.stall_at.is_empty());
+        // Energy bounds never leave the physical range by more than
+        // the drain tail's pessimism.
+        for w in &run.windows {
+            assert!(w.e.hi_mj() <= m.cap_mj + 0.01);
+        }
+    }
+
+    #[test]
+    fn zero_harvest_eventually_drops_the_guard() {
+        let m = model();
+        let env = HarvestEnvelope::from_trace(&SolarTrace::constant(0.0), 60);
+        let run = interpret(&m, &env, &burst_events(200), 60_000);
+        assert!(run.windows.iter().any(|w| !w.flags.guard_ok));
+    }
+
+    #[test]
+    fn full_buffer_without_service_flags_overflow() {
+        let device = DeviceConfig {
+            buffer_capacity: 2,
+            ..DeviceConfig::default()
+        };
+        let m = AbsModel::new(&spec(), &device, &PowerConfig::default());
+        // No harvest: the guard fails once the capacitor drains, the
+        // service floor vanishes, and sustained arrivals must overflow.
+        let env = HarvestEnvelope::from_trace(&SolarTrace::constant(0.0), 60);
+        let run = interpret(&m, &env, &burst_events(600), 0);
+        assert!(!run.overflow_at.is_empty());
+    }
+
+    #[test]
+    fn stall_flags_need_a_non_jit_policy() {
+        let env = HarvestEnvelope::from_trace(&SolarTrace::constant(0.02), 60);
+        let mut power = PowerConfig::default();
+        power.supercap.capacitance = qz_types::Farads(1e-3);
+
+        let jit = AbsModel::new(&spec(), &DeviceConfig::default(), &power);
+        let run = interpret(&jit, &env, &burst_events(60), 30_000);
+        assert!(run.stall_at.is_empty());
+
+        let device = DeviceConfig {
+            checkpoint_policy: CheckpointPolicy::TaskBoundary,
+            ..DeviceConfig::default()
+        };
+        let tb = AbsModel::new(&spec(), &device, &power);
+        let run = interpret(&tb, &env, &burst_events(60), 30_000);
+        assert!(!run.stall_at.is_empty());
+    }
+
+    #[test]
+    fn drain_tail_reaches_a_fixpoint() {
+        let m = model();
+        let env = HarvestEnvelope::from_trace(&SolarTrace::constant(0.55), 60);
+        let run = interpret(&m, &env, &burst_events(3), 1_200_000);
+        assert!(run.drain_fixpoint.is_some(), "no fixpoint: {run:?}");
+        // The fixpoint cut the 1200-window tail short.
+        assert!(run.windows.len() < 100);
+    }
+
+    #[test]
+    fn decide_proves_without_flags() {
+        let m = model();
+        let env = HarvestEnvelope::from_trace(&SolarTrace::constant(0.55), 60);
+        let run = interpret(&m, &env, &burst_events(6), 120_000);
+        let v = decide(&run, Property::Overflow, |_| {
+            panic!("no concrete run needed for a proof")
+        });
+        assert!(v.is_proven());
+    }
+
+    #[test]
+    fn decide_refutes_on_a_concrete_witness() {
+        let device = DeviceConfig {
+            buffer_capacity: 2,
+            ..DeviceConfig::default()
+        };
+        let m = AbsModel::new(&spec(), &device, &PowerConfig::default());
+        let env = HarvestEnvelope::from_trace(&SolarTrace::constant(0.0), 60);
+        let run = interpret(&m, &env, &burst_events(600), 0);
+        let v = decide(&run, Property::Overflow, |mode| {
+            assert_eq!(mode, SolarMode::Floor, "floor corner leads the search");
+            Some(ConcreteObservation {
+                ibo_discards: 5,
+                power_failures: 0,
+                reports: 10,
+                arrivals: 600,
+            })
+        });
+        assert_eq!(
+            v,
+            Verdict::Refuted {
+                mode: SolarMode::Floor
+            }
+        );
+    }
+
+    #[test]
+    fn decide_reports_unknown_with_a_blocking_interval() {
+        let device = DeviceConfig {
+            buffer_capacity: 2,
+            ..DeviceConfig::default()
+        };
+        let m = AbsModel::new(&spec(), &device, &PowerConfig::default());
+        let env = HarvestEnvelope::from_trace(&SolarTrace::constant(0.0), 60);
+        let run = interpret(&m, &env, &burst_events(600), 0);
+        let mut calls = 0;
+        let v = decide(&run, Property::Overflow, |_| {
+            calls += 1;
+            Some(ConcreteObservation {
+                ibo_discards: 0,
+                power_failures: 0,
+                reports: 600,
+                arrivals: 600,
+            })
+        });
+        assert_eq!(calls, 3, "all three corners tried");
+        match v {
+            Verdict::Unknown { blocking } => {
+                assert!(blocking.contains("flagged window"), "{blocking}");
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+}

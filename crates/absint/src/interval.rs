@@ -1,0 +1,297 @@
+//! Interval (box) domains for the abstract interpreter.
+//!
+//! Energy intervals keep their endpoints in Q16.16 fixed point,
+//! denominated in **millijoules** — the same fixed-point format the
+//! MCU-side service estimator uses ([`qz_types::Q16`]). All conversions
+//! from `f64` round *outward* (lower bounds toward −∞, upper bounds
+//! toward +∞), so every interval operation over-approximates the real
+//! arithmetic it abstracts: soundness never hinges on float rounding
+//! direction.
+
+use qz_types::Q16;
+
+/// One Q16.16 step (≈ 15 nJ when the unit is millijoules).
+const ULP: f64 = 1.0 / 65536.0;
+
+/// Converts millijoules to Q16.16, rounding toward −∞ (for lower bounds).
+///
+/// Values outside the representable range saturate to `Q16::MIN`/`MAX`,
+/// which only ever *widens* the interval.
+pub fn q16_floor(mj: f64) -> Q16 {
+    let scaled = (mj / ULP).floor();
+    if scaled <= f64::from(i32::MIN) {
+        Q16::MIN
+    } else if scaled >= f64::from(i32::MAX) {
+        Q16::MAX
+    } else {
+        // Bounds-checked against i32's range just above.
+        #[allow(clippy::cast_possible_truncation)]
+        Q16::from_bits(scaled as i32)
+    }
+}
+
+/// Converts millijoules to Q16.16, rounding toward +∞ (for upper bounds).
+pub fn q16_ceil(mj: f64) -> Q16 {
+    let scaled = (mj / ULP).ceil();
+    if scaled <= f64::from(i32::MIN) {
+        Q16::MIN
+    } else if scaled >= f64::from(i32::MAX) {
+        Q16::MAX
+    } else {
+        // Bounds-checked against i32's range just above.
+        #[allow(clippy::cast_possible_truncation)]
+        Q16::from_bits(scaled as i32)
+    }
+}
+
+/// A closed interval `[lo, hi]` of Q16.16 millijoules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnergyInterval {
+    /// Lower bound (inclusive), Q16.16 mJ.
+    pub lo: Q16,
+    /// Upper bound (inclusive), Q16.16 mJ.
+    pub hi: Q16,
+}
+
+impl EnergyInterval {
+    /// The exact singleton `[v, v]` (outward-rounded to Q16.16).
+    pub fn point(mj: f64) -> EnergyInterval {
+        EnergyInterval {
+            lo: q16_floor(mj),
+            hi: q16_ceil(mj),
+        }
+    }
+
+    /// Builds `[lo, hi]` from millijoule floats, rounding outward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` (after rounding this cannot happen for
+    /// `lo <= hi` inputs).
+    pub fn new(lo_mj: f64, hi_mj: f64) -> EnergyInterval {
+        let iv = EnergyInterval {
+            lo: q16_floor(lo_mj),
+            hi: q16_ceil(hi_mj),
+        };
+        assert!(iv.lo <= iv.hi, "inverted interval [{lo_mj}, {hi_mj}]");
+        iv
+    }
+
+    /// Lower bound in millijoules.
+    pub fn lo_mj(self) -> f64 {
+        self.lo.to_f64()
+    }
+
+    /// Upper bound in millijoules.
+    pub fn hi_mj(self) -> f64 {
+        self.hi.to_f64()
+    }
+
+    /// `true` when `mj` lies inside the interval (with one outward ULP
+    /// of slack, absorbing the f64→Q16 conversion of the query point).
+    pub fn contains_mj(self, mj: f64) -> bool {
+        mj >= self.lo_mj() - ULP && mj <= self.hi_mj() + ULP
+    }
+
+    /// `true` when `self` is entirely inside `other` (subsumption).
+    pub fn subsumed_by(self, other: EnergyInterval) -> bool {
+        self.lo >= other.lo && self.hi <= other.hi
+    }
+
+    /// Smallest interval containing both (the join).
+    pub fn hull(self, other: EnergyInterval) -> EnergyInterval {
+        EnergyInterval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Standard interval widening against the previous iterate: any
+    /// bound that moved jumps to the supplied extreme, guaranteeing the
+    /// fixpoint loop terminates.
+    pub fn widen(self, previous: EnergyInterval, extreme: EnergyInterval) -> EnergyInterval {
+        EnergyInterval {
+            lo: if self.lo < previous.lo {
+                extreme.lo
+            } else {
+                self.lo
+            },
+            hi: if self.hi > previous.hi {
+                extreme.hi
+            } else {
+                self.hi
+            },
+        }
+    }
+
+    /// Clamps both bounds into `[floor, cap]` (the physical range of a
+    /// supercapacitor's usable energy).
+    pub fn clamp(self, floor: Q16, cap: Q16) -> EnergyInterval {
+        EnergyInterval {
+            lo: self.lo.max(floor).min(cap),
+            hi: self.hi.max(floor).min(cap),
+        }
+    }
+}
+
+/// A closed interval over *fractional* buffer occupancy.
+///
+/// The interpreter tracks occupancy with real-valued bounds so a
+/// service floor of e.g. 1/0.92 inputs per window accumulates across
+/// windows without per-window floor() losses. Discretization is paid
+/// once, at read time: the true integer occupancy satisfies
+/// `ceil(lo) - 1 <= occ <= floor(hi) + 1` (see [`OccInterval::lo_int`]
+/// / [`OccInterval::hi_int`]), because a work-conserving busy period
+/// retires at least `floor(T / t_max)` and at most `ceil(T / t_min)`
+/// inputs in time `T`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccInterval {
+    /// Fractional lower bound.
+    pub lo: f64,
+    /// Fractional upper bound.
+    pub hi: f64,
+}
+
+impl OccInterval {
+    /// The exact singleton.
+    pub fn point(occ: f64) -> OccInterval {
+        OccInterval { lo: occ, hi: occ }
+    }
+
+    /// Integer lower bound on true occupancy (discretization slack
+    /// applied).
+    pub fn lo_int(self) -> usize {
+        let v = (self.lo.ceil() - 1.0).max(0.0);
+        // Non-negative and far below 2^52 after the max(0) clamp.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            v as usize
+        }
+    }
+
+    /// Integer upper bound on true occupancy (discretization slack
+    /// applied); saturates at `cap` when finite.
+    pub fn hi_int(self, cap: usize) -> usize {
+        if self.hi >= 1e15 {
+            return cap;
+        }
+        let v = (self.hi.floor() + 1.0).max(0.0);
+        // Non-negative and far below 2^52 after the 1e15 guard.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let v = v as usize;
+        v.min(cap)
+    }
+
+    /// `true` when a concrete integer occupancy is inside the interval
+    /// (with discretization slack).
+    pub fn contains(self, occ: usize) -> bool {
+        // Occupancies are tiny (buffer capacities), well inside f64.
+        #[allow(clippy::cast_precision_loss)]
+        let occ = occ as f64;
+        occ >= self.lo.ceil() - 1.0 && occ <= self.hi.floor() + 1.0
+    }
+
+    /// `true` when `self` is entirely inside `other`.
+    pub fn subsumed_by(self, other: OccInterval) -> bool {
+        self.lo >= other.lo && self.hi <= other.hi
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(self, other: OccInterval) -> OccInterval {
+        OccInterval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Widening: moved bounds jump to the extremes `[0, cap]`.
+    pub fn widen(self, previous: OccInterval, cap: f64) -> OccInterval {
+        OccInterval {
+            lo: if self.lo < previous.lo { 0.0 } else { self.lo },
+            hi: if self.hi > previous.hi { cap } else { self.hi },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outward_rounding_brackets_the_value() {
+        for v in [0.0, 0.1, 1.0 / 3.0, 126.225, -5.5, 1e-9] {
+            assert!(q16_floor(v).to_f64() <= v, "floor({v})");
+            assert!(q16_ceil(v).to_f64() >= v, "ceil({v})");
+            assert!(q16_ceil(v).to_f64() - q16_floor(v).to_f64() <= 2.0 * ULP);
+        }
+    }
+
+    #[test]
+    fn q16_conversion_saturates() {
+        assert_eq!(q16_floor(-1e12), Q16::MIN);
+        assert_eq!(q16_ceil(1e12), Q16::MAX);
+    }
+
+    #[test]
+    fn point_interval_contains_its_value() {
+        let iv = EnergyInterval::point(33.333_333);
+        assert!(iv.contains_mj(33.333_333));
+        assert!(!iv.contains_mj(34.0));
+    }
+
+    #[test]
+    fn hull_and_subsumption() {
+        let a = EnergyInterval::new(1.0, 2.0);
+        let b = EnergyInterval::new(1.5, 3.0);
+        let h = a.hull(b);
+        assert!(a.subsumed_by(h));
+        assert!(b.subsumed_by(h));
+        assert!(!h.subsumed_by(a));
+    }
+
+    #[test]
+    fn widening_jumps_moved_bounds_to_extremes() {
+        let extreme = EnergyInterval::new(0.0, 100.0);
+        let prev = EnergyInterval::new(10.0, 20.0);
+        let grown = EnergyInterval::new(9.0, 25.0);
+        let w = grown.widen(prev, extreme);
+        assert_eq!(w.lo, extreme.lo);
+        assert_eq!(w.hi, extreme.hi);
+        // A stable iterate is untouched.
+        let stable = EnergyInterval::new(11.0, 19.0);
+        assert_eq!(stable.widen(prev, extreme), stable);
+    }
+
+    #[test]
+    fn clamp_respects_physical_range() {
+        let iv = EnergyInterval::new(-5.0, 500.0);
+        let c = iv.clamp(q16_floor(0.0), q16_ceil(126.225));
+        assert!(c.lo_mj() >= 0.0);
+        assert!(c.hi_mj() <= 126.226);
+    }
+
+    #[test]
+    fn occ_discretization_slack() {
+        let iv = OccInterval { lo: 2.4, hi: 4.6 };
+        assert_eq!(iv.lo_int(), 2);
+        assert_eq!(iv.hi_int(10), 5);
+        assert!(iv.contains(2));
+        assert!(iv.contains(5));
+        assert!(!iv.contains(7));
+    }
+
+    #[test]
+    fn occ_hi_int_saturates_at_capacity() {
+        let iv = OccInterval { lo: 0.0, hi: 1e16 };
+        assert_eq!(iv.hi_int(10), 10);
+    }
+
+    #[test]
+    fn occ_widening() {
+        let prev = OccInterval { lo: 1.0, hi: 2.0 };
+        let grown = OccInterval { lo: 0.5, hi: 3.0 };
+        let w = grown.widen(prev, 10.0);
+        assert!((w.lo - 0.0).abs() < f64::EPSILON);
+        assert!((w.hi - 10.0).abs() < f64::EPSILON);
+    }
+}

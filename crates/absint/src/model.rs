@@ -1,0 +1,337 @@
+//! Precomputed sound bounds on the concrete transition system.
+//!
+//! [`AbsModel`] digests an application spec plus the device and power
+//! configuration into the per-window constants the interpreter needs:
+//! frame costs, per-input service-time and service-energy bounds,
+//! harvest bounds, and the checkpoint-policy replay geometry. Every
+//! bound is derived from the same numbers `qz_sim::Simulation` runs on,
+//! which is what the containment proptest in
+//! `tests/absint_soundness.rs` holds it to.
+
+use quetzal::model::{AppSpec, TaskCost, TaskKind};
+use qz_sim::{CheckpointPolicy, DeviceConfig, PowerConfig};
+use qz_types::{Seconds, SimDuration};
+
+/// Milliseconds the engine can spend between a job finishing and the
+/// next scheduler invocation picking up follow-on work (state-machine
+/// transitions happen on 1 ms tick boundaries; one tick to observe the
+/// completed job, one to enter scheduler overhead, one to start the
+/// task).
+const SCHED_GAP_MS: f64 = 3.0;
+
+/// Sound per-window constants for one (spec, device, power) config.
+#[derive(Debug, Clone)]
+pub struct AbsModel {
+    /// Usable capacitor capacity, mJ.
+    pub cap_mj: f64,
+    /// Initial stored energy (from `v_init`), mJ.
+    pub init_mj: f64,
+    /// JIT-checkpoint reserve threshold, mJ.
+    pub reserve_mj: f64,
+    /// Energy of one checkpoint, mJ.
+    pub ckpt_mj: f64,
+    /// Energy of one restore, mJ.
+    pub restore_mj: f64,
+    /// Stored energy at which the device turns back on, mJ.
+    pub turn_on_mj: f64,
+    /// Per-frame capture + diff energy (every capture boundary), mJ.
+    pub frame_mj: f64,
+    /// Compression energy (stored frames only), mJ.
+    pub compress_mj: f64,
+    /// Idle draw while on, mW.
+    pub sleep_mw: f64,
+    /// Leakage while off, mW.
+    pub off_mw: f64,
+    /// Supercap self-discharge, mW.
+    pub leak_mw: f64,
+    /// Highest instantaneous execution power over every task, the
+    /// scheduler overhead, and sleep, mW.
+    pub p_exe_hi_mw: f64,
+    /// Worst-case full-pipeline service energy for one input
+    /// (scheduler overhead + every job at its most expensive option), mJ.
+    pub e_input_hi_mj: f64,
+    /// Worst-case full-pipeline service *time* for one input, ms
+    /// (includes jitter stretch and scheduler-gap slack).
+    pub t_input_hi_ms: f64,
+    /// Best-case time to retire one input, ms (cheapest job at its
+    /// cheapest option, jitter shrink, no gaps).
+    pub t_input_lo_ms: f64,
+    /// Upper bound on the *head* work of one input, ms: everything up
+    /// to but excluding its final (slot-releasing) pipeline stage. The
+    /// scheduler may interleave head stages across inputs, absorbing
+    /// this much service per buffered input without releasing a single
+    /// slot, so the drain floor must pre-pay it. Computed as
+    /// `t_input_hi − t_input_lo` because `t_input_lo` (the cheapest
+    /// whole job) lower-bounds the unknown final stage.
+    pub t_head_hi_ms: f64,
+    /// Buffer capacity (`usize::MAX` = unbounded/ideal).
+    pub buffer_capacity: usize,
+    /// Capture period, ms.
+    pub capture_period_ms: u64,
+    /// Checkpoint policy (decides replay atomicity).
+    pub policy: CheckpointPolicy,
+    /// Largest atomic-replay energy deficit geometry: per task, the
+    /// `(p_exe_mw, t_atomic_s)` pairs with `t_atomic > 0`.
+    pub replay_units: Vec<(f64, f64)>,
+    /// The harvesting front-end (for band-to-power conversion; handles
+    /// both flat and curve-based converter efficiency).
+    pub harvester: qz_energy::Harvester,
+    /// Charging power at full sun, mW.
+    pub harvest_ceiling_mw: f64,
+    /// Minimum energy the capacitor must recover between two restore
+    /// events (`turn_on − reserve`), mJ. Non-positive means restart
+    /// thrash cannot be bounded and the interpreter assumes the worst.
+    pub cycle_gap_mj: f64,
+    /// Whether the service floor may be applied (work-conserving
+    /// scheduling, no uplink gate, zero task jitter handled via the
+    /// stretch factors). Callers that install tx gating must clear it.
+    pub work_conserving: bool,
+}
+
+fn cost_energy_mj(c: &TaskCost) -> f64 {
+    c.energy().value() * 1e3
+}
+
+fn task_bounds(spec: &AppSpec) -> (Vec<(f64, f64, f64, f64)>, f64) {
+    // Per task: (e_hi_mj, t_hi_s, e_lo_mj, t_lo_s) over its options,
+    // plus the global max execution power in mW.
+    let mut per_task = Vec::new();
+    let mut p_hi = 0.0f64;
+    for task in spec.tasks() {
+        let mut e_hi = 0.0f64;
+        let mut t_hi = 0.0f64;
+        let mut e_lo = f64::INFINITY;
+        let mut t_lo = f64::INFINITY;
+        let costs: Vec<TaskCost> = match &task.kind {
+            TaskKind::Fixed(c) => vec![*c],
+            TaskKind::Degradable(options) => options.iter().map(|o| o.cost).collect(),
+        };
+        for c in costs {
+            e_hi = e_hi.max(cost_energy_mj(&c));
+            t_hi = t_hi.max(c.t_exe.value());
+            e_lo = e_lo.min(cost_energy_mj(&c));
+            t_lo = t_lo.min(c.t_exe.value());
+            p_hi = p_hi.max(c.p_exe.value() * 1e3);
+        }
+        per_task.push((e_hi, t_hi, e_lo, t_lo));
+    }
+    (per_task, p_hi)
+}
+
+impl AbsModel {
+    /// Builds the model from the exact configs a simulation would use.
+    pub fn new(spec: &AppSpec, device: &DeviceConfig, power: &PowerConfig) -> AbsModel {
+        let cap = power.supercap();
+        let cap_mj = cap.capacity().value() * 1e3;
+        let init_mj = cap.energy().value() * 1e3;
+        let reserve_mj = device.checkpoint_reserve().value() * 1e3;
+        let turn_on_mj = cap.turn_on_energy().value() * 1e3;
+        let harvester = power.harvester();
+
+        let (per_task, mut p_exe_hi_mw) = task_bounds(spec);
+        p_exe_hi_mw = p_exe_hi_mw
+            .max(device.scheduler_overhead.p_exe.value() * 1e3)
+            .max(device.sleep_power.value() * 1e3);
+
+        let jitter = device.task_jitter.clamp(0.0, 1.0);
+        let stretch = 1.0 + jitter;
+        let shrink = (1.0 - jitter).max(0.0);
+        let oh_t_ms = ceil_ms(device.scheduler_overhead.t_exe);
+        let oh_e_mj = cost_energy_mj(&device.scheduler_overhead);
+
+        // Worst case: every job in the spec runs for this input, each
+        // task at its most expensive/slowest option.
+        let mut e_input_hi_mj = 0.0;
+        let mut t_input_hi_ms = 0.0;
+        // Best case: the cheapest single job retires the input (e.g. a
+        // negative classification short-circuits the report job).
+        let mut t_input_lo_ms = f64::INFINITY;
+        for job in spec.jobs() {
+            let mut job_e = oh_e_mj;
+            let mut job_t_hi = oh_t_ms;
+            let mut job_t_lo = floor_ms(device.scheduler_overhead.t_exe);
+            for &task in &job.tasks {
+                let (e_hi, t_hi, _e_lo, t_lo) = per_task[task.index()];
+                job_e += e_hi;
+                job_t_hi += ceil_ms(Seconds(t_hi * stretch));
+                job_t_lo += floor_ms(Seconds(t_lo * shrink));
+            }
+            e_input_hi_mj += job_e;
+            t_input_hi_ms += job_t_hi + SCHED_GAP_MS;
+            t_input_lo_ms = t_input_lo_ms.min(job_t_lo.max(1.0));
+        }
+
+        // Atomic-replay geometry by checkpoint policy.
+        let mut replay_units = Vec::new();
+        for task in spec.tasks() {
+            let costs: Vec<TaskCost> = match &task.kind {
+                TaskKind::Fixed(c) => vec![*c],
+                TaskKind::Degradable(options) => options.iter().map(|o| o.cost).collect(),
+            };
+            for c in costs {
+                let t_atomic = match device.checkpoint_policy {
+                    CheckpointPolicy::JustInTime => 0.0,
+                    CheckpointPolicy::Periodic { interval } => {
+                        (c.t_exe.value() * stretch).min(interval.as_seconds().value())
+                    }
+                    // TaskBoundary, and conservatively any future
+                    // policy: a failure replays the whole task.
+                    _ => c.t_exe.value() * stretch,
+                };
+                if t_atomic > 0.0 {
+                    replay_units.push((c.p_exe.value() * 1e3, t_atomic));
+                }
+            }
+        }
+
+        AbsModel {
+            cap_mj,
+            init_mj,
+            reserve_mj,
+            ckpt_mj: device.checkpoint_energy.value() * 1e3,
+            restore_mj: device.restore_energy.value() * 1e3,
+            turn_on_mj,
+            frame_mj: cost_energy_mj(&device.capture) + cost_energy_mj(&device.diff),
+            compress_mj: cost_energy_mj(&device.compress),
+            sleep_mw: device.sleep_power.value() * 1e3,
+            off_mw: device.off_leakage.value() * 1e3,
+            leak_mw: cap.config().leakage.value() * 1e3,
+            p_exe_hi_mw,
+            e_input_hi_mj,
+            t_input_hi_ms,
+            t_input_lo_ms,
+            t_head_hi_ms: (t_input_hi_ms - t_input_lo_ms).max(0.0),
+            buffer_capacity: device.buffer_capacity,
+            capture_period_ms: device.capture_period.as_millis().max(1),
+            policy: device.checkpoint_policy,
+            replay_units,
+            harvest_ceiling_mw: harvester.output(1.0).value() * 1e3,
+            harvester,
+            cycle_gap_mj: turn_on_mj - reserve_mj,
+            work_conserving: true,
+        }
+    }
+
+    /// Harvest power bounds in mW for an irradiance band (knot-aware
+    /// when the converter has an efficiency curve).
+    pub fn harvest_bounds_mw(&self, irr_lo: f64, irr_hi: f64) -> (f64, f64) {
+        let (lo, hi) = self.harvester.output_bounds(irr_lo, irr_hi);
+        (lo.value() * 1e3, hi.value() * 1e3)
+    }
+
+    /// The per-restart-attempt energy budget under restart thrash: a
+    /// powered-off device restores the moment it recharges to `v_on`
+    /// and (work pending) immediately re-attempts the task, so each
+    /// attempt runs on `turn_on − reserve − restore` plus whatever it
+    /// harvests.
+    pub fn attempt_budget_mj(&self) -> f64 {
+        (self.turn_on_mj - self.reserve_mj - self.restore_mj).max(0.0)
+    }
+
+    /// `true` when some replay unit cannot complete within the
+    /// per-attempt budget at harvest power `p_in_mw` — the restart-
+    /// thrash (energy stall) condition for non-JIT policies.
+    pub fn stall_possible_at(&self, p_in_mw: f64) -> bool {
+        let budget = self.attempt_budget_mj();
+        self.replay_units
+            .iter()
+            .any(|&(p_exe, t_atomic)| (p_exe - p_in_mw) * t_atomic > budget)
+    }
+
+    /// `true` when every replay unit completes per attempt even at zero
+    /// harvest — no energy stall under any envelope.
+    pub fn stall_impossible(&self) -> bool {
+        !self.stall_possible_at(0.0)
+    }
+}
+
+fn ceil_ms(s: Seconds) -> f64 {
+    SimDuration::from_seconds_ceil(s).as_millis() as f64
+}
+
+fn floor_ms(s: Seconds) -> f64 {
+    (s.value() * 1e3).floor().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal::model::AppSpecBuilder;
+    use qz_types::{Seconds, Watts};
+
+    fn spec() -> AppSpec {
+        let mut b = AppSpecBuilder::new();
+        let ml = b
+            .degradable_task("ml")
+            .option("high", TaskCost::new(Seconds(0.5), Watts(0.005)))
+            .option("low", TaskCost::new(Seconds(0.05), Watts(0.004)))
+            .finish()
+            .expect("ml task");
+        let tx = b
+            .fixed_task("tx", TaskCost::new(Seconds(0.4), Watts(0.050)))
+            .expect("tx task");
+        b.job("process", vec![ml]).expect("process job");
+        b.job("report", vec![tx]).expect("report job");
+        b.build().expect("valid spec")
+    }
+
+    #[test]
+    fn model_digests_the_default_config() {
+        let m = AbsModel::new(&spec(), &DeviceConfig::default(), &PowerConfig::default());
+        assert!((m.cap_mj - 126.225).abs() < 1e-6);
+        assert!((m.init_mj - m.cap_mj).abs() < 1e-6, "starts full");
+        assert!((m.harvest_ceiling_mw - 48.0).abs() < 1e-6);
+        // 0.5 s × 5 mW + oh, plus 0.4 s × 50 mW + oh.
+        assert!(m.e_input_hi_mj > 22.0 && m.e_input_hi_mj < 24.0);
+        assert!(m.t_input_hi_ms > 900.0 && m.t_input_hi_ms < 1000.0);
+        assert!(m.t_input_lo_ms >= 1.0 && m.t_input_lo_ms < 100.0);
+        assert!((m.p_exe_hi_mw - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jit_policy_has_no_replay_units() {
+        let m = AbsModel::new(&spec(), &DeviceConfig::default(), &PowerConfig::default());
+        assert!(m.replay_units.is_empty());
+        assert!(m.stall_impossible());
+    }
+
+    #[test]
+    fn task_boundary_replay_units_cover_every_option() {
+        let device = DeviceConfig {
+            checkpoint_policy: CheckpointPolicy::TaskBoundary,
+            ..DeviceConfig::default()
+        };
+        let m = AbsModel::new(&spec(), &device, &PowerConfig::default());
+        assert_eq!(m.replay_units.len(), 3); // two ml options + tx
+    }
+
+    #[test]
+    fn starved_capacitor_trips_the_stall_condition() {
+        // 1 mF capacitor: the turn-on band holds ~91 µJ, below the
+        // Apollo 4 checkpoint reserve — attempts can never complete.
+        let device = DeviceConfig {
+            checkpoint_policy: CheckpointPolicy::TaskBoundary,
+            ..DeviceConfig::default()
+        };
+        let mut power = PowerConfig::default();
+        power.supercap.capacitance = qz_types::Farads(1e-3);
+        let m = AbsModel::new(&spec(), &device, &power);
+        assert!((m.attempt_budget_mj() - 0.0).abs() < f64::EPSILON);
+        assert!(m.stall_possible_at(m.harvest_ceiling_mw));
+        assert!(!m.stall_impossible());
+    }
+
+    #[test]
+    fn periodic_policy_clips_the_atomic_unit() {
+        let device = DeviceConfig {
+            checkpoint_policy: CheckpointPolicy::Periodic {
+                interval: SimDuration::from_millis(100),
+            },
+            ..DeviceConfig::default()
+        };
+        let m = AbsModel::new(&spec(), &device, &PowerConfig::default());
+        for &(_, t) in &m.replay_units {
+            assert!(t <= 0.1 + 1e-9);
+        }
+    }
+}

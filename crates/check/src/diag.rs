@@ -212,6 +212,264 @@ impl Code {
             .into_iter()
             .find(|c| c.as_str().eq_ignore_ascii_case(s))
     }
+
+    /// The severity this code is normally emitted at (`qz check
+    /// --explain`). A few codes escalate with context — QZ030/QZ033 are
+    /// notes unless the hardware estimator is in use — so this is the
+    /// catalog's label, not a guarantee.
+    pub fn typical_severity(self) -> &'static str {
+        match self {
+            Code::QZ001
+            | Code::QZ003
+            | Code::QZ010
+            | Code::QZ031
+            | Code::QZ040
+            | Code::QZ042
+            | Code::QZ050
+            | Code::QZ060 => "error",
+            Code::QZ002
+            | Code::QZ011
+            | Code::QZ012
+            | Code::QZ020
+            | Code::QZ021
+            | Code::QZ022
+            | Code::QZ032
+            | Code::QZ041
+            | Code::QZ043
+            | Code::QZ051
+            | Code::QZ052
+            | Code::QZ061
+            | Code::QZ062
+            | Code::QZ070
+            | Code::QZ071 => "warning",
+            Code::QZ013 | Code::QZ023 => "note",
+            Code::QZ030 | Code::QZ033 => "note (warning with the hardware estimator)",
+        }
+    }
+
+    /// Why the condition matters — the failure it predicts (`qz check
+    /// --explain`).
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Code::QZ001 => {
+                "Under an atomic-replay checkpoint policy an interrupted task restarts from \
+                 scratch, so one replay unit must fit in a single charge. When even the \
+                 full-sun harvest deficit exceeds the per-charge budget, every power failure \
+                 replays the unit forever — the classic intermittent-computing livelock. The \
+                 verdict suffix comes from the qz-absint restart-thrash model."
+            }
+            Code::QZ002 => {
+                "The task's energy exceeds what the capacitor alone can deliver, so it only \
+                 completes while harvested power covers the shortfall; through low-harvest \
+                 periods it replays indefinitely and throughput collapses."
+            }
+            Code::QZ003 => {
+                "Capture + diff + compress run on every frame before any job is scheduled. \
+                 If that sustained draw exceeds the harvester ceiling, the device loses \
+                 energy even while doing nothing useful and eventually browns out."
+            }
+            Code::QZ010 => {
+                "Little's Law: if worst-case arrivals times best-case (cheapest-option, \
+                 full-sun) service is at least 1, Eq. 2 can never hold and the input buffer \
+                 fills no matter what the scheduler decides. The verdict suffix comes from \
+                 the qz-absint service-time bounds."
+            }
+            Code::QZ011 => {
+                "Full quality is unsustainable at the worst-case arrival rate: the runtime \
+                 can avoid overflow only by degrading, so sustained bursts force \
+                 lower-quality output by construction."
+            }
+            Code::QZ012 => {
+                "The runtime's arrival-rate floor and the device capture period are \
+                 configured independently; when they disagree, the estimator's lower bound \
+                 is systematically wrong and degradation decisions mistime."
+            }
+            Code::QZ013 => {
+                "Stability is asymptotic. A buffer smaller than one full-quality service \
+                 interval's worth of arrivals overflows on a single burst before the first \
+                 scheduling decision can react."
+            }
+            Code::QZ020 => {
+                "A lower-quality option that costs more energy than a higher-quality \
+                 sibling inverts the degradation lattice: degrading makes things worse, and \
+                 the controller's monotonicity assumption breaks."
+            }
+            Code::QZ021 => {
+                "A dominated option is never the right choice — some higher-quality \
+                 sibling is at least as fast and as cheap — so it only wastes a lattice \
+                 level the controller could use."
+            }
+            Code::QZ022 => {
+                "Two options with identical cost are indistinguishable to the scheduler; \
+                 one of them is unreachable dead weight and usually indicates a \
+                 copy-paste profiling error."
+            }
+            Code::QZ023 => {
+                "A job with no degradable task (or a single-option task) gives the IBO \
+                 engine no degradation freedom: under pressure it can only drop inputs \
+                 instead of degrading them."
+            }
+            Code::QZ030 => {
+                "The hardware estimator stores premultiplied t_exe tables in Q16.16; a \
+                 saturated entry silently clamps, so the scheduler's service-time estimate \
+                 is wrong for every input from then on."
+            }
+            Code::QZ031 => {
+                "A non-finite, negative, or inconsistent device/power numeric makes every \
+                 downstream energy computation meaningless; the simulator would run on \
+                 garbage."
+            }
+            Code::QZ032 => {
+                "A zero-cost capture stage or jitter at/above 1 is almost always a \
+                 profiling omission; the simulation runs but models a device that cannot \
+                 exist."
+            }
+            Code::QZ033 => {
+                "The ADC power monitor clips at its code range; a profiled execution \
+                 power outside it reads as the rail, so the hardware estimator \
+                 mis-measures exactly the tasks that matter most."
+            }
+            Code::QZ040 => {
+                "The PID constructor rejects these gains/limits at runtime; the \
+                 simulation would panic at startup rather than control anything."
+            }
+            Code::QZ041 => {
+                "Gains outside the documented stability envelope make the degradation \
+                 controller oscillate or wind up, thrashing between quality levels \
+                 instead of converging."
+            }
+            Code::QZ042 => {
+                "Zero-length estimator windows, a non-finite capture rate, or a bad EWMA \
+                 coefficient break the arrival/service estimators the whole scheduling \
+                 test (Eq. 2) is built on."
+            }
+            Code::QZ043 => {
+                "An estimator window far outside the useful range either averages away \
+                 every transient (too long) or tracks noise (too short); decisions lag \
+                 or jitter accordingly."
+            }
+            Code::QZ050 => {
+                "Little's Law at the shared channel: N devices' worst-case offered \
+                 airtime at or above capacity means the gateway queue grows without \
+                 bound; backoff tuning only subtracts capacity from that best case."
+            }
+            Code::QZ051 => {
+                "A device whose duty-cycle budget cannot carry even its own cheapest \
+                 report stream backs up its transmit queue regardless of fleet size or \
+                 channel state."
+            }
+            Code::QZ052 => {
+                "When the capped maximum backoff exceeds the duty window, a deferred \
+                 transmitter can sleep through entire replenished budgets it could have \
+                 used, starving itself."
+            }
+            Code::QZ060 => {
+                "At the injected failure density, checkpoint + restore churn alone \
+                 consumes at least the harvest ceiling: every joule goes to overhead and \
+                 the campaign measures nothing but thrash."
+            }
+            Code::QZ061 => {
+                "A failure period shorter than reserve recharge + restore keeps the \
+                 device cycling between failure and restore without ever reaching \
+                 application code."
+            }
+            Code::QZ062 => {
+                "If the expected replay work per injected failure meets the failure \
+                 period, interrupted tasks are re-executed forever — fault-induced \
+                 livelock; no forward progress is possible."
+            }
+            Code::QZ070 => {
+                "The fast-forward engine skips quiescent ticks between events; a capture \
+                 boundary on (almost) every tick collapses that horizon and the \
+                 simulation degenerates to per-tick stepping."
+            }
+            Code::QZ071 => {
+                "Telemetry or snapshot periods near one tick put an observation boundary \
+                 on every tick, so the instrumentation itself collapses the fast-forward \
+                 event horizon."
+            }
+        }
+    }
+
+    /// How to make the diagnostic go away (`qz check --explain`).
+    pub fn fix_hint(self) -> &'static str {
+        match self {
+            Code::QZ001 => {
+                "Grow the capacitor, switch to just-in-time checkpointing, shorten the \
+                 checkpoint interval, or split/cheapen the offending task so one replay \
+                 unit fits the per-charge budget."
+            }
+            Code::QZ002 => {
+                "Grow the capacitor or cheapen the task; if occasional replays through \
+                 low-harvest periods are acceptable, allow the code with --allow QZ002."
+            }
+            Code::QZ003 => {
+                "Lengthen capture_period, cheapen the capture/diff/compress stages, or \
+                 add harvester cells until the sustained capture-path power fits under \
+                 the ceiling."
+            }
+            Code::QZ010 => {
+                "Lengthen the capture period, add a cheaper degradation option, or \
+                 reduce per-job work until the cheapest-option utilization drops below \
+                 1; `qz verify` runs the envelope-directed search."
+            }
+            Code::QZ011 => {
+                "Accept degradation under load (the paper's design point), or speed up \
+                 the full-quality pipeline until its utilization drops below 1."
+            }
+            Code::QZ012 => "Set runtime.capture_rate to 1 / device.capture_period.",
+            Code::QZ013 => {
+                "Grow device.buffer_capacity past one full-quality service interval of \
+                 arrivals, or accept burst losses."
+            }
+            Code::QZ020 => {
+                "Reorder or re-profile the options so energy decreases monotonically \
+                 with quality level."
+            }
+            Code::QZ021 => "Delete the dominated option or re-profile it.",
+            Code::QZ022 => "Delete or re-profile the duplicate option.",
+            Code::QZ023 => {
+                "Give the job a degradable task with at least two options, or accept \
+                 drop-only behavior under pressure."
+            }
+            Code::QZ030 => {
+                "Keep t_exe under the Q16.16 premultiply range (~9 h), or split the task."
+            }
+            Code::QZ031 => "Fix the named field to a finite, positive, consistent value.",
+            Code::QZ032 => "Profile the zero/degenerate entry, or keep jitter in [0, 1).",
+            Code::QZ033 => {
+                "Re-range the ADC monitor or re-profile the task so its power sits \
+                 inside the code range."
+            }
+            Code::QZ040 => "Use finite gains, a positive setpoint, and ordered output limits.",
+            Code::QZ041 => "Pull the gains back inside the documented stability envelope.",
+            Code::QZ042 => {
+                "Use positive window lengths, a finite positive capture rate, and an \
+                 EWMA coefficient in (0, 1]."
+            }
+            Code::QZ043 => "Bring the window back into the documented useful range.",
+            Code::QZ050 => {
+                "Shed devices, lengthen the report interval, or shrink report airtime \
+                 until aggregate utilization is below 1."
+            }
+            Code::QZ051 => {
+                "Raise the duty-cycle budget, lengthen the duty window, or cheapen the \
+                 report until one fits the per-window allowance."
+            }
+            Code::QZ052 => "Lower backoff_max_exp or backoff_base so the cap fits the duty window.",
+            Code::QZ060 => {
+                "Lower the injected failure density or cheapen checkpoint/restore until \
+                 churn fits under the harvest ceiling."
+            }
+            Code::QZ061 => "Lengthen the failure period past reserve recharge + restore.",
+            Code::QZ062 => {
+                "Lengthen the failure period or shrink the atomic replay unit \
+                 (just-in-time or shorter periodic checkpoints)."
+            }
+            Code::QZ070 => "Lengthen capture_period, or accept per-tick stepping.",
+            Code::QZ071 => "Lengthen the telemetry/snapshot period, or drop the instrumentation.",
+        }
+    }
 }
 
 impl fmt::Display for Code {
@@ -349,6 +607,11 @@ pub struct Diagnostic {
     pub span: Span,
     /// Full message with the concrete numbers.
     pub message: String,
+    /// Which analysis paths produced this finding (e.g. `"sweep"`,
+    /// `"preflight"`). Empty for a single-path report; populated by
+    /// [`Report::merge_from`] so identical findings from multiple paths
+    /// render once with every source listed instead of twice.
+    pub sources: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -357,7 +620,11 @@ impl fmt::Display for Diagnostic {
             f,
             "{}[{}]: {}: {}",
             self.severity, self.code, self.span, self.message
-        )
+        )?;
+        if !self.sources.is_empty() {
+            write!(f, " [{}]", self.sources.join("+"))?;
+        }
+        Ok(())
     }
 }
 
@@ -381,7 +648,47 @@ impl Report {
             severity,
             span,
             message,
+            sources: Vec::new(),
         });
+    }
+
+    /// Tags every diagnostic in this report with an analysis-path
+    /// source (no-op on diagnostics already carrying it). Call before
+    /// [`Report::merge_from`] so the combined report names every path.
+    pub fn tag_source(&mut self, source: &str) {
+        for d in &mut self.diagnostics {
+            if !d.sources.iter().any(|s| s == source) {
+                d.sources.push(source.to_owned());
+            }
+        }
+    }
+
+    /// Absorbs another report produced by a different analysis path,
+    /// deduplicating: an incoming diagnostic identical in (code,
+    /// severity, span, message) to one already present only adds
+    /// `source` to the existing entry's `sources` instead of rendering
+    /// twice. Distinct findings are appended, tagged with `source`.
+    /// Call [`Report::sort`] afterwards for stable ordering.
+    pub fn merge_from(&mut self, source: &str, other: Report) {
+        for mut incoming in other.diagnostics {
+            if !incoming.sources.iter().any(|s| s == source) {
+                incoming.sources.push(source.to_owned());
+            }
+            if let Some(existing) = self.diagnostics.iter_mut().find(|d| {
+                d.code == incoming.code
+                    && d.severity == incoming.severity
+                    && d.span == incoming.span
+                    && d.message == incoming.message
+            }) {
+                for s in incoming.sources {
+                    if !existing.sources.contains(&s) {
+                        existing.sources.push(s);
+                    }
+                }
+            } else {
+                self.diagnostics.push(incoming);
+            }
+        }
     }
 
     /// All diagnostics, most severe first (after [`Report::sort`]).
@@ -496,7 +803,16 @@ impl Report {
             }
             out.push_str("},\"message\":\"");
             json_escape_into(&mut out, &d.message);
-            out.push_str("\"}");
+            out.push_str("\",\"sources\":[");
+            for (j, s) in d.sources.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                json_escape_into(&mut out, s);
+                out.push('"');
+            }
+            out.push_str("]}");
         }
         out.push_str(&format!(
             "],\"errors\":{},\"warnings\":{},\"notes\":{}}}",
@@ -599,6 +915,57 @@ mod tests {
         assert!(json.contains("line1\\nline2"));
         assert!(json.contains("\"errors\":1"));
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn explain_catalog_covers_every_code() {
+        for code in Code::ALL {
+            assert!(!code.summary().is_empty());
+            assert!(!code.rationale().is_empty(), "{code} has no rationale");
+            assert!(!code.fix_hint().is_empty(), "{code} has no fix hint");
+            assert!(!code.typical_severity().is_empty());
+        }
+    }
+
+    #[test]
+    fn merge_from_dedupes_identical_findings_with_sources() {
+        let mut sweep = Report::new();
+        sweep.push(Code::QZ011, Severity::Warning, Span::default(), "w".into());
+        sweep.tag_source("sweep");
+        let mut preflight = Report::new();
+        preflight.push(Code::QZ011, Severity::Warning, Span::default(), "w".into());
+        preflight.push(Code::QZ013, Severity::Note, Span::default(), "n".into());
+        sweep.merge_from("preflight", preflight);
+        assert_eq!(sweep.diagnostics().len(), 2, "identical finding merged");
+        let merged = &sweep.diagnostics()[0];
+        assert_eq!(merged.sources, vec!["sweep", "preflight"]);
+        assert_eq!(sweep.diagnostics()[1].sources, vec!["preflight"]);
+        assert_eq!((sweep.errors(), sweep.warnings(), sweep.notes()), (0, 1, 1));
+        // Re-merging the same path is idempotent.
+        let mut again = Report::new();
+        again.push(Code::QZ011, Severity::Warning, Span::default(), "w".into());
+        sweep.merge_from("preflight", again);
+        assert_eq!(sweep.diagnostics().len(), 2);
+        assert_eq!(sweep.diagnostics()[0].sources, vec!["sweep", "preflight"]);
+    }
+
+    #[test]
+    fn sources_render_in_text_and_json() {
+        let mut r = Report::new();
+        r.push(Code::QZ011, Severity::Warning, Span::default(), "w".into());
+        r.tag_source("sweep");
+        let text = r.render_text();
+        assert!(text.contains("warning[QZ011]: config: w [sweep]"), "{text}");
+        let json = r.render_json();
+        assert!(json.contains("\"sources\":[\"sweep\"]"), "{json}");
+        // Untagged diagnostics carry an empty array, not a missing key.
+        let mut plain = Report::new();
+        plain.push(Code::QZ013, Severity::Note, Span::default(), "n".into());
+        assert!(plain.render_json().contains("\"sources\":[]"));
+        assert!(
+            plain.render_text().contains("note[QZ013]: config: n\n"),
+            "no suffix when untagged"
+        );
     }
 
     #[test]

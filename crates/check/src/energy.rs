@@ -8,6 +8,7 @@
 //! replays forever — the classic intermittent-computing non-termination
 //! bug — so it is an error, not a hang.
 
+use qz_absint::AbsModel;
 use qz_energy::Supercap;
 use qz_sim::CheckpointPolicy;
 
@@ -17,6 +18,30 @@ use crate::{Code, Report, Severity, Span};
 pub(crate) fn run(input: &CheckInput<'_>, report: &mut Report) {
     per_charge_budget(input, report);
     capture_path_power(input, report);
+}
+
+/// The qz-absint backing verdict for "no energy stall": QZ001 messages
+/// carry it so the heuristic and the sound model are never read apart.
+///
+/// The abstract restart-thrash model is *stricter* than the per-charge
+/// heuristic (each attempt runs on the turn-on band, not a full
+/// capacitor), so a heuristic error normally comes back REFUTED; if the
+/// curve-aware ceiling disagrees the verdict is honestly UNKNOWN and
+/// `qz verify` runs the envelope-directed search.
+fn stall_verdict(model: Option<&AbsModel>) -> &'static str {
+    let Some(model) = model else {
+        // Invalid harvester config: `AbsModel::new` would panic where
+        // the checker instead reports QZ031.
+        return "UNKNOWN (harvester config invalid; see QZ031)";
+    };
+    if model.stall_impossible() {
+        "PROVEN (every replay unit completes per attempt even at zero harvest)"
+    } else if model.stall_possible_at(model.harvest_ceiling_mw) {
+        "REFUTED (a replay unit outruns each restart attempt even at the full-sun \
+         ceiling; restart thrash is unavoidable)"
+    } else {
+        "UNKNOWN (depends on the harvest envelope; run `qz verify`)"
+    }
 }
 
 /// QZ001 / QZ002: per-task energy against the per-charge budget.
@@ -41,7 +66,8 @@ fn per_charge_budget(input: &CheckInput<'_>, report: &mut Report) {
             format!(
                 "usable storage {} (½·C·(V_max² − V_off²)) does not even cover the checkpoint \
                  reserve {} plus restore energy {}; the device can never resume after a power \
-                 failure, under any checkpoint policy",
+                 failure, under any checkpoint policy; no-stall verdict: REFUTED (no harvest \
+                 envelope can refill storage that cannot hold the reserve)",
                 fmt_mj(cap.capacity().value()),
                 fmt_mj(device.checkpoint_reserve().value()),
                 fmt_mj(device.restore_energy.value()),
@@ -58,6 +84,9 @@ fn per_charge_budget(input: &CheckInput<'_>, report: &mut Report) {
     // a warning — it completes under good harvest but replays
     // indefinitely through low-harvest periods.
     let ceiling = harvester_ceiling(&input.power).unwrap_or(0.0);
+    let model = harvester_ceiling(&input.power)
+        .is_some()
+        .then(|| AbsModel::new(input.spec, &input.device, &input.power));
     for_each_cost(input.spec, |task, option, cost| {
         let energy = cost.energy().value();
         // Run time that must fit in one charge for the task to make
@@ -85,10 +114,12 @@ fn per_charge_budget(input: &CheckInput<'_>, report: &mut Report) {
                     "even at the full-sun harvester ceiling {}, one replay unit ({replay_unit}) \
                      drains {} net from storage, exceeding the per-charge budget {} \
                      (½·C·(V_max² − V_off²) − checkpoint reserve − restore); every power failure \
-                     replays it from the start, so this task can never complete on this storage",
+                     replays it from the start, so this task can never complete on this storage; \
+                     no-stall verdict: {}",
                     fmt_mw(ceiling),
                     fmt_mj(deficit),
                     fmt_mj(budget),
+                    stall_verdict(model.as_ref()),
                 ),
             );
         } else if gross > budget {

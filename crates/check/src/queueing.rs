@@ -11,6 +11,31 @@
 use crate::{harvester_ceiling, CheckInput};
 use crate::{Code, Report, Severity, Span};
 use quetzal::model::{AppSpec, TaskCost, TaskKind};
+use qz_absint::AbsModel;
+
+/// The qz-absint backing verdict for "no input-buffer overflow",
+/// carried on QZ010 messages. The abstract model refutes overflow when
+/// even the cheapest whole job outlasts one capture period (occupancy
+/// then grows without bound into any finite buffer); it proves it only
+/// for an unbounded buffer; everything else depends on the harvest
+/// envelope and the guarded drain windows, so it is UNKNOWN here and
+/// `qz verify` runs the interval interpreter plus directed search.
+#[allow(clippy::cast_precision_loss)] // capture periods are far below 2^52 ms
+fn overflow_verdict(model: Option<&AbsModel>) -> &'static str {
+    let Some(model) = model else {
+        // Invalid supercap config: `AbsModel::new` would panic where
+        // the checker instead reports QZ031.
+        return "UNKNOWN (supercap config invalid; see QZ031)";
+    };
+    if model.buffer_capacity == usize::MAX {
+        "PROVEN (unbounded buffer; nothing to overflow)"
+    } else if model.t_input_lo_ms > model.capture_period_ms as f64 {
+        "REFUTED (even the cheapest whole job outlasts one capture period, so occupancy \
+         grows without bound under any harvest envelope)"
+    } else {
+        "UNKNOWN (depends on the harvest envelope; run `qz verify`)"
+    }
+}
 
 /// `S_e2e = max(t_exe, t_exe · P_exe / P_in)` (Eq. 1) at input power
 /// `ceiling`.
@@ -94,6 +119,9 @@ pub(crate) fn run(input: &CheckInput<'_>, report: &mut Report) {
     let util_min = lambda * s_min;
     let util_full = lambda * s_full;
     if util_min >= 1.0 {
+        let model = qz_energy::Supercap::new(input.power.supercap)
+            .is_ok()
+            .then(|| AbsModel::new(input.spec, &input.device, &input.power));
         report.push(
             Code::QZ010,
             Severity::Error,
@@ -102,7 +130,8 @@ pub(crate) fn run(input: &CheckInput<'_>, report: &mut Report) {
                 "overflow is unavoidable at any degradation level: worst-case λ = {lambda} Hz \
                  and best-case E[S] = {s_min:.3} s (cheapest options, full-sun harvester ceiling) \
                  give λ·E[S] = {util_min:.2} ≥ 1, so Eq. 2 can never hold and the input buffer \
-                 fills no matter what the scheduler does",
+                 fills no matter what the scheduler does; no-overflow verdict: {}",
+                overflow_verdict(model.as_ref()),
             ),
         );
     } else if util_full >= 1.0 {

@@ -19,6 +19,11 @@ pub enum Command {
     Trace(RunArgs),
     /// `qz check …` — static semantic analysis of an experiment config.
     Check(CheckArgs),
+    /// `qz verify …` — sound abstract-interpretation verification of the
+    /// no-stall / no-overflow properties under a harvest envelope.
+    Verify(VerifyArgs),
+    /// `qz lint-src …` — workspace determinism source lint.
+    LintSrc(LintSrcArgs),
     /// `qz fleet …` — parallel multi-device fleet simulation over a
     /// shared uplink channel.
     Fleet(FleetArgs),
@@ -228,6 +233,8 @@ pub struct CheckArgs {
     pub telemetry_period: Option<f64>,
     /// Declare an observer snapshot period, in seconds (QZ071).
     pub snapshot_period: Option<f64>,
+    /// Print the diagnostic-catalog entry for one code and exit.
+    pub explain: Option<qz_check::Code>,
 }
 
 impl Default for CheckArgs {
@@ -245,6 +252,69 @@ impl Default for CheckArgs {
             capture_period: None,
             telemetry_period: None,
             snapshot_period: None,
+            explain: None,
+        }
+    }
+}
+
+/// Options for `qz verify`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyArgs {
+    /// System preset to verify; `None` sweeps every shipped preset.
+    pub system: Option<BaselineKind>,
+    /// Device profile (`apollo4`, `msp430`, or `all`).
+    pub device: String,
+    /// Sensing environment whose traces define the harvest envelope and
+    /// event schedule.
+    pub env: EnvironmentKind,
+    /// Events in the environment trace.
+    pub events: usize,
+    /// Environment seed (decimal or `0x`-prefixed hex).
+    pub seed: u64,
+    /// Envelope segment length, seconds (the band granularity).
+    pub segment: u64,
+    /// Emit the verdicts as JSON instead of rendered text.
+    pub json: bool,
+    /// Exit nonzero on UNKNOWN verdicts as well as refutations (CI
+    /// mode: every property must be PROVEN).
+    pub deny_unproven: bool,
+    /// Simulation engine override for the directed concrete searches.
+    pub engine: Option<qz_sim::EngineKind>,
+}
+
+impl Default for VerifyArgs {
+    fn default() -> VerifyArgs {
+        VerifyArgs {
+            system: None,
+            device: "all".into(),
+            env: EnvironmentKind::Crowded,
+            events: 40,
+            seed: 20_250_330,
+            segment: 60,
+            json: false,
+            deny_unproven: false,
+            engine: None,
+        }
+    }
+}
+
+/// Options for `qz lint-src`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintSrcArgs {
+    /// Workspace root holding the `crates/` tree.
+    pub root: String,
+    /// Allowlist file path, relative to the root.
+    pub allow_file: String,
+    /// Emit findings as JSON instead of rendered text.
+    pub json: bool,
+}
+
+impl Default for LintSrcArgs {
+    fn default() -> LintSrcArgs {
+        LintSrcArgs {
+            root: ".".into(),
+            allow_file: "lint-allow.txt".into(),
+            json: false,
         }
     }
 }
@@ -306,6 +376,12 @@ pub struct RunArgs {
     /// Simulation engine override (`None` keeps the `QZ_ENGINE` /
     /// fast-forward default).
     pub engine: Option<qz_sim::EngineKind>,
+    /// Which solar realization to run: the seeded trace itself, or an
+    /// envelope corner (`qz verify` counterexample repro lines use
+    /// `--solar floor`).
+    pub solar: qz_absint::SolarMode,
+    /// Envelope segment length for `--solar floor|ceil`, seconds.
+    pub solar_seg: u64,
 }
 
 impl Default for RunArgs {
@@ -324,6 +400,8 @@ impl Default for RunArgs {
             limit: 200,
             snapshots: false,
             engine: None,
+            solar: qz_absint::SolarMode::Trace,
+            solar_seg: 60,
         }
     }
 }
@@ -408,6 +486,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     if sub == "check" {
         return parse_check(&args[1..]).map(Command::Check);
     }
+    if sub == "verify" {
+        return parse_verify(&args[1..]).map(Command::Verify);
+    }
+    if sub == "lint-src" {
+        return parse_lint_src(&args[1..]).map(Command::LintSrc);
+    }
     if sub == "fleet" {
         return parse_fleet(&args[1..]).map(Command::Fleet);
     }
@@ -438,11 +522,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .parse()
                     .map_err(|_| err("`--events` must be a positive integer"))?;
             }
-            "--seed" => {
-                run.seed = take_value(&mut i, flag)?
-                    .parse()
-                    .map_err(|_| err("`--seed` must be an integer"))?;
-            }
+            "--seed" => run.seed = parse_seed(&take_value(&mut i, flag)?)?,
             "--device" => {
                 let d = take_value(&mut i, flag)?.to_ascii_lowercase();
                 if d != "apollo4" && d != "msp430" {
@@ -462,6 +542,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             "--snapshots" => run.snapshots = true,
             "--engine" => run.engine = Some(parse_engine(&take_value(&mut i, flag)?)?),
+            "--solar" => {
+                let v = take_value(&mut i, flag)?.to_ascii_lowercase();
+                run.solar = qz_absint::SolarMode::parse(&v).ok_or_else(|| {
+                    err(format!("unknown solar mode `{v}` (try trace, floor, ceil)"))
+                })?;
+            }
+            "--solar-seg" => {
+                run.solar_seg = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--solar-seg` must be a number of seconds"))?;
+                if run.solar_seg == 0 {
+                    return Err(err("`--solar-seg` must be at least 1 second"));
+                }
+            }
             other => return Err(err(format!("unknown flag `{other}`"))),
         }
         i += 1;
@@ -555,11 +649,90 @@ fn parse_check(args: &[String]) -> Result<CheckArgs, ParseError> {
                 }
                 check.snapshot_period = Some(secs);
             }
+            "--explain" => {
+                let code = take_value(&mut i, flag)?;
+                check.explain = Some(
+                    qz_check::Code::parse(&code)
+                        .ok_or_else(|| err(format!("unknown diagnostic code `{code}`")))?,
+                );
+            }
             other => return Err(err(format!("unknown flag `{other}` for `qz check`"))),
         }
         i += 1;
     }
     Ok(check)
+}
+
+/// Parses the flags of `qz verify`.
+fn parse_verify(args: &[String]) -> Result<VerifyArgs, ParseError> {
+    let mut verify = VerifyArgs::default();
+    let mut i = 0;
+    let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--system" => verify.system = Some(parse_system(&take_value(&mut i, flag)?)?),
+            "--device" => {
+                let d = take_value(&mut i, flag)?.to_ascii_lowercase();
+                if d != "apollo4" && d != "msp430" && d != "all" {
+                    return Err(err("`--device` must be `apollo4`, `msp430`, or `all`"));
+                }
+                verify.device = d;
+            }
+            "--env" => verify.env = parse_env(&take_value(&mut i, flag)?)?,
+            "--events" => {
+                verify.events = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--events` must be a positive integer"))?;
+                if verify.events == 0 {
+                    return Err(err("`--events` must be at least 1"));
+                }
+            }
+            "--seed" => verify.seed = parse_seed(&take_value(&mut i, flag)?)?,
+            "--segment" => {
+                verify.segment = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--segment` must be a number of seconds"))?;
+                if verify.segment == 0 {
+                    return Err(err("`--segment` must be at least 1 second"));
+                }
+            }
+            "--json" => verify.json = true,
+            "--deny-unproven" => verify.deny_unproven = true,
+            "--engine" => verify.engine = Some(parse_engine(&take_value(&mut i, flag)?)?),
+            other => return Err(err(format!("unknown flag `{other}` for `qz verify`"))),
+        }
+        i += 1;
+    }
+    Ok(verify)
+}
+
+/// Parses the flags of `qz lint-src`.
+fn parse_lint_src(args: &[String]) -> Result<LintSrcArgs, ParseError> {
+    let mut lint = LintSrcArgs::default();
+    let mut i = 0;
+    let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--root" => lint.root = take_value(&mut i, flag)?,
+            "--allow-file" => lint.allow_file = take_value(&mut i, flag)?,
+            "--json" => lint.json = true,
+            other => return Err(err(format!("unknown flag `{other}` for `qz lint-src`"))),
+        }
+        i += 1;
+    }
+    Ok(lint)
 }
 
 /// Parses the flags of `qz fleet`.
@@ -795,9 +968,10 @@ pub const HELP: &str = "\
 qz — Quetzal experiment runner
 
 USAGE:
-  qz run            [--system QZ] [--env crowded] [--events 200] [--seed N]
+  qz run            [--system QZ] [--env crowded] [--events 200] [--seed N|0xN]
                     [--device apollo4|msp430] [--telemetry out.csv] [--plot]
                     [--engine fast-forward|tick]
+                    [--solar trace|floor|ceil] [--solar-seg 60]
   qz compare        [--env crowded] [--events 200] [--seed N] [--device …]
                     [--engine fast-forward|tick]
   qz export-traces  [--env crowded] [--events 200] [--seed N] [--out-dir DIR]
@@ -809,6 +983,11 @@ USAGE:
                     [--cap-mf 33] [--checkpoint jit|task-boundary|periodic:SECS]
                     [--cells 6] [--buffer 10] [--capture-period 1]
                     [--telemetry-period 1] [--snapshot-period 1]
+                    [--explain QZ010]
+  qz verify         [--system QZ] [--device apollo4|msp430|all] [--env crowded]
+                    [--events 40] [--seed N|0xN] [--segment 60] [--json]
+                    [--deny-unproven] [--engine fast-forward|tick]
+  qz lint-src       [--root .] [--allow-file lint-allow.txt] [--json]
   qz fleet          [--devices 16] [--events 40] [--seed N] [--system QZ]
                     [--device apollo4|msp430] [--envs more,crowded,less]
                     [--threads N] [--duty-cycle 0.1] [--slot-ms 50]
@@ -836,7 +1015,27 @@ ENGINES:       fast-forward (default; skips quiescent ticks in bulk, reports
 would use (energy feasibility, Little's-Law arrival pressure, degradation
 lattice, fixed-point ranges, control sanity) and exits nonzero on errors —
 or on warnings too, with --deny-warnings. Without --system it sweeps every
-shipped preset.
+shipped preset. --explain QZ0xx prints the catalog entry for one
+diagnostic code (typical severity, rationale, fix hint) and exits.
+
+`qz verify` runs the qz-absint abstract interpreter: an interval analysis
+over (capacitor energy, buffer occupancy, service budget) stepped window
+by window under a harvest *envelope* (per-segment min/max irradiance of
+the environment's solar trace, --segment seconds per band). It decides
+\"no energy stall\" and \"no input-buffer overflow\" per config: PROVEN
+holds for every harvest realization inside the envelope; REFUTED comes
+with a directed concrete counterexample and a single-line `qz run
+--solar …` repro; UNKNOWN reports the first blocking interval. Refuted
+properties exit nonzero; --deny-unproven also fails UNKNOWN. The static
+`qz check` preflight runs first and merges into the same report (each
+finding lists its sources once, deduplicated).
+
+`qz lint-src` walks every crates/*/src tree (comments and string
+literals stripped) for nondeterminism hazards — HashMap/HashSet
+iteration, wall-clock reads, thread identity, parallel reductions —
+and exits nonzero on findings not covered by the allowlist file
+(`path-substring:pattern` lines; empty pattern allows every pattern
+under the path).
 
 `qz fleet` simulates N independently-seeded devices sharing one duty-cycled
 uplink channel, in parallel (--threads 0 = all cores; QZ_THREADS also
@@ -1009,6 +1208,92 @@ mod tests {
         assert!(parse(&argv("check --events 5")).is_err(), "run-only flag");
         assert!(parse(&argv("check --telemetry-period 0")).is_err());
         assert!(parse(&argv("check --snapshot-period -2")).is_err());
+    }
+
+    #[test]
+    fn check_explain_flag() {
+        let Command::Check(c) = parse(&argv("check --explain QZ010")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.explain, Some(qz_check::Code::QZ010));
+        assert!(parse(&argv("check --explain QZ999")).is_err());
+        assert!(parse(&argv("check --explain")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn verify_defaults_and_flags() {
+        let Command::Verify(v) = parse(&argv("verify")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(v, VerifyArgs::default());
+        assert_eq!(v.system, None, "no --system sweeps every preset");
+        let Command::Verify(v) = parse(&argv(
+            "verify --system QZ --device msp430 --env quiet --events 12 --seed 0xBEEF \
+             --segment 30 --json --deny-unproven --engine tick",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(v.system, Some(BaselineKind::Quetzal));
+        assert_eq!(v.device, "msp430");
+        assert_eq!(v.env, EnvironmentKind::Quiet);
+        assert_eq!(v.events, 12);
+        assert_eq!(v.seed, 0xBEEF);
+        assert_eq!(v.segment, 30);
+        assert!(v.json && v.deny_unproven);
+        assert_eq!(v.engine, Some(qz_sim::EngineKind::Tick));
+    }
+
+    #[test]
+    fn verify_rejects_bad_input() {
+        assert!(parse(&argv("verify --device z80")).is_err());
+        assert!(parse(&argv("verify --events 0")).is_err());
+        assert!(parse(&argv("verify --segment 0")).is_err());
+        assert!(parse(&argv("verify --campaigns 4")).is_err(), "fault-only");
+        assert!(parse(&argv("verify --plot")).is_err(), "run-only flag");
+    }
+
+    #[test]
+    fn lint_src_defaults_and_flags() {
+        let Command::LintSrc(l) = parse(&argv("lint-src")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(l, LintSrcArgs::default());
+        assert_eq!(l.allow_file, "lint-allow.txt");
+        let Command::LintSrc(l) = parse(&argv(
+            "lint-src --root /tmp/ws --allow-file allow.txt --json",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(l.root, "/tmp/ws");
+        assert_eq!(l.allow_file, "allow.txt");
+        assert!(l.json);
+        assert!(
+            parse(&argv("lint-src --system QZ")).is_err(),
+            "foreign flag"
+        );
+    }
+
+    #[test]
+    fn run_solar_flags_and_repro_lines() {
+        let Command::Run(r) = parse(&argv("run")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.solar, qz_absint::SolarMode::Trace);
+        assert_eq!(r.solar_seg, 60);
+        // The exact flag vocabulary a `qz verify` refutation prints.
+        let Command::Run(r) = parse(&argv(
+            "run --system qz --device apollo4 --env crowded --events 40 \
+             --seed 0x134fd62 --solar floor --solar-seg 60",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.seed, 0x134_FD62);
+        assert_eq!(r.solar, qz_absint::SolarMode::Floor);
+        assert!(parse(&argv("run --solar eclipse")).is_err());
+        assert!(parse(&argv("run --solar-seg 0")).is_err());
     }
 
     #[test]

@@ -10,9 +10,15 @@
 mod args;
 mod plot;
 
-use args::{BenchArgs, CheckArgs, Command, FaultArgs, FleetArgs, ProfileArgs, RunArgs};
+use args::{
+    BenchArgs, CheckArgs, Command, FaultArgs, FleetArgs, LintSrcArgs, ProfileArgs, RunArgs,
+    VerifyArgs,
+};
+use qz_absint::{
+    decide, interpret, AbsModel, ConcreteObservation, HarvestEnvelope, Property, SolarMode, Verdict,
+};
 use qz_app::{
-    apollo4, check_experiment, ideal, msp430fr5994, simulate, simulate_traced,
+    apollo4, check_experiment, experiment_configs, ideal, msp430fr5994, simulate, simulate_traced,
     simulate_with_telemetry, timeline_names, AppModel, DeviceProfile, SimTweaks,
 };
 use qz_baselines::BaselineKind;
@@ -40,6 +46,8 @@ fn main() -> ExitCode {
         Command::ExportTraces(r) => export_traces(&r),
         Command::Trace(r) => trace(&r),
         Command::Check(c) => return check(&c),
+        Command::Verify(v) => return verify(&v),
+        Command::LintSrc(l) => return lint_src(&l),
         Command::Fleet(f) => fleet(&f),
         Command::Fault(f) => return fault(&f),
         Command::Profile(p) => profile(&p),
@@ -63,7 +71,24 @@ fn profile_for(args: &RunArgs) -> DeviceProfile {
 }
 
 fn environment(args: &RunArgs) -> SensingEnvironment {
-    SensingEnvironment::generate(args.env, args.events, args.seed)
+    let env = SensingEnvironment::generate(args.env, args.events, args.seed);
+    solar_corner(env, args.solar, args.solar_seg)
+}
+
+/// Swaps the realized solar trace for an envelope corner (`--solar
+/// floor|ceil`); the trace mode returns the environment untouched.
+fn solar_corner(env: SensingEnvironment, mode: SolarMode, segment_secs: u64) -> SensingEnvironment {
+    let envelope = match mode {
+        SolarMode::Trace => return env,
+        SolarMode::Floor | SolarMode::Ceil => {
+            HarvestEnvelope::from_trace(env.solar(), segment_secs)
+        }
+    };
+    let solar = match mode {
+        SolarMode::Floor => envelope.floor_trace(),
+        _ => envelope.ceil_trace(),
+    };
+    SensingEnvironment::with_parts(env.kind(), env.events().clone(), solar)
 }
 
 fn tweaks_for(args: &RunArgs) -> SimTweaks {
@@ -122,6 +147,13 @@ const PRESET_SWEEP: [BaselineKind; 13] = [
 ];
 
 fn check(args: &CheckArgs) -> ExitCode {
+    if let Some(code) = args.explain {
+        println!("{code}: {}", code.summary());
+        println!("typical severity: {}", code.typical_severity());
+        println!("\nrationale:\n  {}", code.rationale());
+        println!("\nfix:\n  {}", code.fix_hint());
+        return ExitCode::SUCCESS;
+    }
     let systems: Vec<BaselineKind> = match args.system {
         Some(kind) => vec![kind],
         None => PRESET_SWEEP.to_vec(),
@@ -160,6 +192,7 @@ fn check(args: &CheckArgs) -> ExitCode {
         for &kind in &systems {
             let mut report = check_experiment(kind, profile, &tweaks);
             report.allow(&args.allow);
+            report.tag_source("sweep");
             failed |= report.fails(args.deny_warnings);
             if args.json {
                 json_entries.push(format!(
@@ -195,6 +228,264 @@ fn check(args: &CheckArgs) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Minimal JSON string escaping for the hand-rolled emitters below.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn verdict_json(v: &Verdict, repro: &dyn Fn(SolarMode) -> String) -> String {
+    match v {
+        Verdict::Proven => String::from("{\"verdict\":\"PROVEN\"}"),
+        Verdict::Refuted { mode } => format!(
+            "{{\"verdict\":\"REFUTED\",\"mode\":\"{}\",\"repro\":\"{}\"}}",
+            mode.token(),
+            json_escape(&repro(*mode))
+        ),
+        Verdict::Unknown { blocking } => format!(
+            "{{\"verdict\":\"UNKNOWN\",\"blocking\":\"{}\"}}",
+            json_escape(blocking)
+        ),
+    }
+}
+
+fn verdict_text(v: &Verdict, repro: &dyn Fn(SolarMode) -> String) -> String {
+    match v {
+        Verdict::Proven => {
+            String::from("PROVEN (holds for every harvest realization inside the envelope)")
+        }
+        Verdict::Refuted { mode } => format!(
+            "REFUTED ({}-corner witness)\n    repro: {}",
+            mode.token(),
+            repro(*mode)
+        ),
+        Verdict::Unknown { blocking } => format!("UNKNOWN ({blocking})"),
+    }
+}
+
+fn verify(args: &VerifyArgs) -> ExitCode {
+    let systems: Vec<BaselineKind> = match args.system {
+        Some(kind) => vec![kind],
+        None => PRESET_SWEEP.to_vec(),
+    };
+    let profiles: Vec<DeviceProfile> = match args.device.as_str() {
+        "apollo4" => vec![apollo4()],
+        "msp430" => vec![msp430fr5994()],
+        _ => vec![apollo4(), msp430fr5994()],
+    };
+    let mut tweaks = SimTweaks {
+        seed: args.seed,
+        ..SimTweaks::default()
+    };
+    if let Some(engine) = args.engine {
+        tweaks.engine = engine;
+    }
+    let base_env = SensingEnvironment::generate(args.env, args.events, args.seed);
+    let envelope = HarvestEnvelope::from_trace(base_env.solar(), args.segment);
+
+    let mut failed = false;
+    let mut json_entries = Vec::new();
+    for profile in &profiles {
+        for &kind in &systems {
+            // Static preflight first: its findings merge with the
+            // engine's under per-path sources, and a QZ031-invalid
+            // config means the abstract model is not constructible.
+            let mut report = check_experiment(kind, profile, &tweaks);
+            report.tag_source("preflight");
+            let (app, _qcfg, cfg) = experiment_configs(kind, profile, &tweaks);
+            let invalid = report.diagnostics().iter().any(|d| {
+                d.code == qz_check::Code::QZ031 && d.severity == qz_check::Severity::Error
+            });
+            let (no_overflow, no_stall) = if invalid {
+                let blocking =
+                    String::from("config invalid (QZ031); the abstract model is not constructible");
+                (
+                    Verdict::Unknown {
+                        blocking: blocking.clone(),
+                    },
+                    Verdict::Unknown { blocking },
+                )
+            } else {
+                let model = AbsModel::new(&app.spec, &cfg.device, &cfg.power);
+                let run = interpret(&model, &envelope, base_env.events(), cfg.drain.as_millis());
+                // The directed search shares one observation cache
+                // across both properties (three corner runs at most).
+                let mut cache: [Option<ConcreteObservation>; 3] = [None; 3];
+                let mut observe = |mode: SolarMode| {
+                    let slot = mode as usize;
+                    if cache[slot].is_none() {
+                        let cenv = solar_corner(base_env.clone(), mode, args.segment);
+                        let m = simulate(kind, profile, &cenv, &tweaks);
+                        cache[slot] = Some(ConcreteObservation::from_metrics(&m));
+                    }
+                    cache[slot]
+                };
+                (
+                    decide(&run, Property::Overflow, &mut observe),
+                    decide(&run, Property::Stall, &mut observe),
+                )
+            };
+            let repro = |mode: SolarMode| {
+                format!(
+                    "qz run --system {} --device {} --env {} --events {} --seed {:#x} \
+                     --solar {} --solar-seg {}",
+                    qz_fault::cli_system_token(kind),
+                    qz_fault::cli_device_token(profile.name),
+                    qz_fault::cli_env_token(args.env),
+                    args.events,
+                    args.seed,
+                    mode.token(),
+                    args.segment,
+                )
+            };
+            // Refutations re-emit the stable heuristic codes with the
+            // engine's evidence; merge_from deduplicates any finding
+            // both paths produced identically.
+            let mut engine_report = qz_check::Report::new();
+            if let Verdict::Refuted { mode } = &no_overflow {
+                engine_report.push(
+                    qz_check::Code::QZ010,
+                    qz_check::Severity::Error,
+                    qz_check::Span::default(),
+                    format!(
+                        "no-overflow refuted under the harvest envelope: the {}-corner run \
+                         discarded frames to input-buffer overflow; repro: {}",
+                        mode.token(),
+                        repro(*mode)
+                    ),
+                );
+            }
+            if let Verdict::Refuted { mode } = &no_stall {
+                engine_report.push(
+                    qz_check::Code::QZ001,
+                    qz_check::Severity::Error,
+                    qz_check::Span::default(),
+                    format!(
+                        "no-stall refuted under the harvest envelope: the {}-corner run \
+                         power-failed without completing a single report; repro: {}",
+                        mode.token(),
+                        repro(*mode)
+                    ),
+                );
+            }
+            report.merge_from("verify", engine_report);
+
+            failed |= matches!(no_overflow, Verdict::Refuted { .. })
+                || matches!(no_stall, Verdict::Refuted { .. });
+            if args.deny_unproven {
+                failed |= !(no_overflow.is_proven() && no_stall.is_proven());
+            }
+
+            if args.json {
+                json_entries.push(format!(
+                    "{{\"system\":\"{}\",\"device\":\"{}\",\"env\":\"{}\",\"events\":{},\
+                     \"seed\":{},\"segment_secs\":{},\"verdicts\":{{\"overflow\":{},\
+                     \"stall\":{}}},\"report\":{}}}",
+                    kind.label(),
+                    profile.name,
+                    qz_fault::cli_env_token(args.env),
+                    args.events,
+                    args.seed,
+                    args.segment,
+                    verdict_json(&no_overflow, &repro),
+                    verdict_json(&no_stall, &repro),
+                    report.render_json(),
+                ));
+            } else {
+                println!("{} on {}:", kind.label(), profile.name);
+                println!("  no-overflow: {}", verdict_text(&no_overflow, &repro));
+                println!("  no-stall:    {}", verdict_text(&no_stall, &repro));
+                if !report.is_empty() {
+                    for line in report.render_text().lines() {
+                        println!("  {line}");
+                    }
+                }
+                println!();
+            }
+        }
+    }
+    if args.json {
+        println!(
+            "{{\"tool\":\"qz-verify\",\"configs\":[{}]}}",
+            json_entries.join(",")
+        );
+    } else if failed {
+        println!(
+            "FAILED{}",
+            if args.deny_unproven {
+                " (unproven denied)"
+            } else {
+                ""
+            }
+        );
+    } else {
+        println!("OK");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn lint_src(args: &LintSrcArgs) -> ExitCode {
+    let root = std::path::Path::new(&args.root);
+    let allow = qz_absint::Allowlist::load(&root.join(&args.allow_file));
+    let findings = qz_absint::scan_workspace(root, &allow);
+    if args.json {
+        let items: Vec<String> = findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"path\":\"{}\",\"line\":{},\"pattern\":\"{}\",\"rationale\":\"{}\"}}",
+                    json_escape(&f.path),
+                    f.line,
+                    f.pattern,
+                    f.rationale
+                )
+            })
+            .collect();
+        println!(
+            "{{\"tool\":\"qz-lint-src\",\"allowlist_entries\":{},\"findings\":[{}]}}",
+            allow.len(),
+            items.join(",")
+        );
+    } else {
+        for f in &findings {
+            println!("{}:{}: `{}` — {}", f.path, f.line, f.pattern, f.rationale);
+        }
+        if findings.is_empty() {
+            println!(
+                "OK: no nondeterminism hazards outside the allowlist ({} entr{})",
+                allow.len(),
+                if allow.len() == 1 { "y" } else { "ies" }
+            );
+        } else {
+            println!(
+                "FAILED: {} hazard(s); document deliberate uses in {}",
+                findings.len(),
+                args.allow_file
+            );
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

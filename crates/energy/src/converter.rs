@@ -77,6 +77,15 @@ impl EfficiencyCurve {
         ])
     }
 
+    /// The curve's `(input power, efficiency)` points, strictly
+    /// increasing in power. Interval analyses (e.g. the abstract
+    /// interpreter's harvest bounds) evaluate the output at these knots
+    /// in addition to range corners, because `power × efficiency` is
+    /// only piecewise-monotone.
+    pub fn points(&self) -> &[(Watts, f64)] {
+        &self.points
+    }
+
     /// Efficiency at the given input power.
     pub fn at(&self, input: Watts) -> f64 {
         let p = input.value();

@@ -130,6 +130,55 @@ impl Harvester {
         raw * eff
     }
 
+    /// Tight bounds on [`Harvester::output`] over an irradiance band:
+    /// the `(min, max)` charging power over every irradiance in
+    /// `[irr_lo, irr_hi]` (clamped into `[0, 1]`).
+    ///
+    /// With a flat efficiency the output is linear in irradiance and
+    /// the corners are exact. With an [`crate::EfficiencyCurve`] the
+    /// output `raw × eff(raw)` is piecewise-quadratic, so the bounds
+    /// also evaluate every curve knot inside the band and each
+    /// quadratic piece's interior extremum.
+    pub fn output_bounds(&self, irr_lo: f64, irr_hi: f64) -> (Watts, Watts) {
+        let lo = irr_lo.clamp(0.0, 1.0);
+        let hi = irr_hi.clamp(0.0, 1.0).max(lo);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut consider = |irr: f64| {
+            let out = self.output(irr).value();
+            min = min.min(out);
+            max = max.max(out);
+        };
+        consider(lo);
+        consider(hi);
+        if let Some(curve) = &self.curve {
+            let dmax = self.datasheet_max().value();
+            let raw_lo = dmax * lo;
+            let raw_hi = dmax * hi;
+            let knots = curve.points();
+            for pair in knots.windows(2) {
+                let (p0, e0) = (pair[0].0.value(), pair[0].1);
+                let (p1, e1) = (pair[1].0.value(), pair[1].1);
+                // out(raw) = raw·(e0 + b·(raw − p0)) on [p0, p1]; its
+                // interior extremum sits where the derivative is zero.
+                let b = (e1 - e0) / (p1 - p0);
+                if b.abs() > f64::EPSILON {
+                    let vertex = (b * p0 - e0) / (2.0 * b);
+                    if vertex > p0 && vertex < p1 && vertex > raw_lo && vertex < raw_hi {
+                        consider(vertex / dmax);
+                    }
+                }
+            }
+            for &(p, _) in knots {
+                let raw = p.value();
+                if raw > raw_lo && raw < raw_hi {
+                    consider(raw / dmax);
+                }
+            }
+        }
+        (Watts(min), Watts(max))
+    }
+
     /// Returns a copy of this harvester with a different cell count
     /// (used by the Fig. 14 cell-count sweep).
     ///
@@ -223,7 +272,27 @@ mod tests {
         assert_eq!(h.efficiency(), 0.80);
     }
 
+    #[test]
+    fn output_bounds_flat_are_the_corners() {
+        let h = h();
+        let (lo, hi) = h.output_bounds(0.2, 0.7);
+        assert!((lo.value() - h.output(0.2).value()).abs() < 1e-15);
+        assert!((hi.value() - h.output(0.7).value()).abs() < 1e-15);
+    }
+
     proptest! {
+        #[test]
+        fn output_bounds_bracket_samples(a in 0.0f64..1.0, b in 0.0f64..1.0, s in 0.0f64..1.0) {
+            use crate::EfficiencyCurve;
+            let h = h().with_curve(EfficiencyCurve::bq25504_like());
+            let (lo, hi) = (a.min(b), a.max(b));
+            let (out_lo, out_hi) = h.output_bounds(lo, hi);
+            let irr = lo + s * (hi - lo);
+            let out = h.output(irr).value();
+            prop_assert!(out >= out_lo.value() - 1e-12, "{out} < {}", out_lo.value());
+            prop_assert!(out <= out_hi.value() + 1e-12, "{out} > {}", out_hi.value());
+        }
+
         #[test]
         fn output_monotone_in_irradiance(a in 0.0f64..1.0, b in 0.0f64..1.0) {
             let h = h();

@@ -1,0 +1,122 @@
+//! Pins the machine-readable output schemas of `qz check --json` and
+//! `qz verify --json` by running the actual binary against fixed
+//! configurations and comparing stdout to committed golden files —
+//! the same contract style as `tests/golden/flight_dump.json` pins
+//! `qz-flight/v1`. Downstream tooling keys on these field names
+//! (`sources`, `verdicts`, `repro`, …), so any drift is a conscious
+//! re-baseline.
+//!
+//! A failure is either a model/message change (re-baseline after
+//! reading the diff) or an incompatible schema change (update the
+//! consumers too). Regenerate with the commands in each golden's
+//! companion constant below, e.g.
+//! `cargo run -p qz-cli -- check --system AvgSe2e --device msp430 --json`.
+
+use std::process::Command;
+
+/// Runs the `qz` binary, returning `(stdout, success)`.
+fn run_qz(args: &[&str]) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_qz"))
+        .args(args)
+        .output()
+        .expect("qz binary runs");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        out.status.success(),
+    )
+}
+
+const CHECK_ARGS: &[&str] = &[
+    "check", "--system", "AvgSe2e", "--device", "msp430", "--json",
+];
+const VERIFY_PROVEN_ARGS: &[&str] = &[
+    "verify", "--system", "QZ", "--device", "apollo4", "--env", "quiet", "--events", "10", "--json",
+];
+const VERIFY_REFUTED_ARGS: &[&str] = &[
+    "verify", "--system", "lcfs", "--device", "msp430", "--env", "crowded", "--events", "40",
+    "--json",
+];
+
+#[test]
+fn check_json_matches_golden() {
+    let (got, ok) = run_qz(CHECK_ARGS);
+    assert!(ok, "warnings alone must not fail `qz check`");
+    let want = include_str!("golden/check_schema.json");
+    assert_eq!(
+        got.trim_end(),
+        want.trim_end(),
+        "check JSON drifted — re-baseline tests/golden/check_schema.json if intentional:\n{got}"
+    );
+}
+
+#[test]
+fn verify_proven_json_matches_golden() {
+    let (got, ok) = run_qz(VERIFY_PROVEN_ARGS);
+    assert!(ok, "a fully proven config must exit zero");
+    let want = include_str!("golden/verify_schema.json");
+    assert_eq!(
+        got.trim_end(),
+        want.trim_end(),
+        "verify JSON drifted — re-baseline tests/golden/verify_schema.json if intentional:\n{got}"
+    );
+}
+
+#[test]
+fn verify_refuted_json_matches_golden() {
+    let (got, ok) = run_qz(VERIFY_REFUTED_ARGS);
+    assert!(!ok, "a refuted property must exit nonzero");
+    let want = include_str!("golden/verify_refuted_schema.json");
+    assert_eq!(
+        got.trim_end(),
+        want.trim_end(),
+        "verify JSON drifted — re-baseline tests/golden/verify_refuted_schema.json if \
+         intentional:\n{got}"
+    );
+}
+
+/// Structural guarantees the goldens rely on, stated explicitly so a
+/// re-baseline can't silently drop a contract field.
+#[test]
+fn schema_keys_are_present() {
+    let (check, _) = run_qz(CHECK_ARGS);
+    for key in ["\"system\":", "\"device\":", "\"report\":", "\"sources\":"] {
+        assert!(check.contains(key), "check JSON lost {key}: {check}");
+    }
+    let (verify, _) = run_qz(VERIFY_REFUTED_ARGS);
+    for key in [
+        "\"tool\":\"qz-verify\"",
+        "\"verdicts\":",
+        "\"overflow\":",
+        "\"stall\":",
+        "\"verdict\":\"REFUTED\"",
+        "\"mode\":\"floor\"",
+        "\"repro\":\"qz run ",
+        "\"segment_secs\":",
+        "\"sources\":[\"preflight\"]",
+        "\"sources\":[\"verify\"]",
+    ] {
+        assert!(verify.contains(key), "verify JSON lost {key}: {verify}");
+    }
+}
+
+/// The repro line a refutation prints must parse back through the CLI
+/// (`qz run --solar …`) and reproduce the violation it names.
+#[test]
+fn refutation_repro_line_round_trips() {
+    let (verify, _) = run_qz(VERIFY_REFUTED_ARGS);
+    let repro = verify
+        .split("\"repro\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("refuted verdict carries a repro line");
+    let args: Vec<&str> = repro.split_whitespace().skip(1).collect();
+    let (out, ok) = run_qz(&args);
+    assert!(ok, "repro line failed to run: {repro}");
+    let ibo: u64 = out
+        .split(" IBO,")
+        .next()
+        .and_then(|head| head.rsplit('(').next())
+        .and_then(|n| n.trim().parse().ok())
+        .expect("metrics line reports IBO discards");
+    assert!(ibo > 0, "repro run showed no overflow: {out}");
+}
