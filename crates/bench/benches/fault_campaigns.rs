@@ -1,0 +1,148 @@
+//! Measures qz-fault campaign throughput with prefix-snapshot forking
+//! ([`CampaignMode::Snapshot`]) versus replay-from-zero
+//! ([`CampaignMode::Replay`]) on the standard 210-campaign suite
+//! (3 environments × 70 campaigns, every fault class gated to ~75% of
+//! the fault-free run), and appends one record to the
+//! `results/BENCH_fault_campaigns.json` trajectory (`qz bench --check`
+//! gates on the newest record).
+//!
+//! The workspace's criterion shim has no measurement API, so this
+//! harness times suites itself with `std::time::Instant` (best of
+//! `REPS`). Both modes run the same seeds; the harness asserts their
+//! reports are byte-identical before reporting any number, so a
+//! speedup can never come from divergence.
+
+use qz_app::SimTweaks;
+use qz_fault::{run_campaigns_with, run_one, CampaignConfig, CampaignMode, FaultPlan, FaultReport};
+use qz_fleet::Executor;
+use qz_traces::{EnvironmentKind, SensingEnvironment};
+use qz_types::SimDuration;
+use std::hint::black_box;
+use std::time::Instant;
+
+const REPS: usize = 2;
+const CAMPAIGNS: usize = 70;
+const SEED: u64 = 0xFA017;
+
+/// One suite configuration: the standard plan with the fault gate at
+/// ~75% of the fault-free run, so the forked suffix is the final
+/// quarter of the timeline.
+fn config(env_kind: EnvironmentKind) -> CampaignConfig {
+    let mut cfg = CampaignConfig {
+        env: env_kind,
+        events: 12,
+        campaigns: CAMPAIGNS,
+        seed: SEED,
+        plan: FaultPlan::standard(),
+        tweaks: SimTweaks {
+            drain: SimDuration::from_secs(60),
+            ..SimTweaks::default()
+        },
+        ..CampaignConfig::default()
+    };
+    let env = SensingEnvironment::generate(cfg.env, cfg.events, cfg.env_seed());
+    let mut tweaks = cfg.tweaks.clone();
+    tweaks.seed = cfg.sim_seed();
+    let (clean, _) = run_one(cfg.system, &cfg.profile, &env, &tweaks, None);
+    let clean_ms = clean.metrics.sim_time.as_millis();
+    cfg.injection_at = SimDuration::from_secs(clean_ms * 3 / 4 / 1000);
+    cfg
+}
+
+/// Best-of-`REPS` wall-clock for one campaign mode; returns the report
+/// so the caller can assert both modes agree.
+fn time_mode(cfg: &CampaignConfig, mode: CampaignMode) -> (f64, FaultReport) {
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let r = run_campaigns_with(cfg, Executor::new(1), mode).expect("campaign suite runs");
+        best = best.min(start.elapsed().as_secs_f64());
+        report = Some(black_box(r));
+    }
+    (best, report.expect("REPS > 0"))
+}
+
+struct Outcome {
+    label: &'static str,
+    inject_at_s: u64,
+    replay_secs: f64,
+    snapshot_secs: f64,
+}
+
+impl Outcome {
+    fn speedup(&self) -> f64 {
+        self.replay_secs / self.snapshot_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+fn run_case(env_kind: EnvironmentKind) -> Outcome {
+    let cfg = config(env_kind);
+    let (replay_secs, replay_report) = time_mode(&cfg, CampaignMode::Replay);
+    let (snapshot_secs, snapshot_report) = time_mode(&cfg, CampaignMode::Snapshot);
+    assert_eq!(
+        replay_report.to_json(),
+        snapshot_report.to_json(),
+        "modes diverged on {} — a speedup number would be meaningless",
+        env_kind.label()
+    );
+    Outcome {
+        label: env_kind.label(),
+        inject_at_s: cfg.injection_at.as_millis() / 1000,
+        replay_secs,
+        snapshot_secs,
+    }
+}
+
+fn main() {
+    let envs = [
+        EnvironmentKind::Quiet,
+        EnvironmentKind::Crowded,
+        EnvironmentKind::MoreCrowded,
+    ];
+
+    let mut rows = Vec::new();
+    for env_kind in envs {
+        let o = run_case(env_kind);
+        println!(
+            "{:>12}: {} campaigns, inject at {}s | replay {:.3} s | snapshot {:.3} s | {:.1}x",
+            o.label,
+            CAMPAIGNS,
+            o.inject_at_s,
+            o.replay_secs,
+            o.snapshot_secs,
+            o.speedup()
+        );
+        rows.push(o);
+    }
+
+    let repo = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cases: Vec<qz_prof::BenchCase> = rows
+        .iter()
+        .map(|o| qz_prof::BenchCase {
+            name: o.label.to_owned(),
+            values: vec![
+                (
+                    "campaigns".to_owned(),
+                    as_metric(u64::try_from(CAMPAIGNS).unwrap_or(u64::MAX)),
+                ),
+                ("inject_at_s".to_owned(), as_metric(o.inject_at_s)),
+                ("replay_secs".to_owned(), o.replay_secs),
+                ("snapshot_secs".to_owned(), o.snapshot_secs),
+                ("speedup".to_owned(), o.speedup()),
+            ],
+        })
+        .collect();
+    let path = repo.join("results/BENCH_fault_campaigns.json");
+    let run =
+        qz_prof::Trajectory::append_run(&path, "fault_campaigns", &qz_prof::git_rev(&repo), cases)
+            .expect("append BENCH_fault_campaigns.json");
+    println!("appended run {run} to {}", path.display());
+}
+
+/// Counter values stored as f64 in the trajectory; the counts here fit
+/// f64's 53-bit mantissa comfortably.
+#[allow(clippy::cast_precision_loss)]
+fn as_metric(v: u64) -> f64 {
+    v as f64
+}

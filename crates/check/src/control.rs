@@ -25,10 +25,38 @@ const MAX_CLAMP_SECONDS: f64 = 30.0;
 /// Shipped presets capture at 1 FPS (1000 ticks), far above this.
 const HORIZON_COLLAPSE_TICKS: u64 = 10;
 
+/// Resident-memory budget for a snapshot ring before `QZ073` fires.
+pub const SNAPSHOT_RING_BUDGET_BYTES: u64 = 256 * 1024 * 1024;
+
 pub(crate) fn run(input: &CheckInput<'_>, report: &mut Report) {
     pid(input, report);
     windows(input, report);
     horizon(input, report);
+}
+
+/// `QZ073` on its own scalars: would a ring of `capacity` snapshots at
+/// `bytes_per_snapshot` bytes each outgrow the memory budget?
+/// Standalone (plain numbers) so the CLI can evaluate it against a
+/// *measured* snapshot size without this crate depending on `qz-snap`.
+pub fn check_snapshot_ring(bytes_per_snapshot: u64, capacity: u64) -> Report {
+    let mut report = Report::new();
+    let total = bytes_per_snapshot.saturating_mul(capacity);
+    if total > SNAPSHOT_RING_BUDGET_BYTES {
+        report.push(
+            Code::QZ073,
+            Severity::Warning,
+            Span::field("snapshot_ring"),
+            format!(
+                "a ring of {capacity} snapshots at ~{bytes_per_snapshot} bytes each holds \
+                 ~{} MiB of serialized state, past the {} MiB budget; shrink the ring or \
+                 lengthen the stride",
+                total / (1024 * 1024),
+                SNAPSHOT_RING_BUDGET_BYTES / (1024 * 1024),
+            ),
+        );
+    }
+    report.sort();
+    report
 }
 
 /// QZ070: the capture period forces a horizon collapse. QZ071: the
@@ -393,6 +421,26 @@ mod tests {
             .diagnostics()
             .iter()
             .all(|d| d.code != Code::QZ071));
+    }
+
+    #[test]
+    fn snapshot_ring_budget_warns_past_the_line() {
+        // 1 MiB snapshots × 64 slots = 64 MiB: fine.
+        assert!(check_snapshot_ring(1024 * 1024, 64)
+            .diagnostics()
+            .is_empty());
+        // 8 MiB snapshots × 64 slots = 512 MiB: QZ073.
+        let report = check_snapshot_ring(8 * 1024 * 1024, 64);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, Code::QZ073);
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("512 MiB"), "{}", d.message);
+        assert!(d.message.contains("256 MiB budget"), "{}", d.message);
+        // Overflow-proof.
+        assert_eq!(
+            check_snapshot_ring(u64::MAX, u64::MAX).diagnostics()[0].code,
+            Code::QZ073
+        );
     }
 
     #[test]

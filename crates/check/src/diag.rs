@@ -104,11 +104,15 @@ pub enum Code {
     /// an observation boundary lands on (almost) every tick: the
     /// instrumentation itself collapses the fast-forward event horizon.
     QZ071,
+    /// The requested snapshot ring would hold more serialized state
+    /// than the memory budget allows: ring capacity times the
+    /// estimated per-snapshot size exceeds the budget.
+    QZ073,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 27] = [
+    pub const ALL: [Code; 28] = [
         Code::QZ001,
         Code::QZ002,
         Code::QZ003,
@@ -136,6 +140,7 @@ impl Code {
         Code::QZ062,
         Code::QZ070,
         Code::QZ071,
+        Code::QZ073,
     ];
 
     /// The stable string form, e.g. `"QZ001"`.
@@ -168,6 +173,7 @@ impl Code {
             Code::QZ062 => "QZ062",
             Code::QZ070 => "QZ070",
             Code::QZ071 => "QZ071",
+            Code::QZ073 => "QZ073",
         }
     }
 
@@ -203,6 +209,7 @@ impl Code {
             Code::QZ062 => "expected replay per failure ≥ failure period (livelock)",
             Code::QZ070 => "capture period collapses the fast-forward event horizon",
             Code::QZ071 => "telemetry/snapshot period collapses the fast-forward event horizon",
+            Code::QZ073 => "snapshot ring exceeds the memory budget",
         }
     }
 
@@ -241,7 +248,8 @@ impl Code {
             | Code::QZ061
             | Code::QZ062
             | Code::QZ070
-            | Code::QZ071 => "warning",
+            | Code::QZ071
+            | Code::QZ073 => "warning",
             Code::QZ013 | Code::QZ023 => "note",
             Code::QZ030 | Code::QZ033 => "note (warning with the hardware estimator)",
         }
@@ -388,6 +396,13 @@ impl Code {
                  on every tick, so the instrumentation itself collapses the fast-forward \
                  event horizon."
             }
+            Code::QZ073 => {
+                "Every held snapshot is a full serialized engine state; a ring of N of \
+                 them costs N times the per-snapshot size in resident memory. Past the \
+                 budget the time-travel machinery starts displacing the simulation it \
+                 instruments (page-cache pressure, allocator churn), and on small hosts \
+                 it simply OOMs."
+            }
         }
     }
 
@@ -468,6 +483,11 @@ impl Code {
             }
             Code::QZ070 => "Lengthen capture_period, or accept per-tick stepping.",
             Code::QZ071 => "Lengthen the telemetry/snapshot period, or drop the instrumentation.",
+            Code::QZ073 => {
+                "Shrink --snapshot-ring, lengthen --snapshot-stride (fewer live snapshots \
+                 needed for the same timeline reach), or trim telemetry so each snapshot \
+                 serializes smaller."
+            }
         }
     }
 }

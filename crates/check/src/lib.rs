@@ -65,6 +65,7 @@ use quetzal::model::{AppSpec, TaskCost, TaskKind, TaskSpec};
 use quetzal::QuetzalConfig;
 use qz_sim::{DeviceConfig, PowerConfig};
 
+pub use control::{check_snapshot_ring, SNAPSHOT_RING_BUDGET_BYTES};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use faults::{check_faults, FaultCheckInput};
 pub use fleet::{check_fleet, FleetCheckInput};

@@ -30,6 +30,12 @@ pub enum Command {
     /// `qz fault …` — seeded fault-injection campaigns judged by the
     /// differential oracle harness.
     Fault(FaultArgs),
+    /// `qz branch …` — fork a run at a tick under modified tweaks and
+    /// report where the decision streams first diverge.
+    Branch(BranchArgs),
+    /// `qz bisect …` — binary-search a faulted campaign against its
+    /// fault-free twin for the exact first divergent tick.
+    Bisect(BisectArgs),
     /// `qz profile …` — run one simulation with the phase profiler and
     /// horizon-cause accounting enabled and explain where time went.
     Profile(ProfileArgs),
@@ -102,6 +108,96 @@ impl Default for BenchArgs {
     }
 }
 
+/// Options for `qz branch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchArgs {
+    /// System under test.
+    pub system: BaselineKind,
+    /// Device profile (`apollo4` or `msp430`).
+    pub device: String,
+    /// Sensing environment.
+    pub env: EnvironmentKind,
+    /// Events in the environment trace.
+    pub events: usize,
+    /// Environment/simulation seed.
+    pub seed: u64,
+    /// Simulation engine override.
+    pub engine: Option<qz_sim::EngineKind>,
+    /// Fork instant, seconds of simulated time.
+    pub at: u64,
+    /// Fork with the PID error-mitigation loop disabled.
+    pub fork_no_pid: bool,
+    /// Fork with sticky current-option scheduling disabled.
+    pub fork_no_sticky: bool,
+    /// Fork under a different checkpoint policy.
+    pub fork_checkpoint: Option<qz_sim::CheckpointPolicy>,
+    /// Fork under a different capture period, seconds.
+    pub fork_capture_period: Option<f64>,
+}
+
+impl Default for BranchArgs {
+    fn default() -> BranchArgs {
+        BranchArgs {
+            system: BaselineKind::Quetzal,
+            device: "apollo4".into(),
+            env: EnvironmentKind::Crowded,
+            events: 40,
+            seed: 20_250_330,
+            engine: None,
+            at: 60,
+            fork_no_pid: false,
+            fork_no_sticky: false,
+            fork_checkpoint: None,
+            fork_capture_period: None,
+        }
+    }
+}
+
+/// Options for `qz bisect`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BisectArgs {
+    /// Fault plan preset (`smoke`, `standard`, `heavy`).
+    pub preset: String,
+    /// System under test.
+    pub system: BaselineKind,
+    /// Device profile (`apollo4` or `msp430`).
+    pub device: String,
+    /// Sensing environment.
+    pub env: EnvironmentKind,
+    /// Events in the shared environment trace.
+    pub events: usize,
+    /// Global index of the campaign to bisect.
+    pub start: usize,
+    /// Master campaign seed (decimal or `0x`-prefixed hex).
+    pub seed: u64,
+    /// Gate every fault class until this many seconds in.
+    pub inject_at: u64,
+    /// Simulation engine override.
+    pub engine: Option<qz_sim::EngineKind>,
+    /// Coarse-pass snapshot stride, seconds.
+    pub stride: u64,
+    /// Snapshot ring capacity per twin.
+    pub ring: usize,
+}
+
+impl Default for BisectArgs {
+    fn default() -> BisectArgs {
+        BisectArgs {
+            preset: "standard".into(),
+            system: BaselineKind::Quetzal,
+            device: "apollo4".into(),
+            env: EnvironmentKind::Crowded,
+            events: 12,
+            start: 0,
+            seed: 0xFA017,
+            inject_at: 0,
+            engine: None,
+            stride: 10,
+            ring: 64,
+        }
+    }
+}
+
 /// Options for `qz fault`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultArgs {
@@ -132,6 +228,14 @@ pub struct FaultArgs {
     /// Directory for `qz-flight/v1` postmortem dumps of violated
     /// campaigns (one JSON file per violation).
     pub postmortem: Option<String>,
+    /// Gate every fault class until this many seconds in (the faulted
+    /// prefix forks from a shared snapshot at this instant).
+    pub inject_at: u64,
+    /// Snapshot ring capacity declared for the QZ073 memory-budget
+    /// preflight (`None` skips the estimate).
+    pub snapshot_ring: Option<usize>,
+    /// Snapshot stride, seconds, for the QZ073 preflight context.
+    pub snapshot_stride: Option<u64>,
 }
 
 impl Default for FaultArgs {
@@ -149,6 +253,9 @@ impl Default for FaultArgs {
             json: None,
             engine: None,
             postmortem: None,
+            inject_at: 0,
+            snapshot_ring: None,
+            snapshot_stride: None,
         }
     }
 }
@@ -382,6 +489,11 @@ pub struct RunArgs {
     pub solar: qz_absint::SolarMode,
     /// Envelope segment length for `--solar floor|ceil`, seconds.
     pub solar_seg: u64,
+    /// Keep a rolling snapshot ring of this capacity while running
+    /// (`Run` only; enables rollback studies and the QZ073 preflight).
+    pub snapshot_ring: Option<usize>,
+    /// Snapshot ring capture stride, seconds (`Run` only).
+    pub snapshot_stride: Option<u64>,
 }
 
 impl Default for RunArgs {
@@ -402,6 +514,8 @@ impl Default for RunArgs {
             engine: None,
             solar: qz_absint::SolarMode::Trace,
             solar_seg: 60,
+            snapshot_ring: None,
+            snapshot_stride: None,
         }
     }
 }
@@ -498,6 +612,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     if sub == "fault" {
         return parse_fault(&args[1..]).map(Command::Fault);
     }
+    if sub == "branch" {
+        return parse_branch(&args[1..]).map(Command::Branch);
+    }
+    if sub == "bisect" {
+        return parse_bisect(&args[1..]).map(Command::Bisect);
+    }
     if sub == "profile" {
         return parse_profile(&args[1..]).map(Command::Profile);
     }
@@ -556,6 +676,24 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     return Err(err("`--solar-seg` must be at least 1 second"));
                 }
             }
+            "--snapshot-ring" => {
+                let n: usize = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--snapshot-ring` must be a positive integer"))?;
+                if n == 0 {
+                    return Err(err("`--snapshot-ring` must be at least 1"));
+                }
+                run.snapshot_ring = Some(n);
+            }
+            "--snapshot-stride" => {
+                let s: u64 = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--snapshot-stride` must be a number of seconds"))?;
+                if s == 0 {
+                    return Err(err("`--snapshot-stride` must be at least 1 second"));
+                }
+                run.snapshot_stride = Some(s);
+            }
             other => return Err(err(format!("unknown flag `{other}`"))),
         }
         i += 1;
@@ -567,7 +705,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "trace" => Ok(Command::Trace(run)),
         other => Err(err(format!(
             "unknown command `{other}` (try run, compare, export-traces, trace, check, fleet, \
-             fault, profile, bench)"
+             fault, branch, bisect, profile, bench)"
         ))),
     }
 }
@@ -891,11 +1029,166 @@ fn parse_fault(args: &[String]) -> Result<FaultArgs, ParseError> {
             "--json" => fault.json = Some(take_value(&mut i, flag)?),
             "--engine" => fault.engine = Some(parse_engine(&take_value(&mut i, flag)?)?),
             "--postmortem" => fault.postmortem = Some(take_value(&mut i, flag)?),
+            "--inject-at" => {
+                fault.inject_at = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--inject-at` must be a number of seconds"))?;
+            }
+            "--snapshot-ring" => {
+                let n: usize = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--snapshot-ring` must be a positive integer"))?;
+                if n == 0 {
+                    return Err(err("`--snapshot-ring` must be at least 1"));
+                }
+                fault.snapshot_ring = Some(n);
+            }
+            "--snapshot-stride" => {
+                let s: u64 = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--snapshot-stride` must be a number of seconds"))?;
+                if s == 0 {
+                    return Err(err("`--snapshot-stride` must be at least 1 second"));
+                }
+                fault.snapshot_stride = Some(s);
+            }
             other => return Err(err(format!("unknown flag `{other}` for `qz fault`"))),
         }
         i += 1;
     }
     Ok(fault)
+}
+
+/// Parses the flags of `qz branch`.
+fn parse_branch(args: &[String]) -> Result<BranchArgs, ParseError> {
+    let mut branch = BranchArgs::default();
+    let mut i = 0;
+    let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--system" => branch.system = parse_system(&take_value(&mut i, flag)?)?,
+            "--device" => {
+                let d = take_value(&mut i, flag)?.to_ascii_lowercase();
+                if d != "apollo4" && d != "msp430" {
+                    return Err(err("`--device` must be `apollo4` or `msp430`"));
+                }
+                branch.device = d;
+            }
+            "--env" => branch.env = parse_env(&take_value(&mut i, flag)?)?,
+            "--events" => {
+                branch.events = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--events` must be a positive integer"))?;
+                if branch.events == 0 {
+                    return Err(err("`--events` must be at least 1"));
+                }
+            }
+            "--seed" => branch.seed = parse_seed(&take_value(&mut i, flag)?)?,
+            "--engine" => branch.engine = Some(parse_engine(&take_value(&mut i, flag)?)?),
+            "--at" => {
+                branch.at = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--at` must be a number of seconds"))?;
+            }
+            "--fork-no-pid" => branch.fork_no_pid = true,
+            "--fork-no-sticky" => branch.fork_no_sticky = true,
+            "--fork-checkpoint" => {
+                branch.fork_checkpoint = Some(parse_checkpoint(&take_value(&mut i, flag)?)?)
+            }
+            "--fork-capture-period" => {
+                let secs: f64 = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--fork-capture-period` must be a number of seconds"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(err("`--fork-capture-period` must be positive"));
+                }
+                branch.fork_capture_period = Some(secs);
+            }
+            other => return Err(err(format!("unknown flag `{other}` for `qz branch`"))),
+        }
+        i += 1;
+    }
+    Ok(branch)
+}
+
+/// Parses the flags of `qz bisect`.
+fn parse_bisect(args: &[String]) -> Result<BisectArgs, ParseError> {
+    let mut bisect = BisectArgs::default();
+    let mut i = 0;
+    let take_value = |i: &mut usize, flag: &str| -> Result<String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--preset" => {
+                let p = take_value(&mut i, flag)?.to_ascii_lowercase();
+                if qz_fault::FaultPlan::preset(&p).is_none() {
+                    return Err(err(format!(
+                        "unknown fault preset `{p}` (try none, smoke, standard, heavy)"
+                    )));
+                }
+                bisect.preset = p;
+            }
+            "--system" => bisect.system = parse_system(&take_value(&mut i, flag)?)?,
+            "--device" => {
+                let d = take_value(&mut i, flag)?.to_ascii_lowercase();
+                if d != "apollo4" && d != "msp430" {
+                    return Err(err("`--device` must be `apollo4` or `msp430`"));
+                }
+                bisect.device = d;
+            }
+            "--env" => bisect.env = parse_env(&take_value(&mut i, flag)?)?,
+            "--events" => {
+                bisect.events = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--events` must be a positive integer"))?;
+                if bisect.events == 0 {
+                    return Err(err("`--events` must be at least 1"));
+                }
+            }
+            "--start" => {
+                bisect.start = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--start` must be a non-negative integer"))?;
+            }
+            "--seed" => bisect.seed = parse_seed(&take_value(&mut i, flag)?)?,
+            "--inject-at" => {
+                bisect.inject_at = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--inject-at` must be a number of seconds"))?;
+            }
+            "--engine" => bisect.engine = Some(parse_engine(&take_value(&mut i, flag)?)?),
+            "--stride" => {
+                bisect.stride = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--stride` must be a number of seconds"))?;
+                if bisect.stride == 0 {
+                    return Err(err("`--stride` must be at least 1 second"));
+                }
+            }
+            "--ring" => {
+                bisect.ring = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--ring` must be a positive integer"))?;
+                if bisect.ring == 0 {
+                    return Err(err("`--ring` must be at least 1"));
+                }
+            }
+            other => return Err(err(format!("unknown flag `{other}` for `qz bisect`"))),
+        }
+        i += 1;
+    }
+    Ok(bisect)
 }
 
 /// Parses the flags of `qz profile`.
@@ -972,6 +1265,7 @@ USAGE:
                     [--device apollo4|msp430] [--telemetry out.csv] [--plot]
                     [--engine fast-forward|tick]
                     [--solar trace|floor|ceil] [--solar-seg 60]
+                    [--snapshot-ring 64] [--snapshot-stride 10]
   qz compare        [--env crowded] [--events 200] [--seed N] [--device …]
                     [--engine fast-forward|tick]
   qz export-traces  [--env crowded] [--events 200] [--seed N] [--out-dir DIR]
@@ -995,9 +1289,19 @@ USAGE:
                     [--engine fast-forward|tick]
   qz fault          [--preset none|smoke|standard|heavy] [--system QZ]
                     [--device apollo4|msp430] [--env crowded] [--events 12]
-                    [--campaigns 8] [--seed N|0xN] [--start 0]
+                    [--campaigns 8] [--seed N|0xN] [--start 0] [--inject-at 0]
                     [--threads N] [--json out.json|-]
                     [--engine fast-forward|tick] [--postmortem DIR]
+                    [--snapshot-ring 64] [--snapshot-stride 10]
+  qz branch         [--system QZ] [--device apollo4|msp430] [--env crowded]
+                    [--events 40] [--seed N|0xN] [--engine fast-forward|tick]
+                    [--at 60] [--fork-no-pid] [--fork-no-sticky]
+                    [--fork-checkpoint jit|task-boundary|periodic:SECS]
+                    [--fork-capture-period SECS]
+  qz bisect         [--preset standard|heavy] [--system QZ]
+                    [--device apollo4|msp430] [--env crowded] [--events 12]
+                    [--seed N|0xN] [--start 0] [--inject-at 0]
+                    [--engine fast-forward|tick] [--stride 10] [--ring 64]
   qz profile        [--system QZ] [--env crowded] [--events 200] [--seed N|0xN]
                     [--device apollo4|msp430] [--engine fast-forward|tick]
                     [--json out.json|-] [--flame out.folded]
@@ -1053,6 +1357,27 @@ prints a single-line repro command. Exits nonzero on violations; the
 survivability preflight (QZ060-QZ062) rejects saturating plans. With
 --postmortem DIR, each violated campaign also writes a `qz-flight/v1`
 crash dump (event ring + state digests + repro line) into DIR.
+
+`qz branch` answers what-if questions in O(suffix): it runs the base
+configuration to --at seconds, captures a `qz-snap/v1` snapshot, resumes
+it under the forked tweaks (--fork-no-pid, --fork-no-sticky,
+--fork-checkpoint, --fork-capture-period), and diffs the two decision
+streams into a first-divergence report. With no fork flag it is a
+self-check: the fork must reproduce the base stream exactly.
+
+`qz bisect` takes one faulted campaign (same seed derivation as `qz
+fault --start N --campaigns 1`) and binary-searches snapshot rings of
+the faulted run and its fault-free twin for the exact first simulated
+instant their engine states diverge, printing the tick, the coarse
+bracket, the probe count, and a single-line `qz fault` repro. Exits
+nonzero when no consequential fault ever fired.
+
+With --snapshot-ring/--snapshot-stride, `qz run` keeps a rolling ring of
+bit-exact engine snapshots while it runs (the material rollback and
+branch studies start from) and prints the held capture instants; `qz
+fault` uses the declared ring to preflight snapshot memory. Both
+evaluate the QZ073 budget check (ring capacity × measured snapshot
+size) and warn past 256 MiB.
 
 `qz profile` runs one simulation with the engine's phase profiler and
 horizon-cause accounting enabled, then prints a ranked \"why is this run
@@ -1413,6 +1738,116 @@ mod tests {
         };
         assert_eq!(f.postmortem.as_deref(), Some("dumps/"));
         assert!(parse(&argv("fault --postmortem")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn fault_inject_at_and_snapshot_flags() {
+        // The exact vocabulary a gated campaign's repro line emits.
+        let line = "fault --system qz --device apollo4 --env crowded --events 4 \
+                    --preset heavy --seed 0xfa017 --start 1 --campaigns 1 --inject-at 15";
+        let Command::Fault(f) = parse(&argv(line)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(f.inject_at, 15);
+        assert_eq!(f.start, 1);
+        let Command::Fault(f) =
+            parse(&argv("fault --snapshot-ring 8 --snapshot-stride 30")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(f.snapshot_ring, Some(8));
+        assert_eq!(f.snapshot_stride, Some(30));
+        assert!(parse(&argv("fault --snapshot-ring 0")).is_err());
+        assert!(parse(&argv("fault --snapshot-stride 0")).is_err());
+        assert!(parse(&argv("fault --inject-at soon")).is_err());
+    }
+
+    #[test]
+    fn run_snapshot_ring_flags() {
+        let Command::Run(r) = parse(&argv("run")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.snapshot_ring, None);
+        assert_eq!(r.snapshot_stride, None);
+        let Command::Run(r) = parse(&argv("run --snapshot-ring 16 --snapshot-stride 5")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.snapshot_ring, Some(16));
+        assert_eq!(r.snapshot_stride, Some(5));
+        assert!(parse(&argv("run --snapshot-ring 0")).is_err());
+        assert!(parse(&argv("run --snapshot-stride 0")).is_err());
+    }
+
+    #[test]
+    fn branch_defaults_and_flags() {
+        let Command::Branch(b) = parse(&argv("branch")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(b, BranchArgs::default());
+        assert_eq!(b.at, 60);
+        assert!(!b.fork_no_pid);
+        let Command::Branch(b) = parse(&argv(
+            "branch --system QZ --device msp430 --env quiet --events 20 --seed 0xBEEF \
+             --engine tick --at 90 --fork-no-pid --fork-no-sticky \
+             --fork-checkpoint task-boundary --fork-capture-period 2",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.device, "msp430");
+        assert_eq!(b.env, EnvironmentKind::Quiet);
+        assert_eq!(b.events, 20);
+        assert_eq!(b.seed, 0xBEEF);
+        assert_eq!(b.engine, Some(qz_sim::EngineKind::Tick));
+        assert_eq!(b.at, 90);
+        assert!(b.fork_no_pid && b.fork_no_sticky);
+        assert_eq!(
+            b.fork_checkpoint,
+            Some(qz_sim::CheckpointPolicy::TaskBoundary)
+        );
+        assert_eq!(b.fork_capture_period, Some(2.0));
+    }
+
+    #[test]
+    fn branch_rejects_bad_input() {
+        assert!(parse(&argv("branch --events 0")).is_err());
+        assert!(parse(&argv("branch --at never")).is_err());
+        assert!(parse(&argv("branch --fork-capture-period 0")).is_err());
+        assert!(parse(&argv("branch --campaigns 4")).is_err(), "fault-only");
+    }
+
+    #[test]
+    fn bisect_defaults_and_flags() {
+        let Command::Bisect(b) = parse(&argv("bisect")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(b, BisectArgs::default());
+        assert_eq!(b.stride, 10);
+        assert_eq!(b.ring, 64);
+        let Command::Bisect(b) = parse(&argv(
+            "bisect --preset heavy --system QZ --device apollo4 --env crowded \
+             --events 4 --seed 0xFA017 --start 3 --inject-at 15 --engine tick \
+             --stride 5 --ring 16",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.preset, "heavy");
+        assert_eq!(b.events, 4);
+        assert_eq!(b.start, 3);
+        assert_eq!(b.inject_at, 15);
+        assert_eq!(b.engine, Some(qz_sim::EngineKind::Tick));
+        assert_eq!(b.stride, 5);
+        assert_eq!(b.ring, 16);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_input() {
+        assert!(parse(&argv("bisect --preset catastrophic")).is_err());
+        assert!(parse(&argv("bisect --stride 0")).is_err());
+        assert!(parse(&argv("bisect --ring 0")).is_err());
+        assert!(parse(&argv("bisect --campaigns 4")).is_err(), "fault-only");
     }
 
     #[test]

@@ -11,20 +11,20 @@ mod args;
 mod plot;
 
 use args::{
-    BenchArgs, CheckArgs, Command, FaultArgs, FleetArgs, LintSrcArgs, ProfileArgs, RunArgs,
-    VerifyArgs,
+    BenchArgs, BisectArgs, BranchArgs, CheckArgs, Command, FaultArgs, FleetArgs, LintSrcArgs,
+    ProfileArgs, RunArgs, VerifyArgs,
 };
 use qz_absint::{
     decide, interpret, AbsModel, ConcreteObservation, HarvestEnvelope, Property, SolarMode, Verdict,
 };
 use qz_app::{
-    apollo4, check_experiment, experiment_configs, ideal, msp430fr5994, simulate, simulate_traced,
-    simulate_with_telemetry, timeline_names, AppModel, DeviceProfile, SimTweaks,
+    apollo4, build_simulation, check_experiment, experiment_configs, ideal, msp430fr5994, simulate,
+    simulate_traced, simulate_with_telemetry, timeline_names, AppModel, DeviceProfile, SimTweaks,
 };
 use qz_baselines::BaselineKind;
 use qz_sim::Metrics;
 use qz_traces::SensingEnvironment;
-use qz_types::{Farads, Seconds, SimDuration, Watts};
+use qz_types::{Farads, Seconds, SimDuration, SimTime, Watts};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -50,6 +50,8 @@ fn main() -> ExitCode {
         Command::LintSrc(l) => return lint_src(&l),
         Command::Fleet(f) => fleet(&f),
         Command::Fault(f) => return fault(&f),
+        Command::Branch(b) => branch(&b),
+        Command::Bisect(b) => return bisect(&b),
         Command::Profile(p) => profile(&p),
         Command::Bench(b) => return bench(&b),
     };
@@ -508,6 +510,7 @@ fn fault(args: &FaultArgs) -> ExitCode {
         start: args.start,
         seed: args.seed,
         plan,
+        injection_at: SimDuration::from_secs(args.inject_at),
         tweaks: {
             let mut tweaks = SimTweaks::default();
             if let Some(engine) = args.engine {
@@ -516,6 +519,32 @@ fn fault(args: &FaultArgs) -> ExitCode {
             tweaks
         },
     };
+    if args.snapshot_ring.is_some() || args.snapshot_stride.is_some() {
+        let ring = args.snapshot_ring.unwrap_or(64);
+        let stride = args.snapshot_stride.unwrap_or(10);
+        let env = SensingEnvironment::generate(cfg.env, cfg.events, cfg.seed);
+        let mut sim = build_simulation(cfg.system, &cfg.profile, &env, &cfg.tweaks);
+        match qz_snap::estimated_snapshot_bytes(&mut sim) {
+            Ok(bytes) => {
+                eprintln!(
+                    "snapshot preflight: ~{} KiB per snapshot × {ring} ring slot(s), \
+                     stride {stride}s",
+                    bytes.div_ceil(1024)
+                );
+                let report = qz_check::check_snapshot_ring(
+                    u64::try_from(bytes).unwrap_or(u64::MAX),
+                    u64::try_from(ring).unwrap_or(u64::MAX),
+                );
+                if !report.is_empty() {
+                    eprintln!("{}", report.render_text());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let exec = match args.threads {
         Some(n) => qz_fleet::Executor::new(if n == 0 {
             qz_fleet::Executor::available()
@@ -578,6 +607,126 @@ fn fault(args: &FaultArgs) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn branch(args: &BranchArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let profile = if args.device == "msp430" {
+        msp430fr5994()
+    } else {
+        apollo4()
+    };
+    let env = SensingEnvironment::generate(args.env, args.events, args.seed);
+    let mut base = SimTweaks {
+        seed: args.seed,
+        ..SimTweaks::default()
+    };
+    if let Some(engine) = args.engine {
+        base.engine = engine;
+    }
+    let mut fork = base.clone();
+    if args.fork_no_pid {
+        fork.pid_enabled = false;
+    }
+    if args.fork_no_sticky {
+        fork.sticky_options = false;
+    }
+    if let Some(policy) = args.fork_checkpoint {
+        fork.checkpoint_policy = policy;
+    }
+    if let Some(secs) = args.fork_capture_period {
+        fork.capture_period = SimDuration::from_seconds_ceil(Seconds(secs));
+    }
+    let identity = fork == base;
+    println!(
+        "branching {} on {} in {} at t={}s ({} events, seed {}){}\n",
+        args.system.label(),
+        profile.name,
+        env.kind(),
+        args.at,
+        args.events,
+        args.seed,
+        if identity {
+            " — identity fork (self-check)"
+        } else {
+            ""
+        },
+    );
+    let report = qz_snap::branch(
+        args.system,
+        &profile,
+        &env,
+        &base,
+        &fork,
+        SimTime::from_secs(args.at),
+    )?;
+    print!("{}", report.render_text());
+    if identity && report.first_divergence.is_some() {
+        return Err("identity fork diverged: the snapshot contract is broken".into());
+    }
+    println!();
+    print_metrics("base", &report.base_metrics);
+    print_metrics("fork", &report.fork_metrics);
+    Ok(())
+}
+
+fn bisect(args: &BisectArgs) -> ExitCode {
+    let Some(plan) = qz_fault::FaultPlan::preset(&args.preset) else {
+        eprintln!("error: unknown fault preset `{}`", args.preset);
+        return ExitCode::FAILURE;
+    };
+    let cfg = qz_fault::CampaignConfig {
+        system: args.system,
+        profile: if args.device == "msp430" {
+            msp430fr5994()
+        } else {
+            apollo4()
+        },
+        env: args.env,
+        events: args.events,
+        campaigns: 1,
+        start: args.start,
+        seed: args.seed,
+        plan,
+        injection_at: SimDuration::from_secs(args.inject_at),
+        tweaks: {
+            let mut tweaks = SimTweaks::default();
+            if let Some(engine) = args.engine {
+                tweaks.engine = engine;
+            }
+            tweaks
+        },
+    };
+    let preflight = qz_fault::preflight(&cfg);
+    if preflight.has_errors() {
+        eprintln!("{}", preflight.render_text());
+        return ExitCode::FAILURE;
+    }
+    if !preflight.is_empty() {
+        eprintln!("{}", preflight.render_text());
+    }
+    eprintln!(
+        "bisect: campaign {} of preset `{}` for {} on {} (stride {}s, ring {})",
+        args.start,
+        args.preset,
+        cfg.system.label(),
+        cfg.profile.name,
+        args.stride,
+        args.ring,
+    );
+    let bc = qz_fault::BisectConfig {
+        stride: SimDuration::from_secs(args.stride),
+        capacity: args.ring,
+    };
+    match qz_fault::bisect_campaign(&cfg, 0, &bc) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -840,6 +989,9 @@ fn run_one(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
         args.events,
         args.seed
     );
+    if args.snapshot_ring.is_some() || args.snapshot_stride.is_some() {
+        return run_with_ring(args, &profile, &env, &tweaks);
+    }
     if args.telemetry.is_some() || args.plot {
         let (m, telemetry) = simulate_with_telemetry(
             args.system,
@@ -861,6 +1013,42 @@ fn run_one(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
         let m = simulate(args.system, &profile, &env, &tweaks);
         print_metrics(&args.system.label(), &m);
     }
+    Ok(())
+}
+
+/// `qz run --snapshot-ring/--snapshot-stride`: drive the run through a
+/// qz-snap [`qz_snap::History`] ring, report the held rollback points,
+/// and evaluate the QZ073 ring-memory budget against a measured
+/// snapshot size.
+fn run_with_ring(
+    args: &RunArgs,
+    profile: &DeviceProfile,
+    env: &SensingEnvironment,
+    tweaks: &SimTweaks,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let capacity = args.snapshot_ring.unwrap_or(64);
+    let stride = args.snapshot_stride.unwrap_or(10);
+    let mut sim = build_simulation(args.system, profile, env, tweaks);
+    let bytes = qz_snap::estimated_snapshot_bytes(&mut sim)?;
+    let report = qz_check::check_snapshot_ring(
+        u64::try_from(bytes).unwrap_or(u64::MAX),
+        u64::try_from(capacity).unwrap_or(u64::MAX),
+    );
+    if !report.is_empty() {
+        eprintln!("{}", report.render_text());
+    }
+    let mut history = qz_snap::History::new(SimDuration::from_secs(stride), capacity);
+    history.run_to_completion(&mut sim)?;
+    print_metrics(&args.system.label(), sim.metrics());
+    let times = history.times();
+    println!(
+        "\nsnapshot ring: {} rollback point(s) held (stride {stride}s, ~{} KiB per \
+         snapshot), spanning t={}s..t={}s",
+        times.len(),
+        bytes.div_ceil(1024),
+        times.first().map_or(0, |t| t.as_millis() / 1000),
+        times.last().map_or(0, |t| t.as_millis() / 1000),
+    );
     Ok(())
 }
 

@@ -95,8 +95,13 @@ pub mod witness;
 pub use ibo::{DegradationContext, DegradationPolicy, IboDecision, IboEngine};
 pub use mcu::{McuDecision, McuEngine, McuTaskProfile};
 pub use model::{AppSpec, AppSpecBuilder, JobId, SpecError, TaskCost, TaskId, TaskKey};
+pub use pid::PidState;
 pub use policy::{EnergyAwareSjf, Fcfs, JobCandidate, Lcfs, SchedulingPolicy, Selection};
-pub use runtime::{BufferView, Decision, Quetzal, QuetzalConfig};
+pub use power::PredictorState;
+pub use quantile::P2QuantileState;
+pub use runtime::{BufferView, Decision, Quetzal, QuetzalConfig, RuntimeState};
+pub use service::EstimatorState;
+pub use window::BitWindowState;
 // Decision tracing rides on the companion observability crate; re-export
 // it so firmware-side users don't need a separate dependency line.
 pub use qz_obs as obs;

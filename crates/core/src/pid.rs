@@ -147,6 +147,41 @@ impl Pid {
         self.prev_error = 0.0;
         self.output = 0.0;
     }
+
+    /// Captures the controller's evolving state for a simulation
+    /// snapshot (the configuration is not captured — restore targets are
+    /// built from the same config).
+    pub fn save_state(&self) -> PidState {
+        PidState {
+            integrator: self.integrator,
+            differentiator: self.differentiator,
+            prev_error: self.prev_error,
+            output: self.output,
+        }
+    }
+
+    /// Restores state captured by [`Pid::save_state`] verbatim, so the
+    /// resumed controller produces bit-identical outputs.
+    pub fn restore_state(&mut self, state: &PidState) {
+        self.integrator = state.integrator;
+        self.differentiator = state.differentiator;
+        self.prev_error = state.prev_error;
+        self.output = state.output;
+    }
+}
+
+/// Evolving state of a [`Pid`] controller, captured by
+/// [`Pid::save_state`]. Plain data for exact serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PidState {
+    /// Trapezoidal integrator accumulator.
+    pub integrator: f64,
+    /// Band-limited differentiator state.
+    pub differentiator: f64,
+    /// Previous error sample.
+    pub prev_error: f64,
+    /// Most recent clamped output.
+    pub output: f64,
 }
 
 #[cfg(test)]
@@ -257,6 +292,22 @@ mod tests {
         pid.reset();
         assert_eq!(pid.output(), 0.0);
         assert_eq!(pid.update(0.0), 0.0);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bit_exactly() {
+        let mut a = Pid::new(PidConfig::default());
+        for i in 0..50 {
+            a.update(f64::from(i) * 0.37 - 5.0);
+        }
+        let state = a.save_state();
+        let mut b = Pid::new(PidConfig::default());
+        b.restore_state(&state);
+        assert_eq!(a, b);
+        for i in 0..50 {
+            let e = -3.0 + f64::from(i) * 0.11;
+            assert_eq!(a.update(e), b.update(e));
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! cloud transitions — selectable through
 //! [`QuetzalBuilder::power_predictor`](crate::runtime::QuetzalBuilder::power_predictor).
 
+use alloc::string::String;
 use core::fmt;
 use qz_types::Watts;
 
@@ -19,6 +20,39 @@ use qz_types::Watts;
 pub trait PowerPredictor: fmt::Debug + Send {
     /// Feeds one measurement and returns the prediction to use now.
     fn predict(&mut self, measured: Watts) -> Watts;
+
+    /// Captures the predictor's evolving state for a simulation
+    /// snapshot. Default: [`PredictorState::Stateless`].
+    fn save_state(&self) -> PredictorState {
+        PredictorState::Stateless
+    }
+
+    /// Restores state captured by [`PowerPredictor::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// The default implementation accepts only
+    /// [`PredictorState::Stateless`]; anything else is a configuration
+    /// mismatch.
+    fn restore_state(&mut self, state: &PredictorState) -> Result<(), String> {
+        match state {
+            PredictorState::Stateless => Ok(()),
+            PredictorState::Ewma(_) => Err(String::from(
+                "snapshot carries EWMA state but the live predictor is stateless",
+            )),
+        }
+    }
+}
+
+/// Serializable evolving state of a [`PowerPredictor`], captured by
+/// [`PowerPredictor::save_state`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictorState {
+    /// The predictor is constant after construction
+    /// ([`Instantaneous`]).
+    Stateless,
+    /// [`Ewma`]: the smoothed value, once a sample has been seen.
+    Ewma(Option<Watts>),
 }
 
 /// Uses each measurement directly (the paper's behaviour).
@@ -85,6 +119,22 @@ impl PowerPredictor for Ewma {
         self.state = Some(next);
         next
     }
+
+    fn save_state(&self) -> PredictorState {
+        PredictorState::Ewma(self.state)
+    }
+
+    fn restore_state(&mut self, state: &PredictorState) -> Result<(), String> {
+        match state {
+            PredictorState::Ewma(smoothed) => {
+                self.state = *smoothed;
+                Ok(())
+            }
+            PredictorState::Stateless => {
+                Err(String::from("snapshot predictor state does not match Ewma"))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +153,25 @@ mod tests {
     fn ewma_seeds_with_first_sample() {
         let mut p = Ewma::new(0.2);
         assert_eq!(p.predict(Watts(0.04)), Watts(0.04));
+    }
+
+    #[test]
+    fn ewma_state_roundtrip_resumes_bit_exactly() {
+        let mut a = Ewma::new(0.3);
+        for v in [0.01, 0.05, 0.02, 0.08] {
+            a.predict(Watts(v));
+        }
+        let state = a.save_state();
+        let mut b = Ewma::new(0.3);
+        b.restore_state(&state).unwrap();
+        for v in [0.04, 0.01, 0.09] {
+            assert_eq!(a.predict(Watts(v)), b.predict(Watts(v)));
+        }
+        // Kind mismatches are rejected both ways.
+        assert!(b.restore_state(&PredictorState::Stateless).is_err());
+        let mut inst = Instantaneous::new();
+        assert!(inst.restore_state(&state).is_err());
+        assert!(inst.restore_state(&PredictorState::Stateless).is_ok());
     }
 
     #[test]

@@ -67,6 +67,27 @@ impl P2Quantile {
         self.count
     }
 
+    /// Captures the estimator's marker state for a simulation snapshot
+    /// (the target quantile and its derived increments are configuration,
+    /// not state).
+    pub fn save_state(&self) -> P2QuantileState {
+        P2QuantileState {
+            heights: self.heights,
+            positions: self.positions,
+            desired: self.desired,
+            count: self.count,
+        }
+    }
+
+    /// Restores marker state captured by [`P2Quantile::save_state`]
+    /// verbatim; the resumed estimator produces bit-identical estimates.
+    pub fn restore_state(&mut self, state: &P2QuantileState) {
+        self.heights = state.heights;
+        self.positions = state.positions;
+        self.desired = state.desired;
+        self.count = state.count;
+    }
+
     /// Feeds one observation.
     pub fn observe(&mut self, x: f64) {
         if !x.is_finite() {
@@ -169,6 +190,20 @@ impl P2Quantile {
     }
 }
 
+/// Marker state of a [`P2Quantile`], captured by
+/// [`P2Quantile::save_state`]. Plain data for exact serialization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct P2QuantileState {
+    /// Marker heights (estimated quantile values).
+    pub heights: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    pub positions: [f64; 5],
+    /// Desired marker positions.
+    pub desired: [f64; 5],
+    /// Observations so far.
+    pub count: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +234,24 @@ mod tests {
         q.observe(2.0);
         let est = q.estimate().unwrap();
         assert!((1.0..=3.0).contains(&est));
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bit_exactly() {
+        let mut a = P2Quantile::new(0.9);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..500 {
+            a.observe(rng.next_f64() * 10.0);
+        }
+        let mut b = P2Quantile::new(0.9);
+        b.restore_state(&a.save_state());
+        assert_eq!(a, b);
+        for _ in 0..500 {
+            let x = rng.next_f64() * 10.0;
+            a.observe(x);
+            b.observe(x);
+            assert_eq!(a.estimate(), b.estimate());
+        }
     }
 
     #[test]

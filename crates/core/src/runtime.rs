@@ -17,12 +17,15 @@
 
 use crate::ibo::{DegradationContext, DegradationPolicy, IboEngine};
 use crate::model::{AppSpec, JobId, SpecError, TaskId, TaskKey};
-use crate::pid::{Pid, PidConfig};
+use crate::pid::{Pid, PidConfig, PidState};
 use crate::policy::{EnergyAwareSjf, JobCandidate, SchedulerInputs, SchedulingPolicy};
-use crate::power::{Instantaneous, PowerPredictor};
-use crate::service::{EnergyAwareEstimator, ServiceEstimator};
+use crate::power::{Instantaneous, PowerPredictor, PredictorState};
+use crate::service::{EnergyAwareEstimator, EstimatorState, ServiceEstimator};
 use crate::trackers::{ArrivalTracker, ExecutionTracker};
+use crate::window::BitWindowState;
 use alloc::boxed::Box;
+use alloc::format;
+use alloc::string::String;
 use alloc::vec;
 use alloc::vec::Vec;
 use qz_obs::{CandidateEval, EventKind, Observer, ObserverHandle, OptionEval};
@@ -461,6 +464,82 @@ impl Quetzal {
             lambda,
         })
     }
+
+    /// Captures the runtime's evolving state for a simulation snapshot:
+    /// tracker windows, the PID controller, estimator and predictor
+    /// history, the pending PID prediction and the sticky degradation
+    /// options. Spec and configuration are *not* captured — a snapshot
+    /// restores into a runtime built from the same config.
+    pub fn save_state(&self) -> RuntimeState {
+        RuntimeState {
+            exec: self.exec.save_state(),
+            arrivals: self.arrivals.save_state(),
+            pid: self.pid.save_state(),
+            estimator: self.estimator.save_state(),
+            predictor: self.power_predictor.save_state(),
+            last_prediction: self
+                .last_prediction
+                .map(|(job, predicted)| (job.index(), predicted)),
+            current_options: self.current_options.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Quetzal::save_state`]. The resumed
+    /// runtime makes bit-identical decisions to one that never paused.
+    ///
+    /// # Errors
+    ///
+    /// Rejects state whose shape does not match this runtime's spec and
+    /// configuration (window sizes, task/job counts, estimator or
+    /// predictor kind).
+    pub fn restore_state(&mut self, state: &RuntimeState) -> Result<(), String> {
+        if state.current_options.len() != self.current_options.len() {
+            return Err(format!(
+                "sticky-option count mismatch: snapshot {} vs live {}",
+                state.current_options.len(),
+                self.current_options.len()
+            ));
+        }
+        let last_prediction = match state.last_prediction {
+            None => None,
+            Some((index, predicted)) => {
+                if index >= self.spec.jobs().len() {
+                    return Err(format!("pending-prediction job index {index} out of range"));
+                }
+                // Bounded by the spec's job count, which is u8-indexed.
+                #[allow(clippy::cast_possible_truncation)]
+                Some((JobId(index as u8), predicted))
+            }
+        };
+        self.exec.restore_state(&state.exec)?;
+        self.arrivals.restore_state(&state.arrivals)?;
+        self.estimator.restore_state(&state.estimator)?;
+        self.power_predictor.restore_state(&state.predictor)?;
+        self.pid.restore_state(&state.pid);
+        self.last_prediction = last_prediction;
+        self.current_options.copy_from_slice(&state.current_options);
+        Ok(())
+    }
+}
+
+/// Serializable evolving state of a [`Quetzal`] runtime, captured by
+/// [`Quetzal::save_state`]. Plain data for exact serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeState {
+    /// Per-task execution-probability windows.
+    pub exec: Vec<BitWindowState>,
+    /// The arrival-rate window.
+    pub arrivals: BitWindowState,
+    /// PID controller state.
+    pub pid: PidState,
+    /// Service-estimator history.
+    pub estimator: EstimatorState,
+    /// Input-power predictor state.
+    pub predictor: PredictorState,
+    /// Pending PID prediction: `(job index, predicted E[S])`.
+    pub last_prediction: Option<(usize, Seconds)>,
+    /// Each task's sticky degradation option.
+    pub current_options: Vec<u8>,
 }
 
 /// Builder for [`Quetzal`] with custom components; created by
@@ -1024,6 +1103,84 @@ mod tests {
             }
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    fn runtime_state_roundtrip_resumes_decisions_bit_exactly() {
+        let (mut a, process, report) = quetzal();
+        // Build up nontrivial history: captures, decisions, completions.
+        for i in 0..40_i32 {
+            a.on_capture(i % 2 == 0);
+            if let Some(d) = a.schedule(
+                &[(process, Some(Seconds(2.0))), (report, Some(Seconds(1.0)))],
+                BufferView {
+                    occupancy: usize::try_from(i % 9 + 1).unwrap(),
+                    capacity: 10,
+                },
+                Watts(0.004 + 0.001 * f64::from(i)),
+            ) {
+                a.on_job_complete(
+                    d.job,
+                    &[(TaskId(0), true), (TaskId(1), i % 3 == 0)],
+                    d.expected_service + Seconds(0.5),
+                );
+            }
+        }
+        let state = a.save_state();
+        let (mut b, _, _) = quetzal();
+        b.restore_state(&state).unwrap();
+        assert_eq!(a.lambda(), b.lambda());
+        assert_eq!(a.correction().value(), b.correction().value());
+        // The resumed runtime tracks the original decision-for-decision.
+        for i in 0..40_i32 {
+            a.on_capture(i % 3 == 0);
+            b.on_capture(i % 3 == 0);
+            let view = BufferView {
+                occupancy: usize::try_from(i % 9 + 1).unwrap(),
+                capacity: 10,
+            };
+            let p = Watts(0.002 + 0.0015 * f64::from(i));
+            let da = a.schedule(
+                &[(process, Some(Seconds(2.0))), (report, Some(Seconds(1.0)))],
+                view,
+                p,
+            );
+            let db = b.schedule(
+                &[(process, Some(Seconds(2.0))), (report, Some(Seconds(1.0)))],
+                view,
+                p,
+            );
+            assert_eq!(da, db);
+            if let Some(d) = da {
+                let executed = [(TaskId(0), true), (TaskId(1), true)];
+                let obs = d.expected_service + Seconds(0.25);
+                a.on_job_complete(d.job, &executed, obs);
+                b.on_job_complete(d.job, &executed, obs);
+            }
+        }
+        assert_eq!(a.save_state(), b.save_state());
+    }
+
+    #[test]
+    fn runtime_restore_rejects_mismatched_shapes() {
+        let (a, ..) = quetzal();
+        let state = a.save_state();
+        // Different arrival window → window capacity mismatch.
+        let (spec, ..) = spec();
+        let mut other = Quetzal::new(
+            spec,
+            QuetzalConfig {
+                arrival_window: 64,
+                ..QuetzalConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(other.restore_state(&state).is_err());
+        // Out-of-range pending-prediction job index.
+        let mut bad = state;
+        bad.last_prediction = Some((99, Seconds(1.0)));
+        let (mut b, ..) = quetzal();
+        assert!(b.restore_state(&bad).is_err());
     }
 
     #[test]

@@ -22,7 +22,10 @@
 #[cfg(feature = "std")]
 use crate::model::AppSpec;
 use crate::model::{TaskCost, TaskKey};
+use crate::quantile::P2QuantileState;
 use alloc::collections::BTreeMap;
+use alloc::string::String;
+use alloc::vec::Vec;
 use core::fmt;
 #[cfg(feature = "std")]
 use qz_hw::{premultiply_t_exe, se2e_hw, PowerMonitor, PremultTable};
@@ -56,6 +59,46 @@ pub trait ServiceEstimator: fmt::Debug + Send {
     fn note_scheduled(&mut self, key: TaskKey, cost: TaskCost, p_in: Watts) {
         let _ = (key, cost, p_in);
     }
+
+    /// Captures the estimator's evolving state for a simulation
+    /// snapshot. Default: [`EstimatorState::Stateless`] — correct for
+    /// estimators that are constant after construction (the exact model
+    /// and the hardware-assisted model).
+    fn save_state(&self) -> EstimatorState {
+        EstimatorState::Stateless
+    }
+
+    /// Restores state captured by [`ServiceEstimator::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// The default implementation accepts only
+    /// [`EstimatorState::Stateless`]; a snapshot carrying history for a
+    /// different estimator kind is a configuration mismatch.
+    fn restore_state(&mut self, state: &EstimatorState) -> Result<(), String> {
+        match state {
+            EstimatorState::Stateless => Ok(()),
+            _ => Err(String::from(
+                "snapshot carries estimator history but the live estimator is stateless",
+            )),
+        }
+    }
+}
+
+/// Serializable evolving state of a [`ServiceEstimator`], captured by
+/// [`ServiceEstimator::save_state`]. Plain data for exact serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorState {
+    /// The estimator is constant after construction (exact model,
+    /// hardware-assisted model).
+    Stateless,
+    /// [`AvgObservedEstimator`] history: per configuration, the running
+    /// `(sum of observed seconds, observation count)`.
+    AvgObserved(Vec<(TaskKey, f64, u64)>),
+    /// [`VariableCostEstimator`](crate::variable::VariableCostEstimator)
+    /// history: per configuration, the inflation quantile markers and
+    /// the last base prediction used for normalization.
+    VariableCost(Vec<(TaskKey, P2QuantileState, f64)>),
 }
 
 /// Exact floating-point evaluation of Eq. 1.
@@ -173,6 +216,30 @@ impl ServiceEstimator for AvgObservedEstimator {
         entry.0 += observed.value();
         entry.1 += 1;
     }
+
+    fn save_state(&self) -> EstimatorState {
+        EstimatorState::AvgObserved(
+            self.history
+                .iter()
+                .map(|(&key, &(sum, n))| (key, sum, n))
+                .collect(),
+        )
+    }
+
+    fn restore_state(&mut self, state: &EstimatorState) -> Result<(), String> {
+        match state {
+            EstimatorState::AvgObserved(entries) => {
+                self.history = entries
+                    .iter()
+                    .map(|&(key, sum, n)| (key, (sum, n)))
+                    .collect();
+                Ok(())
+            }
+            _ => Err(String::from(
+                "snapshot estimator state does not match AvgObservedEstimator",
+            )),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +258,31 @@ mod tests {
 
     fn key() -> TaskKey {
         TaskKey::best(TaskId(0))
+    }
+
+    #[test]
+    fn avg_estimator_state_roundtrips() {
+        let mut a = AvgObservedEstimator::new();
+        a.observe(key(), Seconds(2.0));
+        a.observe(key(), Seconds(4.0));
+        a.observe(TaskKey::best(TaskId(1)), Seconds(7.0));
+        let state = a.save_state();
+        let mut b = AvgObservedEstimator::new();
+        b.restore_state(&state).unwrap();
+        assert_eq!(b.tracked(), 2);
+        let c = cost(1.0, 0.01);
+        assert_eq!(
+            a.predict(key(), c, Watts(1.0)),
+            b.predict(key(), c, Watts(1.0))
+        );
+        // Stateless estimators reject history and accept Stateless.
+        let mut exact = EnergyAwareEstimator::new();
+        assert!(exact.restore_state(&state).is_err());
+        assert!(exact.restore_state(&EstimatorState::Stateless).is_ok());
+        assert_eq!(exact.save_state(), EstimatorState::Stateless);
+        // And the avg estimator rejects a stateless-kind mismatch only
+        // for foreign history kinds.
+        assert!(b.restore_state(&EstimatorState::Stateless).is_err());
     }
 
     #[test]

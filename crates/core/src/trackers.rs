@@ -2,7 +2,9 @@
 //! rate (paper §4.1, §5.1).
 
 use crate::model::{AppSpec, TaskId};
-use crate::window::BitWindow;
+use crate::window::{BitWindow, BitWindowState};
+use alloc::format;
+use alloc::string::String;
 use alloc::vec::Vec;
 use qz_types::Hertz;
 
@@ -61,6 +63,31 @@ impl ExecutionTracker {
     pub fn is_empty(&self) -> bool {
         self.windows.is_empty()
     }
+
+    /// Captures every task's execution window for a simulation snapshot.
+    pub fn save_state(&self) -> Vec<BitWindowState> {
+        self.windows.iter().map(BitWindow::save_state).collect()
+    }
+
+    /// Restores windows captured by [`ExecutionTracker::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state with a different task count or mismatched window
+    /// shapes.
+    pub fn restore_state(&mut self, state: &[BitWindowState]) -> Result<(), String> {
+        if state.len() != self.windows.len() {
+            return Err(format!(
+                "execution-tracker task count mismatch: snapshot {} vs live {}",
+                state.len(),
+                self.windows.len()
+            ));
+        }
+        for (window, saved) in self.windows.iter_mut().zip(state) {
+            window.restore_state(saved)?;
+        }
+        Ok(())
+    }
 }
 
 /// Tracks the input-arrival rate λ: the fraction of recent captures that
@@ -105,6 +132,21 @@ impl ArrivalTracker {
     /// The configured capture rate.
     pub fn capture_rate(&self) -> Hertz {
         self.capture_rate
+    }
+
+    /// Captures the arrival window for a simulation snapshot (the
+    /// capture rate is configuration, not state).
+    pub fn save_state(&self) -> BitWindowState {
+        self.window.save_state()
+    }
+
+    /// Restores the window captured by [`ArrivalTracker::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state whose window shape does not match.
+    pub fn restore_state(&mut self, state: &BitWindowState) -> Result<(), String> {
+        self.window.restore_state(state)
     }
 }
 
@@ -190,6 +232,31 @@ mod tests {
             t.record_capture(true);
         }
         assert_eq!(t.lambda(), 1.0);
+    }
+
+    #[test]
+    fn tracker_state_roundtrips() {
+        let mut exec = ExecutionTracker::new(&spec(), 8);
+        let mut arrivals = ArrivalTracker::new(16, Hertz(2.0));
+        for i in 0..20 {
+            exec.record_job([(TaskId(0), i % 2 == 0), (TaskId(1), i % 5 == 0)]);
+            arrivals.record_capture(i % 3 == 0);
+        }
+        let exec_state = exec.save_state();
+        let arr_state = arrivals.save_state();
+        let mut exec2 = ExecutionTracker::new(&spec(), 8);
+        let mut arr2 = ArrivalTracker::new(16, Hertz(2.0));
+        exec2.restore_state(&exec_state).unwrap();
+        arr2.restore_state(&arr_state).unwrap();
+        assert_eq!(exec.probability(TaskId(0)), exec2.probability(TaskId(0)));
+        assert_eq!(exec.probability(TaskId(1)), exec2.probability(TaskId(1)));
+        assert_eq!(arrivals.lambda(), arr2.lambda());
+        // Mismatched shapes are rejected.
+        let mut wrong = ExecutionTracker::new(&spec(), 16);
+        assert!(wrong.restore_state(&exec_state).is_err());
+        assert!(ExecutionTracker::new(&spec(), 8)
+            .restore_state(&exec_state[..1])
+            .is_err());
     }
 
     #[test]

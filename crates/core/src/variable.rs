@@ -21,8 +21,9 @@
 
 use crate::model::{TaskCost, TaskKey};
 use crate::quantile::P2Quantile;
-use crate::service::{EnergyAwareEstimator, ServiceEstimator, SE2E_CAP};
+use crate::service::{EnergyAwareEstimator, EstimatorState, ServiceEstimator, SE2E_CAP};
 use alloc::collections::BTreeMap;
+use alloc::string::String;
 use qz_types::{Seconds, Watts};
 
 /// Bounds on the learned inflation factor: a window of sanity around the
@@ -122,6 +123,40 @@ impl ServiceEstimator for VariableCostEstimator {
         });
         let ratio = observed.value() / entry.last_base.max(1e-9);
         entry.inflation.observe(ratio.clamp(0.0, 10.0));
+    }
+
+    fn save_state(&self) -> EstimatorState {
+        EstimatorState::VariableCost(
+            self.state
+                .iter()
+                .map(|(&key, ks)| (key, ks.inflation.save_state(), ks.last_base))
+                .collect(),
+        )
+    }
+
+    fn restore_state(&mut self, state: &EstimatorState) -> Result<(), String> {
+        match state {
+            EstimatorState::VariableCost(entries) => {
+                self.state = entries
+                    .iter()
+                    .map(|&(key, ref markers, last_base)| {
+                        let mut inflation = P2Quantile::new(self.percentile);
+                        inflation.restore_state(markers);
+                        (
+                            key,
+                            KeyState {
+                                inflation,
+                                last_base,
+                            },
+                        )
+                    })
+                    .collect();
+                Ok(())
+            }
+            _ => Err(String::from(
+                "snapshot estimator state does not match VariableCostEstimator",
+            )),
+        }
     }
 }
 
@@ -238,6 +273,37 @@ mod tests {
         let hi = est.predict(key(), c, Watts(0.04));
         let lo = est.predict(key(), c, Watts(0.01));
         assert!(lo > hi * 3.0, "lo {lo} vs hi {hi}");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bit_exactly() {
+        let mut rng = SplitMix64::new(11);
+        let mut a = VariableCostEstimator::new(0.9);
+        let c = cost(1.0, 0.01);
+        for _ in 0..200 {
+            a.note_base(key(), c, Watts(1.0));
+            a.observe(key(), Seconds(1.0 + rng.next_f64()));
+        }
+        let state = a.save_state();
+        let mut b = VariableCostEstimator::new(0.9);
+        b.restore_state(&state).unwrap();
+        assert_eq!(b.tracked(), a.tracked());
+        assert_eq!(a.inflation(key()), b.inflation(key()));
+        for _ in 0..200 {
+            let obs = Seconds(1.0 + rng.next_f64());
+            a.note_base(key(), c, Watts(1.0));
+            b.note_base(key(), c, Watts(1.0));
+            a.observe(key(), obs);
+            b.observe(key(), obs);
+            assert_eq!(
+                a.predict(key(), c, Watts(1.0)),
+                b.predict(key(), c, Watts(1.0))
+            );
+        }
+        // Foreign state kinds are rejected.
+        assert!(b
+            .restore_state(&crate::service::EstimatorState::Stateless)
+            .is_err());
     }
 
     #[test]

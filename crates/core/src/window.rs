@@ -7,6 +7,8 @@
 //! the estimate is O(1) — exactly the structure the paper describes for
 //! its software library.
 
+use alloc::format;
+use alloc::string::String;
 use alloc::vec;
 use alloc::vec::Vec;
 
@@ -123,6 +125,62 @@ impl BitWindow {
         self.filled = 0;
         self.ones = 0;
     }
+
+    /// Captures the window's contents for a simulation snapshot.
+    pub fn save_state(&self) -> BitWindowState {
+        BitWindowState {
+            capacity: self.capacity,
+            blocks: self.blocks.clone(),
+            head: self.head,
+            filled: self.filled,
+            ones: self.ones,
+        }
+    }
+
+    /// Restores contents captured by [`BitWindow::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state whose shape does not match this window (different
+    /// capacity) or whose cursors are internally inconsistent, so a
+    /// snapshot can never silently corrupt the running counters.
+    pub fn restore_state(&mut self, state: &BitWindowState) -> Result<(), String> {
+        if state.capacity != self.capacity {
+            return Err(format!(
+                "bit-window capacity mismatch: snapshot {} vs live {}",
+                state.capacity, self.capacity
+            ));
+        }
+        if state.blocks.len() != self.blocks.len()
+            || state.head >= state.capacity
+            || state.filled > state.capacity
+            || state.ones > state.filled
+        {
+            return Err(String::from("bit-window state is internally inconsistent"));
+        }
+        self.blocks.copy_from_slice(&state.blocks);
+        self.head = state.head;
+        self.filled = state.filled;
+        self.ones = state.ones;
+        Ok(())
+    }
+}
+
+/// Serializable contents of a [`BitWindow`], captured by
+/// [`BitWindow::save_state`]. All fields are plain data so snapshot
+/// layers can serialize them exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitWindowState {
+    /// The window's fixed capacity in bits; restore targets must match.
+    pub capacity: usize,
+    /// Raw 64-bit blocks backing the ring.
+    pub blocks: Vec<u64>,
+    /// Next write position, in bits.
+    pub head: usize,
+    /// Bits recorded so far (saturating at `capacity`).
+    pub filled: usize,
+    /// Running 1-count over the filled portion.
+    pub ones: usize,
 }
 
 #[cfg(test)]
@@ -190,6 +248,42 @@ mod tests {
         assert_eq!(w.fraction(), None);
         w.push(false);
         assert_eq!(w.fraction(), Some(0.0));
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_eviction_order() {
+        let mut a = BitWindow::new(5);
+        for i in 0..13 {
+            a.push(i % 3 == 0);
+        }
+        let state = a.save_state();
+        let mut b = BitWindow::new(5);
+        b.restore_state(&state).unwrap();
+        assert_eq!(a, b);
+        // Future pushes must evict in the same order.
+        for i in 0..10 {
+            a.push(i % 2 == 0);
+            b.push(i % 2 == 0);
+            assert_eq!(a, b);
+            assert_eq!(a.ones(), b.ones());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_capacity_mismatch() {
+        let a = BitWindow::new(8);
+        let mut b = BitWindow::new(16);
+        let err = b.restore_state(&a.save_state()).unwrap_err();
+        assert!(err.contains("capacity mismatch"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_cursors() {
+        let a = BitWindow::new(8);
+        let mut state = a.save_state();
+        state.ones = 3; // more ones than filled bits
+        let mut b = BitWindow::new(8);
+        assert!(b.restore_state(&state).is_err());
     }
 
     #[test]

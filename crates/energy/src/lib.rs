@@ -42,4 +42,4 @@ mod system;
 pub use capacitor::{Supercap, SupercapConfig, SupercapError};
 pub use converter::EfficiencyCurve;
 pub use harvester::{Harvester, HarvesterError};
-pub use system::{BulkOutcome, PowerSystem, StepOutcome, StopCondition};
+pub use system::{BulkOutcome, PowerSystem, PowerSystemState, StepOutcome, StopCondition};

@@ -1,0 +1,300 @@
+//! Automatic failure bisection: find the exact first tick at which a
+//! faulted campaign's state diverges from its fault-free twin.
+//!
+//! A violating campaign tells you *that* an invariant broke, somewhere
+//! in a long run. This module tells you *when* the trouble started.
+//! The faulted run and the fault-free twin are advanced in lockstep,
+//! each feeding a `qz-snap` [`History`] ring at the same stride; the
+//! first stride boundary where the two engine states disagree (the
+//! injector's own state excluded — it is *supposed* to differ) brackets
+//! the divergence to one stride. Within that bracket the exact tick is
+//! found by binary search over simulated time: restore both twins to
+//! the last-equal anchor, replay to the midpoint, compare, repeat. Both
+//! phases lean on the engine's snapshot contract — restore-and-replay
+//! is bit-identical to straight-through execution — so the reported
+//! tick is the same one a millisecond-by-millisecond linear scan finds
+//! (a property the test suite checks directly).
+
+use crate::campaign::{injection_time, repro_line_for, CampaignConfig};
+use crate::inject::AdversarialInjector;
+use qz_app::build_simulation;
+use qz_sim::{SimState, Simulation};
+use qz_snap::History;
+use qz_traces::SensingEnvironment;
+use qz_types::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// Snapshot-ring shape the bisection uses for both twins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BisectConfig {
+    /// Capture stride for the coarse pass (also the widest a bracket
+    /// can be before refinement).
+    pub stride: SimDuration,
+    /// Ring capacity per twin (the run's initial state is pinned
+    /// besides, so the bracket survives even when old boundaries are
+    /// evicted).
+    pub capacity: usize,
+}
+
+impl Default for BisectConfig {
+    /// 10 s stride, 64 ring slots per twin.
+    fn default() -> BisectConfig {
+        BisectConfig {
+            stride: SimDuration::from_secs(10),
+            capacity: 64,
+        }
+    }
+}
+
+/// The outcome of one bisection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BisectReport {
+    /// Global campaign index bisected.
+    pub campaign: usize,
+    /// The campaign's derived fault-schedule seed.
+    pub fault_seed: u64,
+    /// First simulated instant at which the faulted twin's engine state
+    /// differs from the fault-free twin's.
+    pub first_divergent_tick: SimTime,
+    /// The stride bracket the coarse pass produced (refinement searched
+    /// inside it).
+    pub bracket: (SimTime, SimTime),
+    /// Restore-and-replay probes the refinement spent.
+    pub probes: usize,
+    /// Single-line command reproducing the campaign.
+    pub repro: String,
+}
+
+impl BisectReport {
+    /// Renders the report as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "bisect: campaign {} (fault seed {:#x}) first diverges from its \
+             fault-free twin at t={}ms",
+            self.campaign,
+            self.fault_seed,
+            self.first_divergent_tick.as_millis()
+        );
+        let _ = writeln!(
+            s,
+            "bracket: ({}ms, {}ms] narrowed in {} restore-and-replay probes",
+            self.bracket.0.as_millis(),
+            self.bracket.1.as_millis(),
+            self.probes
+        );
+        let _ = writeln!(s, "repro: {}", self.repro);
+        s
+    }
+}
+
+/// Captures `sim` into `ring` and returns a clone of the state just
+/// captured (the ring keeps the original).
+fn capture_into(ring: &mut History, sim: &mut Simulation<'_>) -> Result<SimState, String> {
+    ring.capture(sim)?;
+    Ok(ring
+        .nearest_at_or_before(sim.time())
+        .expect("capture just succeeded")
+        .1
+        .clone())
+}
+
+/// Bisects campaign offset `offset` of `cfg` (global index
+/// `cfg.start + offset`): finds the exact first tick at which the
+/// faulted run's state diverges from the fault-free twin's.
+///
+/// # Errors
+///
+/// Fails when the two runs never diverge (the campaign's faults were
+/// all inconsequential — nothing to bisect), or when a snapshot
+/// capture/restore is rejected.
+///
+/// # Panics
+///
+/// Panics if the experiment config fails `qz-check` validation (the
+/// same contract as [`qz_app::build_simulation`]).
+pub fn bisect_campaign(
+    cfg: &CampaignConfig,
+    offset: usize,
+    bc: &BisectConfig,
+) -> Result<BisectReport, String> {
+    let env = SensingEnvironment::generate(cfg.env, cfg.events, cfg.env_seed());
+    let mut tweaks = cfg.tweaks.clone();
+    tweaks.seed = cfg.sim_seed();
+    let at = injection_time(cfg);
+    let fault_seed = cfg.fault_seed(offset);
+
+    let mut faulted = build_simulation(cfg.system, &cfg.profile, &env, &tweaks);
+    faulted.set_fault_injector(Box::new(AdversarialInjector::activating_at(
+        cfg.plan.clone(),
+        fault_seed,
+        at,
+    )));
+    let mut clean = build_simulation(cfg.system, &cfg.profile, &env, &tweaks);
+    let mut ring_f = History::new(bc.stride, bc.capacity);
+    let mut ring_c = History::new(bc.stride, bc.capacity);
+
+    // Coarse pass: advance both twins in lockstep, snapshotting into
+    // both rings at every stride boundary, until the states split. The
+    // last-equal pair of ring entries become the refinement anchors.
+    let mut lo_f = capture_into(&mut ring_f, &mut faulted)?;
+    let mut lo_c = capture_into(&mut ring_c, &mut clean)?;
+    if !lo_f.eq_ignoring_injector(&lo_c) {
+        return Err(String::from(
+            "twins differ at t=0 before any fault could fire",
+        ));
+    }
+    let mut lo = SimTime::ZERO;
+    let hi = loop {
+        let both_done = faulted.is_done() && clean.is_done();
+        let t = lo + bc.stride;
+        faulted.step_until(t);
+        clean.step_until(t);
+        let f = capture_into(&mut ring_f, &mut faulted)?;
+        let c = capture_into(&mut ring_c, &mut clean)?;
+        if !f.eq_ignoring_injector(&c) {
+            break t;
+        }
+        if both_done {
+            return Err(String::from(
+                "the faulted run never diverged from its fault-free twin \
+                 (no consequential fault fired)",
+            ));
+        }
+        lo = t;
+        lo_f = f;
+        lo_c = c;
+    };
+    let bracket = (lo, hi);
+
+    // Refinement: binary search over simulated time inside the bracket.
+    // Each probe restores both twins to the last-equal anchor and
+    // replays to the midpoint — bit-exact by the snapshot contract.
+    let mut probes = 0usize;
+    let mut hi = hi;
+    while hi.as_millis() - lo.as_millis() > 1 {
+        let mid = SimTime::from_millis((lo.as_millis() + hi.as_millis()) / 2);
+        faulted.restore_state(&lo_f)?;
+        clean.restore_state(&lo_c)?;
+        faulted.step_until(mid);
+        clean.step_until(mid);
+        probes += 1;
+        let f = faulted.save_state()?;
+        let c = clean.save_state()?;
+        if f.eq_ignoring_injector(&c) {
+            lo = mid;
+            lo_f = f;
+            lo_c = c;
+        } else {
+            hi = mid;
+        }
+    }
+
+    Ok(BisectReport {
+        campaign: cfg.start + offset,
+        fault_seed,
+        first_divergent_tick: hi,
+        bracket,
+        probes,
+        repro: repro_line_for(cfg, cfg.start + offset),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+    use qz_app::SimTweaks;
+
+    fn violent() -> CampaignConfig {
+        CampaignConfig {
+            events: 4,
+            campaigns: 2,
+            plan: FaultPlan::heavy(),
+            tweaks: SimTweaks {
+                drain: SimDuration::from_secs(30),
+                ..SimTweaks::default()
+            },
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// Millisecond-by-millisecond lockstep scan — the ground truth the
+    /// binary search must reproduce.
+    fn linear_first_divergence(cfg: &CampaignConfig, offset: usize, upto: SimTime) -> SimTime {
+        let env = SensingEnvironment::generate(cfg.env, cfg.events, cfg.env_seed());
+        let mut tweaks = cfg.tweaks.clone();
+        tweaks.seed = cfg.sim_seed();
+        let mut faulted = build_simulation(cfg.system, &cfg.profile, &env, &tweaks);
+        faulted.set_fault_injector(Box::new(AdversarialInjector::activating_at(
+            cfg.plan.clone(),
+            cfg.fault_seed(offset),
+            injection_time(cfg),
+        )));
+        let mut clean = build_simulation(cfg.system, &cfg.profile, &env, &tweaks);
+        let mut t = SimTime::ZERO;
+        while t <= upto {
+            t = SimTime::from_millis(t.as_millis() + 1);
+            faulted.step_until(t);
+            clean.step_until(t);
+            let f = faulted.save_state().unwrap();
+            let c = clean.save_state().unwrap();
+            if !f.eq_ignoring_injector(&c) {
+                return t;
+            }
+        }
+        panic!("no divergence up to {}ms", upto.as_millis());
+    }
+
+    #[test]
+    fn bisect_matches_a_linear_scan_exactly() {
+        let cfg = violent();
+        let bc = BisectConfig {
+            stride: SimDuration::from_secs(5),
+            capacity: 16,
+        };
+        let report = bisect_campaign(&cfg, 0, &bc).expect("heavy plan diverges");
+        assert_eq!(
+            report.first_divergent_tick,
+            linear_first_divergence(&cfg, 0, report.first_divergent_tick),
+            "binary search must land on the linear scan's tick"
+        );
+        assert!(report.bracket.0 < report.first_divergent_tick);
+        assert!(report.first_divergent_tick <= report.bracket.1);
+        assert!(report.probes > 0, "a 5 s bracket needs refinement");
+        assert!(report.repro.starts_with("qz fault --system"));
+        let text = report.render_text();
+        assert!(text.contains("first diverges"), "{text}");
+    }
+
+    #[test]
+    fn bisect_is_deterministic_across_runs_and_strides() {
+        let cfg = violent();
+        let a = bisect_campaign(&cfg, 1, &BisectConfig::default()).unwrap();
+        let b = bisect_campaign(&cfg, 1, &BisectConfig::default()).unwrap();
+        assert_eq!(a, b);
+        // A different stride brackets differently but lands on the
+        // identical divergent tick.
+        let c = bisect_campaign(
+            &cfg,
+            1,
+            &BisectConfig {
+                stride: SimDuration::from_secs(3),
+                capacity: 32,
+            },
+        )
+        .unwrap();
+        assert_eq!(a.first_divergent_tick, c.first_divergent_tick);
+    }
+
+    #[test]
+    fn faultless_campaign_has_nothing_to_bisect() {
+        let cfg = CampaignConfig {
+            plan: FaultPlan::none(),
+            ..violent()
+        };
+        let err = bisect_campaign(&cfg, 0, &BisectConfig::default()).unwrap_err();
+        assert!(err.contains("never diverged"), "{err}");
+    }
+}

@@ -10,15 +10,17 @@
 //! report renderers emit nothing non-deterministic. A report is
 //! byte-identical for a given config at any thread count.
 
-use crate::inject::AdversarialInjector;
+use crate::inject::{AdversarialInjector, FaultStats};
 use crate::invariants::{check_all, DiffInputs, Violation};
-use crate::oracle::{oracle_environment, oracle_tweaks, run_one};
+use crate::oracle::{oracle_environment, oracle_tweaks, run_one, RunOutcome};
 use crate::plan::FaultPlan;
-use qz_app::{apollo4, DeviceProfile, SimTweaks};
+use qz_app::{apollo4, build_simulation, DeviceProfile, SimTweaks};
 use qz_baselines::BaselineKind;
 use qz_fleet::Executor;
+use qz_obs::{Event, RecordingObserver};
+use qz_sim::SimState;
 use qz_traces::{EnvironmentKind, SensingEnvironment};
-use qz_types::SplitMix64;
+use qz_types::{SimDuration, SimTime, SplitMix64};
 use std::fmt::Write as _;
 
 /// One fault campaign family: a configuration plus how many seeds to
@@ -43,6 +45,12 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// The fault plan every campaign runs.
     pub plan: FaultPlan,
+    /// Instant the adversary activates. Before it every run is
+    /// bit-identical to the fault-free reference, which lets the
+    /// snapshot execution mode fork all faulted runs from one shared
+    /// prefix snapshot instead of replaying the prefix per campaign.
+    /// `ZERO` (the default) means faults can fire from the first tick.
+    pub injection_at: SimDuration,
     /// Simulator knobs shared by every run (the seed field is
     /// overwritten by the derived stream).
     pub tweaks: SimTweaks,
@@ -61,9 +69,24 @@ impl Default for CampaignConfig {
             start: 0,
             seed: 0xFA017,
             plan: FaultPlan::standard(),
+            injection_at: SimDuration::ZERO,
             tweaks: SimTweaks::default(),
         }
     }
+}
+
+/// How [`run_campaigns_with`] executes the faulted runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignMode {
+    /// Every faulted run replays from tick zero with the injector gated
+    /// until [`CampaignConfig::injection_at`].
+    Replay,
+    /// The fault-free prefix up to [`CampaignConfig::injection_at`] is
+    /// simulated once, snapshotted, and every faulted run forks from
+    /// that snapshot. Byte-identical reports to [`CampaignMode::Replay`]
+    /// by the engine's snapshot contract; the prefix cost is paid once
+    /// instead of once per campaign.
+    Snapshot,
 }
 
 impl CampaignConfig {
@@ -176,6 +199,8 @@ pub struct FaultReport {
     pub system: String,
     /// CLI tokens that reproduce this family (system/device/env).
     repro: ReproTokens,
+    /// Injection gate in whole seconds (0 = faults from the first tick).
+    inject_at_s: u64,
     /// Events in the shared environment.
     pub events: usize,
     /// Plan preset label.
@@ -258,9 +283,14 @@ impl FaultReport {
 
     /// The single-line command that reproduces campaign `row` alone.
     pub fn repro_line(&self, row: &CampaignRow) -> String {
+        let inject = if self.inject_at_s == 0 {
+            String::new()
+        } else {
+            format!(" --inject-at {}", self.inject_at_s)
+        };
         format!(
             "qz fault --system {} --device {} --env {} --events {} --preset {} \
-             --seed {:#x} --start {} --campaigns 1",
+             --seed {:#x} --start {} --campaigns 1{inject}",
             self.repro.system,
             self.repro.device,
             self.repro.env,
@@ -382,9 +412,124 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Runs the whole campaign family on `exec`'s thread crew and returns
-/// the report. The report is byte-identical for a given config at any
-/// thread count.
+/// The single-line `qz fault` command reproducing global campaign
+/// `campaign` of `cfg` on its own — the same line a [`FaultReport`]
+/// prints for a violating row.
+pub fn repro_line_for(cfg: &CampaignConfig, campaign: usize) -> String {
+    let inject_s = cfg.injection_at.as_millis() / 1000;
+    let inject = if inject_s == 0 {
+        String::new()
+    } else {
+        format!(" --inject-at {inject_s}")
+    };
+    format!(
+        "qz fault --system {} --device {} --env {} --events {} --preset {} \
+         --seed {:#x} --start {} --campaigns 1{inject}",
+        cli_system_token(cfg.system),
+        cli_device_token(cfg.profile.name),
+        cli_env_token(cfg.env),
+        cfg.events,
+        cfg.plan.label,
+        cfg.seed,
+        campaign
+    )
+}
+
+/// The injection gate as an absolute simulation instant.
+pub(crate) fn injection_time(cfg: &CampaignConfig) -> SimTime {
+    SimTime::from_millis(cfg.injection_at.as_millis())
+}
+
+/// Runs the fault-free reference and captures a snapshot at the
+/// injection gate on the way (the shared prefix every faulted fork
+/// resumes from).
+fn run_clean_with_snapshot(
+    cfg: &CampaignConfig,
+    env: &SensingEnvironment,
+    tweaks: &SimTweaks,
+    at: SimTime,
+) -> (RunOutcome, SimState) {
+    let mut sim = build_simulation(cfg.system, &cfg.profile, env, tweaks);
+    sim.set_observer(Box::new(RecordingObserver::new()));
+    sim.step_until(at);
+    let snap = sim
+        .save_state()
+        .expect("a fault-free run has no injector and always snapshots");
+    while sim.step() {}
+    let mut observer = sim.take_observer();
+    let events = qz_obs::take_recorded(observer.as_mut()).unwrap_or_default();
+    (
+        RunOutcome {
+            metrics: sim.metrics().clone(),
+            events,
+        },
+        snap,
+    )
+}
+
+/// Runs one faulted campaign from tick zero (the injector gated until
+/// the injection instant).
+pub(crate) fn run_faulted_replay(
+    cfg: &CampaignConfig,
+    env: &SensingEnvironment,
+    tweaks: &SimTweaks,
+    fault_seed: u64,
+    at: SimTime,
+) -> (RunOutcome, FaultStats) {
+    let injector = AdversarialInjector::activating_at(cfg.plan.clone(), fault_seed, at);
+    let (outcome, stats) = run_one(cfg.system, &cfg.profile, env, tweaks, Some(injector));
+    (outcome, stats.expect("injector was installed"))
+}
+
+/// Runs one faulted campaign by forking the shared prefix snapshot:
+/// restore, arm the injector, simulate only the suffix. The recorded
+/// events are spliced after the clean run's prefix so the outcome is
+/// byte-identical to [`run_faulted_replay`].
+fn run_faulted_fork(
+    cfg: &CampaignConfig,
+    env: &SensingEnvironment,
+    tweaks: &SimTweaks,
+    snap: &SimState,
+    prefix: &[Event],
+    fault_seed: u64,
+    at: SimTime,
+) -> (RunOutcome, FaultStats) {
+    let mut sim = build_simulation(cfg.system, &cfg.profile, env, tweaks);
+    sim.restore_state(snap)
+        .expect("the prefix snapshot restores into its own configuration");
+    sim.set_observer(Box::new(RecordingObserver::new()));
+    sim.set_fault_injector(Box::new(AdversarialInjector::activating_at(
+        cfg.plan.clone(),
+        fault_seed,
+        at,
+    )));
+    while sim.step() {}
+    let stats = sim
+        .take_fault_injector()
+        .and_then(|mut f| {
+            f.as_any_mut().and_then(|any| {
+                any.downcast_ref::<AdversarialInjector>()
+                    .map(|a| a.stats().clone())
+            })
+        })
+        .expect("injector was installed");
+    let mut observer = sim.take_observer();
+    let suffix = qz_obs::take_recorded(observer.as_mut()).unwrap_or_default();
+    let mut events = prefix.to_vec();
+    events.extend(suffix);
+    (
+        RunOutcome {
+            metrics: sim.metrics().clone(),
+            events,
+        },
+        stats,
+    )
+}
+
+/// Runs the whole campaign family on `exec`'s thread crew in the
+/// default [`CampaignMode::Snapshot`] execution mode and returns the
+/// report. The report is byte-identical for a given config at any
+/// thread count and in either execution mode.
 ///
 /// # Errors
 ///
@@ -397,6 +542,24 @@ fn json_escape(s: &str) -> String {
 /// Panics if the experiment config itself fails `qz-check` validation
 /// (the same contract as [`qz_app::build_simulation`]).
 pub fn run_campaigns(cfg: &CampaignConfig, exec: Executor) -> Result<FaultReport, FaultError> {
+    run_campaigns_with(cfg, exec, CampaignMode::Snapshot)
+}
+
+/// [`run_campaigns`] with an explicit execution mode (the benchmark
+/// harness runs both and asserts the reports are byte-identical).
+///
+/// # Errors
+///
+/// As for [`run_campaigns`].
+///
+/// # Panics
+///
+/// As for [`run_campaigns`].
+pub fn run_campaigns_with(
+    cfg: &CampaignConfig,
+    exec: Executor,
+    mode: CampaignMode,
+) -> Result<FaultReport, FaultError> {
     if cfg.campaigns == 0 {
         return Err(FaultError::BadConfig(
             "fault needs at least one campaign".into(),
@@ -415,10 +578,33 @@ pub fn run_campaigns(cfg: &CampaignConfig, exec: Executor) -> Result<FaultReport
     let env = SensingEnvironment::generate(cfg.env, cfg.events, cfg.env_seed());
     let mut tweaks = cfg.tweaks.clone();
     tweaks.seed = cfg.sim_seed();
+    let at = injection_time(cfg);
 
     // The two references are shared by every campaign: one fault-free
-    // run, one always-on oracle over the same event trace.
-    let (clean, _) = run_one(cfg.system, &cfg.profile, &env, &tweaks, None);
+    // run, one always-on oracle over the same event trace. In snapshot
+    // mode the fault-free run doubles as the prefix-snapshot source.
+    let (clean, snap) = match mode {
+        CampaignMode::Replay => {
+            let (clean, _) = run_one(cfg.system, &cfg.profile, &env, &tweaks, None);
+            (clean, None)
+        }
+        CampaignMode::Snapshot => {
+            let (clean, snap) = run_clean_with_snapshot(cfg, &env, &tweaks, at);
+            (clean, Some(snap))
+        }
+    };
+    // Events the forks never see: everything from ticks before the
+    // gate (the snapshot captures the state with all of them applied).
+    let prefix: Vec<Event> = if snap.is_some() {
+        clean
+            .events
+            .iter()
+            .filter(|e| e.t_ms < at.as_millis())
+            .cloned()
+            .collect()
+    } else {
+        Vec::new()
+    };
     let oracle_env = oracle_environment(&env);
     let (oracle, _) = run_one(
         cfg.system,
@@ -434,9 +620,10 @@ pub fn run_campaigns(cfg: &CampaignConfig, exec: Executor) -> Result<FaultReport
     );
     let rows: Vec<CampaignRow> = exec.map((0..cfg.campaigns).collect(), |_, c| {
         let fault_seed = cfg.fault_seed(c);
-        let injector = AdversarialInjector::new(cfg.plan.clone(), fault_seed);
-        let (faulted, stats) = run_one(cfg.system, &cfg.profile, &env, &tweaks, Some(injector));
-        let stats = stats.expect("injector was installed");
+        let (faulted, stats) = match &snap {
+            None => run_faulted_replay(cfg, &env, &tweaks, fault_seed, at),
+            Some(s) => run_faulted_fork(cfg, &env, &tweaks, s, &prefix, fault_seed, at),
+        };
         let violations = check_all(&DiffInputs {
             faulted: &faulted,
             clean: &clean,
@@ -468,6 +655,7 @@ pub fn run_campaigns(cfg: &CampaignConfig, exec: Executor) -> Result<FaultReport
             device: cli_device_token(cfg.profile.name).to_string(),
             env: cli_env_token(cfg.env).to_string(),
         },
+        inject_at_s: cfg.injection_at.as_millis() / 1000,
         events: cfg.events,
         preset: cfg.plan.label.to_string(),
         seed: cfg.seed,
@@ -574,6 +762,67 @@ mod tests {
         assert!(a.contains("\"campaigns\": 3"));
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn snapshot_and_replay_modes_report_identically() {
+        let cfg = CampaignConfig {
+            injection_at: SimDuration::from_secs(15),
+            plan: FaultPlan::heavy(),
+            ..small()
+        };
+        let replay = run_campaigns_with(&cfg, Executor::new(2), CampaignMode::Replay)
+            .expect("replay mode runs");
+        let snapshot = run_campaigns_with(&cfg, Executor::new(2), CampaignMode::Snapshot)
+            .expect("snapshot mode runs");
+        assert_eq!(replay, snapshot);
+        assert_eq!(replay.to_json(), snapshot.to_json());
+        assert!(replay.total_faults() > 0, "gated heavy plan still fires");
+    }
+
+    #[test]
+    fn fork_equals_replay_for_every_campaign() {
+        let cfg = CampaignConfig {
+            injection_at: SimDuration::from_secs(15),
+            plan: FaultPlan::heavy(),
+            ..small()
+        };
+        let env = SensingEnvironment::generate(cfg.env, cfg.events, cfg.env_seed());
+        let mut tweaks = cfg.tweaks.clone();
+        tweaks.seed = cfg.sim_seed();
+        let at = injection_time(&cfg);
+        let (clean, snap) = run_clean_with_snapshot(&cfg, &env, &tweaks, at);
+        let prefix: Vec<Event> = clean
+            .events
+            .iter()
+            .filter(|e| e.t_ms < at.as_millis())
+            .cloned()
+            .collect();
+        assert!(!prefix.is_empty(), "15 s of prefix produces events");
+        for c in 0..cfg.campaigns {
+            let seed = cfg.fault_seed(c);
+            let (replayed, rs) = run_faulted_replay(&cfg, &env, &tweaks, seed, at);
+            let (forked, fs) = run_faulted_fork(&cfg, &env, &tweaks, &snap, &prefix, seed, at);
+            assert_eq!(replayed, forked, "campaign {c}: fork must be bit-exact");
+            assert_eq!(rs, fs, "campaign {c}: injector stats must match");
+        }
+    }
+
+    #[test]
+    fn inject_at_appears_in_the_repro_line() {
+        let cfg = CampaignConfig {
+            injection_at: SimDuration::from_secs(15),
+            plan: FaultPlan::heavy(),
+            ..small()
+        };
+        let report = run_campaigns(&cfg, Executor::new(1)).expect("campaigns run");
+        let line = report.repro_line(&report.rows[0]);
+        assert!(line.ends_with("--campaigns 1 --inject-at 15"), "{line}");
+        assert_eq!(line, repro_line_for(&cfg, 0));
+        // Ungated configs keep the historical repro line exactly.
+        let plain = run_campaigns(&small(), Executor::new(1)).expect("campaigns run");
+        let line = plain.repro_line(&plain.rows[0]);
+        assert!(line.ends_with("--start 0 --campaigns 1"), "{line}");
     }
 
     #[test]

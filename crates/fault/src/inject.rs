@@ -10,7 +10,7 @@
 //! hide.
 
 use crate::plan::FaultPlan;
-use qz_sim::{FaultContext, FaultInjector};
+use qz_sim::{FaultContext, FaultInjector, InjectorState};
 use qz_types::{SimDuration, SimTime, SplitMix64, Watts};
 
 /// Stream indices for the per-class generators.
@@ -47,10 +47,20 @@ impl Default for FaultStats {
     }
 }
 
+/// Number of words in the serialized [`InjectorState`]: six stream
+/// states plus the four [`FaultStats`] counters.
+const STATE_WORDS: usize = 10;
+
 /// A seeded, plan-driven fault injector.
 #[derive(Debug)]
 pub struct AdversarialInjector {
     plan: FaultPlan,
+    /// First instant the adversary is allowed to act. Before it, every
+    /// hook returns its inert default *without drawing*, so a gated run
+    /// is bit-identical to a fault-free run up to the gate — which is
+    /// what lets campaigns fork all their faulted runs from one shared
+    /// prefix snapshot.
+    active_from: SimTime,
     power: SplitMix64,
     corrupt: SplitMix64,
     adc: SplitMix64,
@@ -62,11 +72,18 @@ pub struct AdversarialInjector {
 
 impl AdversarialInjector {
     /// Builds an injector for `plan` with per-class streams derived
-    /// from `seed`.
+    /// from `seed`, active from the first tick.
     pub fn new(plan: FaultPlan, seed: u64) -> AdversarialInjector {
+        AdversarialInjector::activating_at(plan, seed, SimTime::ZERO)
+    }
+
+    /// Builds an injector that stays inert — no draws, no statistics —
+    /// until simulated time reaches `active_from`.
+    pub fn activating_at(plan: FaultPlan, seed: u64, active_from: SimTime) -> AdversarialInjector {
         let stream = |s| SplitMix64::new(SplitMix64::derive_stream(seed, s));
         AdversarialInjector {
             plan,
+            active_from,
             power: stream(STREAM_POWER),
             corrupt: stream(STREAM_CORRUPT),
             adc: stream(STREAM_ADC),
@@ -80,6 +97,11 @@ impl AdversarialInjector {
     /// The accumulated statistics.
     pub fn stats(&self) -> &FaultStats {
         &self.stats
+    }
+
+    /// Whether the gate is still closed at `now`.
+    fn gated(&self, now: SimTime) -> bool {
+        now < self.active_from
     }
 
     /// Whether the context sits in a window the adversary targets:
@@ -96,6 +118,9 @@ impl AdversarialInjector {
 
 impl FaultInjector for AdversarialInjector {
     fn on_tick(&mut self, ctx: &FaultContext) {
+        if self.gated(ctx.now) {
+            return;
+        }
         self.stats.ticks += 1;
         let stored = ctx.stored.value();
         if stored < self.stats.min_stored_j {
@@ -110,6 +135,9 @@ impl FaultInjector for AdversarialInjector {
     }
 
     fn force_power_failure(&mut self, ctx: &FaultContext) -> bool {
+        if self.gated(ctx.now) {
+            return false;
+        }
         let boost = if Self::vulnerable(ctx) {
             self.plan.phase_boost
         } else {
@@ -118,28 +146,31 @@ impl FaultInjector for AdversarialInjector {
         self.power.chance(self.plan.power_failure_per_tick * boost)
     }
 
-    fn corrupt_checkpoint(&mut self, _ctx: &FaultContext) -> bool {
+    fn corrupt_checkpoint(&mut self, ctx: &FaultContext) -> bool {
+        if self.gated(ctx.now) {
+            return false;
+        }
         self.corrupt.chance(self.plan.checkpoint_corruption)
     }
 
-    fn adc_misread(&mut self, _t: SimTime, p_in: Watts) -> Option<Watts> {
-        if !self.adc.chance(self.plan.adc_misread) {
+    fn adc_misread(&mut self, t: SimTime, p_in: Watts) -> Option<Watts> {
+        if self.gated(t) || !self.adc.chance(self.plan.adc_misread) {
             return None;
         }
         let a = self.plan.adc_amplitude;
         Some(p_in * self.adc.next_range(1.0 - a, 1.0 + a))
     }
 
-    fn clock_jitter(&mut self, _t: SimTime) -> Option<f64> {
-        if !self.clock.chance(self.plan.clock_jitter) {
+    fn clock_jitter(&mut self, t: SimTime) -> Option<f64> {
+        if self.gated(t) || !self.clock.chance(self.plan.clock_jitter) {
             return None;
         }
         let a = self.plan.clock_amplitude;
         Some(self.clock.next_range(1.0 - a, 1.0 + a))
     }
 
-    fn extra_burst(&mut self, _t: SimTime) -> u32 {
-        if self.plan.burst_max == 0 || !self.burst.chance(self.plan.burst) {
+    fn extra_burst(&mut self, t: SimTime) -> u32 {
+        if self.gated(t) || self.plan.burst_max == 0 || !self.burst.chance(self.plan.burst) {
             return 0;
         }
         // Truncation-safe: burst_max is u32, the draw is below it.
@@ -148,8 +179,11 @@ impl FaultInjector for AdversarialInjector {
         n + 1
     }
 
-    fn jam_uplink(&mut self, _t: SimTime) -> Option<SimDuration> {
-        if self.plan.jam_max.as_millis() == 0 || !self.jam.chance(self.plan.uplink_jam) {
+    fn jam_uplink(&mut self, t: SimTime) -> Option<SimDuration> {
+        if self.gated(t)
+            || self.plan.jam_max.as_millis() == 0
+            || !self.jam.chance(self.plan.uplink_jam)
+        {
             return None;
         }
         let ms = self.jam.next_below(self.plan.jam_max.as_millis()) + 1;
@@ -158,6 +192,46 @@ impl FaultInjector for AdversarialInjector {
 
     fn as_any_mut(&mut self) -> Option<&mut dyn core::any::Any> {
         Some(self)
+    }
+
+    fn save_state(&self) -> Option<InjectorState> {
+        Some(InjectorState {
+            words: vec![
+                self.power.state(),
+                self.corrupt.state(),
+                self.adc.state(),
+                self.clock.state(),
+                self.burst.state(),
+                self.jam.state(),
+                self.stats.ticks,
+                self.stats.min_stored_j.to_bits(),
+                self.stats.negative_energy_ticks,
+                self.stats.vulnerable_ticks,
+            ],
+        })
+    }
+
+    fn restore_state(&mut self, state: &InjectorState) -> Result<(), String> {
+        if state.words.len() != STATE_WORDS {
+            return Err(format!(
+                "adversarial injector expects {STATE_WORDS} state words, snapshot has {}",
+                state.words.len()
+            ));
+        }
+        let w = &state.words;
+        self.power = SplitMix64::from_state(w[0]);
+        self.corrupt = SplitMix64::from_state(w[1]);
+        self.adc = SplitMix64::from_state(w[2]);
+        self.clock = SplitMix64::from_state(w[3]);
+        self.burst = SplitMix64::from_state(w[4]);
+        self.jam = SplitMix64::from_state(w[5]);
+        self.stats = FaultStats {
+            ticks: w[6],
+            min_stored_j: f64::from_bits(w[7]),
+            negative_energy_ticks: w[8],
+            vulnerable_ticks: w[9],
+        };
+        Ok(())
     }
 }
 
@@ -265,6 +339,87 @@ mod tests {
                 assert!(wait.as_millis() >= 1);
                 assert!(wait <= FaultPlan::heavy().jam_max);
             }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_every_stream() {
+        let mut inj = AdversarialInjector::new(FaultPlan::heavy(), 42);
+        let c = ctx(FaultPhase::Idle, false, false);
+        for _ in 0..2_500 {
+            inj.on_tick(&c);
+            let _ = inj.force_power_failure(&c);
+            let _ = inj.corrupt_checkpoint(&c);
+            let _ = inj.adc_misread(SimTime::ZERO, Watts(0.01));
+            let _ = inj.clock_jitter(SimTime::ZERO);
+            let _ = inj.extra_burst(SimTime::ZERO);
+            let _ = inj.jam_uplink(SimTime::ZERO);
+        }
+        let snap = inj.save_state().expect("adversarial injector snapshots");
+        assert_eq!(snap.words.len(), 10);
+
+        // A twin restored from the snapshot produces the identical
+        // suffix schedule on every stream, and carries the stats over.
+        let mut twin = AdversarialInjector::new(FaultPlan::heavy(), 1);
+        twin.restore_state(&snap).unwrap();
+        assert_eq!(twin.stats(), inj.stats());
+        for _ in 0..2_500 {
+            assert_eq!(twin.force_power_failure(&c), inj.force_power_failure(&c));
+            assert_eq!(twin.corrupt_checkpoint(&c), inj.corrupt_checkpoint(&c));
+            assert_eq!(
+                twin.adc_misread(SimTime::ZERO, Watts(0.01)),
+                inj.adc_misread(SimTime::ZERO, Watts(0.01))
+            );
+            assert_eq!(
+                twin.clock_jitter(SimTime::ZERO),
+                inj.clock_jitter(SimTime::ZERO)
+            );
+            assert_eq!(
+                twin.extra_burst(SimTime::ZERO),
+                inj.extra_burst(SimTime::ZERO)
+            );
+            assert_eq!(
+                twin.jam_uplink(SimTime::ZERO),
+                inj.jam_uplink(SimTime::ZERO)
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_word_count_is_rejected() {
+        let mut inj = AdversarialInjector::new(FaultPlan::standard(), 7);
+        let err = inj
+            .restore_state(&InjectorState {
+                words: vec![1, 2, 3],
+            })
+            .unwrap_err();
+        assert!(err.contains("10 state words"), "{err}");
+    }
+
+    #[test]
+    fn gate_suppresses_draws_and_stats_until_activation() {
+        let at = SimTime::from_secs(10);
+        let mut gated = AdversarialInjector::activating_at(FaultPlan::heavy(), 5, at);
+        let mut early = ctx(FaultPhase::Idle, true, true);
+        for t in 0..10_000u64 {
+            early.now = SimTime::from_millis(t);
+            gated.on_tick(&early);
+            assert!(!gated.force_power_failure(&early));
+            assert!(!gated.corrupt_checkpoint(&early));
+            assert!(gated.adc_misread(early.now, Watts(0.01)).is_none());
+            assert!(gated.clock_jitter(early.now).is_none());
+            assert_eq!(gated.extra_burst(early.now), 0);
+            assert!(gated.jam_uplink(early.now).is_none());
+        }
+        assert_eq!(gated.stats().ticks, 0, "gated ticks accumulate nothing");
+
+        // After the gate, the schedule is the one a fresh injector
+        // would produce: the gate made no draws.
+        let mut fresh = AdversarialInjector::new(FaultPlan::heavy(), 5);
+        let mut c = ctx(FaultPhase::Idle, false, false);
+        c.now = at;
+        for _ in 0..5_000 {
+            assert_eq!(gated.force_power_failure(&c), fresh.force_power_failure(&c));
         }
     }
 

@@ -30,9 +30,16 @@
 //! - [`oracle`] — the three run drivers (faulted / clean / oracle).
 //! - [`invariants`] — the four differential invariants.
 //! - [`campaign`] — campaign fan-out on the [`qz_fleet::Executor`],
-//!   `QZ06x` survivability preflight, deterministic reports.
+//!   `QZ06x` survivability preflight, deterministic reports. Faulted
+//!   runs fork from a shared prefix snapshot at the injection instant
+//!   ([`CampaignMode::Snapshot`], the default) instead of replaying the
+//!   fault-free prefix once per campaign.
 //! - [`postmortem`] — `qz-flight/v1` crash-dump evidence for violated
-//!   campaigns (deterministic re-run → event ring + state digests).
+//!   campaigns (deterministic re-run → event ring + state digests +
+//!   an embedded `qz-snap/v1` resume snapshot).
+//! - [`bisect`] — automatic failure bisection: binary-search a
+//!   `qz-snap` snapshot ring for the exact first tick at which a
+//!   faulted run's state diverges from its fault-free twin.
 //!
 //! # Quickstart
 //!
@@ -57,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bisect;
 pub mod campaign;
 pub mod inject;
 pub mod invariants;
@@ -64,9 +72,10 @@ pub mod oracle;
 pub mod plan;
 pub mod postmortem;
 
+pub use bisect::{bisect_campaign, BisectConfig, BisectReport};
 pub use campaign::{
-    cli_device_token, cli_env_token, cli_system_token, preflight, run_campaigns, CampaignConfig,
-    CampaignRow, FaultError, FaultReport,
+    cli_device_token, cli_env_token, cli_system_token, preflight, repro_line_for, run_campaigns,
+    run_campaigns_with, CampaignConfig, CampaignMode, CampaignRow, FaultError, FaultReport,
 };
 pub use inject::{AdversarialInjector, FaultStats};
 pub use invariants::{check_all, DiffInputs, Violation};

@@ -9,16 +9,21 @@
 //! simulated state, so the bytes are identical on every machine (pinned
 //! by the `flight_recorder` golden test).
 
-use crate::campaign::{CampaignConfig, CampaignRow, FaultReport};
+use crate::campaign::{injection_time, CampaignConfig, CampaignRow, FaultReport};
 use crate::inject::AdversarialInjector;
 use crate::oracle::run_one;
+use qz_app::build_simulation;
 use qz_prof::{FlightMeta, FlightRecorder, DEFAULT_RING_CAPACITY};
 use qz_traces::SensingEnvironment;
+use qz_types::SimTime;
 use std::path::{Path, PathBuf};
 
 /// Builds the postmortem dump for one campaign row by re-running that
 /// campaign deterministically and feeding its event stream through a
-/// [`FlightRecorder`].
+/// [`FlightRecorder`]. The dump embeds a `resume` snapshot — the
+/// `qz-snap/v1` engine state right before the last state digest's tick
+/// — so the final stretch of the crashed run can be replayed directly
+/// instead of from tick zero.
 ///
 /// # Panics
 ///
@@ -28,7 +33,8 @@ pub fn postmortem_json(cfg: &CampaignConfig, report: &FaultReport, row: &Campaig
     let env = SensingEnvironment::generate(cfg.env, cfg.events, cfg.env_seed());
     let mut tweaks = cfg.tweaks.clone();
     tweaks.seed = cfg.sim_seed();
-    let injector = AdversarialInjector::new(cfg.plan.clone(), row.fault_seed);
+    let at = injection_time(cfg);
+    let injector = AdversarialInjector::activating_at(cfg.plan.clone(), row.fault_seed, at);
     let (faulted, _) = run_one(cfg.system, &cfg.profile, &env, &tweaks, Some(injector));
     let source = if row.violations.is_empty() {
         String::from("qz-fault differential oracle: clean campaign (requested dump)")
@@ -43,7 +49,24 @@ pub fn postmortem_json(cfg: &CampaignConfig, report: &FaultReport, row: &Campaig
         source,
         repro: report.repro_line(row),
     };
-    FlightRecorder::from_events(meta, &faulted.events, DEFAULT_RING_CAPACITY).to_json()
+    let recorder = FlightRecorder::from_events(meta, &faulted.events, DEFAULT_RING_CAPACITY);
+    // Resume snapshot: deterministically re-run to the last digest's
+    // tick and capture the engine state there. `step_until` leaves the
+    // digest tick itself unprocessed, so resuming replays it first.
+    let resume = recorder.digests().back().map(|d| {
+        let mut sim = build_simulation(cfg.system, &cfg.profile, &env, &tweaks);
+        sim.set_fault_injector(Box::new(AdversarialInjector::activating_at(
+            cfg.plan.clone(),
+            row.fault_seed,
+            at,
+        )));
+        sim.step_until(SimTime::from_millis(d.t_ms));
+        qz_snap::to_json(
+            &sim.save_state()
+                .expect("the adversarial injector supports snapshots"),
+        )
+    });
+    recorder.to_json_with(None, resume.as_deref())
 }
 
 /// Writes one postmortem file per violated campaign into `dir`
@@ -108,6 +131,47 @@ mod tests {
         assert!(a.contains(FLIGHT_SCHEMA));
         assert!(a.contains("qz fault --system"), "repro line embedded");
         assert!(a.contains("\"ring\""));
+        assert!(
+            a.contains("\"resume\":{\"schema\":\"qz-snap/v1\""),
+            "a resume snapshot at the last state digest is embedded"
+        );
+    }
+
+    #[test]
+    fn resume_snapshot_actually_resumes() {
+        let cfg = small();
+        let report = run_campaigns(&cfg, Executor::new(1)).expect("campaigns run");
+        let row = &report.rows[1];
+        let dump = postmortem_json(&cfg, &report, row);
+        // Pull the spliced resume document back out of the dump: it
+        // sits between the `resume` key and the `ring_dropped` key.
+        let start = dump.find("\"resume\":").expect("resume embedded") + "\"resume\":".len();
+        let end = dump
+            .find(",\"ring_dropped\"")
+            .expect("ring_dropped follows");
+        let resume = &dump[start..end];
+
+        // Restoring it into the campaign's configuration and finishing
+        // must land on the same metrics as the straight-through re-run.
+        let env = SensingEnvironment::generate(cfg.env, cfg.events, cfg.env_seed());
+        let mut tweaks = cfg.tweaks.clone();
+        tweaks.seed = cfg.sim_seed();
+        let mut sim = build_simulation(cfg.system, &cfg.profile, &env, &tweaks);
+        let state = qz_snap::from_json(resume, sim.runtime().spec()).expect("resume parses");
+        sim.set_fault_injector(Box::new(AdversarialInjector::new(
+            cfg.plan.clone(),
+            row.fault_seed,
+        )));
+        sim.restore_state(&state).expect("resume restores");
+        while sim.step() {}
+        let (straight, _) = run_one(
+            cfg.system,
+            &cfg.profile,
+            &env,
+            &tweaks,
+            Some(AdversarialInjector::new(cfg.plan.clone(), row.fault_seed)),
+        );
+        assert_eq!(sim.metrics(), &straight.metrics);
     }
 
     #[test]

@@ -159,6 +159,15 @@ impl FlightRecorder {
     /// crash annotation, the digest log, and the event ring (each
     /// event in `qz-obs`'s JSONL object form).
     pub fn to_json_with_panic(&self, panic_note: Option<&str>) -> String {
+        self.to_json_with(panic_note, None)
+    }
+
+    /// Renders the postmortem with an optional crash annotation and an
+    /// optional embedded `resume` field. `resume` must be a
+    /// pre-serialized JSON value (e.g. a `qz-snap/v1` snapshot); it is
+    /// spliced in verbatim so time-travel tooling can resume the run
+    /// straight from the dump.
+    pub fn to_json_with(&self, panic_note: Option<&str>, resume: Option<&str>) -> String {
         let mut out = String::from("{\"schema\":\"");
         out.push_str(FLIGHT_SCHEMA);
         out.push_str("\",\"source\":\"");
@@ -170,6 +179,10 @@ impl FlightRecorder {
             out.push_str(",\"panic\":\"");
             json_escape_into(&mut out, note);
             out.push('"');
+        }
+        if let Some(snapshot) = resume {
+            out.push_str(",\"resume\":");
+            out.push_str(snapshot);
         }
         out.push_str(&format!(
             ",\"ring_dropped\":{},\"digests_dropped\":{},\"digests\":[",
@@ -427,6 +440,20 @@ mod tests {
         let with_panic = FlightRecorder::from_events(FlightMeta::default(), &events, 4)
             .to_json_with_panic(Some("boom at engine.rs:1"));
         assert!(with_panic.contains("\"panic\":\"boom at engine.rs:1\""));
+    }
+
+    #[test]
+    fn resume_snapshot_is_embedded_verbatim() {
+        let events = vec![snapshot_event(1000, 2)];
+        let rec = FlightRecorder::from_events(FlightMeta::default(), &events, 4);
+        let dump = rec.to_json_with(None, Some("{\"schema\":\"qz-snap/v1\",\"t_ms\":1000}"));
+        assert!(dump.contains(",\"resume\":{\"schema\":\"qz-snap/v1\",\"t_ms\":1000},"));
+        // Without a resume value the field is absent entirely.
+        assert!(!rec.to_json().contains("\"resume\""));
+        // Panic note and resume compose.
+        let both = rec.to_json_with(Some("boom"), Some("{\"t_ms\":7}"));
+        assert!(both.contains("\"panic\":\"boom\""));
+        assert!(both.contains("\"resume\":{\"t_ms\":7}"));
     }
 
     #[test]

@@ -40,11 +40,16 @@ pub enum Phase {
     FleetEpoch,
     /// The serial slot-overlay reduction at a fleet epoch barrier.
     FleetReduce,
+    /// Capturing one full-simulation snapshot (`Simulation::save_state`).
+    SnapSave,
+    /// Restoring a simulation from a snapshot
+    /// (`Simulation::restore_state`).
+    SnapRestore,
 }
 
 impl Phase {
     /// Number of phases (array sizing).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Every phase, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -57,6 +62,8 @@ impl Phase {
         Phase::VigilantTail,
         Phase::FleetEpoch,
         Phase::FleetReduce,
+        Phase::SnapSave,
+        Phase::SnapRestore,
     ];
 
     /// Stable snake_case label used in tables, JSON, and folded stacks.
@@ -71,6 +78,8 @@ impl Phase {
             Phase::UplinkSense => "uplink_sense",
             Phase::FleetEpoch => "fleet_epoch",
             Phase::FleetReduce => "fleet_reduce",
+            Phase::SnapSave => "snap_save",
+            Phase::SnapRestore => "snap_restore",
         }
     }
 
@@ -98,6 +107,8 @@ impl Phase {
             Phase::UplinkSense => 6,
             Phase::FleetEpoch => 7,
             Phase::FleetReduce => 8,
+            Phase::SnapSave => 9,
+            Phase::SnapRestore => 10,
         }
     }
 }

@@ -142,6 +142,60 @@ impl InputBuffer {
     pub fn pending(&self) -> impl Iterator<Item = &BufferEntry> {
         self.queues.iter().flatten()
     }
+
+    /// Captures the buffer's evolving contents for a simulation
+    /// snapshot (capacity is config, not state).
+    pub fn save_state(&self) -> InputBufferState {
+        InputBufferState {
+            queues: self
+                .queues
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+            in_flight: self.in_flight,
+        }
+    }
+
+    /// Restores contents captured by [`InputBuffer::save_state`] into a
+    /// buffer built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a snapshot whose queue count differs from the live
+    /// buffer's, or whose total occupancy exceeds the live capacity.
+    pub fn restore_state(&mut self, state: &InputBufferState) -> Result<(), String> {
+        if state.queues.len() != self.queues.len() {
+            return Err(format!(
+                "buffer queue count mismatch: snapshot {} vs live {}",
+                state.queues.len(),
+                self.queues.len()
+            ));
+        }
+        let occupied = state.queues.iter().map(Vec::len).sum::<usize>() + state.in_flight;
+        if occupied > self.capacity {
+            return Err(format!(
+                "snapshot occupancy {occupied} exceeds buffer capacity {}",
+                self.capacity
+            ));
+        }
+        for (live, snap) in self.queues.iter_mut().zip(&state.queues) {
+            live.clear();
+            live.extend(snap.iter().copied());
+        }
+        self.in_flight = state.in_flight;
+        self.occupied = occupied;
+        Ok(())
+    }
+}
+
+/// Serializable evolving contents of an [`InputBuffer`], captured by
+/// [`InputBuffer::save_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputBufferState {
+    /// Queued entries per job, in FIFO order.
+    pub queues: Vec<Vec<BufferEntry>>,
+    /// Slots held by entries popped for processing but not released.
+    pub in_flight: usize,
 }
 
 #[cfg(test)]
@@ -246,6 +300,40 @@ mod tests {
             assert!(b.store(job(0), entry(i)));
         }
         assert!(!b.is_full());
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_queues_and_in_flight() {
+        let mut b = InputBuffer::new(3, 5);
+        assert!(b.store(job(0), entry(1)));
+        assert!(b.store(job(1), entry(2)));
+        assert!(b.store(job(1), entry(3)));
+        let _ = b.take(job(1)).unwrap();
+        let state = b.save_state();
+        let mut fresh = InputBuffer::new(3, 5);
+        fresh.restore_state(&state).unwrap();
+        assert_eq!(fresh.occupancy(), b.occupancy());
+        assert_eq!(fresh.queue_len(job(1)), 1);
+        assert_eq!(fresh.oldest(job(1)), Some(SimTime::from_millis(3)));
+        assert_eq!(fresh.save_state(), state);
+        // The restored in-flight slot releases normally.
+        fresh.release();
+        assert_eq!(fresh.occupancy(), 2);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shape() {
+        let mut b = InputBuffer::new(2, 5);
+        assert!(b.store(job(0), entry(1)));
+        let state = b.save_state();
+        assert!(InputBuffer::new(3, 5).restore_state(&state).is_err());
+        let mut full = InputBuffer::new(2, 10);
+        for i in 0..10 {
+            assert!(full.store(job(0), entry(i)));
+        }
+        assert!(InputBuffer::new(2, 5)
+            .restore_state(&full.save_state())
+            .is_err());
     }
 
     #[test]

@@ -2,19 +2,19 @@
 //! event-horizon fast-forward engine that advances provably quiescent
 //! spans in bulk (see `DESIGN.md`, "Fast-forward engine").
 
-use crate::buffer::{BufferEntry, InputBuffer};
+use crate::buffer::{BufferEntry, InputBuffer, InputBufferState};
 use crate::config::{EngineKind, SimConfig};
-use crate::fault::{FaultContext, FaultInjector, FaultPhase};
-use crate::intermittent::{CheckpointPolicy, ProgressKeeper};
+use crate::fault::{FaultContext, FaultInjector, FaultPhase, InjectorState};
+use crate::intermittent::{CheckpointPolicy, ProgressKeeper, ProgressKeeperState};
 use crate::metrics::Metrics;
 use crate::pipeline::{PipelineError, PipelineSpec, Route, TaskBehavior};
 use crate::telemetry::{Recorder, Telemetry, TelemetrySample};
-use crate::uplink::{TxDecision, TxRecord, UplinkPort};
+use crate::uplink::{TxDecision, TxRecord, UplinkPort, UplinkState};
 use core::fmt;
 use quetzal::model::{JobId, TaskCost, TaskId, TaskKey};
-use quetzal::runtime::BufferView;
+use quetzal::runtime::{BufferView, RuntimeState};
 use quetzal::Quetzal;
-use qz_energy::{PowerSystem, StopCondition};
+use qz_energy::{PowerSystem, PowerSystemState, StopCondition};
 use qz_obs::{EventKind, Observer};
 use qz_prof::{HorizonCause, HorizonStats, Phase, PhaseProfiler};
 use qz_traces::SensingEnvironment;
@@ -139,6 +139,102 @@ pub struct Simulation<'a> {
     /// Counted in sim state (never wall-clock), kept outside `Metrics`
     /// so every byte-equality contract on `Metrics` is untouched.
     horizon_stats: HorizonStats,
+}
+
+/// Serializable state of the executing job, captured inside
+/// [`SimState`]. Job and task identities are stored as spec indices so
+/// the state can be rebuilt against any runtime sharing the same
+/// [`AppSpec`](quetzal::model::AppSpec).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveJobState {
+    /// Spec index of the executing job.
+    pub job: usize,
+    /// Degradation option the job was scheduled at.
+    pub option: usize,
+    /// The buffered input being processed.
+    pub entry: BufferEntry,
+    /// Executing task index; `None` while paying scheduler overhead.
+    pub task_index: Option<usize>,
+    /// Remaining latency of the current countdown.
+    pub remaining: SimDuration,
+    /// The current task's full (jittered) latency.
+    pub full_latency: SimDuration,
+    /// Checkpoint-progress bookkeeping.
+    pub keeper: ProgressKeeperState,
+    /// Executed flag per task of the job, in spec order.
+    pub executed: Vec<bool>,
+    /// When the job started.
+    pub started_at: SimTime,
+    /// When the current task started.
+    pub task_started_at: SimTime,
+    /// Waiting out an uplink backoff/duty deferral.
+    pub tx_wait: bool,
+}
+
+/// A bit-exact snapshot of everything a [`Simulation`] evolves while
+/// stepping: capacitor and energy totals, the runtime's learned state,
+/// buffer contents, the active job, RNG streams, metrics, telemetry,
+/// uplink and fault-injector streams, and the engine cursor.
+///
+/// Configuration (device costs, environment, engine kind, spec) is
+/// deliberately *not* captured: [`Simulation::restore_state`] targets a
+/// simulation freshly built from the same configuration, and
+/// `save → restore → resume` is then byte-identical to stepping
+/// straight through — on both engines. Wall-clock observability
+/// (profiler, horizon stats) is excluded: it is not part of the
+/// deterministic contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimState {
+    /// Engine cursor: current simulation time.
+    pub now: SimTime,
+    /// `true` if the device was powered on.
+    pub on: bool,
+    /// Capacitor charge and cumulative energy totals.
+    pub power: PowerSystemState,
+    /// The runtime's learned state (windows, PID, estimators, RNG-free).
+    pub runtime: RuntimeState,
+    /// Input-buffer contents.
+    pub buffer: InputBufferState,
+    /// The executing job, if any.
+    pub job: Option<ActiveJobState>,
+    /// Raw state word of the engine's jitter/classification stream.
+    pub rng: u64,
+    /// Metrics accumulated so far.
+    pub metrics: Metrics,
+    /// Recorded telemetry samples (`None` when recording is disabled).
+    pub telemetry: Option<Vec<TelemetrySample>>,
+    /// Uplink-gate state (`None` without an installed port).
+    pub uplink: Option<UplinkState>,
+    /// Fault-injector state (`None` without an installed injector).
+    pub injector: Option<InjectorState>,
+    /// When the device last powered down.
+    pub off_since: Option<SimTime>,
+    /// When a checkpoint last completed.
+    pub last_checkpoint_at: Option<SimTime>,
+    /// Whether the run had already finished.
+    pub done: bool,
+}
+
+impl SimState {
+    /// Equality over every field except the fault-injector words —
+    /// the comparison failure bisection uses to find where a faulted
+    /// run's *device* state first diverges from its fault-free twin
+    /// (their injector states differ by construction).
+    pub fn eq_ignoring_injector(&self, other: &SimState) -> bool {
+        self.now == other.now
+            && self.on == other.on
+            && self.power == other.power
+            && self.runtime == other.runtime
+            && self.buffer == other.buffer
+            && self.job == other.job
+            && self.rng == other.rng
+            && self.metrics == other.metrics
+            && self.telemetry == other.telemetry
+            && self.uplink == other.uplink
+            && self.off_since == other.off_since
+            && self.last_checkpoint_at == other.last_checkpoint_at
+            && self.done == other.done
+    }
 }
 
 impl<'a> Simulation<'a> {
@@ -390,6 +486,174 @@ impl<'a> Simulation<'a> {
     /// under [`EngineKind::Tick`].
     pub fn horizon_stats(&self) -> &HorizonStats {
         &self.horizon_stats
+    }
+
+    /// Captures a bit-exact [`SimState`] snapshot of the run so far.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an installed fault injector does not support
+    /// snapshotting (its [`FaultInjector::save_state`] returns `None`).
+    pub fn save_state(&mut self) -> Result<SimState, String> {
+        let t0 = self.prof.begin();
+        let injector = match self.fault.as_ref() {
+            None => None,
+            Some(f) => Some(f.save_state().ok_or_else(|| {
+                String::from("installed fault injector does not support snapshots")
+            })?),
+        };
+        let job = self.job.as_ref().map(|j| ActiveJobState {
+            job: j.job.index(),
+            option: j.option,
+            entry: j.entry,
+            task_index: match j.phase {
+                JobPhase::Overhead => None,
+                JobPhase::Task(i) => Some(i),
+            },
+            remaining: j.remaining,
+            full_latency: j.full_latency,
+            keeper: j.keeper.save_state(),
+            executed: j.executed.iter().map(|&(_, ran)| ran).collect(),
+            started_at: j.started_at,
+            task_started_at: j.task_started_at,
+            tx_wait: j.tx_wait,
+        });
+        let state = SimState {
+            now: self.now,
+            on: self.state == DeviceState::On,
+            power: self.power.save_state(),
+            runtime: self.runtime.save_state(),
+            buffer: self.buffer.save_state(),
+            job,
+            rng: self.rng.state(),
+            metrics: self.metrics.clone(),
+            telemetry: self
+                .recorder
+                .as_ref()
+                .map(|r| r.telemetry.samples().to_vec()),
+            uplink: self.uplink.as_ref().map(UplinkPort::save_state),
+            injector,
+            off_since: self.off_since,
+            last_checkpoint_at: self.last_checkpoint_at,
+            done: self.done,
+        };
+        self.prof.end(Phase::SnapSave, t0);
+        Ok(state)
+    }
+
+    /// Restores a snapshot captured by [`Simulation::save_state`] into
+    /// a simulation freshly built from the same configuration (same
+    /// spec, device costs, environment, engines, seeds, and the same
+    /// telemetry/uplink/fault installations). After a successful
+    /// restore, stepping resumes byte-identically to the run the
+    /// snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots whose shape does not match the live
+    /// simulation: wrong queue/window/task counts, out-of-range job or
+    /// task indices, or a telemetry/uplink/fault installation mismatch.
+    /// The simulation state is unspecified after an error — rebuild it
+    /// before further use.
+    pub fn restore_state(&mut self, state: &SimState) -> Result<(), String> {
+        let t0 = self.prof.begin();
+        // Fallible shape-checked pieces first.
+        self.buffer.restore_state(&state.buffer)?;
+        self.runtime.restore_state(&state.runtime)?;
+        self.job = match &state.job {
+            None => None,
+            Some(js) => {
+                let job = self
+                    .runtime
+                    .spec()
+                    .job_id(js.job)
+                    .ok_or_else(|| format!("active-job index {} out of range", js.job))?;
+                let tasks = &self.runtime.spec().job(job).tasks;
+                if js.executed.len() != tasks.len() {
+                    return Err(format!(
+                        "active-job executed-flag count mismatch: snapshot {} vs spec {}",
+                        js.executed.len(),
+                        tasks.len()
+                    ));
+                }
+                if let Some(i) = js.task_index {
+                    if i >= tasks.len() {
+                        return Err(format!("active-task index {i} out of range"));
+                    }
+                }
+                let mut keeper = ProgressKeeper::default();
+                keeper.restore_state(&js.keeper);
+                Some(ActiveJob {
+                    job,
+                    option: js.option,
+                    entry: js.entry,
+                    phase: match js.task_index {
+                        None => JobPhase::Overhead,
+                        Some(i) => JobPhase::Task(i),
+                    },
+                    remaining: js.remaining,
+                    full_latency: js.full_latency,
+                    keeper,
+                    executed: tasks
+                        .iter()
+                        .copied()
+                        .zip(js.executed.iter().copied())
+                        .collect(),
+                    started_at: js.started_at,
+                    task_started_at: js.task_started_at,
+                    tx_wait: js.tx_wait,
+                })
+            }
+        };
+        match (self.recorder.as_mut(), &state.telemetry) {
+            (Some(rec), Some(samples)) => {
+                rec.telemetry = Telemetry::from_samples(samples.clone());
+            }
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(String::from(
+                    "telemetry recording is enabled but the snapshot carries no samples",
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(String::from(
+                    "snapshot carries telemetry but recording is not enabled",
+                ))
+            }
+        }
+        match (self.uplink.as_mut(), &state.uplink) {
+            (Some(port), Some(s)) => port.restore_state(s),
+            (None, None) => {}
+            _ => {
+                return Err(String::from(
+                    "uplink installation does not match the snapshot",
+                ))
+            }
+        }
+        match (self.fault.as_mut(), &state.injector) {
+            (Some(f), Some(s)) => f.restore_state(s)?,
+            (None, None) => {}
+            _ => {
+                return Err(String::from(
+                    "fault-injector installation does not match the snapshot",
+                ))
+            }
+        }
+        // Infallible pieces last.
+        self.power.restore_state(&state.power);
+        self.rng = SplitMix64::from_state(state.rng);
+        self.now = state.now;
+        self.state = if state.on {
+            DeviceState::On
+        } else {
+            DeviceState::Off
+        };
+        self.metrics = state.metrics.clone();
+        self.off_since = state.off_since;
+        self.last_checkpoint_at = state.last_checkpoint_at;
+        self.done = state.done;
+        self.prof.end(Phase::SnapRestore, t0);
+        Ok(())
     }
 
     /// Runs to completion and returns the final metrics.
@@ -1693,5 +1957,164 @@ mod tests {
         assert_eq!(s.time(), SimTime::from_millis(1));
         assert_eq!(s.metrics().frames_total, 1);
         assert!(s.runtime().spec().jobs().len() == 2);
+    }
+
+    #[test]
+    fn save_restore_resume_is_bit_exact_on_both_engines() {
+        let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 20, 3);
+        for engine in [EngineKind::Tick, EngineKind::FastForward] {
+            // Straight-through reference run.
+            let mut straight = sim_with_engine(&env, engine);
+            straight.record_telemetry(SimDuration::from_secs(1));
+            let (m_ref, t_ref) = straight.run_with_telemetry();
+
+            // Run to an arbitrary mid point, snapshot, resume in place.
+            let mut a = sim_with_engine(&env, engine);
+            a.record_telemetry(SimDuration::from_secs(1));
+            a.step_until(SimTime::from_millis(31_337));
+            let snap = a.save_state().unwrap();
+            let (m_a, t_a) = a.run_with_telemetry();
+            assert_eq!(m_a, m_ref, "{engine:?}: suffix-after-save diverged");
+            assert_eq!(t_a, t_ref);
+
+            // Restore into a freshly built twin and run the suffix.
+            let mut b = sim_with_engine(&env, engine);
+            b.record_telemetry(SimDuration::from_secs(1));
+            b.restore_state(&snap).unwrap();
+            assert_eq!(b.time(), SimTime::from_millis(31_337));
+            let (m_b, t_b) = b.run_with_telemetry();
+            assert_eq!(m_b, m_ref, "{engine:?}: restored run diverged");
+            assert_eq!(t_b, t_ref, "{engine:?}: restored telemetry diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_a_restored_twin() {
+        // save → restore → save again must reproduce the identical state,
+        // including an active job when one is in flight.
+        let env = SensingEnvironment::generate(EnvironmentKind::MoreCrowded, 20, 4);
+        let mut a = sim(&env, 0.05);
+        let mut saw_active = false;
+        for _ in 0..200_000 {
+            if !a.step() {
+                break;
+            }
+            if a.active_option().is_some() {
+                saw_active = true;
+                break;
+            }
+        }
+        assert!(saw_active, "scenario must reach an active job");
+        let snap = a.save_state().unwrap();
+        assert!(snap.job.is_some(), "snapshot captures the active job");
+        let mut b = sim(&env, 0.05);
+        b.restore_state(&snap).unwrap();
+        assert_eq!(b.save_state().unwrap(), snap);
+        // And the twins step in lockstep from here.
+        for _ in 0..10_000 {
+            let more = a.step();
+            assert_eq!(more, b.step());
+            if !more {
+                break;
+            }
+        }
+        assert!(a
+            .save_state()
+            .unwrap()
+            .eq_ignoring_injector(&b.save_state().unwrap()));
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshots() {
+        let env = SensingEnvironment::generate(EnvironmentKind::MoreCrowded, 20, 4);
+        let mut a = sim(&env, 0.05);
+        while a.active_option().is_none() && a.step() {}
+        let snap = a.save_state().unwrap();
+        let js = snap.job.clone().expect("active job");
+
+        // Out-of-range job index.
+        let mut bad = snap.clone();
+        bad.job = Some(ActiveJobState {
+            job: 99,
+            ..js.clone()
+        });
+        assert!(sim(&env, 0.05)
+            .restore_state(&bad)
+            .unwrap_err()
+            .contains("job index"));
+
+        // Out-of-range task index.
+        let mut bad = snap.clone();
+        bad.job = Some(ActiveJobState {
+            task_index: Some(99),
+            ..js.clone()
+        });
+        assert!(sim(&env, 0.05)
+            .restore_state(&bad)
+            .unwrap_err()
+            .contains("task index"));
+
+        // Executed-flag shape mismatch.
+        let mut bad = snap.clone();
+        bad.job = Some(ActiveJobState {
+            executed: vec![false; 7],
+            ..js
+        });
+        assert!(sim(&env, 0.05)
+            .restore_state(&bad)
+            .unwrap_err()
+            .contains("executed-flag"));
+
+        // Telemetry present in the snapshot but recording disabled live.
+        let mut bad = snap.clone();
+        bad.telemetry = Some(Vec::new());
+        assert!(sim(&env, 0.05)
+            .restore_state(&bad)
+            .unwrap_err()
+            .contains("telemetry"));
+
+        // Uplink installed live but absent from the snapshot.
+        let mut live = sim(&env, 0.05);
+        live.set_uplink(UplinkPort::new(crate::uplink::UplinkConfig::default(), 9));
+        assert!(live.restore_state(&snap).unwrap_err().contains("uplink"));
+    }
+
+    #[test]
+    fn save_fails_under_a_snapshot_blind_injector() {
+        #[derive(Debug)]
+        struct Blind;
+        impl FaultInjector for Blind {}
+        let env = SensingEnvironment::generate(EnvironmentKind::LessCrowded, 5, 8);
+        let mut s = sim(&env, 0.05);
+        s.set_fault_injector(Box::new(Blind));
+        s.step();
+        assert!(s
+            .save_state()
+            .unwrap_err()
+            .contains("does not support snapshots"));
+    }
+
+    #[test]
+    fn restore_with_uplink_resumes_the_channel_stream() {
+        let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 20, 3);
+        let build = || {
+            let mut s = sim(&env, 0.05);
+            s.set_uplink(UplinkPort::new(crate::uplink::UplinkConfig::default(), 9));
+            s.set_uplink_busy_probability(0.4);
+            s
+        };
+        let mut reference = build();
+        while reference.step() {}
+        let m_ref = reference.metrics().clone();
+
+        let mut a = build();
+        a.step_until(SimTime::from_millis(40_007));
+        let snap = a.save_state().unwrap();
+        assert!(snap.uplink.is_some());
+        let mut b = build();
+        b.restore_state(&snap).unwrap();
+        while b.step() {}
+        assert_eq!(b.metrics(), &m_ref, "uplink stream must resume bit-exactly");
     }
 }

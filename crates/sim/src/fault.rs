@@ -16,6 +16,16 @@
 
 use qz_types::{Joules, SimDuration, SimTime, Watts};
 
+/// Opaque serialized state of a [`FaultInjector`], captured by
+/// [`FaultInjector::save_state`]: a flat vector of words whose layout
+/// is private to the implementing injector (RNG stream states packed
+/// alongside bit patterns of accumulated statistics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectorState {
+    /// Implementation-defined state words.
+    pub words: Vec<u64>,
+}
+
 /// What the device was doing when a fault hook fired — the "phase
 /// alignment" an adversarial schedule targets.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,6 +130,28 @@ pub trait FaultInjector: core::fmt::Debug + Send {
     fn as_any_mut(&mut self) -> Option<&mut dyn core::any::Any> {
         None
     }
+
+    /// Captures the injector's evolving state (RNG streams, accumulated
+    /// statistics) for a simulation snapshot. `None` (the default)
+    /// means the injector does not support snapshotting, which makes
+    /// [`Simulation::save_state`](crate::Simulation::save_state) fail
+    /// while it is installed.
+    fn save_state(&self) -> Option<InjectorState> {
+        None
+    }
+
+    /// Restores state captured by [`FaultInjector::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// The default implementation (paired with the default `save_state`)
+    /// always errs: an injector that cannot capture state cannot resume
+    /// from one either.
+    fn restore_state(&mut self, _state: &InjectorState) -> Result<(), String> {
+        Err(String::from(
+            "this fault injector does not support snapshots",
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +184,7 @@ mod tests {
         assert_eq!(f.extra_burst(ctx.now), 0);
         assert!(f.jam_uplink(ctx.now).is_none());
         assert!(f.as_any_mut().is_none());
+        assert!(f.save_state().is_none());
+        assert!(f.restore_state(&InjectorState { words: vec![] }).is_err());
     }
 }

@@ -103,6 +103,20 @@ impl ProgressKeeper {
         self.since_checkpoint = SimDuration::ZERO;
     }
 
+    /// Captures the keeper's state for a simulation snapshot.
+    pub fn save_state(&self) -> ProgressKeeperState {
+        ProgressKeeperState {
+            snapshot: self.snapshot,
+            since_checkpoint: self.since_checkpoint,
+        }
+    }
+
+    /// Restores state captured by [`ProgressKeeper::save_state`].
+    pub fn restore_state(&mut self, state: &ProgressKeeperState) {
+        self.snapshot = state.snapshot;
+        self.since_checkpoint = state.since_checkpoint;
+    }
+
     /// Called at a power failure: returns the remaining latency the task
     /// resumes with after restore, and the amount of re-execution the
     /// failure cost.
@@ -127,6 +141,16 @@ impl ProgressKeeper {
         self.since_checkpoint = SimDuration::ZERO;
         (resume_at, lost)
     }
+}
+
+/// Serializable state of a [`ProgressKeeper`], captured by
+/// [`ProgressKeeper::save_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgressKeeperState {
+    /// The task's remaining latency at the last consistent point.
+    pub snapshot: SimDuration,
+    /// Active execution time since the last checkpoint.
+    pub since_checkpoint: SimDuration,
 }
 
 #[cfg(test)]
@@ -218,6 +242,25 @@ mod tests {
             assert!(!k.tick(policy));
         }
         assert!(k.tick(policy));
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_checkpoint_clock() {
+        let policy = CheckpointPolicy::Periodic {
+            interval: SimDuration(100),
+        };
+        let mut a = ProgressKeeper::default();
+        a.task_started(FULL);
+        for _ in 0..37 {
+            let _ = a.tick(policy);
+        }
+        let mut b = ProgressKeeper::default();
+        b.restore_state(&a.save_state());
+        assert_eq!(a, b);
+        assert_eq!(
+            a.ticks_until_periodic_due(policy),
+            b.ticks_until_periodic_due(policy)
+        );
     }
 
     #[test]

@@ -45,13 +45,13 @@ pub mod pipeline;
 pub mod telemetry;
 pub mod uplink;
 
-pub use buffer::{BufferEntry, InputBuffer};
+pub use buffer::{BufferEntry, InputBuffer, InputBufferState};
 pub use builder::{SimApp, SimAppBuilder};
 pub use config::{DeviceConfig, EngineKind, PowerConfig, SimConfig};
-pub use engine::{SimError, Simulation};
-pub use fault::{FaultContext, FaultInjector, FaultPhase};
-pub use intermittent::{CheckpointPolicy, ProgressKeeper};
+pub use engine::{ActiveJobState, SimError, SimState, Simulation};
+pub use fault::{FaultContext, FaultInjector, FaultPhase, InjectorState};
+pub use intermittent::{CheckpointPolicy, ProgressKeeper, ProgressKeeperState};
 pub use metrics::Metrics;
 pub use pipeline::{ClassRates, PipelineSpec, ReportQuality, Route, TaskBehavior};
 pub use telemetry::{Telemetry, TelemetrySample};
-pub use uplink::{TxDecision, TxRecord, UplinkConfig, UplinkPort};
+pub use uplink::{TxDecision, TxRecord, UplinkConfig, UplinkPort, UplinkState};

@@ -105,6 +105,12 @@ impl Telemetry {
         &self.samples
     }
 
+    /// Builds a telemetry log from already-recorded samples (snapshot
+    /// restore).
+    pub fn from_samples(samples: Vec<TelemetrySample>) -> Telemetry {
+        Telemetry { samples }
+    }
+
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
         self.samples.len()

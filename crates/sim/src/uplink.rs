@@ -201,6 +201,32 @@ impl UplinkPort {
         core::mem::take(&mut self.log)
     }
 
+    /// Captures the port's evolving state for a simulation snapshot
+    /// (the channel config is not state).
+    pub fn save_state(&self) -> UplinkState {
+        UplinkState {
+            rng: self.rng.state(),
+            p_busy: self.p_busy,
+            attempts: self.attempts,
+            window_index: self.window_index,
+            window_used: self.window_used,
+            log: self.log.clone(),
+            total_airtime: self.total_airtime,
+        }
+    }
+
+    /// Restores state captured by [`UplinkPort::save_state`] into a
+    /// port built from the same configuration.
+    pub fn restore_state(&mut self, state: &UplinkState) {
+        self.rng = SplitMix64::from_state(state.rng);
+        self.p_busy = state.p_busy;
+        self.attempts = state.attempts;
+        self.window_index = state.window_index;
+        self.window_used = state.window_used;
+        self.log = state.log.clone();
+        self.total_airtime = state.total_airtime;
+    }
+
     /// Consults the gate for a transmission of the given latency
     /// starting now. A grant charges the duty budget and logs the
     /// slot range; a refusal tells the caller how long to wait before
@@ -240,6 +266,26 @@ impl UplinkPort {
         });
         TxDecision::Grant { airtime }
     }
+}
+
+/// Serializable evolving state of an [`UplinkPort`], captured by
+/// [`UplinkPort::save_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UplinkState {
+    /// Raw state word of the port's dedicated randomness stream.
+    pub rng: u64,
+    /// Carrier-sense busy probability at capture time.
+    pub p_busy: f64,
+    /// Consecutive failed senses for the pending transmission.
+    pub attempts: u32,
+    /// Duty window the `window_used` counter belongs to.
+    pub window_index: u64,
+    /// Slots spent on air in the current duty window.
+    pub window_used: u64,
+    /// Grants not yet drained by the fleet layer.
+    pub log: Vec<TxRecord>,
+    /// Total slot-rounded time-on-air granted so far.
+    pub total_airtime: SimDuration,
 }
 
 #[cfg(test)]
@@ -368,6 +414,26 @@ mod tests {
             let t = SimTime::from_millis(i * 150);
             assert_eq!(a.sense(t, tx), b.sense(t, tx), "same seed, same stream");
         }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream_bit_exactly() {
+        let mut a = port(UplinkConfig::default());
+        a.set_busy_probability(0.5);
+        let tx = SimDuration::from_millis(100);
+        for i in 0..20u64 {
+            let _ = a.sense(SimTime::from_millis(i * 150), tx);
+        }
+        let state = a.save_state();
+        let mut b = port(UplinkConfig::default());
+        b.restore_state(&state);
+        for i in 20..60u64 {
+            let t = SimTime::from_millis(i * 150);
+            assert_eq!(a.sense(t, tx), b.sense(t, tx));
+        }
+        assert_eq!(a.save_state(), b.save_state());
+        assert_eq!(a.drain_log(), b.drain_log());
+        assert_eq!(a.total_airtime(), b.total_airtime());
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! A bounded ring of periodic snapshots with deterministic rollback.
+//!
+//! [`History`] rides along a running [`Simulation`]: drive the run with
+//! [`History::advance_until`] (or [`History::run_to_completion`]) and a
+//! snapshot is captured every `stride` of simulated time, keeping the
+//! newest `capacity` snapshots (plus the run's initial state, which is
+//! pinned so [`History::rollback_to`] always has a floor to restore
+//! from). Rolling back restores the nearest snapshot at or before the
+//! requested tick and replays forward deterministically — bit-exact by
+//! the engine's snapshot contract, so a rollback-then-replay reaches
+//! the same state as the original pass did.
+
+use qz_sim::{SimState, Simulation};
+use qz_types::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Bounded snapshot ring over a simulation's lifetime.
+#[derive(Debug)]
+pub struct History {
+    stride: SimDuration,
+    capacity: usize,
+    /// The run's initial state, kept outside the ring so the whole
+    /// timeline stays reachable after evictions.
+    initial: Option<(SimTime, SimState)>,
+    ring: VecDeque<(SimTime, SimState)>,
+    /// Next capture boundary.
+    next_at: SimTime,
+}
+
+impl History {
+    /// Creates a history capturing every `stride`, keeping at most
+    /// `capacity` ring snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero stride or zero capacity.
+    pub fn new(stride: SimDuration, capacity: usize) -> History {
+        assert!(!stride.is_zero(), "snapshot stride must be positive");
+        assert!(capacity > 0, "snapshot ring capacity must be positive");
+        History {
+            stride,
+            capacity,
+            initial: None,
+            ring: VecDeque::new(),
+            next_at: SimTime::ZERO,
+        }
+    }
+
+    /// The configured capture stride.
+    pub fn stride(&self) -> SimDuration {
+        self.stride
+    }
+
+    /// The configured ring capacity (excluding the pinned initial
+    /// snapshot).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of snapshots held (including the pinned initial one).
+    pub fn len(&self) -> usize {
+        usize::from(self.initial.is_some()) + self.ring.len()
+    }
+
+    /// `true` when nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.initial.is_none() && self.ring.is_empty()
+    }
+
+    /// Capture instants currently held, oldest first.
+    pub fn times(&self) -> Vec<SimTime> {
+        self.initial
+            .iter()
+            .map(|(t, _)| *t)
+            .chain(self.ring.iter().map(|(t, _)| *t))
+            .collect()
+    }
+
+    /// Captures a snapshot of `sim` right now, regardless of stride
+    /// alignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulation::save_state`] failures (an installed
+    /// injector without snapshot support).
+    pub fn capture(&mut self, sim: &mut Simulation<'_>) -> Result<(), String> {
+        let at = sim.time();
+        let state = sim.save_state()?;
+        if self.initial.is_none() {
+            self.initial = Some((at, state));
+        } else {
+            if self.ring.len() == self.capacity {
+                self.ring.pop_front();
+            }
+            self.ring.push_back((at, state));
+        }
+        self.next_at = at + self.stride;
+        Ok(())
+    }
+
+    /// Advances `sim` to `until` (or completion, whichever comes first),
+    /// capturing a snapshot at every stride boundary on the way. The
+    /// first call also captures the initial state before stepping.
+    /// Returns `true` while the simulation can still advance.
+    ///
+    /// Stepping happens with [`Simulation::step_until`], so the
+    /// fast-forward engine's quiescent-span skipping stays effective
+    /// between capture points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulation::save_state`] failures.
+    pub fn advance_until(
+        &mut self,
+        sim: &mut Simulation<'_>,
+        until: SimTime,
+    ) -> Result<bool, String> {
+        if self.initial.is_none() {
+            self.capture(sim)?;
+        }
+        let mut more = !sim.is_done();
+        while more && sim.time() < until {
+            // The caller may have stepped past a boundary on their own;
+            // capture late rather than spin on an unreachable target.
+            if self.next_at <= sim.time() {
+                self.capture(sim)?;
+                continue;
+            }
+            let target = self.next_at.min(until);
+            more = sim.step_until(target);
+            if sim.time() == self.next_at {
+                self.capture(sim)?;
+            }
+        }
+        Ok(more)
+    }
+
+    /// Runs `sim` to completion, capturing at every stride boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulation::save_state`] failures.
+    pub fn run_to_completion(&mut self, sim: &mut Simulation<'_>) -> Result<(), String> {
+        if self.initial.is_none() {
+            self.capture(sim)?;
+        }
+        while !sim.is_done() {
+            if self.next_at <= sim.time() {
+                self.capture(sim)?;
+                continue;
+            }
+            let next = self.next_at;
+            if !sim.step_until(next) {
+                break;
+            }
+            if sim.time() == next {
+                self.capture(sim)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The nearest held snapshot at or before `t`, if any.
+    pub fn nearest_at_or_before(&self, t: SimTime) -> Option<&(SimTime, SimState)> {
+        self.ring
+            .iter()
+            .rev()
+            .find(|(at, _)| *at <= t)
+            .or_else(|| self.initial.as_ref().filter(|(at, _)| *at <= t))
+    }
+
+    /// Rolls `sim` back to exactly tick `t`: restores the nearest
+    /// snapshot at or before `t`, then replays forward deterministically
+    /// until `sim.time() == t`. Returns the capture instant the replay
+    /// started from.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no held snapshot is at or before `t` (evicted or never
+    /// captured) or when the restore itself is rejected.
+    pub fn rollback_to(&self, sim: &mut Simulation<'_>, t: SimTime) -> Result<SimTime, String> {
+        let (at, state) = self.nearest_at_or_before(t).ok_or_else(|| {
+            format!(
+                "no snapshot at or before t={}ms (held: {:?})",
+                t.as_millis(),
+                self.times()
+                    .iter()
+                    .map(|t| t.as_millis())
+                    .collect::<Vec<_>>()
+            )
+        })?;
+        sim.restore_state(state)?;
+        if *at < t {
+            sim.step_until(t);
+        }
+        if sim.time() != t {
+            return Err(format!(
+                "replay from t={}ms ended at t={}ms before reaching t={}ms (run finished early)",
+                at.as_millis(),
+                sim.time().as_millis(),
+                t.as_millis()
+            ));
+        }
+        Ok(*at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qz_app::{apollo4, SimTweaks};
+    use qz_baselines::BaselineKind;
+    use qz_traces::{EnvironmentKind, SensingEnvironment};
+
+    fn env() -> SensingEnvironment {
+        SensingEnvironment::generate(EnvironmentKind::Crowded, 15, 21)
+    }
+
+    fn build<'a>(env: &'a SensingEnvironment) -> Simulation<'a> {
+        qz_app::build_simulation(
+            BaselineKind::Quetzal,
+            &apollo4(),
+            env,
+            &SimTweaks::default(),
+        )
+    }
+
+    #[test]
+    fn captures_on_stride_and_bounds_the_ring() {
+        let env = env();
+        let mut sim = build(&env);
+        let mut h = History::new(SimDuration::from_secs(10), 3);
+        assert!(h.is_empty());
+        h.advance_until(&mut sim, SimTime::from_secs(100)).unwrap();
+        // 3 ring slots + the pinned initial snapshot.
+        assert_eq!(h.len(), 4);
+        let times = h.times();
+        assert_eq!(times[0], SimTime::ZERO, "initial snapshot is pinned");
+        assert_eq!(
+            times[1..],
+            [
+                SimTime::from_secs(80),
+                SimTime::from_secs(90),
+                SimTime::from_secs(100)
+            ],
+            "ring keeps the newest stride boundaries"
+        );
+    }
+
+    #[test]
+    fn rollback_then_replay_is_idempotent() {
+        let env = env();
+        let mut sim = build(&env);
+        let mut h = History::new(SimDuration::from_secs(20), 8);
+        h.advance_until(&mut sim, SimTime::from_secs(120)).unwrap();
+        let probe = sim.save_state().unwrap();
+
+        // Roll back to a tick strictly between two capture points.
+        let target = SimTime::from_millis(87_123);
+        let from = h.rollback_to(&mut sim, target).unwrap();
+        assert_eq!(
+            from,
+            SimTime::from_secs(80),
+            "restores the nearest ≤ snapshot"
+        );
+        assert_eq!(sim.time(), target);
+
+        // Replaying forward reaches the probed state bit-exactly, and a
+        // second rollback lands on the identical state again.
+        sim.step_until(SimTime::from_secs(120));
+        assert_eq!(sim.save_state().unwrap(), probe);
+        h.rollback_to(&mut sim, target).unwrap();
+        sim.step_until(SimTime::from_secs(120));
+        assert_eq!(sim.save_state().unwrap(), probe);
+    }
+
+    #[test]
+    fn rollback_before_history_fails_cleanly() {
+        let env = env();
+        let mut sim = build(&env);
+        let mut h = History::new(SimDuration::from_secs(10), 2);
+        h.advance_until(&mut sim, SimTime::from_secs(50)).unwrap();
+        // The initial snapshot is pinned, so t=5s resolves to t=0.
+        assert_eq!(
+            h.rollback_to(&mut sim, SimTime::from_secs(5)).unwrap(),
+            SimTime::ZERO
+        );
+        // An empty history has nothing to restore.
+        let h2 = History::new(SimDuration::from_secs(10), 2);
+        assert!(h2
+            .rollback_to(&mut sim, SimTime::from_secs(5))
+            .unwrap_err()
+            .contains("no snapshot"));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_is_rejected() {
+        let _ = History::new(SimDuration::ZERO, 4);
+    }
+}

@@ -40,6 +40,7 @@ fn config(
         start: 0,
         seed,
         plan,
+        injection_at: qz_types::SimDuration::ZERO,
         tweaks: tweaks(),
     }
 }
