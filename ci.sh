@@ -20,7 +20,7 @@ echo "== test-count guard =="
 # The suite must never silently shrink (a deleted [[test]] stanza or a
 # dropped module compiles fine and loses coverage without failing CI).
 # Raise the floor when tests are added; never lower it casually.
-test_floor=850
+test_floor=900
 test_count=$(cargo test -q --workspace -- --list 2>/dev/null | grep -c ': test$')
 echo "   ${test_count} tests (floor ${test_floor})"
 if [ "${test_count}" -lt "${test_floor}" ]; then
@@ -68,6 +68,29 @@ cargo run -q --bin qz -- fleet --devices 6 --events 10 --threads 2 \
     --json "${fleet_dir}/t2.json" > /dev/null
 cmp "${fleet_dir}/t1.json" "${fleet_dir}/t2.json"
 
+echo "== qz fleet: cross-scheduler byte-identity at 64 devices =="
+# The event-horizon scheduler is a pure optimization of the epoch-barrier
+# reference: the same fixed-seed fleet must produce byte-identical JSON
+# under both (the randomized in-depth proof is tests/fleet_determinism.rs;
+# this is the end-to-end CLI smoke).
+cargo run -q --bin qz -- fleet --devices 64 --events 6 --threads 2 \
+    --scheduler epoch-barrier --json "${fleet_dir}/s_eb.json" > /dev/null
+cargo run -q --bin qz -- fleet --devices 64 --events 6 --threads 2 \
+    --scheduler event-horizon --json "${fleet_dir}/s_eh.json" > /dev/null
+cmp "${fleet_dir}/s_eb.json" "${fleet_dir}/s_eh.json"
+
+echo "== qz fleet: 10k-device event-horizon smoke + determinism =="
+# A large sharded fleet must complete under the event-horizon scheduler
+# (64 gateways, 30 s capture period keep the QZ050/QZ080 preflight
+# clean) and its JSON must stay byte-identical across worker counts.
+cargo run -q --bin qz -- fleet --devices 10000 --gateways 64 \
+    --capture-period 30 --scheduler event-horizon --events 3 \
+    --threads 1 --json "${fleet_dir}/big1.json" > /dev/null
+cargo run -q --bin qz -- fleet --devices 10000 --gateways 64 \
+    --capture-period 30 --scheduler event-horizon --events 3 \
+    --threads 2 --json "${fleet_dir}/big2.json" > /dev/null
+cmp "${fleet_dir}/big1.json" "${fleet_dir}/big2.json"
+
 echo "== engine equivalence: tick vs fast-forward reports =="
 # The fast-forward engine must be observably identical to the per-tick
 # reference loop: the same fixed-seed fleet run under both engines must
@@ -88,7 +111,11 @@ echo "== throughput benches + qz bench --check baseline gate =="
 # >= 1x) sit well under quiet-machine numbers to absorb shared-runner
 # noise; the acceptance bar in the issue is 5x on Quiet. The
 # fault_campaigns bench gates snapshot-mode campaigns at >= 2x over
-# replay-from-zero (reports asserted byte-identical first).
+# replay-from-zero (reports asserted byte-identical first). The
+# fleet_throughput bench additionally gates the event-horizon scheduler
+# at >= 5x over the epoch-barrier reference on a 10k-device fleet with
+# 50 ms back-pressure epochs (FleetEH10000), and records an
+# event-horizon-only 100k-device scale probe.
 cargo bench -q -p qz-bench --bench sim_throughput
 cargo bench -q -p qz-bench --bench fleet_throughput
 cargo bench -q -p qz-bench --bench fault_campaigns

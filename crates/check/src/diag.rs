@@ -15,7 +15,8 @@ use std::fmt;
 /// fixed-point and hardware-model ranges, `QZ04x` control and window
 /// sanity, `QZ05x` fleet/shared-uplink feasibility, `QZ06x`
 /// fault-campaign survivability, `QZ07x` simulation-performance
-/// hygiene (fast-forward horizon collapse).
+/// hygiene (fast-forward horizon collapse), `QZ08x` fleet-scale
+/// resource preflight (per-gateway shard saturation, host memory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(clippy::doc_markdown)]
 pub enum Code {
@@ -108,11 +109,20 @@ pub enum Code {
     /// than the memory budget allows: ring capacity times the
     /// estimated per-snapshot size exceeds the budget.
     QZ073,
+    /// The most-loaded gateway shard's aggregate airtime demand
+    /// saturates that gateway's channel: even fully degraded, its
+    /// member devices offer ≥ 100% of one gateway's capacity, so the
+    /// shard's queue grows without bound (QZ050 applied per shard).
+    QZ080,
+    /// The fleet's resident working set (per-device simulator state
+    /// times device count) exceeds the assumed host memory budget;
+    /// the run risks swapping or being OOM-killed mid-simulation.
+    QZ081,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 28] = [
+    pub const ALL: [Code; 30] = [
         Code::QZ001,
         Code::QZ002,
         Code::QZ003,
@@ -141,6 +151,8 @@ impl Code {
         Code::QZ070,
         Code::QZ071,
         Code::QZ073,
+        Code::QZ080,
+        Code::QZ081,
     ];
 
     /// The stable string form, e.g. `"QZ001"`.
@@ -174,6 +186,8 @@ impl Code {
             Code::QZ070 => "QZ070",
             Code::QZ071 => "QZ071",
             Code::QZ073 => "QZ073",
+            Code::QZ080 => "QZ080",
+            Code::QZ081 => "QZ081",
         }
     }
 
@@ -210,6 +224,8 @@ impl Code {
             Code::QZ070 => "capture period collapses the fast-forward event horizon",
             Code::QZ071 => "telemetry/snapshot period collapses the fast-forward event horizon",
             Code::QZ073 => "snapshot ring exceeds the memory budget",
+            Code::QZ080 => "most-loaded gateway shard saturates its channel (per-shard QZ050)",
+            Code::QZ081 => "fleet working set exceeds the host memory budget",
         }
     }
 
@@ -233,7 +249,8 @@ impl Code {
             | Code::QZ040
             | Code::QZ042
             | Code::QZ050
-            | Code::QZ060 => "error",
+            | Code::QZ060
+            | Code::QZ080 => "error",
             Code::QZ002
             | Code::QZ011
             | Code::QZ012
@@ -249,7 +266,8 @@ impl Code {
             | Code::QZ062
             | Code::QZ070
             | Code::QZ071
-            | Code::QZ073 => "warning",
+            | Code::QZ073
+            | Code::QZ081 => "warning",
             Code::QZ013 | Code::QZ023 => "note",
             Code::QZ030 | Code::QZ033 => "note (warning with the hardware estimator)",
         }
@@ -403,6 +421,18 @@ impl Code {
                  instruments (page-cache pressure, allocator churn), and on small hosts \
                  it simply OOMs."
             }
+            Code::QZ080 => {
+                "Sharding splits the fleet across gateways, but Little's Law still holds \
+                 at each gateway: if the most-loaded shard's members offer airtime at or \
+                 above one channel's capacity, that shard's queue grows without bound no \
+                 matter how idle the other gateways are."
+            }
+            Code::QZ081 => {
+                "Each device in a fleet run holds a full simulator (environment trace, \
+                 buffers, RNG streams) resident for the whole run. Past the host memory \
+                 budget the run swaps or is OOM-killed mid-simulation, usually after \
+                 burning most of its wall-clock."
+            }
         }
     }
 
@@ -487,6 +517,14 @@ impl Code {
                 "Shrink --snapshot-ring, lengthen --snapshot-stride (fewer live snapshots \
                  needed for the same timeline reach), or trim telemetry so each snapshot \
                  serializes smaller."
+            }
+            Code::QZ080 => {
+                "Add gateways (more shards), shed devices, lengthen the report interval, \
+                 or shrink report airtime until the worst shard's utilization is below 1."
+            }
+            Code::QZ081 => {
+                "Shed devices, split the run across hosts, or accept the risk with \
+                 --allow QZ081 on a machine with more memory."
             }
         }
     }

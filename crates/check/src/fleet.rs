@@ -1,12 +1,16 @@
-//! Fleet/shared-uplink feasibility analysis (`QZ050`–`QZ052`).
+//! Fleet/shared-uplink feasibility analysis (`QZ050`–`QZ052`,
+//! `QZ080`–`QZ081`).
 //!
-//! A fleet of N devices shares one gateway channel. Before `qz-fleet`
-//! spends minutes simulating it, this pass applies Little's Law *at
-//! the channel*: if the worst-case offered airtime already saturates
-//! the medium, or a single device's duty-cycle budget cannot carry its
-//! own report stream, no amount of backoff tuning makes the
-//! configuration drain — the simulation would only confirm unbounded
-//! transmit queues.
+//! A fleet of N devices shares one gateway channel (or, sharded, G
+//! gateway channels). Before `qz-fleet` spends minutes simulating it,
+//! this pass applies Little's Law *at the channel*: if the worst-case
+//! offered airtime already saturates the medium, or a single device's
+//! duty-cycle budget cannot carry its own report stream, no amount of
+//! backoff tuning makes the configuration drain — the simulation would
+//! only confirm unbounded transmit queues. With multiple gateways the
+//! saturation test moves to the most-loaded shard (`QZ080`), and a
+//! memory preflight (`QZ081`) catches fleets whose resident working
+//! set would not fit the host.
 //!
 //! The pass is deliberately self-contained (plain numbers, no
 //! `qz-fleet` types) so the dependency points from the fleet crate to
@@ -39,6 +43,13 @@ pub struct FleetCheckInput {
     pub backoff_base_s: f64,
     /// Exponential backoff doubling cap (`base · 2^max_exp`).
     pub backoff_max_exp: u32,
+    /// Gateways the fleet is sharded across (1 = single shared
+    /// channel, the classic topology).
+    pub gateways: u64,
+    /// Devices on the most-loaded shard. With `gateways == 1` this is
+    /// just `devices`; otherwise the caller reports the realized
+    /// worst-case shard size from its hash assignment.
+    pub max_shard_devices: u64,
 }
 
 /// Runs the fleet battery and returns the sorted report.
@@ -56,6 +67,15 @@ fn span(field: &str) -> Span {
     }
 }
 
+/// Assumed host memory budget for the QZ081 preflight, bytes (8 GiB —
+/// a modest single box; the point is catching order-of-magnitude
+/// overshoots, not byte accounting).
+const MEMORY_BUDGET_BYTES: u64 = 8 * 1024 * 1024 * 1024;
+
+/// Rough resident footprint of one fleet device, bytes: simulator
+/// core, environment events, buffers, profiler, tx logs.
+const DEVICE_FOOTPRINT_BYTES: u64 = 16 * 1024;
+
 fn run(input: &FleetCheckInput, report: &mut Report) {
     let n = input.devices;
     if n == 0
@@ -67,23 +87,68 @@ fn run(input: &FleetCheckInput, report: &mut Report) {
         return; // Degenerate inputs; the per-device analyses own those.
     }
 
-    // QZ050 — Little's Law at the gateway. The channel is a single
-    // server; its utilization under the worst-case offered load is
-    //   ρ = N · λ_report · airtime_min.
-    // Even with every device maximally degraded, ρ ≥ 1 means the
-    // channel queue grows without bound: collisions and backoff only
-    // subtract capacity from this best case.
-    let rho = n as f64 * input.max_report_rate_hz * input.min_report_airtime_s;
-    if rho >= 1.0 {
+    // QZ050 / QZ080 — Little's Law at the gateway. Each channel is a
+    // single server; its utilization under the worst-case offered load
+    //   ρ = N_channel · λ_report · airtime_min
+    // counts only the devices sharing *that* channel. With one gateway
+    // that is the whole fleet (QZ050); sharded, the binding constraint
+    // is the most-loaded shard (QZ080). Even with every device
+    // maximally degraded, ρ ≥ 1 means the channel queue grows without
+    // bound: collisions and backoff only subtract capacity.
+    if input.gateways <= 1 {
+        let rho = n as f64 * input.max_report_rate_hz * input.min_report_airtime_s;
+        if rho >= 1.0 {
+            report.push(
+                Code::QZ050,
+                Severity::Error,
+                span("fleet.devices"),
+                format!(
+                    "{} devices offering up to {:.3} reports/s of {:.3} s cheapest airtime \
+                     demand {:.2}× the shared channel's capacity; the gateway queue grows \
+                     without bound at any backoff setting",
+                    n, input.max_report_rate_hz, input.min_report_airtime_s, rho
+                ),
+            );
+        }
+    } else {
+        let shard_n = input.max_shard_devices.min(n);
+        let rho = shard_n as f64 * input.max_report_rate_hz * input.min_report_airtime_s;
+        if rho >= 1.0 {
+            report.push(
+                Code::QZ080,
+                Severity::Error,
+                span("fleet.gateways"),
+                format!(
+                    "most-loaded shard carries {} of {} devices across {} gateways, \
+                     offering {:.2}× one channel's capacity at {:.3} reports/s of \
+                     {:.3} s cheapest airtime; that shard's queue grows without bound",
+                    shard_n,
+                    n,
+                    input.gateways,
+                    rho,
+                    input.max_report_rate_hz,
+                    input.min_report_airtime_s
+                ),
+            );
+        }
+    }
+
+    // QZ081 — memory preflight. Every device holds a resident
+    // simulator for the whole run; warn when the working set overshoots
+    // a modest single-host budget.
+    let working_set = n.saturating_mul(DEVICE_FOOTPRINT_BYTES);
+    if working_set > MEMORY_BUDGET_BYTES {
         report.push(
-            Code::QZ050,
-            Severity::Error,
+            Code::QZ081,
+            Severity::Warning,
             span("fleet.devices"),
             format!(
-                "{} devices offering up to {:.3} reports/s of {:.3} s cheapest airtime \
-                 demand {:.2}× the shared channel's capacity; the gateway queue grows \
-                 without bound at any backoff setting",
-                n, input.max_report_rate_hz, input.min_report_airtime_s, rho
+                "{} devices × ~{} KiB resident simulator state ≈ {:.1} GiB, past the \
+                 assumed {} GiB host budget; the run risks swapping or an OOM kill",
+                n,
+                DEVICE_FOOTPRINT_BYTES / 1024,
+                working_set as f64 / (1024.0 * 1024.0 * 1024.0),
+                MEMORY_BUDGET_BYTES / (1024 * 1024 * 1024)
             ),
         );
     }
@@ -161,6 +226,8 @@ mod tests {
             max_report_rate_hz: 0.05,
             backoff_base_s: 0.2,
             backoff_max_exp: 5,
+            gateways: 1,
+            max_shard_devices: 16,
         }
     }
 
@@ -217,6 +284,79 @@ mod tests {
         };
         let r = check_fleet(&input);
         assert!(codes(&r).contains(&Code::QZ052));
+    }
+
+    #[test]
+    fn sharding_moves_saturation_to_the_worst_shard() {
+        // 64 devices at 1 report/s × 0.1 s airtime saturate one channel
+        // (QZ050), but spread across 8 gateways with a worst shard of
+        // 9, each channel sees at most 0.9 < 1 — clean.
+        let saturated = FleetCheckInput {
+            devices: 64,
+            max_report_rate_hz: 1.0,
+            max_shard_devices: 64,
+            ..feasible()
+        };
+        assert!(codes(&check_fleet(&saturated)).contains(&Code::QZ050));
+
+        let sharded = FleetCheckInput {
+            gateways: 8,
+            max_shard_devices: 9,
+            ..saturated.clone()
+        };
+        let r = check_fleet(&sharded);
+        assert!(!codes(&r).contains(&Code::QZ050));
+        assert!(!codes(&r).contains(&Code::QZ080));
+
+        // A lopsided hash that piles 10 devices onto one gateway still
+        // saturates that shard: QZ080, an error.
+        let lopsided = FleetCheckInput {
+            gateways: 8,
+            max_shard_devices: 10,
+            ..saturated
+        };
+        let r = check_fleet(&lopsided);
+        assert!(codes(&r).contains(&Code::QZ080));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn oversized_fleet_working_set_is_qz081_warning() {
+        // 10^5 devices ≈ 1.6 GiB — fits the 8 GiB budget.
+        let big = FleetCheckInput {
+            devices: 100_000,
+            gateways: 512,
+            max_shard_devices: 250,
+            ..feasible()
+        };
+        assert!(!codes(&check_fleet(&big)).contains(&Code::QZ081));
+
+        // 10^6 devices ≈ 16 GiB — overshoots; warning, not error.
+        let huge = FleetCheckInput {
+            devices: 1_000_000,
+            gateways: 8192,
+            max_shard_devices: 160,
+            ..feasible()
+        };
+        let r = check_fleet(&huge);
+        assert!(codes(&r).contains(&Code::QZ081));
+        assert!(!r.has_errors(), "QZ081 alone is a warning");
+    }
+
+    #[test]
+    fn single_gateway_saturation_ignores_the_shard_field() {
+        // With one gateway the whole fleet is the shard: a stale or
+        // bogus `max_shard_devices` must not weaken the QZ050 test.
+        let input = FleetCheckInput {
+            devices: 64,
+            max_report_rate_hz: 1.0,
+            gateways: 1,
+            max_shard_devices: 1,
+            ..feasible()
+        };
+        let r = check_fleet(&input);
+        assert!(codes(&r).contains(&Code::QZ050), "{}", r.render_text());
+        assert!(!codes(&r).contains(&Code::QZ080));
     }
 
     #[test]

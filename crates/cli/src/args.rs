@@ -291,6 +291,13 @@ pub struct FleetArgs {
     /// Simulation engine override (`None` keeps the `QZ_ENGINE` /
     /// fast-forward default).
     pub engine: Option<qz_sim::EngineKind>,
+    /// Fleet scheduler override (`None` keeps the `QZ_FLEET_SCHEDULER`
+    /// / epoch-barrier default).
+    pub scheduler: Option<qz_fleet::FleetSchedulerKind>,
+    /// Gateways the fleet is sharded across.
+    pub gateways: usize,
+    /// Per-device capture period override, seconds.
+    pub capture_period: Option<f64>,
 }
 
 impl Default for FleetArgs {
@@ -309,6 +316,9 @@ impl Default for FleetArgs {
             csv: None,
             metrics: false,
             engine: None,
+            scheduler: None,
+            gateways: 1,
+            capture_period: None,
         }
     }
 }
@@ -954,6 +964,30 @@ fn parse_fleet(args: &[String]) -> Result<FleetArgs, ParseError> {
             "--csv" => fleet.csv = Some(take_value(&mut i, flag)?),
             "--metrics" => fleet.metrics = true,
             "--engine" => fleet.engine = Some(parse_engine(&take_value(&mut i, flag)?)?),
+            "--scheduler" => {
+                let s = take_value(&mut i, flag)?;
+                fleet.scheduler =
+                    Some(qz_fleet::FleetSchedulerKind::parse(&s).ok_or_else(|| {
+                        err("`--scheduler` must be `epoch-barrier` or `event-horizon`")
+                    })?);
+            }
+            "--gateways" => {
+                fleet.gateways = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--gateways` must be a positive integer"))?;
+                if fleet.gateways == 0 {
+                    return Err(err("`--gateways` must be at least 1"));
+                }
+            }
+            "--capture-period" => {
+                let p: f64 = take_value(&mut i, flag)?
+                    .parse()
+                    .map_err(|_| err("`--capture-period` must be seconds"))?;
+                if !(p.is_finite() && p > 0.0) {
+                    return Err(err("`--capture-period` must be positive seconds"));
+                }
+                fleet.capture_period = Some(p);
+            }
             other => return Err(err(format!("unknown flag `{other}` for `qz fleet`"))),
         }
         i += 1;
@@ -1287,6 +1321,8 @@ USAGE:
                     [--threads N] [--duty-cycle 0.1] [--slot-ms 50]
                     [--json out.json|-] [--csv out.csv|-] [--metrics]
                     [--engine fast-forward|tick]
+                    [--scheduler epoch-barrier|event-horizon]
+                    [--gateways 1] [--capture-period 1]
   qz fault          [--preset none|smoke|standard|heavy] [--system QZ]
                     [--device apollo4|msp430] [--env crowded] [--events 12]
                     [--campaigns 8] [--seed N|0xN] [--start 0] [--inject-at 0]
@@ -1341,11 +1377,15 @@ and exits nonzero on findings not covered by the allowlist file
 (`path-substring:pattern` lines; empty pattern allows every pattern
 under the path).
 
-`qz fleet` simulates N independently-seeded devices sharing one duty-cycled
-uplink channel, in parallel (--threads 0 = all cores; QZ_THREADS also
-works). Reports are byte-identical at any thread count. The preflight
-feasibility check (QZ050-QZ052) rejects configs whose offered airtime
-saturates the channel.
+`qz fleet` simulates N independently-seeded devices sharing duty-cycled
+uplink channels, in parallel (--threads 0 = all cores; QZ_THREADS also
+works). Reports are byte-identical at any thread count, and across both
+schedulers: the lockstep epoch-barrier reference and the event-horizon
+priority queue that wakes only due devices (--scheduler, or the
+QZ_FLEET_SCHEDULER env var). --gateways shards devices across multiple
+channels deterministically. The preflight feasibility check
+(QZ050-QZ052, QZ080-QZ081) rejects configs whose offered airtime
+saturates a channel and warns on host-memory overshoot.
 
 `qz fault` runs seeded fault-injection campaigns (adversarial power
 failures, checkpoint corruption, ADC misreads, clock jitter, input
@@ -1664,6 +1704,36 @@ mod tests {
     }
 
     #[test]
+    fn fleet_parses_scheduler_gateways_and_capture_period() {
+        let Command::Fleet(f) = parse(&argv(
+            "fleet --scheduler event-horizon --gateways 64 --capture-period 30",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            f.scheduler,
+            Some(qz_fleet::FleetSchedulerKind::EventHorizon)
+        );
+        assert_eq!(f.gateways, 64);
+        assert_eq!(f.capture_period, Some(30.0));
+        // Short spellings work; defaults leave everything unset.
+        let Command::Fleet(f) = parse(&argv("fleet --scheduler eb")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            f.scheduler,
+            Some(qz_fleet::FleetSchedulerKind::EpochBarrier)
+        );
+        let Command::Fleet(f) = parse(&argv("fleet")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(f.scheduler, None);
+        assert_eq!(f.gateways, 1);
+        assert_eq!(f.capture_period, None);
+    }
+
+    #[test]
     fn fleet_rejects_conflicting_stdout_streams() {
         assert!(parse(&argv("fleet --json - --csv -")).is_err());
         assert!(parse(&argv("fleet --json - --csv out.csv")).is_ok());
@@ -1678,6 +1748,9 @@ mod tests {
         assert!(parse(&argv("fleet --duty-cycle -1")).is_err());
         assert!(parse(&argv("fleet --slot-ms 0")).is_err());
         assert!(parse(&argv("fleet --plot")).is_err(), "run-only flag");
+        assert!(parse(&argv("fleet --scheduler round-robin")).is_err());
+        assert!(parse(&argv("fleet --gateways 0")).is_err());
+        assert!(parse(&argv("fleet --capture-period 0")).is_err());
     }
 
     #[test]
@@ -1942,5 +2015,14 @@ mod tests {
         assert!(parse(&argv("run --system")).is_err(), "missing value");
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("run --wat 1")).is_err());
+    }
+
+    #[test]
+    fn help_documents_the_fleet_scheduler_surface() {
+        // The discoverability contract: every fleet scheduling knob the
+        // parser accepts is advertised, including the env override.
+        assert!(HELP.contains("--scheduler epoch-barrier|event-horizon"));
+        assert!(HELP.contains("--gateways"));
+        assert!(HELP.contains("QZ_FLEET_SCHEDULER"));
     }
 }

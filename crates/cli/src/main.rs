@@ -929,6 +929,15 @@ fn fleet(args: &FleetArgs) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(engine) = args.engine {
         cfg.tweaks.engine = engine;
     }
+    if let Some(period) = args.capture_period {
+        cfg.tweaks.capture_period = SimDuration::from_seconds_ceil(qz_types::Seconds(period));
+    }
+    cfg.gateways = args.gateways;
+    // Flag beats env var beats the epoch-barrier default.
+    cfg.scheduler = args
+        .scheduler
+        .or_else(qz_fleet::FleetSchedulerKind::from_env)
+        .unwrap_or_default();
     let exec = match args.threads {
         Some(n) => qz_fleet::Executor::new(if n == 0 {
             qz_fleet::Executor::available()
@@ -945,11 +954,14 @@ fn fleet(args: &FleetArgs) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("{}", preflight.render_text());
     }
     eprintln!(
-        "fleet: {} devices × {} events on {} ({} threads)",
+        "fleet: {} devices × {} events on {} ({} threads, {} scheduler, {} gateway{})",
         cfg.devices,
         cfg.events,
         cfg.profile.name,
-        exec.threads()
+        exec.threads(),
+        cfg.scheduler.label(),
+        cfg.gateways,
+        if cfg.gateways == 1 { "" } else { "s" }
     );
     let report = qz_fleet::run_fleet(&cfg, exec)?;
     println!("{}", report.render_text());

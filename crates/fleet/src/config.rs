@@ -1,6 +1,7 @@
 //! Fleet-level configuration: how many devices, which environments,
 //! which system, and the shared-channel parameters.
 
+use crate::scheduler::{FleetSchedulerKind, ShardMap};
 use qz_app::{apollo4, DeviceProfile, SimTweaks};
 use qz_baselines::BaselineKind;
 use qz_sim::UplinkConfig;
@@ -35,6 +36,13 @@ pub struct FleetConfig {
     /// Per-device simulator knobs (the per-device seed field is
     /// overwritten by the derived stream).
     pub tweaks: SimTweaks,
+    /// Which coordinator drives the run (both produce byte-identical
+    /// reports; see [`crate::scheduler`]).
+    pub scheduler: FleetSchedulerKind,
+    /// Number of gateways. Devices hash onto gateways deterministically
+    /// ([`ShardMap`]); each gateway runs its own mean-field channel
+    /// reduction over its members only.
+    pub gateways: usize,
 }
 
 impl Default for FleetConfig {
@@ -52,6 +60,8 @@ impl Default for FleetConfig {
             uplink: UplinkConfig::default(),
             epoch: SimDuration::from_secs(1),
             tweaks: SimTweaks::default(),
+            scheduler: FleetSchedulerKind::default(),
+            gateways: 1,
         }
     }
 }
@@ -82,6 +92,15 @@ impl FleetConfig {
         (self.epoch.as_millis() / self.uplink.slot.as_millis()).max(1)
     }
 
+    /// The deterministic device → gateway assignment for this config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gateways` is zero (run preflight rejects that first).
+    pub fn shard_map(&self) -> ShardMap {
+        ShardMap::new(self.fleet_seed, self.devices, self.gateways)
+    }
+
     /// The [`qz_check::FleetCheckInput`] scalars for this config:
     /// worst-case per-device report rate (one report per captured
     /// frame) and slot-rounded airtimes of the cheapest (single-byte)
@@ -104,6 +123,12 @@ impl FleetConfig {
             max_report_rate_hz: 1.0 / self.tweaks.capture_period.as_seconds().value(),
             backoff_base_s: self.uplink.backoff_base.as_seconds().value(),
             backoff_max_exp: self.uplink.backoff_max_exp,
+            gateways: self.gateways as u64,
+            max_shard_devices: if self.gateways <= 1 {
+                self.devices as u64
+            } else {
+                self.shard_map().max_shard_devices()
+            },
         }
     }
 }
@@ -140,5 +165,44 @@ mod tests {
     #[test]
     fn epoch_slots_default() {
         assert_eq!(FleetConfig::default().epoch_slots(), 100);
+    }
+
+    #[test]
+    fn epoch_slots_track_fine_epochs_and_clamp_to_one() {
+        // The 50 ms back-pressure cadence the fleet bench exercises.
+        let mut cfg = FleetConfig {
+            epoch: SimDuration::from_millis(50),
+            ..FleetConfig::default()
+        };
+        assert_eq!(cfg.epoch_slots(), 5);
+        // An epoch shorter than a slot still holds one slot.
+        cfg.epoch = SimDuration::from_millis(3);
+        assert_eq!(cfg.epoch_slots(), 1);
+    }
+
+    #[test]
+    fn check_input_reports_the_worst_shard() {
+        // Single gateway: the "worst shard" is the whole fleet.
+        let cfg = FleetConfig {
+            devices: 100,
+            ..FleetConfig::default()
+        };
+        let input = cfg.check_input();
+        assert_eq!(input.gateways, 1);
+        assert_eq!(input.max_shard_devices, 100);
+        // Sharded: the preflight sees the most-loaded gateway, which
+        // holds at least the even share and at most the whole fleet.
+        let sharded = FleetConfig {
+            devices: 100,
+            gateways: 8,
+            ..FleetConfig::default()
+        };
+        let input = sharded.check_input();
+        assert_eq!(input.gateways, 8);
+        assert_eq!(
+            input.max_shard_devices,
+            sharded.shard_map().max_shard_devices()
+        );
+        assert!((13..=100).contains(&input.max_shard_devices));
     }
 }

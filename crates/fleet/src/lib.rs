@@ -20,6 +20,11 @@
 //! - [`channel`] — the gateway-side slot-ordered reduction
 //!   ([`GatewayChannel`]) charging clean/collision/idle slots and
 //!   computing next-epoch per-device busy probabilities.
+//! - [`scheduler`] — who steps which device when: the lockstep
+//!   [`FleetSchedulerKind::EpochBarrier`] reference and the
+//!   priority-queue [`FleetSchedulerKind::EventHorizon`] coordinator
+//!   ([`EventHorizonScheduler`]: struct-of-arrays hot state, lazy
+//!   wake loads), plus the deterministic device → gateway [`ShardMap`].
 //! - [`run`] — the coordinator ([`run_fleet`]): parallel epoch
 //!   stepping, serial barrier reduction, one-epoch-delayed
 //!   back-pressure.
@@ -46,9 +51,13 @@ pub mod config;
 pub mod exec;
 pub mod report;
 pub mod run;
+pub mod scheduler;
 
 pub use channel::{ChannelStats, GatewayChannel};
 pub use config::FleetConfig;
 pub use exec::{Executor, THREADS_ENV};
 pub use report::{DeviceReport, FleetAggregates, FleetReport, Percentiles};
 pub use run::{preflight, run_fleet, run_fleet_profiled, FleetError, FleetProfile};
+pub use scheduler::{
+    EventHorizonScheduler, EventHorizonSchedulerState, FleetHotState, FleetSchedulerKind, ShardMap,
+};

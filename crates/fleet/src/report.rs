@@ -115,8 +115,15 @@ pub struct FleetReport {
     pub fleet_seed: u64,
     /// Per-device rows, ordered by device index.
     pub devices: Vec<DeviceReport>,
-    /// Shared-channel outcome.
+    /// Fleet-wide channel outcome (sum over every gateway's shard).
     pub channel: ChannelStats,
+    /// Gateways the fleet was sharded across.
+    pub gateways: usize,
+    /// Per-gateway channel outcomes, ordered by shard index. With one
+    /// gateway this holds a single entry equal to [`channel`].
+    ///
+    /// [`channel`]: FleetReport::channel
+    pub shards: Vec<ChannelStats>,
     /// Cross-fleet percentile summaries.
     pub aggregates: FleetAggregates,
 }
@@ -163,6 +170,23 @@ impl FleetReport {
         let _ = writeln!(s, "    \"utilization\": {},", num(c.utilization()));
         let _ = writeln!(s, "    \"collision_rate\": {}", num(c.collision_rate()));
         s.push_str("  },\n");
+        // Shard detail only matters (and only appears) with multiple
+        // gateways, keeping single-gateway reports byte-stable across
+        // releases.
+        if self.gateways > 1 {
+            let _ = writeln!(s, "  \"gateways\": {},", self.gateways);
+            s.push_str("  \"shards\": [\n");
+            for (i, c) in self.shards.iter().enumerate() {
+                let comma = if i + 1 < self.shards.len() { "," } else { "" };
+                let _ = writeln!(
+                    s,
+                    "    {{\"shard\": {i}, \"clean_slots\": {}, \"collision_slots\": {}, \
+                     \"total_tx\": {}, \"collided_tx\": {}, \"airtime_slots\": {}}}{comma}",
+                    c.clean_slots, c.collision_slots, c.total_tx, c.collided_tx, c.airtime_slots,
+                );
+            }
+            s.push_str("  ],\n");
+        }
         s.push_str("  \"aggregates\": {\n");
         let agg = [
             ("capture_rate", &self.aggregates.capture_rate),
@@ -371,19 +395,22 @@ mod tests {
                 metrics,
             });
         }
+        let channel = ChannelStats {
+            slot_ms: 100,
+            horizon_slots: 1000,
+            clean_slots: 40,
+            collision_slots: 4,
+            total_tx: 15,
+            collided_tx: 2,
+            airtime_slots: 48,
+        };
         let mut report = FleetReport {
             system: "QZ".into(),
             fleet_seed: 7,
             devices,
-            channel: ChannelStats {
-                slot_ms: 100,
-                horizon_slots: 1000,
-                clean_slots: 40,
-                collision_slots: 4,
-                total_tx: 15,
-                collided_tx: 2,
-                airtime_slots: 48,
-            },
+            channel: channel.clone(),
+            gateways: 1,
+            shards: vec![channel],
             aggregates: FleetAggregates::default(),
         };
         report.aggregate();
@@ -402,6 +429,36 @@ mod tests {
         // Balanced braces: cheap well-formedness proxy without a parser.
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn single_gateway_json_hides_the_shard_section() {
+        let report = tiny_report();
+        let json = report.to_json();
+        assert!(!json.contains("\"gateways\""));
+        assert!(!json.contains("\"shards\""));
+    }
+
+    #[test]
+    fn multi_gateway_json_lists_every_shard() {
+        let mut report = tiny_report();
+        report.gateways = 2;
+        report.shards = vec![
+            ChannelStats {
+                clean_slots: 30,
+                ..report.channel.clone()
+            },
+            ChannelStats {
+                clean_slots: 10,
+                ..report.channel.clone()
+            },
+        ];
+        let json = report.to_json();
+        assert!(json.contains("\"gateways\": 2"));
+        assert!(json.contains("{\"shard\": 0, \"clean_slots\": 30,"));
+        assert!(json.contains("{\"shard\": 1, \"clean_slots\": 10,"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

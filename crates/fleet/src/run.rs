@@ -1,20 +1,31 @@
-//! The fleet coordinator: builds N independently-seeded devices, steps
-//! them epoch by epoch on the thread crew, and reduces their uplink
-//! logs at every barrier.
+//! The fleet coordinator: builds N independently-seeded devices and
+//! drives them with one of two interchangeable schedulers — the
+//! lockstep **epoch barrier** (every device steps every epoch) or the
+//! **event horizon** (a priority queue of per-device next-due ticks;
+//! only due devices wake). Both produce byte-identical reports.
 //!
 //! Determinism contract: every device's trajectory depends only on
 //! `(FleetConfig)` — its environment, classification draws, and uplink
 //! jitter come from seed streams derived with
 //! [`qz_types::SplitMix64::derive_stream`], and the only cross-device
 //! coupling (the carrier-sense busy probability) is computed in a
-//! serial reduction at epoch barriers from *completed* epochs. Threads
+//! serial reduction in device order from *completed* epochs. Threads
 //! only decide which core steps which device; they can't change what
-//! any device observes.
+//! any device observes. The event-horizon coordinator additionally
+//! relies on [`Simulation::next_uplink_due`] being a sound lower bound
+//! on the next carrier sense: parking a device past epochs it cannot
+//! sense in defers its (deterministic) work, never changes it, and the
+//! one fleet input it missed — the previous epoch's channel load — is
+//! reconstructed bit-exactly at wake
+//! ([`EventHorizonScheduler::wake_load`]).
+//!
+//! [`Simulation::next_uplink_due`]: qz_sim::Simulation::next_uplink_due
 
 use crate::channel::{ChannelStats, GatewayChannel};
 use crate::config::FleetConfig;
 use crate::exec::Executor;
 use crate::report::{DeviceReport, FleetAggregates, FleetReport};
+use crate::scheduler::{EventHorizonScheduler, FleetSchedulerKind, ShardMap};
 use qz_app::build_simulation;
 use qz_prof::{HorizonStats, Phase, PhaseProfiler};
 use qz_sim::{Simulation, TxRecord, UplinkPort};
@@ -25,11 +36,12 @@ use qz_types::{SimDuration, SimTime};
 #[derive(Debug)]
 pub enum FleetError {
     /// The preflight feasibility check found errors (e.g. QZ050: the
-    /// offered airtime saturates the shared channel). The report
-    /// carries the diagnostics.
+    /// offered airtime saturates the shared channel, or QZ080: one
+    /// gateway shard saturates its own). The report carries the
+    /// diagnostics.
     Infeasible(qz_check::Report),
     /// The config is structurally unusable (empty env mix, zero
-    /// devices).
+    /// devices, zero gateways).
     BadConfig(String),
 }
 
@@ -62,13 +74,13 @@ struct DeviceRun<'a> {
 
 /// Runs the whole fleet to completion on `exec`'s thread crew and
 /// returns the report. The report is byte-identical for a given config
-/// at any thread count.
+/// at any thread count — and across both schedulers.
 ///
 /// # Errors
 ///
-/// [`FleetError::BadConfig`] when the config has zero devices or an
-/// empty environment mix; [`FleetError::Infeasible`] when the
-/// preflight check finds errors.
+/// [`FleetError::BadConfig`] when the config has zero devices, zero
+/// gateways, or an empty environment mix; [`FleetError::Infeasible`]
+/// when the preflight check finds errors.
 ///
 /// # Panics
 ///
@@ -80,11 +92,13 @@ pub fn run_fleet(cfg: &FleetConfig, exec: Executor) -> Result<FleetReport, Fleet
 
 /// Wall-clock and horizon accounting for a whole fleet run: every
 /// device's phase profiler and horizon stats merged into one aggregate,
-/// plus the coordinator's epoch-barrier and reduction spans.
+/// plus the coordinator's scheduler spans (`fleet_epoch`/`fleet_reduce`
+/// under the epoch barrier; `fleet_queue_pop`/`fleet_wake`/
+/// `fleet_shard_reduce` under the event horizon).
 #[derive(Debug)]
 pub struct FleetProfile {
     /// Merged phase profiler (per-device engine spans + coordinator
-    /// `fleet_epoch`/`fleet_reduce` spans).
+    /// spans).
     pub profiler: PhaseProfiler,
     /// Merged deterministic horizon-cause accounting across devices.
     pub horizon: HorizonStats,
@@ -120,6 +134,11 @@ fn run_fleet_inner(
             "fleet needs at least one device".into(),
         ));
     }
+    if cfg.gateways == 0 {
+        return Err(FleetError::BadConfig(
+            "fleet needs at least one gateway".into(),
+        ));
+    }
     if cfg.env_mix.is_empty() {
         return Err(FleetError::BadConfig(
             "environment mix must not be empty".into(),
@@ -137,7 +156,7 @@ fn run_fleet_inner(
     });
 
     // Assemble per-device simulations, each with its own seed streams
-    // and an uplink gate on the shared channel.
+    // and an uplink gate on its shard's channel.
     let mut runs: Vec<DeviceRun<'_>> = envs
         .iter()
         .enumerate()
@@ -159,45 +178,36 @@ fn run_fleet_inner(
         })
         .collect();
 
-    // Coordinator-side spans: the parallel step region and the serial
-    // reduction at each barrier. Disabled unless profiling, in which
-    // case begin()/end() are no-ops.
+    // Shard topology: one mean-field channel per gateway, member lists
+    // in device order (the reduction order both schedulers share).
+    let shards = cfg.shard_map();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); cfg.gateways];
+    for d in 0..cfg.devices {
+        members[shards.shard_of(d)].push(d);
+    }
+    let mut gateways: Vec<GatewayChannel> = (0..cfg.gateways)
+        .map(|_| GatewayChannel::new(cfg.uplink.slot.as_millis(), cfg.epoch_slots()))
+        .collect();
+
+    // Coordinator-side spans. Disabled unless profiling, in which case
+    // begin()/end() are no-ops.
     let mut coord = if profile {
         PhaseProfiler::enabled()
     } else {
         PhaseProfiler::disabled()
     };
 
-    // Epoch loop: parallel step to the barrier, serial slot-ordered
-    // reduction, one-epoch-delayed back-pressure, repeat.
-    let mut gateway = GatewayChannel::new(cfg.uplink.slot.as_millis(), cfg.epoch_slots());
-    let mut epoch_end: SimTime = SimTime::ZERO + cfg.epoch;
-    loop {
-        let t_epoch = coord.begin();
-        exec.for_each_mut(&mut runs, |_, run| {
-            // step_until lets the fast-forward engine advance whole
-            // quiescent spans while still honouring the epoch barrier.
-            run.sim.step_until(epoch_end);
-            run.epoch_log = run.sim.drain_tx_log();
-        });
-        coord.end(Phase::FleetEpoch, t_epoch);
-        let t_reduce = coord.begin();
-        let logs: Vec<Vec<TxRecord>> = runs
-            .iter_mut()
-            .map(|run| core::mem::take(&mut run.epoch_log))
-            .collect();
-        let loads = gateway.reduce_epoch(&logs);
-        for (run, load) in runs.iter_mut().zip(loads) {
-            run.sim.set_uplink_busy_probability(load);
+    match cfg.scheduler {
+        FleetSchedulerKind::EpochBarrier => {
+            run_epoch_barrier(cfg, &exec, &mut runs, &members, &mut gateways, &mut coord);
         }
-        coord.end(Phase::FleetReduce, t_reduce);
-        if runs.iter().all(|run| run.sim.is_done()) {
-            break;
+        FleetSchedulerKind::EventHorizon => {
+            run_event_horizon(cfg, &exec, &mut runs, &shards, &mut gateways, &mut coord);
         }
-        epoch_end += cfg.epoch;
     }
 
-    // Close the channel books over the longest device horizon.
+    // Close every shard's books over the longest device horizon, then
+    // merge into the fleet-wide channel stats.
     let slot_ms = cfg.uplink.slot.as_millis();
     let horizon_ms = runs
         .iter()
@@ -205,7 +215,15 @@ fn run_fleet_inner(
         .max()
         .unwrap_or(SimDuration::ZERO)
         .as_millis();
-    let channel: ChannelStats = gateway.finish(horizon_ms.div_ceil(slot_ms));
+    let horizon_slots = horizon_ms.div_ceil(slot_ms);
+    let shard_stats: Vec<ChannelStats> = gateways
+        .into_iter()
+        .map(|gw| gw.finish(horizon_slots))
+        .collect();
+    let mut channel = ChannelStats::default();
+    for s in &shard_stats {
+        channel.absorb(s);
+    }
 
     let devices: Vec<DeviceReport> = runs
         .iter()
@@ -221,6 +239,8 @@ fn run_fleet_inner(
         fleet_seed: cfg.fleet_seed,
         devices,
         channel,
+        gateways: cfg.gateways,
+        shards: shard_stats,
         aggregates: FleetAggregates::default(),
     };
     report.aggregate();
@@ -236,6 +256,180 @@ fn run_fleet_inner(
         }
     });
     Ok((report, fleet_profile))
+}
+
+/// The reference scheduler: parallel step to the barrier, serial
+/// slot-ordered reduction per shard, one-epoch-delayed back-pressure,
+/// repeat. Per-epoch cost is O(N).
+fn run_epoch_barrier(
+    cfg: &FleetConfig,
+    exec: &Executor,
+    runs: &mut [DeviceRun<'_>],
+    members: &[Vec<usize>],
+    gateways: &mut [GatewayChannel],
+    coord: &mut PhaseProfiler,
+) {
+    let mut epoch_end: SimTime = SimTime::ZERO + cfg.epoch;
+    loop {
+        let t_epoch = coord.begin();
+        exec.for_each_mut(runs, |_, run| {
+            // step_until lets the fast-forward engine advance whole
+            // quiescent spans while still honouring the epoch barrier.
+            run.sim.step_until(epoch_end);
+            run.epoch_log = run.sim.drain_tx_log();
+        });
+        coord.end(Phase::FleetEpoch, t_epoch);
+        let t_reduce = coord.begin();
+        for (shard, gateway) in gateways.iter_mut().enumerate() {
+            let logs: Vec<Vec<TxRecord>> = members[shard]
+                .iter()
+                .map(|&d| core::mem::take(&mut runs[d].epoch_log))
+                .collect();
+            let loads = gateway.reduce_epoch(&logs);
+            for (&d, load) in members[shard].iter().zip(loads) {
+                runs[d].sim.set_uplink_busy_probability(load);
+            }
+        }
+        coord.end(Phase::FleetReduce, t_reduce);
+        if runs.iter().all(|run| run.sim.is_done()) {
+            break;
+        }
+        epoch_end += cfg.epoch;
+    }
+}
+
+/// The event-horizon scheduler: a global priority queue of per-device
+/// next-due epochs. Only due devices wake each processed epoch; parked
+/// devices replay the skipped wall-clock exactly at their next wake
+/// (catch-up `step_until`), and sparse per-shard reductions feed the
+/// same one-epoch-delayed back-pressure. Per-epoch cost is O(active).
+fn run_event_horizon<'a>(
+    cfg: &FleetConfig,
+    exec: &Executor,
+    runs: &mut Vec<DeviceRun<'a>>,
+    shards: &ShardMap,
+    gateways: &mut [GatewayChannel],
+    coord: &mut PhaseProfiler,
+) {
+    let epoch_ms = cfg.epoch.as_millis();
+    let mut sched =
+        EventHorizonScheduler::new(cfg.devices, cfg.gateways, epoch_ms, cfg.epoch_slots());
+
+    // Devices move between these slots and the wake batch; every slot
+    // is occupied again by the time the queue drains.
+    let mut slots: Vec<Option<DeviceRun<'a>>> = runs.drain(..).map(Some).collect();
+
+    // Seed the queue. A device with no future sense never couples to
+    // the fleet: run it to completion right here (its tx log stays
+    // empty, so it owes the channel nothing) and retire it.
+    for (d, slot) in slots.iter_mut().enumerate() {
+        let run = slot.as_mut().expect("freshly filled slot");
+        match run.sim.next_uplink_due() {
+            Some(due) => {
+                sched.park(
+                    d,
+                    due.as_millis(),
+                    run.sim.stored_energy().value(),
+                    run.sim.occupancy(),
+                );
+            }
+            None => {
+                while run.sim.step() {}
+                debug_assert!(run.sim.drain_tx_log().is_empty(), "sense-free device sent");
+                sched.retire(d, run.sim.stored_energy().value(), run.sim.occupancy());
+            }
+        }
+    }
+
+    loop {
+        let t_pop = coord.begin();
+        let popped = sched.pop_batch();
+        coord.end(Phase::FleetQueuePop, t_pop);
+        let Some((epoch, batch)) = popped else { break };
+        let epoch_start = SimTime::from_millis(epoch * epoch_ms);
+        let epoch_end = SimTime::from_millis((epoch + 1) * epoch_ms);
+
+        // Lazy loads must be read before this epoch's reduction
+        // overwrites the shard bookkeeping.
+        let mut woken: Vec<(usize, Option<f64>, DeviceRun<'a>)> = batch
+            .iter()
+            .map(|&d| {
+                let load = sched.wake_load(epoch, d, shards.shard_of(d));
+                let run = slots[d].take().expect("queued device has a simulation");
+                (d, load, run)
+            })
+            .collect();
+
+        let t_wake = coord.begin();
+        exec.for_each_mut(&mut woken, |_, (_, load, run)| {
+            // Catch-up: replay the parked span exactly. The park
+            // invariant guarantees no carrier sense happens in it, so
+            // the stale busy probability is never read.
+            run.sim.step_until(epoch_start);
+            if let Some(p) = *load {
+                run.sim.set_uplink_busy_probability(p);
+            }
+            run.sim.step_until(epoch_end);
+            run.epoch_log = run.sim.drain_tx_log();
+        });
+        coord.end(Phase::FleetWake, t_wake);
+
+        // Serial per-shard reduction, shards ascending, members in
+        // device order (the batch is already device-ordered). Sleeping
+        // shard members contribute empty logs in the reference; the
+        // sparse reduction is arithmetically identical without them.
+        let t_reduce = coord.begin();
+        let mut touched: Vec<usize> = batch.iter().map(|&d| shards.shard_of(d)).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for shard in touched {
+            let member_idx: Vec<usize> = (0..woken.len())
+                .filter(|&i| shards.shard_of(woken[i].0) == shard)
+                .collect();
+            let logs: Vec<Vec<TxRecord>> = member_idx
+                .iter()
+                .map(|&i| core::mem::take(&mut woken[i].2.epoch_log))
+                .collect();
+            let total_airtime: u64 = logs.iter().flatten().map(|rec| rec.slots).sum();
+            let loads = gateways[shard].reduce_epoch_at(epoch, &logs);
+            sched.note_shard_reduced(shard, epoch, total_airtime);
+            for (&i, load) in member_idx.iter().zip(loads) {
+                let (d, _, run) = &mut woken[i];
+                run.sim.set_uplink_busy_probability(load);
+                sched.mark_loaded(*d, epoch);
+            }
+        }
+        coord.end(Phase::FleetShardReduce, t_reduce);
+
+        // Repark at the fresh bound, or retire. A device whose bound
+        // vanished finishes its remaining (sense-free) lifetime in one
+        // uninterrupted run — no more barriers for it, ever.
+        for (d, _, mut run) in woken {
+            match run.sim.next_uplink_due() {
+                Some(due) => {
+                    let next = sched.park(
+                        d,
+                        due.as_millis(),
+                        run.sim.stored_energy().value(),
+                        run.sim.occupancy(),
+                    );
+                    debug_assert!(next > epoch, "due bound must make progress");
+                }
+                None => {
+                    while run.sim.step() {}
+                    debug_assert!(run.sim.drain_tx_log().is_empty(), "sense-free device sent");
+                    sched.retire(d, run.sim.stored_energy().value(), run.sim.occupancy());
+                }
+            }
+            slots[d] = Some(run);
+        }
+    }
+
+    runs.extend(
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every device returns to its slot")),
+    );
 }
 
 #[cfg(test)]
@@ -277,9 +471,60 @@ mod tests {
     }
 
     #[test]
+    fn event_horizon_matches_epoch_barrier_byte_for_byte() {
+        let eb = run_fleet(&small(), Executor::new(2)).expect("barrier runs");
+        let cfg = FleetConfig {
+            scheduler: FleetSchedulerKind::EventHorizon,
+            ..small()
+        };
+        let eh = run_fleet(&cfg, Executor::new(2)).expect("horizon runs");
+        assert_eq!(eb.to_json(), eh.to_json());
+        assert_eq!(eb.to_csv(), eh.to_csv());
+    }
+
+    #[test]
+    fn sharded_fleet_stats_absorb_to_the_merged_channel() {
+        let cfg = FleetConfig {
+            devices: 8,
+            events: 6,
+            gateways: 3,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&cfg, Executor::new(2)).expect("sharded fleet runs");
+        assert_eq!(report.shards.len(), 3);
+        let mut merged = ChannelStats::default();
+        for s in &report.shards {
+            merged.absorb(s);
+        }
+        assert_eq!(merged, report.channel);
+        // Sharding must agree across schedulers too.
+        let eh = run_fleet(
+            &FleetConfig {
+                scheduler: FleetSchedulerKind::EventHorizon,
+                ..cfg
+            },
+            Executor::new(2),
+        )
+        .expect("sharded horizon runs");
+        assert_eq!(report.to_json(), eh.to_json());
+    }
+
+    #[test]
     fn zero_devices_is_rejected() {
         let cfg = FleetConfig {
             devices: 0,
+            ..FleetConfig::default()
+        };
+        assert!(matches!(
+            run_fleet(&cfg, Executor::new(1)),
+            Err(FleetError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn zero_gateways_is_rejected() {
+        let cfg = FleetConfig {
+            gateways: 0,
             ..FleetConfig::default()
         };
         assert!(matches!(

@@ -40,6 +40,14 @@ pub enum Phase {
     FleetEpoch,
     /// The serial slot-overlay reduction at a fleet epoch barrier.
     FleetReduce,
+    /// Popping the due batch off the event-horizon priority queue.
+    FleetQueuePop,
+    /// The parallel catch-up-and-step region over the woken devices in
+    /// one event-horizon epoch.
+    FleetWake,
+    /// The serial per-shard slot-overlay reduction after an
+    /// event-horizon wake.
+    FleetShardReduce,
     /// Capturing one full-simulation snapshot (`Simulation::save_state`).
     SnapSave,
     /// Restoring a simulation from a snapshot
@@ -49,7 +57,7 @@ pub enum Phase {
 
 impl Phase {
     /// Number of phases (array sizing).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 14;
 
     /// Every phase, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -62,6 +70,9 @@ impl Phase {
         Phase::VigilantTail,
         Phase::FleetEpoch,
         Phase::FleetReduce,
+        Phase::FleetQueuePop,
+        Phase::FleetWake,
+        Phase::FleetShardReduce,
         Phase::SnapSave,
         Phase::SnapRestore,
     ];
@@ -78,6 +89,9 @@ impl Phase {
             Phase::UplinkSense => "uplink_sense",
             Phase::FleetEpoch => "fleet_epoch",
             Phase::FleetReduce => "fleet_reduce",
+            Phase::FleetQueuePop => "fleet_queue_pop",
+            Phase::FleetWake => "fleet_wake",
+            Phase::FleetShardReduce => "fleet_shard_reduce",
             Phase::SnapSave => "snap_save",
             Phase::SnapRestore => "snap_restore",
         }
@@ -107,8 +121,11 @@ impl Phase {
             Phase::UplinkSense => 6,
             Phase::FleetEpoch => 7,
             Phase::FleetReduce => 8,
-            Phase::SnapSave => 9,
-            Phase::SnapRestore => 10,
+            Phase::FleetQueuePop => 9,
+            Phase::FleetWake => 10,
+            Phase::FleetShardReduce => 11,
+            Phase::SnapSave => 12,
+            Phase::SnapRestore => 13,
         }
     }
 }
@@ -338,5 +355,25 @@ mod tests {
         }
         let labels: std::collections::HashSet<_> = Phase::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), Phase::COUNT);
+    }
+
+    #[test]
+    fn fleet_scheduler_phases_are_registered_top_level_coordinator_spans() {
+        // The event-horizon coordinator phases: stable labels (they
+        // appear in profile output and bench trajectories), no parent
+        // (coordinator time must not be folded into device phases), and
+        // distinct aggregate slots.
+        let phases = [
+            (Phase::FleetQueuePop, "fleet_queue_pop"),
+            (Phase::FleetWake, "fleet_wake"),
+            (Phase::FleetShardReduce, "fleet_shard_reduce"),
+        ];
+        let mut indices = std::collections::HashSet::new();
+        for (phase, label) in phases {
+            assert_eq!(phase.label(), label);
+            assert_eq!(phase.parent(), None, "{label} is a top-level span");
+            assert!(Phase::ALL.contains(&phase));
+            assert!(indices.insert(phase.index()), "{label} shares a slot");
+        }
     }
 }

@@ -418,6 +418,61 @@ impl<'a> Simulation<'a> {
         self.done
     }
 
+    /// A conservative lower bound on the next instant this device could
+    /// consult its uplink gate (a carrier sense), or `None` when it
+    /// provably never senses again.
+    ///
+    /// The fleet event-horizon scheduler parks a device until this tick.
+    /// Everything the device does before its next sense — capture
+    /// boundaries, energy flow, job progress — is replayed exactly at
+    /// wake by [`step_until`](Simulation::step_until), so the bound only
+    /// has to protect the one interaction that reads fleet state: the
+    /// carrier-sense `p_busy` probability and its dedicated RNG stream.
+    /// Senses happen only when a transmit task starts, which gives the
+    /// case analysis:
+    ///
+    /// - done, or no uplink gate installed: `None` (without a gate the
+    ///   engine never senses, and there is nothing to coordinate);
+    /// - a fault injector is installed: `Some(now)` — the adversary can
+    ///   reshape progress arbitrarily, so never park;
+    /// - a job is active (on or off, including a busy-backoff wait):
+    ///   the countdown must reach zero first, so the first sense is no
+    ///   earlier than `now + remaining − 1 ms`; power failures and
+    ///   checkpoint rollbacks only push it later;
+    /// - no job but a non-empty buffer: the scheduler may start a
+    ///   transmit-bearing job on the very next tick — `Some(now)`;
+    /// - idle (no job, empty buffer): the buffer can only refill at a
+    ///   capture boundary that falls inside a sensing event, and a job
+    ///   scheduled there starts with a scheduler-overhead phase, so no
+    ///   sense happens before the first boundary `b ≥ now` with an
+    ///   active event. When no such boundary remains the device drains
+    ///   without ever sensing again: `None`.
+    pub fn next_uplink_due(&self) -> Option<SimTime> {
+        if self.done || self.uplink.is_none() {
+            return None;
+        }
+        if self.fault.is_some() {
+            return Some(self.now);
+        }
+        if let Some(job) = &self.job {
+            let due = self.now.as_millis() + job.remaining.as_millis().saturating_sub(1);
+            return Some(SimTime::from_millis(due));
+        }
+        if !self.buffer.is_idle() {
+            return Some(self.now);
+        }
+        let period = self.cfg.device.capture_period;
+        let events = self.env.events().events();
+        let idx = events.partition_point(|e| e.end() <= self.now);
+        for event in &events[idx..] {
+            let boundary = self.now.max(event.start).next_multiple_of(period);
+            if boundary < event.end() {
+                return Some(boundary);
+            }
+        }
+        None
+    }
+
     /// Enables periodic telemetry recording at the given interval.
     ///
     /// # Panics
@@ -1671,6 +1726,89 @@ mod tests {
             vec![Route::Forward(report), Route::Finish],
         )
         .unwrap()
+    }
+
+    /// How many carrier senses the run has performed so far (every
+    /// sense ends in exactly one of these three outcomes).
+    fn sense_count(m: &Metrics) -> u64 {
+        m.tx_grants + m.tx_busy_backoffs + m.tx_duty_deferrals
+    }
+
+    #[test]
+    fn next_uplink_due_is_none_without_a_gate() {
+        let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 6, 11);
+        let s = sim(&env, 0.05);
+        assert_eq!(s.next_uplink_due(), None, "no gate, nothing to bound");
+    }
+
+    #[test]
+    fn idle_device_due_is_the_first_active_capture_boundary() {
+        let env = SensingEnvironment::generate(EnvironmentKind::LessCrowded, 6, 11);
+        let mut s = sim(&env, 0.05);
+        s.set_uplink(crate::uplink::UplinkPort::new(
+            crate::uplink::UplinkConfig::default(),
+            7,
+        ));
+        // Fresh device: idle buffer, no job. The bound must be the first
+        // capture boundary inside a sensing event.
+        let period = SimConfig::default().device.capture_period;
+        let expected = env
+            .events()
+            .events()
+            .iter()
+            .find_map(|e| {
+                let b = e.start.next_multiple_of(period);
+                (b < e.end()).then_some(b)
+            })
+            .expect("generated trace has an alignable event");
+        assert_eq!(s.next_uplink_due(), Some(expected));
+    }
+
+    #[test]
+    fn drained_device_is_never_due_again() {
+        let env = SensingEnvironment::generate(EnvironmentKind::LessCrowded, 4, 3);
+        let mut s = sim(&env, 0.05);
+        s.set_uplink(crate::uplink::UplinkPort::new(
+            crate::uplink::UplinkConfig::default(),
+            7,
+        ));
+        while s.step() {}
+        assert_eq!(s.next_uplink_due(), None, "done devices never sense");
+    }
+
+    #[test]
+    fn next_uplink_due_lower_bounds_every_sense() {
+        // Soundness sweep: step a contended run one tick at a time and
+        // check that whenever a sense happens, the bound computed just
+        // before the tick had already reached the current time — i.e.
+        // a fleet scheduler parking the device until the bound can
+        // never skip over a sense.
+        let env = SensingEnvironment::generate(EnvironmentKind::Crowded, 10, 5);
+        let mut s = sim(&env, 0.05);
+        s.set_uplink(crate::uplink::UplinkPort::new(
+            crate::uplink::UplinkConfig::default(),
+            9,
+        ));
+        s.set_uplink_busy_probability(0.4);
+        let mut senses = 0u64;
+        loop {
+            let t = s.time();
+            let due = s.next_uplink_due();
+            let alive = s.step();
+            let now_senses = sense_count(s.metrics());
+            if now_senses > senses {
+                let due = due.expect("a sense happened while parked forever");
+                assert!(
+                    due <= t,
+                    "sense at t={t:?} but the bound just before was {due:?}"
+                );
+            }
+            senses = now_senses;
+            if !alive {
+                break;
+            }
+        }
+        assert!(senses > 0, "contended run must sense at least once");
     }
 
     #[test]

@@ -7,11 +7,16 @@
 //!    budget) every device's metrics match a standalone `qz-sim` run
 //!    bit for bit — the uplink gate costs nothing when it never
 //!    refuses.
+//! 3. The event-horizon scheduler is a pure optimization: at any fleet
+//!    size, thread count, stepping engine, or gateway count, its
+//!    reports are byte-identical to the epoch-barrier reference —
+//!    including under proptest-randomized env × system × duty-cycle
+//!    configurations.
 
 use proptest::prelude::*;
 use qz_app::{apollo4, simulate, SimTweaks};
 use qz_baselines::BaselineKind;
-use qz_fleet::{run_fleet, Executor, FleetConfig};
+use qz_fleet::{run_fleet, Executor, FleetConfig, FleetSchedulerKind};
 use qz_sim::UplinkConfig;
 use qz_traces::{EnvironmentKind, SensingEnvironment};
 
@@ -66,6 +71,111 @@ fn different_fleet_seeds_diverge() {
     )
     .expect("seed 2");
     assert_ne!(a.to_json(), b.to_json(), "seeds must matter");
+}
+
+/// Runs the same config under both schedulers and asserts every
+/// deterministic output surface matches byte for byte: JSON, CSV,
+/// rendered text, and the qz-obs metrics registry.
+fn assert_schedulers_agree(cfg: &FleetConfig, threads: usize) {
+    let eb = run_fleet(
+        &FleetConfig {
+            scheduler: FleetSchedulerKind::EpochBarrier,
+            ..cfg.clone()
+        },
+        Executor::new(threads),
+    )
+    .expect("epoch barrier runs");
+    let eh = run_fleet(
+        &FleetConfig {
+            scheduler: FleetSchedulerKind::EventHorizon,
+            ..cfg.clone()
+        },
+        Executor::new(threads),
+    )
+    .expect("event horizon runs");
+    assert_eq!(eb.to_json(), eh.to_json(), "JSON diverged");
+    assert_eq!(eb.to_csv(), eh.to_csv(), "CSV diverged");
+    assert_eq!(eb.render_text(), eh.render_text(), "text diverged");
+    assert_eq!(
+        eb.registry().render(),
+        eh.registry().render(),
+        "metrics registry diverged"
+    );
+}
+
+#[test]
+fn event_horizon_is_byte_identical_at_one_eight_and_sixty_four_devices() {
+    for devices in [1, 8, 64] {
+        let cfg = FleetConfig {
+            devices,
+            events: 6,
+            ..FleetConfig::default()
+        };
+        assert_schedulers_agree(&cfg, 2);
+    }
+}
+
+#[test]
+fn cross_scheduler_identity_holds_at_any_thread_count() {
+    let cfg = FleetConfig {
+        devices: 8,
+        events: 8,
+        ..FleetConfig::default()
+    };
+    let reference = run_fleet(&cfg, Executor::new(1)).expect("reference");
+    for threads in [1, 2, 8] {
+        let eh = run_fleet(
+            &FleetConfig {
+                scheduler: FleetSchedulerKind::EventHorizon,
+                ..cfg.clone()
+            },
+            Executor::new(threads),
+        )
+        .expect("event horizon runs");
+        assert_eq!(reference.to_json(), eh.to_json(), "{threads} threads");
+    }
+}
+
+#[test]
+fn cross_scheduler_identity_holds_on_both_stepping_engines() {
+    for engine in [qz_sim::EngineKind::FastForward, qz_sim::EngineKind::Tick] {
+        let mut cfg = FleetConfig {
+            devices: 4,
+            events: 5,
+            ..FleetConfig::default()
+        };
+        cfg.tweaks.engine = engine;
+        assert_schedulers_agree(&cfg, 2);
+    }
+}
+
+#[test]
+fn cross_scheduler_identity_holds_with_sharded_gateways() {
+    let cfg = FleetConfig {
+        devices: 16,
+        events: 6,
+        gateways: 4,
+        ..FleetConfig::default()
+    };
+    assert_schedulers_agree(&cfg, 2);
+}
+
+/// The throughput-bench configuration shape: fine-grained 50 ms
+/// back-pressure epochs and a stretched 30 s capture period. This is
+/// where the event-horizon scheduler's advantage is largest, so the
+/// byte-identity precondition of the recorded speedup is pinned here at
+/// a size the test suite can afford.
+#[test]
+fn cross_scheduler_identity_holds_with_fine_epochs_and_slow_capture() {
+    let mut cfg = FleetConfig {
+        devices: 12,
+        events: 5,
+        gateways: 4,
+        epoch: qz_types::SimDuration::from_millis(50),
+        ..FleetConfig::default()
+    };
+    cfg.tweaks.capture_period = qz_types::SimDuration::from_secs(30);
+    assert_schedulers_agree(&cfg, 2);
 }
 
 fn any_env_kind() -> impl Strategy<Value = EnvironmentKind> {
@@ -129,5 +239,43 @@ proptest! {
         gated.tx_airtime = qz_types::SimDuration::ZERO;
         prop_assert_eq!(gated, standalone,
             "an uncontended gate must not change the simulation");
+    }
+
+    /// The schedulers agree on *randomized* configurations, not just
+    /// hand-picked ones: environment mix, system, duty cycle, seed,
+    /// and gateway count all drawn by proptest.
+    #[test]
+    fn randomized_configs_match_across_schedulers(
+        system in any_system(),
+        env_kind in any_env_kind(),
+        fleet_seed in 0u64..500,
+        events in 4usize..8,
+        devices in 2usize..6,
+        gateways in 1usize..3,
+        duty_percent in 5u32..100,
+    ) {
+        let cfg = FleetConfig {
+            devices,
+            events,
+            fleet_seed,
+            system,
+            gateways,
+            env_mix: vec![env_kind],
+            uplink: UplinkConfig {
+                duty_cycle: f64::from(duty_percent) / 100.0,
+                ..UplinkConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let eb = run_fleet(&FleetConfig {
+            scheduler: FleetSchedulerKind::EpochBarrier,
+            ..cfg.clone()
+        }, Executor::new(2)).expect("epoch barrier runs");
+        let eh = run_fleet(&FleetConfig {
+            scheduler: FleetSchedulerKind::EventHorizon,
+            ..cfg
+        }, Executor::new(2)).expect("event horizon runs");
+        prop_assert_eq!(eb.to_json(), eh.to_json());
+        prop_assert_eq!(eb.to_csv(), eh.to_csv());
     }
 }

@@ -141,3 +141,25 @@ fn fleet_small_json_snapshot() {
         "fleet JSON drifted — re-baseline tests/golden/fleet_small.json if intentional:\n{got}"
     );
 }
+
+/// The event-horizon scheduler must reproduce the *same* golden file:
+/// it is a pure optimization of the epoch-barrier reference, so a drift
+/// here without a drift in `fleet_small_json_snapshot` means the two
+/// schedulers diverged — never re-baseline one without the other.
+#[test]
+fn fleet_small_json_snapshot_event_horizon() {
+    let cfg = qz_fleet::FleetConfig {
+        devices: 3,
+        events: 6,
+        fleet_seed: SEED,
+        scheduler: qz_fleet::FleetSchedulerKind::EventHorizon,
+        ..qz_fleet::FleetConfig::default()
+    };
+    let report = qz_fleet::run_fleet(&cfg, qz_fleet::Executor::new(2)).expect("fleet runs");
+    let got = report.to_json();
+    let want = include_str!("golden/fleet_small.json");
+    assert_eq!(
+        got, want,
+        "event-horizon run diverged from the epoch-barrier golden:\n{got}"
+    );
+}
