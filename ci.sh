@@ -20,7 +20,7 @@ echo "== test-count guard =="
 # The suite must never silently shrink (a deleted [[test]] stanza or a
 # dropped module compiles fine and loses coverage without failing CI).
 # Raise the floor when tests are added; never lower it casually.
-test_floor=900
+test_floor=906
 test_count=$(cargo test -q --workspace -- --list 2>/dev/null | grep -c ': test$')
 echo "   ${test_count} tests (floor ${test_floor})"
 if [ "${test_count}" -lt "${test_floor}" ]; then
@@ -107,9 +107,13 @@ echo "== throughput benches + qz bench --check baseline gate =="
 # (both engines, metrics asserted identical before any speedup is
 # reported), then `qz bench --check` compares the newest record of
 # every trajectory against results/BENCH_baseline.json and exits
-# nonzero on regression. Floors (Quiet >= 3x, Crowded >= 1.5x, fleet
-# >= 1x) sit well under quiet-machine numbers to absorb shared-runner
-# noise; the acceptance bar in the issue is 5x on Quiet. The
+# nonzero on regression. Floors (Quiet >= 3x, Crowded >= 3x, Burst >=
+# 1.1x, fleet >= 1x) sit well under quiet-machine numbers to absorb
+# shared-runner noise: with the batched busy-tick kernel the bench box
+# records Crowded around 7-10x and Quiet around 19-20x. Burst runs
+# 2 s storms / 10 s lulls under the `smoke` fault preset, where the
+# adversary consults every tick on both engines by design, so its
+# speedup is structurally modest. The
 # fault_campaigns bench gates snapshot-mode campaigns at >= 2x over
 # replay-from-zero (reports asserted byte-identical first). The
 # fleet_throughput bench additionally gates the event-horizon scheduler

@@ -10,8 +10,9 @@
 //! same seeds; the harness asserts their metrics are identical before
 //! reporting any number, so a speedup can never come from divergence.
 
-use qz_app::{apollo4, simulate, SimTweaks};
+use qz_app::{apollo4, build_simulation, SimTweaks};
 use qz_baselines::BaselineKind;
+use qz_fault::{AdversarialInjector, FaultPlan};
 use qz_sim::{EngineKind, Metrics};
 use qz_traces::{EnvironmentKind, SensingEnvironment};
 use std::hint::black_box;
@@ -23,6 +24,10 @@ const SEED: u64 = 9_2025;
 struct Case {
     env: EnvironmentKind,
     events: usize,
+    /// Fault-plan preset installed on both engines (`None` = clean
+    /// run). A present injector collapses every quiescent span, so this
+    /// exercises the batched busy-tick kernel end to end.
+    fault: Option<&'static str>,
 }
 
 struct Outcome {
@@ -40,8 +45,14 @@ impl Outcome {
 }
 
 /// Best-of-`REPS` wall-clock for one engine; returns the metrics too so
-/// the caller can assert both engines agree.
-fn time_engine(env: &SensingEnvironment, engine: EngineKind) -> (f64, Metrics) {
+/// the caller can assert both engines agree. When `fault` names a
+/// preset, the same seeded adversary is installed on every rep of both
+/// engines, so the comparison stays apples to apples.
+fn time_engine(
+    env: &SensingEnvironment,
+    engine: EngineKind,
+    fault: Option<&'static str>,
+) -> (f64, Metrics) {
     let profile = apollo4();
     let tweaks = SimTweaks {
         engine,
@@ -51,7 +62,13 @@ fn time_engine(env: &SensingEnvironment, engine: EngineKind) -> (f64, Metrics) {
     let mut metrics = None;
     for _ in 0..REPS {
         let start = Instant::now();
-        let m = simulate(BaselineKind::Quetzal, &profile, env, &tweaks);
+        let mut sim = build_simulation(BaselineKind::Quetzal, &profile, env, &tweaks);
+        if let Some(preset) = fault {
+            let plan = FaultPlan::preset(preset).expect("known fault preset");
+            sim.set_fault_injector(Box::new(AdversarialInjector::new(plan, SEED)));
+        }
+        while sim.step() {}
+        let m = sim.metrics().clone();
         let secs = start.elapsed().as_secs_f64();
         best = best.min(secs);
         metrics = Some(black_box(m));
@@ -61,8 +78,8 @@ fn time_engine(env: &SensingEnvironment, engine: EngineKind) -> (f64, Metrics) {
 
 fn run_case(case: &Case) -> Outcome {
     let env = SensingEnvironment::generate(case.env, case.events, SEED);
-    let (tick_secs, tick_metrics) = time_engine(&env, EngineKind::Tick);
-    let (fast_secs, fast_metrics) = time_engine(&env, EngineKind::FastForward);
+    let (tick_secs, tick_metrics) = time_engine(&env, EngineKind::Tick, case.fault);
+    let (fast_secs, fast_metrics) = time_engine(&env, EngineKind::FastForward, case.fault);
     assert_eq!(
         tick_metrics,
         fast_metrics,
@@ -83,10 +100,22 @@ fn main() {
         Case {
             env: EnvironmentKind::Quiet,
             events: 120,
+            fault: None,
         },
         Case {
             env: EnvironmentKind::Crowded,
             events: 120,
+            fault: None,
+        },
+        // Alternating 2 s storms / ~10 s lulls under the `smoke` fault
+        // preset: the adversary keeps every tick busy, so the engine
+        // alternates between bulk spans and full busy-tick blocks —
+        // the mixed regime the kernel's prologue/tail boundary
+        // exercises hardest.
+        Case {
+            env: EnvironmentKind::Burst,
+            events: 120,
+            fault: Some("smoke"),
         },
     ];
 

@@ -70,8 +70,10 @@ fn horizon(input: &CheckInput<'_>, report: &mut Report) {
             Span::field("device.capture_period"),
             format!(
                 "capture period of {period} tick(s) puts a capture boundary on (almost) every \
-                 tick; the fast-forward engine's event horizon collapses and simulation speed \
-                 degenerates to the per-tick reference loop (--engine tick without the name)",
+                 tick; the fast-forward engine's event horizon collapses and the run falls \
+                 back to the batched busy-tick kernel — still reference semantics, but \
+                 amortized dispatch instead of bulk-advanced spans, so expect crowded-regime \
+                 speed rather than quiet-regime speed",
             ),
         );
     }

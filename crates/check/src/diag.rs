@@ -406,8 +406,15 @@ impl Code {
             }
             Code::QZ070 => {
                 "The fast-forward engine skips quiescent ticks between events; a capture \
-                 boundary on (almost) every tick collapses that horizon and the \
-                 simulation degenerates to per-tick stepping."
+                 boundary on (almost) every tick collapses that horizon. Collapsed runs \
+                 no longer degenerate to scalar per-tick stepping: repeating busy \
+                 regimes (an installed fault injector, the scheduler running every tick \
+                 while inputs queue) execute through the batched busy-tick kernel, which \
+                 hoists per-tick invariants into 64-tick block prologues with \
+                 byte-identical observables. Batching does NOT apply to one-off \
+                 boundary ticks (captures, telemetry samples, countdown expiries) — \
+                 those still run single reference ticks — so a short capture period \
+                 still costs real speed; it just no longer costs an order of magnitude."
             }
             Code::QZ071 => {
                 "Telemetry or snapshot periods near one tick put an observation boundary \
@@ -511,7 +518,10 @@ impl Code {
                 "Lengthen the failure period or shrink the atomic replay unit \
                  (just-in-time or shorter periodic checkpoints)."
             }
-            Code::QZ070 => "Lengthen capture_period, or accept per-tick stepping.",
+            Code::QZ070 => {
+                "Lengthen capture_period, or accept batched busy-tick speed (crowded-\
+                 regime throughput, not quiet-regime bulk skipping)."
+            }
             Code::QZ071 => "Lengthen the telemetry/snapshot period, or drop the instrumentation.",
             Code::QZ073 => {
                 "Shrink --snapshot-ring, lengthen --snapshot-stride (fewer live snapshots \

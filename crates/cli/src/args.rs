@@ -587,8 +587,10 @@ pub fn parse_env(name: &str) -> Result<EnvironmentKind, ParseError> {
         "less" | "lesscrowded" | "less-crowded" => Ok(EnvironmentKind::LessCrowded),
         "short" => Ok(EnvironmentKind::Short),
         "quiet" => Ok(EnvironmentKind::Quiet),
+        "burst" => Ok(EnvironmentKind::Burst),
         other => Err(err(format!(
-            "unknown environment `{other}` (try more-crowded, crowded, less-crowded, short, quiet)"
+            "unknown environment `{other}` (try more-crowded, crowded, less-crowded, short, \
+             quiet, burst)"
         ))),
     }
 }

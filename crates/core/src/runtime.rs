@@ -126,6 +126,14 @@ pub struct Quetzal {
     /// Decision-tracing hook (`qz-obs`). Defaults to the disabled noop,
     /// so emission sites cost one cached-boolean test per decision.
     observer: ObserverHandle,
+    /// Scheduling-round scratch, reused across calls: the candidate
+    /// list rebuilt every round. In a crowded run [`Quetzal::schedule`]
+    /// fires every tick (the engine's busy-scheduler regime), so these
+    /// were the hottest allocation sites after the engine's own
+    /// scratch.
+    scratch_candidates: Vec<JobCandidate>,
+    /// Scheduling-round scratch: the per-option degradable services.
+    scratch_options: Vec<Seconds>,
 }
 
 impl Quetzal {
@@ -276,15 +284,15 @@ impl Quetzal {
     ) -> Option<Decision> {
         // predictInputPower(): by default the measurement itself.
         let p_in = self.power_predictor.predict(p_in);
-        let candidates: Vec<JobCandidate> = runnable
-            .iter()
-            .filter_map(|&(job, age)| {
-                age.map(|oldest_input_age| JobCandidate {
-                    job,
-                    oldest_input_age,
-                })
+        // Reuse the round scratch across calls (see the field docs).
+        let mut candidates = core::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        candidates.extend(runnable.iter().filter_map(|&(job, age)| {
+            age.map(|oldest_input_age| JobCandidate {
+                job,
+                oldest_input_age,
             })
-            .collect();
+        }));
 
         let selection = {
             let inputs = SchedulerInputs {
@@ -294,7 +302,11 @@ impl Quetzal {
                 p_in,
                 current_options: &self.current_options,
             };
-            self.policy.select(&inputs, &candidates)?
+            self.policy.select(&inputs, &candidates)
+        };
+        let Some(selection) = selection else {
+            self.scratch_candidates = candidates;
+            return None;
         };
         let job = candidates[selection.index].job;
         let correction = self.correction();
@@ -303,22 +315,22 @@ impl Quetzal {
         // degradable contributions for the reaction walk (Algorithm 2).
         let job_spec = self.spec.job(job);
         let mut non_degradable = Seconds::ZERO;
-        let mut option_services: Vec<Seconds> = Vec::new();
+        let mut option_services = core::mem::take(&mut self.scratch_options);
+        option_services.clear();
         for &task in &job_spec.tasks {
             let task_spec = self.spec.task(task);
             let prob = self.exec.probability(task);
             if task_spec.is_degradable() {
-                option_services = (0..task_spec.option_count())
-                    .map(|o| {
-                        // o < MAX_OPTIONS (4), so the cast is exact.
-                        #[allow(clippy::cast_possible_truncation)]
-                        let key = TaskKey {
-                            task,
-                            option: o as u8,
-                        };
-                        self.estimator.predict(key, task_spec.cost(o), p_in) * prob
-                    })
-                    .collect();
+                option_services.clear();
+                option_services.extend((0..task_spec.option_count()).map(|o| {
+                    // o < MAX_OPTIONS (4), so the cast is exact.
+                    #[allow(clippy::cast_possible_truncation)]
+                    let key = TaskKey {
+                        task,
+                        option: o as u8,
+                    };
+                    self.estimator.predict(key, task_spec.cost(o), p_in) * prob
+                }));
             } else {
                 non_degradable +=
                     self.estimator
@@ -454,6 +466,8 @@ impl Quetzal {
             non_degradable + option_services[decision.option]
         };
         self.last_prediction = Some((job, raw_prediction));
+        self.scratch_candidates = candidates;
+        self.scratch_options = option_services;
 
         Some(Decision {
             job,
@@ -633,6 +647,8 @@ impl QuetzalBuilder {
             last_prediction: None,
             current_options,
             observer: ObserverHandle::noop(),
+            scratch_candidates: Vec::new(),
+            scratch_options: Vec::new(),
         })
     }
 }

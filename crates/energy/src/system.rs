@@ -101,8 +101,25 @@ impl PowerSystem {
     /// device that can run directly off harvest when input power exceeds
     /// load power (zero net discharge).
     pub fn step(&mut self, irradiance: f64, load: Watts, dt: SimDuration) -> StepOutcome {
-        debug_assert!(load.value() >= 0.0, "load must be non-negative");
         let input_power = self.harvester.output(irradiance);
+        self.step_prepared(input_power, load, dt)
+    }
+
+    /// [`PowerSystem::step`] with the harvester conversion already done:
+    /// `input_power` must be `self.harvester().output(irradiance)` for
+    /// the tick's irradiance. Callers that know the irradiance is
+    /// constant across a run of ticks (the batched busy-tick kernel)
+    /// hoist the conversion once per block; the downstream arithmetic is
+    /// the same ops on the same bits, so outcomes are identical to
+    /// calling `step` per tick.
+    #[inline]
+    pub fn step_prepared(
+        &mut self,
+        input_power: Watts,
+        load: Watts,
+        dt: SimDuration,
+    ) -> StepOutcome {
+        debug_assert!(load.value() >= 0.0, "load must be non-negative");
         let offered = input_power * dt.as_seconds();
         let harvested = self.capacitor.charge(offered);
         let wasted = offered - harvested;
@@ -206,10 +223,21 @@ impl PowerSystem {
         wasted_acc: &mut Joules,
         mut prof: Option<&mut PhaseProfiler>,
     ) -> BulkOutcome {
-        let sprint = self.sprint_bound(irradiance, load, dt, stop).min(max_ticks);
-        let mut ticks = sprint;
-        if sprint > 0 {
-            let t0 = prof.as_ref().and_then(|p| p.begin());
+        // Iterate the sprint: each pass re-derives a crossing-free prefix
+        // from the *current* stored energy, so the conservative haircut
+        // and margin cost only ~margin ticks of vigilant tail per
+        // crossing instead of a haircut-sized fraction of the whole span.
+        let mut ticks = 0;
+        let t0 = prof.as_ref().and_then(|p| p.begin());
+        let mut sprinted = false;
+        while ticks < max_ticks {
+            let sprint = self
+                .sprint_bound(irradiance, load, dt, stop)
+                .min(max_ticks - ticks);
+            if sprint == 0 {
+                break;
+            }
+            sprinted = true;
             self.sprint(
                 irradiance,
                 load,
@@ -219,6 +247,9 @@ impl PowerSystem {
                 wasted_acc,
                 prof.as_deref_mut(),
             );
+            ticks += sprint;
+        }
+        if sprinted {
             if let Some(p) = prof.as_deref_mut() {
                 p.end(Phase::Sprint, t0);
             }
@@ -229,26 +260,107 @@ impl PowerSystem {
             None
         };
         let mut crossed = false;
-        while ticks < max_ticks {
-            let out = self.step(irradiance, load, dt);
-            *harvested_acc += out.harvested;
-            *wasted_acc += out.wasted;
-            ticks += 1;
-            crossed = match stop {
-                StopCondition::None => false,
-                StopCondition::Depleted(reserve) => {
-                    self.capacitor.energy() <= reserve || out.brownout
-                }
-                StopCondition::CanTurnOn => self.capacitor.can_turn_on(),
-            };
-            if crossed {
-                break;
-            }
+        if ticks < max_ticks {
+            let (tail, hit) = self.vigilant_tail(
+                irradiance,
+                load,
+                dt,
+                max_ticks - ticks,
+                stop,
+                harvested_acc,
+                wasted_acc,
+            );
+            ticks += tail;
+            crossed = hit;
         }
         if let Some(p) = prof {
             p.end(Phase::VigilantTail, t_tail);
         }
         BulkOutcome { ticks, crossed }
+    }
+
+    /// The vigilant tail of [`PowerSystem::advance`]: per-tick stepping
+    /// with the stop condition checked after every committed tick.
+    /// Replicates [`PowerSystem::step`]'s arithmetic
+    /// operation-for-operation on hoisted locals — including every
+    /// clamp, the brownout comparison, and `can_turn_on`'s
+    /// voltage-domain square root — so the trajectory is bit-identical
+    /// to calling `step` in a loop while costing a handful of flops per
+    /// tick instead of re-deriving the harvester output and capacity.
+    #[allow(clippy::too_many_arguments)] // mirrors advance_inner()
+    fn vigilant_tail(
+        &mut self,
+        irradiance: f64,
+        load: Watts,
+        dt: SimDuration,
+        max_ticks: u64,
+        stop: StopCondition,
+        harvested_acc: &mut Joules,
+        wasted_acc: &mut Joules,
+    ) -> (u64, bool) {
+        let secs = dt.as_seconds();
+        let offered = (self.harvester.output(irradiance) * secs).value();
+        let leak = (self.capacitor.config().leakage * secs).value();
+        let demand = (load * secs).value();
+        let capacity = self.capacitor.capacity().value();
+        // can_turn_on()'s comparison, with its constant operands hoisted:
+        // `sqrt(v_off² + 2·E/C) ≥ v_on − 1 nV`.
+        let v_off = self.capacitor.config().v_off.value();
+        let v_off_sq = v_off * v_off;
+        let c = self.capacitor.config().capacitance.value();
+        let v_on_slack = (self.capacitor.config().v_on - qz_types::Volts(1e-9)).value();
+        let mut energy = self.capacitor.energy().value();
+        let mut total_h = self.total_harvested.value();
+        let mut total_w = self.total_wasted.value();
+        let mut total_s = self.total_supplied.value();
+        let mut acc_h = harvested_acc.value();
+        let mut acc_w = wasted_acc.value();
+        let mut ticks = 0;
+        let mut crossed = false;
+        while ticks < max_ticks {
+            // charge(offered)
+            let headroom = (capacity - energy).max(0.0);
+            let harvested = offered.min(headroom);
+            energy += harvested;
+            let wasted = offered - harvested;
+            // self-discharge
+            if leak > 0.0 {
+                let leaked = leak.min(energy);
+                energy -= leaked;
+                if energy < 0.0 {
+                    energy = 0.0;
+                }
+            }
+            // discharge(demand)
+            let supplied = demand.min(energy);
+            energy -= supplied;
+            if energy < 0.0 {
+                energy = 0.0;
+            }
+            total_h += harvested;
+            total_w += wasted;
+            total_s += supplied;
+            acc_h += harvested;
+            acc_w += wasted;
+            ticks += 1;
+            crossed = match stop {
+                StopCondition::None => false,
+                StopCondition::Depleted(reserve) => {
+                    energy <= reserve.value() || supplied + 1e-18 < demand
+                }
+                StopCondition::CanTurnOn => (v_off_sq + 2.0 * energy / c).sqrt() >= v_on_slack,
+            };
+            if crossed {
+                break;
+            }
+        }
+        self.capacitor.set_energy_raw(Joules(energy));
+        self.total_harvested = Joules(total_h);
+        self.total_wasted = Joules(total_w);
+        self.total_supplied = Joules(total_s);
+        *harvested_acc = Joules(acc_h);
+        *wasted_acc = Joules(acc_w);
+        (ticks, crossed)
     }
 
     /// Runs `n` consecutive [`PowerSystem::step`]-equivalent ticks with
@@ -296,6 +408,51 @@ impl PowerSystem {
         let (mut last_h, mut last_w, mut last_s) = (0.0f64, 0.0, 0.0);
         let mut i = 0;
         while i < n {
+            // Clamp-free block: while the capacitor provably neither
+            // fills nor empties, every tick reduces to
+            // `harvested == offered`, `wasted == +0.0`,
+            // `supplied == demand` with the exact bits the clamped path
+            // would produce, so the min/max clamps and the `+= 0.0`
+            // wasted additions can be elided wholesale. The first tick
+            // of every sprint stays on the scalar path (`i >= 1`) so the
+            // period-1 fixed-point detector keeps its chance to arm.
+            if i >= 1 {
+                let block = clamp_free_ticks(energy, offered, leak, demand, capacity).min(n - i);
+                if block >= CLAMP_FREE_MIN {
+                    // `x + 0.0 == x` bitwise for every x except -0.0;
+                    // normalize the wasted accumulators once so skipping
+                    // their per-tick `+= +0.0` is exact.
+                    if total_w.to_bits() == NEG_ZERO_BITS {
+                        total_w += 0.0;
+                    }
+                    if acc_w.to_bits() == NEG_ZERO_BITS {
+                        acc_w += 0.0;
+                    }
+                    if leak > 0.0 {
+                        for _ in 0..block {
+                            energy += offered;
+                            energy -= leak;
+                            energy -= demand;
+                            total_h += offered;
+                            total_s += demand;
+                            acc_h += offered;
+                        }
+                    } else {
+                        for _ in 0..block {
+                            energy += offered;
+                            energy -= demand;
+                            total_h += offered;
+                            total_s += demand;
+                            acc_h += offered;
+                        }
+                    }
+                    i += block;
+                    // The fixed-point detector must re-arm from scratch:
+                    // `last_*` no longer describe the previous tick.
+                    prev_start = u64::MAX;
+                    continue;
+                }
+            }
             // Period-1 fixed-point detection: when a tick starts from
             // the exact energy bits the previous tick started from, the
             // whole tick repeats verbatim (every per-tick quantity is a
@@ -505,6 +662,51 @@ impl PowerSystem {
         self.total_wasted = state.total_wasted;
         self.total_supplied = state.total_supplied;
     }
+}
+
+/// Minimum clamp-free run worth entering the block fast path for; below
+/// this the scalar loop's fixed-point detector is the better bet.
+const CLAMP_FREE_MIN: u64 = 16;
+
+/// Bit pattern of `-0.0`, for the wasted-accumulator normalization in
+/// the clamp-free block.
+const NEG_ZERO_BITS: u64 = 0x8000_0000_0000_0000;
+
+/// Conservative count of upcoming ticks during which the capacitor
+/// provably neither fills (`charge` would clamp) nor runs low enough
+/// for the leak/load draws to clamp, starting from `energy` stored
+/// joules under constant per-tick `offered`/`leak`/`demand` joules.
+///
+/// Uses the same worst-case rate reasoning as `sprint_bound`: energy
+/// rises at most `offered` and falls at most `leak + demand` per tick,
+/// and a multiplicative haircut plus a fixed margin absorb f64 rounding
+/// drift. Within the returned prefix every tick satisfies
+/// `offered < headroom` and `leak + demand < energy-after-charge`, so
+/// `harvested == offered`, `wasted == +0.0`, and `supplied == demand`
+/// bit-exactly.
+fn clamp_free_ticks(energy: f64, offered: f64, leak: f64, demand: f64, capacity: f64) -> u64 {
+    const HAIRCUT: f64 = 1.0 - 1e-6;
+    const MARGIN: u64 = 8;
+    let dec = leak + demand;
+    let up = if offered <= 0.0 {
+        f64::INFINITY
+    } else {
+        (capacity * HAIRCUT - energy) / offered
+    };
+    let down = if dec <= 0.0 {
+        f64::INFINITY
+    } else {
+        (energy * HAIRCUT - dec) / dec
+    };
+    let bound = up.min(down);
+    // NaN-safe: a NaN bound (0/0 corner) must also yield an empty sprint.
+    if bound.is_nan() || bound <= 0.0 {
+        return 0;
+    }
+    // Bounded above before the cast; both ratios are non-negative here.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let ticks = bound.min(9.0e18) as u64;
+    ticks.saturating_sub(MARGIN)
 }
 
 /// Mutable state of a [`PowerSystem`], as captured by
@@ -835,6 +1037,87 @@ mod tests {
             }
         );
         assert!(!s.capacitor().can_turn_on());
+    }
+
+    fn leaky_sys() -> PowerSystem {
+        let cfg = SupercapConfig {
+            leakage: Watts(25e-6),
+            v_init: Volts(2.4),
+            ..SupercapConfig::default()
+        };
+        PowerSystem::new(
+            Supercap::new(cfg).unwrap(),
+            Harvester::new(6, Watts(0.010), 0.80).unwrap(),
+        )
+    }
+
+    #[test]
+    fn leaky_advance_is_bit_identical_to_stepping() {
+        // Exercises the clamp-free block's three-add (leak > 0) variant.
+        for (irr, load_w, stop) in [
+            (0.0, 0.004, StopCondition::Depleted(Joules(0.625e-3))),
+            (0.4, 0.002, StopCondition::None),
+            (0.2, 0.0, StopCondition::CanTurnOn),
+        ] {
+            let (mut fast, mut slow) = (leaky_sys(), leaky_sys());
+            let (mut fh, mut fw) = (Joules::ZERO, Joules::ZERO);
+            let (mut sh, mut sw) = (Joules::ZERO, Joules::ZERO);
+            let out_fast = fast.advance(
+                irr,
+                Watts(load_w),
+                SimDuration::TICK,
+                500_000,
+                stop,
+                &mut fh,
+                &mut fw,
+            );
+            let out_slow = manual_advance(
+                &mut slow,
+                irr,
+                Watts(load_w),
+                SimDuration::TICK,
+                500_000,
+                stop,
+                &mut sh,
+                &mut sw,
+            );
+            assert_eq!(out_fast, out_slow, "case irr={irr} load={load_w}");
+            assert_eq!(fh.value().to_bits(), sh.value().to_bits());
+            assert_eq!(fw.value().to_bits(), sw.value().to_bits());
+            assert_bit_identical(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn negative_zero_wasted_accumulator_matches_stepping() {
+        // The block fast path skips the per-tick `+= +0.0` wasted adds;
+        // a -0.0 accumulator (only reachable via a hand-built ledger)
+        // must still normalize to +0.0 exactly like repeated adds would.
+        let (mut fast, mut slow) = (sys_starting_empty(), sys_starting_empty());
+        let (mut fh, mut fw) = (Joules::ZERO, Joules(-0.0));
+        let (mut sh, mut sw) = (Joules::ZERO, Joules(-0.0));
+        fast.advance(
+            0.3,
+            Watts(0.001),
+            SimDuration::TICK,
+            200_000,
+            StopCondition::None,
+            &mut fh,
+            &mut fw,
+        );
+        manual_advance(
+            &mut slow,
+            0.3,
+            Watts(0.001),
+            SimDuration::TICK,
+            200_000,
+            StopCondition::None,
+            &mut sh,
+            &mut sw,
+        );
+        assert_eq!(fw.value().to_bits(), sw.value().to_bits());
+        assert_eq!(fh.value().to_bits(), sh.value().to_bits());
+        assert_bit_identical(&fast, &slow);
     }
 
     proptest! {

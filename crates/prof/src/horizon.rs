@@ -80,12 +80,13 @@ impl HorizonCause {
     /// dominates the forced reference ticks.
     pub fn hint(self) -> Option<&'static str> {
         match self {
-            HorizonCause::FaultCollapse => {
-                Some("an installed fault injector pins the engine to per-tick stepping by design")
-            }
+            HorizonCause::FaultCollapse => Some(
+                "an installed fault injector consults the adversary every tick by design; the \
+                 batched busy-tick kernel hoists everything else per block",
+            ),
             HorizonCause::BusyScheduler => Some(
-                "scheduler runs every tick while inputs queue; this is the Crowded busy-tick \
-                 kernel the ROADMAP targets",
+                "scheduler runs every tick while inputs queue; the batched busy-tick kernel \
+                 amortizes per-tick dispatch here (see the busy-kernel line below)",
             ),
             HorizonCause::CaptureBoundary => {
                 Some("tiny capture periods collapse the horizon — see qz-check QZ070")
@@ -129,6 +130,16 @@ pub struct CauseStat {
 #[derive(Debug, Clone)]
 pub struct HorizonStats {
     cells: [CauseStat; HorizonCause::COUNT],
+    /// Batched busy-tick blocks committed (runs of reference-semantics
+    /// ticks executed under per-block hoisted invariants).
+    busy_blocks: u64,
+    /// Reference ticks executed inside those blocks.
+    busy_block_ticks: u64,
+    /// Distribution of per-block occupancy (committed ticks per block).
+    block_hist: Log2Histogram,
+    /// Busy reference ticks that could not extend into a block (a
+    /// one-off boundary event: capture, telemetry, countdown expiry).
+    busy_tail_ticks: u64,
 }
 
 impl Default for HorizonStats {
@@ -147,7 +158,48 @@ impl HorizonStats {
                 ref_ticks: 0,
                 span_hist: Log2Histogram::new(),
             }),
+            busy_blocks: 0,
+            busy_block_ticks: 0,
+            block_hist: Log2Histogram::new(),
+            busy_tail_ticks: 0,
         }
+    }
+
+    /// Records one batched busy-tick block of `ticks` reference-
+    /// semantics ticks attributed to `cause` (they still count as
+    /// forced reference ticks in the cause ranking — the block only
+    /// changes how cheaply they executed, not why they were forced).
+    pub fn record_busy_block(&mut self, cause: HorizonCause, ticks: u64) {
+        self.cells[cause.index()].ref_ticks += ticks;
+        self.busy_blocks += 1;
+        self.busy_block_ticks += ticks;
+        self.block_hist.record(ticks);
+    }
+
+    /// Records one busy reference tick that ran outside any block.
+    pub fn record_busy_tail(&mut self, cause: HorizonCause) {
+        self.cells[cause.index()].ref_ticks += 1;
+        self.busy_tail_ticks += 1;
+    }
+
+    /// Batched busy-tick blocks committed so far.
+    pub fn busy_blocks(&self) -> u64 {
+        self.busy_blocks
+    }
+
+    /// Reference ticks executed inside busy blocks.
+    pub fn busy_block_ticks(&self) -> u64 {
+        self.busy_block_ticks
+    }
+
+    /// Busy reference ticks that ran outside any block.
+    pub fn busy_tail_ticks(&self) -> u64 {
+        self.busy_tail_ticks
+    }
+
+    /// Median committed ticks per busy block (log2-bucket upper bound).
+    pub fn median_block_occupancy(&self) -> u64 {
+        self.block_hist.quantile(0.5)
     }
 
     /// Records one bulk-advanced span of `ticks` ended by `cause`.
@@ -191,6 +243,10 @@ impl HorizonStats {
             m.ref_ticks += t.ref_ticks;
             m.span_hist.merge(&t.span_hist);
         }
+        self.busy_blocks += other.busy_blocks;
+        self.busy_block_ticks += other.busy_block_ticks;
+        self.block_hist.merge(&other.block_hist);
+        self.busy_tail_ticks += other.busy_tail_ticks;
     }
 
     /// "Why is this run slow": causes ranked by the reference ticks
@@ -252,6 +308,16 @@ impl HorizonStats {
             total_ref,
             self.total_skipped_ticks(),
         ));
+        if self.busy_blocks > 0 || self.busy_tail_ticks > 0 {
+            out.push_str(&format!(
+                "busy kernel: {} tick(s) in {} busy_block(s) (median occupancy {}), \
+                 {} busy_tail tick(s)\n",
+                self.busy_block_ticks,
+                self.busy_blocks,
+                self.median_block_occupancy(),
+                self.busy_tail_ticks,
+            ));
+        }
         for hint in hints {
             out.push_str(&format!("hint: {hint}\n"));
         }
@@ -282,9 +348,15 @@ impl HorizonStats {
             ));
         }
         out.push_str(&format!(
-            "],\"total_ref_ticks\":{},\"total_skipped_ticks\":{}}}",
+            "],\"total_ref_ticks\":{},\"total_skipped_ticks\":{},\
+             \"busy_blocks\":{},\"busy_block_ticks\":{},\"median_block_occupancy\":{},\
+             \"busy_tail_ticks\":{}}}",
             self.total_ref_ticks(),
             self.total_skipped_ticks(),
+            self.busy_blocks,
+            self.busy_block_ticks,
+            self.median_block_occupancy(),
+            self.busy_tail_ticks,
         ));
         out
     }
@@ -343,6 +415,31 @@ mod tests {
         let json = h.to_json();
         assert!(json.contains("\"cause\":\"events-end\""));
         assert!(!json.contains("snapshot-due"));
+    }
+
+    #[test]
+    fn busy_kernel_line_reports_blocks_and_tail() {
+        let mut h = HorizonStats::new();
+        h.record_busy_block(HorizonCause::BusyScheduler, 64);
+        h.record_busy_block(HorizonCause::BusyScheduler, 64);
+        h.record_busy_tail(HorizonCause::CaptureBoundary);
+        assert_eq!(h.total_ref_ticks(), 129);
+        assert_eq!(h.busy_blocks(), 2);
+        assert_eq!(h.busy_block_ticks(), 128);
+        assert_eq!(h.busy_tail_ticks(), 1);
+        let text = h.render_ranking();
+        assert!(
+            text.contains("busy kernel: 128 tick(s) in 2 busy_block(s)"),
+            "{text}"
+        );
+        let json = h.to_json();
+        assert!(json.contains("\"busy_blocks\":2"), "{json}");
+        assert!(json.contains("\"busy_tail_ticks\":1"), "{json}");
+        let mut other = HorizonStats::new();
+        other.record_busy_block(HorizonCause::FaultCollapse, 10);
+        other.merge(&h);
+        assert_eq!(other.busy_blocks(), 3);
+        assert_eq!(other.busy_block_ticks(), 138);
     }
 
     #[test]

@@ -53,11 +53,19 @@ pub enum Phase {
     /// Restoring a simulation from a snapshot
     /// (`Simulation::restore_state`).
     SnapRestore,
+    /// One batched busy-tick block (`Simulation::busy_block`): a run of
+    /// reference-semantics ticks executed with per-block hoisted
+    /// invariants (solar segment, emission due-ness, prepared power
+    /// step).
+    BusyBlock,
+    /// A single busy reference tick that could not extend into a block
+    /// (a boundary event: capture, telemetry, countdown expiry).
+    BusyTail,
 }
 
 impl Phase {
     /// Number of phases (array sizing).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 16;
 
     /// Every phase, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -73,6 +81,8 @@ impl Phase {
         Phase::FleetQueuePop,
         Phase::FleetWake,
         Phase::FleetShardReduce,
+        Phase::BusyBlock,
+        Phase::BusyTail,
         Phase::SnapSave,
         Phase::SnapRestore,
     ];
@@ -94,6 +104,8 @@ impl Phase {
             Phase::FleetShardReduce => "fleet_shard_reduce",
             Phase::SnapSave => "snap_save",
             Phase::SnapRestore => "snap_restore",
+            Phase::BusyBlock => "busy_block",
+            Phase::BusyTail => "busy_tail",
         }
     }
 
@@ -126,6 +138,8 @@ impl Phase {
             Phase::FleetShardReduce => 11,
             Phase::SnapSave => 12,
             Phase::SnapRestore => 13,
+            Phase::BusyBlock => 14,
+            Phase::BusyTail => 15,
         }
     }
 }

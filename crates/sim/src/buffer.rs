@@ -81,6 +81,7 @@ impl InputBuffer {
     }
 
     /// `true` if a new entry cannot be stored.
+    #[inline]
     pub fn is_full(&self) -> bool {
         self.occupancy() >= self.capacity
     }
@@ -99,7 +100,10 @@ impl InputBuffer {
         true
     }
 
-    /// The capture time of the oldest input queued for `job`.
+    /// The capture time of the oldest input queued for `job`. Read for
+    /// every job on every scheduling round — every tick in the busy
+    /// kernel's scheduler regime — so it must stay an O(1) front peek.
+    #[inline]
     pub fn oldest(&self, job: JobId) -> Option<SimTime> {
         self.queues[job.index()].front().map(|e| e.captured_at)
     }

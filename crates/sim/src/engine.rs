@@ -86,6 +86,14 @@ struct ActiveJob {
     tx_wait: bool,
 }
 
+/// Block size of the batched busy-tick kernel: runs of busy ticks in
+/// repeating regimes (installed fault injector, scheduler-every-tick
+/// crowds) execute in fixed blocks of up to this many ticks with the
+/// per-tick invariants hoisted into a per-block prologue. Observables
+/// stay byte-identical to the reference loop; see
+/// [`Simulation::busy_block`].
+const BUSY_BLOCK_TICKS: u64 = 64;
+
 /// One simulated device run: environment + power system + runtime +
 /// application pipeline.
 ///
@@ -479,7 +487,15 @@ impl<'a> Simulation<'a> {
     ///
     /// Panics if `interval` is zero.
     pub fn record_telemetry(&mut self, interval: SimDuration) {
-        self.recorder = Some(Recorder::new(interval));
+        let mut recorder = Recorder::new(interval);
+        // Size the sample log up front (horizon / interval, plus the
+        // t=0 sample) so steady-state recording never reallocates.
+        let expected = self.horizon.as_millis() / interval.as_millis();
+        #[allow(clippy::cast_possible_truncation)]
+        recorder
+            .telemetry
+            .reserve((expected.saturating_add(1)).min(1 << 24) as usize);
+        self.recorder = Some(recorder);
     }
 
     /// Installs a decision-tracing observer on the runtime; the
@@ -740,8 +756,9 @@ impl<'a> Simulation<'a> {
 
     /// Advances the simulation. Under [`EngineKind::Tick`] this is
     /// exactly one 1 ms tick; under [`EngineKind::FastForward`] it is
-    /// one tick *or* one bulk-advanced quiescent span — every observable
-    /// (metrics, telemetry, observer events) is identical either way.
+    /// one tick, one batched block of busy ticks, *or* one
+    /// bulk-advanced quiescent span — every observable (metrics,
+    /// telemetry, observer events) is identical in all three cases.
     /// Returns `false` once the simulation has finished (events over,
     /// work drained, or horizon reached).
     pub fn step(&mut self) -> bool {
@@ -757,7 +774,7 @@ impl<'a> Simulation<'a> {
                 self.prof.end(Phase::SpanAdvance, t0);
                 return alive;
             }
-            self.horizon_stats.record_ref_tick(cause);
+            return self.busy_ticks(cause, u64::MAX);
         }
         self.step_tick()
     }
@@ -777,9 +794,14 @@ impl<'a> Simulation<'a> {
                     let t0 = self.prof.begin();
                     self.advance_span(span);
                     self.prof.end(Phase::SpanAdvance, t0);
-                    continue;
+                } else {
+                    // Busy ticks batch too, but blocks never cross
+                    // `limit`: the barrier sees the same intermediate
+                    // state the tick engine would expose.
+                    let remaining = limit.as_millis() - self.now.as_millis();
+                    self.busy_ticks(cause, remaining);
                 }
-                self.horizon_stats.record_ref_tick(cause);
+                continue;
             }
             self.step_tick();
         }
@@ -1045,48 +1067,85 @@ impl<'a> Simulation<'a> {
             .is_some_and(|rec| (t % rec.interval).is_zero());
         let snapshot_due = self.runtime.observing() && (t % self.snapshot_every).is_zero();
         if recorder_due || snapshot_due {
-            let t_obs = self.prof.begin();
-            let sample = TelemetrySample {
-                t,
-                irradiance: irr,
-                stored: self.power.capacitor().energy(),
-                on: self.state == DeviceState::On,
-                occupancy: self.buffer.occupancy(),
-                lambda: self.runtime.lambda(),
-                correction: self.runtime.correction().value(),
-                active_option: self.job.as_ref().map(|j| j.option),
-                ibo_discards: self.metrics.ibo_discards,
-            };
-            if snapshot_due {
-                self.runtime
-                    .emit_event(EventKind::Snapshot(sample.to_snapshot()));
-            }
-            if recorder_due {
-                self.recorder
-                    .as_mut()
-                    .expect("recorder_due implies recorder")
-                    .telemetry
-                    .push(sample);
-            }
-            self.prof.end(Phase::ObsEmit, t_obs);
+            self.emit_samples(t, irr, recorder_due, snapshot_due);
         }
 
         // 4b. Fault hooks: let the adversary observe the tick and decide
         //     on a forced power failure before normal progress runs.
-        let mut forced_failure = false;
-        if self.fault.is_some() {
-            // The context snapshot needs `&self`, so build it before
-            // borrowing the injector mutably.
-            let ctx = self.fault_context(t);
-            if let Some(f) = self.fault.as_mut() {
-                f.on_tick(&ctx);
-                if self.state == DeviceState::On {
-                    forced_failure = f.force_power_failure(&ctx);
-                }
-            }
-        }
+        let forced_failure = if self.fault.is_some() {
+            self.fault_hooks(t)
+        } else {
+            false
+        };
 
         // 5. Power-state transitions and work progress.
+        self.tick_transitions(t, irr, out.brownout, forced_failure);
+
+        self.now = t.tick();
+
+        // 6. Termination: horizon, or everything drained after the last
+        //    event.
+        let drained = self.now >= self.events_end && self.job.is_none() && self.buffer.is_idle();
+        if self.now >= self.horizon || drained {
+            self.finalize();
+            return false;
+        }
+        true
+    }
+
+    /// Builds this tick's telemetry sample and routes it to the
+    /// due consumers (observer `Snapshot` event, legacy recorder).
+    /// Shared verbatim by the reference tick and the busy-block kernel
+    /// so the emitted bytes cannot diverge between them.
+    fn emit_samples(&mut self, t: SimTime, irr: f64, recorder_due: bool, snapshot_due: bool) {
+        let t_obs = self.prof.begin();
+        let sample = TelemetrySample {
+            t,
+            irradiance: irr,
+            stored: self.power.capacitor().energy(),
+            on: self.state == DeviceState::On,
+            occupancy: self.buffer.occupancy(),
+            lambda: self.runtime.lambda(),
+            correction: self.runtime.correction().value(),
+            active_option: self.job.as_ref().map(|j| j.option),
+            ibo_discards: self.metrics.ibo_discards,
+        };
+        if snapshot_due {
+            self.runtime
+                .emit_event(EventKind::Snapshot(sample.to_snapshot()));
+        }
+        if recorder_due {
+            self.recorder
+                .as_mut()
+                .expect("recorder_due implies recorder")
+                .telemetry
+                .push(sample);
+        }
+        self.prof.end(Phase::ObsEmit, t_obs);
+    }
+
+    /// Runs the per-tick fault hooks (adversary observation plus the
+    /// forced-power-failure decision). Callers must only invoke this
+    /// with an injector installed.
+    fn fault_hooks(&mut self, t: SimTime) -> bool {
+        // The context snapshot needs `&self`, so build it before
+        // borrowing the injector mutably.
+        let ctx = self.fault_context(t);
+        let mut forced_failure = false;
+        if let Some(f) = self.fault.as_mut() {
+            f.on_tick(&ctx);
+            if self.state == DeviceState::On {
+                forced_failure = f.force_power_failure(&ctx);
+            }
+        }
+        forced_failure
+    }
+
+    /// The reference tick's power-state transition and work-progress
+    /// step (step 5): forced failures, natural failures, restores, and
+    /// job/scheduler progress. Shared verbatim by the reference tick
+    /// and the busy-block kernel.
+    fn tick_transitions(&mut self, t: SimTime, irr: f64, brownout: bool, forced_failure: bool) {
         if forced_failure {
             // Adversarial brownout: drain stored energy down to the
             // checkpoint reserve, then take the normal failure path so
@@ -1107,7 +1166,7 @@ impl<'a> Simulation<'a> {
                 DeviceState::On => {
                     if self.power.capacitor().energy() <= self.cfg.device.checkpoint_reserve() {
                         self.on_power_failure();
-                    } else if !out.brownout {
+                    } else if !brownout {
                         self.progress(t, irr);
                     }
                 }
@@ -1129,17 +1188,134 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
+    }
 
-        self.now = t.tick();
-
-        // 6. Termination: horizon, or everything drained after the last
-        //    event.
-        let drained = self.now >= self.events_end && self.job.is_none() && self.buffer.is_idle();
-        if self.now >= self.horizon || drained {
-            self.finalize();
-            return false;
+    /// Dispatches a run of busy (non-quiescent) ticks: repeating busy
+    /// regimes — an installed fault injector, the scheduler-every-tick
+    /// crowd — enter the batched [`Simulation::busy_block`] kernel;
+    /// one-off boundary events (capture, telemetry, countdown expiry)
+    /// run a single reference tick, the busy *tail*. Both paths execute
+    /// reference-loop semantics tick for tick; only the dispatch cost
+    /// and the profiler attribution differ.
+    fn busy_ticks(&mut self, cause: HorizonCause, limit_ticks: u64) -> bool {
+        let blockable = matches!(
+            cause,
+            HorizonCause::FaultCollapse | HorizonCause::BusyScheduler
+        );
+        if blockable && limit_ticks > 1 {
+            let t0 = self.prof.begin();
+            let (ticks, alive) = if self.fault.is_some() {
+                self.busy_block::<true>(limit_ticks)
+            } else {
+                self.busy_block::<false>(limit_ticks)
+            };
+            self.prof.end(Phase::BusyBlock, t0);
+            self.horizon_stats.record_busy_block(cause, ticks);
+            alive
+        } else {
+            self.horizon_stats.record_busy_tail(cause);
+            let t0 = self.prof.begin();
+            let alive = self.step_tick_inner();
+            self.prof.end(Phase::BusyTail, t0);
+            alive
         }
-        true
+    }
+
+    /// The batched busy-tick kernel: executes up to
+    /// [`BUSY_BLOCK_TICKS`] consecutive reference-semantics ticks with
+    /// the per-tick invariants hoisted into a per-block prologue. The
+    /// prologue precomputes when the next capture boundary, telemetry
+    /// sample, or observer snapshot falls due and ends the block just
+    /// before it (a boundary due *now* runs inside the first tick,
+    /// exactly like the reference loop), pins the solar segment so the
+    /// harvester conversion hoists out of the loop
+    /// ([`PowerSystem::step_prepared`]), and monomorphizes over fault
+    /// presence. Every tick then runs the same helper sequence as
+    /// [`Simulation::step_tick_inner`] on the same values, so
+    /// observables are byte-identical by construction.
+    ///
+    /// Degradation to reference is exact: any in-block event that ends
+    /// the repeating busy regime (the scheduler starts a job, the
+    /// device powers down, the buffer drains) commits the tick that
+    /// caused it and returns to the horizon planner, which re-plans
+    /// from that tick.
+    fn busy_block<const FAULT: bool>(&mut self, limit_ticks: u64) -> (u64, bool) {
+        let t0 = self.now;
+        let start_ms = t0.as_millis();
+        // --- Prologue: hoist per-tick due-ness into a block end. ---
+        let mut end_ms = start_ms.saturating_add(BUSY_BLOCK_TICKS.min(limit_ticks));
+        let period = self.cfg.device.capture_period;
+        let first_capture = t0 < self.events_end && (t0 % period).is_zero();
+        if t0 < self.events_end {
+            end_ms = end_ms.min(t0.tick().next_multiple_of(period).as_millis());
+        }
+        let first_recorder = self
+            .recorder
+            .as_ref()
+            .is_some_and(|rec| (t0 % rec.interval).is_zero());
+        if let Some(rec) = &self.recorder {
+            end_ms = end_ms.min(t0.tick().next_multiple_of(rec.interval).as_millis());
+        }
+        let observing = self.runtime.observing();
+        let first_snapshot = observing && (t0 % self.snapshot_every).is_zero();
+        if observing {
+            end_ms = end_ms.min(t0.tick().next_multiple_of(self.snapshot_every).as_millis());
+        }
+        end_ms = end_ms.min(self.horizon.as_millis());
+        // Solar segment: irradiance is constant across the block, so
+        // the harvester conversion runs once.
+        let (irr, seg) = self.env.solar().constant_until(t0);
+        end_ms = end_ms.min(start_ms.saturating_add(seg.max(1)));
+        let input_power = self.power.input_power(irr);
+        // --- Block body: reference-tick semantics, hoisted checks. ---
+        let mut ticks = 0;
+        loop {
+            let t = self.now;
+            self.runtime.set_time_ms(t.as_millis());
+            let first = ticks == 0;
+            if first && first_capture {
+                self.on_capture_boundary(t);
+            }
+            let load = match self.state {
+                DeviceState::Off => self.cfg.device.off_leakage,
+                DeviceState::On => self.current_power(),
+            };
+            let out = self
+                .power
+                .step_prepared(input_power, load, SimDuration::TICK);
+            self.metrics.energy_harvested += out.harvested;
+            self.metrics.energy_wasted += out.wasted;
+            match self.state {
+                DeviceState::On => self.metrics.time_on += SimDuration::TICK,
+                DeviceState::Off => self.metrics.time_off += SimDuration::TICK,
+            }
+            self.metrics.occupancy_ms += self.buffer.occupancy() as u64;
+            if first && (first_recorder || first_snapshot) {
+                self.emit_samples(t, irr, first_recorder, first_snapshot);
+            }
+            let forced_failure = if FAULT { self.fault_hooks(t) } else { false };
+            self.tick_transitions(t, irr, out.brownout, forced_failure);
+            self.now = t.tick();
+            ticks += 1;
+            let drained =
+                self.now >= self.events_end && self.job.is_none() && self.buffer.is_idle();
+            if self.now >= self.horizon || drained {
+                self.finalize();
+                return (ticks, false);
+            }
+            if self.now.as_millis() >= end_ms {
+                break;
+            }
+            let busy_scheduler =
+                self.state == DeviceState::On && self.job.is_none() && !self.buffer.is_idle();
+            if !FAULT && !busy_scheduler {
+                // The scheduler-every-tick regime ended (a job started,
+                // the device powered down, or the buffer drained):
+                // commit the prefix and re-plan from this tick.
+                break;
+            }
+        }
+        (ticks, true)
     }
 
     /// Executes one capture-path firing: sense, prefilter, and (for

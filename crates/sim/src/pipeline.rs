@@ -190,17 +190,22 @@ impl PipelineSpec {
         })
     }
 
-    /// The behaviour bound to a task.
+    /// The behaviour bound to a task. On the engine's busy path this is
+    /// consulted on every task transition, so it stays a plain indexed
+    /// load.
+    #[inline]
     pub fn behavior(&self, task: TaskId) -> &TaskBehavior {
         &self.behaviors[task.index()]
     }
 
     /// The route bound to a job.
+    #[inline]
     pub fn route(&self, job: JobId) -> Route {
         self.routes[job.index()]
     }
 
     /// The job whose queue receives fresh captures.
+    #[inline]
     pub fn entry_job(&self) -> JobId {
         self.entry
     }

@@ -126,6 +126,13 @@ impl Telemetry {
         self.samples.push(sample);
     }
 
+    /// Pre-reserves room for `n` further samples so the steady-state
+    /// recording path never reallocates mid-run (the engine sizes this
+    /// from horizon / interval when the recorder is installed).
+    pub(crate) fn reserve(&mut self, n: usize) {
+        self.samples.reserve(n);
+    }
+
     /// Fraction of samples with the device powered on.
     pub fn on_fraction(&self) -> f64 {
         if self.samples.is_empty() {
@@ -147,13 +154,16 @@ impl Telemetry {
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
-        writeln!(
-            w,
-            "t_s,irradiance,stored_mj,on,occupancy,lambda,correction,option,ibo"
-        )?;
-        for s in &self.samples {
-            writeln!(
-                w,
+        use core::fmt::Write as _;
+        // Rows accumulate in a reusable arena and flush in blocks —
+        // identical bytes to row-at-a-time writes, fewer writer calls
+        // (mirrors qz-obs's export arena).
+        const BLOCK_ROWS: usize = 64;
+        let mut arena = String::new();
+        arena.push_str("t_s,irradiance,stored_mj,on,occupancy,lambda,correction,option,ibo\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let _ = writeln!(
+                arena,
                 "{},{:.4},{:.3},{},{},{:.3},{:.3},{},{}",
                 s.t.as_millis() as f64 / 1e3,
                 s.irradiance,
@@ -164,8 +174,13 @@ impl Telemetry {
                 s.correction,
                 s.active_option.map_or(-1, |o| o as i64),
                 s.ibo_discards,
-            )?;
+            );
+            if (i + 1) % BLOCK_ROWS == 0 {
+                w.write_all(arena.as_bytes())?;
+                arena.clear();
+            }
         }
+        w.write_all(arena.as_bytes())?;
         Ok(())
     }
 }

@@ -31,6 +31,13 @@ pub enum EnvironmentKind {
     /// and idle spans. Used to benchmark the fast-forward engine where
     /// it helps most.
     Quiet,
+    /// Alternating storms and lulls: events capped at 2 s arriving in
+    /// dense bursts separated by ~10 s quiet gaps. Outside the paper's
+    /// table; built to exercise the mixed regime where the engine
+    /// switches between bulk-advanced quiescent spans and batched
+    /// busy-tick blocks most often (the kernel's prologue/tail
+    /// boundary).
+    Burst,
 }
 
 impl EnvironmentKind {
@@ -51,6 +58,7 @@ impl EnvironmentKind {
             EnvironmentKind::LessCrowded => SimDuration::from_secs(20),
             EnvironmentKind::Short => SimDuration::from_secs(10),
             EnvironmentKind::Quiet => SimDuration::from_secs(5),
+            EnvironmentKind::Burst => SimDuration::from_secs(2),
         }
     }
 
@@ -61,6 +69,7 @@ impl EnvironmentKind {
         match self {
             EnvironmentKind::Short => SimDuration::from_secs(6),
             EnvironmentKind::Quiet => SimDuration::from_secs(120),
+            EnvironmentKind::Burst => SimDuration::from_secs(10),
             _ => SimDuration::from_secs(20),
         }
     }
@@ -73,6 +82,7 @@ impl EnvironmentKind {
             EnvironmentKind::LessCrowded => "LessCrowded",
             EnvironmentKind::Short => "Short",
             EnvironmentKind::Quiet => "Quiet",
+            EnvironmentKind::Burst => "Burst",
         }
     }
 }
@@ -185,6 +195,14 @@ mod tests {
         assert_eq!(
             EnvironmentKind::Crowded.mean_gap(),
             SimDuration::from_secs(20)
+        );
+        assert_eq!(
+            EnvironmentKind::Burst.max_event_duration(),
+            SimDuration::from_secs(2)
+        );
+        assert_eq!(
+            EnvironmentKind::Burst.mean_gap(),
+            SimDuration::from_secs(10)
         );
     }
 

@@ -21,12 +21,15 @@
 //! plan are all randomized per case. With `CASES = 120` this crosses
 //! well past the hundred-configuration mark required by the design.
 
-use qz_app::{apollo4, msp430fr5994, simulate_with_telemetry, DeviceProfile, SimTweaks};
+use qz_app::{
+    apollo4, build_simulation, msp430fr5994, simulate_with_telemetry, DeviceProfile, SimTweaks,
+};
 use qz_baselines::BaselineKind;
 use qz_fault::{run_one, AdversarialInjector, FaultPlan};
+use qz_obs::RecordingObserver;
 use qz_sim::EngineKind;
 use qz_traces::{EnvironmentKind, SensingEnvironment};
-use qz_types::{SimDuration, SplitMix64};
+use qz_types::{SimDuration, SimTime, SplitMix64};
 
 const CASES: u64 = 120;
 const SUITE_SEED: u64 = 0x51CA_1020_26AB;
@@ -197,6 +200,152 @@ fn fast_forward_is_byte_identical_across_randomized_cases() {
         faulted >= 20,
         "expected at least 20 fault-injected cases, got {faulted}"
     );
+}
+
+/// Kernel-boundary torture class: randomized configurations whose
+/// invariant-invalidating events land on the batched busy-tick kernel's
+/// block edges. Capture and telemetry periods are pinned to
+/// `64k + {0, 1, 63}` ms so periodic due-ness flips exactly at (or one
+/// tick either side of) a 64-tick block boundary, and the adversarial
+/// injector activates mid-run at instants `≡ 0, 1, 63 (mod 64)` — the
+/// three offsets where a prologue that clamps one tick too early or too
+/// late would emit different bytes. Metrics, the structural event
+/// stream, serialized JSONL bytes, reconstructed telemetry CSV bytes,
+/// and fault statistics must all be identical across engines.
+#[test]
+fn kernel_boundary_torture_cases_are_byte_identical() {
+    let mut rng = SplitMix64::new(SUITE_SEED ^ 0xB10C_ED6E);
+    let offsets = [0u64, 1, 63];
+    let mut index = 0u64;
+    for &period_off in &offsets {
+        for &fault_off in &offsets {
+            let mut case = draw_case(&mut rng, index);
+            index += 1;
+            // Capture cadence a multiple of the 64-tick block (1024 ≡
+            // 0 mod 64) plus the torture offset, so successive capture
+            // boundaries sweep the residues around block edges. Stays
+            // ≥ 1 s to keep the config past the QZ010 overflow
+            // preflight.
+            let capture_ms = 1024 * (1 + rng.next_below(3)) + period_off;
+            case.tweaks.capture_period = SimDuration::from_millis(capture_ms.max(1));
+            // Fault activation pinned to a block-aligned instant.
+            let fault_at = SimTime::from_millis(64 * 200 + fault_off);
+            let plan = match rng.next_below(3) {
+                0 => FaultPlan::smoke(),
+                1 => FaultPlan::standard(),
+                _ => FaultPlan::heavy(),
+            };
+            let fault_seed = rng.next_u64();
+            let injector = || {
+                Some(AdversarialInjector::activating_at(
+                    plan.clone(),
+                    fault_seed,
+                    fault_at,
+                ))
+            };
+
+            let (tick, tick_stats) = run_one(
+                case.kind,
+                &case.profile,
+                &case.env,
+                &case.tweaks_for(EngineKind::Tick),
+                injector(),
+            );
+            let (fast, fast_stats) = run_one(
+                case.kind,
+                &case.profile,
+                &case.env,
+                &case.tweaks_for(EngineKind::FastForward),
+                injector(),
+            );
+
+            let describe = format!(
+                "{} [torture: capture {capture_ms}ms, fault {} at {fault_at:?}]",
+                case.describe(),
+                plan.label,
+            );
+            assert_eq!(tick.metrics, fast.metrics, "metrics diverge: {describe}");
+            assert_eq!(
+                tick.events, fast.events,
+                "event streams diverge: {describe}"
+            );
+            assert_eq!(
+                jsonl_bytes(&tick.events),
+                jsonl_bytes(&fast.events),
+                "serialized event bytes diverge: {describe}"
+            );
+            let mut tick_csv = Vec::new();
+            let mut fast_csv = Vec::new();
+            qz_sim::Telemetry::from_events(&tick.events)
+                .write_csv(&mut tick_csv)
+                .expect("in-memory write");
+            qz_sim::Telemetry::from_events(&fast.events)
+                .write_csv(&mut fast_csv)
+                .expect("in-memory write");
+            assert_eq!(
+                tick_csv, fast_csv,
+                "telemetry CSV bytes diverge: {describe}"
+            );
+            assert_eq!(tick_stats, fast_stats, "fault stats diverge: {describe}");
+        }
+    }
+}
+
+/// Drives the fast-forward engine through `step_until` barriers whose
+/// limits sweep every offset around the 64-tick block size (so busy
+/// blocks are truncated at 1, 63, 64, 65, … remaining ticks), and
+/// demands the final metrics and event stream match the reference
+/// engine run to completion in one go.
+#[test]
+fn step_until_boundary_chunks_match_reference() {
+    let mut rng = SplitMix64::new(SUITE_SEED ^ 0x57E9_0641);
+    for index in 0..6u64 {
+        let case = draw_case(&mut rng, index);
+
+        let mut tick = build_simulation(
+            case.kind,
+            &case.profile,
+            &case.env,
+            &case.tweaks_for(EngineKind::Tick),
+        );
+        tick.set_observer(Box::new(RecordingObserver::new()));
+        while tick.step() {}
+
+        let mut fast = build_simulation(
+            case.kind,
+            &case.profile,
+            &case.env,
+            &case.tweaks_for(EngineKind::FastForward),
+        );
+        fast.set_observer(Box::new(RecordingObserver::new()));
+        let chunks = [63u64, 64, 65, 1, 127, 129, 64, 63];
+        let mut limit = 0u64;
+        let mut i = 0usize;
+        loop {
+            limit += chunks[i % chunks.len()];
+            i += 1;
+            if !fast.step_until(SimTime::from_millis(limit)) {
+                break;
+            }
+        }
+
+        assert_eq!(
+            tick.metrics(),
+            fast.metrics(),
+            "metrics diverge under chunked step_until: {}",
+            case.describe()
+        );
+        let mut tick_obs = tick.take_observer();
+        let mut fast_obs = fast.take_observer();
+        let tick_events = qz_obs::take_recorded(tick_obs.as_mut()).expect("recording sink");
+        let fast_events = qz_obs::take_recorded(fast_obs.as_mut()).expect("recording sink");
+        assert_eq!(
+            jsonl_bytes(&tick_events),
+            jsonl_bytes(&fast_events),
+            "event bytes diverge under chunked step_until: {}",
+            case.describe()
+        );
+    }
 }
 
 #[test]
